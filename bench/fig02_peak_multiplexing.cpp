@@ -1,0 +1,77 @@
+// Figure 2: why consolidation works — the peak of consolidated workloads is
+// far below the sum of the dedicated peaks.
+//
+// The paper's motivating sketch consolidates three applications "with
+// various features" onto shared servers and draws the server level needed
+// "to guarantee performance of the consolidated workloads in some
+// probability level". We regenerate it with three diurnal workloads whose
+// peak hours differ (an office app, an evening consumer app, and a
+// batch-at-night app) and print the hourly demand series, the per-service
+// peaks, the consolidated peak, and the probability-level lines.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "workload/diurnal.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vmcons;
+  Flags flags(argc, argv);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 2));
+  bench::finish_flags(flags);
+
+  bench::banner("Fig. 2 -- dedicated peaks vs the consolidated peak",
+                "Song et al., CLUSTER 2009, Figure 2");
+
+  // Three applications with shifted peak hours (seconds of phase).
+  std::vector<workload::DiurnalProfile> profiles(3);
+  profiles[0] = {.base_rate = 120.0, .amplitude = 0.7, .period = 86400.0,
+                 .phase = 0.0, .weekend_dip = 0.0, .noise_cv = 0.08};
+  profiles[1] = {.base_rate = 90.0, .amplitude = 0.8, .period = 86400.0,
+                 .phase = 28800.0, .weekend_dip = 0.0, .noise_cv = 0.08};
+  profiles[2] = {.base_rate = 60.0, .amplitude = 0.9, .period = 86400.0,
+                 .phase = 57600.0, .weekend_dip = 0.0, .noise_cv = 0.08};
+
+  Rng rng(seed);
+  const auto demands =
+      workload::sample_demands(profiles, /*horizon=*/86400.0 * 2,
+                               /*steps=*/96, rng);
+
+  AsciiTable table;
+  table.set_header({"hour", "app A", "app B", "app C", "consolidated"});
+  for (std::size_t k = 0; k < demands.times.size(); k += 4) {
+    table.add_numeric_row(
+        AsciiTable::format(demands.times[k] / 3600.0, 0),
+        {demands.per_service[0][k], demands.per_service[1][k],
+         demands.per_service[2][k], demands.total[k]},
+        0);
+  }
+  table.print(std::cout, "demand (req/s) over two days, every 2 hours");
+
+  double sum_of_peaks = 0.0;
+  std::cout << '\n';
+  for (std::size_t i = 0; i < demands.per_service.size(); ++i) {
+    const double peak = workload::series_peak(demands.per_service[i]);
+    sum_of_peaks += peak;
+    print_kv(std::cout,
+             "peak of app " + std::string(1, static_cast<char>('A' + i)),
+             peak, 1);
+  }
+  const double consolidated_peak = workload::series_peak(demands.total);
+  print_kv(std::cout, "sum of dedicated peaks", sum_of_peaks, 1);
+  print_kv(std::cout, "consolidated peak", consolidated_peak, 1);
+  print_kv(std::cout, "multiplexing gain (x)",
+           workload::multiplexing_gain(demands), 2);
+  print_kv(std::cout, "consolidated level at 95% probability",
+           workload::series_quantile(demands.total, 0.95), 1);
+  print_kv(std::cout, "consolidated level at 99% probability",
+           workload::series_quantile(demands.total, 0.99), 1);
+
+  std::cout << "\nshape check: the consolidated peak sits well below the "
+               "sum of the dedicated peaks (the paper's 'peak of "
+               "consolidated workloads will not [be] higher than the sum of "
+               "the dedicated workloads peaks'), and the probability-level "
+               "line is lower still -- the capacity a planner must actually "
+               "provision.\n";
+  return 0;
+}

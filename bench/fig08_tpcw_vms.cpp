@@ -1,0 +1,107 @@
+// Figure 8: DB workload (TPC-W, 2.7 GB book database) vs VM count.
+//
+// (a) WIPS vs EBs for native Linux and 1..9 VMs. The signature result: the
+//     native system and a single VM deliver only about HALF the throughput
+//     of multi-VM configurations, because a single OS instance caps MySQL
+//     ("OS software limits the performance improvement").
+// (b) the CPU&software impact factor per VM count and its rational fit —
+//     the paper reports a(v) = 1.85 v^2 / (v^2 + 0.85).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "stats/regression.hpp"
+#include "virt/calibration.hpp"
+#include "workload/tpcw.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vmcons;
+  Flags flags(argc, argv);
+  const double duration = flags.get_double("duration", 150.0);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 8));
+  bench::finish_flags(flags);
+
+  bench::banner("Fig. 8 -- DB WIPS vs EBs per VM count",
+                "Song et al., CLUSTER 2009, Figure 8(a)(b)");
+
+  const std::vector<unsigned> eb_points{100, 300, 500, 800, 1200, 1700, 2300,
+                                        3000};
+  const std::vector<unsigned> vm_counts{1, 2, 3, 4, 6, 9};
+
+  // --- (a) WIPS curves -----------------------------------------------------
+  AsciiTable curves;
+  std::vector<std::string> header{"EBs", "wips-limit", "native"};
+  std::vector<std::vector<double>> columns;
+
+  workload::TpcwConfig native;
+  native.vm_count = 0;
+  native.duration = duration;
+  const auto native_points = workload::tpcw_sweep(native, eb_points, seed);
+  {
+    std::vector<double> column;
+    for (const auto& point : native_points) {
+      column.push_back(point.wips);
+    }
+    columns.push_back(std::move(column));
+  }
+  std::vector<virt::ThroughputCurve> vm_curves;
+  virt::ThroughputCurve native_curve;
+  native_curve.vm_count = 0;
+  for (const auto& point : native_points) {
+    native_curve.offered.push_back(point.ebs);
+    native_curve.throughput.push_back(point.wips);
+  }
+
+  for (const unsigned vms : vm_counts) {
+    header.push_back(std::to_string(vms) + "vm");
+    workload::TpcwConfig config;
+    config.vm_count = vms;
+    config.duration = duration;
+    const auto points = workload::tpcw_sweep(config, eb_points, seed + vms);
+    virt::ThroughputCurve curve;
+    curve.vm_count = vms;
+    std::vector<double> column;
+    for (const auto& point : points) {
+      curve.offered.push_back(point.ebs);
+      curve.throughput.push_back(point.wips);
+      column.push_back(point.wips);
+    }
+    vm_curves.push_back(std::move(curve));
+    columns.push_back(std::move(column));
+  }
+
+  curves.set_header(header);
+  for (std::size_t r = 0; r < eb_points.size(); ++r) {
+    std::vector<double> row;
+    row.push_back(static_cast<double>(eb_points[r]) / native.think_time);
+    for (const auto& column : columns) {
+      row.push_back(column[r]);
+    }
+    curves.add_numeric_row(std::to_string(eb_points[r]), row, 1);
+  }
+  curves.print(std::cout, "(a) WIPS per EB population");
+
+  // --- (b) impact factors + rational fit ----------------------------------
+  const double saturation_from = 1700.0;  // EBs past every curve's knee
+  const auto samples =
+      virt::impact_factors(native_curve, vm_curves, saturation_from);
+  AsciiTable impact_table;
+  impact_table.set_header({"vms", "impact a(v)", "encoded curve"});
+  for (const auto& sample : samples) {
+    impact_table.add_row(
+        {std::to_string(sample.vm_count), AsciiTable::format(sample.factor, 3),
+         AsciiTable::format(
+             virt::Impact::paper_db_cpu().raw_factor(sample.vm_count), 3)});
+  }
+  impact_table.print(std::cout,
+                     "\n(b) impact factor of CPU&software per VM count");
+
+  const RationalSaturatingFit fit = virt::calibrate_rational(samples);
+  std::cout << "\nrational fit: a(v) = " << AsciiTable::format(fit.amplitude, 3)
+            << " v^2 / (v^2 + " << AsciiTable::format(fit.half_point, 3)
+            << "),  R^2 = " << AsciiTable::format(fit.r_squared, 4) << '\n';
+  std::cout << "paper:        a(v) = 1.85 v^2 / (v^2 + 0.85)\n";
+  std::cout << "\nshape check: native and 1 VM plateau at roughly half the "
+               "multi-VM throughput (the single-OS software ceiling).\n";
+  return 0;
+}

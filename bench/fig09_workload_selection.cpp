@@ -1,0 +1,99 @@
+// Figure 9: selecting the "intensive workloads" on 4 physical servers.
+//
+// (a) DB service: WIPS vs EBs on a 4-server pool, with the closed-loop
+//     "wips upper limit" line (EBs / think time); the selected workload sits
+//     at the knee where the measured curve departs from the limit line.
+// (b) Web service: mean response time vs session count on a 4-server pool;
+//     the selected workload sits just before the response-time blow-up.
+// The bench also prints the Erlang-based intensive workloads the model
+// derives for the same staffing — the two selection rules should agree.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "workload/specweb.hpp"
+#include "workload/tpcw.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vmcons;
+  Flags flags(argc, argv);
+  const double duration = flags.get_double("duration", 150.0);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 9));
+  bench::finish_flags(flags);
+
+  bench::banner("Fig. 9 -- workload selection on 4 physical servers",
+                "Song et al., CLUSTER 2009, Figure 9(a)(b)");
+
+  // --- (a) DB: WIPS vs EBs on 4 servers -----------------------------------
+  // A 4-server native DB pool serves 4 * 100 interactions/s.
+  workload::TpcwConfig db;
+  db.vm_count = 0;
+  db.native_capacity = 400.0;  // 4 servers x mu_dc
+  db.duration = duration;
+  const std::vector<unsigned> eb_points{200, 600, 1000, 1400, 1800, 2200,
+                                        2600, 3000};
+  const auto db_points = workload::tpcw_sweep(db, eb_points, seed);
+
+  AsciiTable db_table;
+  db_table.set_header({"EBs", "WIPS", "wips upper limit", "mean resp (s)"});
+  unsigned selected_ebs = eb_points.front();
+  for (const auto& point : db_points) {
+    db_table.add_row({std::to_string(point.ebs),
+                      AsciiTable::format(point.wips, 1),
+                      AsciiTable::format(point.wips_upper_limit, 1),
+                      AsciiTable::format(point.mean_response, 3)});
+    // The knee: the last population whose WIPS still tracks the limit line
+    // within 5% — the paper's red-circled "intensive workload".
+    if (point.wips >= 0.95 * point.wips_upper_limit) {
+      selected_ebs = point.ebs;
+    }
+  }
+  db_table.print(std::cout, "(a) DB service on 4 servers (TPC-W)");
+  std::cout << "selected intensive DB workload: " << selected_ebs
+            << " EBs  (~" << AsciiTable::format(
+                   static_cast<double>(selected_ebs) / db.think_time, 1)
+            << " interactions/s offered)\n\n";
+
+  // --- (b) Web: response time vs sessions on 4 servers --------------------
+  workload::SpecwebSessionsConfig web;
+  web.servers = 4;
+  web.per_server_capacity = 420.0;  // mu_wi
+  web.duration = duration;
+  const std::vector<unsigned> session_points{500, 1200, 2000, 2800, 3400,
+                                             4000, 4800, 5600};
+  const auto web_points = workload::specweb_sessions_sweep(web, session_points,
+                                                           seed + 1);
+
+  AsciiTable web_table;
+  web_table.set_header({"sessions", "mean resp (s)", "throughput", "refused"});
+  unsigned selected_sessions = session_points.front();
+  const double base_response = web_points.front().mean_response;
+  for (const auto& point : web_points) {
+    web_table.add_row({std::to_string(point.sessions),
+                       AsciiTable::format(point.mean_response, 4),
+                       AsciiTable::format(point.throughput, 1),
+                       AsciiTable::format(point.refusal_ratio, 4)});
+    // Select the largest session count whose response stays within 3x the
+    // light-load response — "more or fewer workloads result in remarkable
+    // difference" past this point.
+    if (point.mean_response <= 3.0 * base_response) {
+      selected_sessions = point.sessions;
+    }
+  }
+  web_table.print(std::cout, "(b) Web service on 4 servers (SPECweb2005)");
+  std::cout << "selected intensive Web workload: " << selected_sessions
+            << " sessions\n\n";
+
+  // --- The model's Erlang-based selection for the same staffing -----------
+  const core::ModelInputs inputs = bench::case_study_inputs(4);
+  std::cout << "model's intensive workloads for 4 dedicated servers at B=1%:"
+            << "\n  lambda_w = "
+            << AsciiTable::format(inputs.services[0].arrival_rate, 1)
+            << " req/s,  lambda_d = "
+            << AsciiTable::format(inputs.services[1].arrival_rate, 1)
+            << " req/s (= "
+            << AsciiTable::format(inputs.services[1].arrival_rate * 7.0, 0)
+            << " EBs at 7 s think time)\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 13: the power consumed by the workloads themselves — total power
+// minus the idle draw of the same servers.
+//
+// Paper observation: the same workloads cost ~30% less dynamic power on
+// consolidated Xen servers than on dedicated Linux servers (with the same
+// number of OS instances running!).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "datacenter/cluster.hpp"
+#include "sim/replication.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vmcons;
+  Flags flags(argc, argv);
+  const double horizon = flags.get_double("horizon", 1500.0);
+  const long long replications = flags.get_int("replications", 6);
+  bench::finish_flags(flags);
+
+  bench::banner("Fig. 13 -- power consumed by the workloads alone",
+                "Song et al., CLUSTER 2009, Figure 13");
+
+  const core::ModelInputs inputs = bench::case_study_inputs(4);
+  dc::ScenarioOptions scenario;
+  scenario.horizon = horizon;
+  scenario.warmup = horizon * 0.1;
+
+  const auto replication_count = static_cast<std::size_t>(replications);
+  // Workload power = (total energy - idle energy) / span.
+  const auto dedicated = sim::replicate_scalar(
+      replication_count, 1301, [&](std::size_t, Rng& rng) {
+        const auto outcome =
+            dc::simulate_dedicated(inputs.services, {4, 4}, scenario, rng);
+        return (outcome.energy_joules - outcome.idle_energy_joules) /
+               outcome.measured_span;
+      });
+  const auto consolidated = sim::replicate_scalar(
+      replication_count, 1302, [&](std::size_t, Rng& rng) {
+        const auto outcome =
+            dc::simulate_consolidated(inputs.services, 4, scenario, rng);
+        return (outcome.energy_joules - outcome.idle_energy_joules) /
+               outcome.measured_span;
+      });
+
+  AsciiTable table;
+  table.set_header({"configuration", "workload power (W)"});
+  table.add_row({"8 dedicated (Linux), web + db workloads",
+                 AsciiTable::format(dedicated.summary.mean(), 2)});
+  table.add_row({"4 consolidated (Xen), same workloads",
+                 AsciiTable::format(consolidated.summary.mean(), 2)});
+  table.print(std::cout);
+
+  std::cout << '\n';
+  print_kv(std::cout, "workload power reduction on Xen (%)",
+           (1.0 - consolidated.summary.mean() / dedicated.summary.mean()) *
+               100.0,
+           1);
+  std::cout << "\nshape check: the same workloads cost noticeably less "
+               "dynamic power consolidated on Xen (paper: ~30% less). In "
+               "this reproduction the effect combines the platform's 30% "
+               "dynamic-power discount with the higher per-server "
+               "utilization of the packed pool.\n";
+  return 0;
+}

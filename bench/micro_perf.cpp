@@ -1,0 +1,92 @@
+// google-benchmark microbenchmarks for the library's hot paths: the Erlang
+// solvers, the RNG, the event engine, and one full pool-simulation
+// replication. Performance hygiene for the substrate, not a paper figure.
+#include <benchmark/benchmark.h>
+
+#include "datacenter/pool_sim.hpp"
+#include "queueing/erlang.hpp"
+#include "queueing/mmck.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace vmcons;
+
+void BM_ErlangB(benchmark::State& state) {
+  const auto servers = static_cast<std::uint64_t>(state.range(0));
+  const double rho = static_cast<double>(servers) * 0.9;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(queueing::erlang_b(servers, rho));
+  }
+}
+BENCHMARK(BM_ErlangB)->Arg(8)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_ErlangBServers(benchmark::State& state) {
+  const double rho = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(queueing::erlang_b_servers(rho, 0.01));
+  }
+}
+BENCHMARK(BM_ErlangBServers)->Arg(10)->Arg(1000)->Arg(100000);
+
+void BM_MmckSolve(benchmark::State& state) {
+  const auto servers = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        queueing::solve_mmck(servers, servers * 2, servers * 0.8, 1.0));
+  }
+}
+BENCHMARK(BM_MmckSolve)->Arg(8)->Arg(128)->Arg(2048);
+
+void BM_RngExponential(benchmark::State& state) {
+  Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.exponential(1.0));
+  }
+}
+BENCHMARK(BM_RngExponential);
+
+void BM_RngZipf(benchmark::State& state) {
+  Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.zipf(100000, 0.8));
+  }
+}
+BENCHMARK(BM_RngZipf);
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    int counter = 0;
+    std::function<void()> tick = [&] {
+      if (++counter < 10000) {
+        engine.schedule_in(1.0, tick);
+      }
+    };
+    engine.schedule_in(1.0, tick);
+    engine.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EngineEventThroughput);
+
+void BM_PoolSimulationReplication(benchmark::State& state) {
+  dc::PoolConfig config;
+  config.arrival_rates = {130.0, 30.0};
+  config.service_rates = {336.0, 90.0};
+  config.servers = 3;
+  config.horizon = 100.0;
+  config.warmup = 10.0;
+  std::uint64_t stream = 0;
+  for (auto _ : state) {
+    Rng rng(7, stream++);
+    benchmark::DoNotOptimize(dc::simulate_pool(config, rng).overall_loss());
+  }
+}
+BENCHMARK(BM_PoolSimulationReplication);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Capacity planning for a heterogeneous data center.
+//
+// Scenario: an operator runs an e-commerce Web service and an e-book DB
+// service (the paper's case study) and owns a mixed fleet — a few dual
+// quad-core machines and a shelf of older single quad-cores. The planner
+// answers, before deploying anything:
+//   1. how many (normalized) servers each deployment style needs;
+//   2. which real machines to rack for the consolidated plan;
+//   3. how the plan moves as the traffic grows 2x and 4x;
+//   4. how expensive tighter loss targets are.
+//
+// Run: ./build/examples/example_capacity_planning
+#include <iostream>
+
+#include "core/planner.hpp"
+#include "util/ascii_table.hpp"
+
+int main() {
+  using namespace vmcons;
+
+  dc::ServiceSpec web = dc::paper_web_service();
+  dc::ServiceSpec db = dc::paper_db_service();
+  web.arrival_rate = core::intensive_workload(web, 3, 0.01);
+  db.arrival_rate = core::intensive_workload(db, 3, 0.01);
+
+  core::ConsolidationPlanner planner;
+  planner.set_target_loss(0.01)
+      .add_service(web)
+      .add_service(db)
+      .add_server_class({"dual-quad-2.0GHz", 1.0, 4, dc::PowerModel{}})
+      .add_server_class({"single-quad-2.0GHz", 0.5, 12, dc::PowerModel{}});
+
+  std::cout << "Capacity planning: Web + DB on a mixed fleet\n\n";
+
+  // --- 1+2: today's plan ---------------------------------------------------
+  const core::PlanReport today = planner.plan();
+  std::cout << "today's workloads: lambda_w = "
+            << AsciiTable::format(today.arrival_rates[0], 1)
+            << " req/s, lambda_d = "
+            << AsciiTable::format(today.arrival_rates[1], 1) << " req/s\n";
+  std::cout << "dedicated deployment needs " << today.model.dedicated_servers
+            << " reference servers; consolidated needs "
+            << today.model.consolidated_servers << ".\n";
+  std::cout << "consolidated racking plan: ";
+  for (const auto& [name, count] : today.consolidated_assignment.picked) {
+    std::cout << count << "x " << name << "  ";
+  }
+  std::cout << (today.consolidated_assignment.feasible ? "(feasible)"
+                                                       : "(INFEASIBLE)")
+            << "\n\n";
+
+  // --- 3: growth what-ifs --------------------------------------------------
+  AsciiTable growth;
+  growth.set_header({"traffic", "M (dedicated)", "N (consolidated)",
+                     "power saving %", "plan feasible"});
+  for (const double scale : {1.0, 2.0, 4.0}) {
+    core::ConsolidationPlanner what_if = planner;
+    what_if.scale_workloads(scale);
+    const core::PlanReport report = what_if.plan();
+    growth.add_row({AsciiTable::format(scale, 0) + "x",
+                    std::to_string(report.model.dedicated_servers),
+                    std::to_string(report.model.consolidated_servers),
+                    AsciiTable::format(report.model.power_saving * 100.0, 1),
+                    report.consolidated_assignment.feasible ? "yes" : "NO"});
+  }
+  growth.print(std::cout, "growth what-ifs");
+
+  // --- 4: the price of nines ----------------------------------------------
+  const std::vector<double> targets{0.05, 0.01, 0.001, 0.0001};
+  const auto reports = planner.sweep_target_loss(targets);
+  AsciiTable nines;
+  nines.set_header({"loss target B", "M", "N", "blocking at N"});
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    nines.add_row({AsciiTable::format(targets[i], 4),
+                   std::to_string(reports[i].model.dedicated_servers),
+                   std::to_string(reports[i].model.consolidated_servers),
+                   AsciiTable::format(reports[i].model.consolidated_blocking, 5)});
+  }
+  nines.print(std::cout, "\nthe price of nines (same workloads)");
+
+  std::cout << "\nTakeaway: consolidation halves the fleet at every growth "
+               "step, and each order of magnitude on the loss target costs "
+               "at most one extra shared server at this scale.\n";
+  return 0;
+}

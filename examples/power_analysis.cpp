@@ -1,0 +1,101 @@
+// Power analysis of a consolidation decision — what the CFO asks.
+//
+// For the paper's group-2 deployment (8 dedicated -> 4 consolidated), this
+// example integrates simulated energy over a day of operation and prints
+// the kWh and the split between idle draw and workload draw, for both
+// platforms — then projects a year of savings.
+//
+// Run: ./build/examples/example_power_analysis
+#include <iostream>
+
+#include "core/model.hpp"
+#include "datacenter/cluster.hpp"
+#include "sim/replication.hpp"
+#include "util/ascii_table.hpp"
+
+int main() {
+  using namespace vmcons;
+
+  core::ModelInputs inputs;
+  inputs.target_loss = 0.01;
+  dc::ServiceSpec web = dc::paper_web_service();
+  dc::ServiceSpec db = dc::paper_db_service();
+  web.arrival_rate = core::intensive_workload(web, 4, inputs.target_loss);
+  db.arrival_rate = core::intensive_workload(db, 4, inputs.target_loss);
+  inputs.services = {web, db};
+
+  dc::ScenarioOptions scenario;
+  scenario.horizon = 2000.0;
+  scenario.warmup = 200.0;
+
+  struct EnergyBreakdown {
+    double total_watts = 0.0;
+    double idle_watts = 0.0;
+  };
+  const auto dedicated = sim::replicate(
+      6, 3001, [&](std::size_t, Rng& rng) {
+        const auto outcome =
+            dc::simulate_dedicated(inputs.services, {4, 4}, scenario, rng);
+        return EnergyBreakdown{
+            outcome.mean_power_watts,
+            outcome.idle_energy_joules / outcome.measured_span};
+      });
+  const auto consolidated = sim::replicate(
+      6, 3002, [&](std::size_t, Rng& rng) {
+        const auto outcome =
+            dc::simulate_consolidated(inputs.services, 4, scenario, rng);
+        return EnergyBreakdown{
+            outcome.mean_power_watts,
+            outcome.idle_energy_joules / outcome.measured_span};
+      });
+
+  auto mean = [](const std::vector<EnergyBreakdown>& rows) {
+    EnergyBreakdown out;
+    for (const auto& row : rows) {
+      out.total_watts += row.total_watts;
+      out.idle_watts += row.idle_watts;
+    }
+    out.total_watts /= static_cast<double>(rows.size());
+    out.idle_watts /= static_cast<double>(rows.size());
+    return out;
+  };
+  const EnergyBreakdown ded = mean(dedicated);
+  const EnergyBreakdown con = mean(consolidated);
+
+  const double hours_per_day = 24.0;
+  auto kwh_per_day = [&](double watts) { return watts * hours_per_day / 1000.0; };
+
+  std::cout << "Power analysis: 8 dedicated Linux vs 4 consolidated Xen\n\n";
+  AsciiTable table;
+  table.set_header({"deployment", "mean power (W)", "idle share (W)",
+                    "workload share (W)", "kWh/day"});
+  table.add_row({"8 dedicated", AsciiTable::format(ded.total_watts, 1),
+                 AsciiTable::format(ded.idle_watts, 1),
+                 AsciiTable::format(ded.total_watts - ded.idle_watts, 1),
+                 AsciiTable::format(kwh_per_day(ded.total_watts), 1)});
+  table.add_row({"4 consolidated", AsciiTable::format(con.total_watts, 1),
+                 AsciiTable::format(con.idle_watts, 1),
+                 AsciiTable::format(con.total_watts - con.idle_watts, 1),
+                 AsciiTable::format(kwh_per_day(con.total_watts), 1)});
+  table.print(std::cout);
+
+  const double saving_watts = ded.total_watts - con.total_watts;
+  std::cout << '\n';
+  print_kv(std::cout, "power saving (%)",
+           saving_watts / ded.total_watts * 100.0, 1);
+  print_kv(std::cout, "energy saved per day (kWh)", kwh_per_day(saving_watts), 1);
+  print_kv(std::cout, "energy saved per year (MWh)",
+           kwh_per_day(saving_watts) * 365.0 / 1000.0, 2);
+
+  // The model's own prediction, for comparison (Eq. 12-14).
+  core::UtilityAnalyticModel model(inputs);
+  const auto plan = model.solve();
+  print_kv(std::cout, "model-predicted power saving (%)",
+           plan.power_saving * 100.0, 1);
+
+  std::cout << "\nNote how the bill is dominated by idle draw: the big lever "
+               "is powering off half the servers, exactly the paper's point; "
+               "the Xen platform's 9% idle and 30% dynamic discounts are the "
+               "second-order terms.\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Trace-driven planning: record a bursty arrival trace, inspect its
+// statistics, and see how the plan changes when the Poisson assumption is
+// replaced by what the trace actually shows.
+//
+// Workflow an operator would follow:
+//   1. capture production arrival timestamps (here: a recorded MMPP trace
+//      standing in for a real log, exportable/importable as CSV);
+//   2. check the Poisson assumption with the dispersion diagnostics;
+//   3. plan with the model, then stress the plan in the simulator using the
+//      trace's burstiness instead of Poisson arrivals.
+//
+// Run: ./build/examples/example_trace_replay
+#include <iostream>
+#include <sstream>
+
+#include "core/model.hpp"
+#include "datacenter/loss_network.hpp"
+#include "sim/replication.hpp"
+#include "util/ascii_table.hpp"
+#include "workload/trace.hpp"
+
+int main() {
+  using namespace vmcons;
+
+  // --- 1. "production" trace ----------------------------------------------
+  Rng recorder(20090831);
+  const auto trace =
+      workload::ArrivalTrace::record_mmpp(/*mean_rate=*/130.0,
+                                          /*burst_ratio=*/4.0,
+                                          /*duration=*/3600.0, recorder);
+  std::ostringstream csv;
+  trace.to_csv(csv);
+  const auto reloaded = workload::ArrivalTrace::from_csv(csv.str());
+
+  std::cout << "Trace-driven consolidation planning\n\n";
+  print_kv(std::cout, "trace arrivals", static_cast<double>(reloaded.size()), 0);
+  print_kv(std::cout, "trace mean rate (req/s)", reloaded.mean_rate(), 1);
+  print_kv(std::cout, "index of dispersion (5s windows)",
+           reloaded.index_of_dispersion(5.0), 2);
+  print_kv(std::cout, "peak-to-mean (5s windows)", reloaded.peak_to_mean(5.0), 2);
+  std::cout << "  -> dispersion >> 1: the Poisson assumption is violated\n\n";
+
+  // --- 2. the model's plan at the trace's mean rate ------------------------
+  core::ModelInputs inputs;
+  inputs.target_loss = 0.01;
+  dc::ServiceSpec web = dc::paper_web_service();
+  dc::ServiceSpec db = dc::paper_db_service();
+  web.arrival_rate = reloaded.mean_rate();
+  db.arrival_rate = core::intensive_workload(db, 3, inputs.target_loss);
+  inputs.services = {web, db};
+  core::UtilityAnalyticModel model(inputs);
+  const auto plan = model.solve();
+  print_kv(std::cout, "model plan N (Poisson assumption)",
+           static_cast<double>(plan.consolidated_servers), 0);
+
+  // --- 3. stress the plan with the trace's burstiness ----------------------
+  AsciiTable table;
+  table.set_header({"servers", "loss (Poisson)", "loss (trace burstiness)"});
+  const double dispersion = reloaded.index_of_dispersion(5.0);
+  for (unsigned extra = 0; extra <= 2; ++extra) {
+    const auto servers =
+        static_cast<unsigned>(plan.consolidated_servers) + extra;
+    auto loss_with = [&](double burst_ratio) {
+      dc::LossNetworkConfig config;
+      config.services = inputs.services;
+      config.servers = servers;
+      config.vm_count = 2;
+      config.horizon = 3000.0;
+      config.warmup = 300.0;
+      config.burst_ratio = burst_ratio;
+      return sim::replicate_scalar(5, 42, [&](std::size_t, Rng& rng) {
+               return simulate_loss_network(config, rng).pool.overall_loss();
+             })
+          .summary.mean();
+    };
+    table.add_row({std::to_string(servers),
+                   AsciiTable::format(loss_with(1.0), 4),
+                   AsciiTable::format(loss_with(dispersion), 4)});
+  }
+  table.print(std::cout, "\nplan under Poisson vs trace-level burstiness");
+
+  std::cout << "\nTakeaway: the trace's burstiness (dispersion ~"
+            << AsciiTable::format(dispersion, 1)
+            << ") pushes the planned fleet one server higher than the "
+               "Poisson model suggests -- measure before you trust "
+               "assumption 2.\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+#include "core/accuracy.hpp"
+
+#include "util/error.hpp"
+
+namespace vmcons::core {
+
+std::vector<queueing::LossClass> consolidated_loss_classes(
+    const ModelInputs& inputs) {
+  VMCONS_REQUIRE(!inputs.services.empty(), "no services");
+  const unsigned vm_count = inputs.vms_per_server.value_or(
+      static_cast<unsigned>(inputs.services.size()));
+  std::vector<queueing::LossClass> classes;
+  classes.reserve(inputs.services.size());
+  for (const auto& service : inputs.services) {
+    queueing::LossClass loss_class;
+    loss_class.arrival_rate = service.arrival_rate;
+    loss_class.service_rates.assign(dc::kResourceCount, 0.0);
+    for (const dc::Resource resource : dc::all_resources()) {
+      const double mu = service.native_rates[resource];
+      if (mu > 0.0) {
+        loss_class.service_rates[static_cast<std::size_t>(resource)] =
+            mu * service.impact_factor(resource, vm_count);
+      }
+    }
+    classes.push_back(std::move(loss_class));
+  }
+  return classes;
+}
+
+queueing::FixedPointResult reduced_load_consolidated_loss(
+    const ModelInputs& inputs, std::uint64_t servers) {
+  return queueing::reduced_load_blocking(consolidated_loss_classes(inputs),
+                                         servers);
+}
+
+std::uint64_t reduced_load_consolidated_servers(const ModelInputs& inputs) {
+  return queueing::reduced_load_capacity(consolidated_loss_classes(inputs),
+                                         inputs.target_loss);
+}
+
+}  // namespace vmcons::core

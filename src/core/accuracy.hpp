@@ -1,0 +1,35 @@
+// Bridges the utility analytic model to the reduced-load (Erlang fixed
+// point) approximation, giving three accuracy tiers for the consolidated
+// loss probability:
+//
+//   1. the paper's model       — independent per-resource Erlang-B on the
+//                                Eq. (4) averaged rate (fast, optimistic);
+//   2. reduced-load fixed point — couples the resources and keeps each
+//                                class's own service rate (still analytic);
+//   3. the loss-network simulator — ground truth.
+//
+// bench/ablation_fixed_point quantifies the gaps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/model.hpp"
+#include "queueing/fixed_point.hpp"
+
+namespace vmcons::core {
+
+/// Converts consolidated inputs into loss-network classes: one class per
+/// service, one slot per dc::Resource, service rates mu_ij * a_ij(v)
+/// (clamped), zeros where undemanded.
+std::vector<queueing::LossClass> consolidated_loss_classes(
+    const ModelInputs& inputs);
+
+/// Reduced-load estimate of the consolidated overall loss at N servers.
+queueing::FixedPointResult reduced_load_consolidated_loss(
+    const ModelInputs& inputs, std::uint64_t servers);
+
+/// Minimum N per the reduced-load approximation (tier-2 staffing).
+std::uint64_t reduced_load_consolidated_servers(const ModelInputs& inputs);
+
+}  // namespace vmcons::core

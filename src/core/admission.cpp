@@ -1,0 +1,80 @@
+#include "core/admission.hpp"
+
+#include "util/error.hpp"
+
+namespace vmcons::core {
+namespace {
+
+/// Bisection for the largest x in [0, hi] where predicate(x) holds;
+/// predicate must be monotone (true below, false above).
+template <typename Predicate>
+double bisect_max(double hi_start, Predicate&& satisfied) {
+  if (!satisfied(1e-9)) {
+    return 0.0;
+  }
+  double lo = 1e-9;
+  double hi = hi_start;
+  while (satisfied(hi)) {
+    lo = hi;
+    hi *= 2.0;
+    if (hi > 1e12) {
+      throw NumericError("admission bisection failed to bracket");
+    }
+  }
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    const double mid = 0.5 * (lo + hi);
+    if (satisfied(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-9 * (1.0 + hi)) {
+      break;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+double max_workload_scale(const ModelInputs& inputs, std::uint64_t servers) {
+  VMCONS_REQUIRE(servers >= 1, "need at least one server");
+  UtilityAnalyticModel validator(inputs);  // validate inputs
+  (void)validator;
+  return bisect_max(1.0, [&](double scale) {
+    ModelInputs scaled = inputs;
+    for (auto& service : scaled.services) {
+      service.arrival_rate *= scale;
+    }
+    return UtilityAnalyticModel(scaled).consolidated_loss(servers) <=
+           inputs.target_loss;
+  });
+}
+
+double admission_headroom(const ModelInputs& inputs,
+                          const dc::ServiceSpec& candidate,
+                          std::uint64_t servers) {
+  VMCONS_REQUIRE(servers >= 1, "need at least one server");
+  VMCONS_REQUIRE(candidate.native_rates.any_positive(),
+                 "candidate service demands no resource");
+  // Existing pool must already meet the target, else nothing is admissible.
+  if (UtilityAnalyticModel(inputs).consolidated_loss(servers) >
+      inputs.target_loss) {
+    return 0.0;
+  }
+  const double hint = candidate.native_bottleneck_rate();
+  return bisect_max(hint, [&](double rate) {
+    ModelInputs grown = inputs;
+    dc::ServiceSpec admitted = candidate;
+    admitted.arrival_rate = rate;
+    grown.services.push_back(std::move(admitted));
+    // Keep the impact evaluation point consistent: one more VM per host.
+    grown.vms_per_server = inputs.vms_per_server.value_or(
+                               static_cast<unsigned>(inputs.services.size())) +
+                           1;
+    return UtilityAnalyticModel(grown).consolidated_loss(servers) <=
+           inputs.target_loss;
+  });
+}
+
+}  // namespace vmcons::core

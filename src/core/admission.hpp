@@ -1,0 +1,26 @@
+// Admission headroom: "my consolidated pool is built — what more can it
+// take?" The inverse question operators ask after the paper's planning
+// question is answered. Both answers come from the same Erlang machinery,
+// inverted over the workload instead of the server count.
+#pragma once
+
+#include <cstdint>
+
+#include "core/model.hpp"
+
+namespace vmcons::core {
+
+/// Largest uniform multiplier s such that scaling every service's arrival
+/// rate by s keeps the consolidated loss at `servers` within the target.
+/// Returns 0 if the pool misses the target already at scale -> 0.
+double max_workload_scale(const ModelInputs& inputs, std::uint64_t servers);
+
+/// Largest arrival rate of `candidate` (its arrival_rate field is ignored)
+/// that can be admitted alongside the existing services on `servers`
+/// consolidated servers without violating the loss target. Returns 0 when
+/// there is no headroom.
+double admission_headroom(const ModelInputs& inputs,
+                          const dc::ServiceSpec& candidate,
+                          std::uint64_t servers);
+
+}  // namespace vmcons::core

@@ -1,0 +1,55 @@
+#include "core/applications.hpp"
+
+#include <numeric>
+
+#include "util/error.hpp"
+#include "virt/impact.hpp"
+
+namespace vmcons::core {
+namespace {
+
+QosBound bound_for(const ModelInputs& inputs,
+                   const std::vector<std::uint64_t>& servers_per_service) {
+  UtilityAnalyticModel model(inputs);
+  QosBound bound;
+  bound.servers = std::accumulate(servers_per_service.begin(),
+                                  servers_per_service.end(), std::uint64_t{0});
+  VMCONS_REQUIRE(bound.servers >= 1, "need at least one server");
+  bound.dedicated_loss = model.dedicated_loss(servers_per_service);
+  bound.consolidated_loss = model.consolidated_loss(bound.servers);
+  VMCONS_REQUIRE(bound.dedicated_loss < 1.0,
+                 "dedicated deployment loses every request");
+  bound.improvement =
+      (1.0 - bound.consolidated_loss) / (1.0 - bound.dedicated_loss);
+  return bound;
+}
+
+}  // namespace
+
+QosBound allocation_qos_bound(
+    const ModelInputs& inputs,
+    const std::vector<std::uint64_t>& servers_per_service) {
+  return bound_for(inputs, servers_per_service);
+}
+
+QosBound virtualization_qos_bound(
+    const ModelInputs& inputs,
+    const std::vector<std::uint64_t>& servers_per_service) {
+  ModelInputs ideal = inputs;
+  for (auto& service : ideal.services) {
+    for (auto& impact : service.impacts) {
+      impact = virt::Impact::none();
+    }
+  }
+  return bound_for(ideal, servers_per_service);
+}
+
+double allocation_algorithm_score(const QosBound& bound,
+                                  double measured_improvement) {
+  VMCONS_REQUIRE(measured_improvement > 0.0,
+                 "measured improvement must be positive");
+  VMCONS_REQUIRE(bound.improvement > 0.0, "bound improvement must be positive");
+  return measured_improvement / bound.improvement;
+}
+
+}  // namespace vmcons::core

@@ -1,0 +1,44 @@
+// Applications of the utility analytic model (Section III-B4).
+//
+// (1) Evaluating on-demand resource allocation algorithms: with the server
+//     counts equalized (M = N), the ratio of (1 - B) in consolidated vs
+//     dedicated deployments bounds the QoS (throughput) improvement any
+//     allocation algorithm can deliver. The closer a real algorithm's
+//     measured improvement comes to this bound, the better it is.
+// (2) Evaluating virtualization products: the same ratio with every impact
+//     factor forced to 1 bounds what a hypothetical zero-overhead
+//     virtualization product could achieve.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace vmcons::core {
+
+struct QosBound {
+  std::uint64_t servers = 0;          ///< the equalized M = N
+  double dedicated_loss = 0.0;        ///< B in the dedicated deployment
+  double consolidated_loss = 0.0;     ///< B in the consolidated deployment
+  double improvement = 0.0;           ///< (1-B_cons) / (1-B_ded)
+};
+
+/// The Section III-B4(1) bound: dedicated servers split
+/// `servers_per_service` (summing to the total), consolidated gets the same
+/// total. Returns the optimal throughput-improvement ratio an on-demand
+/// allocation algorithm could reach.
+QosBound allocation_qos_bound(const ModelInputs& inputs,
+                              const std::vector<std::uint64_t>& servers_per_service);
+
+/// The Section III-B4(2) bound: as above but with all impact factors a = 1,
+/// bounding an ideal (zero-overhead) virtualization product.
+QosBound virtualization_qos_bound(const ModelInputs& inputs,
+                                  const std::vector<std::uint64_t>& servers_per_service);
+
+/// Scores a measured allocation algorithm against the model bound:
+/// measured_improvement / bound.improvement, in [0, ~1] (1 = optimal).
+double allocation_algorithm_score(const QosBound& bound,
+                                  double measured_improvement);
+
+}  // namespace vmcons::core

@@ -1,0 +1,226 @@
+#include "core/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "queueing/erlang.hpp"
+#include "util/error.hpp"
+
+namespace vmcons::core {
+namespace {
+
+/// Offered *work* per service (erlangs at the bottleneck resource): the
+/// quantity the utilization equations (8)-(11) aggregate. `rate` is the
+/// per-server service rate in the relevant deployment.
+double offered_work(double arrival_rate, double rate) {
+  return arrival_rate / rate;
+}
+
+}  // namespace
+
+UtilityAnalyticModel::UtilityAnalyticModel(ModelInputs inputs)
+    : inputs_(std::move(inputs)) {
+  VMCONS_REQUIRE(inputs_.target_loss > 0.0 && inputs_.target_loss < 1.0,
+                 "target loss must be in (0, 1)");
+  VMCONS_REQUIRE(!inputs_.services.empty(), "model needs at least one service");
+  for (const auto& service : inputs_.services) {
+    VMCONS_REQUIRE(service.arrival_rate > 0.0,
+                   "service '" + service.name + "' needs arrival rate > 0");
+    VMCONS_REQUIRE(service.native_rates.any_positive(),
+                   "service '" + service.name + "' demands no resource");
+  }
+}
+
+unsigned UtilityAnalyticModel::vm_count() const {
+  if (inputs_.vms_per_server.has_value()) {
+    return *inputs_.vms_per_server;
+  }
+  return static_cast<unsigned>(inputs_.services.size());
+}
+
+double UtilityAnalyticModel::clamped_impact(std::size_t service,
+                                            dc::Resource resource) const {
+  return inputs_.services[service].impact_factor(resource, vm_count());
+}
+
+double UtilityAnalyticModel::dedicated_offered_load(std::size_t service,
+                                                    dc::Resource resource) const {
+  VMCONS_REQUIRE(service < inputs_.services.size(), "service index out of range");
+  const double mu = inputs_.services[service].native_rates[resource];
+  if (mu <= 0.0) {
+    return 0.0;
+  }
+  return queueing::offered_load(inputs_.services[service].arrival_rate, mu);
+}
+
+double UtilityAnalyticModel::consolidated_offered_load(dc::Resource resource) const {
+  // Eq. (4)/(5), restricted to the services that demand this resource:
+  // requests with no demand never visit the resource's queue.
+  double merged_lambda = 0.0;
+  double weighted_capacity = 0.0;  // sum_i lambda_i * mu_ij * a_ij
+  for (std::size_t i = 0; i < inputs_.services.size(); ++i) {
+    const auto& service = inputs_.services[i];
+    const double mu = service.native_rates[resource];
+    if (mu <= 0.0) {
+      continue;
+    }
+    merged_lambda += service.arrival_rate;
+    weighted_capacity += service.arrival_rate * mu * clamped_impact(i, resource);
+  }
+  if (merged_lambda <= 0.0) {
+    return 0.0;
+  }
+  // rho' = lambda / mu' with mu' = weighted_capacity / lambda (Eq. 4).
+  return merged_lambda * merged_lambda / weighted_capacity;
+}
+
+ModelResult UtilityAnalyticModel::solve() const {
+  ModelResult result;
+  const double b = inputs_.target_loss;
+
+  // ---- Dedicated staffing: per service, per resource; max; sum ----------
+  for (std::size_t i = 0; i < inputs_.services.size(); ++i) {
+    const auto& service = inputs_.services[i];
+    ServicePlan plan;
+    plan.name = service.name;
+    for (const dc::Resource resource : dc::all_resources()) {
+      const double rho = dedicated_offered_load(i, resource);
+      plan.offered_load[resource] = rho;
+      const std::uint64_t n =
+          rho > 0.0 ? queueing::erlang_b_servers(rho, b) : 0;
+      plan.servers_per_resource[static_cast<std::size_t>(resource)] = n;
+      plan.servers = std::max(plan.servers, n);
+    }
+    // Blocking at the granted staffing: worst resource.
+    double blocking = 0.0;
+    for (const dc::Resource resource : dc::all_resources()) {
+      const double rho = plan.offered_load[resource];
+      if (rho > 0.0) {
+        blocking = std::max(blocking, queueing::erlang_b(plan.servers, rho));
+      }
+    }
+    plan.blocking = blocking;
+    result.dedicated_servers += plan.servers;
+    result.dedicated.push_back(std::move(plan));
+  }
+
+  // ---- Consolidated staffing: per resource on the merged stream ---------
+  for (const dc::Resource resource : dc::all_resources()) {
+    auto& plan = result.consolidated[static_cast<std::size_t>(resource)];
+    plan.resource = resource;
+    double merged_lambda = 0.0;
+    for (std::size_t i = 0; i < inputs_.services.size(); ++i) {
+      if (inputs_.services[i].native_rates[resource] > 0.0) {
+        merged_lambda += inputs_.services[i].arrival_rate;
+      }
+    }
+    plan.merged_arrival_rate = merged_lambda;
+    plan.offered_load = consolidated_offered_load(resource);
+    plan.demanded = plan.offered_load > 0.0;
+    if (plan.demanded) {
+      plan.effective_service_rate = merged_lambda / plan.offered_load;
+      plan.servers = queueing::erlang_b_servers(plan.offered_load, b);
+      result.consolidated_servers =
+          std::max(result.consolidated_servers, plan.servers);
+    }
+  }
+  result.consolidated_blocking = consolidated_loss(result.consolidated_servers);
+
+  // ---- Utilization (Eq. 8-11): offered bottleneck work per server -------
+  double dedicated_work = 0.0;
+  double consolidated_work = 0.0;
+  const unsigned v = vm_count();
+  for (const auto& service : inputs_.services) {
+    dedicated_work +=
+        offered_work(service.arrival_rate, service.native_bottleneck_rate());
+    consolidated_work +=
+        offered_work(service.arrival_rate, service.effective_rate(v));
+  }
+  if (result.dedicated_servers > 0) {
+    result.dedicated_utilization =
+        dedicated_work / static_cast<double>(result.dedicated_servers);
+  }
+  if (result.consolidated_servers > 0) {
+    result.consolidated_utilization =
+        consolidated_work / static_cast<double>(result.consolidated_servers);
+  }
+  if (result.dedicated_utilization > 0.0) {
+    result.utilization_improvement =
+        result.consolidated_utilization / result.dedicated_utilization;
+  }
+
+  // ---- Power (Eq. 12-14) -------------------------------------------------
+  result.dedicated_power_watts =
+      static_cast<double>(result.dedicated_servers) *
+      inputs_.dedicated_power.watts(
+          std::min(1.0, result.dedicated_utilization));
+  result.consolidated_power_watts =
+      static_cast<double>(result.consolidated_servers) *
+      inputs_.consolidated_power.watts(
+          std::min(1.0, result.consolidated_utilization));
+  if (result.dedicated_power_watts > 0.0) {
+    result.power_ratio =
+        result.consolidated_power_watts / result.dedicated_power_watts;
+    result.power_saving = 1.0 - result.power_ratio;
+  }
+  if (result.dedicated_servers > 0) {
+    result.infrastructure_saving =
+        1.0 - static_cast<double>(result.consolidated_servers) /
+                  static_cast<double>(result.dedicated_servers);
+  }
+  return result;
+}
+
+double UtilityAnalyticModel::dedicated_loss(
+    const std::vector<std::uint64_t>& servers_per_service) const {
+  VMCONS_REQUIRE(servers_per_service.size() == inputs_.services.size(),
+                 "one server count per service required");
+  // Loss by requests: lambda-weighted blocking, each service at its own
+  // bottleneck resource.
+  double lost = 0.0;
+  double offered = 0.0;
+  for (std::size_t i = 0; i < inputs_.services.size(); ++i) {
+    double blocking = 0.0;
+    for (const dc::Resource resource : dc::all_resources()) {
+      const double rho = dedicated_offered_load(i, resource);
+      if (rho > 0.0) {
+        blocking = std::max(
+            blocking, queueing::erlang_b(servers_per_service[i], rho));
+      }
+    }
+    lost += inputs_.services[i].arrival_rate * blocking;
+    offered += inputs_.services[i].arrival_rate;
+  }
+  return offered > 0.0 ? lost / offered : 0.0;
+}
+
+double UtilityAnalyticModel::consolidated_loss(std::uint64_t servers) const {
+  double worst = 0.0;
+  for (const dc::Resource resource : dc::all_resources()) {
+    const double rho = consolidated_offered_load(resource);
+    if (rho > 0.0) {
+      worst = std::max(worst, queueing::erlang_b(servers, rho));
+    }
+  }
+  return worst;
+}
+
+double intensive_workload(const dc::ServiceSpec& service,
+                          std::uint64_t dedicated_servers, double target_loss,
+                          double fraction) {
+  VMCONS_REQUIRE(dedicated_servers >= 1, "need at least one dedicated server");
+  VMCONS_REQUIRE(fraction >= 0.0 && fraction <= 1.0,
+                 "fraction must be in [0, 1]");
+  const double mu = service.native_bottleneck_rate();
+  // The service needs exactly n servers when rho lies in
+  // (capacity(n-1), capacity(n)] — capacity(0) = 0.
+  const double hi = queueing::erlang_b_capacity(dedicated_servers, target_loss);
+  const double lo =
+      dedicated_servers == 1
+          ? 0.0
+          : queueing::erlang_b_capacity(dedicated_servers - 1, target_loss);
+  const double rho = lo + fraction * (hi - lo);
+  return rho * mu;
+}
+
+}  // namespace vmcons::core

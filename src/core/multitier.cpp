@@ -1,0 +1,103 @@
+#include "core/multitier.hpp"
+
+#include "util/error.hpp"
+#include "virt/impact.hpp"
+
+namespace vmcons::core {
+
+std::vector<dc::ServiceSpec> MultiTierService::expand() const {
+  VMCONS_REQUIRE(arrival_rate > 0.0,
+                 "multi-tier service '" + name + "' needs arrival rate > 0");
+  VMCONS_REQUIRE(!tiers.empty(),
+                 "multi-tier service '" + name + "' has no tiers");
+  std::vector<dc::ServiceSpec> specs;
+  specs.reserve(tiers.size());
+  for (const Tier& tier : tiers) {
+    VMCONS_REQUIRE(tier.calls_per_request > 0.0,
+                   "tier '" + tier.spec.name + "' needs calls_per_request > 0");
+    dc::ServiceSpec spec = tier.spec;
+    spec.name = name + "/" + tier.spec.name;
+    spec.arrival_rate = arrival_rate * tier.calls_per_request;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+dc::ServiceSpec MultiTierService::integral_equivalent(
+    double integral_impact) const {
+  VMCONS_REQUIRE(integral_impact > 0.0 && integral_impact <= 1.0,
+                 "integral impact must be in (0, 1]");
+  VMCONS_REQUIRE(!tiers.empty(),
+                 "multi-tier service '" + name + "' has no tiers");
+  // Per resource: a front-end request demands sum_t calls_t / mu_tj seconds,
+  // so the integral per-request rate is the harmonic aggregate.
+  dc::ServiceSpec integral;
+  integral.name = name + "/integral";
+  integral.arrival_rate = arrival_rate;
+  for (const dc::Resource resource : dc::all_resources()) {
+    double seconds_per_request = 0.0;
+    for (const Tier& tier : tiers) {
+      const double mu = tier.spec.native_rates[resource];
+      if (mu > 0.0) {
+        seconds_per_request += tier.calls_per_request / mu;
+      }
+    }
+    if (seconds_per_request > 0.0) {
+      integral.demand(resource, 1.0 / seconds_per_request,
+                      virt::Impact::constant(integral_impact));
+    }
+  }
+  return integral;
+}
+
+ModelResult plan_multitier(const std::vector<MultiTierService>& services,
+                           double target_loss) {
+  VMCONS_REQUIRE(!services.empty(), "no services to plan");
+  ModelInputs inputs;
+  inputs.target_loss = target_loss;
+  for (const auto& service : services) {
+    for (auto& spec : service.expand()) {
+      inputs.services.push_back(std::move(spec));
+    }
+  }
+  // Each consolidated host carries one VM per tier instance.
+  inputs.vms_per_server = static_cast<unsigned>(inputs.services.size());
+  return UtilityAnalyticModel(inputs).solve();
+}
+
+ModelResult plan_integral(const std::vector<MultiTierService>& services,
+                          double target_loss, double integral_impact) {
+  VMCONS_REQUIRE(!services.empty(), "no services to plan");
+  ModelInputs inputs;
+  inputs.target_loss = target_loss;
+  for (const auto& service : services) {
+    inputs.services.push_back(service.integral_equivalent(integral_impact));
+  }
+  inputs.vms_per_server = static_cast<unsigned>(inputs.services.size());
+  return UtilityAnalyticModel(inputs).solve();
+}
+
+MultiTierService paper_ecommerce_application(double arrival_rate,
+                                             double db_calls) {
+  VMCONS_REQUIRE(db_calls > 0.0, "db_calls must be positive");
+  MultiTierService application;
+  application.name = "ecommerce";
+  application.arrival_rate = arrival_rate;
+
+  Tier web;
+  web.spec.name = "web";
+  web.spec.demand(dc::Resource::kDiskIo, 420.0,
+                  virt::Impact::paper_web_disk_io());
+  web.spec.demand(dc::Resource::kCpu, 3360.0, virt::Impact::paper_web_cpu());
+  web.calls_per_request = 1.0;
+  application.tiers.push_back(std::move(web));
+
+  Tier db;
+  db.spec.name = "db";
+  db.spec.demand(dc::Resource::kCpu, 100.0, virt::Impact::paper_db_cpu());
+  db.calls_per_request = db_calls;
+  application.tiers.push_back(std::move(db));
+  return application;
+}
+
+}  // namespace vmcons::core

@@ -1,0 +1,62 @@
+// Multi-tier service planning.
+//
+// Section II-A of the paper criticizes integral (whole-application)
+// virtualization evaluation for multi-tier services: "different tiers of a
+// multi-tiered service have various characteristics on resource
+// requirement, which results in various performance impacts". This module
+// makes that concrete: a MultiTierService decomposes into per-tier
+// ServiceSpecs (each tier with its own resource demands and impact curves),
+// and the planner treats the tiers as additional concurrent services of the
+// utility analytic model — versus the "integral" alternative that lumps the
+// whole application behind one bottleneck rate and one impact factor.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "datacenter/service_spec.hpp"
+
+namespace vmcons::core {
+
+struct Tier {
+  dc::ServiceSpec spec;  ///< per-tier demands/impacts; arrival_rate ignored
+  /// Tier requests triggered per front-end request (e.g. one page view
+  /// issues 1 web-tier request and 2.3 DB-tier queries on average).
+  double calls_per_request = 1.0;
+};
+
+struct MultiTierService {
+  std::string name;
+  double arrival_rate = 0.0;  ///< front-end request rate
+  std::vector<Tier> tiers;
+
+  /// Expands into one ServiceSpec per tier with arrival rate
+  /// arrival_rate * calls_per_request (requests are assumed to fan out
+  /// independently, the standard open-network approximation).
+  std::vector<dc::ServiceSpec> expand() const;
+
+  /// The "integral" alternative the paper criticizes: one ServiceSpec whose
+  /// per-resource rates are the harmonic aggregate of the tiers (the rate a
+  /// request sees when its per-tier demands are summed) and whose impact
+  /// factor is the single application-level ratio `integral_impact`.
+  dc::ServiceSpec integral_equivalent(double integral_impact) const;
+};
+
+/// Plans a set of multi-tier services with per-tier granularity: every tier
+/// of every service becomes a concurrent service of the model.
+ModelResult plan_multitier(const std::vector<MultiTierService>& services,
+                           double target_loss);
+
+/// Plans the same services the integral way (one spec per service). Used by
+/// the ablation to show how integral evaluation mis-sizes the plan.
+ModelResult plan_integral(const std::vector<MultiTierService>& services,
+                          double target_loss, double integral_impact);
+
+/// The paper's running example as a multi-tier service: an e-commerce
+/// application with a Web tier (disk+CPU, Fig. 5/6 impacts) and a DB tier
+/// (CPU, Fig. 8 impact), `db_calls` DB queries per page view.
+MultiTierService paper_ecommerce_application(double arrival_rate,
+                                             double db_calls = 0.25);
+
+}  // namespace vmcons::core

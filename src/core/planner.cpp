@@ -1,0 +1,117 @@
+#include "core/planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vmcons::core {
+
+ConsolidationPlanner& ConsolidationPlanner::set_target_loss(double b) {
+  VMCONS_REQUIRE(b > 0.0 && b < 1.0, "target loss must be in (0, 1)");
+  target_loss_ = b;
+  return *this;
+}
+
+ConsolidationPlanner& ConsolidationPlanner::add_service(dc::ServiceSpec service) {
+  services_.push_back(std::move(service));
+  return *this;
+}
+
+ConsolidationPlanner& ConsolidationPlanner::set_vms_per_server(unsigned vms) {
+  VMCONS_REQUIRE(vms >= 1, "need at least one VM per server");
+  vms_per_server_ = vms;
+  return *this;
+}
+
+ConsolidationPlanner& ConsolidationPlanner::add_server_class(
+    ServerClass server_class) {
+  VMCONS_REQUIRE(server_class.capacity_factor > 0.0,
+                 "capacity factor must be positive");
+  inventory_.push_back(std::move(server_class));
+  return *this;
+}
+
+ConsolidationPlanner& ConsolidationPlanner::scale_workloads(double factor) {
+  VMCONS_REQUIRE(factor > 0.0, "workload scale must be positive");
+  workload_scale_ *= factor;
+  return *this;
+}
+
+ModelInputs ConsolidationPlanner::make_inputs() const {
+  VMCONS_REQUIRE(!services_.empty(), "planner has no services");
+  ModelInputs inputs;
+  inputs.target_loss = target_loss_;
+  inputs.services = services_;
+  for (auto& service : inputs.services) {
+    service.arrival_rate *= workload_scale_;
+  }
+  inputs.vms_per_server = vms_per_server_;
+  return inputs;
+}
+
+InventoryAssignment ConsolidationPlanner::assign(double normalized_servers) const {
+  InventoryAssignment assignment;
+  if (inventory_.empty()) {
+    return assignment;
+  }
+  // Largest capacity first minimizes the machine count covering the
+  // normalized requirement (greedy is optimal for the covering objective
+  // when larger classes dominate smaller ones, which capacity factors do).
+  std::vector<const ServerClass*> ordered;
+  ordered.reserve(inventory_.size());
+  for (const auto& server_class : inventory_) {
+    ordered.push_back(&server_class);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const ServerClass* a, const ServerClass* b) {
+              return a->capacity_factor > b->capacity_factor;
+            });
+  double remaining = normalized_servers;
+  for (const ServerClass* server_class : ordered) {
+    if (remaining <= 0.0) {
+      break;
+    }
+    const auto needed = static_cast<unsigned>(
+        std::min<double>(server_class->available,
+                         std::ceil(remaining / server_class->capacity_factor)));
+    if (needed == 0) {
+      continue;
+    }
+    assignment.picked.emplace_back(server_class->name, needed);
+    assignment.normalized_capacity +=
+        server_class->capacity_factor * static_cast<double>(needed);
+    remaining -= server_class->capacity_factor * static_cast<double>(needed);
+  }
+  assignment.feasible = remaining <= 1e-9;
+  return assignment;
+}
+
+PlanReport ConsolidationPlanner::plan() const {
+  const ModelInputs inputs = make_inputs();
+  UtilityAnalyticModel model(inputs);
+  PlanReport report;
+  report.model = model.solve();
+  for (const auto& service : inputs.services) {
+    report.arrival_rates.push_back(service.arrival_rate);
+  }
+  report.dedicated_assignment =
+      assign(static_cast<double>(report.model.dedicated_servers));
+  report.consolidated_assignment =
+      assign(static_cast<double>(report.model.consolidated_servers));
+  return report;
+}
+
+std::vector<PlanReport> ConsolidationPlanner::sweep_target_loss(
+    const std::vector<double>& losses) const {
+  std::vector<PlanReport> reports;
+  reports.reserve(losses.size());
+  for (const double loss : losses) {
+    ConsolidationPlanner point = *this;
+    point.set_target_loss(loss);
+    reports.push_back(point.plan());
+  }
+  return reports;
+}
+
+}  // namespace vmcons::core

@@ -1,0 +1,77 @@
+// ConsolidationPlanner: the high-level planning API on top of the model.
+//
+// Adds the two things a data-center operator needs beyond the raw model:
+//   * heterogeneous-server normalization (Section III-B1 assumption 1 and
+//     the paper's stated future work): servers of differing capacity are
+//     normalized against a reference server before solving, and the
+//     resulting normalized server count is mapped back onto the actual
+//     inventory;
+//   * what-if sweeps over the target loss probability and workload scale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace vmcons::core {
+
+/// One physical server type in a heterogeneous inventory.
+struct ServerClass {
+  std::string name;
+  /// Capacity relative to the reference server (the paper's example: two
+  /// 2.0 GHz quad-cores = 1.0, one quad-core = 0.5).
+  double capacity_factor = 1.0;
+  /// How many of these the operator owns.
+  unsigned available = 0;
+  dc::PowerModel power;
+};
+
+/// Mapping of a normalized server requirement onto real inventory.
+struct InventoryAssignment {
+  std::vector<std::pair<std::string, unsigned>> picked;  ///< class -> count
+  double normalized_capacity = 0.0;  ///< total capacity of picked servers
+  bool feasible = false;             ///< inventory covered the requirement
+};
+
+struct PlanReport {
+  ModelResult model;
+  /// lambda per service actually used (after any scaling).
+  std::vector<double> arrival_rates;
+  InventoryAssignment dedicated_assignment;
+  InventoryAssignment consolidated_assignment;
+};
+
+class ConsolidationPlanner {
+ public:
+  ConsolidationPlanner& set_target_loss(double b);
+  ConsolidationPlanner& add_service(dc::ServiceSpec service);
+  ConsolidationPlanner& set_vms_per_server(unsigned vms);
+  /// Registers heterogeneous inventory; when empty, planning stays in
+  /// normalized (homogeneous reference) units.
+  ConsolidationPlanner& add_server_class(ServerClass server_class);
+
+  /// Scales every service's arrival rate by `factor` (what-if growth).
+  ConsolidationPlanner& scale_workloads(double factor);
+
+  /// Solves the model and maps the result onto the inventory (if any).
+  PlanReport plan() const;
+
+  /// Sweeps the target loss probability, returning one report per point.
+  std::vector<PlanReport> sweep_target_loss(const std::vector<double>& losses) const;
+
+  const std::vector<dc::ServiceSpec>& services() const { return services_; }
+
+ private:
+  ModelInputs make_inputs() const;
+  InventoryAssignment assign(double normalized_servers) const;
+
+  double target_loss_ = 0.01;
+  std::vector<dc::ServiceSpec> services_;
+  std::vector<ServerClass> inventory_;
+  std::optional<unsigned> vms_per_server_;
+  double workload_scale_ = 1.0;
+};
+
+}  // namespace vmcons::core

@@ -1,0 +1,112 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include "util/ascii_table.hpp"
+#include "util/csv.hpp"
+
+namespace vmcons::core {
+
+void print_model_result(std::ostream& out, const ModelResult& result) {
+  AsciiTable dedicated;
+  dedicated.set_header({"service", "rho_cpu", "rho_disk", "servers",
+                        "blocking"});
+  for (const auto& plan : result.dedicated) {
+    dedicated.add_row(
+        {plan.name,
+         AsciiTable::format(plan.offered_load[dc::Resource::kCpu], 3),
+         AsciiTable::format(plan.offered_load[dc::Resource::kDiskIo], 3),
+         std::to_string(plan.servers), AsciiTable::format(plan.blocking, 5)});
+  }
+  dedicated.print(out, "dedicated staffing (per service)");
+
+  AsciiTable consolidated;
+  consolidated.set_header({"resource", "merged lambda", "effective mu",
+                           "rho'", "servers"});
+  for (const auto& plan : result.consolidated) {
+    if (!plan.demanded) {
+      continue;
+    }
+    consolidated.add_row(
+        {std::string(dc::resource_name(plan.resource)),
+         AsciiTable::format(plan.merged_arrival_rate, 2),
+         AsciiTable::format(plan.effective_service_rate, 2),
+         AsciiTable::format(plan.offered_load, 3),
+         std::to_string(plan.servers)});
+  }
+  consolidated.print(out, "\nconsolidated staffing (per resource, Eq. 4-5)");
+
+  out << '\n' << headline(result) << '\n';
+  print_kv(out, "U_M", result.dedicated_utilization);
+  print_kv(out, "U_N", result.consolidated_utilization);
+  print_kv(out, "utilization improvement (x)", result.utilization_improvement, 2);
+  print_kv(out, "P_M (W)", result.dedicated_power_watts, 1);
+  print_kv(out, "P_N (W)", result.consolidated_power_watts, 1);
+}
+
+void print_validation_report(std::ostream& out,
+                             const ValidationReport& report) {
+  AsciiTable table;
+  table.set_header({"metric", "model", "simulated", "ci half-width"});
+  table.add_row({"consolidated loss",
+                 AsciiTable::format(report.model.consolidated_blocking, 5),
+                 AsciiTable::format(report.consolidated.loss.summary.mean(), 5),
+                 AsciiTable::format(report.consolidated.loss.interval.half_width, 5)});
+  table.add_row({"consolidated utilization",
+                 AsciiTable::format(report.model.consolidated_utilization, 4),
+                 AsciiTable::format(report.consolidated.utilization.summary.mean(), 4),
+                 AsciiTable::format(report.consolidated.utilization.interval.half_width, 4)});
+  table.add_row({"dedicated utilization",
+                 AsciiTable::format(report.model.dedicated_utilization, 4),
+                 AsciiTable::format(report.dedicated.utilization.summary.mean(), 4),
+                 AsciiTable::format(report.dedicated.utilization.interval.half_width, 4)});
+  table.add_row({"power saving",
+                 AsciiTable::format(report.model.power_saving, 4),
+                 AsciiTable::format(report.measured_power_saving(), 4), "-"});
+  table.add_row({"utilization improvement (x)",
+                 AsciiTable::format(report.model.utilization_improvement, 3),
+                 AsciiTable::format(report.measured_utilization_improvement(), 3),
+                 "-"});
+  table.print(out, "model vs simulation");
+}
+
+void write_model_result_csv(std::ostream& out, const ModelResult& result) {
+  CsvWriter writer(out);
+  writer.header({"section", "name", "metric", "value"});
+  for (const auto& plan : result.dedicated) {
+    writer.row({std::string("dedicated"), plan.name, std::string("servers"),
+                static_cast<long long>(plan.servers)});
+    writer.row({std::string("dedicated"), plan.name, std::string("blocking"),
+                plan.blocking});
+  }
+  for (const auto& plan : result.consolidated) {
+    if (!plan.demanded) {
+      continue;
+    }
+    const std::string name(dc::resource_name(plan.resource));
+    writer.row({std::string("consolidated"), name, std::string("rho"),
+                plan.offered_load});
+    writer.row({std::string("consolidated"), name, std::string("servers"),
+                static_cast<long long>(plan.servers)});
+  }
+  writer.row({std::string("summary"), std::string("M"), std::string("servers"),
+              static_cast<long long>(result.dedicated_servers)});
+  writer.row({std::string("summary"), std::string("N"), std::string("servers"),
+              static_cast<long long>(result.consolidated_servers)});
+  writer.row({std::string("summary"), std::string("power"),
+              std::string("saving"), result.power_saving});
+  writer.row({std::string("summary"), std::string("utilization"),
+              std::string("improvement"), result.utilization_improvement});
+}
+
+std::string headline(const ModelResult& result) {
+  std::ostringstream out;
+  out << "M=" << result.dedicated_servers << " -> N="
+      << result.consolidated_servers << ", saves "
+      << AsciiTable::format(result.infrastructure_saving * 100.0, 1)
+      << "% servers, "
+      << AsciiTable::format(result.power_saving * 100.0, 1) << "% power";
+  return out.str();
+}
+
+}  // namespace vmcons::core

@@ -1,0 +1,31 @@
+// Report rendering for model results and validation runs.
+//
+// One place that turns ModelResult / ValidationReport into the ASCII tables
+// the bench binaries print and into CSV for downstream plotting, so every
+// bench emits consistent, diffable output.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "core/model.hpp"
+#include "core/validation.hpp"
+
+namespace vmcons::core {
+
+/// Prints the full model solution: per-service dedicated staffing, the
+/// per-resource consolidated plan, and the utilization/power summary.
+void print_model_result(std::ostream& out, const ModelResult& result);
+
+/// Prints a validation report: model prediction next to simulated
+/// measurement with confidence half-widths.
+void print_validation_report(std::ostream& out, const ValidationReport& report);
+
+/// Emits the model solution as CSV rows
+/// (section,name,metric,value) for plotting pipelines.
+void write_model_result_csv(std::ostream& out, const ModelResult& result);
+
+/// One-line headline: "M=6 -> N=3, saves 50.0% servers, 53.9% power".
+std::string headline(const ModelResult& result);
+
+}  // namespace vmcons::core

@@ -1,0 +1,53 @@
+// Robust planning under parameter uncertainty.
+//
+// The paper motivates itself with the "performance unpredictability" that
+// keeps operators away from consolidation: arrival rates are forecasts and
+// impact factors are measurements, both noisy. This module propagates that
+// uncertainty through the model by Monte Carlo: sample perturbed inputs,
+// solve the (cheap) model for each, and report the distribution of the
+// consolidated server count N — so the operator can provision the 95th
+// percentile instead of the point estimate.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/model.hpp"
+#include "util/rng.hpp"
+
+namespace vmcons::core {
+
+struct ParameterUncertainty {
+  /// Coefficient of variation of each service's arrival-rate forecast
+  /// (lognormal multiplicative noise).
+  double arrival_cv = 0.15;
+  /// Coefficient of variation of the serving-rate measurements.
+  double service_cv = 0.05;
+  /// Additive stddev on each impact factor (truncated to (0, 1]).
+  double impact_sd = 0.05;
+};
+
+struct RobustPlan {
+  /// Distribution of N over the Monte Carlo samples.
+  std::map<std::uint64_t, std::size_t> n_histogram;
+  double mean_n = 0.0;
+  std::uint64_t point_estimate_n = 0;  ///< N from the unperturbed inputs
+  std::uint64_t n_at_quantile = 0;     ///< smallest N covering `quantile`
+  double quantile = 0.95;
+  /// Probability that the point estimate under-provisions (N_sample > N_0).
+  double underprovision_risk = 0.0;
+};
+
+/// Runs `samples` Monte Carlo solves in parallel (deterministic per seed).
+RobustPlan robust_consolidated_plan(const ModelInputs& inputs,
+                                    const ParameterUncertainty& uncertainty,
+                                    std::size_t samples = 2000,
+                                    std::uint64_t seed = 2009,
+                                    double quantile = 0.95);
+
+/// Applies one sampled perturbation to the inputs (exposed for testing).
+ModelInputs perturb_inputs(const ModelInputs& inputs,
+                           const ParameterUncertainty& uncertainty, Rng& rng);
+
+}  // namespace vmcons::core

@@ -1,0 +1,124 @@
+#include "core/scenario_io.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "virt/impact.hpp"
+
+namespace vmcons::core {
+namespace {
+
+struct ResourceKey {
+  dc::Resource resource;
+  const char* rate_key;
+  const char* impact_key;
+};
+
+constexpr ResourceKey kResourceKeys[] = {
+    {dc::Resource::kCpu, "cpu_rate", "cpu_impact"},
+    {dc::Resource::kDiskIo, "disk_rate", "disk_impact"},
+    {dc::Resource::kMemory, "memory_rate", "memory_impact"},
+    {dc::Resource::kNetwork, "network_rate", "network_impact"},
+};
+
+dc::ServiceSpec parse_service(const IniSection& section) {
+  dc::ServiceSpec spec;
+  spec.name = section.get("name", "service");
+  for (const auto& key : kResourceKeys) {
+    const double rate = section.get_double(key.rate_key, 0.0);
+    if (rate > 0.0) {
+      const double impact = section.get_double(key.impact_key, 1.0);
+      VMCONS_REQUIRE(impact > 0.0 && impact <= 1.0,
+                     "service '" + spec.name + "': impact factors must be in "
+                     "(0, 1]");
+      spec.demand(key.resource, rate, virt::Impact::constant(impact));
+    }
+  }
+  VMCONS_REQUIRE(spec.native_rates.any_positive(),
+                 "service '" + spec.name + "' declares no resource rates");
+  return spec;
+}
+
+}  // namespace
+
+ModelInputs scenario_inputs(const IniDocument& document) {
+  ModelInputs inputs;
+  if (const IniSection* plan = document.first("plan")) {
+    inputs.target_loss = plan->get_double("target_loss", 0.01);
+    const long long vms = plan->get_int("vms_per_server", 0);
+    if (vms > 0) {
+      inputs.vms_per_server = static_cast<unsigned>(vms);
+    }
+  }
+  const auto services = document.all("service");
+  VMCONS_REQUIRE(!services.empty(), "scenario declares no [service] sections");
+  for (const IniSection* section : services) {
+    dc::ServiceSpec spec = parse_service(*section);
+    const double arrival = section->get_double("arrival_rate", 0.0);
+    const long long dedicated = section->get_int("dedicated_servers", 0);
+    if (arrival > 0.0) {
+      spec.arrival_rate = arrival;
+    } else if (dedicated > 0) {
+      spec.arrival_rate = intensive_workload(
+          spec, static_cast<std::uint64_t>(dedicated), inputs.target_loss);
+    } else {
+      throw InvalidArgument("service '" + spec.name +
+                            "': set arrival_rate or dedicated_servers");
+    }
+    inputs.services.push_back(std::move(spec));
+  }
+  return inputs;
+}
+
+ConsolidationPlanner scenario_planner(const IniDocument& document) {
+  const ModelInputs inputs = scenario_inputs(document);
+  ConsolidationPlanner planner;
+  planner.set_target_loss(inputs.target_loss);
+  if (inputs.vms_per_server) {
+    planner.set_vms_per_server(*inputs.vms_per_server);
+  }
+  for (const auto& service : inputs.services) {
+    planner.add_service(service);
+  }
+  for (const IniSection* section : document.all("server_class")) {
+    ServerClass server_class;
+    server_class.name = section->get("name", "class");
+    server_class.capacity_factor = section->get_double("capacity", 1.0);
+    server_class.available =
+        static_cast<unsigned>(section->get_int("available", 0));
+    planner.add_server_class(std::move(server_class));
+  }
+  return planner;
+}
+
+ConsolidationPlanner load_scenario(const std::string& path) {
+  return scenario_planner(ini_parse_file(path));
+}
+
+std::string scenario_to_ini(const ModelInputs& inputs) {
+  std::ostringstream out;
+  out.precision(17);  // lossless double round-trip
+  out << "[plan]\n";
+  out << "target_loss = " << inputs.target_loss << "\n";
+  if (inputs.vms_per_server) {
+    out << "vms_per_server = " << *inputs.vms_per_server << "\n";
+  }
+  const unsigned vm_count = inputs.vms_per_server.value_or(
+      static_cast<unsigned>(inputs.services.size()));
+  for (const auto& service : inputs.services) {
+    out << "\n[service]\n";
+    out << "name = " << service.name << "\n";
+    out << "arrival_rate = " << service.arrival_rate << "\n";
+    for (const auto& key : kResourceKeys) {
+      const double rate = service.native_rates[key.resource];
+      if (rate > 0.0) {
+        out << key.rate_key << " = " << rate << "\n";
+        out << key.impact_key << " = "
+            << service.impact_factor(key.resource, vm_count) << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace vmcons::core

@@ -1,0 +1,45 @@
+// Scenario files: declare services, workloads, and targets in INI form and
+// plan without recompiling. Used by examples/plan_from_file and any CLI
+// integration a downstream user builds.
+//
+// Format (see examples/scenarios/case_study.ini):
+//
+//   [plan]
+//   target_loss = 0.01
+//   vms_per_server = 2          ; optional
+//
+//   [service]
+//   name = web
+//   arrival_rate = 127.7        ; or: dedicated_servers = 3 (intensive pick)
+//   cpu_rate = 3360             ; native mu per resource (0/absent = none)
+//   cpu_impact = 0.65           ; constant impact factor (default 1)
+//   disk_rate = 420
+//   disk_impact = 0.8
+//
+//   [server_class]              ; optional heterogeneous inventory
+//   name = dual-quad
+//   capacity = 1.0
+//   available = 4
+#pragma once
+
+#include <string>
+
+#include "core/model.hpp"
+#include "core/planner.hpp"
+#include "util/ini.hpp"
+
+namespace vmcons::core {
+
+/// Builds model inputs from a parsed scenario document.
+ModelInputs scenario_inputs(const IniDocument& document);
+
+/// Builds a full planner (inputs + inventory) from a scenario document.
+ConsolidationPlanner scenario_planner(const IniDocument& document);
+
+/// Convenience: parse a file and build the planner.
+ConsolidationPlanner load_scenario(const std::string& path);
+
+/// Serializes model inputs back to scenario-INI text (round-trip support).
+std::string scenario_to_ini(const ModelInputs& inputs);
+
+}  // namespace vmcons::core

@@ -1,0 +1,67 @@
+// Model-vs-simulation validation harness.
+//
+// The paper validates the model on its Rainbow/Xen testbed (Section IV-C2);
+// we validate against the discrete-event simulator: solve the model, run
+// replicated simulations of both deployments at the model's staffing, and
+// compare loss probability, utilization, and power. This drives the
+// Fig. 10/11 benches and the model-accuracy ablation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/model.hpp"
+#include "datacenter/cluster.hpp"
+#include "sim/replication.hpp"
+
+namespace vmcons::core {
+
+struct DeploymentMeasurement {
+  std::uint64_t servers = 0;
+  sim::ReplicatedEstimate loss;         ///< overall request-loss probability
+  sim::ReplicatedEstimate utilization;  ///< mean busy fraction
+  sim::ReplicatedEstimate power_watts;  ///< mean electrical power
+  std::vector<sim::ReplicatedEstimate> per_service_loss;
+  std::vector<sim::ReplicatedEstimate> per_service_throughput;
+  std::vector<sim::ReplicatedEstimate> per_service_response;
+};
+
+struct ValidationReport {
+  ModelResult model;
+  DeploymentMeasurement dedicated;
+  DeploymentMeasurement consolidated;
+
+  /// |simulated - predicted| for the consolidated loss probability.
+  double consolidated_loss_error() const;
+  /// Simulated utilization improvement (consolidated / dedicated).
+  double measured_utilization_improvement() const;
+  /// Simulated power saving 1 - P_cons / P_ded.
+  double measured_power_saving() const;
+};
+
+struct ValidationOptions {
+  std::size_t replications = 8;
+  std::uint64_t seed = 2009;  // CLUSTER 2009
+  dc::ScenarioOptions scenario;
+  /// Override the consolidated server count (0 = use the model's N).
+  std::uint64_t consolidated_servers = 0;
+  /// Override dedicated staffing (empty = use the model's per-service plan).
+  std::vector<unsigned> dedicated_servers;
+};
+
+/// Solves the model for `inputs` and measures both deployments.
+ValidationReport validate(const ModelInputs& inputs,
+                          const ValidationOptions& options = {});
+
+/// Measures one consolidated deployment (used for the Fig. 10 sweep over
+/// candidate N values).
+DeploymentMeasurement measure_consolidated(const std::vector<dc::ServiceSpec>& services,
+                                           unsigned servers,
+                                           const ValidationOptions& options);
+
+/// Measures one dedicated deployment.
+DeploymentMeasurement measure_dedicated(const std::vector<dc::ServiceSpec>& services,
+                                        const std::vector<unsigned>& servers_per_service,
+                                        const ValidationOptions& options);
+
+}  // namespace vmcons::core

@@ -1,0 +1,241 @@
+#include "datacenter/autoscaler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "sim/engine.hpp"
+#include "stats/timeweighted.hpp"
+#include "util/error.hpp"
+
+namespace vmcons::dc {
+namespace {
+
+class AutoscalerSimulation {
+ public:
+  AutoscalerSimulation(const AutoscalerConfig& config, Rng& rng)
+      : config_(config), rng_(rng) {
+    VMCONS_REQUIRE(!config_.services.empty(), "autoscaler needs services");
+    VMCONS_REQUIRE(config_.min_servers >= 1 &&
+                       config_.min_servers <= config_.max_servers,
+                   "need 1 <= min_servers <= max_servers");
+    VMCONS_REQUIRE(config_.initial_servers >= config_.min_servers &&
+                       config_.initial_servers <= config_.max_servers,
+                   "initial_servers out of range");
+    VMCONS_REQUIRE(config_.control_interval > 0.0,
+                   "control interval must be positive");
+    VMCONS_REQUIRE(config_.low_watermark >= 0.0 &&
+                       config_.low_watermark < config_.high_watermark &&
+                       config_.high_watermark <= 1.0,
+                   "watermarks must satisfy 0 <= low < high <= 1");
+    VMCONS_REQUIRE(config_.diurnal_amplitude >= 0.0 &&
+                       config_.diurnal_amplitude <= 1.0,
+                   "diurnal amplitude must be in [0, 1]");
+    VMCONS_REQUIRE(config_.horizon > config_.warmup, "horizon <= warmup");
+    active_ = config_.initial_servers;
+    for (const auto& service : config_.services) {
+      const double mu = config_.vm_count == 0
+                            ? service.native_bottleneck_rate()
+                            : service.effective_rate(config_.vm_count);
+      service_rates_.push_back(mu);
+    }
+    outcome_.services.resize(config_.services.size());
+  }
+
+  AutoscalerOutcome run() {
+    for (std::size_t i = 0; i < config_.services.size(); ++i) {
+      if (config_.services[i].arrival_rate > 0.0) {
+        schedule_arrival(i);
+      }
+    }
+    engine_.schedule_at(config_.control_interval, [this] { control(); });
+    engine_.schedule_at(config_.warmup, [this] { reset_statistics(); });
+    engine_.run_until(config_.horizon);
+    finalize();
+    return std::move(outcome_);
+  }
+
+ private:
+  // --- workload ------------------------------------------------------------
+  double rate_scale(double now) const {
+    if (config_.diurnal_amplitude == 0.0) {
+      return 1.0;
+    }
+    return 1.0 + config_.diurnal_amplitude *
+                     std::sin(2.0 * std::numbers::pi * now /
+                              config_.diurnal_period);
+  }
+
+  void schedule_arrival(std::size_t service) {
+    // Thinning of a non-homogeneous Poisson process: generate at the peak
+    // rate and accept with probability lambda(t)/lambda_peak.
+    const double peak =
+        config_.services[service].arrival_rate *
+        (1.0 + config_.diurnal_amplitude);
+    engine_.schedule_in(rng_.exponential(peak), [this, service, peak] {
+      const double accept = config_.services[service].arrival_rate *
+                            rate_scale(engine_.now()) / peak;
+      if (rng_.bernoulli(accept)) {
+        on_arrival(service);
+      }
+      schedule_arrival(service);
+    });
+  }
+
+  void on_arrival(std::size_t service) {
+    auto& stats = outcome_.services[service];
+    ++stats.arrivals;
+    ++window_arrivals_;
+    if (busy_ >= active_) {
+      ++stats.lost;
+      ++window_lost_;
+      return;
+    }
+    ++stats.admitted;
+    set_busy(busy_ + 1);
+    const double arrival_time = engine_.now();
+    engine_.schedule_in(rng_.exponential(service_rates_[service]),
+                        [this, service, arrival_time] {
+                          set_busy(busy_ - 1);
+                          auto& done = outcome_.services[service];
+                          ++done.completed;
+                          done.response_time.add(engine_.now() - arrival_time);
+                        });
+  }
+
+  // --- controller ----------------------------------------------------------
+  void control() {
+    // Window-averaged utilization: instantaneous samples of a loss system
+    // are far too noisy to act on (they cause shrink/boot thrash). Any
+    // request loss in the window is treated as a saturated signal.
+    const double now = engine_.now();
+    const double busy_delta = busy_tw_.integral(now) - last_busy_integral_;
+    const double active_delta =
+        active_tw_.integral(now) - last_active_integral_;
+    last_busy_integral_ = busy_tw_.integral(now);
+    last_active_integral_ = active_tw_.integral(now);
+    const double utilization =
+        active_delta <= 0.0 ? 1.0 : busy_delta / active_delta;
+    const bool losing =
+        window_lost_ > 0 &&
+        static_cast<double>(window_lost_) >
+            0.005 * static_cast<double>(std::max<std::uint64_t>(
+                        window_arrivals_, 1));
+    window_arrivals_ = 0;
+    window_lost_ = 0;
+
+    if ((utilization > config_.high_watermark || losing) &&
+        active_ + booting_ < config_.max_servers) {
+      ++booting_;
+      ++outcome_.boots;
+      record_fleet();
+      engine_.schedule_in(config_.boot_delay, [this] {
+        --booting_;
+        set_active(active_ + 1);
+      });
+      boot_energy_total_ += config_.boot_energy_joules;
+    } else if (utilization < config_.low_watermark &&
+               active_ > config_.min_servers && busy_ < active_) {
+      // Drain-free shutdown: only allowed when a server is actually idle.
+      ++outcome_.shutdowns;
+      set_active(active_ - 1);
+    }
+    engine_.schedule_in(config_.control_interval, [this] { control(); });
+  }
+
+  // --- accounting ----------------------------------------------------------
+  void set_busy(unsigned busy) {
+    VMCONS_ASSERT(busy <= active_);
+    busy_ = busy;
+    record_fleet();
+  }
+
+  void set_active(unsigned active) {
+    active_ = active;
+    record_fleet();
+  }
+
+  void record_fleet() {
+    const double now = engine_.now();
+    active_tw_.set(now, static_cast<double>(active_));
+    busy_tw_.set(now, static_cast<double>(busy_));
+    // Power: busy servers at full dynamic draw, the rest of the active
+    // fleet plus booting servers at idle draw, powered-off servers at zero.
+    const double idle = config_.power.watts(0.0);
+    const double full = config_.power.watts(1.0);
+    const double busy_servers =
+        std::min(static_cast<double>(busy_), static_cast<double>(active_));
+    const double watts = busy_servers * full +
+                         (static_cast<double>(active_) - busy_servers) * idle +
+                         static_cast<double>(booting_) * idle;
+    power_tw_.set(now, watts);
+  }
+
+  void reset_statistics() {
+    for (auto& stats : outcome_.services) {
+      stats = ServiceOutcome{};
+    }
+    const double now = engine_.now();
+    warmup_energy_ = power_tw_.integral(now) + boot_energy_total_;
+    warmup_active_integral_ = active_tw_.integral(now);
+    outcome_.boots = 0;
+    outcome_.shutdowns = 0;
+  }
+
+  void finalize() {
+    const double now = config_.horizon;
+    outcome_.measured_span = now - config_.warmup;
+    outcome_.energy_joules =
+        power_tw_.integral(now) + boot_energy_total_ - warmup_energy_;
+    outcome_.mean_power_watts =
+        outcome_.measured_span <= 0.0
+            ? 0.0
+            : outcome_.energy_joules / outcome_.measured_span;
+    outcome_.mean_active_servers =
+        outcome_.measured_span <= 0.0
+            ? 0.0
+            : (active_tw_.integral(now) - warmup_active_integral_) /
+                  outcome_.measured_span;
+  }
+
+  const AutoscalerConfig& config_;
+  Rng& rng_;
+  sim::Engine engine_;
+  std::vector<double> service_rates_;
+  unsigned active_ = 0;
+  unsigned booting_ = 0;
+  unsigned busy_ = 0;
+  TimeWeighted active_tw_;
+  TimeWeighted busy_tw_;
+  TimeWeighted power_tw_;
+  double last_busy_integral_ = 0.0;
+  double last_active_integral_ = 0.0;
+  std::uint64_t window_arrivals_ = 0;
+  std::uint64_t window_lost_ = 0;
+  double boot_energy_total_ = 0.0;
+  double warmup_energy_ = 0.0;
+  double warmup_active_integral_ = 0.0;
+  AutoscalerOutcome outcome_;
+};
+
+}  // namespace
+
+double AutoscalerOutcome::overall_loss() const {
+  std::uint64_t arrivals = 0;
+  std::uint64_t lost = 0;
+  for (const auto& service : services) {
+    arrivals += service.arrivals;
+    lost += service.lost;
+  }
+  return arrivals == 0 ? 0.0
+                       : static_cast<double>(lost) /
+                             static_cast<double>(arrivals);
+}
+
+AutoscalerOutcome simulate_autoscaler(const AutoscalerConfig& config,
+                                      Rng& rng) {
+  AutoscalerSimulation simulation(config, rng);
+  return simulation.run();
+}
+
+}  // namespace vmcons::dc

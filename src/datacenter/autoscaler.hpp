@@ -1,0 +1,64 @@
+// Reactive cluster autoscaler — the baseline class the paper contrasts with.
+//
+// Related work (Section II-B) saves energy by "dynamically reconfiguring
+// (or shrinking) the cluster to operate with fewer nodes under light load";
+// the paper's model instead plans the scale proactively, and argues the two
+// compose. This module implements the reactive side so the composition can
+// be measured: a watermark controller that powers servers on/off in
+// response to observed utilization, with realistic boot latency and boot
+// energy, driven by an optionally diurnal (sinusoidally modulated Poisson)
+// workload.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "datacenter/pool_sim.hpp"  // ServiceOutcome
+#include "datacenter/power.hpp"
+#include "datacenter/service_spec.hpp"
+#include "util/rng.hpp"
+
+namespace vmcons::dc {
+
+struct AutoscalerConfig {
+  std::vector<ServiceSpec> services;
+  /// Fleet bounds: the controller moves within [min_servers, max_servers].
+  unsigned max_servers = 8;
+  unsigned min_servers = 1;
+  unsigned initial_servers = 1;
+  /// Consolidated VM count for the impact curves (0 = native rates).
+  unsigned vm_count = 0;
+  /// Controller: sample utilization every interval; scale up when above the
+  /// high watermark, down when below the low watermark.
+  double control_interval = 30.0;
+  double high_watermark = 0.7;
+  double low_watermark = 0.3;
+  /// A powered-on server becomes usable only after boot_delay seconds, and
+  /// draws idle power while booting; each boot also costs boot_energy extra.
+  double boot_delay = 120.0;
+  double boot_energy_joules = 15000.0;  // ~60 s of idle draw
+  PowerModel power;
+  double horizon = 4000.0;
+  double warmup = 400.0;
+  /// Diurnal modulation: lambda(t) = lambda * (1 + amplitude *
+  /// sin(2 pi t / period)). amplitude = 0 disables it.
+  double diurnal_amplitude = 0.0;
+  double diurnal_period = 3600.0;
+};
+
+struct AutoscalerOutcome {
+  std::vector<ServiceOutcome> services;
+  double measured_span = 0.0;
+  double mean_active_servers = 0.0;  ///< time-average usable servers
+  double energy_joules = 0.0;        ///< active + booting + boot transitions
+  double mean_power_watts = 0.0;
+  std::uint64_t boots = 0;           ///< scale-up transitions
+  std::uint64_t shutdowns = 0;       ///< scale-down transitions
+
+  double overall_loss() const;
+};
+
+/// Runs one replication of the reactive cluster.
+AutoscalerOutcome simulate_autoscaler(const AutoscalerConfig& config, Rng& rng);
+
+}  // namespace vmcons::dc

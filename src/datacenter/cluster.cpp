@@ -1,0 +1,83 @@
+#include "datacenter/cluster.hpp"
+
+#include "util/error.hpp"
+
+namespace vmcons::dc {
+
+double dedicated_slot_rate(const ServiceSpec& service,
+                           unsigned slots_per_server) {
+  VMCONS_REQUIRE(slots_per_server >= 1, "need at least one slot");
+  return service.native_bottleneck_rate() /
+         static_cast<double>(slots_per_server);
+}
+
+double consolidated_slot_rate(const ServiceSpec& service, unsigned vm_count,
+                              unsigned slots_per_server) {
+  VMCONS_REQUIRE(slots_per_server >= 1, "need at least one slot");
+  return service.effective_rate(vm_count) /
+         static_cast<double>(slots_per_server);
+}
+
+PoolOutcome simulate_dedicated(const std::vector<ServiceSpec>& services,
+                               const std::vector<unsigned>& servers_per_service,
+                               const ScenarioOptions& options, Rng& rng) {
+  VMCONS_REQUIRE(!services.empty(), "need at least one service");
+  VMCONS_REQUIRE(services.size() == servers_per_service.size(),
+                 "one server count per service required");
+
+  PoolOutcome merged;
+  merged.measured_span = options.horizon - options.warmup;
+  double busy_weighted_utilization = 0.0;
+  unsigned total_servers = 0;
+
+  for (std::size_t i = 0; i < services.size(); ++i) {
+    LossNetworkConfig config;
+    config.services = {services[i]};
+    config.servers = servers_per_service[i];
+    config.vm_count = 0;  // native Linux
+    config.power = PowerModel::paper_default(Platform::kNativeLinux);
+    config.horizon = options.horizon;
+    config.warmup = options.warmup;
+
+    const LossNetworkOutcome outcome = simulate_loss_network(config, rng);
+    merged.services.push_back(outcome.pool.services.front());
+    merged.energy_joules += outcome.pool.energy_joules;
+    merged.idle_energy_joules += outcome.pool.idle_energy_joules;
+    busy_weighted_utilization +=
+        outcome.pool.mean_utilization *
+        static_cast<double>(servers_per_service[i]);
+    total_servers += servers_per_service[i];
+  }
+  merged.mean_utilization =
+      total_servers == 0
+          ? 0.0
+          : busy_weighted_utilization / static_cast<double>(total_servers);
+  merged.mean_power_watts = merged.measured_span <= 0.0
+                                ? 0.0
+                                : merged.energy_joules / merged.measured_span;
+  return merged;
+}
+
+LossNetworkOutcome simulate_consolidated_detailed(
+    const std::vector<ServiceSpec>& services, unsigned servers,
+    const ScenarioOptions& options, Rng& rng) {
+  VMCONS_REQUIRE(!services.empty(), "need at least one service");
+  LossNetworkConfig config;
+  config.services = services;
+  config.servers = servers;
+  config.vm_count = options.vms_per_server != 0
+                        ? options.vms_per_server
+                        : static_cast<unsigned>(services.size());
+  config.power = PowerModel::paper_default(Platform::kXen);
+  config.horizon = options.horizon;
+  config.warmup = options.warmup;
+  return simulate_loss_network(config, rng);
+}
+
+PoolOutcome simulate_consolidated(const std::vector<ServiceSpec>& services,
+                                  unsigned servers,
+                                  const ScenarioOptions& options, Rng& rng) {
+  return simulate_consolidated_detailed(services, servers, options, rng).pool;
+}
+
+}  // namespace vmcons::dc

@@ -1,0 +1,62 @@
+// Scenario builders: the paper's two deployments (Fig. 1/Fig. 3).
+//
+// Dedicated:    each service gets its own pool of native-Linux servers; a
+//               request holds each resource it demands at the native rate.
+//               No capacity flows between services (Fig. 3a).
+// Consolidated: one shared pool of Xen servers, each hosting one VM per
+//               service; on-demand resource flowing lets any request use any
+//               free resource unit, at the virtualization-degraded rate
+//               (Fig. 3b). Power uses the Xen platform deltas.
+//
+// Both deployments are simulated as multi-resource Erlang loss networks
+// (datacenter/loss_network.hpp). For scheduler/dispatcher studies that need
+// slots, queues, and allocation policies, use datacenter/pool_sim.hpp
+// directly.
+#pragma once
+
+#include <vector>
+
+#include "datacenter/loss_network.hpp"
+#include "datacenter/pool_sim.hpp"
+#include "datacenter/service_spec.hpp"
+
+namespace vmcons::dc {
+
+/// Knobs shared by both deployments.
+struct ScenarioOptions {
+  double horizon = 2000.0;
+  double warmup = 200.0;
+  /// Co-resident VMs per consolidated server; 0 = one VM per service.
+  unsigned vms_per_server = 0;
+};
+
+/// Simulates the dedicated deployment: services[i] runs alone on
+/// servers_per_service[i] native servers. Outcomes are merged (per-service
+/// stats in order; energy and utilization aggregated across all pools).
+PoolOutcome simulate_dedicated(const std::vector<ServiceSpec>& services,
+                               const std::vector<unsigned>& servers_per_service,
+                               const ScenarioOptions& options, Rng& rng);
+
+/// Simulates the consolidated deployment on `servers` shared Xen hosts, each
+/// hosting one VM per service (so the impact curves see v = services.size()
+/// co-resident VMs unless options.vms_per_server overrides it).
+PoolOutcome simulate_consolidated(const std::vector<ServiceSpec>& services,
+                                  unsigned servers,
+                                  const ScenarioOptions& options, Rng& rng);
+
+/// As simulate_consolidated but returning per-resource utilizations too
+/// (the CPU utilization is what the paper's Fig. 11 claim measures).
+LossNetworkOutcome simulate_consolidated_detailed(
+    const std::vector<ServiceSpec>& services, unsigned servers,
+    const ScenarioOptions& options, Rng& rng);
+
+/// Per-slot service rate used for service i in a consolidated PoolSim with
+/// one VM per service per host: min_j mu_ij * a_ij(v) / slots_per_server.
+double consolidated_slot_rate(const ServiceSpec& service, unsigned vm_count,
+                              unsigned slots_per_server);
+
+/// Per-slot rate in a dedicated native PoolSim: bottleneck mu / slots.
+double dedicated_slot_rate(const ServiceSpec& service,
+                           unsigned slots_per_server);
+
+}  // namespace vmcons::dc

@@ -1,0 +1,87 @@
+// Request dispatchers (the LVS layer of the testbed).
+//
+// The paper fronts both services with LVS using round-robin; the simulator
+// also offers least-loaded and uniform-random for the dispatch ablation.
+// A dispatcher only picks among servers the allocation policy admits, so the
+// same component serves dedicated pools, work-conserving consolidated pools,
+// and partitioned pools.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace vmcons::dc {
+
+enum class DispatchPolicy {
+  kRoundRobin,   ///< LVS rr, the paper's configuration
+  kLeastLoaded,  ///< fewest busy slots first
+  kRandom,       ///< uniform among admissible servers
+};
+
+class Dispatcher {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  Dispatcher(DispatchPolicy policy, std::size_t server_count)
+      : policy_(policy), server_count_(server_count) {}
+
+  /// Chooses a server index in [0, server_count) among those for which
+  /// admissible(s) is true, following the policy; returns npos when no
+  /// server is admissible. `load(s)` returns the busy-slot count used by
+  /// the least-loaded policy.
+  template <typename AdmitFn, typename LoadFn>
+  std::size_t select(AdmitFn&& admissible, LoadFn&& load, Rng& rng) {
+    switch (policy_) {
+      case DispatchPolicy::kRoundRobin: {
+        for (std::size_t step = 0; step < server_count_; ++step) {
+          const std::size_t candidate = (cursor_ + step) % server_count_;
+          if (admissible(candidate)) {
+            cursor_ = (candidate + 1) % server_count_;
+            return candidate;
+          }
+        }
+        return npos;
+      }
+      case DispatchPolicy::kLeastLoaded: {
+        std::size_t best = npos;
+        double best_load = 0.0;
+        for (std::size_t s = 0; s < server_count_; ++s) {
+          if (!admissible(s)) {
+            continue;
+          }
+          const double current = load(s);
+          if (best == npos || current < best_load) {
+            best = s;
+            best_load = current;
+          }
+        }
+        return best;
+      }
+      case DispatchPolicy::kRandom: {
+        candidates_.clear();
+        for (std::size_t s = 0; s < server_count_; ++s) {
+          if (admissible(s)) {
+            candidates_.push_back(s);
+          }
+        }
+        if (candidates_.empty()) {
+          return npos;
+        }
+        return candidates_[rng.uniform_index(candidates_.size())];
+      }
+    }
+    return npos;
+  }
+
+  DispatchPolicy policy() const noexcept { return policy_; }
+
+ private:
+  DispatchPolicy policy_;
+  std::size_t server_count_;
+  std::size_t cursor_ = 0;
+  std::vector<std::size_t> candidates_;  // scratch for kRandom
+};
+
+}  // namespace vmcons::dc

@@ -1,0 +1,208 @@
+#include "datacenter/loss_network.hpp"
+
+#include <array>
+#include <memory>
+
+#include "sim/engine.hpp"
+#include "stats/timeweighted.hpp"
+#include "util/error.hpp"
+#include "workload/arrival.hpp"
+
+namespace vmcons::dc {
+namespace {
+
+class NetworkSimulation {
+ public:
+  NetworkSimulation(const LossNetworkConfig& config, Rng& rng)
+      : config_(config), rng_(rng), meter_(config.power) {
+    VMCONS_REQUIRE(!config_.services.empty(), "network needs a service");
+    VMCONS_REQUIRE(config_.servers >= 1, "network needs a server");
+    VMCONS_REQUIRE(config_.horizon > config_.warmup && config_.warmup >= 0.0,
+                   "horizon must exceed warmup");
+    for (const auto& service : config_.services) {
+      VMCONS_REQUIRE(service.native_rates.any_positive(),
+                     "service '" + service.name + "' demands no resource");
+      // Effective holding rate per (service, resource).
+      ResourceVector rates;
+      for (const Resource resource : all_resources()) {
+        const double mu = service.native_rates[resource];
+        if (mu <= 0.0) {
+          continue;
+        }
+        rates[resource] = config_.vm_count == 0
+                              ? mu
+                              : mu * service.impact_factor(resource,
+                                                           config_.vm_count);
+      }
+      effective_rates_.push_back(rates);
+    }
+    outcome_.pool.services.resize(config_.services.size());
+  }
+
+  LossNetworkOutcome run() {
+    VMCONS_REQUIRE(config_.burst_ratio >= 1.0,
+                   "burst ratio must be >= 1 (1 = Poisson)");
+    for (std::size_t i = 0; i < config_.services.size(); ++i) {
+      const double lambda = config_.services[i].arrival_rate;
+      if (lambda <= 0.0) {
+        arrivals_.emplace_back(workload::PoissonProcess(1.0));  // unused
+        continue;
+      }
+      if (config_.burst_ratio > 1.0) {
+        arrivals_.emplace_back(workload::Mmpp2Process::with_mean_rate(
+            lambda, config_.burst_ratio, config_.burst_dwell));
+      } else {
+        arrivals_.emplace_back(workload::PoissonProcess(lambda));
+      }
+      schedule_arrival(i);
+    }
+    engine_.schedule_at(config_.warmup, [this] { reset_statistics(); });
+    engine_.run_until(config_.horizon);
+    finalize();
+    return std::move(outcome_);
+  }
+
+ private:
+  void schedule_arrival(std::size_t service) {
+    engine_.schedule_in(workload::next_gap(arrivals_[service], rng_),
+                        [this, service] {
+                          on_arrival(service);
+                          schedule_arrival(service);
+                        });
+  }
+
+  void on_arrival(std::size_t service) {
+    auto& stats = outcome_.pool.services[service];
+    ++stats.arrivals;
+    // Admission: every demanded resource needs a free unit.
+    for (const Resource resource : all_resources()) {
+      if (effective_rates_[service][resource] > 0.0 &&
+          busy_[index(resource)] >= config_.servers) {
+        ++stats.lost;
+        return;
+      }
+    }
+    ++stats.admitted;
+    const double arrival_time = engine_.now();
+    // Independent holding per resource; the request completes when the last
+    // resource releases.
+    auto remaining = std::make_shared<unsigned>(0);
+    for (const Resource resource : all_resources()) {
+      const double rate = effective_rates_[service][resource];
+      if (rate <= 0.0) {
+        continue;
+      }
+      ++*remaining;
+      acquire(resource);
+      engine_.schedule_in(rng_.exponential(rate),
+                          [this, service, resource, arrival_time, remaining] {
+                            release(resource);
+                            if (--*remaining == 0) {
+                              auto& done = outcome_.pool.services[service];
+                              ++done.completed;
+                              done.response_time.add(engine_.now() -
+                                                     arrival_time);
+                            }
+                          });
+    }
+  }
+
+  static std::size_t index(Resource resource) {
+    return static_cast<std::size_t>(resource);
+  }
+
+  void acquire(Resource resource) {
+    auto& busy = busy_[index(resource)];
+    VMCONS_ASSERT(busy < config_.servers);
+    ++busy;
+    record(resource);
+  }
+
+  void release(Resource resource) {
+    auto& busy = busy_[index(resource)];
+    VMCONS_ASSERT(busy > 0);
+    --busy;
+    record(resource);
+  }
+
+  void record(Resource resource) {
+    const double now = engine_.now();
+    busy_tw_[index(resource)].set(now, busy_[index(resource)]);
+    unsigned peak = 0;
+    for (const unsigned busy : busy_) {
+      peak = std::max(peak, busy);
+    }
+    occupied_tw_.set(now, static_cast<double>(peak));
+    meter_.set_utilization(now,
+                           static_cast<double>(peak) / config_.servers);
+  }
+
+  void reset_statistics() {
+    for (auto& stats : outcome_.pool.services) {
+      stats = ServiceOutcome{};
+    }
+    const double now = engine_.now();
+    warmup_energy_ = meter_.energy_joules(now);
+    warmup_idle_energy_ = meter_.idle_energy_joules(now);
+    warmup_occupied_integral_ = occupied_tw_.integral(now);
+    for (std::size_t j = 0; j < kResourceCount; ++j) {
+      warmup_busy_integral_[j] = busy_tw_[j].integral(now);
+    }
+  }
+
+  void finalize() {
+    const double now = config_.horizon;
+    auto& pool = outcome_.pool;
+    pool.measured_span = now - config_.warmup;
+    pool.energy_joules =
+        config_.servers * (meter_.energy_joules(now) - warmup_energy_);
+    pool.idle_energy_joules =
+        config_.servers *
+        (meter_.idle_energy_joules(now) - warmup_idle_energy_);
+    pool.mean_power_watts =
+        pool.measured_span <= 0.0 ? 0.0
+                                  : pool.energy_joules / pool.measured_span;
+    const double denominator =
+        pool.measured_span * static_cast<double>(config_.servers);
+    pool.mean_utilization =
+        denominator <= 0.0
+            ? 0.0
+            : (occupied_tw_.integral(now) - warmup_occupied_integral_) /
+                  denominator;
+    for (const Resource resource : all_resources()) {
+      const std::size_t j = index(resource);
+      outcome_.resource_utilization[resource] =
+          denominator <= 0.0
+              ? 0.0
+              : (busy_tw_[j].integral(now) - warmup_busy_integral_[j]) /
+                    denominator;
+    }
+  }
+
+  const LossNetworkConfig& config_;
+  Rng& rng_;
+  sim::Engine engine_;
+  std::vector<workload::ArrivalProcess> arrivals_;
+  std::vector<ResourceVector> effective_rates_;
+  std::array<unsigned, kResourceCount> busy_{};
+  std::array<TimeWeighted, kResourceCount> busy_tw_{};
+  TimeWeighted occupied_tw_;
+  // One meter models the whole pool: utilization is the busy-host fraction,
+  // so total energy = servers * per-host-profile energy at that fraction.
+  EnergyMeter meter_;
+  double warmup_energy_ = 0.0;
+  double warmup_idle_energy_ = 0.0;
+  double warmup_occupied_integral_ = 0.0;
+  std::array<double, kResourceCount> warmup_busy_integral_{};
+  LossNetworkOutcome outcome_;
+};
+
+}  // namespace
+
+LossNetworkOutcome simulate_loss_network(const LossNetworkConfig& config,
+                                         Rng& rng) {
+  NetworkSimulation simulation(config, rng);
+  return simulation.run();
+}
+
+}  // namespace vmcons::dc

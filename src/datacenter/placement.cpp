@@ -1,0 +1,204 @@
+#include "datacenter/placement.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace vmcons::dc {
+namespace {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+struct HostLoad {
+  unsigned cores = 0;
+  double memory = 0.0;
+  std::vector<bool> services;  // service present on this host?
+};
+
+bool fits(const VmRequirement& vm, const HostLoad& load, const HostShape& host,
+          bool anti_affinity) {
+  if (load.cores + vm.vcpus > host.usable_cores()) {
+    return false;
+  }
+  if (load.memory + vm.memory_gb > host.usable_memory_gb() + 1e-12) {
+    return false;
+  }
+  if (anti_affinity && vm.service < load.services.size() &&
+      load.services[vm.service]) {
+    return false;
+  }
+  return true;
+}
+
+void place(const VmRequirement& vm, HostLoad& load) {
+  load.cores += vm.vcpus;
+  load.memory += vm.memory_gb;
+  if (vm.service >= load.services.size()) {
+    load.services.resize(vm.service + 1, false);
+  }
+  load.services[vm.service] = true;
+}
+
+void validate_shape(const HostShape& host) {
+  VMCONS_REQUIRE(host.cpu_cores > host.reserved_cores,
+                 "host has no usable cores");
+  VMCONS_REQUIRE(host.memory_gb > host.reserved_memory_gb,
+                 "host has no usable memory");
+}
+
+void validate_vms(const std::vector<VmRequirement>& vms,
+                  const HostShape& host) {
+  for (const auto& vm : vms) {
+    VMCONS_REQUIRE(vm.vcpus >= 1, "VM '" + vm.name + "' needs >= 1 vCPU");
+    VMCONS_REQUIRE(vm.memory_gb > 0.0,
+                   "VM '" + vm.name + "' needs positive memory");
+    VMCONS_REQUIRE(vm.vcpus <= host.usable_cores() &&
+                       vm.memory_gb <= host.usable_memory_gb() + 1e-12,
+                   "VM '" + vm.name + "' does not fit any host");
+  }
+}
+
+}  // namespace
+
+Placement pack_vms(const std::vector<VmRequirement>& vms,
+                   const HostShape& host, std::size_t max_hosts,
+                   PackingHeuristic heuristic,
+                   bool one_vm_per_service_per_host) {
+  validate_shape(host);
+  validate_vms(vms, host);
+
+  // Order: decreasing "size" (cores dominant, memory tie-break) for FFD;
+  // input order for best-fit.
+  std::vector<std::size_t> order(vms.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (heuristic == PackingHeuristic::kFirstFitDecreasing) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (vms[a].vcpus != vms[b].vcpus) {
+        return vms[a].vcpus > vms[b].vcpus;
+      }
+      return vms[a].memory_gb > vms[b].memory_gb;
+    });
+  }
+
+  Placement placement;
+  std::vector<HostLoad> loads;
+  placement.feasible = true;
+  for (const std::size_t index : order) {
+    const VmRequirement& vm = vms[index];
+    std::size_t chosen = kNpos;
+    if (heuristic == PackingHeuristic::kBestFit) {
+      // Host with the least remaining cores that still fits.
+      unsigned best_slack = std::numeric_limits<unsigned>::max();
+      for (std::size_t h = 0; h < loads.size(); ++h) {
+        if (!fits(vm, loads[h], host, one_vm_per_service_per_host)) {
+          continue;
+        }
+        const unsigned slack = host.usable_cores() - loads[h].cores - vm.vcpus;
+        if (slack < best_slack) {
+          best_slack = slack;
+          chosen = h;
+        }
+      }
+    } else {
+      for (std::size_t h = 0; h < loads.size(); ++h) {
+        if (fits(vm, loads[h], host, one_vm_per_service_per_host)) {
+          chosen = h;
+          break;
+        }
+      }
+    }
+    if (chosen == kNpos) {
+      if (loads.size() >= max_hosts) {
+        placement.feasible = false;
+        continue;  // keep packing the rest for the partial answer
+      }
+      loads.emplace_back();
+      placement.assignments.emplace_back();
+      chosen = loads.size() - 1;
+    }
+    place(vm, loads[chosen]);
+    placement.assignments[chosen].push_back(index);
+  }
+  return placement;
+}
+
+std::size_t min_hosts(const std::vector<VmRequirement>& vms,
+                      const HostShape& host, PackingHeuristic heuristic,
+                      bool one_vm_per_service_per_host) {
+  if (vms.empty()) {
+    return 0;
+  }
+  const Placement placement =
+      pack_vms(vms, host, vms.size(), heuristic, one_vm_per_service_per_host);
+  VMCONS_ASSERT(placement.feasible);
+  return placement.hosts_used();
+}
+
+Replan replan_minimal_migrations(const std::vector<VmRequirement>& vms,
+                                 const std::vector<std::size_t>& current,
+                                 const HostShape& host,
+                                 std::size_t max_hosts) {
+  validate_shape(host);
+  validate_vms(vms, host);
+  VMCONS_REQUIRE(current.size() == vms.size(),
+                 "one current host per VM required (npos if unplaced)");
+
+  Replan replan;
+  std::vector<HostLoad> loads(max_hosts);
+  replan.placement.assignments.resize(max_hosts);
+  replan.placement.feasible = true;
+
+  // Pass 1: keep every VM whose current host still fits it.
+  std::vector<std::size_t> displaced;
+  for (std::size_t i = 0; i < vms.size(); ++i) {
+    const std::size_t h = current[i];
+    if (h != kNpos && h < max_hosts && fits(vms[i], loads[h], host, false)) {
+      place(vms[i], loads[h]);
+      replan.placement.assignments[h].push_back(i);
+    } else {
+      displaced.push_back(i);
+    }
+  }
+  // Pass 2: first-fit the displaced VMs into the remaining capacity,
+  // largest first (fewer dead ends).
+  std::sort(displaced.begin(), displaced.end(),
+            [&](std::size_t a, std::size_t b) {
+              return vms[a].vcpus > vms[b].vcpus;
+            });
+  for (const std::size_t i : displaced) {
+    std::size_t chosen = kNpos;
+    for (std::size_t h = 0; h < max_hosts; ++h) {
+      if (fits(vms[i], loads[h], host, false)) {
+        chosen = h;
+        break;
+      }
+    }
+    if (chosen == kNpos) {
+      replan.placement.feasible = false;
+      continue;
+    }
+    place(vms[i], loads[chosen]);
+    replan.placement.assignments[chosen].push_back(i);
+    if (current[i] != kNpos) {
+      ++replan.migrations;  // it had a host and moved
+    }
+  }
+  // Trim empty trailing hosts for a tidy hosts_used().
+  while (!replan.placement.assignments.empty() &&
+         replan.placement.assignments.back().empty()) {
+    replan.placement.assignments.pop_back();
+  }
+  return replan;
+}
+
+VmRequirement paper_web_vm_requirement(std::uint32_t index) {
+  return {"web-vm-" + std::to_string(index), 1, 1.0, 0};
+}
+
+VmRequirement paper_db_vm_requirement(std::uint32_t index) {
+  return {"db-vm-" + std::to_string(index), 6, 1.0, 1};
+}
+
+}  // namespace vmcons::dc

@@ -1,0 +1,82 @@
+// VM-to-host placement: the feasibility check behind the model's N.
+//
+// The Erlang staffing says how many servers the *rates* need; the VMs also
+// have discrete footprints (vCPUs, memory). This module packs VM
+// requirements onto hosts (first-fit-decreasing and best-fit heuristics),
+// verifies that the model's N is footprint-feasible (in the paper's
+// testbed: 1 Web VM + 1 DB VM + Domain-0 per host), and replans with
+// minimal migrations when the VM set changes — the Entropy/ReCon-style
+// dynamic-consolidation baseline of the paper's Related Work.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vmcons::dc {
+
+struct VmRequirement {
+  std::string name;
+  unsigned vcpus = 1;
+  double memory_gb = 1.0;
+  std::uint32_t service = 0;  ///< owning service (for anti-affinity rules)
+};
+
+struct HostShape {
+  unsigned cpu_cores = 8;
+  double memory_gb = 8.0;
+  /// Capacity reserved for the hypervisor (the paper's Domain-0 keeps two
+  /// cores and the leftover memory).
+  unsigned reserved_cores = 2;
+  double reserved_memory_gb = 1.0;
+
+  unsigned usable_cores() const { return cpu_cores - reserved_cores; }
+  double usable_memory_gb() const { return memory_gb - reserved_memory_gb; }
+};
+
+struct Placement {
+  /// assignments[h] lists the indices (into the input VM vector) on host h.
+  std::vector<std::vector<std::size_t>> assignments;
+  bool feasible = false;
+
+  std::size_t hosts_used() const { return assignments.size(); }
+};
+
+enum class PackingHeuristic { kFirstFitDecreasing, kBestFit };
+
+/// Packs the VMs onto at most `max_hosts` hosts of the given shape.
+/// Infeasible results still return the partial packing (assignments cover
+/// the prefix of VMs that fit) with feasible = false.
+/// When `one_vm_per_service_per_host` is set, two VMs of the same service
+/// never share a host (the paper's deployment: each host runs one Web VM
+/// and one DB VM).
+Placement pack_vms(const std::vector<VmRequirement>& vms,
+                   const HostShape& host, std::size_t max_hosts,
+                   PackingHeuristic heuristic = PackingHeuristic::kFirstFitDecreasing,
+                   bool one_vm_per_service_per_host = false);
+
+/// Minimum hosts needed for the VM set (scans upward from the volume bound).
+std::size_t min_hosts(const std::vector<VmRequirement>& vms,
+                      const HostShape& host,
+                      PackingHeuristic heuristic = PackingHeuristic::kFirstFitDecreasing,
+                      bool one_vm_per_service_per_host = false);
+
+struct Replan {
+  Placement placement;
+  std::size_t migrations = 0;  ///< VMs that changed host
+};
+
+/// Re-places `vms` given their current placement, preferring to keep every
+/// VM where it is (Entropy-style minimal reconfiguration): VMs that still
+/// fit on their current host stay; the rest are packed into the remaining
+/// capacity. `current` maps VM index -> host index (npos = not placed).
+Replan replan_minimal_migrations(const std::vector<VmRequirement>& vms,
+                                 const std::vector<std::size_t>& current,
+                                 const HostShape& host,
+                                 std::size_t max_hosts);
+
+/// The paper's VM footprints: Web VM (1 vCPU, 1 GB), DB VM (6 vCPUs, 1 GB).
+VmRequirement paper_web_vm_requirement(std::uint32_t index);
+VmRequirement paper_db_vm_requirement(std::uint32_t index);
+
+}  // namespace vmcons::dc

@@ -1,0 +1,94 @@
+// Loss/queueing simulation of a server pool hosting one or more services.
+//
+// This is the simulated stand-in for the paper's testbed. A pool is a set of
+// homogeneous physical servers, each offering `slots_per_server` concurrent
+// service positions. Requests of service i arrive as a Poisson process with
+// rate lambda_i and hold one slot for an exponential time with the
+// per-slot rate supplied by the caller (native bottleneck rate for dedicated
+// pools; Eq. (4)-style virtualization-degraded rate for consolidated ones).
+//
+//   * queue_capacity = 0 reproduces the pure Erlang loss system the model
+//     assumes (requests finding no slot are lost);
+//   * queue_capacity > 0 adds a shared FIFO waiting room (M/M/c/K), used by
+//     the response-time experiments (Fig. 9) and the waiting-room extension;
+//   * the allocation policy decides which slots a service may use, modelling
+//     on-demand resource flowing vs static partitioning (Section III-B4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "datacenter/dispatcher.hpp"
+#include "datacenter/power.hpp"
+#include "stats/summary.hpp"
+#include "util/rng.hpp"
+
+namespace vmcons::dc {
+
+enum class AllocationPolicy {
+  /// Ideal on-demand resource flowing among VMs: any request may use any
+  /// free slot on any server (work conserving) — the model's assumption 4.
+  kOnDemandFlowing,
+  /// Each service owns a fixed quota of slots on every server; unused
+  /// capacity cannot flow to other services.
+  kStaticPartition,
+  /// Quotas recomputed every realloc_interval proportionally to the recent
+  /// arrival mix; each reallocation freezes admission for realloc_overhead
+  /// seconds (the cost of reconfiguring VMs).
+  kProportionalShare,
+};
+
+struct PoolConfig {
+  std::vector<double> arrival_rates;  ///< lambda per service (req/s)
+  std::vector<double> service_rates;  ///< per-slot service rate per service
+  unsigned servers = 1;
+  unsigned slots_per_server = 1;
+  unsigned queue_capacity = 0;  ///< shared waiting places (0 = pure loss)
+  DispatchPolicy dispatch = DispatchPolicy::kLeastLoaded;
+  AllocationPolicy allocation = AllocationPolicy::kOnDemandFlowing;
+  /// Per-service slots per server for kStaticPartition (must sum to at most
+  /// slots_per_server); also the starting quotas for kProportionalShare.
+  /// Empty = split slots evenly.
+  std::vector<unsigned> static_quotas;
+  double realloc_interval = 5.0;   ///< seconds between quota recomputations
+  double realloc_overhead = 0.0;   ///< admission freeze per reallocation
+  PowerModel power;
+  double horizon = 2000.0;  ///< simulated seconds
+  double warmup = 200.0;    ///< stats reset point
+};
+
+struct ServiceOutcome {
+  std::uint64_t arrivals = 0;
+  std::uint64_t admitted = 0;   ///< entered service or queue
+  std::uint64_t lost = 0;
+  std::uint64_t completed = 0;
+  Summary response_time;        ///< wait + service of completed requests
+
+  double loss_probability() const {
+    return arrivals == 0
+               ? 0.0
+               : static_cast<double>(lost) / static_cast<double>(arrivals);
+  }
+  double throughput(double span) const {
+    return span <= 0.0 ? 0.0 : static_cast<double>(completed) / span;
+  }
+};
+
+struct PoolOutcome {
+  std::vector<ServiceOutcome> services;
+  double measured_span = 0.0;        ///< horizon - warmup
+  double mean_utilization = 0.0;     ///< busy slots / total slots, time avg
+  double energy_joules = 0.0;        ///< all servers, over measured span
+  double idle_energy_joules = 0.0;   ///< idle draw over the same span
+  double mean_power_watts = 0.0;
+
+  std::uint64_t total_arrivals() const;
+  std::uint64_t total_lost() const;
+  double overall_loss() const;
+  double total_throughput() const;
+};
+
+/// Runs one replication of the pool simulation.
+PoolOutcome simulate_pool(const PoolConfig& config, Rng& rng);
+
+}  // namespace vmcons::dc

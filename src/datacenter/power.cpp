@@ -1,0 +1,52 @@
+#include "datacenter/power.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace vmcons::dc {
+
+double PowerModel::watts(double utilization) const {
+  VMCONS_REQUIRE(utilization >= 0.0 && utilization <= 1.0 + 1e-9,
+                 "utilization must be in [0, 1]");
+  utilization = std::clamp(utilization, 0.0, 1.0);
+  double base = base_watts;
+  double dynamic_range = max_watts - base_watts;
+  if (platform == Platform::kXen) {
+    base *= kXenIdleFactor;
+    dynamic_range *= kXenDynamicFactor;
+  }
+  return base + dynamic_range * utilization;
+}
+
+PowerModel PowerModel::paper_default(Platform platform) {
+  PowerModel model;
+  model.platform = platform;
+  return model;
+}
+
+double EnergyMeter::energy_joules(double now) const {
+  // E = P_idle * T + P_dynamic_range * integral(u dt).
+  const double span = now - start_time_;
+  if (span <= 0.0) {
+    return 0.0;
+  }
+  const double idle = model_.watts(0.0);
+  const double busy = model_.watts(1.0);
+  return idle * span + (busy - idle) * utilization_.integral(now);
+}
+
+double EnergyMeter::mean_watts(double now) const {
+  const double span = now - start_time_;
+  if (span <= 0.0) {
+    return model_.watts(utilization_.value());
+  }
+  return energy_joules(now) / span;
+}
+
+double EnergyMeter::idle_energy_joules(double now) const {
+  const double span = now - start_time_;
+  return span <= 0.0 ? 0.0 : model_.watts(0.0) * span;
+}
+
+}  // namespace vmcons::dc

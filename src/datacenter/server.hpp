@@ -1,0 +1,76 @@
+// A simulated physical server: capacity slots, busy tracking, energy.
+//
+// Following the queueing abstraction of the paper, a physical server offers
+// `slots` concurrent service positions (slots = 1 gives the exact Erlang
+// picture of one request in service per server; slots > 1 models a host
+// whose capacity is subdivided among vCPU-like shares for the scheduler
+// studies). Utilization is busy_slots / slots, integrated over time for the
+// power model of Eq. (12)-(13).
+#pragma once
+
+#include <cstdint>
+
+#include "datacenter/power.hpp"
+#include "stats/timeweighted.hpp"
+#include "util/error.hpp"
+
+namespace vmcons::dc {
+
+class PhysicalServer {
+ public:
+  PhysicalServer(std::uint32_t id, unsigned slots, PowerModel power)
+      : id_(id), slots_(slots), busy_(0.0, 0.0), meter_(power) {
+    VMCONS_REQUIRE(slots >= 1, "server needs at least one slot");
+  }
+
+  std::uint32_t id() const noexcept { return id_; }
+  unsigned slots() const noexcept { return slots_; }
+  unsigned busy() const noexcept { return busy_count_; }
+  unsigned free() const noexcept { return slots_ - busy_count_; }
+  bool has_free_slot() const noexcept { return busy_count_ < slots_; }
+
+  /// Claims one slot at simulated time `now`.
+  void occupy(double now) {
+    VMCONS_ASSERT(busy_count_ < slots_);
+    ++busy_count_;
+    record(now);
+  }
+
+  /// Releases one slot at simulated time `now`.
+  void release(double now) {
+    VMCONS_ASSERT(busy_count_ > 0);
+    --busy_count_;
+    record(now);
+  }
+
+  /// Instantaneous utilization in [0, 1].
+  double utilization() const noexcept {
+    return static_cast<double>(busy_count_) / static_cast<double>(slots_);
+  }
+
+  /// Time-averaged utilization over [0, now].
+  double mean_utilization(double now) const { return busy_.average(now) / slots_; }
+
+  /// Integral of busy slots over time (slot-seconds of work served).
+  double busy_integral(double now) const { return busy_.integral(now); }
+
+  double energy_joules(double now) const { return meter_.energy_joules(now); }
+  double idle_energy_joules(double now) const {
+    return meter_.idle_energy_joules(now);
+  }
+  double mean_watts(double now) const { return meter_.mean_watts(now); }
+
+ private:
+  void record(double now) {
+    busy_.set(now, static_cast<double>(busy_count_));
+    meter_.set_utilization(now, utilization());
+  }
+
+  std::uint32_t id_;
+  unsigned slots_;
+  unsigned busy_count_ = 0;
+  TimeWeighted busy_;
+  EnergyMeter meter_;
+};
+
+}  // namespace vmcons::dc

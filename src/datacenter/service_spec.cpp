@@ -1,0 +1,58 @@
+#include "datacenter/service_spec.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace vmcons::dc {
+
+ServiceSpec& ServiceSpec::demand(Resource resource, double native_rate,
+                                 virt::Impact impact) {
+  VMCONS_REQUIRE(native_rate >= 0.0, "native rate must be >= 0");
+  native_rates[resource] = native_rate;
+  impacts[static_cast<std::size_t>(resource)] = std::move(impact);
+  return *this;
+}
+
+double ServiceSpec::native_bottleneck_rate() const {
+  const double rate =
+      native_rates.min_positive(std::numeric_limits<double>::infinity());
+  VMCONS_REQUIRE(rate != std::numeric_limits<double>::infinity(),
+                 "service '" + name + "' demands no resource");
+  return rate;
+}
+
+double ServiceSpec::effective_rate(unsigned vm_count) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const Resource resource : all_resources()) {
+    const double mu = native_rates[resource];
+    if (mu <= 0.0) {
+      continue;
+    }
+    best = std::min(best, mu * impact_factor(resource, vm_count));
+  }
+  VMCONS_REQUIRE(best != std::numeric_limits<double>::infinity(),
+                 "service '" + name + "' demands no resource");
+  return best;
+}
+
+double ServiceSpec::impact_factor(Resource resource, unsigned vm_count) const {
+  return impacts[static_cast<std::size_t>(resource)].factor(vm_count);
+}
+
+ServiceSpec paper_web_service() {
+  ServiceSpec spec;
+  spec.name = "web";
+  spec.demand(Resource::kDiskIo, 420.0, virt::Impact::constant(0.8));
+  spec.demand(Resource::kCpu, 3360.0, virt::Impact::constant(0.65));
+  return spec;
+}
+
+ServiceSpec paper_db_service() {
+  ServiceSpec spec;
+  spec.name = "db";
+  spec.demand(Resource::kCpu, 100.0, virt::Impact::constant(0.9));
+  return spec;
+}
+
+}  // namespace vmcons::dc

@@ -1,0 +1,49 @@
+// Service specification shared by the analytic model and the simulator.
+//
+// A service is characterized exactly as in Section III-B2: an average
+// arrival rate lambda_i, a per-resource native serving rate mu_ij (requests
+// per second that one dedicated physical server sustains when that resource
+// is the only constraint; 0 = the service does not demand the resource),
+// and a virtualization impact curve a_ij per resource.
+#pragma once
+
+#include <array>
+#include <limits>
+#include <string>
+
+#include "datacenter/resource.hpp"
+#include "virt/impact.hpp"
+
+namespace vmcons::dc {
+
+struct ServiceSpec {
+  std::string name;
+  double arrival_rate = 0.0;   ///< lambda_i, requests/second
+  ResourceVector native_rates; ///< mu_ij per dedicated server (0 = no demand)
+  std::array<virt::Impact, kResourceCount> impacts;  ///< a_ij(v) curves
+
+  /// Sets the native rate and impact curve of one resource.
+  ServiceSpec& demand(Resource resource, double native_rate,
+                      virt::Impact impact = virt::Impact::none());
+
+  /// Bottleneck native rate: the smallest positive mu_ij. This is the
+  /// per-server service rate of requests on a dedicated native server.
+  double native_bottleneck_rate() const;
+
+  /// Effective per-server service rate when hosted in one of `vm_count`
+  /// co-resident VMs: min over demanded resources of mu_ij * a_ij(v),
+  /// with a clamped to (0, 1] as in the model's definition.
+  double effective_rate(unsigned vm_count) const;
+
+  /// Impact factor of one resource at the given VM count (clamped).
+  double impact_factor(Resource resource, unsigned vm_count) const;
+};
+
+/// The paper's case-study services (Section IV-C2 inputs):
+///   Web: mu_wi = 420 (disk I/O), mu_wc = 3360 (CPU); a_wi = 0.8, a_wc = 0.65
+///   DB:  mu_dc = 100 (CPU); disk demand ~ 0; a_dc = 0.9
+/// `arrival_rate` is left 0; the caller sets the workload point.
+ServiceSpec paper_web_service();
+ServiceSpec paper_db_service();
+
+}  // namespace vmcons::dc

@@ -1,0 +1,115 @@
+#include "datacenter/tandem.hpp"
+
+#include "sim/engine.hpp"
+#include "stats/timeweighted.hpp"
+#include "util/error.hpp"
+
+namespace vmcons::dc {
+namespace {
+
+class TandemSimulation {
+ public:
+  TandemSimulation(const TandemConfig& config, Rng& rng)
+      : config_(config), rng_(rng) {
+    VMCONS_REQUIRE(config_.arrival_rate > 0.0, "arrival rate must be > 0");
+    VMCONS_REQUIRE(!config_.tiers.empty(), "tandem needs at least one tier");
+    for (const auto& tier : config_.tiers) {
+      VMCONS_REQUIRE(tier.service_rate > 0.0 && tier.servers >= 1,
+                     "tier '" + tier.name + "' misconfigured");
+    }
+    VMCONS_REQUIRE(config_.horizon > config_.warmup && config_.warmup >= 0.0,
+                   "horizon must exceed warmup");
+    busy_.assign(config_.tiers.size(), 0);
+    busy_tw_.assign(config_.tiers.size(), TimeWeighted{});
+    outcome_.tiers.resize(config_.tiers.size());
+    for (std::size_t t = 0; t < config_.tiers.size(); ++t) {
+      outcome_.tiers[t].name = config_.tiers[t].name;
+    }
+  }
+
+  TandemOutcome run() {
+    schedule_arrival();
+    engine_.schedule_at(config_.warmup, [this] { reset_statistics(); });
+    engine_.run_until(config_.horizon);
+    finalize();
+    return std::move(outcome_);
+  }
+
+ private:
+  void schedule_arrival() {
+    engine_.schedule_in(rng_.exponential(config_.arrival_rate), [this] {
+      ++outcome_.arrivals;
+      enter_tier(0, engine_.now());
+      schedule_arrival();
+    });
+  }
+
+  void enter_tier(std::size_t tier, double start_time) {
+    auto& stats = outcome_.tiers[tier];
+    ++stats.offered;
+    if (busy_[tier] >= config_.tiers[tier].servers) {
+      ++stats.blocked;
+      ++outcome_.lost;
+      return;
+    }
+    ++busy_[tier];
+    busy_tw_[tier].set(engine_.now(), busy_[tier]);
+    engine_.schedule_in(
+        rng_.exponential(config_.tiers[tier].service_rate),
+        [this, tier, start_time] {
+          --busy_[tier];
+          busy_tw_[tier].set(engine_.now(), busy_[tier]);
+          if (tier + 1 < config_.tiers.size()) {
+            enter_tier(tier + 1, start_time);
+          } else {
+            ++outcome_.completed;
+            outcome_.end_to_end_response.add(engine_.now() - start_time);
+          }
+        });
+  }
+
+  void reset_statistics() {
+    outcome_.arrivals = 0;
+    outcome_.completed = 0;
+    outcome_.lost = 0;
+    outcome_.end_to_end_response = Summary{};
+    for (std::size_t t = 0; t < outcome_.tiers.size(); ++t) {
+      outcome_.tiers[t].offered = 0;
+      outcome_.tiers[t].blocked = 0;
+      warmup_busy_integral_.push_back(busy_tw_[t].integral(engine_.now()));
+    }
+  }
+
+  void finalize() {
+    const double now = config_.horizon;
+    outcome_.measured_span = now - config_.warmup;
+    for (std::size_t t = 0; t < outcome_.tiers.size(); ++t) {
+      const double warmup_integral =
+          t < warmup_busy_integral_.size() ? warmup_busy_integral_[t] : 0.0;
+      const double denominator =
+          outcome_.measured_span *
+          static_cast<double>(config_.tiers[t].servers);
+      outcome_.tiers[t].mean_utilization =
+          denominator <= 0.0
+              ? 0.0
+              : (busy_tw_[t].integral(now) - warmup_integral) / denominator;
+    }
+  }
+
+  const TandemConfig& config_;
+  Rng& rng_;
+  sim::Engine engine_;
+  std::vector<unsigned> busy_;
+  std::vector<TimeWeighted> busy_tw_;
+  std::vector<double> warmup_busy_integral_;
+  TandemOutcome outcome_;
+};
+
+}  // namespace
+
+TandemOutcome simulate_tandem(const TandemConfig& config, Rng& rng) {
+  TandemSimulation simulation(config, rng);
+  return simulation.run();
+}
+
+}  // namespace vmcons::dc

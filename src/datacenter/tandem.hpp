@@ -1,0 +1,67 @@
+// Tandem loss network: multi-tier requests flowing through tiered pools.
+//
+// The paper's Related Work (Section II-A) stresses that "different tiers of
+// a multi-tiered service have various characteristics on resource
+// requirement, which results in various performance impacts" — and that the
+// model therefore evaluates virtualization impact per tier, not integrally.
+// This module simulates that situation: a request enters tier 1, holds a
+// server there for an exponential time, then proceeds to tier 2, and so on;
+// it is LOST if the next tier has no free server (no buffering between
+// tiers, matching the loss-model picture).
+#pragma once
+
+#include <vector>
+
+#include "datacenter/pool_sim.hpp"  // ServiceOutcome
+#include "datacenter/power.hpp"
+#include "datacenter/service_spec.hpp"
+#include "util/rng.hpp"
+
+namespace vmcons::dc {
+
+struct TierConfig {
+  std::string name;
+  double service_rate = 1.0;  ///< per-server holding rate at this tier
+  unsigned servers = 1;
+};
+
+struct TandemConfig {
+  double arrival_rate = 1.0;  ///< front-end request rate (Poisson)
+  std::vector<TierConfig> tiers;
+  PowerModel power;
+  double horizon = 2000.0;
+  double warmup = 200.0;
+};
+
+struct TierOutcome {
+  std::string name;
+  std::uint64_t offered = 0;   ///< requests reaching this tier
+  std::uint64_t blocked = 0;   ///< lost at this tier's admission
+  double mean_utilization = 0.0;
+
+  double blocking() const {
+    return offered == 0 ? 0.0
+                        : static_cast<double>(blocked) /
+                              static_cast<double>(offered);
+  }
+};
+
+struct TandemOutcome {
+  std::vector<TierOutcome> tiers;
+  std::uint64_t arrivals = 0;
+  std::uint64_t completed = 0;  ///< made it through every tier
+  std::uint64_t lost = 0;       ///< blocked at some tier
+  Summary end_to_end_response;
+  double measured_span = 0.0;
+
+  double loss_probability() const {
+    return arrivals == 0 ? 0.0
+                         : static_cast<double>(lost) /
+                               static_cast<double>(arrivals);
+  }
+};
+
+/// Simulates the tandem loss network.
+TandemOutcome simulate_tandem(const TandemConfig& config, Rng& rng);
+
+}  // namespace vmcons::dc

@@ -1,0 +1,46 @@
+#include "datacenter/vm.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace vmcons::dc {
+
+Vm Vm::web_vm(std::uint32_t service_index, std::uint32_t host) {
+  Vm vm;
+  vm.name = "web-vm-" + std::to_string(host);
+  vm.service_index = service_index;
+  vm.host_server = host;
+  vm.vcpus = 1;
+  vm.vcpu_mode = virt::VcpuMode::kPinned;
+  vm.memory_gb = 1.0;
+  return vm;
+}
+
+Vm Vm::db_vm(std::uint32_t service_index, std::uint32_t host) {
+  Vm vm;
+  vm.name = "db-vm-" + std::to_string(host);
+  vm.service_index = service_index;
+  vm.host_server = host;
+  vm.vcpus = 6;
+  vm.vcpu_mode = virt::VcpuMode::kPinned;
+  vm.memory_gb = 1.0;
+  return vm;
+}
+
+double db_vcpu_throughput_factor(unsigned vcpus, virt::VcpuMode mode,
+                                 unsigned total_cores, unsigned domain0_cores) {
+  VMCONS_REQUIRE(vcpus >= 1, "VM needs at least one vCPU");
+  VMCONS_REQUIRE(total_cores > domain0_cores,
+                 "Domain-0 cannot reserve every core");
+  const unsigned usable = total_cores - domain0_cores;
+  // Throughput scales with the vCPUs the VM can actually run concurrently.
+  const double parallel = static_cast<double>(std::min(vcpus, usable));
+  double factor = parallel / static_cast<double>(usable);
+  if (mode == virt::VcpuMode::kXenScheduled) {
+    factor *= virt::kXenSchedulerPenalty;
+  }
+  return factor;
+}
+
+}  // namespace vmcons::dc

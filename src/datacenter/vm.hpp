@@ -1,0 +1,40 @@
+// Virtual machine descriptor.
+//
+// In the paper's consolidated deployment every physical server hosts one VM
+// per service (a "Web VM" with 1 vCPU and a "DB VM" with 6 pinned vCPUs in
+// the case study), and all VMs of a service map onto all physical servers.
+// Vm carries that placement/configuration metadata; the performance effect
+// of the configuration is computed through virt::OverheadConfig.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "virt/overhead.hpp"
+
+namespace vmcons::dc {
+
+struct Vm {
+  std::string name;
+  std::uint32_t service_index = 0;  ///< which service this VM hosts
+  std::uint32_t host_server = 0;    ///< physical server id
+  unsigned vcpus = 1;
+  virt::VcpuMode vcpu_mode = virt::VcpuMode::kPinned;
+  double memory_gb = 1.0;  ///< each VM gets 1 GB in the case study
+
+  /// The paper's Web VM: 1 vCPU, 1 GB.
+  static Vm web_vm(std::uint32_t service_index, std::uint32_t host);
+  /// The paper's DB VM: 6 vCPUs pinned to physical cores, 1 GB.
+  static Vm db_vm(std::uint32_t service_index, std::uint32_t host);
+};
+
+/// Throughput multiplier of a DB VM as a function of vCPU count and
+/// scheduling mode — the relationship of Fig. 7. With `total_cores` physical
+/// cores (8 on the testbed, 2 reserved for Domain-0), throughput scales
+/// nearly linearly in pinned vCPUs up to the 6 usable cores; leaving
+/// scheduling to Xen costs kXenSchedulerPenalty.
+double db_vcpu_throughput_factor(unsigned vcpus, virt::VcpuMode mode,
+                                 unsigned total_cores = 8,
+                                 unsigned domain0_cores = 2);
+
+}  // namespace vmcons::dc

@@ -1,0 +1,107 @@
+#include "queueing/erlang.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vmcons::queueing {
+
+double offered_load(double arrival_rate, double service_rate) {
+  VMCONS_REQUIRE(arrival_rate >= 0.0, "arrival rate must be >= 0");
+  VMCONS_REQUIRE(service_rate > 0.0, "service rate must be > 0");
+  return arrival_rate / service_rate;
+}
+
+double erlang_b(std::uint64_t servers, double rho) {
+  VMCONS_REQUIRE(rho >= 0.0, "offered load must be >= 0");
+  if (rho == 0.0) {
+    return servers == 0 ? 1.0 : 0.0;
+  }
+  double blocking = 1.0;
+  for (std::uint64_t n = 1; n <= servers; ++n) {
+    blocking = rho * blocking / (static_cast<double>(n) + rho * blocking);
+  }
+  return blocking;
+}
+
+std::uint64_t erlang_b_servers(double rho, double target_blocking) {
+  VMCONS_REQUIRE(rho >= 0.0, "offered load must be >= 0");
+  VMCONS_REQUIRE(target_blocking > 0.0 && target_blocking <= 1.0,
+                 "target blocking must be in (0, 1]");
+  if (rho == 0.0) {
+    return 0;
+  }
+  double blocking = 1.0;
+  std::uint64_t n = 0;
+  // E_n decreases strictly in n for fixed rho > 0 and tends to 0, so the
+  // loop terminates; the bound n <= rho + 50*sqrt(rho) + 64 is a safety net
+  // far beyond the square-root staffing rule.
+  const auto limit = static_cast<std::uint64_t>(rho + 50.0 * std::sqrt(rho) + 64.0);
+  while (blocking > target_blocking) {
+    ++n;
+    blocking = rho * blocking / (static_cast<double>(n) + rho * blocking);
+    if (n > limit) {
+      throw NumericError("erlang_b_servers failed to converge");
+    }
+  }
+  return n;
+}
+
+double erlang_b_capacity(std::uint64_t servers, double target_blocking) {
+  VMCONS_REQUIRE(servers >= 1, "capacity inverse needs at least one server");
+  VMCONS_REQUIRE(target_blocking > 0.0 && target_blocking < 1.0,
+                 "target blocking must be in (0, 1)");
+  // E_n(rho) is strictly increasing in rho, so bisection applies. Bracket:
+  // blocking at rho -> 0 is 0; grow hi geometrically until it blocks enough.
+  double lo = 0.0;
+  double hi = static_cast<double>(servers);
+  while (erlang_b(servers, hi) < target_blocking) {
+    hi *= 2.0;
+    if (hi > 1e12) {
+      throw NumericError("erlang_b_capacity failed to bracket");
+    }
+  }
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    const double mid = 0.5 * (lo + hi);
+    if (erlang_b(servers, mid) < target_blocking) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-12 * (1.0 + hi)) {
+      break;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double erlang_c(std::uint64_t servers, double rho) {
+  VMCONS_REQUIRE(servers >= 1, "Erlang-C needs at least one server");
+  VMCONS_REQUIRE(rho >= 0.0, "offered load must be >= 0");
+  VMCONS_REQUIRE(rho < static_cast<double>(servers),
+                 "Erlang-C requires rho < n (stability)");
+  const double b = erlang_b(servers, rho);
+  const double n = static_cast<double>(servers);
+  return n * b / (n - rho * (1.0 - b));
+}
+
+double erlang_c_mean_wait(std::uint64_t servers, double lambda, double mu) {
+  VMCONS_REQUIRE(mu > 0.0, "service rate must be > 0");
+  const double rho = offered_load(lambda, mu);
+  const double c = erlang_c(servers, rho);
+  const double n = static_cast<double>(servers);
+  return c / (n * mu - lambda);
+}
+
+double carried_load(std::uint64_t servers, double rho) {
+  return rho * (1.0 - erlang_b(servers, rho));
+}
+
+double loss_system_utilization(std::uint64_t servers, double rho) {
+  if (servers == 0) {
+    return 0.0;
+  }
+  return carried_load(servers, rho) / static_cast<double>(servers);
+}
+
+}  // namespace vmcons::queueing

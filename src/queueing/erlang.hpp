@@ -1,0 +1,48 @@
+// Erlang loss (B) and delay (C) formulas — Eq. (1)-(2) of the paper.
+//
+// The paper's utility analytic model is built entirely on the Erlang-B loss
+// probability E_n(rho) of an M/M/n/n system and its inverse (the minimum n
+// such that E_n(rho) <= B). We implement the numerically stable recurrence
+//
+//     E_0(rho) = 1,   E_n(rho) = rho * E_{n-1}(rho) / (n + rho * E_{n-1}(rho))
+//
+// which the paper's Fig. 4 algorithm also uses; it involves no factorials and
+// is exact for offered loads up to ~1e7 erlangs.
+#pragma once
+
+#include <cstdint>
+
+namespace vmcons::queueing {
+
+/// Offered traffic (erlangs): rho = lambda / mu. Both must be positive.
+double offered_load(double arrival_rate, double service_rate);
+
+/// Erlang-B blocking probability E_n(rho) for n servers and offered load rho.
+/// n = 0 returns 1 (every request blocked). Requires rho >= 0.
+double erlang_b(std::uint64_t servers, double rho);
+
+/// Minimum number of servers n such that E_n(rho) <= target_blocking.
+/// This is exactly the iterative loop of the paper's Fig. 4.
+/// Requires rho >= 0 and target_blocking in (0, 1].
+std::uint64_t erlang_b_servers(double rho, double target_blocking);
+
+/// Inverse in the load direction: the largest offered load rho such that
+/// E_n(rho) <= target_blocking, via bisection. Useful for "how much traffic
+/// can N consolidated servers carry" questions. Requires n >= 1.
+double erlang_b_capacity(std::uint64_t servers, double target_blocking);
+
+/// Erlang-C probability of waiting (M/M/n with infinite queue); requires the
+/// stability condition rho < n.
+double erlang_c(std::uint64_t servers, double rho);
+
+/// Mean waiting time in queue for M/M/n (Erlang-C model), arrival rate
+/// lambda, per-server service rate mu. Requires lambda < n*mu.
+double erlang_c_mean_wait(std::uint64_t servers, double lambda, double mu);
+
+/// Carried load: rho * (1 - E_n(rho)), the average number of busy servers.
+double carried_load(std::uint64_t servers, double rho);
+
+/// Average per-server utilization of the loss system: carried / n.
+double loss_system_utilization(std::uint64_t servers, double rho);
+
+}  // namespace vmcons::queueing

@@ -1,0 +1,123 @@
+#include "queueing/fixed_point.hpp"
+
+#include <cmath>
+
+#include "queueing/erlang.hpp"
+#include "util/error.hpp"
+
+namespace vmcons::queueing {
+namespace {
+
+std::size_t validate(const std::vector<LossClass>& classes) {
+  VMCONS_REQUIRE(!classes.empty(), "loss network needs at least one class");
+  const std::size_t resources = classes.front().service_rates.size();
+  VMCONS_REQUIRE(resources >= 1, "loss network needs at least one resource");
+  bool any_demand = false;
+  for (const auto& loss_class : classes) {
+    VMCONS_REQUIRE(loss_class.service_rates.size() == resources,
+                   "all classes must list the same resources");
+    VMCONS_REQUIRE(loss_class.arrival_rate >= 0.0,
+                   "arrival rates must be >= 0");
+    for (const double rate : loss_class.service_rates) {
+      VMCONS_REQUIRE(rate >= 0.0, "service rates must be >= 0");
+      any_demand = any_demand || rate > 0.0;
+    }
+  }
+  VMCONS_REQUIRE(any_demand, "no class demands any resource");
+  return resources;
+}
+
+}  // namespace
+
+FixedPointResult reduced_load_blocking(const std::vector<LossClass>& classes,
+                                       std::uint64_t capacity,
+                                       double tolerance,
+                                       unsigned max_iterations) {
+  const std::size_t resources = validate(classes);
+  VMCONS_REQUIRE(capacity >= 1, "capacity must be >= 1");
+  VMCONS_REQUIRE(tolerance > 0.0, "tolerance must be positive");
+
+  FixedPointResult result;
+  result.resource_blocking.assign(resources, 0.0);
+
+  // Damped successive substitution: B <- (1-w) B + w T(B).
+  const double damping = 0.5;
+  for (result.iterations = 0; result.iterations < max_iterations;
+       ++result.iterations) {
+    double worst_delta = 0.0;
+    std::vector<double> next(resources, 0.0);
+    for (std::size_t j = 0; j < resources; ++j) {
+      double reduced_load = 0.0;
+      for (const auto& loss_class : classes) {
+        const double mu = loss_class.service_rates[j];
+        if (mu <= 0.0 || loss_class.arrival_rate <= 0.0) {
+          continue;
+        }
+        double thinning = 1.0;
+        for (std::size_t k = 0; k < resources; ++k) {
+          if (k != j && loss_class.service_rates[k] > 0.0) {
+            thinning *= 1.0 - result.resource_blocking[k];
+          }
+        }
+        reduced_load += loss_class.arrival_rate / mu * thinning;
+      }
+      next[j] = erlang_b(capacity, reduced_load);
+    }
+    for (std::size_t j = 0; j < resources; ++j) {
+      const double updated = (1.0 - damping) * result.resource_blocking[j] +
+                             damping * next[j];
+      worst_delta =
+          std::max(worst_delta, std::abs(updated - result.resource_blocking[j]));
+      result.resource_blocking[j] = updated;
+    }
+    if (worst_delta < tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  double lost = 0.0;
+  double offered = 0.0;
+  for (const auto& loss_class : classes) {
+    double acceptance = 1.0;
+    for (std::size_t j = 0; j < resources; ++j) {
+      if (loss_class.service_rates[j] > 0.0) {
+        acceptance *= 1.0 - result.resource_blocking[j];
+      }
+    }
+    result.class_blocking.push_back(1.0 - acceptance);
+    lost += loss_class.arrival_rate * (1.0 - acceptance);
+    offered += loss_class.arrival_rate;
+  }
+  result.overall_blocking = offered > 0.0 ? lost / offered : 0.0;
+  return result;
+}
+
+std::uint64_t reduced_load_capacity(const std::vector<LossClass>& classes,
+                                    double target_blocking) {
+  validate(classes);
+  VMCONS_REQUIRE(target_blocking > 0.0 && target_blocking < 1.0,
+                 "target blocking must be in (0, 1)");
+  // Blocking decreases in capacity; linear scan with a generous bound.
+  double worst_rho = 0.0;
+  for (std::size_t j = 0; j < classes.front().service_rates.size(); ++j) {
+    double rho = 0.0;
+    for (const auto& loss_class : classes) {
+      if (loss_class.service_rates[j] > 0.0) {
+        rho += loss_class.arrival_rate / loss_class.service_rates[j];
+      }
+    }
+    worst_rho = std::max(worst_rho, rho);
+  }
+  const auto limit = static_cast<std::uint64_t>(
+      worst_rho + 50.0 * std::sqrt(worst_rho) + 64.0);
+  for (std::uint64_t capacity = 1; capacity <= limit; ++capacity) {
+    if (reduced_load_blocking(classes, capacity).overall_blocking <=
+        target_blocking) {
+      return capacity;
+    }
+  }
+  throw NumericError("reduced_load_capacity failed to converge");
+}
+
+}  // namespace vmcons::queueing

@@ -1,0 +1,65 @@
+#include "queueing/mmck.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vmcons::queueing {
+
+MmckMetrics solve_mmck(std::uint64_t servers, std::uint64_t capacity,
+                       double lambda, double mu) {
+  VMCONS_REQUIRE(servers >= 1, "M/M/c/K needs at least one server");
+  VMCONS_REQUIRE(capacity >= servers, "capacity must be >= servers");
+  VMCONS_REQUIRE(lambda > 0.0 && mu > 0.0, "rates must be positive");
+
+  const auto k = static_cast<std::size_t>(capacity);
+  const double a = lambda / mu;
+
+  // Build unnormalized weights w_n = prod birth/death ratios, renormalizing
+  // on the fly so the largest stays at 1 (prevents overflow for big c).
+  std::vector<double> weights(k + 1);
+  weights[0] = 1.0;
+  double peak = 1.0;
+  for (std::size_t n = 1; n <= k; ++n) {
+    const double in_service =
+        static_cast<double>(std::min<std::uint64_t>(n, servers));
+    weights[n] = weights[n - 1] * a / in_service;
+    peak = std::max(peak, weights[n]);
+  }
+  double total = 0.0;
+  for (auto& w : weights) {
+    w /= peak;
+    total += w;
+  }
+
+  MmckMetrics metrics;
+  metrics.state_probabilities.resize(k + 1);
+  for (std::size_t n = 0; n <= k; ++n) {
+    metrics.state_probabilities[n] = weights[n] / total;
+  }
+  metrics.blocking = metrics.state_probabilities[k];
+
+  double mean_in_system = 0.0;
+  double mean_in_queue = 0.0;
+  double busy_servers = 0.0;
+  for (std::size_t n = 0; n <= k; ++n) {
+    const double p = metrics.state_probabilities[n];
+    const double nd = static_cast<double>(n);
+    const double in_service =
+        static_cast<double>(std::min<std::uint64_t>(n, servers));
+    mean_in_system += nd * p;
+    mean_in_queue += (nd - in_service) * p;
+    busy_servers += in_service * p;
+  }
+  metrics.mean_in_system = mean_in_system;
+  metrics.mean_in_queue = mean_in_queue;
+  metrics.throughput = lambda * (1.0 - metrics.blocking);
+  metrics.server_utilization = busy_servers / static_cast<double>(servers);
+  // Little's law over accepted requests.
+  metrics.mean_response_time = mean_in_system / metrics.throughput;
+  metrics.mean_wait_time = mean_in_queue / metrics.throughput;
+  return metrics;
+}
+
+}  // namespace vmcons::queueing

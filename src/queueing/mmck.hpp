@@ -1,0 +1,41 @@
+// M/M/c/K steady-state solver.
+//
+// The paper's model is the pure-loss special case K = c (Erlang-B). The
+// full M/M/c/K solver generalizes it to finite waiting rooms, which we use
+// (a) as an extension study — how much waiting room buys back lost requests
+// on consolidated servers — and (b) to cross-check the simulator beyond the
+// loss-only regime.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vmcons::queueing {
+
+struct MmckMetrics {
+  std::vector<double> state_probabilities;  ///< p_0 .. p_K
+  double blocking = 0.0;                    ///< p_K (loss by request, PASTA)
+  double mean_in_system = 0.0;              ///< L
+  double mean_in_queue = 0.0;               ///< Lq
+  double mean_response_time = 0.0;          ///< W  (accepted requests)
+  double mean_wait_time = 0.0;              ///< Wq (accepted requests)
+  double throughput = 0.0;                  ///< lambda * (1 - p_K)
+  double server_utilization = 0.0;          ///< carried / c
+};
+
+/// Solves the M/M/c/K birth-death chain exactly.
+///   servers  c >= 1
+///   capacity K >= c (total places, queue + service)
+///   lambda   arrival rate > 0
+///   mu       per-server service rate > 0
+/// Probabilities are computed with a running normalization to avoid overflow
+/// for large c.
+MmckMetrics solve_mmck(std::uint64_t servers, std::uint64_t capacity,
+                       double lambda, double mu);
+
+/// Convenience: the pure loss system M/M/c/c.
+inline MmckMetrics solve_mmcc(std::uint64_t servers, double lambda, double mu) {
+  return solve_mmck(servers, servers, lambda, mu);
+}
+
+}  // namespace vmcons::queueing

@@ -1,0 +1,55 @@
+#include "queueing/staffing.hpp"
+
+#include <cmath>
+
+#include "queueing/erlang.hpp"
+#include "queueing/mmck.hpp"
+#include "util/error.hpp"
+
+namespace vmcons::queueing {
+
+std::uint64_t staffing_with_queue(double lambda, double mu,
+                                  std::uint64_t queue,
+                                  double target_blocking) {
+  VMCONS_REQUIRE(lambda > 0.0 && mu > 0.0, "rates must be positive");
+  VMCONS_REQUIRE(target_blocking > 0.0 && target_blocking <= 1.0,
+                 "target blocking must be in (0, 1]");
+  const double rho = lambda / mu;
+  // The Erlang-B staffing is an upper bound (queue >= 0 only helps), so
+  // scan downward from it; blocking of M/M/c/c+q is monotone in c.
+  std::uint64_t c = erlang_b_servers(rho, target_blocking);
+  if (c == 0) {
+    return 0;
+  }
+  while (c > 1 &&
+         solve_mmck(c - 1, c - 1 + queue, lambda, mu).blocking <=
+             target_blocking) {
+    --c;
+  }
+  // c = 1 may still satisfy the target (the loop stops at 1).
+  if (c == 1 &&
+      solve_mmck(1, 1 + queue, lambda, mu).blocking > target_blocking) {
+    // Should be impossible: c came from a satisfying staffing and we only
+    // lowered it while satisfied.
+    throw NumericError("staffing_with_queue lost its invariant");
+  }
+  return c;
+}
+
+std::uint64_t square_root_staffing(double rho, double beta) {
+  VMCONS_REQUIRE(rho >= 0.0, "offered load must be >= 0");
+  VMCONS_REQUIRE(beta >= 0.0, "safety factor must be >= 0");
+  return static_cast<std::uint64_t>(std::ceil(rho + beta * std::sqrt(rho)));
+}
+
+std::uint64_t servers_saved_by_queue(double lambda, double mu,
+                                     std::uint64_t queue,
+                                     double target_blocking) {
+  const std::uint64_t loss_only =
+      erlang_b_servers(lambda / mu, target_blocking);
+  const std::uint64_t with_queue =
+      staffing_with_queue(lambda, mu, queue, target_blocking);
+  return loss_only - with_queue;
+}
+
+}  // namespace vmcons::queueing

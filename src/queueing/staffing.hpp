@@ -1,0 +1,30 @@
+// Staffing helpers beyond the paper's pure-loss model.
+//
+// The paper staffs with Erlang-B (no waiting room). Real front ends buffer
+// a few requests; this module quantifies how much waiting room substitutes
+// for servers — an extension study (bench/ablation_waiting_room) — and
+// offers square-root safety staffing as a quick-estimate baseline.
+#pragma once
+
+#include <cstdint>
+
+namespace vmcons::queueing {
+
+/// Minimum servers c such that the M/M/c/(c+queue) blocking probability is
+/// at most target_blocking, for offered load rho = lambda/mu.
+/// queue = 0 reduces to erlang_b_servers.
+std::uint64_t staffing_with_queue(double lambda, double mu,
+                                  std::uint64_t queue, double target_blocking);
+
+/// The square-root staffing rule: c = rho + beta * sqrt(rho), rounded up.
+/// beta ~ normal quantile of the target grade of service; the classic
+/// quick estimate the Erlang solve refines.
+std::uint64_t square_root_staffing(double rho, double beta);
+
+/// Servers *saved* by a waiting room: erlang_b_servers(rho, B) minus
+/// staffing_with_queue(..., queue, B).
+std::uint64_t servers_saved_by_queue(double lambda, double mu,
+                                     std::uint64_t queue,
+                                     double target_blocking);
+
+}  // namespace vmcons::queueing

@@ -1,0 +1,71 @@
+#include "sim/engine.hpp"
+
+#include <limits>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace vmcons::sim {
+
+EventId Engine::schedule_at(double when, EventFn fn) {
+  VMCONS_REQUIRE(when >= now_, "cannot schedule an event in the past");
+  const EventId id = next_sequence_++;
+  queue_.push(Event{when, id, std::move(fn)});
+  live_.insert(id);
+  return id;
+}
+
+EventId Engine::schedule_in(double delay, EventFn fn) {
+  VMCONS_REQUIRE(delay >= 0.0, "event delay must be >= 0");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Engine::cancel(EventId id) {
+  if (live_.erase(id) == 0) {
+    return false;  // already ran, already cancelled, or never existed
+  }
+  cancelled_.insert(id);
+  return true;
+}
+
+bool Engine::step(double limit) {
+  // Skip lazily-cancelled events, but never past `limit`: a cancelled event
+  // at the top must not cause a later-than-horizon event to run.
+  while (!queue_.empty() && queue_.top().time <= limit) {
+    // priority_queue::top() is const; the closure must be moved out before
+    // pop.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (const auto it = cancelled_.find(event.sequence);
+        it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;  // lazily-cancelled event: skip without running
+    }
+    live_.erase(event.sequence);
+    now_ = event.time;
+    ++executed_;
+    event.fn();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run() {
+  stopping_ = false;
+  while (!stopping_ && step(std::numeric_limits<double>::infinity())) {
+  }
+}
+
+void Engine::run_until(double horizon) {
+  VMCONS_REQUIRE(horizon >= now_, "horizon precedes current time");
+  stopping_ = false;
+  while (!stopping_ && step(horizon)) {
+  }
+  // A stop() request freezes the clock where the stopping event ran; only
+  // an exhausted calendar advances to the horizon.
+  if (!stopping_ && now_ < horizon) {
+    now_ = horizon;
+  }
+}
+
+}  // namespace vmcons::sim

@@ -1,0 +1,93 @@
+// Discrete-event simulation engine.
+//
+// A minimal, fast calendar: events are (time, sequence, closure) tuples in a
+// binary heap. Ties break by insertion order, which makes runs fully
+// deterministic. The engine owns no model state; models (clusters, workload
+// drivers) capture what they need in the closures.
+//
+// Time is in seconds of simulated time, starting at 0.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace vmcons::sim {
+
+using EventFn = std::function<void()>;
+
+/// Handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.
+  double now() const noexcept { return now_; }
+
+  /// Schedules `fn` to run at absolute time `when` (>= now). Returns a
+  /// handle usable with cancel() (timers, timeouts, abandoned retries).
+  EventId schedule_at(double when, EventFn fn);
+
+  /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
+  EventId schedule_in(double delay, EventFn fn);
+
+  /// Cancels a pending event; returns false if it already ran, was already
+  /// cancelled, or never existed. Cancellation is lazy: O(1) here, the
+  /// closure is skipped (not run) when its time comes, so cancelled events
+  /// occupy calendar memory until then.
+  bool cancel(EventId id);
+
+  /// Runs events until the calendar empties or `stop()` is called.
+  void run();
+
+  /// Runs events with time <= horizon; the clock finishes at exactly
+  /// `horizon` (even if the calendar empties earlier or later events remain).
+  void run_until(double horizon);
+
+  /// Requests that run()/run_until() return after the current event.
+  void stop() noexcept { stopping_ = true; }
+
+  /// Number of events executed so far.
+  std::uint64_t executed() const noexcept { return executed_; }
+
+  /// Number of events still scheduled (including lazily-cancelled ones).
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+  /// Number of pending events that have been cancelled.
+  std::size_t cancelled() const noexcept { return cancelled_.size(); }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t sequence;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.sequence > b.sequence;
+    }
+  };
+
+  /// Pops and runs the next live event with time <= limit; returns false
+  /// if none qualifies. Cancelled events up to `limit` are consumed.
+  bool step(double limit);
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> live_;       // scheduled, not run/cancelled
+  std::unordered_set<EventId> cancelled_;  // cancelled, not yet popped
+  double now_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace vmcons::sim

@@ -1,0 +1,55 @@
+// Replicated-run harness: runs R independent simulation replications in
+// parallel, each with its own deterministic RNG stream, and aggregates the
+// results. The foundation of every model-vs-simulation validation in the
+// library.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/confidence.hpp"
+#include "stats/summary.hpp"
+#include "util/parallel_for.hpp"
+#include "util/rng.hpp"
+
+namespace vmcons::sim {
+
+/// Runs `fn(replication_index, rng)` for each replication in parallel.
+/// Results are returned in replication order; output is independent of the
+/// worker-thread count because each replication derives its randomness from
+/// make_stream(seed, index).
+template <typename Fn>
+auto replicate(std::size_t replications, std::uint64_t seed, Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{0}, std::declval<Rng&>()))> {
+  return parallel_map(replications, [&](std::size_t index) {
+    Rng rng = make_stream(seed, index);
+    return fn(index, rng);
+  });
+}
+
+/// Aggregate of replicated scalar estimates.
+struct ReplicatedEstimate {
+  Summary summary;
+  ConfidenceInterval interval;  ///< 95% t-interval over replications
+};
+
+/// Runs replications of a scalar-valued experiment and summarizes them.
+template <typename Fn>
+ReplicatedEstimate replicate_scalar(std::size_t replications, std::uint64_t seed,
+                                    Fn&& fn) {
+  const std::vector<double> values =
+      replicate(replications, seed, std::forward<Fn>(fn));
+  ReplicatedEstimate estimate;
+  for (const double value : values) {
+    estimate.summary.add(value);
+  }
+  if (estimate.summary.count() >= 2) {
+    estimate.interval = mean_confidence_interval(estimate.summary);
+  } else {
+    estimate.interval.mean = estimate.summary.mean();
+    estimate.interval.lower = estimate.interval.upper = estimate.interval.mean;
+  }
+  return estimate;
+}
+
+}  // namespace vmcons::sim

@@ -1,0 +1,60 @@
+#include "stats/batch_means.hpp"
+
+#include <cmath>
+
+#include "stats/summary.hpp"
+#include "util/error.hpp"
+
+namespace vmcons {
+
+double autocorrelation(const std::vector<double>& series, std::size_t lag) {
+  VMCONS_REQUIRE(series.size() > lag + 1, "series too short for this lag");
+  Summary summary;
+  for (const double value : series) {
+    summary.add(value);
+  }
+  const double mean = summary.mean();
+  double numerator = 0.0;
+  double denominator = 0.0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    denominator += (series[i] - mean) * (series[i] - mean);
+    if (i + lag < series.size()) {
+      numerator += (series[i] - mean) * (series[i + lag] - mean);
+    }
+  }
+  if (denominator <= 0.0) {
+    return 0.0;
+  }
+  return numerator / denominator;
+}
+
+BatchMeansResult batch_means(const std::vector<double>& observations,
+                             std::size_t batches, double confidence) {
+  VMCONS_REQUIRE(batches >= 2, "need at least two batches");
+  VMCONS_REQUIRE(observations.size() >= 2 * batches,
+                 "need at least two observations per batch");
+
+  BatchMeansResult result;
+  result.batches = batches;
+  result.batch_size = observations.size() / batches;
+
+  std::vector<double> means;
+  means.reserve(batches);
+  Summary across;
+  for (std::size_t b = 0; b < batches; ++b) {
+    Summary batch;
+    for (std::size_t i = 0; i < result.batch_size; ++i) {
+      batch.add(observations[b * result.batch_size + i]);
+    }
+    means.push_back(batch.mean());
+    across.add(batch.mean());
+  }
+  result.mean = across.mean();
+  result.interval = mean_confidence_interval(across, confidence);
+  result.lag1_autocorrelation = autocorrelation(means, 1);
+  result.batches_look_independent =
+      std::abs(result.lag1_autocorrelation) < 0.2;
+  return result;
+}
+
+}  // namespace vmcons

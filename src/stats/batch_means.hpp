@@ -1,0 +1,40 @@
+// Batch-means confidence intervals for single-run simulation output.
+//
+// Replicated runs (sim/replication.hpp) are the library's default output-
+// analysis method; batch means is the classical alternative when only one
+// long run is affordable: split the post-warmup observations into B
+// contiguous batches, treat the batch means as (approximately) independent
+// samples, and form a t-interval over them. The lag-1 autocorrelation of
+// the batch means diagnoses whether the batches are long enough.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/confidence.hpp"
+
+namespace vmcons {
+
+struct BatchMeansResult {
+  double mean = 0.0;
+  ConfidenceInterval interval;
+  std::size_t batches = 0;
+  std::size_t batch_size = 0;
+  /// Lag-1 autocorrelation of the batch means; |r1| < ~0.2 suggests the
+  /// batches are long enough for the independence approximation.
+  double lag1_autocorrelation = 0.0;
+  bool batches_look_independent = false;
+};
+
+/// Batch-means analysis of a stationary observation sequence.
+/// Requires observations.size() >= 2 * batches; trailing remainder
+/// observations are dropped so batches are equal-sized.
+BatchMeansResult batch_means(const std::vector<double>& observations,
+                             std::size_t batches = 20,
+                             double confidence = 0.95);
+
+/// Lag-k autocorrelation of a sequence (biased estimator, standard for
+/// output analysis).
+double autocorrelation(const std::vector<double>& series, std::size_t lag);
+
+}  // namespace vmcons

@@ -1,0 +1,46 @@
+#include "stats/confidence.hpp"
+
+#include <cmath>
+
+#include "stats/distributions.hpp"
+#include "util/error.hpp"
+
+namespace vmcons {
+
+ConfidenceInterval mean_confidence_interval(const Summary& summary,
+                                            double confidence) {
+  VMCONS_REQUIRE(summary.count() >= 2,
+                 "confidence interval needs at least two samples");
+  const double dof = static_cast<double>(summary.count() - 1);
+  const double t = student_t_critical(confidence, dof);
+  ConfidenceInterval interval;
+  interval.mean = summary.mean();
+  interval.half_width = t * summary.stderror();
+  interval.lower = interval.mean - interval.half_width;
+  interval.upper = interval.mean + interval.half_width;
+  return interval;
+}
+
+ConfidenceInterval proportion_confidence_interval(double successes,
+                                                  double trials,
+                                                  double confidence) {
+  VMCONS_REQUIRE(trials > 0.0, "proportion interval needs trials > 0");
+  VMCONS_REQUIRE(successes >= 0.0 && successes <= trials,
+                 "successes must lie in [0, trials]");
+  const double z = normal_quantile(0.5 + confidence / 2.0);
+  const double p = successes / trials;
+  const double z2 = z * z;
+  const double denominator = 1.0 + z2 / trials;
+  const double center = (p + z2 / (2.0 * trials)) / denominator;
+  const double spread =
+      z * std::sqrt(p * (1.0 - p) / trials + z2 / (4.0 * trials * trials)) /
+      denominator;
+  ConfidenceInterval interval;
+  interval.mean = p;
+  interval.lower = center - spread;
+  interval.upper = center + spread;
+  interval.half_width = spread;
+  return interval;
+}
+
+}  // namespace vmcons

@@ -1,0 +1,31 @@
+// Confidence intervals for replicated-simulation estimates.
+#pragma once
+
+#include "stats/summary.hpp"
+
+namespace vmcons {
+
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+  double half_width = 0.0;
+
+  bool contains(double value) const noexcept {
+    return value >= lower && value <= upper;
+  }
+};
+
+/// Student-t confidence interval for the mean of the summarized samples.
+/// Requires at least two samples; `confidence` defaults to 95%.
+ConfidenceInterval mean_confidence_interval(const Summary& summary,
+                                            double confidence = 0.95);
+
+/// Wilson score interval for a binomial proportion (loss probabilities from
+/// counted arrivals), which stays valid near p = 0 where the Wald interval
+/// collapses.
+ConfidenceInterval proportion_confidence_interval(double successes,
+                                                  double trials,
+                                                  double confidence = 0.95);
+
+}  // namespace vmcons

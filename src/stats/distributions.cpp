@@ -1,0 +1,190 @@
+#include "stats/distributions.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace vmcons {
+namespace {
+
+// Lanczos g=7, n=9 coefficients.
+constexpr double kLanczos[9] = {
+    0.99999999999980993,  676.5203681218851,   -1259.1392167224028,
+    771.32342877765313,   -176.61502916214059, 12.507343278686905,
+    -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+
+double gamma_series(double a, double x) {
+  // Series representation of P(a,x), converges fast for x < a + 1.
+  double sum = 1.0 / a;
+  double term = sum;
+  double ap = a;
+  for (int n = 0; n < 500; ++n) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * 1e-15) {
+      break;
+    }
+  }
+  return sum * std::exp(-x + a * std::log(x) - log_gamma(a));
+}
+
+double gamma_continued_fraction(double a, double x) {
+  // Lentz's algorithm for Q(a,x), converges fast for x >= a + 1.
+  const double tiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < tiny) {
+      d = tiny;
+    }
+    c = b + an / c;
+    if (std::abs(c) < tiny) {
+      c = tiny;
+    }
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-15) {
+      break;
+    }
+  }
+  return std::exp(-x + a * std::log(x) - log_gamma(a)) * h;
+}
+
+}  // namespace
+
+double log_gamma(double x) {
+  VMCONS_REQUIRE(x > 0.0, "log_gamma requires x > 0");
+  if (x < 0.5) {
+    // Reflection formula keeps accuracy near zero.
+    return std::log(std::numbers::pi / std::sin(std::numbers::pi * x)) -
+           log_gamma(1.0 - x);
+  }
+  const double z = x - 1.0;
+  double sum = kLanczos[0];
+  for (int i = 1; i < 9; ++i) {
+    sum += kLanczos[i] / (z + static_cast<double>(i));
+  }
+  const double t = z + 7.5;
+  return 0.5 * std::log(2.0 * std::numbers::pi) + (z + 0.5) * std::log(t) - t +
+         std::log(sum);
+}
+
+double regularized_gamma_p(double a, double x) {
+  VMCONS_REQUIRE(a > 0.0 && x >= 0.0, "regularized_gamma_p domain error");
+  if (x == 0.0) {
+    return 0.0;
+  }
+  if (x < a + 1.0) {
+    return gamma_series(a, x);
+  }
+  return 1.0 - gamma_continued_fraction(a, x);
+}
+
+double regularized_gamma_q(double a, double x) {
+  VMCONS_REQUIRE(a > 0.0 && x >= 0.0, "regularized_gamma_q domain error");
+  if (x == 0.0) {
+    return 1.0;
+  }
+  if (x < a + 1.0) {
+    return 1.0 - gamma_series(a, x);
+  }
+  return gamma_continued_fraction(a, x);
+}
+
+double normal_pdf(double x) {
+  return std::exp(-0.5 * x * x) / std::sqrt(2.0 * std::numbers::pi);
+}
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::numbers::sqrt2); }
+
+double normal_quantile(double p) {
+  VMCONS_REQUIRE(p > 0.0 && p < 1.0, "normal_quantile requires p in (0,1)");
+  // Acklam's approximation.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  double x;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement step.
+  const double error = normal_cdf(x) - p;
+  const double u = error * std::sqrt(2.0 * std::numbers::pi) * std::exp(0.5 * x * x);
+  x -= u / (1.0 + 0.5 * x * u);
+  return x;
+}
+
+double poisson_pmf(std::uint64_t k, double mean) {
+  VMCONS_REQUIRE(mean > 0.0, "poisson_pmf requires mean > 0");
+  const double kd = static_cast<double>(k);
+  return std::exp(kd * std::log(mean) - mean - log_gamma(kd + 1.0));
+}
+
+double poisson_cdf(std::uint64_t k, double mean) {
+  VMCONS_REQUIRE(mean > 0.0, "poisson_cdf requires mean > 0");
+  return regularized_gamma_q(static_cast<double>(k) + 1.0, mean);
+}
+
+double exponential_cdf(double x, double rate) {
+  VMCONS_REQUIRE(rate > 0.0, "exponential_cdf requires rate > 0");
+  if (x <= 0.0) {
+    return 0.0;
+  }
+  return -std::expm1(-rate * x);
+}
+
+double chi_squared_cdf(double x, double dof) {
+  VMCONS_REQUIRE(dof > 0.0, "chi_squared_cdf requires dof > 0");
+  if (x <= 0.0) {
+    return 0.0;
+  }
+  return regularized_gamma_p(dof / 2.0, x / 2.0);
+}
+
+double student_t_critical(double confidence, double dof) {
+  VMCONS_REQUIRE(confidence > 0.0 && confidence < 1.0,
+                 "confidence must be in (0,1)");
+  VMCONS_REQUIRE(dof >= 1.0, "dof must be >= 1");
+  const double z = normal_quantile(0.5 + confidence / 2.0);
+  if (dof >= 200.0) {
+    return z;
+  }
+  // Cornish-Fisher style expansion of the t quantile around the normal one.
+  const double z3 = z * z * z;
+  const double z5 = z3 * z * z;
+  const double z7 = z5 * z * z;
+  const double g1 = (z3 + z) / 4.0;
+  const double g2 = (5.0 * z5 + 16.0 * z3 + 3.0 * z) / 96.0;
+  const double g3 = (3.0 * z7 + 19.0 * z5 + 17.0 * z3 - 15.0 * z) / 384.0;
+  return z + g1 / dof + g2 / (dof * dof) + g3 / (dof * dof * dof);
+}
+
+}  // namespace vmcons

@@ -1,0 +1,92 @@
+#include "stats/gof.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/distributions.hpp"
+#include "util/error.hpp"
+
+namespace vmcons {
+
+GofResult chi_squared_test(const std::vector<double>& observed,
+                           const std::vector<double>& expected,
+                           std::size_t estimated_parameters) {
+  VMCONS_REQUIRE(observed.size() == expected.size() && observed.size() >= 2,
+                 "chi-squared test needs matching categories (>= 2)");
+  // Pool sparse categories left to right so each pooled expected >= 5.
+  std::vector<double> pooled_observed;
+  std::vector<double> pooled_expected;
+  double acc_observed = 0.0;
+  double acc_expected = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    acc_observed += observed[i];
+    acc_expected += expected[i];
+    if (acc_expected >= 5.0) {
+      pooled_observed.push_back(acc_observed);
+      pooled_expected.push_back(acc_expected);
+      acc_observed = 0.0;
+      acc_expected = 0.0;
+    }
+  }
+  if (acc_expected > 0.0) {
+    if (pooled_expected.empty()) {
+      pooled_observed.push_back(acc_observed);
+      pooled_expected.push_back(acc_expected);
+    } else {
+      pooled_observed.back() += acc_observed;
+      pooled_expected.back() += acc_expected;
+    }
+  }
+  VMCONS_REQUIRE(pooled_expected.size() >= 2,
+                 "chi-squared test has too few categories after pooling");
+
+  GofResult result;
+  for (std::size_t i = 0; i < pooled_expected.size(); ++i) {
+    const double delta = pooled_observed[i] - pooled_expected[i];
+    result.statistic += delta * delta / pooled_expected[i];
+  }
+  const double dof = static_cast<double>(pooled_expected.size()) - 1.0 -
+                     static_cast<double>(estimated_parameters);
+  result.dof = std::max(1.0, dof);
+  result.p_value = 1.0 - chi_squared_cdf(result.statistic, result.dof);
+  return result;
+}
+
+GofResult poisson_gof(const std::vector<std::uint64_t>& counts, double mean) {
+  VMCONS_REQUIRE(!counts.empty(), "poisson_gof needs samples");
+  VMCONS_REQUIRE(mean > 0.0, "poisson_gof needs mean > 0");
+  const std::uint64_t max_count =
+      *std::max_element(counts.begin(), counts.end());
+  const std::size_t categories = static_cast<std::size_t>(max_count) + 2;
+  std::vector<double> observed(categories, 0.0);
+  for (const std::uint64_t c : counts) {
+    observed[static_cast<std::size_t>(c)] += 1.0;
+  }
+  const double n = static_cast<double>(counts.size());
+  std::vector<double> expected(categories, 0.0);
+  double cumulative = 0.0;
+  for (std::size_t k = 0; k + 1 < categories; ++k) {
+    expected[k] = n * poisson_pmf(k, mean);
+    cumulative += expected[k];
+  }
+  expected[categories - 1] = std::max(0.0, n - cumulative);  // tail mass
+  return chi_squared_test(observed, expected, /*estimated_parameters=*/0);
+}
+
+GofResult exponential_gof(const std::vector<double>& samples, double rate,
+                          std::size_t bins) {
+  VMCONS_REQUIRE(samples.size() >= bins * 5, "exponential_gof needs >= 5 per bin");
+  VMCONS_REQUIRE(rate > 0.0 && bins >= 2, "exponential_gof domain error");
+  // Equal-probability bins: edges at quantiles k/bins of Exp(rate).
+  std::vector<double> observed(bins, 0.0);
+  for (const double sample : samples) {
+    const double u = exponential_cdf(sample, rate);
+    auto index = static_cast<std::size_t>(u * static_cast<double>(bins));
+    observed[std::min(index, bins - 1)] += 1.0;
+  }
+  const double per_bin = static_cast<double>(samples.size()) / static_cast<double>(bins);
+  std::vector<double> expected(bins, per_bin);
+  return chi_squared_test(observed, expected, /*estimated_parameters=*/0);
+}
+
+}  // namespace vmcons

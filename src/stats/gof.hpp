@@ -1,0 +1,38 @@
+// Chi-square goodness-of-fit tests for the workload generators.
+//
+// Used by tests and by the burstiness ablation to confirm that the Poisson
+// arrival generator really produces Poisson counts and that exponential
+// service draws really are exponential.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vmcons {
+
+struct GofResult {
+  double statistic = 0.0;  ///< chi-square statistic
+  double dof = 0.0;        ///< degrees of freedom after pooling
+  double p_value = 0.0;    ///< P(chi2 >= statistic) under H0
+
+  /// True if the hypothesis is NOT rejected at the given significance.
+  bool accept(double significance = 0.01) const noexcept {
+    return p_value >= significance;
+  }
+};
+
+/// Tests observed category counts against expected counts. Categories with
+/// expected count < 5 are pooled into their neighbour, per standard practice.
+GofResult chi_squared_test(const std::vector<double>& observed,
+                           const std::vector<double>& expected,
+                           std::size_t estimated_parameters = 0);
+
+/// Tests integer counts (e.g. arrivals per interval) against Poisson(mean).
+GofResult poisson_gof(const std::vector<std::uint64_t>& counts, double mean);
+
+/// Tests nonnegative samples against Exponential(rate) using equal-probability
+/// bins.
+GofResult exponential_gof(const std::vector<double>& samples, double rate,
+                          std::size_t bins = 20);
+
+}  // namespace vmcons

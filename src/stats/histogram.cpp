@@ -1,0 +1,95 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vmcons {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  VMCONS_REQUIRE(hi > lo, "histogram range must be nonempty");
+  VMCONS_REQUIRE(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double value) noexcept {
+  ++total_;
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (value >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const auto index = static_cast<std::size_t>((value - lo_) / width_);
+  ++counts_[std::min(index, counts_.size() - 1)];
+}
+
+double Histogram::bin_center(std::size_t index) const {
+  VMCONS_REQUIRE(index < counts_.size(), "histogram bin index out of range");
+  return lo_ + (static_cast<double>(index) + 0.5) * width_;
+}
+
+double Histogram::quantile(double q) const {
+  VMCONS_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+  if (total_ == 0) {
+    return lo_;
+  }
+  const double target = q * static_cast<double>(total_);
+  double seen = static_cast<double>(underflow_);
+  if (target <= seen) {
+    return lo_;
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = seen + static_cast<double>(counts_[i]);
+    if (target <= next && counts_[i] > 0) {
+      const double fraction = (target - seen) / static_cast<double>(counts_[i]);
+      return lo_ + (static_cast<double>(i) + fraction) * width_;
+    }
+    seen = next;
+  }
+  return hi_;
+}
+
+PercentileSketch::PercentileSketch(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
+  VMCONS_REQUIRE(capacity > 0, "sketch capacity must be positive");
+  samples_.reserve(std::min<std::size_t>(capacity, 4096));
+}
+
+void PercentileSketch::add(double value) {
+  ++seen_;
+  sorted_ = false;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(value);
+    return;
+  }
+  // Vitter's algorithm R: replace a random retained sample with
+  // probability capacity/seen.
+  const std::uint64_t slot = rng_.uniform_index(seen_);
+  if (slot < capacity_) {
+    samples_[static_cast<std::size_t>(slot)] = value;
+  }
+}
+
+double PercentileSketch::quantile(double q) const {
+  VMCONS_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double position = q * static_cast<double>(samples_.size() - 1);
+  const auto lower = static_cast<std::size_t>(position);
+  const double fraction = position - static_cast<double>(lower);
+  if (lower + 1 >= samples_.size()) {
+    return samples_.back();
+  }
+  return samples_[lower] * (1.0 - fraction) + samples_[lower + 1] * fraction;
+}
+
+}  // namespace vmcons

@@ -1,0 +1,67 @@
+// Fixed-bin histogram plus exact percentiles from retained samples.
+//
+// Histogram: O(1) insert into uniform bins over [lo, hi) with underflow and
+// overflow buckets — used for response-time distributions in the workload
+// drivers. PercentileSketch: retains (optionally reservoir-sampled) values
+// and answers arbitrary quantiles exactly over what it kept.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace vmcons {
+
+class Histogram {
+ public:
+  /// Uniform bins over [lo, hi); values outside land in under/overflow.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value) noexcept;
+
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::uint64_t bin(std::size_t index) const { return counts_.at(index); }
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Midpoint of a bin, for plotting.
+  double bin_center(std::size_t index) const;
+
+  /// Approximate quantile (linear within the containing bin).
+  double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+class PercentileSketch {
+ public:
+  /// Keeps at most `capacity` samples; beyond that, reservoir-samples with
+  /// the provided seed so quantiles stay unbiased.
+  explicit PercentileSketch(std::size_t capacity = 1 << 16,
+                            std::uint64_t seed = 0x5ca1ab1e);
+
+  void add(double value);
+
+  std::uint64_t count() const noexcept { return seen_; }
+
+  /// Exact quantile over retained samples; q in [0, 1].
+  double quantile(double q) const;
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t seen_ = 0;
+  mutable bool sorted_ = false;
+  mutable std::vector<double> samples_;
+  Rng rng_;
+};
+
+}  // namespace vmcons

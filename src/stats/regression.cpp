@@ -1,0 +1,200 @@
+#include "stats/regression.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vmcons {
+namespace {
+
+void check_xy(const std::vector<double>& x, const std::vector<double>& y,
+              std::size_t minimum) {
+  VMCONS_REQUIRE(x.size() == y.size(), "regression inputs differ in length");
+  VMCONS_REQUIRE(x.size() >= minimum, "regression needs more samples");
+}
+
+/// Solves the square system a*x = b in place; returns x. The matrices built
+/// from Vandermonde normal equations at degree <= 6 are small and well
+/// conditioned for the VM-count domains used here.
+std::vector<double> solve_gauss(std::vector<std::vector<double>> a,
+                                std::vector<double> b) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      if (std::abs(a[row][col]) > std::abs(a[pivot][col])) {
+        pivot = row;
+      }
+    }
+    if (std::abs(a[pivot][col]) < 1e-14) {
+      throw NumericError("singular normal equations in polynomial fit");
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row][col] / a[col][col];
+      for (std::size_t k = col; k < n; ++k) {
+        a[row][k] -= factor * a[col][k];
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) {
+      sum -= a[i][k] * x[k];
+    }
+    x[i] = sum / a[i][i];
+  }
+  return x;
+}
+
+}  // namespace
+
+double r_squared(const std::vector<double>& observed,
+                 const std::vector<double>& predicted) {
+  VMCONS_REQUIRE(observed.size() == predicted.size() && !observed.empty(),
+                 "r_squared inputs differ in length or are empty");
+  double mean = 0.0;
+  for (const double value : observed) {
+    mean += value;
+  }
+  mean /= static_cast<double>(observed.size());
+  double ss_total = 0.0;
+  double ss_residual = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    ss_total += (observed[i] - mean) * (observed[i] - mean);
+    ss_residual += (observed[i] - predicted[i]) * (observed[i] - predicted[i]);
+  }
+  if (ss_total <= 0.0) {
+    return ss_residual <= 1e-30 ? 1.0 : 0.0;
+  }
+  return 1.0 - ss_residual / ss_total;
+}
+
+LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y) {
+  check_xy(x, y, 2);
+  const double n = static_cast<double>(x.size());
+  double sum_x = 0.0, sum_y = 0.0, sum_xx = 0.0, sum_xy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sum_x += x[i];
+    sum_y += y[i];
+    sum_xx += x[i] * x[i];
+    sum_xy += x[i] * y[i];
+  }
+  const double denominator = n * sum_xx - sum_x * sum_x;
+  if (std::abs(denominator) < 1e-14) {
+    throw NumericError("linear fit requires at least two distinct x values");
+  }
+  LinearFit fit;
+  fit.slope = (n * sum_xy - sum_x * sum_y) / denominator;
+  fit.intercept = (sum_y - fit.slope * sum_x) / n;
+  std::vector<double> predicted(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    predicted[i] = fit(x[i]);
+  }
+  fit.r_squared = r_squared(y, predicted);
+  return fit;
+}
+
+double PolynomialFit::operator()(double x) const noexcept {
+  double result = 0.0;
+  for (std::size_t k = coefficients.size(); k-- > 0;) {
+    result = result * x + coefficients[k];
+  }
+  return result;
+}
+
+PolynomialFit fit_polynomial(const std::vector<double>& x,
+                             const std::vector<double>& y, std::size_t degree) {
+  VMCONS_REQUIRE(degree <= 6, "polynomial fit supports degree <= 6");
+  check_xy(x, y, degree + 1);
+  const std::size_t terms = degree + 1;
+  std::vector<std::vector<double>> normal(terms, std::vector<double>(terms, 0.0));
+  std::vector<double> rhs(terms, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double power_row = 1.0;
+    std::vector<double> powers(2 * degree + 1);
+    powers[0] = 1.0;
+    for (std::size_t p = 1; p < powers.size(); ++p) {
+      power_row *= x[i];
+      powers[p] = power_row;
+    }
+    for (std::size_t r = 0; r < terms; ++r) {
+      for (std::size_t c = 0; c < terms; ++c) {
+        normal[r][c] += powers[r + c];
+      }
+      rhs[r] += powers[r] * y[i];
+    }
+  }
+  PolynomialFit fit;
+  fit.coefficients = solve_gauss(std::move(normal), std::move(rhs));
+  std::vector<double> predicted(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    predicted[i] = fit(x[i]);
+  }
+  fit.r_squared = r_squared(y, predicted);
+  return fit;
+}
+
+RationalSaturatingFit fit_rational_saturating(const std::vector<double>& x,
+                                              const std::vector<double>& y) {
+  check_xy(x, y, 2);
+  // For fixed Bsq, the optimal A is a closed-form least-squares ratio;
+  // golden-section search over Bsq in [1e-6, 100] (VM counts are small).
+  auto amplitude_for = [&](double bsq) {
+    double numerator = 0.0;
+    double denominator = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double basis = x[i] * x[i] / (x[i] * x[i] + bsq);
+      numerator += basis * y[i];
+      denominator += basis * basis;
+    }
+    return denominator > 0.0 ? numerator / denominator : 0.0;
+  };
+  auto sse_for = [&](double bsq) {
+    const double a = amplitude_for(bsq);
+    double sse = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double predicted = a * x[i] * x[i] / (x[i] * x[i] + bsq);
+      sse += (y[i] - predicted) * (y[i] - predicted);
+    }
+    return sse;
+  };
+
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double lo = 1e-6;
+  double hi = 100.0;
+  double c = hi - phi * (hi - lo);
+  double d = lo + phi * (hi - lo);
+  double f_c = sse_for(c);
+  double f_d = sse_for(d);
+  for (int iteration = 0; iteration < 200 && (hi - lo) > 1e-10; ++iteration) {
+    if (f_c < f_d) {
+      hi = d;
+      d = c;
+      f_d = f_c;
+      c = hi - phi * (hi - lo);
+      f_c = sse_for(c);
+    } else {
+      lo = c;
+      c = d;
+      f_c = f_d;
+      d = lo + phi * (hi - lo);
+      f_d = sse_for(d);
+    }
+  }
+  RationalSaturatingFit fit;
+  fit.half_point = 0.5 * (lo + hi);
+  fit.amplitude = amplitude_for(fit.half_point);
+  std::vector<double> predicted(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    predicted[i] = fit(x[i]);
+  }
+  fit.r_squared = r_squared(y, predicted);
+  return fit;
+}
+
+}  // namespace vmcons

@@ -1,0 +1,62 @@
+// Least-squares fitting used by the virtualization-impact calibration.
+//
+// The paper fits its impact-factor curves with ordinary linear regression
+// (Figs. 5b, 6b) and a rational curve for the DB service (Fig. 8b). We
+// provide:
+//   * fit_linear        y = slope*x + intercept        (closed form)
+//   * fit_polynomial    y = sum c_k x^k                (normal equations)
+//   * fit_rational_sat  y = A x^2 / (x^2 + Bsq)        (1-D golden search
+//                        over Bsq with A solved in closed form)
+// each reporting R^2 against the input samples.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vmcons {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+
+  double operator()(double x) const noexcept { return slope * x + intercept; }
+};
+
+struct PolynomialFit {
+  std::vector<double> coefficients;  ///< c0 + c1 x + c2 x^2 + ...
+  double r_squared = 0.0;
+
+  double operator()(double x) const noexcept;
+};
+
+struct RationalSaturatingFit {
+  double amplitude = 0.0;   ///< A in A x^2 / (x^2 + Bsq)
+  double half_point = 0.0;  ///< Bsq
+  double r_squared = 0.0;
+
+  double operator()(double x) const noexcept {
+    const double xx = x * x;
+    return amplitude * xx / (xx + half_point);
+  }
+};
+
+/// Ordinary least squares for y = slope*x + intercept. Needs >= 2 points
+/// with distinct x.
+LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Polynomial least squares of the given degree via normal equations with
+/// Gaussian elimination (degree <= 6 supported; inputs are well-conditioned
+/// for VM counts 1..16).
+PolynomialFit fit_polynomial(const std::vector<double>& x,
+                             const std::vector<double>& y, std::size_t degree);
+
+/// Fits y = A x^2 / (x^2 + Bsq), the DB impact-factor shape of Fig. 8(b).
+RationalSaturatingFit fit_rational_saturating(const std::vector<double>& x,
+                                              const std::vector<double>& y);
+
+/// Coefficient of determination of predictions vs observations.
+double r_squared(const std::vector<double>& observed,
+                 const std::vector<double>& predicted);
+
+}  // namespace vmcons

@@ -1,0 +1,43 @@
+// Streaming summary statistics (Welford) with exact merge.
+//
+// Used by every measurement path in the library: response times, power
+// samples, per-replication loss probabilities. Merge allows per-thread
+// accumulators in parallel sweeps to combine without double counting.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace vmcons {
+
+class Summary {
+ public:
+  /// Adds one observation.
+  void add(double value) noexcept;
+
+  /// Merges another summary (Chan et al. parallel-variance formula).
+  void merge(const Summary& other) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+  double mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+
+  /// Standard error of the mean; 0 when fewer than two samples.
+  double stderror() const noexcept;
+
+  double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace vmcons

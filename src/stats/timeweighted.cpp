@@ -1,0 +1,32 @@
+#include "stats/timeweighted.hpp"
+
+#include <algorithm>
+
+namespace vmcons {
+
+void TimeWeighted::set(double now, double value) noexcept {
+  if (now > last_time_) {
+    accumulated_ += value_ * (now - last_time_);
+    last_time_ = now;
+  }
+  value_ = value;
+  peak_ = std::max(peak_, value);
+}
+
+double TimeWeighted::integral(double now) const noexcept {
+  double total = accumulated_;
+  if (now > last_time_) {
+    total += value_ * (now - last_time_);
+  }
+  return total;
+}
+
+double TimeWeighted::average(double now) const noexcept {
+  const double span = now - start_time_;
+  if (span <= 0.0) {
+    return value_;
+  }
+  return integral(now) / span;
+}
+
+}  // namespace vmcons

@@ -1,0 +1,43 @@
+// Time-weighted average of a piecewise-constant signal.
+//
+// Server utilization, busy-server counts, and instantaneous power are all
+// step functions of simulated time; their averages must be weighted by how
+// long each level was held, not by how many transitions occurred.
+#pragma once
+
+namespace vmcons {
+
+class TimeWeighted {
+ public:
+  /// Starts the signal at `value` at time `start`.
+  explicit TimeWeighted(double start_time = 0.0, double initial_value = 0.0) noexcept
+      : last_time_(start_time), value_(initial_value) {}
+
+  /// Records that the signal changed to `value` at time `now` (now must be
+  /// monotonically nondecreasing; equal times are allowed and contribute 0).
+  void set(double now, double value) noexcept;
+
+  /// Adds `delta` to the current level at time `now`.
+  void add(double now, double delta) noexcept { set(now, value_ + delta); }
+
+  /// Current level.
+  double value() const noexcept { return value_; }
+
+  /// Integral of the signal from start to `now` (closing the last segment).
+  double integral(double now) const noexcept;
+
+  /// Time-average of the signal over [start, now].
+  double average(double now) const noexcept;
+
+  /// Maximum level observed so far.
+  double peak() const noexcept { return peak_; }
+
+ private:
+  double last_time_;
+  double value_;
+  double accumulated_ = 0.0;
+  double start_time_ = last_time_;
+  double peak_ = value_;
+};
+
+}  // namespace vmcons

@@ -1,0 +1,127 @@
+#include "util/ascii_table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace vmcons {
+namespace {
+
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) {
+    return false;
+  }
+  std::size_t i = 0;
+  if (cell[0] == '-' || cell[0] == '+') {
+    i = 1;
+  }
+  bool digit_seen = false;
+  for (; i < cell.size(); ++i) {
+    const char c = cell[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit_seen = true;
+    } else if (c != '.' && c != 'e' && c != 'E' && c != '-' && c != '+' &&
+               c != '%' && c != 'x') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+}  // namespace
+
+void AsciiTable::set_header(std::vector<std::string> columns) {
+  VMCONS_REQUIRE(!columns.empty(), "table header must be non-empty");
+  header_ = std::move(columns);
+  rows_.clear();
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  VMCONS_REQUIRE(cells.size() == header_.size(),
+                 "table row width differs from header");
+  rows_.push_back(std::move(cells));
+}
+
+void AsciiTable::add_numeric_row(const std::string& label,
+                                 const std::vector<double>& values,
+                                 int precision) {
+  VMCONS_REQUIRE(values.size() + 1 == header_.size(),
+                 "numeric row width differs from header");
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (const double value : values) {
+    cells.push_back(format(value, precision));
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::format(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+void AsciiTable::print(std::ostream& out, const std::string& title) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto rule = [&] {
+    out << '+';
+    for (const std::size_t width : widths) {
+      out << std::string(width + 2, '-') << '+';
+    }
+    out << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::string& cell = cells[c];
+      const std::size_t pad = widths[c] - cell.size();
+      if (looks_numeric(cell)) {
+        out << ' ' << std::string(pad, ' ') << cell << ' ';
+      } else {
+        out << ' ' << cell << std::string(pad, ' ') << ' ';
+      }
+      out << '|';
+    }
+    out << '\n';
+  };
+
+  if (!title.empty()) {
+    out << title << '\n';
+  }
+  rule();
+  emit(header_);
+  rule();
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  rule();
+}
+
+std::string AsciiTable::to_string(const std::string& title) const {
+  std::ostringstream out;
+  print(out, title);
+  return out.str();
+}
+
+void print_kv(std::ostream& out, const std::string& key, const std::string& value) {
+  out << "  " << key << ": " << value << '\n';
+}
+
+void print_kv(std::ostream& out, const std::string& key, double value, int precision) {
+  out << "  " << key << ": " << AsciiTable::format(value, precision) << '\n';
+}
+
+}  // namespace vmcons

@@ -1,0 +1,47 @@
+// Fixed-width ASCII tables for bench output.
+//
+// Every bench binary prints the rows/series of one paper table or figure.
+// AsciiTable right-aligns numeric columns, left-aligns text, and sizes each
+// column to its widest cell, producing output that diffs cleanly run-to-run.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vmcons {
+
+class AsciiTable {
+ public:
+  /// Sets the column headers; resets any existing rows.
+  void set_header(std::vector<std::string> columns);
+
+  /// Appends a pre-formatted row (width must match the header).
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats each double with the given precision.
+  void add_numeric_row(const std::string& label,
+                       const std::vector<double>& values, int precision = 3);
+
+  /// Number of data rows.
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with box-drawing rules; `title` prints above the table.
+  void print(std::ostream& out, const std::string& title = "") const;
+
+  /// Renders to a string (used by tests).
+  std::string to_string(const std::string& title = "") const;
+
+  /// Formats one double with fixed precision (shared helper).
+  static std::string format(double value, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a one-line "key: value" summary block used by benches.
+void print_kv(std::ostream& out, const std::string& key, const std::string& value);
+void print_kv(std::ostream& out, const std::string& key, double value, int precision = 3);
+
+}  // namespace vmcons

@@ -1,0 +1,133 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace vmcons {
+namespace {
+
+bool needs_quoting(const std::string& text) {
+  return text.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string quote(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (const char c : text) {
+    if (c == '"') {
+      out.push_back('"');
+    }
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string format_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string csv_format_cell(const CsvCell& cell) {
+  if (const auto* text = std::get_if<std::string>(&cell)) {
+    return needs_quoting(*text) ? quote(*text) : *text;
+  }
+  if (const auto* integer = std::get_if<long long>(&cell)) {
+    return std::to_string(*integer);
+  }
+  return format_double(std::get<double>(cell));
+}
+
+std::vector<std::string> csv_parse_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  VMCONS_REQUIRE(!header_written_, "CSV header already written");
+  VMCONS_REQUIRE(!columns.empty(), "CSV header must have at least one column");
+  columns_ = columns.size();
+  header_written_ = true;
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i != 0) {
+      out_ << ',';
+    }
+    out_ << csv_format_cell(columns[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<CsvCell>& cells) {
+  VMCONS_REQUIRE(header_written_, "CSV header must be written before rows");
+  VMCONS_REQUIRE(cells.size() == columns_, "CSV row width differs from header");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) {
+      out_ << ',';
+    }
+    out_ << csv_format_cell(cells[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+std::size_t CsvDocument::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) {
+      return i;
+    }
+  }
+  throw InvalidArgument("CSV column not found: " + name);
+}
+
+CsvDocument csv_parse(const std::string& text) {
+  CsvDocument document;
+  std::istringstream stream(text);
+  std::string line;
+  bool first = true;
+  while (std::getline(stream, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    auto fields = csv_parse_line(line);
+    if (first) {
+      document.header = std::move(fields);
+      first = false;
+    } else {
+      document.rows.push_back(std::move(fields));
+    }
+  }
+  return document;
+}
+
+}  // namespace vmcons

@@ -1,0 +1,59 @@
+// CSV emission and parsing for bench output and trace files.
+//
+// Quoting follows RFC 4180: fields containing comma, quote, or newline are
+// quoted and embedded quotes are doubled. Numeric cells are formatted with
+// up to 12 significant digits so round-trips are lossless for the value
+// ranges used in this library.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace vmcons {
+
+/// One CSV cell: text, integer, or floating point.
+using CsvCell = std::variant<std::string, long long, double>;
+
+/// Renders a cell per RFC 4180 quoting rules.
+std::string csv_format_cell(const CsvCell& cell);
+
+/// Splits one CSV line into raw fields, honouring quoted fields.
+std::vector<std::string> csv_parse_line(const std::string& line);
+
+/// Streaming CSV writer.
+class CsvWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Writes the header row. Must be called before any data row (enforced).
+  void header(const std::vector<std::string>& columns);
+
+  /// Writes one data row; the column count must match the header.
+  void row(const std::vector<CsvCell>& cells);
+
+  /// Number of data rows written so far.
+  std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t columns_ = 0;
+  bool header_written_ = false;
+  std::size_t rows_ = 0;
+};
+
+/// Fully-parsed CSV document (header + rows), for tests and trace replay.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a named column; throws InvalidArgument if absent.
+  std::size_t column(const std::string& name) const;
+};
+
+/// Parses an entire CSV text (first line is the header).
+CsvDocument csv_parse(const std::string& text);
+
+}  // namespace vmcons

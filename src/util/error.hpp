@@ -1,0 +1,69 @@
+// Error hierarchy for the vmcons library.
+//
+// All exceptions thrown across the public API boundary derive from
+// vmcons::Error so that callers can catch one type. Internal invariant
+// violations use VMCONS_ASSERT, which throws LogicError in debug-friendly
+// builds instead of aborting, keeping the library usable inside long-running
+// host processes (simulation drivers, capacity planners).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace vmcons {
+
+/// Base class of every exception thrown by the vmcons library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller passed an argument outside the documented domain.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant was violated (a bug in vmcons itself).
+class LogicError : public Error {
+ public:
+  explicit LogicError(const std::string& what) : Error(what) {}
+};
+
+/// A numeric routine failed to converge or left its supported range.
+class NumericError : public Error {
+ public:
+  explicit NumericError(const std::string& what) : Error(what) {}
+};
+
+/// An I/O operation (CSV read/write, report emission) failed.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line) {
+  throw LogicError(std::string("vmcons invariant violated: ") + expr + " at " +
+                   file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace vmcons
+
+/// Contract check for internal invariants; throws LogicError on failure.
+#define VMCONS_ASSERT(expr)                                      \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      ::vmcons::detail::assert_fail(#expr, __FILE__, __LINE__);  \
+    }                                                            \
+  } while (false)
+
+/// Precondition check for public-API arguments; throws InvalidArgument.
+#define VMCONS_REQUIRE(expr, msg)                 \
+  do {                                            \
+    if (!(expr)) {                                \
+      throw ::vmcons::InvalidArgument(msg);       \
+    }                                             \
+  } while (false)

@@ -1,0 +1,95 @@
+#include "util/flags.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace vmcons {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      positionals_.push_back(std::move(token));
+      continue;
+    }
+    token.erase(0, 2);
+    const auto equals = token.find('=');
+    if (equals != std::string::npos) {
+      values_[token.substr(0, equals)] = token.substr(equals + 1);
+      continue;
+    }
+    // "--name value" if the next token is not itself a flag; else boolean.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[token] = argv[++i];
+    } else {
+      values_[token] = "true";
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  queried_[name] = true;
+  return values_.count(name) != 0;
+}
+
+std::string Flags::get_string(const std::string& name, const std::string& fallback) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+long long Flags::get_int(const std::string& name, long long fallback) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long long value = std::strtoll(it->second.c_str(), &end, 10);
+  VMCONS_REQUIRE(end != nullptr && *end == '\0',
+                 "flag --" + name + " expects an integer, got '" + it->second + "'");
+  return value;
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  VMCONS_REQUIRE(end != nullptr && *end == '\0',
+                 "flag --" + name + " expects a number, got '" + it->second + "'");
+  return value;
+}
+
+bool Flags::get_bool(const std::string& name, bool fallback) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  const std::string& text = it->second;
+  if (text == "true" || text == "1" || text == "yes" || text == "on") {
+    return true;
+  }
+  if (text == "false" || text == "0" || text == "no" || text == "off") {
+    return false;
+  }
+  throw InvalidArgument("flag --" + name + " expects a boolean, got '" + text + "'");
+}
+
+std::vector<std::string> Flags::unknown_flags() const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (queried_.count(name) == 0) {
+      unknown.push_back(name);
+    }
+  }
+  return unknown;
+}
+
+}  // namespace vmcons

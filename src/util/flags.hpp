@@ -1,0 +1,39 @@
+// Tiny command-line flag parser for bench and example binaries.
+//
+// Supports --name=value and --name value forms plus boolean --name. Unknown
+// flags raise InvalidArgument so typos fail fast instead of silently running
+// the default experiment.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vmcons {
+
+class Flags {
+ public:
+  /// Parses argv; flags start with "--", everything else is a positional.
+  Flags(int argc, const char* const* argv);
+
+  /// True if --name appeared (with or without a value).
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name, const std::string& fallback) const;
+  long long get_int(const std::string& name, long long fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positionals() const noexcept { return positionals_; }
+
+  /// Names seen during parsing but never queried — call after all get_* calls
+  /// to reject typos (each get_* marks its flag as known).
+  std::vector<std::string> unknown_flags() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace vmcons

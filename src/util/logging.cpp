@@ -1,0 +1,39 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace vmcons::log {
+namespace {
+
+std::atomic<Level> g_level{Level::kWarn};
+std::mutex g_sink_mutex;
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo:  return "INFO ";
+    case Level::kWarn:  return "WARN ";
+    case Level::kError: return "ERROR";
+    case Level::kOff:   return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void write(Level level, const std::string& message) {
+  if (level < g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::cerr << "[vmcons " << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace vmcons::log

@@ -1,0 +1,51 @@
+// Minimal leveled logger.
+//
+// The library logs sparingly (solver iteration warnings, simulation
+// milestones). Benches and examples raise the level to Info. The logger is
+// intentionally a single global sink guarded by a mutex: log volume in this
+// library is low and contention-free performance is not a goal here.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace vmcons::log {
+
+enum class Level { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void set_level(Level level);
+
+/// Returns the current global minimum level.
+Level level();
+
+/// Emits one line to stderr with a level prefix. Thread-safe.
+void write(Level level, const std::string& message);
+
+namespace detail {
+class LineBuilder {
+ public:
+  explicit LineBuilder(Level level) : level_(level) {}
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+  ~LineBuilder() { write(level_, stream_.str()); }
+
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LineBuilder trace() { return detail::LineBuilder(Level::kTrace); }
+inline detail::LineBuilder debug() { return detail::LineBuilder(Level::kDebug); }
+inline detail::LineBuilder info() { return detail::LineBuilder(Level::kInfo); }
+inline detail::LineBuilder warn() { return detail::LineBuilder(Level::kWarn); }
+inline detail::LineBuilder error() { return detail::LineBuilder(Level::kError); }
+
+}  // namespace vmcons::log

@@ -1,0 +1,81 @@
+// Chunked parallel loop over an index range.
+//
+// parallel_for(n, fn) invokes fn(i) for every i in [0, n), distributing
+// contiguous chunks over the shared thread pool. Exceptions thrown by any
+// iteration are rethrown (first one wins) after all chunks finish, so the
+// caller never observes partially-joined work.
+//
+// Determinism contract: fn must derive any randomness from the index i (for
+// example via make_stream(seed, i)), never from thread identity; then output
+// is independent of the worker count.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <exception>
+#include <future>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace vmcons {
+
+template <typename Fn>
+void parallel_for(std::size_t count, Fn&& fn, ThreadPool& pool = ThreadPool::shared()) {
+  if (count == 0) {
+    return;
+  }
+  const std::size_t workers = std::max<std::size_t>(1, pool.size());
+  if (count == 1 || workers == 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  // Four chunks per worker balances load for heterogeneous iteration costs
+  // without swamping the queue.
+  const std::size_t chunks = std::min(count, workers * 4);
+  const std::size_t chunk_size = (count + chunks - 1) / chunks;
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * chunk_size;
+    if (begin >= count) {
+      break;
+    }
+    const std::size_t end = std::min(count, begin + chunk_size);
+    futures.push_back(pool.submit([begin, end, &fn] {
+      for (std::size_t i = begin; i < end; ++i) {
+        fn(i);
+      }
+    }));
+  }
+
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) {
+        first_error = std::current_exception();
+      }
+    }
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+/// Maps fn over [0, n) in parallel, collecting results in index order.
+template <typename Fn>
+auto parallel_map(std::size_t count, Fn&& fn, ThreadPool& pool = ThreadPool::shared())
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  using Result = decltype(fn(std::size_t{0}));
+  std::vector<Result> results(count);
+  parallel_for(
+      count, [&](std::size_t i) { results[i] = fn(i); }, pool);
+  return results;
+}
+
+}  // namespace vmcons

@@ -1,0 +1,87 @@
+// Deterministic random-number streams for parallel simulation.
+//
+// Every simulation replication and every parallel sweep task gets its own
+// stream derived from a (seed, stream-id) pair via SplitMix64, so results are
+// bit-identical regardless of how many worker threads execute the sweep.
+// The generator itself is xoshiro256**, which is fast, has 2^256-1 period,
+// and passes BigCrush; we implement it locally to avoid any libc variance.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace vmcons {
+
+/// SplitMix64 step: the canonical seed-sequence generator.
+/// Used to expand a single 64-bit seed into independent stream states.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** pseudo-random generator with explicit, value-type state.
+///
+/// Satisfies UniformRandomBitGenerator, so it composes with <random>
+/// distributions, but the library's own distributions (below) are preferred
+/// because their output is identical across standard libraries.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the stream from (seed, stream). Distinct streams are statistically
+  /// independent: each state word comes from a separate SplitMix64 chain.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL,
+               std::uint64_t stream = 0) noexcept;
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// Next raw 64-bit draw.
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses rejection to avoid
+  /// modulo bias.
+  std::uint64_t uniform_index(std::uint64_t n) noexcept;
+
+  /// Exponential variate with the given rate (mean 1/rate). Requires rate > 0.
+  double exponential(double rate) noexcept;
+
+  /// Poisson variate with the given mean. Uses inversion for small means and
+  /// the PTRS transformed-rejection method for large means.
+  std::uint64_t poisson(double mean) noexcept;
+
+  /// Standard normal variate (Box-Muller, both values used).
+  double normal() noexcept;
+
+  /// Normal variate with given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Gamma(shape, scale) variate via Marsaglia-Tsang.
+  double gamma(double shape, double scale) noexcept;
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p) noexcept;
+
+  /// Zipf-distributed rank in [0, n) with exponent s >= 0 (s = 0 is uniform).
+  /// Used by the SPECweb-like file-set generator for file popularity.
+  std::uint64_t zipf(std::uint64_t n, double s) noexcept;
+
+  /// Draws an index in [0, weights.size()) proportionally to weights.
+  std::size_t weighted_index(const std::vector<double>& weights) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Factory for per-task streams: stream k of a sweep seeded with `seed`.
+inline Rng make_stream(std::uint64_t seed, std::uint64_t stream) {
+  return Rng(seed, stream);
+}
+
+}  // namespace vmcons

@@ -1,0 +1,63 @@
+#include "virt/calibration.hpp"
+
+#include "util/error.hpp"
+
+namespace vmcons::virt {
+
+double stable_mean_throughput(const ThroughputCurve& curve,
+                              double saturation_from) {
+  VMCONS_REQUIRE(curve.offered.size() == curve.throughput.size(),
+                 "curve offered/throughput lengths differ");
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < curve.offered.size(); ++i) {
+    if (curve.offered[i] >= saturation_from) {
+      sum += curve.throughput[i];
+      ++count;
+    }
+  }
+  VMCONS_REQUIRE(count > 0, "no sweep points in the saturated region");
+  return sum / static_cast<double>(count);
+}
+
+std::vector<ImpactSample> impact_factors(
+    const ThroughputCurve& native,
+    const std::vector<ThroughputCurve>& vm_curves, double saturation_from) {
+  const double native_mean = stable_mean_throughput(native, saturation_from);
+  VMCONS_REQUIRE(native_mean > 0.0, "native stable throughput must be positive");
+  std::vector<ImpactSample> samples;
+  samples.reserve(vm_curves.size());
+  for (const auto& curve : vm_curves) {
+    VMCONS_REQUIRE(curve.vm_count >= 1, "VM curves need vm_count >= 1");
+    samples.push_back(
+        {curve.vm_count,
+         stable_mean_throughput(curve, saturation_from) / native_mean});
+  }
+  return samples;
+}
+
+namespace {
+void split(const std::vector<ImpactSample>& samples, std::vector<double>& x,
+           std::vector<double>& y) {
+  x.reserve(samples.size());
+  y.reserve(samples.size());
+  for (const auto& sample : samples) {
+    x.push_back(static_cast<double>(sample.vm_count));
+    y.push_back(sample.factor);
+  }
+}
+}  // namespace
+
+LinearFit calibrate_linear(const std::vector<ImpactSample>& samples) {
+  std::vector<double> x, y;
+  split(samples, x, y);
+  return fit_linear(x, y);
+}
+
+RationalSaturatingFit calibrate_rational(const std::vector<ImpactSample>& samples) {
+  std::vector<double> x, y;
+  split(samples, x, y);
+  return fit_rational_saturating(x, y);
+}
+
+}  // namespace vmcons::virt

@@ -1,0 +1,47 @@
+// Impact-factor calibration from measured throughput curves.
+//
+// Reproduces the paper's Section IV-C1 procedure: for each VM count v, run a
+// load sweep, take the *stable mean throughput* over the saturated region,
+// divide by the native stable mean to get the impact factor a(v), then fit
+// a curve by least squares (linear for the Web service, rational saturating
+// for the DB service). Closing this loop against our own simulator is how
+// we check the encoded presets are self-consistent.
+#pragma once
+
+#include <vector>
+
+#include "stats/regression.hpp"
+
+namespace vmcons::virt {
+
+/// One measured load-sweep curve: offered rate (x) vs delivered throughput
+/// (y) for a fixed VM count. vm_count = 0 denotes the native (no-VM) run.
+struct ThroughputCurve {
+  unsigned vm_count = 0;
+  std::vector<double> offered;
+  std::vector<double> throughput;
+};
+
+/// Mean throughput over the saturated region: all sweep points with offered
+/// rate >= saturation_from. This is the paper's "stable mean throughput".
+double stable_mean_throughput(const ThroughputCurve& curve,
+                              double saturation_from);
+
+/// Impact factor per VM curve: stable mean of each VM curve divided by the
+/// native stable mean. Curves must all include points at or beyond
+/// saturation_from.
+struct ImpactSample {
+  unsigned vm_count;
+  double factor;
+};
+std::vector<ImpactSample> impact_factors(const ThroughputCurve& native,
+                                         const std::vector<ThroughputCurve>& vm_curves,
+                                         double saturation_from);
+
+/// Fits a(v) = intercept + slope * v to the samples (Figs. 5b/6b procedure).
+LinearFit calibrate_linear(const std::vector<ImpactSample>& samples);
+
+/// Fits a(v) = A v^2 / (v^2 + B) to the samples (Fig. 8b procedure).
+RationalSaturatingFit calibrate_rational(const std::vector<ImpactSample>& samples);
+
+}  // namespace vmcons::virt

@@ -1,0 +1,36 @@
+#include "virt/overhead.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace vmcons::virt {
+
+double rate_multiplier(const OverheadConfig& config, unsigned vm_count) {
+  VMCONS_REQUIRE(vm_count >= 1, "at least one VM must be present");
+  double multiplier = config.impact.factor(vm_count);
+  if (config.vcpu_mode == VcpuMode::kXenScheduled) {
+    multiplier *= kXenSchedulerPenalty;
+  }
+  const double tax = config.domain0_tax_per_vm * static_cast<double>(vm_count);
+  multiplier *= std::max(0.05, 1.0 - tax);
+  return multiplier;
+}
+
+double effective_rate(const OverheadConfig& config, double native_rate,
+                      unsigned vm_count) {
+  VMCONS_REQUIRE(native_rate > 0.0, "native rate must be positive");
+  return native_rate * rate_multiplier(config, vm_count);
+}
+
+double software_ceiling(unsigned os_instances) {
+  VMCONS_REQUIRE(os_instances >= 1, "at least one OS instance required");
+  if (os_instances == 1) {
+    return kSingleOsCeiling;
+  }
+  // Two or more OS instances saturate the hardware; the residual overhead is
+  // carried by the impact factor, not this ceiling.
+  return 1.0;
+}
+
+}  // namespace vmcons::virt

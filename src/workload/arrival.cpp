@@ -1,0 +1,81 @@
+#include "workload/arrival.hpp"
+
+#include "util/error.hpp"
+
+namespace vmcons::workload {
+
+PoissonProcess::PoissonProcess(double rate) : rate_(rate) {
+  VMCONS_REQUIRE(rate > 0.0, "arrival rate must be positive");
+}
+
+double PoissonProcess::next_gap(Rng& rng) { return rng.exponential(rate_); }
+
+DeterministicProcess::DeterministicProcess(double rate) : rate_(rate) {
+  VMCONS_REQUIRE(rate > 0.0, "arrival rate must be positive");
+}
+
+double DeterministicProcess::next_gap(Rng&) { return 1.0 / rate_; }
+
+Mmpp2Process::Mmpp2Process(double rate_calm, double rate_burst,
+                           double mean_dwell_calm, double mean_dwell_burst)
+    : rates_{rate_calm, rate_burst},
+      dwell_means_{mean_dwell_calm, mean_dwell_burst} {
+  VMCONS_REQUIRE(rate_calm > 0.0 && rate_burst > 0.0,
+                 "MMPP rates must be positive");
+  VMCONS_REQUIRE(mean_dwell_calm > 0.0 && mean_dwell_burst > 0.0,
+                 "MMPP dwell times must be positive");
+}
+
+double Mmpp2Process::mean_rate() const noexcept {
+  return (rates_[0] * dwell_means_[0] + rates_[1] * dwell_means_[1]) /
+         (dwell_means_[0] + dwell_means_[1]);
+}
+
+Mmpp2Process Mmpp2Process::with_mean_rate(double mean_rate, double burst_ratio,
+                                          double mean_dwell) {
+  VMCONS_REQUIRE(mean_rate > 0.0, "mean rate must be positive");
+  VMCONS_REQUIRE(burst_ratio > 1.0, "burst ratio must exceed 1");
+  // Equal dwells: mean = (r_calm + r_burst)/2 = r_calm (1 + ratio)/2.
+  const double rate_calm = 2.0 * mean_rate / (1.0 + burst_ratio);
+  return Mmpp2Process(rate_calm, rate_calm * burst_ratio, mean_dwell,
+                      mean_dwell);
+}
+
+double Mmpp2Process::next_gap(Rng& rng) {
+  if (!initialized_) {
+    state_time_left_ = rng.exponential(1.0 / dwell_means_[state_]);
+    initialized_ = true;
+  }
+  double gap = 0.0;
+  for (;;) {
+    const double candidate = rng.exponential(rates_[state_]);
+    if (candidate <= state_time_left_) {
+      state_time_left_ -= candidate;
+      return gap + candidate;
+    }
+    // The state flips before the candidate arrival; advance to the flip and
+    // redraw in the new state (memorylessness makes this exact).
+    gap += state_time_left_;
+    state_ = 1 - state_;
+    state_time_left_ = rng.exponential(1.0 / dwell_means_[state_]);
+  }
+}
+
+double next_gap(ArrivalProcess& process, Rng& rng) {
+  return std::visit([&rng](auto& p) { return p.next_gap(rng); }, process);
+}
+
+double mean_rate(const ArrivalProcess& process) {
+  return std::visit(
+      [](const auto& p) -> double {
+        using T = std::decay_t<decltype(p)>;
+        if constexpr (std::is_same_v<T, Mmpp2Process>) {
+          return p.mean_rate();
+        } else {
+          return p.rate();
+        }
+      },
+      process);
+}
+
+}  // namespace vmcons::workload

@@ -1,0 +1,72 @@
+// Arrival processes.
+//
+// The model assumes Poisson arrivals (Section III-B1, assumption 2, citing
+// the user-initiated-TCP-session evidence). The simulator also provides
+// deterministic and 2-state MMPP (bursty) processes so the burstiness
+// ablation can quantify how sensitive the model's staffing is to that
+// assumption.
+#pragma once
+
+#include <variant>
+
+#include "util/rng.hpp"
+
+namespace vmcons::workload {
+
+/// Memoryless inter-arrival gaps: the model's assumption.
+class PoissonProcess {
+ public:
+  explicit PoissonProcess(double rate);
+  double next_gap(Rng& rng);
+  double rate() const noexcept { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// Fixed gaps (1/rate): the most regular traffic possible.
+class DeterministicProcess {
+ public:
+  explicit DeterministicProcess(double rate);
+  double next_gap(Rng& rng);
+  double rate() const noexcept { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// Two-state Markov-modulated Poisson process: alternates between a calm
+/// and a burst state with exponential dwell times. Mean rate is
+///   (rate_calm * mean_dwell_calm + rate_burst * mean_dwell_burst) /
+///   (mean_dwell_calm + mean_dwell_burst).
+class Mmpp2Process {
+ public:
+  Mmpp2Process(double rate_calm, double rate_burst, double mean_dwell_calm,
+               double mean_dwell_burst);
+  double next_gap(Rng& rng);
+  double mean_rate() const noexcept;
+
+  /// Builds an MMPP with the given mean rate and a burstiness knob:
+  /// burst_ratio = rate_burst / rate_calm (> 1), equal dwell times.
+  static Mmpp2Process with_mean_rate(double mean_rate, double burst_ratio,
+                                     double mean_dwell = 10.0);
+
+ private:
+  double rates_[2];
+  double dwell_means_[2];
+  int state_ = 0;
+  double state_time_left_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Type-erased arrival process for drivers that accept any of the above.
+using ArrivalProcess =
+    std::variant<PoissonProcess, DeterministicProcess, Mmpp2Process>;
+
+/// Draws the next inter-arrival gap from whichever process is held.
+double next_gap(ArrivalProcess& process, Rng& rng);
+
+/// Mean arrival rate of whichever process is held.
+double mean_rate(const ArrivalProcess& process);
+
+}  // namespace vmcons::workload

@@ -1,0 +1,91 @@
+#include "workload/diurnal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace vmcons::workload {
+
+double DiurnalProfile::rate_at(double t) const {
+  double rate = base_rate *
+                (1.0 + amplitude * std::sin(2.0 * std::numbers::pi *
+                                            (t - phase) / period));
+  if (weekend_dip > 0.0) {
+    const double day = std::fmod(t / 86400.0, 7.0);
+    if (day >= 5.0) {
+      rate *= 1.0 - weekend_dip;
+    }
+  }
+  return std::max(0.0, rate);
+}
+
+double DiurnalProfile::sample(double t, Rng& rng) const {
+  const double rate = rate_at(t);
+  if (noise_cv <= 0.0) {
+    return rate;
+  }
+  const double sigma2 = std::log(1.0 + noise_cv * noise_cv);
+  return rate * std::exp(rng.normal(-0.5 * sigma2, std::sqrt(sigma2)));
+}
+
+DemandSeries sample_demands(const std::vector<DiurnalProfile>& profiles,
+                            double horizon, std::size_t steps, Rng& rng) {
+  VMCONS_REQUIRE(!profiles.empty(), "need at least one profile");
+  VMCONS_REQUIRE(horizon > 0.0 && steps >= 2, "need a horizon and >= 2 steps");
+  for (const auto& profile : profiles) {
+    VMCONS_REQUIRE(profile.base_rate > 0.0 && profile.period > 0.0,
+                   "profile rate and period must be positive");
+    VMCONS_REQUIRE(profile.amplitude >= 0.0 && profile.amplitude <= 1.0,
+                   "amplitude must be in [0, 1]");
+  }
+  DemandSeries series;
+  series.times.resize(steps);
+  series.per_service.assign(profiles.size(), std::vector<double>(steps));
+  series.total.assign(steps, 0.0);
+  for (std::size_t k = 0; k < steps; ++k) {
+    const double t = horizon * static_cast<double>(k) /
+                     static_cast<double>(steps - 1);
+    series.times[k] = t;
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+      const double demand = profiles[i].sample(t, rng);
+      series.per_service[i][k] = demand;
+      series.total[k] += demand;
+    }
+  }
+  return series;
+}
+
+double series_peak(const std::vector<double>& series) {
+  VMCONS_REQUIRE(!series.empty(), "empty series");
+  return *std::max_element(series.begin(), series.end());
+}
+
+double series_quantile(const std::vector<double>& series, double quantile) {
+  VMCONS_REQUIRE(!series.empty(), "empty series");
+  VMCONS_REQUIRE(quantile >= 0.0 && quantile <= 1.0,
+                 "quantile must be in [0, 1]");
+  std::vector<double> sorted = series;
+  std::sort(sorted.begin(), sorted.end());
+  const double position =
+      quantile * static_cast<double>(sorted.size() - 1);
+  const auto lower = static_cast<std::size_t>(position);
+  const double fraction = position - static_cast<double>(lower);
+  if (lower + 1 >= sorted.size()) {
+    return sorted.back();
+  }
+  return sorted[lower] * (1.0 - fraction) + sorted[lower + 1] * fraction;
+}
+
+double multiplexing_gain(const DemandSeries& demands) {
+  double sum_of_peaks = 0.0;
+  for (const auto& series : demands.per_service) {
+    sum_of_peaks += series_peak(series);
+  }
+  const double peak_of_sum = series_peak(demands.total);
+  VMCONS_REQUIRE(peak_of_sum > 0.0, "degenerate demand series");
+  return sum_of_peaks / peak_of_sum;
+}
+
+}  // namespace vmcons::workload

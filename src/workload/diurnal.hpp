@@ -1,0 +1,58 @@
+// Diurnal (day-shaped) workload profiles — the shapes behind the paper's
+// Fig. 2, where three applications with different peak hours consolidate
+// onto shared servers and the consolidated peak is far below the sum of the
+// dedicated peaks.
+//
+// A profile is a deterministic rate curve lambda(t) (sinusoid with phase,
+// plus an optional weekly weekend dip) from which noisy per-interval
+// demand samples are drawn. Helpers compute the peak statistics and the
+// "servers needed at a probability level" that Fig. 2 sketches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace vmcons::workload {
+
+struct DiurnalProfile {
+  double base_rate = 100.0;   ///< mean request rate
+  double amplitude = 0.5;     ///< day/night swing as a fraction of base
+  double period = 86400.0;    ///< seconds per cycle (a day)
+  double phase = 0.0;         ///< seconds; shifts the peak hour
+  double weekend_dip = 0.0;   ///< fractional rate reduction on days 6-7
+  double noise_cv = 0.05;     ///< multiplicative lognormal noise per sample
+
+  /// Deterministic rate at time t (before noise).
+  double rate_at(double t) const;
+
+  /// Noisy demand sample at time t.
+  double sample(double t, Rng& rng) const;
+};
+
+/// Demand trajectories of several services over a horizon.
+struct DemandSeries {
+  std::vector<double> times;
+  /// per_service[i][k] = demand of service i at times[k].
+  std::vector<std::vector<double>> per_service;
+  /// total[k] = sum over services at times[k].
+  std::vector<double> total;
+};
+
+/// Samples all profiles on a regular grid of `steps` points over `horizon`.
+DemandSeries sample_demands(const std::vector<DiurnalProfile>& profiles,
+                            double horizon, std::size_t steps, Rng& rng);
+
+/// Peak of one series.
+double series_peak(const std::vector<double>& series);
+
+/// Value the series stays below for `quantile` of the samples — the
+/// "probability level" line of Fig. 2.
+double series_quantile(const std::vector<double>& series, double quantile);
+
+/// Peak-multiplexing gain: sum of per-service peaks divided by the peak of
+/// the summed series (> 1 whenever the peaks do not align).
+double multiplexing_gain(const DemandSeries& demands);
+
+}  // namespace vmcons::workload

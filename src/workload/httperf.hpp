@@ -1,0 +1,70 @@
+// httperf-style open-loop load driver against one physical server — the
+// microbenchmark of Figs. 5 and 6.
+//
+// The server is modelled as the paper's testbed behaves: a processor-shared
+// host with aggregate capacity `capacity(v)` requests/s when v VMs share it,
+// a bounded accept queue, and a per-rejected-connection overhead (connection
+// churn) that bites just past saturation and then saturates itself —
+// producing exactly the paper's observed shape: throughput rises with
+// offered load, dips past the knee, then remains stable.
+//
+// Workload presets mirror the paper:
+//   * disk-bound: ordered access of a 5.7 GB SPECweb2005 file set (>> RAM),
+//     native capacity mu_disk, impact curve Fig. 5(b);
+//   * cpu-bound: one cached 8 KB file, native capacity mu_cpu, impact curve
+//     Fig. 6(b).
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "virt/impact.hpp"
+
+namespace vmcons::workload {
+
+struct HttperfConfig {
+  /// Native (no virtualization) aggregate capacity, requests/second.
+  double native_capacity = 420.0;
+  /// Impact curve translating VM count to capacity degradation. The raw
+  /// (unclamped) curve is used, matching what the microbenchmark measures.
+  virt::Impact impact = virt::Impact::none();
+  /// Number of co-resident VMs; 0 = native Linux (no hypervisor).
+  unsigned vm_count = 0;
+  /// Maximum requests in service + accept queue before drops begin.
+  unsigned max_connections = 256;
+  /// Connection-churn cost: each tracked drop inflates the next completion
+  /// by this fraction of the mean service time.
+  double overload_penalty_fraction = 0.2;
+  /// At most this many outstanding drop-overhead units are tracked; beyond
+  /// it further drops are free (the kernel's listen queue just discards),
+  /// which is what makes overload throughput stable rather than collapsing.
+  unsigned max_pending_overheads = 2;
+  double duration = 400.0;  ///< measured seconds per sweep point
+  double warmup = 50.0;
+};
+
+struct HttperfPoint {
+  double offered_rate = 0.0;   ///< requests/s offered
+  double reply_rate = 0.0;     ///< requests/s completed (the throughput)
+  double mean_response = 0.0;  ///< seconds, completed requests
+  double loss = 0.0;           ///< dropped fraction
+};
+
+/// Effective aggregate capacity at the configured VM count.
+double httperf_capacity(const HttperfConfig& config);
+
+/// Runs one open-loop measurement at the given offered rate.
+HttperfPoint httperf_run(const HttperfConfig& config, double offered_rate,
+                         Rng& rng);
+
+/// Sweeps offered rates (one simulation per point, parallelized by the
+/// caller if desired — each point gets its own stream from `seed`).
+std::vector<HttperfPoint> httperf_sweep(const HttperfConfig& config,
+                                        const std::vector<double>& offered_rates,
+                                        std::uint64_t seed);
+
+/// The paper's two microbenchmark configurations.
+HttperfConfig specweb_diskio_config(unsigned vm_count);  ///< Fig. 5
+HttperfConfig cached_8kb_cpu_config(unsigned vm_count);  ///< Fig. 6
+
+}  // namespace vmcons::workload

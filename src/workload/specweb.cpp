@@ -1,0 +1,204 @@
+#include "workload/specweb.hpp"
+
+#include <deque>
+
+#include "sim/engine.hpp"
+#include "stats/summary.hpp"
+#include "util/error.hpp"
+#include "util/parallel_for.hpp"
+#include "virt/impact.hpp"
+
+namespace vmcons::workload {
+
+SpecwebGenerator::SpecwebGenerator(SpecwebConfig config)
+    : config_(config) {
+  VMCONS_REQUIRE(config_.file_count >= 2, "file set needs at least two files");
+  VMCONS_REQUIRE(config_.mean_file_kb > 0.0, "mean file size must be positive");
+  VMCONS_REQUIRE(config_.cache_fraction >= 0.0 && config_.cache_fraction <= 1.0,
+                 "cache fraction must be in [0, 1]");
+  VMCONS_REQUIRE(config_.disk_bandwidth_mbps > 0.0,
+                 "disk bandwidth must be positive");
+}
+
+SpecwebRequest SpecwebGenerator::sample(Rng& rng) const {
+  SpecwebRequest request;
+  request.file_rank = rng.zipf(config_.file_count, config_.zipf_exponent);
+  // Heavy-tailed sizes: gamma(shape 0.6) keeps the mean while producing the
+  // many-small/few-huge mix of a real document set.
+  request.size_kb = rng.gamma(0.6, config_.mean_file_kb / 0.6);
+  const auto cache_limit = static_cast<std::uint64_t>(
+      config_.cache_fraction * static_cast<double>(config_.file_count));
+  request.cache_hit = request.file_rank < cache_limit;
+  request.disk_seconds =
+      request.cache_hit
+          ? 0.0
+          : request.size_kb / (config_.disk_bandwidth_mbps * 1024.0);
+  request.cpu_seconds = (config_.cpu_per_request_us +
+                         config_.cpu_per_kb_us * request.size_kb) *
+                        1e-6;
+  return request;
+}
+
+SpecwebGenerator::RateEstimate SpecwebGenerator::estimate_rates(
+    Rng& rng, std::size_t samples) const {
+  VMCONS_REQUIRE(samples >= 1000, "rate estimate needs >= 1000 samples");
+  double disk_total = 0.0;
+  double cpu_total = 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const SpecwebRequest request = sample(rng);
+    disk_total += request.disk_seconds;
+    cpu_total += request.cpu_seconds;
+    hits += request.cache_hit ? 1 : 0;
+  }
+  RateEstimate estimate;
+  const double n = static_cast<double>(samples);
+  estimate.disk_rate = disk_total > 0.0 ? n / disk_total : 0.0;
+  estimate.cpu_rate = cpu_total > 0.0 ? n / cpu_total : 0.0;
+  estimate.cache_hit_ratio = static_cast<double>(hits) / n;
+  return estimate;
+}
+
+dc::ServiceSpec SpecwebGenerator::derive_service_spec(
+    const RateEstimate& rates, double arrival_rate) const {
+  dc::ServiceSpec spec;
+  spec.name = "specweb";
+  spec.arrival_rate = arrival_rate;
+  if (rates.disk_rate > 0.0) {
+    spec.demand(dc::Resource::kDiskIo, rates.disk_rate,
+                virt::Impact::paper_web_disk_io());
+  }
+  if (rates.cpu_rate > 0.0) {
+    spec.demand(dc::Resource::kCpu, rates.cpu_rate,
+                virt::Impact::paper_web_cpu());
+  }
+  return spec;
+}
+
+namespace {
+
+/// Closed-loop session pool: per-server FCFS with a rate-capacity completion
+/// clock, sessions routed to the least-loaded server.
+class SessionsSimulation {
+ public:
+  SessionsSimulation(const SpecwebSessionsConfig& config, unsigned sessions,
+                     Rng& rng)
+      : config_(config), sessions_(sessions), rng_(rng),
+        generator_(config.generator), queues_(config.servers),
+        serving_(config.servers, false) {
+    VMCONS_REQUIRE(config.servers >= 1, "pool needs a server");
+    VMCONS_REQUIRE(sessions >= 1, "need at least one session");
+    VMCONS_REQUIRE(config.per_server_capacity > 0.0,
+                   "capacity must be positive");
+  }
+
+  SpecwebSessionsPoint run() {
+    for (unsigned session = 0; session < sessions_; ++session) {
+      schedule_think();
+    }
+    engine_.schedule_at(config_.warmup, [this] {
+      completed_ = 0;
+      refused_ = 0;
+      issued_ = 0;
+      response_ = Summary{};
+    });
+    engine_.run_until(config_.warmup + config_.duration);
+
+    SpecwebSessionsPoint point;
+    point.sessions = sessions_;
+    point.mean_response = response_.mean();
+    point.throughput = static_cast<double>(completed_) / config_.duration;
+    point.refusal_ratio =
+        issued_ == 0 ? 0.0
+                     : static_cast<double>(refused_) /
+                           static_cast<double>(issued_);
+    return point;
+  }
+
+ private:
+  void schedule_think() {
+    engine_.schedule_in(rng_.exponential(1.0 / config_.think_time),
+                        [this] { on_request(); });
+  }
+
+  void on_request() {
+    ++issued_;
+    // Least-loaded dispatch across the pool.
+    std::size_t best = 0;
+    for (std::size_t s = 1; s < queues_.size(); ++s) {
+      if (queues_[s].size() < queues_[best].size()) {
+        best = s;
+      }
+    }
+    if (queues_[best].size() >= config_.max_connections_per_server) {
+      ++refused_;
+      schedule_think();  // the session retries after thinking again
+      return;
+    }
+    queues_[best].push_back(engine_.now());
+    if (!serving_[best]) {
+      schedule_completion(best);
+    }
+  }
+
+  void schedule_completion(std::size_t server) {
+    serving_[server] = true;
+    engine_.schedule_in(service_duration(),
+                        [this, server] { on_completion(server); });
+  }
+
+  double service_duration() {
+    if (!config_.sample_from_generator) {
+      return rng_.exponential(config_.per_server_capacity);
+    }
+    // Heterogeneous per-request demand from the file-set model: the disk
+    // read and the CPU work serialize on the serving path.
+    const SpecwebRequest request = generator_.sample(rng_);
+    return request.disk_seconds + request.cpu_seconds;
+  }
+
+  void on_completion(std::size_t server) {
+    serving_[server] = false;
+    if (!queues_[server].empty()) {
+      const double start = queues_[server].front();
+      queues_[server].pop_front();
+      ++completed_;
+      response_.add(engine_.now() - start);
+      schedule_think();
+    }
+    if (!queues_[server].empty()) {
+      schedule_completion(server);
+    }
+  }
+
+  const SpecwebSessionsConfig& config_;
+  unsigned sessions_;
+  Rng& rng_;
+  SpecwebGenerator generator_;
+  sim::Engine engine_;
+  std::vector<std::deque<double>> queues_;  // request start times per server
+  std::vector<bool> serving_;
+  std::uint64_t issued_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t refused_ = 0;
+  Summary response_;
+};
+
+}  // namespace
+
+SpecwebSessionsPoint specweb_sessions_run(const SpecwebSessionsConfig& config,
+                                          unsigned sessions, Rng& rng) {
+  SessionsSimulation simulation(config, sessions, rng);
+  return simulation.run();
+}
+
+std::vector<SpecwebSessionsPoint> specweb_sessions_sweep(
+    const SpecwebSessionsConfig& config, const std::vector<unsigned>& sessions,
+    std::uint64_t seed) {
+  return parallel_map(sessions.size(), [&](std::size_t i) {
+    Rng rng = make_stream(seed, i);
+    return specweb_sessions_run(config, sessions[i], rng);
+  });
+}
+
+}  // namespace vmcons::workload

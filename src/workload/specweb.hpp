@@ -1,0 +1,101 @@
+// SPECweb2005-style e-commerce workload generator — the Web side of the
+// case study and the Fig. 9(b) workload-selection curve.
+//
+// Two layers:
+//   * SpecwebGenerator — samples individual requests: Zipf file popularity
+//     over a file set much larger than RAM, heavy-tailed file sizes, cache
+//     hits for the hot ranks, and per-request disk/CPU demands. Its
+//     estimated mean service rates feed dc::ServiceSpec, connecting the
+//     synthetic workload to the analytic model's mu_wi / mu_wc inputs.
+//   * specweb_sessions_run — a closed-loop session driver against a server
+//     pool (the paper's "Workload (sessions)" axis): each session thinks,
+//     issues a request to the least-loaded server, and repeats; the output
+//     is mean response time and throughput versus session count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "datacenter/service_spec.hpp"
+#include "util/rng.hpp"
+
+namespace vmcons::workload {
+
+struct SpecwebConfig {
+  std::uint64_t file_count = 100000;   ///< x 57 KB mean = 5.7 GB file set
+  double zipf_exponent = 0.8;          ///< file popularity skew
+  double mean_file_kb = 57.0;
+  double cache_fraction = 0.12;        ///< hot ranks resident in RAM
+  double disk_bandwidth_mbps = 24.0;   ///< effective random-read bandwidth
+  double cpu_per_request_us = 260.0;   ///< protocol + dynamic content cost
+  double cpu_per_kb_us = 0.6;          ///< copy/checksum cost per KB
+};
+
+struct SpecwebRequest {
+  std::uint64_t file_rank = 0;  ///< 0 = most popular
+  double size_kb = 0.0;
+  bool cache_hit = false;
+  double disk_seconds = 0.0;  ///< disk service demand
+  double cpu_seconds = 0.0;   ///< CPU service demand
+};
+
+class SpecwebGenerator {
+ public:
+  explicit SpecwebGenerator(SpecwebConfig config);
+
+  const SpecwebConfig& config() const { return config_; }
+
+  /// Samples one request.
+  SpecwebRequest sample(Rng& rng) const;
+
+  struct RateEstimate {
+    double disk_rate = 0.0;  ///< requests/s one server's disk sustains
+    double cpu_rate = 0.0;   ///< requests/s one server's CPU sustains
+    double cache_hit_ratio = 0.0;
+  };
+
+  /// Monte-Carlo estimate of the mean per-request demands (the Zipf/cache
+  /// interaction has no convenient closed form).
+  RateEstimate estimate_rates(Rng& rng, std::size_t samples = 200000) const;
+
+  /// Builds the analytic-model service spec from the estimated rates, with
+  /// the paper's Web impact curves attached.
+  dc::ServiceSpec derive_service_spec(const RateEstimate& rates,
+                                      double arrival_rate) const;
+
+ private:
+  SpecwebConfig config_;
+};
+
+/// Closed-loop session driver over a pool of identical servers.
+struct SpecwebSessionsConfig {
+  unsigned servers = 4;
+  double per_server_capacity = 420.0;  ///< requests/s per server
+  double think_time = 2.0;             ///< seconds between a session's requests
+  unsigned max_connections_per_server = 256;
+  double duration = 600.0;
+  double warmup = 60.0;
+  /// When set, per-request service times are sampled from the SPECweb
+  /// generator (disk + CPU demand of a Zipf-drawn file) instead of being
+  /// exponential at per_server_capacity — heterogeneous, heavy-tailed
+  /// service like the real file set produces. per_server_capacity is then
+  /// ignored.
+  bool sample_from_generator = false;
+  SpecwebConfig generator;
+};
+
+struct SpecwebSessionsPoint {
+  unsigned sessions = 0;
+  double mean_response = 0.0;  ///< seconds
+  double throughput = 0.0;     ///< requests/s across the pool
+  double refusal_ratio = 0.0;  ///< requests refused at full concurrency
+};
+
+SpecwebSessionsPoint specweb_sessions_run(const SpecwebSessionsConfig& config,
+                                          unsigned sessions, Rng& rng);
+
+std::vector<SpecwebSessionsPoint> specweb_sessions_sweep(
+    const SpecwebSessionsConfig& config, const std::vector<unsigned>& sessions,
+    std::uint64_t seed);
+
+}  // namespace vmcons::workload

@@ -1,0 +1,80 @@
+// TPC-W-style closed-loop e-book database workload — Figs. 7, 8, 9(a).
+//
+// A fixed population of EBs (Emulated Browsers) cycles: think for an
+// exponential think time, issue one web interaction against the DB server,
+// wait for completion, repeat. The metric is WIPS (Web Interactions Per
+// Second). The DB host is CPU-bound (the 2.7 GB book database fits the
+// testbed's RAM) and carries two platform effects:
+//
+//   * software ceiling — a single OS instance (native Linux or one VM) caps
+//     MySQL at ~1/1.85 of hardware capacity; two or more VMs escape it
+//     (Fig. 8a's "native and one VM reach only about half of multiple VMs");
+//   * vCPU provisioning — throughput scales with pinned vCPUs up to the
+//     cores left over from Domain-0, and loses kXenSchedulerPenalty when
+//     scheduling is left to Xen (Fig. 7).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "virt/impact.hpp"
+#include "virt/overhead.hpp"
+
+namespace vmcons::workload {
+
+/// The three standard TPC-W traffic mixes. They differ in the share of
+/// write-path (buy/order) interactions, which cost more DB work each:
+/// browsing is the lightest (WIPSb), ordering the heaviest (WIPSo).
+enum class TpcwMix { kBrowsing, kShopping, kOrdering };
+
+/// Relative per-interaction DB cost of a mix (shopping = 1).
+double tpcw_mix_cost_factor(TpcwMix mix);
+
+struct TpcwConfig {
+  /// Hardware capacity of the host in interactions/s with the software
+  /// ceiling lifted (i.e., the multi-VM plateau). mu_dc = 100 in the case
+  /// study refers to the *native* (ceilinged) rate; hardware capacity is
+  /// native / kSingleOsCeiling.
+  double native_capacity = 100.0;
+  /// Impact curve for the DB service (raw values may exceed 1).
+  virt::Impact impact = virt::Impact::paper_db_cpu();
+  /// Number of co-resident VMs; 0 = native Linux.
+  unsigned vm_count = 0;
+  /// vCPUs given to each DB VM and how they are scheduled (Fig. 7).
+  unsigned vcpus = 6;
+  virt::VcpuMode vcpu_mode = virt::VcpuMode::kPinned;
+  unsigned total_cores = 8;
+  unsigned domain0_cores = 2;
+  /// Traffic mix (the paper's e-book workload is the shopping mix).
+  TpcwMix mix = TpcwMix::kShopping;
+  /// Mean EB think time, seconds (TPC-W uses 7s; the WIPS upper limit of
+  /// Fig. 9a is EBs / think_time).
+  double think_time = 7.0;
+  /// Concurrency limit of the DB tier (connection pool size).
+  unsigned max_concurrency = 512;
+  double duration = 600.0;
+  double warmup = 60.0;
+};
+
+struct TpcwPoint {
+  unsigned ebs = 0;            ///< emulated browsers
+  double wips = 0.0;           ///< web interactions per second
+  double mean_response = 0.0;  ///< seconds per interaction
+  double wips_upper_limit = 0.0;  ///< EBs / think_time (closed-loop bound)
+};
+
+/// Effective DB capacity (interactions/s) for the configuration: hardware
+/// capacity x software ceiling (vm_count <= 1) or raw impact (vm_count >= 1),
+/// x the vCPU provisioning factor.
+double tpcw_capacity(const TpcwConfig& config);
+
+/// Runs one closed-loop measurement with the given EB population.
+TpcwPoint tpcw_run(const TpcwConfig& config, unsigned ebs, Rng& rng);
+
+/// Sweeps EB populations; each point uses its own stream from `seed`.
+std::vector<TpcwPoint> tpcw_sweep(const TpcwConfig& config,
+                                  const std::vector<unsigned>& eb_points,
+                                  std::uint64_t seed);
+
+}  // namespace vmcons::workload

@@ -1,0 +1,130 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "stats/summary.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "workload/arrival.hpp"
+
+namespace vmcons::workload {
+
+ArrivalTrace::ArrivalTrace(std::vector<double> arrival_times)
+    : times_(std::move(arrival_times)) {
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    VMCONS_REQUIRE(times_[i] >= 0.0, "arrival times must be >= 0");
+    VMCONS_REQUIRE(i == 0 || times_[i] >= times_[i - 1],
+                   "arrival times must be nondecreasing");
+  }
+}
+
+ArrivalTrace ArrivalTrace::record_poisson(double rate, double duration,
+                                          Rng& rng) {
+  VMCONS_REQUIRE(rate > 0.0 && duration > 0.0,
+                 "rate and duration must be positive");
+  PoissonProcess process(rate);
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(rate * duration * 1.1) + 16);
+  double clock = 0.0;
+  for (;;) {
+    clock += process.next_gap(rng);
+    if (clock > duration) {
+      break;
+    }
+    times.push_back(clock);
+  }
+  return ArrivalTrace(std::move(times));
+}
+
+ArrivalTrace ArrivalTrace::record_mmpp(double mean_rate, double burst_ratio,
+                                       double duration, Rng& rng) {
+  VMCONS_REQUIRE(duration > 0.0, "duration must be positive");
+  Mmpp2Process process = Mmpp2Process::with_mean_rate(mean_rate, burst_ratio);
+  std::vector<double> times;
+  double clock = 0.0;
+  for (;;) {
+    clock += process.next_gap(rng);
+    if (clock > duration) {
+      break;
+    }
+    times.push_back(clock);
+  }
+  return ArrivalTrace(std::move(times));
+}
+
+ArrivalTrace ArrivalTrace::from_csv(const std::string& text) {
+  const CsvDocument document = csv_parse(text);
+  const std::size_t column = document.column("arrival_time");
+  std::vector<double> times;
+  times.reserve(document.rows.size());
+  for (const auto& row : document.rows) {
+    times.push_back(std::stod(row.at(column)));
+  }
+  std::sort(times.begin(), times.end());
+  return ArrivalTrace(std::move(times));
+}
+
+void ArrivalTrace::to_csv(std::ostream& out) const {
+  CsvWriter writer(out);
+  writer.header({"arrival_time"});
+  for (const double time : times_) {
+    writer.row({time});
+  }
+}
+
+double ArrivalTrace::duration() const noexcept {
+  return times_.empty() ? 0.0 : times_.back();
+}
+
+double ArrivalTrace::mean_rate() const {
+  VMCONS_REQUIRE(times_.size() >= 2, "trace too short for a mean rate");
+  return static_cast<double>(times_.size()) / duration();
+}
+
+std::vector<double> ArrivalTrace::counts_per_window(
+    double window_seconds) const {
+  VMCONS_REQUIRE(window_seconds > 0.0, "window must be positive");
+  VMCONS_REQUIRE(!times_.empty(), "trace is empty");
+  const auto windows =
+      static_cast<std::size_t>(std::ceil(duration() / window_seconds));
+  std::vector<double> counts(std::max<std::size_t>(windows, 1), 0.0);
+  for (const double time : times_) {
+    auto index = static_cast<std::size_t>(time / window_seconds);
+    counts[std::min(index, counts.size() - 1)] += 1.0;
+  }
+  return counts;
+}
+
+double ArrivalTrace::index_of_dispersion(double window_seconds) const {
+  const std::vector<double> counts = counts_per_window(window_seconds);
+  VMCONS_REQUIRE(counts.size() >= 2, "too few windows for dispersion");
+  Summary summary;
+  for (const double count : counts) {
+    summary.add(count);
+  }
+  VMCONS_REQUIRE(summary.mean() > 0.0, "trace has empty windows only");
+  return summary.variance() / summary.mean();
+}
+
+double ArrivalTrace::peak_to_mean(double window_seconds) const {
+  const std::vector<double> counts = counts_per_window(window_seconds);
+  Summary summary;
+  for (const double count : counts) {
+    summary.add(count);
+  }
+  VMCONS_REQUIRE(summary.mean() > 0.0, "trace has empty windows only");
+  return summary.max() / summary.mean();
+}
+
+ArrivalTrace ArrivalTrace::scaled(double factor) const {
+  VMCONS_REQUIRE(factor > 0.0, "scale factor must be positive");
+  std::vector<double> times(times_.size());
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    times[i] = times_[i] / factor;
+  }
+  return ArrivalTrace(std::move(times));
+}
+
+}  // namespace vmcons::workload

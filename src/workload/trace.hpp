@@ -1,0 +1,66 @@
+// Arrival-trace recording and replay.
+//
+// Operators rarely trust synthetic distributions alone: this module records
+// the arrival instants a generator produces (or imports them from CSV) and
+// replays them deterministically through the loss network or any driver.
+// It also computes the trace statistics the model consumes (mean rate) and
+// the burstiness diagnostics the Poisson assumption check needs (index of
+// dispersion, peak-to-mean ratio).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace vmcons::workload {
+
+class ArrivalTrace {
+ public:
+  ArrivalTrace() = default;
+
+  /// Builds a trace from absolute arrival times (must be nondecreasing).
+  explicit ArrivalTrace(std::vector<double> arrival_times);
+
+  /// Records `duration` seconds of a Poisson process at `rate`.
+  static ArrivalTrace record_poisson(double rate, double duration, Rng& rng);
+
+  /// Records `duration` seconds of a 2-state MMPP (see Mmpp2Process).
+  static ArrivalTrace record_mmpp(double mean_rate, double burst_ratio,
+                                  double duration, Rng& rng);
+
+  /// Parses a one-column CSV ("arrival_time" header) exported by `to_csv`.
+  static ArrivalTrace from_csv(const std::string& text);
+
+  /// Writes the trace as CSV.
+  void to_csv(std::ostream& out) const;
+
+  const std::vector<double>& arrival_times() const noexcept { return times_; }
+  std::size_t size() const noexcept { return times_.size(); }
+  bool empty() const noexcept { return times_.empty(); }
+
+  /// Span from time 0 to the last arrival.
+  double duration() const noexcept;
+
+  /// Mean arrival rate over the duration.
+  double mean_rate() const;
+
+  /// Index of dispersion of counts over fixed windows: 1 for Poisson,
+  /// > 1 for bursty traffic. Needs at least ~10 windows to be meaningful.
+  double index_of_dispersion(double window_seconds) const;
+
+  /// Peak-to-mean ratio of windowed arrival counts.
+  double peak_to_mean(double window_seconds) const;
+
+  /// Scales all inter-arrival gaps by 1/factor (factor 2 = twice the rate).
+  ArrivalTrace scaled(double factor) const;
+
+ private:
+  std::vector<double> counts_per_window(double window_seconds) const;
+
+  std::vector<double> times_;
+};
+
+}  // namespace vmcons::workload

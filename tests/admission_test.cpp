@@ -1,0 +1,106 @@
+// Tests for the admission-headroom inverse queries.
+#include "core/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace vmcons::core {
+namespace {
+
+ModelInputs case_study() {
+  ModelInputs inputs;
+  inputs.target_loss = 0.01;
+  dc::ServiceSpec web = dc::paper_web_service();
+  dc::ServiceSpec db = dc::paper_db_service();
+  web.arrival_rate = intensive_workload(web, 3, 0.01);
+  db.arrival_rate = intensive_workload(db, 3, 0.01);
+  inputs.services = {web, db};
+  return inputs;
+}
+
+TEST(Admission, ScaleAtPlannedNIsAtLeastOne) {
+  const ModelInputs inputs = case_study();
+  const auto n =
+      UtilityAnalyticModel(inputs).solve().consolidated_servers;
+  const double scale = max_workload_scale(inputs, n);
+  EXPECT_GE(scale, 1.0);
+  // The scaled workload sits exactly at the target.
+  ModelInputs scaled = inputs;
+  for (auto& service : scaled.services) {
+    service.arrival_rate *= scale;
+  }
+  EXPECT_NEAR(UtilityAnalyticModel(scaled).consolidated_loss(n),
+              inputs.target_loss, 1e-6);
+}
+
+TEST(Admission, ScaleGrowsWithServers) {
+  const ModelInputs inputs = case_study();
+  const double at_3 = max_workload_scale(inputs, 3);
+  const double at_5 = max_workload_scale(inputs, 5);
+  const double at_8 = max_workload_scale(inputs, 8);
+  EXPECT_LT(at_3, at_5);
+  EXPECT_LT(at_5, at_8);
+}
+
+TEST(Admission, ZeroScaleWhenPoolTooSmall) {
+  // One server cannot even meet the target at scale -> 0? It can (loss -> 0
+  // as load -> 0), so the scale is positive but < 1.
+  const ModelInputs inputs = case_study();
+  const double scale = max_workload_scale(inputs, 1);
+  EXPECT_GT(scale, 0.0);
+  EXPECT_LT(scale, 1.0);
+}
+
+TEST(Admission, HeadroomAdmitsAThirdService) {
+  const ModelInputs inputs = case_study();
+  dc::ServiceSpec candidate;
+  candidate.name = "mail";
+  candidate.demand(dc::Resource::kCpu, 200.0, virt::Impact::constant(0.85));
+
+  // With one spare server over the plan there must be real headroom.
+  const auto n =
+      UtilityAnalyticModel(inputs).solve().consolidated_servers;
+  const double headroom = admission_headroom(inputs, candidate, n + 1);
+  EXPECT_GT(headroom, 0.0);
+
+  // Verify: admitting exactly that much keeps the loss within target.
+  ModelInputs grown = inputs;
+  candidate.arrival_rate = headroom;
+  grown.services.push_back(candidate);
+  grown.vms_per_server = 3;
+  EXPECT_LE(UtilityAnalyticModel(grown).consolidated_loss(n + 1),
+            inputs.target_loss * 1.001);
+}
+
+TEST(Admission, NoHeadroomWhenPoolAlreadyOverloaded) {
+  ModelInputs inputs = case_study();
+  for (auto& service : inputs.services) {
+    service.arrival_rate *= 10.0;
+  }
+  dc::ServiceSpec candidate;
+  candidate.name = "extra";
+  candidate.demand(dc::Resource::kCpu, 100.0);
+  EXPECT_DOUBLE_EQ(admission_headroom(inputs, candidate, 3), 0.0);
+}
+
+TEST(Admission, HeadroomGrowsWithServers) {
+  const ModelInputs inputs = case_study();
+  dc::ServiceSpec candidate;
+  candidate.name = "batch";
+  candidate.demand(dc::Resource::kCpu, 150.0);
+  const double at_4 = admission_headroom(inputs, candidate, 4);
+  const double at_6 = admission_headroom(inputs, candidate, 6);
+  EXPECT_GT(at_6, at_4);
+}
+
+TEST(Admission, Validation) {
+  const ModelInputs inputs = case_study();
+  dc::ServiceSpec no_demand;
+  no_demand.name = "ghost";
+  EXPECT_THROW(admission_headroom(inputs, no_demand, 3), InvalidArgument);
+  EXPECT_THROW(max_workload_scale(inputs, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vmcons::core

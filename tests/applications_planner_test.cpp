@@ -1,0 +1,142 @@
+// Tests for the model's application modes (Section III-B4) and the
+// high-level ConsolidationPlanner.
+#include <gtest/gtest.h>
+
+#include "core/applications.hpp"
+#include "core/planner.hpp"
+#include "util/error.hpp"
+
+namespace vmcons::core {
+namespace {
+
+ModelInputs case_study(double target_loss = 0.01) {
+  ModelInputs inputs;
+  inputs.target_loss = target_loss;
+  dc::ServiceSpec web = dc::paper_web_service();
+  dc::ServiceSpec db = dc::paper_db_service();
+  web.arrival_rate = intensive_workload(web, 3, target_loss);
+  db.arrival_rate = intensive_workload(db, 3, target_loss);
+  inputs.services = {web, db};
+  return inputs;
+}
+
+TEST(Applications, ConsolidationAtEqualServersImprovesQos) {
+  // With M = N = 6, consolidation (even with overheads) multiplexes two
+  // streams over six servers instead of 3 + 3: loss drops, ratio > 1.
+  const QosBound bound = allocation_qos_bound(case_study(), {3, 3});
+  EXPECT_EQ(bound.servers, 6u);
+  EXPECT_LT(bound.consolidated_loss, bound.dedicated_loss);
+  EXPECT_GT(bound.improvement, 1.0);
+}
+
+TEST(Applications, IdealVirtualizationBoundDominates) {
+  const ModelInputs inputs = case_study();
+  const QosBound real = allocation_qos_bound(inputs, {3, 3});
+  const QosBound ideal = virtualization_qos_bound(inputs, {3, 3});
+  // Removing virtualization overhead can only lower consolidated loss.
+  EXPECT_LE(ideal.consolidated_loss, real.consolidated_loss);
+  EXPECT_GE(ideal.improvement, real.improvement);
+}
+
+TEST(Applications, ScoreIsRelativeToBound) {
+  const QosBound bound = allocation_qos_bound(case_study(), {3, 3});
+  EXPECT_NEAR(allocation_algorithm_score(bound, bound.improvement), 1.0, 1e-12);
+  EXPECT_LT(allocation_algorithm_score(bound, bound.improvement * 0.9), 1.0);
+  EXPECT_THROW(allocation_algorithm_score(bound, 0.0), InvalidArgument);
+}
+
+TEST(Applications, ValidatesServerCounts) {
+  EXPECT_THROW(allocation_qos_bound(case_study(), {0, 0}), InvalidArgument);
+  EXPECT_THROW(allocation_qos_bound(case_study(), {3}), InvalidArgument);
+}
+
+TEST(Planner, MatchesDirectModelWhenHomogeneous) {
+  const ModelInputs inputs = case_study();
+  ConsolidationPlanner planner;
+  planner.set_target_loss(inputs.target_loss);
+  for (const auto& service : inputs.services) {
+    planner.add_service(service);
+  }
+  const PlanReport report = planner.plan();
+  const ModelResult direct = UtilityAnalyticModel(inputs).solve();
+  EXPECT_EQ(report.model.dedicated_servers, direct.dedicated_servers);
+  EXPECT_EQ(report.model.consolidated_servers, direct.consolidated_servers);
+  // No inventory registered: assignments stay empty/non-feasible.
+  EXPECT_FALSE(report.dedicated_assignment.feasible);
+  EXPECT_TRUE(report.dedicated_assignment.picked.empty());
+}
+
+TEST(Planner, HeterogeneousInventoryCoversRequirement) {
+  ConsolidationPlanner planner;
+  planner.set_target_loss(0.01);
+  dc::ServiceSpec web = dc::paper_web_service();
+  dc::ServiceSpec db = dc::paper_db_service();
+  web.arrival_rate = intensive_workload(web, 3, 0.01);
+  db.arrival_rate = intensive_workload(db, 3, 0.01);
+  planner.add_service(web).add_service(db);
+  // The paper's example: dual quad-core = 1.0, single quad-core = 0.5.
+  planner.add_server_class({"dual-quad", 1.0, 2, dc::PowerModel{}});
+  planner.add_server_class({"single-quad", 0.5, 8, dc::PowerModel{}});
+
+  const PlanReport report = planner.plan();
+  // N = 3 normalized: 2 dual-quads + 2 single-quads = 3.0 capacity.
+  ASSERT_TRUE(report.consolidated_assignment.feasible);
+  EXPECT_GE(report.consolidated_assignment.normalized_capacity, 3.0);
+  // Large servers are picked first.
+  EXPECT_EQ(report.consolidated_assignment.picked[0].first, "dual-quad");
+  EXPECT_EQ(report.consolidated_assignment.picked[0].second, 2u);
+}
+
+TEST(Planner, InfeasibleInventoryIsReported) {
+  ConsolidationPlanner planner;
+  planner.set_target_loss(0.01);
+  dc::ServiceSpec web = dc::paper_web_service();
+  web.arrival_rate = intensive_workload(web, 4, 0.01);
+  planner.add_service(web);
+  planner.add_server_class({"tiny", 0.25, 2, dc::PowerModel{}});
+  const PlanReport report = planner.plan();
+  EXPECT_FALSE(report.consolidated_assignment.feasible);
+}
+
+TEST(Planner, WorkloadScalingGrowsThePlan) {
+  ConsolidationPlanner planner;
+  planner.set_target_loss(0.01);
+  dc::ServiceSpec web = dc::paper_web_service();
+  web.arrival_rate = intensive_workload(web, 3, 0.01);
+  planner.add_service(web);
+  const PlanReport base = planner.plan();
+  planner.scale_workloads(4.0);
+  const PlanReport scaled = planner.plan();
+  EXPECT_GT(scaled.model.dedicated_servers, base.model.dedicated_servers);
+  EXPECT_NEAR(scaled.arrival_rates[0], base.arrival_rates[0] * 4.0, 1e-9);
+}
+
+TEST(Planner, SweepTargetLossIsMonotone) {
+  ConsolidationPlanner planner;
+  planner.set_target_loss(0.01);
+  dc::ServiceSpec web = dc::paper_web_service();
+  dc::ServiceSpec db = dc::paper_db_service();
+  web.arrival_rate = intensive_workload(web, 4, 0.01);
+  db.arrival_rate = intensive_workload(db, 4, 0.01);
+  planner.add_service(web).add_service(db);
+
+  const auto reports = planner.sweep_target_loss({0.001, 0.01, 0.1});
+  ASSERT_EQ(reports.size(), 3u);
+  EXPECT_GE(reports[0].model.consolidated_servers,
+            reports[1].model.consolidated_servers);
+  EXPECT_GE(reports[1].model.consolidated_servers,
+            reports[2].model.consolidated_servers);
+}
+
+TEST(Planner, ValidatesArguments) {
+  ConsolidationPlanner planner;
+  EXPECT_THROW(planner.set_target_loss(0.0), InvalidArgument);
+  EXPECT_THROW(planner.set_vms_per_server(0), InvalidArgument);
+  EXPECT_THROW(planner.scale_workloads(-1.0), InvalidArgument);
+  EXPECT_THROW(planner.add_server_class({"bad", 0.0, 1, dc::PowerModel{}}),
+               InvalidArgument);
+  EXPECT_THROW(planner.plan(), InvalidArgument);  // no services
+}
+
+}  // namespace
+}  // namespace vmcons::core

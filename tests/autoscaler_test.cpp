@@ -1,0 +1,141 @@
+// Tests for the reactive autoscaler baseline.
+#include "datacenter/autoscaler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/replication.hpp"
+#include "util/error.hpp"
+
+namespace vmcons::dc {
+namespace {
+
+ServiceSpec simple_service(double lambda, double mu) {
+  ServiceSpec spec;
+  spec.name = "svc";
+  spec.arrival_rate = lambda;
+  spec.demand(Resource::kCpu, mu);
+  return spec;
+}
+
+AutoscalerConfig base_config() {
+  AutoscalerConfig config;
+  config.services = {simple_service(2.0, 1.0)};
+  config.max_servers = 8;
+  config.min_servers = 1;
+  config.initial_servers = 4;
+  config.control_interval = 10.0;
+  config.boot_delay = 30.0;
+  config.horizon = 3000.0;
+  config.warmup = 300.0;
+  return config;
+}
+
+TEST(Autoscaler, ConservationAndBounds) {
+  Rng rng(141);
+  const AutoscalerOutcome outcome = simulate_autoscaler(base_config(), rng);
+  const auto& service = outcome.services[0];
+  EXPECT_EQ(service.arrivals, service.admitted + service.lost);
+  EXPECT_GE(outcome.mean_active_servers, 1.0);
+  EXPECT_LE(outcome.mean_active_servers, 8.0);
+  EXPECT_GT(outcome.energy_joules, 0.0);
+}
+
+TEST(Autoscaler, ShrinksUnderLightLoad) {
+  AutoscalerConfig config = base_config();
+  config.services = {simple_service(0.2, 1.0)};  // ~0.2 erlangs
+  config.initial_servers = 8;
+  Rng rng(142);
+  const AutoscalerOutcome outcome = simulate_autoscaler(config, rng);
+  // The controller should shed most of the 8 initial servers.
+  EXPECT_LT(outcome.mean_active_servers, 3.0);
+  EXPECT_GT(outcome.shutdowns, 0u);
+}
+
+TEST(Autoscaler, GrowsUnderHeavyLoad) {
+  AutoscalerConfig config = base_config();
+  config.services = {simple_service(5.0, 1.0)};
+  config.initial_servers = 1;
+  // Keep the warmup short so the scale-up transitions land inside the
+  // measured window (boots are reset at warmup like every other stat).
+  config.warmup = 20.0;
+  Rng rng(143);
+  const AutoscalerOutcome outcome = simulate_autoscaler(config, rng);
+  EXPECT_GT(outcome.mean_active_servers, 3.0);
+  EXPECT_GT(outcome.boots, 0u);
+}
+
+TEST(Autoscaler, SavesEnergyUnderDiurnalLoadVsStaticFleet) {
+  // Static fleet: min = max = 8 (controller can never act).
+  AutoscalerConfig static_fleet = base_config();
+  static_fleet.services = {simple_service(4.0, 1.0)};
+  static_fleet.min_servers = static_fleet.max_servers = 8;
+  static_fleet.initial_servers = 8;
+  static_fleet.diurnal_amplitude = 0.8;
+
+  AutoscalerConfig reactive = static_fleet;
+  reactive.min_servers = 1;
+  reactive.initial_servers = 8;
+
+  const auto static_energy = sim::replicate_scalar(
+      4, 144, [&](std::size_t, Rng& rng) {
+        return simulate_autoscaler(static_fleet, rng).mean_power_watts;
+      });
+  const auto reactive_energy = sim::replicate_scalar(
+      4, 144, [&](std::size_t, Rng& rng) {
+        return simulate_autoscaler(reactive, rng).mean_power_watts;
+      });
+  EXPECT_LT(reactive_energy.summary.mean(), static_energy.summary.mean());
+}
+
+TEST(Autoscaler, BootDelayCostsLossDuringRamps) {
+  AutoscalerConfig slow_boot = base_config();
+  slow_boot.services = {simple_service(4.0, 1.0)};
+  slow_boot.initial_servers = 1;
+  slow_boot.diurnal_amplitude = 0.8;
+  slow_boot.diurnal_period = 1000.0;
+  slow_boot.boot_delay = 200.0;
+
+  AutoscalerConfig fast_boot = slow_boot;
+  fast_boot.boot_delay = 5.0;
+
+  const auto slow_loss = sim::replicate_scalar(
+      4, 145, [&](std::size_t, Rng& rng) {
+        return simulate_autoscaler(slow_boot, rng).overall_loss();
+      });
+  const auto fast_loss = sim::replicate_scalar(
+      4, 145, [&](std::size_t, Rng& rng) {
+        return simulate_autoscaler(fast_boot, rng).overall_loss();
+      });
+  EXPECT_GT(slow_loss.summary.mean(), fast_loss.summary.mean());
+}
+
+TEST(Autoscaler, RespectsMinimumFleet) {
+  AutoscalerConfig config = base_config();
+  config.services = {simple_service(0.05, 1.0)};
+  config.min_servers = 3;
+  config.initial_servers = 6;
+  Rng rng(146);
+  const AutoscalerOutcome outcome = simulate_autoscaler(config, rng);
+  EXPECT_GE(outcome.mean_active_servers, 3.0 - 1e-9);
+}
+
+TEST(Autoscaler, ValidatesConfig) {
+  Rng rng(147);
+  AutoscalerConfig config;  // no services
+  EXPECT_THROW(simulate_autoscaler(config, rng), InvalidArgument);
+
+  config = base_config();
+  config.min_servers = 10;  // > max
+  EXPECT_THROW(simulate_autoscaler(config, rng), InvalidArgument);
+
+  config = base_config();
+  config.high_watermark = 0.2;  // below low
+  EXPECT_THROW(simulate_autoscaler(config, rng), InvalidArgument);
+
+  config = base_config();
+  config.diurnal_amplitude = 1.5;
+  EXPECT_THROW(simulate_autoscaler(config, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vmcons::dc

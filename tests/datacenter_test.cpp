@@ -1,0 +1,202 @@
+// Tests for power model, energy meter, physical server, VM descriptors,
+// service specs, and the dispatcher policies.
+#include <gtest/gtest.h>
+
+#include "datacenter/dispatcher.hpp"
+#include "datacenter/power.hpp"
+#include "datacenter/server.hpp"
+#include "datacenter/service_spec.hpp"
+#include "datacenter/vm.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace vmcons::dc {
+namespace {
+
+TEST(PowerModel, LinearInUtilization) {
+  PowerModel model;  // 250 base, 292.5 max
+  EXPECT_DOUBLE_EQ(model.watts(0.0), 250.0);
+  EXPECT_DOUBLE_EQ(model.watts(1.0), 292.5);
+  EXPECT_DOUBLE_EQ(model.watts(0.5), 271.25);
+}
+
+TEST(PowerModel, BusyDrawsAboutSeventeenPercentMoreThanIdle) {
+  // Fig. 12's observation: serving servers draw only ~17% more than idle.
+  const PowerModel model = PowerModel::paper_default(Platform::kNativeLinux);
+  EXPECT_NEAR(model.watts(1.0) / model.watts(0.0), 1.17, 0.01);
+}
+
+TEST(PowerModel, XenPlatformDeltas) {
+  const PowerModel native = PowerModel::paper_default(Platform::kNativeLinux);
+  const PowerModel xen = PowerModel::paper_default(Platform::kXen);
+  // Idle Xen draws 9% less (Section IV-C2).
+  EXPECT_NEAR(xen.idle_watts() / native.idle_watts(), 0.91, 1e-12);
+  // Dynamic range is 30% cheaper on Xen (Fig. 13).
+  const double native_dynamic = native.watts(1.0) - native.watts(0.0);
+  const double xen_dynamic = xen.watts(1.0) - xen.watts(0.0);
+  EXPECT_NEAR(xen_dynamic / native_dynamic, 0.70, 1e-12);
+}
+
+TEST(PowerModel, RejectsOutOfRangeUtilization) {
+  PowerModel model;
+  EXPECT_THROW(model.watts(-0.1), InvalidArgument);
+  EXPECT_THROW(model.watts(1.5), InvalidArgument);
+}
+
+TEST(EnergyMeter, IntegratesStepSignal) {
+  EnergyMeter meter(PowerModel{});
+  meter.set_utilization(0.0, 0.0);
+  meter.set_utilization(10.0, 1.0);   // idle for [0,10)
+  meter.set_utilization(20.0, 0.0);   // full for [10,20)
+  // Energy over [0,30): 250*10 + 292.5*10 + 250*10.
+  EXPECT_NEAR(meter.energy_joules(30.0), 2500.0 + 2925.0 + 2500.0, 1e-9);
+  EXPECT_NEAR(meter.mean_watts(30.0), 7925.0 / 30.0, 1e-9);
+  EXPECT_NEAR(meter.idle_energy_joules(30.0), 7500.0, 1e-9);
+}
+
+TEST(PhysicalServer, OccupyReleaseTracksUtilization) {
+  PhysicalServer server(0, 2, PowerModel{});
+  EXPECT_TRUE(server.has_free_slot());
+  server.occupy(0.0);
+  server.occupy(0.0);
+  EXPECT_FALSE(server.has_free_slot());
+  EXPECT_DOUBLE_EQ(server.utilization(), 1.0);
+  server.release(10.0);
+  EXPECT_DOUBLE_EQ(server.utilization(), 0.5);
+  server.release(20.0);
+  // Busy-slot integral: 2*10 + 1*10 = 30 -> mean utilization 30/(20*2).
+  EXPECT_NEAR(server.mean_utilization(20.0), 0.75, 1e-12);
+  EXPECT_NEAR(server.busy_integral(20.0), 30.0, 1e-12);
+}
+
+TEST(PhysicalServer, ContractViolationsThrow) {
+  PhysicalServer server(0, 1, PowerModel{});
+  EXPECT_THROW(server.release(0.0), LogicError);
+  server.occupy(0.0);
+  EXPECT_THROW(server.occupy(1.0), LogicError);
+  EXPECT_THROW(PhysicalServer(0, 0, PowerModel{}), InvalidArgument);
+}
+
+TEST(Vm, PaperPresets) {
+  const Vm web = Vm::web_vm(0, 3);
+  EXPECT_EQ(web.vcpus, 1u);
+  EXPECT_EQ(web.host_server, 3u);
+  const Vm db = Vm::db_vm(1, 2);
+  EXPECT_EQ(db.vcpus, 6u);
+  EXPECT_EQ(db.vcpu_mode, virt::VcpuMode::kPinned);
+  EXPECT_DOUBLE_EQ(db.memory_gb, 1.0);
+}
+
+TEST(DbVcpuFactor, ScalesWithPinnedVcpusUpToUsableCores) {
+  // Fig. 7: throughput grows with vCPUs, saturating at the 6 usable cores.
+  double previous = 0.0;
+  for (unsigned vcpus = 1; vcpus <= 6; ++vcpus) {
+    const double factor =
+        db_vcpu_throughput_factor(vcpus, virt::VcpuMode::kPinned);
+    EXPECT_GT(factor, previous);
+    previous = factor;
+  }
+  EXPECT_DOUBLE_EQ(db_vcpu_throughput_factor(6, virt::VcpuMode::kPinned), 1.0);
+  EXPECT_DOUBLE_EQ(db_vcpu_throughput_factor(8, virt::VcpuMode::kPinned), 1.0);
+}
+
+TEST(DbVcpuFactor, PinningBeatsCreditScheduler) {
+  for (unsigned vcpus = 1; vcpus <= 8; ++vcpus) {
+    EXPECT_GT(db_vcpu_throughput_factor(vcpus, virt::VcpuMode::kPinned),
+              db_vcpu_throughput_factor(vcpus, virt::VcpuMode::kXenScheduled));
+  }
+}
+
+TEST(DbVcpuFactor, ValidatesInputs) {
+  EXPECT_THROW(db_vcpu_throughput_factor(0, virt::VcpuMode::kPinned),
+               InvalidArgument);
+  EXPECT_THROW(db_vcpu_throughput_factor(1, virt::VcpuMode::kPinned, 2, 2),
+               InvalidArgument);
+}
+
+TEST(ServiceSpec, BottleneckAndEffectiveRates) {
+  ServiceSpec spec = paper_web_service();
+  EXPECT_DOUBLE_EQ(spec.native_bottleneck_rate(), 420.0);
+  // With the constant case-study factors: disk 420*0.8 = 336 beats
+  // CPU 3360*0.65 = 2184.
+  EXPECT_DOUBLE_EQ(spec.effective_rate(2), 336.0);
+
+  ServiceSpec db = paper_db_service();
+  EXPECT_DOUBLE_EQ(db.native_bottleneck_rate(), 100.0);
+  EXPECT_DOUBLE_EQ(db.effective_rate(2), 90.0);
+}
+
+TEST(ServiceSpec, EmptyDemandThrows) {
+  ServiceSpec spec;
+  spec.name = "empty";
+  EXPECT_THROW(spec.native_bottleneck_rate(), InvalidArgument);
+  EXPECT_THROW(spec.effective_rate(1), InvalidArgument);
+}
+
+TEST(ResourceVector, MinPositiveSkipsZeros) {
+  ResourceVector vector;
+  vector[Resource::kCpu] = 0.0;
+  vector[Resource::kDiskIo] = 5.0;
+  vector[Resource::kNetwork] = 3.0;
+  EXPECT_DOUBLE_EQ(vector.min_positive(99.0), 3.0);
+  ResourceVector empty;
+  EXPECT_DOUBLE_EQ(empty.min_positive(99.0), 99.0);
+  EXPECT_FALSE(empty.any_positive());
+  EXPECT_TRUE(vector.any_positive());
+}
+
+TEST(Dispatcher, RoundRobinCyclesThroughAdmissibleServers) {
+  Rng rng(51);
+  Dispatcher dispatcher(DispatchPolicy::kRoundRobin, 4);
+  auto all = [](std::size_t) { return true; };
+  auto load = [](std::size_t) { return 0.0; };
+  EXPECT_EQ(dispatcher.select(all, load, rng), 0u);
+  EXPECT_EQ(dispatcher.select(all, load, rng), 1u);
+  EXPECT_EQ(dispatcher.select(all, load, rng), 2u);
+  EXPECT_EQ(dispatcher.select(all, load, rng), 3u);
+  EXPECT_EQ(dispatcher.select(all, load, rng), 0u);
+}
+
+TEST(Dispatcher, RoundRobinSkipsInadmissible) {
+  Rng rng(52);
+  Dispatcher dispatcher(DispatchPolicy::kRoundRobin, 3);
+  auto odd_only = [](std::size_t s) { return s % 2 == 1; };
+  auto load = [](std::size_t) { return 0.0; };
+  EXPECT_EQ(dispatcher.select(odd_only, load, rng), 1u);
+  EXPECT_EQ(dispatcher.select(odd_only, load, rng), 1u);
+}
+
+TEST(Dispatcher, LeastLoadedPicksMinimum) {
+  Rng rng(53);
+  Dispatcher dispatcher(DispatchPolicy::kLeastLoaded, 3);
+  const double loads[] = {5.0, 1.0, 3.0};
+  auto all = [](std::size_t) { return true; };
+  auto load = [&](std::size_t s) { return loads[s]; };
+  EXPECT_EQ(dispatcher.select(all, load, rng), 1u);
+}
+
+TEST(Dispatcher, ReturnsNposWhenNothingAdmissible) {
+  Rng rng(54);
+  for (const DispatchPolicy policy :
+       {DispatchPolicy::kRoundRobin, DispatchPolicy::kLeastLoaded,
+        DispatchPolicy::kRandom}) {
+    Dispatcher dispatcher(policy, 3);
+    auto none = [](std::size_t) { return false; };
+    auto load = [](std::size_t) { return 0.0; };
+    EXPECT_EQ(dispatcher.select(none, load, rng), Dispatcher::npos);
+  }
+}
+
+TEST(Dispatcher, RandomOnlyPicksAdmissible) {
+  Rng rng(55);
+  Dispatcher dispatcher(DispatchPolicy::kRandom, 5);
+  auto even_only = [](std::size_t s) { return s % 2 == 0; };
+  auto load = [](std::size_t) { return 0.0; };
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t pick = dispatcher.select(even_only, load, rng);
+    EXPECT_EQ(pick % 2, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace vmcons::dc

@@ -1,0 +1,125 @@
+// Tests for the special functions against reference values.
+#include "stats/distributions.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace vmcons {
+namespace {
+
+TEST(LogGamma, IntegerFactorials) {
+  // Gamma(n) = (n-1)!.
+  EXPECT_NEAR(std::exp(log_gamma(1.0)), 1.0, 1e-12);
+  EXPECT_NEAR(std::exp(log_gamma(5.0)), 24.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_gamma(10.0)), 362880.0, 1e-4);
+}
+
+TEST(LogGamma, HalfIntegerValues) {
+  // Gamma(1/2) = sqrt(pi).
+  EXPECT_NEAR(std::exp(log_gamma(0.5)), std::sqrt(M_PI), 1e-12);
+  // Gamma(3/2) = sqrt(pi)/2.
+  EXPECT_NEAR(std::exp(log_gamma(1.5)), std::sqrt(M_PI) / 2.0, 1e-12);
+}
+
+TEST(RegularizedGamma, ComplementarityAndBounds) {
+  for (const double a : {0.5, 1.0, 3.0, 10.0, 50.0}) {
+    for (const double x : {0.1, 1.0, 5.0, 20.0, 80.0}) {
+      const double p = regularized_gamma_p(a, x);
+      const double q = regularized_gamma_q(a, x);
+      EXPECT_NEAR(p + q, 1.0, 1e-12) << "a=" << a << " x=" << x;
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+}
+
+TEST(RegularizedGamma, ExponentialSpecialCase) {
+  // P(1, x) = 1 - exp(-x).
+  for (const double x : {0.1, 1.0, 2.5}) {
+    EXPECT_NEAR(regularized_gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+}
+
+TEST(NormalCdf, ReferenceValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.024997895, 1e-8);
+  EXPECT_NEAR(normal_cdf(3.0), 0.9986501019683699, 1e-12);
+}
+
+TEST(NormalQuantile, InvertsTheCdf) {
+  for (const double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.975, 0.999}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantile, StandardCriticalValues) {
+  EXPECT_NEAR(normal_quantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.995), 2.575829, 1e-5);
+}
+
+TEST(NormalPdf, PeakValue) {
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804014327, 1e-14);
+}
+
+TEST(PoissonPmf, SumsToOne) {
+  const double mean = 6.3;
+  double total = 0.0;
+  for (std::uint64_t k = 0; k < 60; ++k) {
+    total += poisson_pmf(k, mean);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-10);
+}
+
+TEST(PoissonCdf, MatchesPartialSums) {
+  const double mean = 4.0;
+  double partial = 0.0;
+  for (std::uint64_t k = 0; k <= 12; ++k) {
+    partial += poisson_pmf(k, mean);
+    EXPECT_NEAR(poisson_cdf(k, mean), partial, 1e-10) << "k=" << k;
+  }
+}
+
+TEST(ExponentialCdf, KnownValues) {
+  EXPECT_DOUBLE_EQ(exponential_cdf(-1.0, 2.0), 0.0);
+  EXPECT_NEAR(exponential_cdf(1.0, 1.0), 1.0 - std::exp(-1.0), 1e-15);
+  EXPECT_NEAR(exponential_cdf(0.5, 2.0), 1.0 - std::exp(-1.0), 1e-15);
+}
+
+TEST(ChiSquaredCdf, ReferenceValues) {
+  // chi2 with 1 dof at x=3.841 is ~0.95.
+  EXPECT_NEAR(chi_squared_cdf(3.841, 1.0), 0.95, 2e-4);
+  // chi2 with 10 dof at its mean (10) is ~0.5595.
+  EXPECT_NEAR(chi_squared_cdf(10.0, 10.0), 0.5595, 2e-3);
+  EXPECT_DOUBLE_EQ(chi_squared_cdf(0.0, 5.0), 0.0);
+}
+
+TEST(StudentT, ApproachesNormalForLargeDof) {
+  EXPECT_NEAR(student_t_critical(0.95, 1000.0), 1.959964, 1e-2);
+}
+
+TEST(StudentT, ClassicTableValues) {
+  // dof=10, 95% two-sided: 2.228.
+  EXPECT_NEAR(student_t_critical(0.95, 10.0), 2.228, 0.02);
+  // dof=30: 2.042.
+  EXPECT_NEAR(student_t_critical(0.95, 30.0), 2.042, 0.01);
+  // dof=5, 99%: 4.032.
+  EXPECT_NEAR(student_t_critical(0.99, 5.0), 4.032, 0.15);
+}
+
+TEST(Domains, InvalidInputsThrow) {
+  EXPECT_THROW(log_gamma(0.0), InvalidArgument);
+  EXPECT_THROW(regularized_gamma_p(0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(regularized_gamma_p(1.0, -1.0), InvalidArgument);
+  EXPECT_THROW(normal_quantile(0.0), InvalidArgument);
+  EXPECT_THROW(normal_quantile(1.0), InvalidArgument);
+  EXPECT_THROW(poisson_pmf(1, 0.0), InvalidArgument);
+  EXPECT_THROW(chi_squared_cdf(1.0, 0.0), InvalidArgument);
+  EXPECT_THROW(student_t_critical(0.95, 0.5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vmcons

@@ -1,0 +1,154 @@
+// Tests for the diurnal workload profiles and batch-means output analysis.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/batch_means.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "workload/diurnal.hpp"
+
+namespace vmcons {
+namespace {
+
+TEST(Diurnal, RateOscillatesAroundBase) {
+  workload::DiurnalProfile profile;
+  profile.base_rate = 100.0;
+  profile.amplitude = 0.5;
+  profile.period = 86400.0;
+  profile.phase = 0.0;
+  // Peak a quarter period after phase (sin = 1).
+  EXPECT_NEAR(profile.rate_at(86400.0 / 4.0), 150.0, 1e-9);
+  EXPECT_NEAR(profile.rate_at(3.0 * 86400.0 / 4.0), 50.0, 1e-9);
+  EXPECT_NEAR(profile.rate_at(0.0), 100.0, 1e-9);
+}
+
+TEST(Diurnal, PhaseShiftsThePeak) {
+  workload::DiurnalProfile early;
+  early.phase = 0.0;
+  workload::DiurnalProfile late = early;
+  late.phase = 28800.0;  // 8 hours
+  EXPECT_NEAR(late.rate_at(28800.0 + 86400.0 / 4.0),
+              early.rate_at(86400.0 / 4.0), 1e-9);
+}
+
+TEST(Diurnal, WeekendDipApplies) {
+  workload::DiurnalProfile profile;
+  profile.amplitude = 0.0;
+  profile.weekend_dip = 0.4;
+  // Day 2 (weekday) vs day 6 (weekend).
+  EXPECT_NEAR(profile.rate_at(2.0 * 86400.0), 100.0, 1e-9);
+  EXPECT_NEAR(profile.rate_at(5.5 * 86400.0), 60.0, 1e-9);
+}
+
+TEST(Diurnal, NoiseIsUnbiased) {
+  workload::DiurnalProfile profile;
+  profile.amplitude = 0.0;
+  profile.noise_cv = 0.3;
+  Rng rng(181);
+  double total = 0.0;
+  const int draws = 40000;
+  for (int i = 0; i < draws; ++i) {
+    total += profile.sample(0.0, rng);
+  }
+  EXPECT_NEAR(total / draws, 100.0, 1.0);
+}
+
+TEST(Diurnal, MultiplexingGainOfShiftedPeaks) {
+  std::vector<workload::DiurnalProfile> profiles(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    profiles[i].base_rate = 100.0;
+    profiles[i].amplitude = 0.8;
+    profiles[i].noise_cv = 0.0;
+    profiles[i].phase = static_cast<double>(i) * 86400.0 / 3.0;
+  }
+  Rng rng(182);
+  const auto demands = workload::sample_demands(profiles, 86400.0, 288, rng);
+  // Perfectly phase-spread sinusoids: total is flat at 300 while each peak
+  // is 180 -> gain = 540/300 = 1.8.
+  EXPECT_NEAR(workload::multiplexing_gain(demands), 1.8, 0.05);
+}
+
+TEST(Diurnal, AlignedPeaksHaveNoGain) {
+  std::vector<workload::DiurnalProfile> profiles(3);
+  for (auto& profile : profiles) {
+    profile.amplitude = 0.8;
+    profile.noise_cv = 0.0;
+    profile.phase = 0.0;
+  }
+  Rng rng(183);
+  const auto demands = workload::sample_demands(profiles, 86400.0, 288, rng);
+  EXPECT_NEAR(workload::multiplexing_gain(demands), 1.0, 1e-9);
+}
+
+TEST(Diurnal, QuantileBelowPeak) {
+  std::vector<workload::DiurnalProfile> profiles(1);
+  profiles[0].amplitude = 0.6;
+  profiles[0].noise_cv = 0.05;
+  Rng rng(184);
+  const auto demands = workload::sample_demands(profiles, 86400.0, 288, rng);
+  EXPECT_LT(workload::series_quantile(demands.total, 0.95),
+            workload::series_peak(demands.total));
+  EXPECT_GT(workload::series_quantile(demands.total, 0.95),
+            workload::series_quantile(demands.total, 0.5));
+}
+
+TEST(Diurnal, Validation) {
+  Rng rng(185);
+  EXPECT_THROW(workload::sample_demands({}, 100.0, 10, rng), InvalidArgument);
+  std::vector<workload::DiurnalProfile> bad(1);
+  bad[0].amplitude = 1.5;
+  EXPECT_THROW(workload::sample_demands(bad, 100.0, 10, rng), InvalidArgument);
+  EXPECT_THROW(workload::series_peak({}), InvalidArgument);
+  EXPECT_THROW(workload::series_quantile({1.0}, 1.5), InvalidArgument);
+}
+
+TEST(BatchMeans, IidSamplesGiveHonestInterval) {
+  Rng rng(186);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    samples.push_back(rng.normal(5.0, 2.0));
+  }
+  const BatchMeansResult result = batch_means(samples, 20);
+  EXPECT_NEAR(result.mean, 5.0, 0.1);
+  EXPECT_TRUE(result.interval.contains(5.0));
+  EXPECT_TRUE(result.batches_look_independent);
+  EXPECT_EQ(result.batch_size, 1000u);
+}
+
+TEST(BatchMeans, DetectsStrongCorrelationWithTinyBatches) {
+  // AR(1) with phi = 0.99 and only 4 observations per batch: batch means
+  // stay heavily correlated and the diagnostic must flag it.
+  Rng rng(187);
+  std::vector<double> samples;
+  double state = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    state = 0.99 * state + rng.normal(0.0, 1.0);
+    samples.push_back(state);
+  }
+  const BatchMeansResult result = batch_means(samples, 100);
+  EXPECT_FALSE(result.batches_look_independent);
+}
+
+TEST(BatchMeans, AutocorrelationOfWhiteAndPersistentNoise) {
+  Rng rng(188);
+  std::vector<double> white;
+  std::vector<double> persistent;
+  double state = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    white.push_back(rng.normal(0.0, 1.0));
+    state = 0.9 * state + rng.normal(0.0, 1.0);
+    persistent.push_back(state);
+  }
+  EXPECT_NEAR(autocorrelation(white, 1), 0.0, 0.05);
+  EXPECT_NEAR(autocorrelation(persistent, 1), 0.9, 0.05);
+}
+
+TEST(BatchMeans, Validation) {
+  EXPECT_THROW(batch_means({1.0, 2.0}, 2), InvalidArgument);
+  EXPECT_THROW(batch_means({1.0, 2.0, 3.0, 4.0}, 1), InvalidArgument);
+  EXPECT_THROW(autocorrelation({1.0}, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vmcons

@@ -1,0 +1,99 @@
+// Behavioural tests for the workload drivers: determinism, closed-loop
+// identities (Little's law), and goodput accounting — the properties that
+// make bench results trustworthy run-to-run.
+#include <gtest/gtest.h>
+
+#include "workload/httperf.hpp"
+#include "workload/specweb.hpp"
+#include "workload/tpcw.hpp"
+
+namespace vmcons::workload {
+namespace {
+
+TEST(DriverDeterminism, HttperfSameStreamSameResult) {
+  HttperfConfig config = specweb_diskio_config(2);
+  config.duration = 60.0;
+  Rng a(221);
+  Rng b(221);
+  const HttperfPoint first = httperf_run(config, 500.0, a);
+  const HttperfPoint second = httperf_run(config, 500.0, b);
+  EXPECT_DOUBLE_EQ(first.reply_rate, second.reply_rate);
+  EXPECT_DOUBLE_EQ(first.mean_response, second.mean_response);
+  EXPECT_DOUBLE_EQ(first.loss, second.loss);
+}
+
+TEST(DriverDeterminism, TpcwSweepIndependentOfOtherPoints) {
+  // Each sweep point derives its stream from (seed, index): dropping a
+  // point must not change the others.
+  TpcwConfig config;
+  config.vm_count = 2;
+  config.duration = 60.0;
+  const auto full = tpcw_sweep(config, {100, 500, 900}, 222);
+  const auto partial = tpcw_sweep(config, {100, 500}, 222);
+  EXPECT_DOUBLE_EQ(full[0].wips, partial[0].wips);
+  EXPECT_DOUBLE_EQ(full[1].wips, partial[1].wips);
+}
+
+TEST(ClosedLoop, LittleLawHoldsForTpcw) {
+  // In a closed system: EBs = WIPS * (think + response) at steady state.
+  TpcwConfig config;
+  config.vm_count = 2;
+  config.duration = 500.0;
+  Rng rng(223);
+  const unsigned ebs = 800;
+  const TpcwPoint point = tpcw_run(config, ebs, rng);
+  const double reconstructed =
+      point.wips * (config.think_time + point.mean_response);
+  EXPECT_NEAR(reconstructed, static_cast<double>(ebs),
+              static_cast<double>(ebs) * 0.08);
+}
+
+TEST(ClosedLoop, LittleLawHoldsForSpecwebSessions) {
+  SpecwebSessionsConfig config;
+  config.duration = 400.0;
+  config.warmup = 40.0;
+  Rng rng(224);
+  const unsigned sessions = 1500;
+  const auto point = specweb_sessions_run(config, sessions, rng);
+  const double reconstructed =
+      point.throughput * (config.think_time + point.mean_response);
+  // Refused requests retry after another think; at low refusal this is
+  // still a tight identity.
+  EXPECT_NEAR(reconstructed, static_cast<double>(sessions),
+              static_cast<double>(sessions) * 0.1);
+}
+
+TEST(Goodput, HttperfLossPlusRepliesAccountForOfferedLoad) {
+  HttperfConfig config = specweb_diskio_config(1);
+  config.duration = 300.0;
+  Rng rng(225);
+  const double offered = 900.0;  // well past capacity
+  const HttperfPoint point = httperf_run(config, offered, rng);
+  // reply_rate + loss*offered ~ offered.
+  EXPECT_NEAR(point.reply_rate + point.loss * offered, offered,
+              offered * 0.05);
+  EXPECT_GT(point.loss, 0.3);  // heavy overload drops a lot
+}
+
+TEST(Goodput, ResponseTimeGrowsThroughTheKnee) {
+  HttperfConfig config = cached_8kb_cpu_config(2);
+  config.duration = 120.0;
+  const double capacity = httperf_capacity(config);
+  const auto points =
+      httperf_sweep(config, {0.3 * capacity, 0.9 * capacity, 1.5 * capacity},
+                    226);
+  EXPECT_LT(points[0].mean_response, points[1].mean_response);
+  EXPECT_LT(points[1].mean_response, points[2].mean_response);
+}
+
+TEST(Goodput, WipsUpperLimitIsExact) {
+  TpcwConfig config;
+  config.think_time = 7.0;
+  config.duration = 30.0;
+  Rng rng(227);
+  const TpcwPoint point = tpcw_run(config, 700, rng);
+  EXPECT_DOUBLE_EQ(point.wips_upper_limit, 100.0);
+}
+
+}  // namespace
+}  // namespace vmcons::workload

@@ -1,0 +1,103 @@
+// Tests for engine event cancellation and the TPC-W traffic mixes.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+#include "workload/tpcw.hpp"
+
+namespace vmcons {
+namespace {
+
+TEST(EngineCancel, CancelledEventNeverRuns) {
+  sim::Engine engine;
+  int fired = 0;
+  const sim::EventId id = engine.schedule_at(5.0, [&] { ++fired; });
+  engine.schedule_at(10.0, [&] { ++fired; });
+  EXPECT_TRUE(engine.cancel(id));
+  engine.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine.executed(), 1u);
+}
+
+TEST(EngineCancel, CancelReturnsFalseForDeadIds) {
+  sim::Engine engine;
+  const sim::EventId id = engine.schedule_at(1.0, [] {});
+  engine.run();
+  EXPECT_FALSE(engine.cancel(id));          // already ran
+  EXPECT_FALSE(engine.cancel(id));          // idempotent
+  EXPECT_FALSE(engine.cancel(987654321u));  // never existed
+}
+
+TEST(EngineCancel, DoubleCancelReturnsFalse) {
+  sim::Engine engine;
+  const sim::EventId id = engine.schedule_at(1.0, [] {});
+  EXPECT_TRUE(engine.cancel(id));
+  EXPECT_FALSE(engine.cancel(id));
+  engine.run();
+  EXPECT_EQ(engine.executed(), 0u);
+}
+
+TEST(EngineCancel, TimeoutPatternWorks) {
+  // The canonical use: schedule a timeout, cancel it when work completes.
+  sim::Engine engine;
+  bool timed_out = false;
+  sim::EventId timeout = 0;
+  engine.schedule_at(1.0, [&] {
+    timeout = engine.schedule_in(10.0, [&] { timed_out = true; });
+  });
+  engine.schedule_at(5.0, [&] {
+    engine.cancel(timeout);  // work finished before the deadline
+  });
+  engine.run();
+  EXPECT_FALSE(timed_out);
+}
+
+TEST(EngineCancel, CancelledCountTracksPendingCancellations) {
+  sim::Engine engine;
+  const sim::EventId id = engine.schedule_at(1.0, [] {});
+  EXPECT_EQ(engine.cancelled(), 0u);
+  engine.cancel(id);
+  EXPECT_EQ(engine.cancelled(), 1u);
+  engine.run();
+  EXPECT_EQ(engine.cancelled(), 0u);  // consumed at pop time
+}
+
+TEST(TpcwMix, CostOrdering) {
+  using workload::TpcwMix;
+  EXPECT_LT(workload::tpcw_mix_cost_factor(TpcwMix::kBrowsing),
+            workload::tpcw_mix_cost_factor(TpcwMix::kShopping));
+  EXPECT_LT(workload::tpcw_mix_cost_factor(TpcwMix::kShopping),
+            workload::tpcw_mix_cost_factor(TpcwMix::kOrdering));
+  EXPECT_DOUBLE_EQ(workload::tpcw_mix_cost_factor(TpcwMix::kShopping), 1.0);
+}
+
+TEST(TpcwMix, CapacityInvertsTheCost) {
+  workload::TpcwConfig browsing;
+  browsing.vm_count = 2;
+  browsing.mix = workload::TpcwMix::kBrowsing;
+  workload::TpcwConfig shopping = browsing;
+  shopping.mix = workload::TpcwMix::kShopping;
+  workload::TpcwConfig ordering = browsing;
+  ordering.mix = workload::TpcwMix::kOrdering;
+  EXPECT_GT(workload::tpcw_capacity(browsing),
+            workload::tpcw_capacity(shopping));
+  EXPECT_GT(workload::tpcw_capacity(shopping),
+            workload::tpcw_capacity(ordering));
+}
+
+TEST(TpcwMix, SaturatedWipsFollowsTheMix) {
+  workload::TpcwConfig shopping;
+  shopping.vm_count = 2;
+  shopping.duration = 300.0;
+  workload::TpcwConfig ordering = shopping;
+  ordering.mix = workload::TpcwMix::kOrdering;
+
+  Rng rng_a(191);
+  Rng rng_b(191);
+  const auto shopping_point = workload::tpcw_run(shopping, 3000, rng_a);
+  const auto ordering_point = workload::tpcw_run(ordering, 3000, rng_b);
+  EXPECT_GT(shopping_point.wips, ordering_point.wips * 1.1);
+}
+
+}  // namespace
+}  // namespace vmcons

@@ -1,0 +1,104 @@
+// Tests for the discrete-event engine: ordering, determinism, horizons.
+#include "sim/engine.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace vmcons::sim {
+namespace {
+
+TEST(Engine, ExecutesInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(3.0, [&] { order.push_back(3); });
+  engine.schedule_at(1.0, [&] { order.push_back(1); });
+  engine.schedule_at(2.0, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(engine.now(), 3.0);
+  EXPECT_EQ(engine.executed(), 3u);
+}
+
+TEST(Engine, TiesBreakByInsertionOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(Engine, EventsScheduleMoreEvents) {
+  Engine engine;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    if (++ticks < 100) {
+      engine.schedule_in(1.0, tick);
+    }
+  };
+  engine.schedule_in(1.0, tick);
+  engine.run();
+  EXPECT_EQ(ticks, 100);
+  EXPECT_DOUBLE_EQ(engine.now(), 100.0);
+}
+
+TEST(Engine, RunUntilStopsAtHorizonAndKeepsLaterEvents) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(1.0, [&] { ++fired; });
+  engine.schedule_at(10.0, [&] { ++fired; });
+  engine.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(engine.now(), 5.0);
+  EXPECT_EQ(engine.pending(), 1u);
+  engine.run_until(20.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(engine.now(), 20.0);
+}
+
+TEST(Engine, RunUntilAdvancesClockOnEmptyCalendar) {
+  Engine engine;
+  engine.run_until(42.0);
+  EXPECT_DOUBLE_EQ(engine.now(), 42.0);
+}
+
+TEST(Engine, StopEndsTheRun) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(1.0, [&] {
+    ++fired;
+    engine.stop();
+  });
+  engine.schedule_at(2.0, [&] { ++fired; });
+  engine.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine.pending(), 1u);
+}
+
+TEST(Engine, RejectsSchedulingInThePast) {
+  Engine engine;
+  engine.schedule_at(5.0, [] {});
+  engine.run();
+  EXPECT_THROW(engine.schedule_at(4.0, [] {}), InvalidArgument);
+  EXPECT_THROW(engine.schedule_in(-1.0, [] {}), InvalidArgument);
+}
+
+TEST(Engine, ZeroDelayRunsAtCurrentTime) {
+  Engine engine;
+  std::vector<double> times;
+  engine.schedule_at(1.0, [&] {
+    engine.schedule_in(0.0, [&] { times.push_back(engine.now()); });
+  });
+  engine.run();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+}
+
+}  // namespace
+}  // namespace vmcons::sim

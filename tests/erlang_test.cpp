@@ -1,0 +1,187 @@
+// Tests for the Erlang-B/C solvers: reference values, identities, and the
+// properties the paper's Fig. 4 algorithm relies on.
+#include "queueing/erlang.hpp"
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace vmcons::queueing {
+namespace {
+
+TEST(ErlangB, ZeroServersBlocksEverything) {
+  EXPECT_DOUBLE_EQ(erlang_b(0, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(erlang_b(0, 0.0), 1.0);
+}
+
+TEST(ErlangB, ZeroLoadNeverBlocksWithServers) {
+  EXPECT_DOUBLE_EQ(erlang_b(1, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(erlang_b(10, 0.0), 0.0);
+}
+
+TEST(ErlangB, SingleServerClosedForm) {
+  // E_1(rho) = rho / (1 + rho).
+  for (const double rho : {0.1, 0.5, 1.0, 2.0, 10.0}) {
+    EXPECT_NEAR(erlang_b(1, rho), rho / (1.0 + rho), 1e-15) << "rho=" << rho;
+  }
+}
+
+TEST(ErlangB, TwoServerClosedForm) {
+  // E_2(rho) = rho^2 / (2 + 2 rho + rho^2).
+  for (const double rho : {0.1, 0.5, 1.0, 2.0, 10.0}) {
+    const double expected = rho * rho / (2.0 + 2.0 * rho + rho * rho);
+    EXPECT_NEAR(erlang_b(2, rho), expected, 1e-15) << "rho=" << rho;
+  }
+}
+
+TEST(ErlangB, ClassicReferenceValues) {
+  // Standard telephony tables.
+  EXPECT_NEAR(erlang_b(10, 5.0), 0.018385, 1e-5);
+  EXPECT_NEAR(erlang_b(20, 12.0), 0.0098, 2e-4);
+  EXPECT_NEAR(erlang_b(100, 90.0), 0.0269574, 1e-5);
+  EXPECT_NEAR(erlang_b(5, 10.0), 0.56394, 1e-4);
+}
+
+TEST(ErlangB, MatchesFactorialFormForSmallSystems) {
+  // E_n(rho) = (rho^n/n!) / sum_k rho^k/k!; valid only for small n.
+  for (std::uint64_t n = 1; n <= 20; ++n) {
+    const double rho = 3.7;
+    double term = 1.0;
+    double denominator = 1.0;
+    for (std::uint64_t k = 1; k <= n; ++k) {
+      term *= rho / static_cast<double>(k);
+      denominator += term;
+    }
+    EXPECT_NEAR(erlang_b(n, rho), term / denominator, 1e-12) << "n=" << n;
+  }
+}
+
+class ErlangBMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(ErlangBMonotonicity, DecreasesInServers) {
+  const double rho = GetParam();
+  double previous = 1.0;
+  for (std::uint64_t n = 1; n <= 64; ++n) {
+    const double current = erlang_b(n, rho);
+    EXPECT_LT(current, previous) << "rho=" << rho << " n=" << n;
+    previous = current;
+  }
+}
+
+TEST_P(ErlangBMonotonicity, IncreasesInLoad) {
+  const double rho = GetParam();
+  for (std::uint64_t n = 1; n <= 32; n += 3) {
+    EXPECT_LT(erlang_b(n, rho), erlang_b(n, rho * 1.25))
+        << "rho=" << rho << " n=" << n;
+  }
+}
+
+TEST_P(ErlangBMonotonicity, BoundedByOne) {
+  const double rho = GetParam();
+  for (std::uint64_t n = 0; n <= 32; ++n) {
+    const double b = erlang_b(n, rho);
+    EXPECT_GE(b, 0.0);
+    EXPECT_LE(b, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, ErlangBMonotonicity,
+                         ::testing::Values(0.1, 0.5, 1.0, 2.0, 5.0, 12.0, 50.0,
+                                           200.0, 1000.0));
+
+TEST(ErlangBServers, MatchesDirectScan) {
+  for (const double rho : {0.3, 1.0, 4.2, 17.0, 88.0}) {
+    for (const double target : {0.001, 0.01, 0.05, 0.2}) {
+      const std::uint64_t n = erlang_b_servers(rho, target);
+      EXPECT_LE(erlang_b(n, rho), target) << "rho=" << rho;
+      if (n > 0) {
+        EXPECT_GT(erlang_b(n - 1, rho), target) << "rho=" << rho;
+      }
+    }
+  }
+}
+
+TEST(ErlangBServers, ZeroLoadNeedsNoServers) {
+  EXPECT_EQ(erlang_b_servers(0.0, 0.01), 0u);
+}
+
+TEST(ErlangBServers, TargetOneAlwaysSatisfied) {
+  EXPECT_EQ(erlang_b_servers(100.0, 1.0), 0u);
+}
+
+TEST(ErlangBServers, LargeLoadStaysNearSquareRootStaffing) {
+  // For rho = 1000 and B = 1%, n should be rho + O(sqrt(rho)).
+  const std::uint64_t n = erlang_b_servers(1000.0, 0.01);
+  EXPECT_GT(n, 1000u);
+  EXPECT_LT(n, 1100u);
+}
+
+TEST(ErlangBCapacity, InvertsBlocking) {
+  for (const std::uint64_t n : {1ull, 4ull, 16ull, 64ull}) {
+    for (const double target : {0.001, 0.01, 0.1}) {
+      const double rho = erlang_b_capacity(n, target);
+      EXPECT_NEAR(erlang_b(n, rho), target, 1e-9) << "n=" << n;
+    }
+  }
+}
+
+TEST(ErlangC, KnownValues) {
+  // Erlang-C with c=2, rho=1: C = 1/3.
+  EXPECT_NEAR(erlang_c(2, 1.0), 1.0 / 3.0, 1e-12);
+  // c=1 reduces to rho (M/M/1 P(wait) = rho).
+  EXPECT_NEAR(erlang_c(1, 0.6), 0.6, 1e-12);
+}
+
+TEST(ErlangC, AtLeastErlangB) {
+  // Waiting probability always >= loss probability for same (n, rho).
+  for (const double rho : {0.5, 1.5, 3.0}) {
+    for (std::uint64_t n = static_cast<std::uint64_t>(rho) + 1; n < 12; ++n) {
+      EXPECT_GE(erlang_c(n, rho), erlang_b(n, rho));
+    }
+  }
+}
+
+TEST(ErlangC, MeanWaitMatchesMm1ClosedForm) {
+  // M/M/1: Wq = rho / (mu - lambda).
+  const double lambda = 0.7;
+  const double mu = 1.0;
+  EXPECT_NEAR(erlang_c_mean_wait(1, lambda, mu),
+              (lambda / mu) / (mu - lambda), 1e-12);
+}
+
+TEST(CarriedLoad, NeverExceedsOfferedOrServers) {
+  for (const double rho : {0.5, 2.0, 10.0, 100.0}) {
+    for (const std::uint64_t n : {1ull, 5ull, 50ull}) {
+      const double carried = carried_load(n, rho);
+      EXPECT_LE(carried, rho + 1e-12);
+      EXPECT_LE(carried, static_cast<double>(n) + 1e-12);
+      EXPECT_GE(carried, 0.0);
+    }
+  }
+}
+
+TEST(LossUtilization, ApproachesOneUnderOverload) {
+  EXPECT_GT(loss_system_utilization(4, 100.0), 0.95);
+  EXPECT_LT(loss_system_utilization(4, 0.01), 0.01);
+}
+
+TEST(OfferedLoad, ValidatesInputs) {
+  EXPECT_THROW(offered_load(-1.0, 1.0), InvalidArgument);
+  EXPECT_THROW(offered_load(1.0, 0.0), InvalidArgument);
+  EXPECT_DOUBLE_EQ(offered_load(6.0, 2.0), 3.0);
+}
+
+TEST(ErlangInputs, Validation) {
+  EXPECT_THROW(erlang_b(3, -0.5), InvalidArgument);
+  EXPECT_THROW(erlang_b_servers(1.0, 0.0), InvalidArgument);
+  EXPECT_THROW(erlang_b_servers(1.0, 1.5), InvalidArgument);
+  EXPECT_THROW(erlang_c(0, 0.5), InvalidArgument);
+  EXPECT_THROW(erlang_c(2, 2.0), InvalidArgument);  // rho == n unstable
+  EXPECT_THROW(erlang_b_capacity(0, 0.01), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vmcons::queueing

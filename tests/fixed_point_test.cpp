@@ -1,0 +1,151 @@
+// Tests for the reduced-load (Erlang fixed point) approximation and its
+// bridge to the model inputs.
+#include "queueing/fixed_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/accuracy.hpp"
+#include "core/model.hpp"
+#include "datacenter/loss_network.hpp"
+#include "queueing/erlang.hpp"
+#include "sim/replication.hpp"
+#include "util/error.hpp"
+
+namespace vmcons {
+namespace {
+
+using queueing::LossClass;
+
+TEST(FixedPoint, SingleClassSingleResourceIsPlainErlangB) {
+  LossClass loss_class;
+  loss_class.arrival_rate = 2.0;
+  loss_class.service_rates = {1.0};
+  const auto result = queueing::reduced_load_blocking({loss_class}, 3);
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.resource_blocking[0], queueing::erlang_b(3, 2.0), 1e-10);
+  EXPECT_NEAR(result.class_blocking[0], queueing::erlang_b(3, 2.0), 1e-10);
+}
+
+TEST(FixedPoint, DisjointResourcesDecouple) {
+  // Two classes on two disjoint resources: each is an independent Erlang-B.
+  LossClass a;
+  a.arrival_rate = 2.0;
+  a.service_rates = {1.0, 0.0};
+  LossClass b;
+  b.arrival_rate = 1.0;
+  b.service_rates = {0.0, 1.0};
+  const auto result = queueing::reduced_load_blocking({a, b}, 3);
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.resource_blocking[0], queueing::erlang_b(3, 2.0), 1e-10);
+  EXPECT_NEAR(result.resource_blocking[1], queueing::erlang_b(3, 1.0), 1e-10);
+}
+
+TEST(FixedPoint, CouplingThinsTheLoad) {
+  // One class demanding two equally-loaded resources: each resource sees
+  // load thinned by the other's acceptance, so per-resource blocking is
+  // BELOW the independent value.
+  LossClass both;
+  both.arrival_rate = 3.0;
+  both.service_rates = {1.0, 1.0};
+  const auto result = queueing::reduced_load_blocking({both}, 3);
+  ASSERT_TRUE(result.converged);
+  const double independent = queueing::erlang_b(3, 3.0);
+  for (const double blocking : result.resource_blocking) {
+    EXPECT_LT(blocking, independent);
+    EXPECT_GT(blocking, 0.0);
+  }
+  // End-to-end class blocking combines both resources.
+  EXPECT_GT(result.class_blocking[0], result.resource_blocking[0]);
+}
+
+TEST(FixedPoint, MatchesSimulationBetterThanPaperModel) {
+  // The group-1 case study: the paper model's Eq. (4) rate averaging is
+  // optimistic; the reduced-load estimate should land closer to the
+  // simulated loss network.
+  core::ModelInputs inputs;
+  inputs.target_loss = 0.01;
+  dc::ServiceSpec web = dc::paper_web_service();
+  dc::ServiceSpec db = dc::paper_db_service();
+  web.arrival_rate = core::intensive_workload(web, 3, 0.01);
+  db.arrival_rate = core::intensive_workload(db, 3, 0.01);
+  inputs.services = {web, db};
+
+  core::UtilityAnalyticModel model(inputs);
+  const auto plan = model.solve();
+  const double paper_estimate = plan.consolidated_blocking;
+  const auto fixed_point =
+      core::reduced_load_consolidated_loss(inputs, plan.consolidated_servers);
+  ASSERT_TRUE(fixed_point.converged);
+
+  dc::LossNetworkConfig config;
+  config.services = inputs.services;
+  config.servers = static_cast<unsigned>(plan.consolidated_servers);
+  config.vm_count = 2;
+  config.horizon = 4000.0;
+  config.warmup = 400.0;
+  const auto simulated = sim::replicate_scalar(
+      8, 171, [&](std::size_t, Rng& rng) {
+        return simulate_loss_network(config, rng).pool.overall_loss();
+      });
+
+  const double simulated_loss = simulated.summary.mean();
+  EXPECT_LT(std::abs(fixed_point.overall_blocking - simulated_loss),
+            std::abs(paper_estimate - simulated_loss));
+}
+
+TEST(FixedPoint, CapacityInverseSatisfiesTarget) {
+  LossClass a;
+  a.arrival_rate = 2.0;
+  a.service_rates = {1.0, 3.0};
+  LossClass b;
+  b.arrival_rate = 1.5;
+  b.service_rates = {0.0, 1.0};
+  const std::uint64_t capacity =
+      queueing::reduced_load_capacity({a, b}, 0.01);
+  EXPECT_LE(queueing::reduced_load_blocking({a, b}, capacity).overall_blocking,
+            0.01);
+  if (capacity > 1) {
+    EXPECT_GT(
+        queueing::reduced_load_blocking({a, b}, capacity - 1).overall_blocking,
+        0.01);
+  }
+}
+
+TEST(FixedPoint, BridgeBuildsOneClassPerService) {
+  core::ModelInputs inputs;
+  inputs.target_loss = 0.01;
+  dc::ServiceSpec web = dc::paper_web_service();
+  dc::ServiceSpec db = dc::paper_db_service();
+  web.arrival_rate = 100.0;
+  db.arrival_rate = 30.0;
+  inputs.services = {web, db};
+  const auto classes = core::consolidated_loss_classes(inputs);
+  ASSERT_EQ(classes.size(), 2u);
+  // Web: disk 420*0.8, cpu 3360*0.65 at v=2.
+  EXPECT_NEAR(classes[0].service_rates[static_cast<std::size_t>(
+                  dc::Resource::kDiskIo)],
+              336.0, 1e-9);
+  EXPECT_NEAR(
+      classes[0].service_rates[static_cast<std::size_t>(dc::Resource::kCpu)],
+      2184.0, 1e-9);
+  EXPECT_NEAR(
+      classes[1].service_rates[static_cast<std::size_t>(dc::Resource::kCpu)],
+      90.0, 1e-9);
+}
+
+TEST(FixedPoint, Validation) {
+  EXPECT_THROW(queueing::reduced_load_blocking({}, 1), InvalidArgument);
+  LossClass no_demand;
+  no_demand.arrival_rate = 1.0;
+  no_demand.service_rates = {0.0};
+  EXPECT_THROW(queueing::reduced_load_blocking({no_demand}, 1),
+               InvalidArgument);
+  LossClass ok;
+  ok.arrival_rate = 1.0;
+  ok.service_rates = {1.0};
+  EXPECT_THROW(queueing::reduced_load_blocking({ok}, 0), InvalidArgument);
+  EXPECT_THROW(queueing::reduced_load_capacity({ok}, 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vmcons

@@ -1,0 +1,120 @@
+// Tests for goodness-of-fit machinery and confidence intervals.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/confidence.hpp"
+#include "stats/gof.hpp"
+#include "stats/summary.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace vmcons {
+namespace {
+
+TEST(ChiSquaredTest, AcceptsMatchingCounts) {
+  const std::vector<double> expected{100, 200, 300, 400};
+  const std::vector<double> observed{105, 195, 290, 410};
+  const GofResult result = chi_squared_test(observed, expected);
+  EXPECT_TRUE(result.accept(0.05));
+}
+
+TEST(ChiSquaredTest, RejectsGrossMismatch) {
+  const std::vector<double> expected{100, 100, 100, 100};
+  const std::vector<double> observed{10, 190, 250, 30};
+  const GofResult result = chi_squared_test(observed, expected);
+  EXPECT_FALSE(result.accept(0.01));
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(ChiSquaredTest, PoolsSparseCategories) {
+  // Expected counts below 5 must be pooled, not produce huge statistics.
+  const std::vector<double> expected{0.5, 0.5, 0.5, 0.5, 100.0, 100.0};
+  const std::vector<double> observed{0, 1, 0, 1, 102.0, 98.0};
+  const GofResult result = chi_squared_test(observed, expected);
+  EXPECT_TRUE(result.accept(0.05));
+}
+
+TEST(PoissonGof, AcceptsTruePoissonRejectsConstant) {
+  Rng rng(31);
+  std::vector<std::uint64_t> poisson_counts;
+  std::vector<std::uint64_t> constant_counts;
+  for (int i = 0; i < 20000; ++i) {
+    poisson_counts.push_back(rng.poisson(5.0));
+    constant_counts.push_back(5);
+  }
+  EXPECT_TRUE(poisson_gof(poisson_counts, 5.0).accept(0.001));
+  EXPECT_FALSE(poisson_gof(constant_counts, 5.0).accept(0.01));
+}
+
+TEST(ExponentialGof, AcceptsTrueExponentialRejectsUniform) {
+  Rng rng(32);
+  std::vector<double> exponential_samples;
+  std::vector<double> uniform_samples;
+  for (int i = 0; i < 20000; ++i) {
+    exponential_samples.push_back(rng.exponential(2.0));
+    uniform_samples.push_back(rng.uniform(0.0, 1.0));
+  }
+  EXPECT_TRUE(exponential_gof(exponential_samples, 2.0).accept(0.001));
+  EXPECT_FALSE(exponential_gof(uniform_samples, 2.0).accept(0.01));
+}
+
+TEST(MeanConfidenceInterval, CoversTheTruth) {
+  // 95% CI over replicated normal samples should contain the mean ~95% of
+  // the time; with 200 trials, expect at least 85% coverage.
+  Rng rng(33);
+  int covered = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    Summary summary;
+    for (int i = 0; i < 30; ++i) {
+      summary.add(rng.normal(10.0, 3.0));
+    }
+    if (mean_confidence_interval(summary, 0.95).contains(10.0)) {
+      ++covered;
+    }
+  }
+  EXPECT_GE(covered, trials * 85 / 100);
+}
+
+TEST(MeanConfidenceInterval, WidthShrinksWithSamples) {
+  Rng rng(34);
+  Summary small;
+  Summary large;
+  for (int i = 0; i < 10; ++i) {
+    small.add(rng.normal(0.0, 1.0));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    large.add(rng.normal(0.0, 1.0));
+  }
+  EXPECT_GT(mean_confidence_interval(small).half_width,
+            mean_confidence_interval(large).half_width);
+}
+
+TEST(MeanConfidenceInterval, NeedsTwoSamples) {
+  Summary summary;
+  summary.add(1.0);
+  EXPECT_THROW(mean_confidence_interval(summary), InvalidArgument);
+}
+
+TEST(ProportionInterval, WilsonBehavesAtZero) {
+  // Zero successes: lower bound 0-ish, upper bound small but positive.
+  const ConfidenceInterval interval = proportion_confidence_interval(0, 1000);
+  EXPECT_GE(interval.lower, -1e-12);
+  EXPECT_GT(interval.upper, 0.0);
+  EXPECT_LT(interval.upper, 0.01);
+}
+
+TEST(ProportionInterval, CoversKnownProportion) {
+  const ConfidenceInterval interval = proportion_confidence_interval(100, 1000);
+  EXPECT_TRUE(interval.contains(0.1));
+  EXPECT_NEAR(interval.mean, 0.1, 1e-12);
+}
+
+TEST(ProportionInterval, ValidatesInputs) {
+  EXPECT_THROW(proportion_confidence_interval(1, 0), InvalidArgument);
+  EXPECT_THROW(proportion_confidence_interval(5, 4), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vmcons

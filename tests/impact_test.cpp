@@ -1,0 +1,159 @@
+// Tests for impact-factor models, overhead injection, and calibration.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/regression.hpp"
+#include "util/error.hpp"
+#include "virt/calibration.hpp"
+#include "virt/impact.hpp"
+#include "virt/overhead.hpp"
+
+namespace vmcons::virt {
+namespace {
+
+TEST(Impact, DefaultIsIdentity) {
+  Impact impact;
+  for (unsigned v = 1; v <= 9; ++v) {
+    EXPECT_DOUBLE_EQ(impact.factor(v), 1.0);
+    EXPECT_DOUBLE_EQ(impact.raw_factor(v), 1.0);
+  }
+}
+
+TEST(Impact, PaperWebDiskIoCurve) {
+  const Impact impact = Impact::paper_web_disk_io();
+  // a(v) = 1.082 - 0.102 v.
+  EXPECT_NEAR(impact.raw_factor(1), 0.98, 1e-12);
+  EXPECT_NEAR(impact.raw_factor(6), 0.47, 1e-12);
+  EXPECT_NEAR(impact.raw_factor(9), 0.164, 1e-12);
+  // Section IV-D: throughput degradation exceeds 50% past 6 VMs.
+  EXPECT_LT(impact.raw_factor(7), 0.5);
+}
+
+TEST(Impact, PaperWebCpuCurve) {
+  const Impact impact = Impact::paper_web_cpu();
+  EXPECT_NEAR(impact.raw_factor(1), 0.619, 1e-12);
+  EXPECT_NEAR(impact.raw_factor(9), 0.307, 1e-12);
+}
+
+TEST(Impact, PaperDbCurveShowsSoftwareCeilingEscape) {
+  const Impact impact = Impact::paper_db_cpu();
+  // One VM performs like native; several VMs exceed it (raw > 1).
+  EXPECT_NEAR(impact.raw_factor(1), 1.0, 1e-9);
+  EXPECT_GT(impact.raw_factor(2), 1.5);
+  EXPECT_LT(impact.raw_factor(2), 1.85);
+  // Plateau approaches 1.85.
+  EXPECT_NEAR(impact.raw_factor(30), 1.85, 0.01);
+  // Planning factor clamps to 1.
+  EXPECT_DOUBLE_EQ(impact.factor(4), 1.0);
+}
+
+TEST(Impact, ClampingFloorsAtMinFactor) {
+  const Impact impact = Impact::linear(0.2, -0.1);
+  EXPECT_DOUBLE_EQ(impact.factor(9), Impact::kMinFactor);
+  EXPECT_LT(impact.raw_factor(9), 0.0);  // raw is unclamped
+}
+
+TEST(Impact, TableInterpolatesAndClamps) {
+  const Impact impact = Impact::table({{1, 1.0}, {3, 0.8}, {5, 0.4}});
+  EXPECT_DOUBLE_EQ(impact.raw_factor(1), 1.0);
+  EXPECT_DOUBLE_EQ(impact.raw_factor(2), 0.9);
+  EXPECT_DOUBLE_EQ(impact.raw_factor(4), 0.6);
+  EXPECT_DOUBLE_EQ(impact.raw_factor(7), 0.4);   // clamp beyond last
+  EXPECT_DOUBLE_EQ(impact.raw_factor(0), 1.0);   // clamp before first
+}
+
+TEST(Impact, TableRequiresSortedPoints) {
+  EXPECT_THROW(Impact::table({{3, 0.5}, {1, 1.0}}), InvalidArgument);
+  EXPECT_THROW(Impact::table({}), InvalidArgument);
+}
+
+TEST(Impact, ConstantValidatesPositive) {
+  EXPECT_THROW(Impact::constant(0.0), InvalidArgument);
+  EXPECT_THROW(Impact::constant(-1.0), InvalidArgument);
+}
+
+TEST(Impact, DescribeMentionsTheFormula) {
+  EXPECT_NE(Impact::paper_web_disk_io().describe().find("1.082"),
+            std::string::npos);
+  EXPECT_NE(Impact::paper_db_cpu().describe().find("1.85"), std::string::npos);
+}
+
+TEST(Overhead, PinnedBeatsXenScheduled) {
+  OverheadConfig pinned;
+  pinned.impact = Impact::paper_web_cpu();
+  OverheadConfig scheduled = pinned;
+  scheduled.vcpu_mode = VcpuMode::kXenScheduled;
+  for (unsigned v = 1; v <= 6; ++v) {
+    EXPECT_GT(rate_multiplier(pinned, v), rate_multiplier(scheduled, v));
+    EXPECT_NEAR(rate_multiplier(scheduled, v) / rate_multiplier(pinned, v),
+                kXenSchedulerPenalty, 1e-12);
+  }
+}
+
+TEST(Overhead, Domain0TaxGrowsWithVmCount) {
+  OverheadConfig config;
+  config.impact = Impact::none();
+  EXPECT_GT(rate_multiplier(config, 1), rate_multiplier(config, 9));
+}
+
+TEST(Overhead, EffectiveRateScalesNativeRate) {
+  OverheadConfig config;
+  config.impact = Impact::constant(0.8);
+  config.domain0_tax_per_vm = 0.0;
+  EXPECT_NEAR(effective_rate(config, 420.0, 2), 336.0, 1e-9);
+}
+
+TEST(Overhead, SoftwareCeiling) {
+  EXPECT_NEAR(software_ceiling(1), kSingleOsCeiling, 1e-15);
+  EXPECT_DOUBLE_EQ(software_ceiling(2), 1.0);
+  EXPECT_DOUBLE_EQ(software_ceiling(9), 1.0);
+  EXPECT_THROW(software_ceiling(0), InvalidArgument);
+}
+
+TEST(Calibration, StableMeanUsesSaturatedRegionOnly) {
+  ThroughputCurve curve;
+  curve.vm_count = 1;
+  curve.offered = {100, 200, 300, 700, 800, 900};
+  curve.throughput = {100, 200, 300, 400, 420, 410};
+  EXPECT_NEAR(stable_mean_throughput(curve, 700.0), 410.0, 1e-12);
+  EXPECT_THROW(stable_mean_throughput(curve, 1000.0), InvalidArgument);
+}
+
+TEST(Calibration, ImpactFactorsDivideByNative) {
+  ThroughputCurve native;
+  native.vm_count = 0;
+  native.offered = {900, 1000};
+  native.throughput = {400, 400};
+  ThroughputCurve two_vms;
+  two_vms.vm_count = 2;
+  two_vms.offered = {900, 1000};
+  two_vms.throughput = {300, 300};
+  const auto samples = impact_factors(native, {two_vms}, 900.0);
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].vm_count, 2u);
+  EXPECT_NEAR(samples[0].factor, 0.75, 1e-12);
+}
+
+TEST(Calibration, LinearFitRoundTripsThePaperCurve) {
+  std::vector<ImpactSample> samples;
+  for (unsigned v = 1; v <= 9; ++v) {
+    samples.push_back({v, Impact::paper_web_disk_io().raw_factor(v)});
+  }
+  const LinearFit fit = calibrate_linear(samples);
+  EXPECT_NEAR(fit.slope, -0.102, 1e-10);
+  EXPECT_NEAR(fit.intercept, 1.082, 1e-10);
+}
+
+TEST(Calibration, RationalFitRoundTripsThePaperCurve) {
+  std::vector<ImpactSample> samples;
+  for (unsigned v = 1; v <= 9; ++v) {
+    samples.push_back({v, Impact::paper_db_cpu().raw_factor(v)});
+  }
+  const RationalSaturatingFit fit = calibrate_rational(samples);
+  EXPECT_NEAR(fit.amplitude, 1.85, 1e-3);
+  EXPECT_NEAR(fit.half_point, 0.85, 2e-3);
+}
+
+}  // namespace
+}  // namespace vmcons::virt

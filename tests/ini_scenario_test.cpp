@@ -1,0 +1,142 @@
+// Tests for the INI parser and the scenario loader.
+#include <gtest/gtest.h>
+
+#include "core/scenario_io.hpp"
+#include "util/error.hpp"
+#include "util/ini.hpp"
+
+namespace vmcons {
+namespace {
+
+TEST(Ini, ParsesSectionsAndValues) {
+  const IniDocument document = ini_parse(
+      "# comment\n"
+      "[alpha]\n"
+      "key = value\n"
+      "number = 42\n"
+      "rate = 2.5\n"
+      "\n"
+      "[alpha]\n"
+      "key = second\n"
+      "; another comment\n"
+      "[beta]\n"
+      "flag = yes  # trailing comment\n");
+  ASSERT_EQ(document.sections.size(), 3u);
+  const auto alphas = document.all("alpha");
+  ASSERT_EQ(alphas.size(), 2u);
+  EXPECT_EQ(alphas[0]->get("key"), "value");
+  EXPECT_EQ(alphas[0]->get_int("number", 0), 42);
+  EXPECT_DOUBLE_EQ(alphas[0]->get_double("rate", 0.0), 2.5);
+  EXPECT_EQ(alphas[1]->get("key"), "second");
+  EXPECT_EQ(document.first("beta")->get("flag"), "yes");
+  EXPECT_TRUE(document.first("beta")->has("flag"));
+  EXPECT_FALSE(document.first("beta")->has("missing"));
+  EXPECT_EQ(document.first("missing"), nullptr);
+}
+
+TEST(Ini, DefaultsAndTypeErrors) {
+  const IniDocument document = ini_parse("[s]\nvalue = abc\n");
+  const IniSection* section = document.first("s");
+  EXPECT_EQ(section->get("missing", "fallback"), "fallback");
+  EXPECT_DOUBLE_EQ(section->get_double("missing", 7.5), 7.5);
+  EXPECT_THROW(section->get_double("value", 0.0), IoError);
+  EXPECT_THROW(section->get_int("value", 0), IoError);
+}
+
+TEST(Ini, MalformedLinesThrow) {
+  EXPECT_THROW(ini_parse("[unclosed\n"), IoError);
+  EXPECT_THROW(ini_parse("stray line without equals\n"), IoError);
+}
+
+TEST(Ini, MissingFileThrows) {
+  EXPECT_THROW(ini_parse_file("/nonexistent/scenario.ini"), IoError);
+}
+
+constexpr const char* kCaseStudy = R"(
+[plan]
+target_loss = 0.01
+vms_per_server = 2
+
+[service]
+name = web
+dedicated_servers = 3
+disk_rate = 420
+disk_impact = 0.8
+cpu_rate = 3360
+cpu_impact = 0.65
+
+[service]
+name = db
+dedicated_servers = 3
+cpu_rate = 100
+cpu_impact = 0.9
+)";
+
+TEST(Scenario, CaseStudyRoundTripsTheHeadlineResult) {
+  const core::ModelInputs inputs =
+      core::scenario_inputs(ini_parse(kCaseStudy));
+  ASSERT_EQ(inputs.services.size(), 2u);
+  EXPECT_EQ(inputs.services[0].name, "web");
+  EXPECT_DOUBLE_EQ(inputs.services[0].native_rates[dc::Resource::kDiskIo],
+                   420.0);
+  const core::ModelResult result =
+      core::UtilityAnalyticModel(inputs).solve();
+  EXPECT_EQ(result.dedicated_servers, 6u);
+  EXPECT_EQ(result.consolidated_servers, 3u);
+}
+
+TEST(Scenario, ExplicitArrivalRateWins) {
+  const core::ModelInputs inputs = core::scenario_inputs(ini_parse(
+      "[service]\nname = s\narrival_rate = 55\ncpu_rate = 100\n"));
+  EXPECT_DOUBLE_EQ(inputs.services[0].arrival_rate, 55.0);
+  EXPECT_DOUBLE_EQ(inputs.target_loss, 0.01);  // default without [plan]
+}
+
+TEST(Scenario, PlannerPicksUpInventory) {
+  const std::string text = std::string(kCaseStudy) +
+                           "\n[server_class]\nname = big\ncapacity = 1.0\n"
+                           "available = 4\n";
+  const core::ConsolidationPlanner planner =
+      core::scenario_planner(ini_parse(text));
+  const core::PlanReport report = planner.plan();
+  EXPECT_TRUE(report.consolidated_assignment.feasible);
+  ASSERT_FALSE(report.consolidated_assignment.picked.empty());
+  EXPECT_EQ(report.consolidated_assignment.picked[0].first, "big");
+}
+
+TEST(Scenario, ValidatesServiceDeclarations) {
+  EXPECT_THROW(core::scenario_inputs(ini_parse("[plan]\ntarget_loss = 0.01\n")),
+               InvalidArgument);  // no services
+  EXPECT_THROW(
+      core::scenario_inputs(ini_parse("[service]\nname = s\ncpu_rate = 10\n")),
+      InvalidArgument);  // neither arrival_rate nor dedicated_servers
+  EXPECT_THROW(core::scenario_inputs(ini_parse(
+                   "[service]\nname = s\narrival_rate = 5\n")),
+               InvalidArgument);  // no resource rates
+  EXPECT_THROW(core::scenario_inputs(ini_parse(
+                   "[service]\nname = s\narrival_rate = 5\ncpu_rate = 10\n"
+                   "cpu_impact = 1.5\n")),
+               InvalidArgument);  // impact out of range
+}
+
+TEST(Scenario, SerializationRoundTrips) {
+  const core::ModelInputs original =
+      core::scenario_inputs(ini_parse(kCaseStudy));
+  const std::string text = core::scenario_to_ini(original);
+  const core::ModelInputs reparsed = core::scenario_inputs(ini_parse(text));
+  ASSERT_EQ(reparsed.services.size(), original.services.size());
+  for (std::size_t i = 0; i < original.services.size(); ++i) {
+    EXPECT_NEAR(reparsed.services[i].arrival_rate,
+                original.services[i].arrival_rate, 1e-6);
+    for (const dc::Resource resource : dc::all_resources()) {
+      EXPECT_NEAR(reparsed.services[i].native_rates[resource],
+                  original.services[i].native_rates[resource], 1e-9);
+    }
+  }
+  // Same plan either way.
+  EXPECT_EQ(core::UtilityAnalyticModel(reparsed).solve().consolidated_servers,
+            core::UtilityAnalyticModel(original).solve().consolidated_servers);
+}
+
+}  // namespace
+}  // namespace vmcons

@@ -1,0 +1,167 @@
+// Tests for the multi-resource Erlang loss network.
+#include "datacenter/loss_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "queueing/erlang.hpp"
+#include "sim/replication.hpp"
+#include "util/error.hpp"
+
+namespace vmcons::dc {
+namespace {
+
+ServiceSpec single_resource_service(double lambda, double mu) {
+  ServiceSpec spec;
+  spec.name = "svc";
+  spec.arrival_rate = lambda;
+  spec.demand(Resource::kCpu, mu);
+  return spec;
+}
+
+TEST(LossNetwork, SingleResourceReducesToErlangB) {
+  LossNetworkConfig config;
+  config.services = {single_resource_service(2.0, 1.0)};
+  config.servers = 3;
+  config.horizon = 4000.0;
+  config.warmup = 400.0;
+
+  const auto estimate = sim::replicate_scalar(
+      8, 111, [&](std::size_t, Rng& rng) {
+        return simulate_loss_network(config, rng).pool.overall_loss();
+      });
+  EXPECT_NEAR(estimate.summary.mean(), queueing::erlang_b(3, 2.0), 0.012);
+}
+
+TEST(LossNetwork, ResourceUtilizationMatchesCarriedLoad) {
+  LossNetworkConfig config;
+  config.services = {single_resource_service(2.0, 1.0)};
+  config.servers = 3;
+  config.horizon = 4000.0;
+  config.warmup = 400.0;
+
+  const auto estimate = sim::replicate_scalar(
+      8, 112, [&](std::size_t, Rng& rng) {
+        return simulate_loss_network(config, rng)
+            .resource_utilization[Resource::kCpu];
+      });
+  EXPECT_NEAR(estimate.summary.mean(),
+              queueing::loss_system_utilization(3, 2.0), 0.01);
+}
+
+TEST(LossNetwork, UndemandedResourcesStayIdle) {
+  LossNetworkConfig config;
+  config.services = {single_resource_service(2.0, 1.0)};
+  config.servers = 2;
+  config.horizon = 500.0;
+  config.warmup = 50.0;
+  Rng rng(113);
+  const LossNetworkOutcome outcome = simulate_loss_network(config, rng);
+  EXPECT_DOUBLE_EQ(outcome.resource_utilization[Resource::kDiskIo], 0.0);
+  EXPECT_DOUBLE_EQ(outcome.resource_utilization[Resource::kMemory], 0.0);
+  EXPECT_GT(outcome.resource_utilization[Resource::kCpu], 0.0);
+}
+
+TEST(LossNetwork, MultiResourceServiceBlocksOnEither) {
+  // A service demanding two resources with very different rates: blocking
+  // is at least the worse single-resource Erlang-B value.
+  ServiceSpec spec;
+  spec.name = "both";
+  spec.arrival_rate = 2.0;
+  spec.demand(Resource::kCpu, 1.0);      // slow resource: rho = 2.0
+  spec.demand(Resource::kDiskIo, 50.0);  // fast resource: rho = 0.04
+
+  LossNetworkConfig config;
+  config.services = {spec};
+  config.servers = 3;
+  config.horizon = 4000.0;
+  config.warmup = 400.0;
+
+  const auto estimate = sim::replicate_scalar(
+      8, 114, [&](std::size_t, Rng& rng) {
+        return simulate_loss_network(config, rng).pool.overall_loss();
+      });
+  const double floor = queueing::erlang_b(3, 2.0);
+  EXPECT_GE(estimate.summary.mean(), floor - 0.02);
+  // And not absurdly above the independence upper bound.
+  const double ceiling = 1.0 - (1.0 - queueing::erlang_b(3, 2.0)) *
+                                   (1.0 - queueing::erlang_b(3, 0.04));
+  EXPECT_LE(estimate.summary.mean(), ceiling + 0.02);
+}
+
+TEST(LossNetwork, VirtualizationDegradesCapacity) {
+  ServiceSpec spec = single_resource_service(2.0, 1.0);
+  spec.impacts[static_cast<std::size_t>(Resource::kCpu)] =
+      virt::Impact::constant(0.5);
+
+  LossNetworkConfig native;
+  native.services = {spec};
+  native.servers = 3;
+  native.vm_count = 0;
+  native.horizon = 3000.0;
+  native.warmup = 300.0;
+
+  LossNetworkConfig virtualized = native;
+  virtualized.vm_count = 2;
+
+  const auto native_loss = sim::replicate_scalar(
+      6, 115, [&](std::size_t, Rng& rng) {
+        return simulate_loss_network(native, rng).pool.overall_loss();
+      });
+  const auto virtualized_loss = sim::replicate_scalar(
+      6, 115, [&](std::size_t, Rng& rng) {
+        return simulate_loss_network(virtualized, rng).pool.overall_loss();
+      });
+  // Halved service rate doubles the offered load: loss must jump.
+  EXPECT_GT(virtualized_loss.summary.mean(),
+            native_loss.summary.mean() * 2.0);
+}
+
+TEST(LossNetwork, EnergyScalesWithServerCount) {
+  LossNetworkConfig small;
+  small.services = {single_resource_service(0.5, 1.0)};
+  small.servers = 2;
+  small.horizon = 1000.0;
+  small.warmup = 100.0;
+  LossNetworkConfig large = small;
+  large.servers = 8;
+
+  Rng rng_a(116);
+  Rng rng_b(116);
+  const auto small_outcome = simulate_loss_network(small, rng_a);
+  const auto large_outcome = simulate_loss_network(large, rng_b);
+  // Mostly idle pools: energy ~ proportional to the server count.
+  EXPECT_NEAR(large_outcome.pool.energy_joules /
+                  small_outcome.pool.energy_joules,
+              4.0, 0.2);
+}
+
+TEST(LossNetwork, ConservationPerService) {
+  LossNetworkConfig config;
+  config.services = {single_resource_service(3.0, 1.0),
+                     single_resource_service(1.0, 2.0)};
+  config.services[1].name = "second";
+  config.servers = 2;
+  config.horizon = 1000.0;
+  config.warmup = 100.0;
+  Rng rng(117);
+  const auto outcome = simulate_loss_network(config, rng);
+  for (const auto& service : outcome.pool.services) {
+    EXPECT_EQ(service.arrivals, service.admitted + service.lost);
+    EXPECT_LE(service.completed, service.admitted + config.servers + 2);
+  }
+}
+
+TEST(LossNetwork, ValidatesConfig) {
+  Rng rng(118);
+  LossNetworkConfig config;
+  EXPECT_THROW(simulate_loss_network(config, rng), InvalidArgument);
+  config.services = {single_resource_service(1.0, 1.0)};
+  config.servers = 0;
+  EXPECT_THROW(simulate_loss_network(config, rng), InvalidArgument);
+  config.servers = 1;
+  config.warmup = config.horizon;
+  EXPECT_THROW(simulate_loss_network(config, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vmcons::dc

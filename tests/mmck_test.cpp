@@ -1,0 +1,93 @@
+// Tests for the M/M/c/K steady-state solver.
+#include "queueing/mmck.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "queueing/erlang.hpp"
+#include "util/error.hpp"
+
+namespace vmcons::queueing {
+namespace {
+
+TEST(Mmck, PureLossMatchesErlangB) {
+  for (const double lambda : {0.5, 2.0, 10.0}) {
+    for (const std::uint64_t c : {1ull, 3ull, 8ull, 20ull}) {
+      const double mu = 1.3;
+      const MmckMetrics metrics = solve_mmcc(c, lambda, mu);
+      EXPECT_NEAR(metrics.blocking, erlang_b(c, lambda / mu), 1e-12)
+          << "c=" << c << " lambda=" << lambda;
+    }
+  }
+}
+
+TEST(Mmck, Mm1KClosedForm) {
+  // M/M/1/K: p_n = (1-a) a^n / (1 - a^{K+1}) for a != 1.
+  const double lambda = 0.8;
+  const double mu = 1.0;
+  const std::uint64_t k = 5;
+  const MmckMetrics metrics = solve_mmck(1, k, lambda, mu);
+  const double a = lambda / mu;
+  const double denominator = 1.0 - std::pow(a, k + 1);
+  for (std::size_t n = 0; n <= k; ++n) {
+    const double expected = (1.0 - a) * std::pow(a, n) / denominator;
+    EXPECT_NEAR(metrics.state_probabilities[n], expected, 1e-12) << "n=" << n;
+  }
+}
+
+TEST(Mmck, ProbabilitiesSumToOne) {
+  for (const std::uint64_t c : {1ull, 4ull, 16ull}) {
+    for (const std::uint64_t extra : {0ull, 5ull, 50ull}) {
+      const MmckMetrics metrics = solve_mmck(c, c + extra, 3.0, 1.0);
+      double total = 0.0;
+      for (const double p : metrics.state_probabilities) {
+        total += p;
+      }
+      EXPECT_NEAR(total, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(Mmck, LittleLawConsistency) {
+  const MmckMetrics metrics = solve_mmck(3, 10, 2.5, 1.0);
+  // L = throughput * W and Lq = throughput * Wq by construction; check the
+  // decomposition L = Lq + busy servers instead.
+  const double busy = metrics.throughput / 1.0;  // carried load, mu = 1
+  EXPECT_NEAR(metrics.mean_in_system, metrics.mean_in_queue + busy, 1e-9);
+  EXPECT_NEAR(metrics.mean_response_time,
+              metrics.mean_wait_time + 1.0 /*service time*/, 1e-9);
+}
+
+TEST(Mmck, MoreWaitingRoomLowersBlocking) {
+  double previous = 1.0;
+  for (const std::uint64_t k : {4ull, 6ull, 10ull, 20ull}) {
+    const MmckMetrics metrics = solve_mmck(4, k, 5.0, 1.0);
+    EXPECT_LT(metrics.blocking, previous);
+    previous = metrics.blocking;
+  }
+}
+
+TEST(Mmck, HeavyTrafficBlocksAlmostEverything) {
+  const MmckMetrics metrics = solve_mmck(2, 4, 200.0, 1.0);
+  EXPECT_GT(metrics.blocking, 0.97);
+  EXPECT_NEAR(metrics.server_utilization, 1.0, 1e-3);
+}
+
+TEST(Mmck, LargeSystemDoesNotOverflow) {
+  // 500 servers, load near capacity: the naive factorial form would explode.
+  const MmckMetrics metrics = solve_mmck(500, 500, 480.0, 1.0);
+  EXPECT_GT(metrics.blocking, 0.0);
+  EXPECT_LT(metrics.blocking, 0.1);
+  EXPECT_NEAR(metrics.blocking, erlang_b(500, 480.0), 1e-10);
+}
+
+TEST(Mmck, ValidatesInputs) {
+  EXPECT_THROW(solve_mmck(0, 5, 1.0, 1.0), InvalidArgument);
+  EXPECT_THROW(solve_mmck(5, 4, 1.0, 1.0), InvalidArgument);
+  EXPECT_THROW(solve_mmck(1, 1, 0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(solve_mmck(1, 1, 1.0, -1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vmcons::queueing

@@ -1,0 +1,149 @@
+// Parameterized property sweeps over the utility analytic model: invariants
+// that must hold across the whole (B, workload scale, impact) grid, not
+// just at the case-study points.
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/accuracy.hpp"
+#include "core/model.hpp"
+#include "queueing/erlang.hpp"
+#include "util/error.hpp"
+
+namespace vmcons::core {
+namespace {
+
+ModelInputs inputs_for(double b, double scale) {
+  ModelInputs inputs;
+  inputs.target_loss = b;
+  dc::ServiceSpec web = dc::paper_web_service();
+  dc::ServiceSpec db = dc::paper_db_service();
+  web.arrival_rate = intensive_workload(web, 3, 0.01) * scale;
+  db.arrival_rate = intensive_workload(db, 3, 0.01) * scale;
+  inputs.services = {web, db};
+  return inputs;
+}
+
+using GridPoint = std::tuple<double, double>;  // (B, scale)
+
+class ModelGrid : public ::testing::TestWithParam<GridPoint> {};
+
+TEST_P(ModelGrid, StaffingMeetsTargetAndIsMinimal) {
+  const auto [b, scale] = GetParam();
+  UtilityAnalyticModel model(inputs_for(b, scale));
+  const ModelResult result = model.solve();
+  EXPECT_LE(result.consolidated_blocking, b);
+  if (result.consolidated_servers > 0) {
+    EXPECT_GT(model.consolidated_loss(result.consolidated_servers - 1), b);
+  }
+  for (const auto& plan : result.dedicated) {
+    EXPECT_LE(plan.blocking, b) << plan.name;
+  }
+}
+
+TEST_P(ModelGrid, ConsolidationSavesOrMatchesServers) {
+  const auto [b, scale] = GetParam();
+  const ModelResult result =
+      UtilityAnalyticModel(inputs_for(b, scale)).solve();
+  // Even with the case-study overheads, merging two loss streams never
+  // costs MORE than 1 extra server over the dedicated total in this domain,
+  // and typically saves ~half.
+  EXPECT_LE(result.consolidated_servers, result.dedicated_servers + 1);
+}
+
+TEST_P(ModelGrid, UtilizationAndPowerAreConsistent) {
+  const auto [b, scale] = GetParam();
+  const ModelResult result =
+      UtilityAnalyticModel(inputs_for(b, scale)).solve();
+  EXPECT_GT(result.dedicated_utilization, 0.0);
+  EXPECT_GT(result.consolidated_utilization, result.dedicated_utilization);
+  // Power per server is bounded by the model's [idle, max] envelope.
+  const double per_server_d =
+      result.dedicated_power_watts / result.dedicated_servers;
+  EXPECT_GE(per_server_d, 249.99);
+  EXPECT_LE(per_server_d, 292.51);
+  // Power ratio and infrastructure saving relate monotonically: fewer
+  // consolidated servers cannot increase the power ratio above 1.
+  EXPECT_LT(result.power_ratio, 1.0);
+}
+
+TEST_P(ModelGrid, FixedPointIsAtLeastAsPessimisticAsTheModel) {
+  const auto [b, scale] = GetParam();
+  const ModelInputs inputs = inputs_for(b, scale);
+  UtilityAnalyticModel model(inputs);
+  const ModelResult result = model.solve();
+  const auto fixed_point =
+      reduced_load_consolidated_loss(inputs, result.consolidated_servers);
+  ASSERT_TRUE(fixed_point.converged);
+  // Eq. (4)'s arithmetic rate averaging is optimistic: the coupled
+  // estimate is never lower than ~the model's (small tolerance for the
+  // thinning effect at very high blocking).
+  EXPECT_GE(fixed_point.overall_blocking,
+            result.consolidated_blocking * 0.95);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ModelGrid,
+    ::testing::Combine(::testing::Values(0.001, 0.01, 0.05, 0.2),
+                       ::testing::Values(0.25, 0.5, 1.0, 2.0, 5.0)));
+
+class ScalePoint : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScalePoint, StaffingIsMonotoneInLoad) {
+  const double scale = GetParam();
+  const ModelResult smaller =
+      UtilityAnalyticModel(inputs_for(0.01, scale)).solve();
+  const ModelResult larger =
+      UtilityAnalyticModel(inputs_for(0.01, scale * 1.5)).solve();
+  EXPECT_GE(larger.dedicated_servers, smaller.dedicated_servers);
+  EXPECT_GE(larger.consolidated_servers, smaller.consolidated_servers);
+}
+
+TEST_P(ScalePoint, EconomiesOfScaleInUtilization) {
+  // Bigger pools run hotter at the same loss target (Erlang economies).
+  const double scale = GetParam();
+  const ModelResult smaller =
+      UtilityAnalyticModel(inputs_for(0.01, scale)).solve();
+  const ModelResult larger =
+      UtilityAnalyticModel(inputs_for(0.01, scale * 4.0)).solve();
+  EXPECT_GT(larger.consolidated_utilization,
+            smaller.consolidated_utilization);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ScalePoint,
+                         ::testing::Values(0.5, 1.0, 2.0, 4.0));
+
+class ImpactPoint : public ::testing::TestWithParam<double> {};
+
+TEST_P(ImpactPoint, WorseImpactNeverShrinksThePlan) {
+  const double factor = GetParam();
+  ModelInputs degraded = inputs_for(0.01, 1.0);
+  for (auto& service : degraded.services) {
+    for (const dc::Resource resource : dc::all_resources()) {
+      if (service.native_rates[resource] > 0.0) {
+        service.impacts[static_cast<std::size_t>(resource)] =
+            virt::Impact::constant(factor);
+      }
+    }
+  }
+  ModelInputs ideal = degraded;
+  for (auto& service : ideal.services) {
+    for (auto& impact : service.impacts) {
+      impact = virt::Impact::none();
+    }
+  }
+  const ModelResult with_overhead = UtilityAnalyticModel(degraded).solve();
+  const ModelResult without = UtilityAnalyticModel(ideal).solve();
+  EXPECT_GE(with_overhead.consolidated_servers,
+            without.consolidated_servers)
+      << "factor=" << factor;
+  // Dedicated staffing ignores virtualization entirely.
+  EXPECT_EQ(with_overhead.dedicated_servers, without.dedicated_servers);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, ImpactPoint,
+                         ::testing::Values(0.3, 0.5, 0.65, 0.8, 0.95));
+
+}  // namespace
+}  // namespace vmcons::core

@@ -1,0 +1,224 @@
+// Tests for the utility analytic model — the paper's contribution.
+//
+// The anchor is Table I: the case-study services consolidate 6 dedicated
+// servers into 3 and 8 into 4, at the same loss probability.
+#include "core/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "queueing/erlang.hpp"
+#include "util/error.hpp"
+
+namespace vmcons::core {
+namespace {
+
+ModelInputs case_study_inputs(std::uint64_t dedicated_per_service,
+                              double target_loss = 0.01) {
+  ModelInputs inputs;
+  inputs.target_loss = target_loss;
+  dc::ServiceSpec web = dc::paper_web_service();
+  dc::ServiceSpec db = dc::paper_db_service();
+  web.arrival_rate =
+      intensive_workload(web, dedicated_per_service, target_loss);
+  db.arrival_rate = intensive_workload(db, dedicated_per_service, target_loss);
+  inputs.services = {web, db};
+  return inputs;
+}
+
+TEST(Model, TableOneGroupOneSixToThree) {
+  UtilityAnalyticModel model(case_study_inputs(3));
+  const ModelResult result = model.solve();
+  EXPECT_EQ(result.dedicated_servers, 6u);
+  EXPECT_EQ(result.consolidated_servers, 3u);
+  EXPECT_NEAR(result.infrastructure_saving, 0.5, 1e-12);
+}
+
+TEST(Model, TableOneGroupTwoEightToFour) {
+  UtilityAnalyticModel model(case_study_inputs(4));
+  const ModelResult result = model.solve();
+  EXPECT_EQ(result.dedicated_servers, 8u);
+  EXPECT_EQ(result.consolidated_servers, 4u);
+  EXPECT_NEAR(result.infrastructure_saving, 0.5, 1e-12);
+}
+
+TEST(Model, CaseStudyPowerSavingMatchesPaperHeadline) {
+  // The paper reports up to 53% power saving; the model should land there.
+  UtilityAnalyticModel model(case_study_inputs(4));
+  const ModelResult result = model.solve();
+  EXPECT_GT(result.power_saving, 0.45);
+  EXPECT_LT(result.power_saving, 0.60);
+}
+
+TEST(Model, CaseStudyUtilizationImproves) {
+  UtilityAnalyticModel model(case_study_inputs(4));
+  const ModelResult result = model.solve();
+  // The paper: 1.5x predicted, 1.7x measured. Our workload point yields a
+  // somewhat larger ratio; the claim under test is the *shape*: clearly > 1.
+  EXPECT_GT(result.utilization_improvement, 1.3);
+  EXPECT_LT(result.consolidated_utilization, 1.0);
+}
+
+TEST(Model, DedicatedStaffingMatchesPerResourceErlang) {
+  const ModelInputs inputs = case_study_inputs(3);
+  UtilityAnalyticModel model(inputs);
+  const ModelResult result = model.solve();
+  ASSERT_EQ(result.dedicated.size(), 2u);
+  // Web: disk is the bottleneck.
+  const auto& web_plan = result.dedicated[0];
+  const double rho_wi = inputs.services[0].arrival_rate / 420.0;
+  EXPECT_EQ(web_plan.servers,
+            queueing::erlang_b_servers(rho_wi, inputs.target_loss));
+  EXPECT_EQ(web_plan.servers, 3u);
+  // The CPU requirement is far smaller.
+  EXPECT_LT(web_plan.servers_per_resource[static_cast<std::size_t>(
+                dc::Resource::kCpu)],
+            web_plan.servers);
+  // Achieved blocking must satisfy the target.
+  EXPECT_LE(web_plan.blocking, inputs.target_loss);
+}
+
+TEST(Model, ConsolidatedPlanExposesEquationFour) {
+  const ModelInputs inputs = case_study_inputs(3);
+  UtilityAnalyticModel model(inputs);
+  const ModelResult result = model.solve();
+  const auto& cpu_plan =
+      result.consolidated[static_cast<std::size_t>(dc::Resource::kCpu)];
+  ASSERT_TRUE(cpu_plan.demanded);
+  // Both services demand CPU: merged stream carries both arrival rates.
+  EXPECT_NEAR(cpu_plan.merged_arrival_rate,
+              inputs.services[0].arrival_rate + inputs.services[1].arrival_rate,
+              1e-9);
+  // Eq. (4): effective rate is the lambda-weighted mean of mu*a.
+  const double lw = inputs.services[0].arrival_rate;
+  const double ld = inputs.services[1].arrival_rate;
+  const double expected_mu =
+      (lw * 3360.0 * 0.65 + ld * 100.0 * 0.9) / (lw + ld);
+  EXPECT_NEAR(cpu_plan.effective_service_rate, expected_mu, 1e-6);
+
+  const auto& disk_plan =
+      result.consolidated[static_cast<std::size_t>(dc::Resource::kDiskIo)];
+  ASSERT_TRUE(disk_plan.demanded);
+  // Only the web service demands disk.
+  EXPECT_NEAR(disk_plan.merged_arrival_rate, lw, 1e-9);
+  EXPECT_NEAR(disk_plan.effective_service_rate, 420.0 * 0.8, 1e-6);
+
+  const auto& memory_plan =
+      result.consolidated[static_cast<std::size_t>(dc::Resource::kMemory)];
+  EXPECT_FALSE(memory_plan.demanded);
+}
+
+TEST(Model, ConsolidatedMeetsTheLossTarget) {
+  for (const double b : {0.001, 0.01, 0.05}) {
+    UtilityAnalyticModel model(case_study_inputs(3, b));
+    const ModelResult result = model.solve();
+    EXPECT_LE(result.consolidated_blocking, b) << "B=" << b;
+    // One server fewer must violate it.
+    EXPECT_GT(model.consolidated_loss(result.consolidated_servers - 1), b);
+  }
+}
+
+TEST(Model, StricterTargetNeedsMoreServers) {
+  ModelInputs loose_inputs = case_study_inputs(3, 0.05);
+  ModelInputs strict_inputs = loose_inputs;
+  strict_inputs.target_loss = 0.0001;
+  const ModelResult loose = UtilityAnalyticModel(loose_inputs).solve();
+  const ModelResult strict = UtilityAnalyticModel(strict_inputs).solve();
+  EXPECT_GE(strict.dedicated_servers, loose.dedicated_servers);
+  EXPECT_GE(strict.consolidated_servers, loose.consolidated_servers);
+  EXPECT_GT(strict.dedicated_servers + strict.consolidated_servers,
+            loose.dedicated_servers + loose.consolidated_servers);
+}
+
+TEST(Model, ConsolidationNeverNeedsMoreThanDedicated) {
+  // With impact factors of 1, merging Poisson streams can only help
+  // (statistical multiplexing): N <= M.
+  for (const double scale : {0.3, 1.0, 2.5, 6.0}) {
+    ModelInputs inputs = case_study_inputs(3);
+    for (auto& service : inputs.services) {
+      service.arrival_rate *= scale;
+      for (auto& impact : service.impacts) {
+        impact = virt::Impact::none();
+      }
+    }
+    UtilityAnalyticModel model(inputs);
+    const ModelResult result = model.solve();
+    EXPECT_LE(result.consolidated_servers, result.dedicated_servers)
+        << "scale=" << scale;
+  }
+}
+
+TEST(Model, SingleServiceIdealImpactsMatchesPlainErlang) {
+  // One service, a = 1: consolidation degenerates to the dedicated case.
+  ModelInputs inputs;
+  inputs.target_loss = 0.01;
+  dc::ServiceSpec service;
+  service.name = "solo";
+  service.demand(dc::Resource::kCpu, 100.0);
+  service.arrival_rate = 250.0;
+  inputs.services = {service};
+  UtilityAnalyticModel model(inputs);
+  const ModelResult result = model.solve();
+  const std::uint64_t expected = queueing::erlang_b_servers(2.5, 0.01);
+  EXPECT_EQ(result.dedicated_servers, expected);
+  EXPECT_EQ(result.consolidated_servers, expected);
+}
+
+TEST(Model, DedicatedLossMatchesErlangAtGivenStaffing) {
+  const ModelInputs inputs = case_study_inputs(3);
+  UtilityAnalyticModel model(inputs);
+  const double rho_w = inputs.services[0].arrival_rate / 420.0;
+  const double rho_d = inputs.services[1].arrival_rate / 100.0;
+  const double expected =
+      (inputs.services[0].arrival_rate * queueing::erlang_b(3, rho_w) +
+       inputs.services[1].arrival_rate * queueing::erlang_b(3, rho_d)) /
+      (inputs.services[0].arrival_rate + inputs.services[1].arrival_rate);
+  EXPECT_NEAR(model.dedicated_loss({3, 3}), expected, 1e-12);
+}
+
+TEST(Model, VmCountOverrideChangesImpactEvaluation) {
+  // With curve-based impacts, more VMs per server -> worse factors -> more
+  // consolidated servers.
+  ModelInputs inputs = case_study_inputs(3);
+  inputs.services[0].impacts[static_cast<std::size_t>(dc::Resource::kDiskIo)] =
+      virt::Impact::paper_web_disk_io();
+  inputs.vms_per_server = 2;
+  const ModelResult few = UtilityAnalyticModel(inputs).solve();
+  inputs.vms_per_server = 8;
+  const ModelResult many = UtilityAnalyticModel(inputs).solve();
+  EXPECT_GE(many.consolidated_servers, few.consolidated_servers);
+}
+
+TEST(Model, ValidatesInputs) {
+  ModelInputs inputs;
+  inputs.services = {};
+  EXPECT_THROW(UtilityAnalyticModel{inputs}, InvalidArgument);
+
+  inputs = case_study_inputs(3);
+  inputs.target_loss = 0.0;
+  EXPECT_THROW(UtilityAnalyticModel{inputs}, InvalidArgument);
+
+  inputs = case_study_inputs(3);
+  inputs.services[0].arrival_rate = 0.0;
+  EXPECT_THROW(UtilityAnalyticModel{inputs}, InvalidArgument);
+}
+
+TEST(IntensiveWorkload, LandsInTheExactStaffingBand) {
+  const dc::ServiceSpec web = dc::paper_web_service();
+  for (const std::uint64_t n : {1ull, 2ull, 3ull, 4ull, 8ull}) {
+    for (const double fraction : {0.25, 0.5, 0.9}) {
+      const double lambda = intensive_workload(web, n, 0.01, fraction);
+      const std::uint64_t staffed =
+          queueing::erlang_b_servers(lambda / 420.0, 0.01);
+      EXPECT_EQ(staffed, n) << "n=" << n << " fraction=" << fraction;
+    }
+  }
+}
+
+TEST(IntensiveWorkload, ValidatesArguments) {
+  const dc::ServiceSpec web = dc::paper_web_service();
+  EXPECT_THROW(intensive_workload(web, 0, 0.01), InvalidArgument);
+  EXPECT_THROW(intensive_workload(web, 3, 0.01, 1.5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vmcons::core

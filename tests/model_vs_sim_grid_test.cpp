@@ -1,0 +1,110 @@
+// Parameterized model-vs-simulation grid: at every (B, scale) point the
+// model's consolidated staffing N must produce a simulated loss in the same
+// band, and N-1 must visibly violate it — the "the model's answer is the
+// right answer" property, checked everywhere rather than only at the
+// paper's two case-study points. Also tests the generator-sampled
+// heterogeneous SPECweb service path.
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/model.hpp"
+#include "datacenter/cluster.hpp"
+#include "sim/replication.hpp"
+#include "workload/specweb.hpp"
+
+namespace vmcons {
+namespace {
+
+using GridPoint = std::tuple<double, double>;  // (B, scale)
+
+class ModelVsSimGrid : public ::testing::TestWithParam<GridPoint> {};
+
+TEST_P(ModelVsSimGrid, SimulatedLossTracksTheTarget) {
+  const auto [b, scale] = GetParam();
+  core::ModelInputs inputs;
+  inputs.target_loss = b;
+  dc::ServiceSpec web = dc::paper_web_service();
+  dc::ServiceSpec db = dc::paper_db_service();
+  web.arrival_rate = core::intensive_workload(web, 3, 0.01) * scale;
+  db.arrival_rate = core::intensive_workload(db, 3, 0.01) * scale;
+  inputs.services = {web, db};
+
+  core::UtilityAnalyticModel model(inputs);
+  const auto plan = model.solve();
+  const auto n = static_cast<unsigned>(plan.consolidated_servers);
+
+  dc::ScenarioOptions options;
+  options.horizon = 1500.0;
+  options.warmup = 150.0;
+
+  const auto at_n = sim::replicate_scalar(
+      6, 201 + static_cast<std::uint64_t>(b * 1e4 + scale * 7),
+      [&](std::size_t, Rng& rng) {
+        return dc::simulate_consolidated(inputs.services, n, options, rng)
+            .overall_loss();
+      });
+  // The simulated loss stays within the model's band: the Eq. (4) optimism
+  // means up to ~3x the target, never an order of magnitude (and commonly
+  // right at it).
+  EXPECT_LE(at_n.summary.mean(), b * 3.0 + 0.004)
+      << "B=" << b << " scale=" << scale << " N=" << n;
+
+  if (n > 1) {
+    const auto at_n_minus_1 = sim::replicate_scalar(
+        6, 501 + static_cast<std::uint64_t>(b * 1e4 + scale * 7),
+        [&](std::size_t, Rng& rng) {
+          return dc::simulate_consolidated(inputs.services, n - 1, options,
+                                           rng)
+              .overall_loss();
+        });
+    // One server fewer must lose strictly more.
+    EXPECT_GT(at_n_minus_1.summary.mean(), at_n.summary.mean())
+        << "B=" << b << " scale=" << scale;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ModelVsSimGrid,
+    ::testing::Combine(::testing::Values(0.005, 0.01, 0.05),
+                       ::testing::Values(0.5, 1.0, 2.0)));
+
+TEST(SpecwebHeterogeneous, GeneratorSampledServiceHasHeavierTail) {
+  workload::SpecwebSessionsConfig exponential;
+  exponential.servers = 2;
+  exponential.duration = 400.0;
+  exponential.warmup = 40.0;
+
+  workload::SpecwebSessionsConfig heterogeneous = exponential;
+  heterogeneous.sample_from_generator = true;
+
+  // Calibrate: mean generator service time defines the comparable capacity.
+  workload::SpecwebGenerator generator{heterogeneous.generator};
+  Rng probe(211);
+  double mean_service = 0.0;
+  const int probes = 20000;
+  for (int i = 0; i < probes; ++i) {
+    const auto request = generator.sample(probe);
+    mean_service += request.disk_seconds + request.cpu_seconds;
+  }
+  mean_service /= probes;
+  exponential.per_server_capacity = 1.0 / mean_service;
+
+  Rng rng_a(212);
+  Rng rng_b(212);
+  const unsigned sessions = 400;
+  const auto exp_point =
+      workload::specweb_sessions_run(exponential, sessions, rng_a);
+  const auto het_point =
+      workload::specweb_sessions_run(heterogeneous, sessions, rng_b);
+
+  // Same mean demand -> similar throughput...
+  EXPECT_NEAR(het_point.throughput, exp_point.throughput,
+              exp_point.throughput * 0.15);
+  // ...but the heavy-tailed (gamma-size, cache-miss) service produces
+  // larger mean response at load (Pollaczek-Khinchine effect).
+  EXPECT_GT(het_point.mean_response, exp_point.mean_response * 0.9);
+}
+
+}  // namespace
+}  // namespace vmcons

@@ -1,0 +1,286 @@
+// Tests for the pool simulation beyond the analytic anchors: conservation
+// laws, allocation policies, dispatch policies, and warmup behaviour.
+#include "datacenter/pool_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datacenter/cluster.hpp"
+#include "sim/replication.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace vmcons::dc {
+namespace {
+
+PoolConfig base_config() {
+  PoolConfig config;
+  config.arrival_rates = {2.0, 1.0};
+  config.service_rates = {1.0, 1.0};
+  config.servers = 4;
+  config.horizon = 1000.0;
+  config.warmup = 100.0;
+  return config;
+}
+
+TEST(PoolSim, ConservationOfRequests) {
+  PoolConfig config = base_config();
+  Rng rng(61);
+  const PoolOutcome outcome = simulate_pool(config, rng);
+  for (const auto& service : outcome.services) {
+    // Every arrival is admitted or lost.
+    EXPECT_EQ(service.arrivals, service.admitted + service.lost);
+    // Completions can exceed admitted only by the in-flight carryover from
+    // warmup, and fall short only by requests still in service at horizon.
+    EXPECT_NEAR(static_cast<double>(service.completed),
+                static_cast<double>(service.admitted),
+                static_cast<double>(config.servers + 2));
+  }
+}
+
+TEST(PoolSim, ZeroArrivalServiceIsLegalAndSilent) {
+  PoolConfig config = base_config();
+  config.arrival_rates = {2.0, 0.0};
+  Rng rng(62);
+  const PoolOutcome outcome = simulate_pool(config, rng);
+  EXPECT_EQ(outcome.services[1].arrivals, 0u);
+  EXPECT_GT(outcome.services[0].arrivals, 0u);
+}
+
+TEST(PoolSim, ResponseTimeEqualsServiceTimeInLossSystem) {
+  // With no waiting room, accepted requests never queue, so response time
+  // is the exponential service time: mean 1/mu.
+  PoolConfig config = base_config();
+  config.arrival_rates = {1.0};
+  config.service_rates = {2.0};
+  config.servers = 8;
+  Rng rng(63);
+  const PoolOutcome outcome = simulate_pool(config, rng);
+  EXPECT_NEAR(outcome.services[0].response_time.mean(), 0.5, 0.05);
+}
+
+TEST(PoolSim, StaticPartitionLosesMoreThanFlowing) {
+  // Asymmetric load with symmetric quotas: flowing absorbs the imbalance,
+  // the static partition cannot — the heart of Section III-B4(1).
+  PoolConfig config;
+  config.arrival_rates = {6.0, 0.5};
+  config.service_rates = {1.0, 1.0};
+  config.servers = 2;
+  config.slots_per_server = 4;
+  config.horizon = 2000.0;
+  config.warmup = 200.0;
+
+  PoolConfig flowing = config;
+  flowing.allocation = AllocationPolicy::kOnDemandFlowing;
+  PoolConfig partitioned = config;
+  partitioned.allocation = AllocationPolicy::kStaticPartition;  // 2+2 split
+
+  const auto flowing_loss = sim::replicate_scalar(
+      6, 64, [&](std::size_t, Rng& rng) {
+        return simulate_pool(flowing, rng).overall_loss();
+      });
+  const auto partitioned_loss = sim::replicate_scalar(
+      6, 64, [&](std::size_t, Rng& rng) {
+        return simulate_pool(partitioned, rng).overall_loss();
+      });
+  EXPECT_LT(flowing_loss.summary.mean(), partitioned_loss.summary.mean());
+}
+
+TEST(PoolSim, ProportionalShareAdaptsTowardTheFlowingBound) {
+  PoolConfig config;
+  config.arrival_rates = {6.0, 0.5};
+  config.service_rates = {1.0, 1.0};
+  config.servers = 2;
+  config.slots_per_server = 4;
+  config.horizon = 2000.0;
+  config.warmup = 200.0;
+  config.realloc_interval = 10.0;
+
+  PoolConfig proportional = config;
+  proportional.allocation = AllocationPolicy::kProportionalShare;
+  PoolConfig partitioned = config;
+  partitioned.allocation = AllocationPolicy::kStaticPartition;
+
+  const auto proportional_loss = sim::replicate_scalar(
+      6, 65, [&](std::size_t, Rng& rng) {
+        return simulate_pool(proportional, rng).overall_loss();
+      });
+  const auto partitioned_loss = sim::replicate_scalar(
+      6, 65, [&](std::size_t, Rng& rng) {
+        return simulate_pool(partitioned, rng).overall_loss();
+      });
+  // Adapting quotas to the (static) mix beats the even split.
+  EXPECT_LT(proportional_loss.summary.mean(),
+            partitioned_loss.summary.mean());
+}
+
+TEST(PoolSim, ReallocationOverheadCostsThroughput) {
+  PoolConfig config;
+  config.arrival_rates = {3.0, 3.0};
+  config.service_rates = {1.0, 1.0};
+  config.servers = 2;
+  config.slots_per_server = 4;
+  config.allocation = AllocationPolicy::kProportionalShare;
+  config.realloc_interval = 5.0;
+  config.horizon = 2000.0;
+  config.warmup = 200.0;
+
+  PoolConfig free_realloc = config;
+  free_realloc.realloc_overhead = 0.0;
+  PoolConfig costly_realloc = config;
+  costly_realloc.realloc_overhead = 1.0;  // 20% of every interval frozen
+
+  const auto free_loss = sim::replicate_scalar(
+      6, 66, [&](std::size_t, Rng& rng) {
+        return simulate_pool(free_realloc, rng).overall_loss();
+      });
+  const auto costly_loss = sim::replicate_scalar(
+      6, 66, [&](std::size_t, Rng& rng) {
+        return simulate_pool(costly_realloc, rng).overall_loss();
+      });
+  EXPECT_GT(costly_loss.summary.mean(), free_loss.summary.mean());
+}
+
+TEST(PoolSim, ExplicitQuotasRespected) {
+  PoolConfig config;
+  config.arrival_rates = {5.0, 5.0};
+  config.service_rates = {1.0, 1.0};
+  config.servers = 1;
+  config.slots_per_server = 4;
+  config.allocation = AllocationPolicy::kStaticPartition;
+  config.static_quotas = {3, 1};
+  config.horizon = 500.0;
+  config.warmup = 50.0;
+  Rng rng(67);
+  const PoolOutcome outcome = simulate_pool(config, rng);
+  // Service 1 (quota 1 of 4) must lose much more than service 0 (quota 3).
+  EXPECT_GT(outcome.services[1].loss_probability(),
+            outcome.services[0].loss_probability());
+}
+
+TEST(PoolSim, DispatchPoliciesAllWorkConserving) {
+  // In a loss system, total loss depends only on total free slots, so all
+  // dispatch policies should deliver statistically similar loss.
+  PoolConfig config = base_config();
+  config.arrival_rates = {3.5};
+  config.service_rates = {1.0};
+  config.horizon = 3000.0;
+  config.warmup = 300.0;
+
+  std::vector<double> means;
+  for (const DispatchPolicy policy :
+       {DispatchPolicy::kRoundRobin, DispatchPolicy::kLeastLoaded,
+        DispatchPolicy::kRandom}) {
+    PoolConfig variant = config;
+    variant.dispatch = policy;
+    const auto loss = sim::replicate_scalar(
+        6, 68, [&](std::size_t, Rng& rng) {
+          return simulate_pool(variant, rng).overall_loss();
+        });
+    means.push_back(loss.summary.mean());
+  }
+  EXPECT_NEAR(means[0], means[1], 0.01);
+  EXPECT_NEAR(means[0], means[2], 0.01);
+}
+
+TEST(PoolSim, UtilizationWithinBounds) {
+  PoolConfig config = base_config();
+  Rng rng(69);
+  const PoolOutcome outcome = simulate_pool(config, rng);
+  EXPECT_GE(outcome.mean_utilization, 0.0);
+  EXPECT_LE(outcome.mean_utilization, 1.0);
+  EXPECT_GT(outcome.energy_joules, 0.0);
+  EXPECT_GE(outcome.energy_joules, outcome.idle_energy_joules);
+}
+
+TEST(PoolSim, ValidatesConfig) {
+  Rng rng(70);
+  PoolConfig config;  // empty services
+  EXPECT_THROW(simulate_pool(config, rng), InvalidArgument);
+
+  config = base_config();
+  config.service_rates = {1.0};  // length mismatch
+  EXPECT_THROW(simulate_pool(config, rng), InvalidArgument);
+
+  config = base_config();
+  config.servers = 0;
+  EXPECT_THROW(simulate_pool(config, rng), InvalidArgument);
+
+  config = base_config();
+  config.warmup = config.horizon;
+  EXPECT_THROW(simulate_pool(config, rng), InvalidArgument);
+
+  config = base_config();
+  config.allocation = AllocationPolicy::kStaticPartition;
+  config.static_quotas = {5, 5};  // exceeds slots_per_server = 1
+  EXPECT_THROW(simulate_pool(config, rng), InvalidArgument);
+}
+
+TEST(PoolSim, DeterministicForSameStream) {
+  PoolConfig config = base_config();
+  Rng a(71);
+  Rng b(71);
+  const PoolOutcome first = simulate_pool(config, a);
+  const PoolOutcome second = simulate_pool(config, b);
+  EXPECT_EQ(first.services[0].arrivals, second.services[0].arrivals);
+  EXPECT_EQ(first.services[0].lost, second.services[0].lost);
+  EXPECT_DOUBLE_EQ(first.mean_utilization, second.mean_utilization);
+}
+
+TEST(ClusterBuilders, SlotRates) {
+  const ServiceSpec web = paper_web_service();
+  EXPECT_DOUBLE_EQ(dedicated_slot_rate(web, 1), 420.0);
+  EXPECT_DOUBLE_EQ(dedicated_slot_rate(web, 4), 105.0);
+  EXPECT_DOUBLE_EQ(consolidated_slot_rate(web, 2, 1), 336.0);
+}
+
+TEST(ClusterBuilders, DedicatedPoolsDoNotInteract) {
+  // Overloading the DB service must not change web loss in the dedicated
+  // deployment (the defining property of dedicated servers).
+  ServiceSpec web = paper_web_service();
+  ServiceSpec db = paper_db_service();
+  web.arrival_rate = 130.0;
+  ScenarioOptions options;
+  options.horizon = 1500.0;
+  options.warmup = 150.0;
+
+  db.arrival_rate = 10.0;
+  Rng rng_light(72);
+  const PoolOutcome light =
+      simulate_dedicated({web, db}, {3, 3}, options, rng_light);
+
+  db.arrival_rate = 500.0;  // drown the DB pool
+  Rng rng_heavy(72);
+  const PoolOutcome heavy =
+      simulate_dedicated({web, db}, {3, 3}, options, rng_heavy);
+
+  EXPECT_NEAR(light.services[0].loss_probability(),
+              heavy.services[0].loss_probability(), 1e-9);
+  EXPECT_GT(heavy.services[1].loss_probability(), 0.5);
+}
+
+TEST(ClusterBuilders, ConsolidatedSharesCapacity) {
+  // In the consolidated pool the same DB overload *does* hurt the web
+  // service: capacity flows, so the two streams compete.
+  ServiceSpec web = paper_web_service();
+  ServiceSpec db = paper_db_service();
+  web.arrival_rate = 130.0;
+  ScenarioOptions options;
+  options.horizon = 1500.0;
+  options.warmup = 150.0;
+
+  db.arrival_rate = 10.0;
+  Rng rng_light(73);
+  const PoolOutcome light =
+      simulate_consolidated({web, db}, 3, options, rng_light);
+
+  db.arrival_rate = 500.0;
+  Rng rng_heavy(73);
+  const PoolOutcome heavy =
+      simulate_consolidated({web, db}, 3, options, rng_heavy);
+
+  EXPECT_GT(heavy.services[0].loss_probability(),
+            light.services[0].loss_probability() + 0.05);
+}
+
+}  // namespace
+}  // namespace vmcons::dc

@@ -1,0 +1,97 @@
+// Asymptotic identities connecting the queueing solvers to one another —
+// the cross-checks that catch sign/off-by-one errors no single-solver test
+// can see.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "queueing/erlang.hpp"
+#include "queueing/mmck.hpp"
+#include "queueing/staffing.hpp"
+
+namespace vmcons::queueing {
+namespace {
+
+TEST(Asymptotics, MmckApproachesErlangCAsBufferGrows) {
+  // Stable M/M/c/K -> M/M/c as K -> inf: blocking -> 0 and the mean wait
+  // approaches the Erlang-C wait.
+  const std::uint64_t c = 4;
+  const double lambda = 3.0;
+  const double mu = 1.0;
+  const double erlang_c_wait = erlang_c_mean_wait(c, lambda, mu);
+  double previous_gap = 1e9;
+  for (const std::uint64_t buffer : {4ull, 16ull, 64ull, 256ull}) {
+    const MmckMetrics metrics = solve_mmck(c, c + buffer, lambda, mu);
+    const double gap = std::abs(metrics.mean_wait_time - erlang_c_wait);
+    EXPECT_LT(gap, previous_gap);
+    previous_gap = gap;
+  }
+  const MmckMetrics limit = solve_mmck(c, c + 512, lambda, mu);
+  EXPECT_NEAR(limit.mean_wait_time, erlang_c_wait, 1e-6);
+  EXPECT_LT(limit.blocking, 1e-8);
+}
+
+TEST(Asymptotics, ErlangBApproachesUtilizationBoundUnderOverload) {
+  // rho >> n: blocking -> 1 - n/rho (all servers busy, carried = n).
+  for (const std::uint64_t n : {2ull, 8ull, 32ull}) {
+    const double rho = static_cast<double>(n) * 50.0;
+    EXPECT_NEAR(erlang_b(n, rho), 1.0 - static_cast<double>(n) / rho, 1e-3);
+  }
+}
+
+TEST(Asymptotics, ErlangBVanishesUnderLightLoad) {
+  // rho << n: blocking ~ rho^n / n! -> essentially zero.
+  EXPECT_LT(erlang_b(10, 0.5), 1e-9);
+  EXPECT_LT(erlang_b(20, 1.0), 1e-15);
+}
+
+TEST(Asymptotics, StaffingEfficiencyGrowsWithScale) {
+  // Erlang economies of scale: utilization at fixed B grows with rho.
+  double previous = 0.0;
+  for (const double rho : {1.0, 10.0, 100.0, 1000.0}) {
+    const std::uint64_t n = erlang_b_servers(rho, 0.01);
+    const double utilization = rho / static_cast<double>(n);
+    EXPECT_GT(utilization, previous) << "rho=" << rho;
+    previous = utilization;
+  }
+  // At 1000 erlangs the pool runs above 90% utilization at 1% loss.
+  EXPECT_GT(previous, 0.90);
+}
+
+TEST(Asymptotics, CapacityAndStaffingAreConsistentInverses) {
+  for (const double b : {0.001, 0.01, 0.1}) {
+    for (const std::uint64_t n : {2ull, 8ull, 32ull}) {
+      const double rho = erlang_b_capacity(n, b);
+      // n servers carry rho at exactly B; staffing that rho returns n.
+      EXPECT_EQ(erlang_b_servers(rho * 0.999, b), n);
+      EXPECT_EQ(erlang_b_servers(rho * 1.01, b), n + 1);
+    }
+  }
+}
+
+TEST(Asymptotics, HugeBufferStaffingApproachesUtilizationFloor) {
+  // With an enormous buffer the loss constraint nearly vanishes and the
+  // staffing approaches ceil(rho) + 1 (stability plus a whisker).
+  const double lambda = 20.0;
+  const double mu = 1.0;
+  const std::uint64_t c = staffing_with_queue(lambda, mu, 2000, 0.01);
+  // rho = 20: the finite buffer sheds just enough load that even the
+  // critically-loaded c = 20 can meet 1%; never below that floor, and far
+  // below the 32-server loss-only staffing.
+  EXPECT_GE(c, 20u);
+  EXPECT_LE(c, 22u);
+  EXPECT_LT(c, erlang_b_servers(lambda / mu, 0.01));
+}
+
+TEST(Asymptotics, CarriedLoadIsMonotoneAndSaturates) {
+  double previous = 0.0;
+  for (const double rho : {1.0, 2.0, 4.0, 8.0, 64.0, 1024.0}) {
+    const double carried = carried_load(4, rho);
+    EXPECT_GE(carried, previous);
+    previous = carried;
+  }
+  EXPECT_NEAR(previous, 4.0, 0.01);  // saturates at the server count
+}
+
+}  // namespace
+}  // namespace vmcons::queueing

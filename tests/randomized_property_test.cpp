@@ -1,0 +1,241 @@
+// Randomized property tests: seeded random configurations hammer the
+// simulators and the packer, checking the invariants that must hold for ANY
+// input — conservation laws, capacity constraints, determinism, and
+// analytic consistency. Each case derives everything from its index, so
+// failures reproduce exactly.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "datacenter/loss_network.hpp"
+#include "datacenter/placement.hpp"
+#include "datacenter/pool_sim.hpp"
+#include "queueing/erlang.hpp"
+#include "queueing/fixed_point.hpp"
+#include "util/rng.hpp"
+
+namespace vmcons {
+namespace {
+
+class RandomPoolCase : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPoolCase, InvariantsHoldForArbitraryConfigs) {
+  Rng setup(0xF00D, static_cast<std::uint64_t>(GetParam()));
+  dc::PoolConfig config;
+  const std::size_t services = 1 + setup.uniform_index(4);
+  for (std::size_t i = 0; i < services; ++i) {
+    config.arrival_rates.push_back(setup.uniform(0.1, 8.0));
+    config.service_rates.push_back(setup.uniform(0.2, 4.0));
+  }
+  config.servers = 1 + static_cast<unsigned>(setup.uniform_index(6));
+  config.slots_per_server = 1 + static_cast<unsigned>(setup.uniform_index(4));
+  config.queue_capacity = static_cast<unsigned>(setup.uniform_index(8));
+  config.dispatch = static_cast<dc::DispatchPolicy>(setup.uniform_index(3));
+  config.allocation = static_cast<dc::AllocationPolicy>(setup.uniform_index(3));
+  config.realloc_interval = setup.uniform(2.0, 20.0);
+  config.realloc_overhead = setup.uniform(0.0, 0.5);
+  config.horizon = 400.0;
+  config.warmup = 40.0;
+
+  Rng run(0xBEEF, static_cast<std::uint64_t>(GetParam()));
+  const dc::PoolOutcome outcome = dc::simulate_pool(config, run);
+
+  double total_loss_weighted = 0.0;
+  double total_lambda = 0.0;
+  for (std::size_t i = 0; i < services; ++i) {
+    const auto& stats = outcome.services[i];
+    // Conservation: every arrival is admitted or lost.
+    EXPECT_EQ(stats.arrivals, stats.admitted + stats.lost) << "case " << GetParam();
+    // Completions bounded by admissions plus the in-flight carryover.
+    EXPECT_LE(stats.completed,
+              stats.admitted + config.servers * config.slots_per_server +
+                  config.queue_capacity + 1);
+    // Response times are nonnegative and, in a loss system, at least ~0.
+    if (stats.completed > 0) {
+      EXPECT_GE(stats.response_time.min(), 0.0);
+    }
+    total_loss_weighted += stats.loss_probability() * config.arrival_rates[i];
+    total_lambda += config.arrival_rates[i];
+  }
+  EXPECT_GE(outcome.mean_utilization, 0.0);
+  EXPECT_LE(outcome.mean_utilization, 1.0 + 1e-9);
+  EXPECT_GE(outcome.energy_joules, outcome.idle_energy_joules - 1e-6);
+
+  // Loss never exceeds what zero capacity would produce, and utilization
+  // is consistent with carried work (a weak but universal bound).
+  EXPECT_LE(outcome.overall_loss(), 1.0);
+  EXPECT_GE(outcome.overall_loss(), 0.0);
+  (void)total_loss_weighted;
+  (void)total_lambda;
+
+  // Determinism: same stream, same result.
+  Rng replay(0xBEEF, static_cast<std::uint64_t>(GetParam()));
+  const dc::PoolOutcome again = dc::simulate_pool(config, replay);
+  EXPECT_EQ(outcome.services[0].arrivals, again.services[0].arrivals);
+  EXPECT_EQ(outcome.total_lost(), again.total_lost());
+  EXPECT_DOUBLE_EQ(outcome.energy_joules, again.energy_joules);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, RandomPoolCase, ::testing::Range(0, 24));
+
+class RandomNetworkCase : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomNetworkCase, LossNetworkInvariants) {
+  Rng setup(0xCAFE, static_cast<std::uint64_t>(GetParam()));
+  dc::LossNetworkConfig config;
+  const std::size_t services = 1 + setup.uniform_index(3);
+  for (std::size_t i = 0; i < services; ++i) {
+    dc::ServiceSpec spec;
+    spec.name = "svc" + std::to_string(i);
+    spec.arrival_rate = setup.uniform(0.2, 6.0);
+    // Demand a random nonempty subset of resources.
+    bool any = false;
+    for (const dc::Resource resource : dc::all_resources()) {
+      if (setup.bernoulli(0.5)) {
+        spec.demand(resource, setup.uniform(0.5, 5.0));
+        any = true;
+      }
+    }
+    if (!any) {
+      spec.demand(dc::Resource::kCpu, setup.uniform(0.5, 5.0));
+    }
+    config.services.push_back(std::move(spec));
+  }
+  config.servers = 1 + static_cast<unsigned>(setup.uniform_index(5));
+  config.vm_count = static_cast<unsigned>(setup.uniform_index(4));
+  config.horizon = 400.0;
+  config.warmup = 40.0;
+
+  Rng run(0xD00D, static_cast<std::uint64_t>(GetParam()));
+  const dc::LossNetworkOutcome outcome = dc::simulate_loss_network(config, run);
+
+  for (const auto& service : outcome.pool.services) {
+    EXPECT_EQ(service.arrivals, service.admitted + service.lost);
+  }
+  for (const dc::Resource resource : dc::all_resources()) {
+    const double utilization = outcome.resource_utilization[resource];
+    EXPECT_GE(utilization, 0.0);
+    EXPECT_LE(utilization, 1.0 + 1e-9);
+  }
+  // The busy-host proxy dominates every single resource's utilization.
+  for (const dc::Resource resource : dc::all_resources()) {
+    EXPECT_GE(outcome.pool.mean_utilization + 1e-9,
+              outcome.resource_utilization[resource]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, RandomNetworkCase, ::testing::Range(0, 16));
+
+class RandomPackingCase : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPackingCase, PackingRespectsCapacities) {
+  Rng setup(0xACDC, static_cast<std::uint64_t>(GetParam()));
+  dc::HostShape host;
+  host.cpu_cores = 8 + static_cast<unsigned>(setup.uniform_index(9));
+  host.reserved_cores = 1 + static_cast<unsigned>(setup.uniform_index(2));
+  host.memory_gb = setup.uniform(8.0, 32.0);
+  host.reserved_memory_gb = 1.0;
+
+  std::vector<dc::VmRequirement> vms;
+  const std::size_t count = 3 + setup.uniform_index(20);
+  for (std::size_t i = 0; i < count; ++i) {
+    dc::VmRequirement vm;
+    vm.name = "vm" + std::to_string(i);
+    vm.vcpus = 1 + static_cast<unsigned>(
+                       setup.uniform_index(host.usable_cores()));
+    vm.memory_gb = setup.uniform(0.5, host.usable_memory_gb());
+    vm.service = static_cast<std::uint32_t>(setup.uniform_index(4));
+    vms.push_back(std::move(vm));
+  }
+
+  for (const auto heuristic : {dc::PackingHeuristic::kFirstFitDecreasing,
+                               dc::PackingHeuristic::kBestFit}) {
+    const dc::Placement placement =
+        dc::pack_vms(vms, host, vms.size(), heuristic);
+    ASSERT_TRUE(placement.feasible);
+    // Every VM appears exactly once.
+    std::vector<int> seen(vms.size(), 0);
+    for (const auto& assignment : placement.assignments) {
+      unsigned cores = 0;
+      double memory = 0.0;
+      for (const std::size_t index : assignment) {
+        ++seen[index];
+        cores += vms[index].vcpus;
+        memory += vms[index].memory_gb;
+      }
+      EXPECT_LE(cores, host.usable_cores());
+      EXPECT_LE(memory, host.usable_memory_gb() + 1e-9);
+    }
+    for (const int visits : seen) {
+      EXPECT_EQ(visits, 1);
+    }
+    // Lower bound: can never beat the volume bound.
+    double core_volume = 0.0;
+    for (const auto& vm : vms) {
+      core_volume += vm.vcpus;
+    }
+    EXPECT_GE(placement.hosts_used(),
+              static_cast<std::size_t>(
+                  std::ceil(core_volume / host.usable_cores())));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, RandomPackingCase, ::testing::Range(0, 16));
+
+class RandomFixedPointCase : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomFixedPointCase, FixedPointConvergesAndBounds) {
+  Rng setup(0xFACE, static_cast<std::uint64_t>(GetParam()));
+  std::vector<queueing::LossClass> classes;
+  const std::size_t count = 1 + setup.uniform_index(4);
+  const std::size_t resources = 1 + setup.uniform_index(3);
+  for (std::size_t i = 0; i < count; ++i) {
+    queueing::LossClass loss_class;
+    loss_class.arrival_rate = setup.uniform(0.1, 10.0);
+    for (std::size_t j = 0; j < resources; ++j) {
+      loss_class.service_rates.push_back(
+          setup.bernoulli(0.7) ? setup.uniform(0.3, 5.0) : 0.0);
+    }
+    classes.push_back(std::move(loss_class));
+  }
+  // Ensure at least one demand exists.
+  classes[0].service_rates[0] = 1.0;
+
+  const std::uint64_t capacity = 1 + setup.uniform_index(8);
+  const auto result = queueing::reduced_load_blocking(classes, capacity);
+  EXPECT_TRUE(result.converged);
+  for (const double blocking : result.resource_blocking) {
+    EXPECT_GE(blocking, 0.0);
+    EXPECT_LE(blocking, 1.0);
+  }
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    EXPECT_GE(result.class_blocking[i], 0.0);
+    EXPECT_LE(result.class_blocking[i], 1.0);
+    // Class blocking dominates each of its resources' blocking.
+    for (std::size_t j = 0; j < resources; ++j) {
+      if (classes[i].service_rates[j] > 0.0) {
+        EXPECT_GE(result.class_blocking[i] + 1e-12,
+                  result.resource_blocking[j] *
+                      (1.0 - 1e-9));  // >= B_j up to roundoff
+      }
+    }
+  }
+  // Reduced load never exceeds the un-thinned independent bound.
+  for (std::size_t j = 0; j < resources; ++j) {
+    double full_rho = 0.0;
+    for (const auto& loss_class : classes) {
+      if (loss_class.service_rates[j] > 0.0) {
+        full_rho += loss_class.arrival_rate / loss_class.service_rates[j];
+      }
+    }
+    if (full_rho > 0.0) {
+      EXPECT_LE(result.resource_blocking[j],
+                queueing::erlang_b(capacity, full_rho) + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, RandomFixedPointCase, ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace vmcons

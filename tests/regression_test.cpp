@@ -1,0 +1,109 @@
+// Tests for the least-squares fitters used by impact-factor calibration.
+#include "stats/regression.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace vmcons {
+namespace {
+
+TEST(LinearFit, RecoversExactLine) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 9; ++i) {
+    x.push_back(i);
+    y.push_back(1.082 - 0.102 * i);  // the paper's Fig. 5(b) line
+  }
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, -0.102, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.082, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyLineStillClose) {
+  Rng rng(21);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    const double xi = i * 0.1;
+    x.push_back(xi);
+    y.push_back(2.0 * xi + 5.0 + rng.normal(0.0, 0.5));
+  }
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 0.05);
+  EXPECT_NEAR(fit.intercept, 5.0, 0.5);
+  EXPECT_GT(fit.r_squared, 0.98);
+}
+
+TEST(LinearFit, RejectsDegenerateInputs) {
+  EXPECT_THROW(fit_linear({1.0}, {2.0}), InvalidArgument);
+  EXPECT_THROW(fit_linear({1.0, 2.0}, {2.0}), InvalidArgument);
+  EXPECT_THROW(fit_linear({3.0, 3.0}, {1.0, 2.0}), NumericError);
+}
+
+TEST(PolynomialFit, RecoversQuadratic) {
+  std::vector<double> x, y;
+  for (int i = -5; i <= 5; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 - 2.0 * i + 0.5 * i * i);
+  }
+  const PolynomialFit fit = fit_polynomial(x, y, 2);
+  ASSERT_EQ(fit.coefficients.size(), 3u);
+  EXPECT_NEAR(fit.coefficients[0], 3.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients[1], -2.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients[2], 0.5, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(PolynomialFit, DegreeZeroIsTheMean) {
+  const PolynomialFit fit = fit_polynomial({1.0, 2.0, 3.0}, {4.0, 6.0, 8.0}, 0);
+  ASSERT_EQ(fit.coefficients.size(), 1u);
+  EXPECT_NEAR(fit.coefficients[0], 6.0, 1e-12);
+}
+
+TEST(PolynomialFit, RejectsUnsupportedDegree) {
+  EXPECT_THROW(fit_polynomial({1, 2, 3, 4, 5, 6, 7, 8},
+                              {1, 2, 3, 4, 5, 6, 7, 8}, 7),
+               InvalidArgument);
+}
+
+TEST(RationalFit, RecoversPaperDbCurve) {
+  // a(v) = 1.85 v^2 / (v^2 + 0.85), the Fig. 8(b) shape.
+  std::vector<double> x, y;
+  for (int v = 1; v <= 9; ++v) {
+    x.push_back(v);
+    y.push_back(1.85 * v * v / (v * v + 0.85));
+  }
+  const RationalSaturatingFit fit = fit_rational_saturating(x, y);
+  EXPECT_NEAR(fit.amplitude, 1.85, 1e-3);
+  EXPECT_NEAR(fit.half_point, 0.85, 2e-3);
+  EXPECT_GT(fit.r_squared, 0.99999);
+}
+
+TEST(RationalFit, NoisySamplesStillIdentifyPlateau) {
+  Rng rng(22);
+  std::vector<double> x, y;
+  for (int v = 1; v <= 12; ++v) {
+    x.push_back(v);
+    y.push_back(1.85 * v * v / (v * v + 0.85) + rng.normal(0.0, 0.02));
+  }
+  const RationalSaturatingFit fit = fit_rational_saturating(x, y);
+  EXPECT_NEAR(fit.amplitude, 1.85, 0.05);
+  EXPECT_GT(fit.r_squared, 0.97);
+}
+
+TEST(RSquared, PerfectAndUseless) {
+  EXPECT_NEAR(r_squared({1, 2, 3}, {1, 2, 3}), 1.0, 1e-15);
+  // Predicting the mean gives R^2 = 0.
+  EXPECT_NEAR(r_squared({1, 2, 3}, {2, 2, 2}), 0.0, 1e-15);
+}
+
+TEST(RSquared, ValidatesInputs) {
+  EXPECT_THROW(r_squared({}, {}), InvalidArgument);
+  EXPECT_THROW(r_squared({1.0}, {1.0, 2.0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vmcons

@@ -1,0 +1,83 @@
+// Tests for the report renderer.
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.hpp"
+
+namespace vmcons::core {
+namespace {
+
+ModelResult solve_case_study() {
+  ModelInputs inputs;
+  inputs.target_loss = 0.01;
+  dc::ServiceSpec web = dc::paper_web_service();
+  dc::ServiceSpec db = dc::paper_db_service();
+  web.arrival_rate = intensive_workload(web, 3, 0.01);
+  db.arrival_rate = intensive_workload(db, 3, 0.01);
+  inputs.services = {web, db};
+  return UtilityAnalyticModel(inputs).solve();
+}
+
+TEST(Report, HeadlineSummarizesThePlan) {
+  const std::string text = headline(solve_case_study());
+  EXPECT_NE(text.find("M=6"), std::string::npos);
+  EXPECT_NE(text.find("N=3"), std::string::npos);
+  EXPECT_NE(text.find("50.0% servers"), std::string::npos);
+}
+
+TEST(Report, PrintedResultMentionsServicesAndResources) {
+  std::ostringstream out;
+  print_model_result(out, solve_case_study());
+  const std::string text = out.str();
+  EXPECT_NE(text.find("web"), std::string::npos);
+  EXPECT_NE(text.find("db"), std::string::npos);
+  EXPECT_NE(text.find("disk_io"), std::string::npos);
+  EXPECT_NE(text.find("cpu"), std::string::npos);
+  EXPECT_NE(text.find("U_N"), std::string::npos);
+}
+
+TEST(Report, CsvIsParseableAndComplete) {
+  std::ostringstream out;
+  write_model_result_csv(out, solve_case_study());
+  const CsvDocument document = csv_parse(out.str());
+  ASSERT_EQ(document.header.size(), 4u);
+  // Sections present: dedicated (2 services x 2 rows), consolidated
+  // (2 demanded resources x 2 rows), summary (4 rows).
+  EXPECT_EQ(document.rows.size(), 2u * 2 + 2u * 2 + 4u);
+  bool found_n = false;
+  for (const auto& row : document.rows) {
+    if (row[0] == "summary" && row[1] == "N") {
+      EXPECT_EQ(row[3], "3");
+      found_n = true;
+    }
+  }
+  EXPECT_TRUE(found_n);
+}
+
+TEST(Report, ValidationReportRendersModelVsSimulated) {
+  ModelInputs inputs;
+  inputs.target_loss = 0.01;
+  dc::ServiceSpec web = dc::paper_web_service();
+  dc::ServiceSpec db = dc::paper_db_service();
+  web.arrival_rate = intensive_workload(web, 3, 0.01);
+  db.arrival_rate = intensive_workload(db, 3, 0.01);
+  inputs.services = {web, db};
+  ValidationOptions options;
+  options.replications = 3;
+  options.scenario.horizon = 400.0;
+  options.scenario.warmup = 40.0;
+  const ValidationReport report = validate(inputs, options);
+
+  std::ostringstream out;
+  print_validation_report(out, report);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("model vs simulation"), std::string::npos);
+  EXPECT_NE(text.find("consolidated loss"), std::string::npos);
+  EXPECT_NE(text.find("power saving"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vmcons::core

@@ -1,0 +1,209 @@
+// Tests for the deterministic RNG streams and distribution samplers.
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/gof.hpp"
+#include "stats/summary.hpp"
+
+namespace vmcons {
+namespace {
+
+TEST(Rng, DeterministicForSameSeedAndStream) {
+  Rng a(42, 7);
+  Rng b(42, 7);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, StreamsDiffer) {
+  Rng a(42, 0);
+  Rng b(42, 1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) {
+      ++equal;
+    }
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1, 0);
+  Rng b(2, 0);
+  EXPECT_NE(a(), b());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(4);
+  Summary summary;
+  for (int i = 0; i < 200000; ++i) {
+    summary.add(rng.uniform());
+  }
+  EXPECT_NEAR(summary.mean(), 0.5, 0.005);
+  EXPECT_NEAR(summary.variance(), 1.0 / 12.0, 0.002);
+}
+
+TEST(Rng, UniformIndexCoversRangeWithoutBias) {
+  Rng rng(5);
+  std::vector<int> counts(7, 0);
+  const int draws = 140000;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[rng.uniform_index(7)];
+  }
+  for (const int count : counts) {
+    EXPECT_NEAR(count, draws / 7.0, draws / 7.0 * 0.05);
+  }
+}
+
+TEST(Rng, ExponentialMatchesRate) {
+  Rng rng(6);
+  const double rate = 3.5;
+  Summary summary;
+  std::vector<double> samples;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.exponential(rate);
+    ASSERT_GT(x, 0.0);
+    summary.add(x);
+    samples.push_back(x);
+  }
+  EXPECT_NEAR(summary.mean(), 1.0 / rate, 0.01);
+  EXPECT_TRUE(exponential_gof(samples, rate).accept(0.001));
+}
+
+TEST(Rng, PoissonSmallMeanGoodnessOfFit) {
+  Rng rng(7);
+  const double mean = 4.2;
+  std::vector<std::uint64_t> counts;
+  Summary summary;
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t k = rng.poisson(mean);
+    counts.push_back(k);
+    summary.add(static_cast<double>(k));
+  }
+  EXPECT_NEAR(summary.mean(), mean, 0.05);
+  EXPECT_NEAR(summary.variance(), mean, 0.15);
+  EXPECT_TRUE(poisson_gof(counts, mean).accept(0.001));
+}
+
+TEST(Rng, PoissonLargeMeanMatchesMoments) {
+  Rng rng(8);
+  const double mean = 200.0;
+  Summary summary;
+  for (int i = 0; i < 50000; ++i) {
+    summary.add(static_cast<double>(rng.poisson(mean)));
+  }
+  EXPECT_NEAR(summary.mean(), mean, 0.5);
+  EXPECT_NEAR(summary.variance(), mean, 6.0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(9);
+  Summary summary;
+  for (int i = 0; i < 200000; ++i) {
+    summary.add(rng.normal(10.0, 2.0));
+  }
+  EXPECT_NEAR(summary.mean(), 10.0, 0.02);
+  EXPECT_NEAR(summary.stddev(), 2.0, 0.02);
+}
+
+TEST(Rng, GammaMoments) {
+  Rng rng(10);
+  const double shape = 0.6;
+  const double scale = 95.0;
+  Summary summary;
+  for (int i = 0; i < 200000; ++i) {
+    const double x = rng.gamma(shape, scale);
+    ASSERT_GT(x, 0.0);
+    summary.add(x);
+  }
+  EXPECT_NEAR(summary.mean(), shape * scale, 1.0);
+  EXPECT_NEAR(summary.variance(), shape * scale * scale, 150.0);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(11);
+  int heads = 0;
+  for (int i = 0; i < 100000; ++i) {
+    heads += rng.bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(heads / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ZipfRanksAreSkewedAndInRange) {
+  Rng rng(12);
+  const std::uint64_t n = 1000;
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t rank = rng.zipf(n, 1.0);
+    ASSERT_LT(rank, n);
+    ++counts[rank];
+  }
+  // Rank 0 should be roughly twice as popular as rank 1 for s = 1.
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / counts[1], 2.0, 0.4);
+  // The head (top 1%) must dominate far beyond uniform share.
+  int head = 0;
+  for (std::uint64_t r = 0; r < 10; ++r) {
+    head += counts[r];
+  }
+  EXPECT_GT(head, 100000 / 100 * 3);
+}
+
+TEST(Rng, ZipfZeroExponentIsUniform) {
+  Rng rng(13);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) {
+    ++counts[rng.zipf(10, 0.0)];
+  }
+  for (const int count : counts) {
+    EXPECT_NEAR(count, 10000, 500);
+  }
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng(14);
+  const std::vector<double> weights{1.0, 2.0, 7.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 100000; ++i) {
+    ++counts[rng.weighted_index(weights)];
+  }
+  EXPECT_NEAR(counts[0] / 100000.0, 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / 100000.0, 0.2, 0.012);
+  EXPECT_NEAR(counts[2] / 100000.0, 0.7, 0.015);
+}
+
+TEST(Rng, WeightedIndexIgnoresNegativeWeights) {
+  Rng rng(15);
+  const std::vector<double> weights{-5.0, 1.0};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rng.weighted_index(weights), 1u);
+  }
+}
+
+TEST(Splitmix, KnownSequenceIsStable) {
+  std::uint64_t state = 0;
+  const std::uint64_t first = splitmix64(state);
+  const std::uint64_t second = splitmix64(state);
+  EXPECT_NE(first, second);
+  std::uint64_t replay = 0;
+  EXPECT_EQ(splitmix64(replay), first);
+  EXPECT_EQ(splitmix64(replay), second);
+}
+
+}  // namespace
+}  // namespace vmcons

@@ -1,0 +1,107 @@
+// Tests for robust (Monte Carlo) planning under parameter uncertainty.
+#include "core/robust.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace vmcons::core {
+namespace {
+
+ModelInputs case_study() {
+  ModelInputs inputs;
+  inputs.target_loss = 0.01;
+  dc::ServiceSpec web = dc::paper_web_service();
+  dc::ServiceSpec db = dc::paper_db_service();
+  web.arrival_rate = intensive_workload(web, 3, 0.01);
+  db.arrival_rate = intensive_workload(db, 3, 0.01);
+  inputs.services = {web, db};
+  return inputs;
+}
+
+TEST(Robust, ZeroUncertaintyCollapsesToPointEstimate) {
+  ParameterUncertainty none;
+  none.arrival_cv = 0.0;
+  none.service_cv = 0.0;
+  none.impact_sd = 0.0;
+  const RobustPlan plan = robust_consolidated_plan(case_study(), none, 200);
+  EXPECT_EQ(plan.n_histogram.size(), 1u);
+  EXPECT_EQ(plan.n_at_quantile, plan.point_estimate_n);
+  EXPECT_DOUBLE_EQ(plan.mean_n, static_cast<double>(plan.point_estimate_n));
+  EXPECT_DOUBLE_EQ(plan.underprovision_risk, 0.0);
+}
+
+TEST(Robust, UncertaintySpreadsTheDistribution) {
+  ParameterUncertainty wide;
+  wide.arrival_cv = 0.4;
+  wide.service_cv = 0.1;
+  wide.impact_sd = 0.1;
+  const RobustPlan plan = robust_consolidated_plan(case_study(), wide, 1000);
+  EXPECT_GT(plan.n_histogram.size(), 1u);
+  EXPECT_GE(plan.n_at_quantile, plan.point_estimate_n);
+  EXPECT_GT(plan.underprovision_risk, 0.0);
+}
+
+TEST(Robust, QuantileIsMonotoneInConfidence) {
+  ParameterUncertainty uncertainty;
+  uncertainty.arrival_cv = 0.3;
+  const RobustPlan median =
+      robust_consolidated_plan(case_study(), uncertainty, 1000, 2009, 0.5);
+  const RobustPlan tail =
+      robust_consolidated_plan(case_study(), uncertainty, 1000, 2009, 0.99);
+  EXPECT_LE(median.n_at_quantile, tail.n_at_quantile);
+}
+
+TEST(Robust, DeterministicPerSeed) {
+  ParameterUncertainty uncertainty;
+  const RobustPlan a =
+      robust_consolidated_plan(case_study(), uncertainty, 300, 7);
+  const RobustPlan b =
+      robust_consolidated_plan(case_study(), uncertainty, 300, 7);
+  EXPECT_EQ(a.n_histogram, b.n_histogram);
+  EXPECT_DOUBLE_EQ(a.mean_n, b.mean_n);
+}
+
+TEST(Robust, PerturbationPreservesStructure) {
+  Rng rng(161);
+  ParameterUncertainty uncertainty;
+  const ModelInputs inputs = case_study();
+  const ModelInputs sample = perturb_inputs(inputs, uncertainty, rng);
+  ASSERT_EQ(sample.services.size(), inputs.services.size());
+  for (std::size_t i = 0; i < sample.services.size(); ++i) {
+    EXPECT_GT(sample.services[i].arrival_rate, 0.0);
+    // Resources demanded stay demanded, undemanded stay undemanded.
+    for (const dc::Resource resource : dc::all_resources()) {
+      EXPECT_EQ(sample.services[i].native_rates[resource] > 0.0,
+                inputs.services[i].native_rates[resource] > 0.0);
+    }
+  }
+}
+
+TEST(Robust, HistogramCountsSumToSamples) {
+  ParameterUncertainty uncertainty;
+  const RobustPlan plan =
+      robust_consolidated_plan(case_study(), uncertainty, 500);
+  std::size_t total = 0;
+  for (const auto& [n, count] : plan.n_histogram) {
+    (void)n;
+    total += count;
+  }
+  EXPECT_EQ(total, 500u);
+}
+
+TEST(Robust, Validation) {
+  EXPECT_THROW(
+      robust_consolidated_plan(case_study(), ParameterUncertainty{}, 0),
+      InvalidArgument);
+  EXPECT_THROW(robust_consolidated_plan(case_study(), ParameterUncertainty{},
+                                        10, 1, 0.0),
+               InvalidArgument);
+  Rng rng(162);
+  ParameterUncertainty negative;
+  negative.arrival_cv = -0.1;
+  EXPECT_THROW(perturb_inputs(case_study(), negative, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vmcons::core

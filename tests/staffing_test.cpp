@@ -1,0 +1,75 @@
+// Tests for the waiting-room and square-root staffing extensions.
+#include "queueing/staffing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "queueing/erlang.hpp"
+#include "queueing/mmck.hpp"
+#include "util/error.hpp"
+
+namespace vmcons::queueing {
+namespace {
+
+TEST(Staffing, ZeroQueueMatchesErlangB) {
+  for (const double lambda : {0.5, 3.0, 20.0}) {
+    EXPECT_EQ(staffing_with_queue(lambda, 1.0, 0, 0.01),
+              erlang_b_servers(lambda, 0.01))
+        << "lambda=" << lambda;
+  }
+}
+
+TEST(Staffing, ResultSatisfiesTargetAndIsMinimal) {
+  for (const double lambda : {2.0, 8.0, 30.0}) {
+    for (const std::uint64_t queue : {1ull, 4ull, 16ull}) {
+      const std::uint64_t c = staffing_with_queue(lambda, 1.0, queue, 0.01);
+      EXPECT_LE(solve_mmck(c, c + queue, lambda, 1.0).blocking, 0.01);
+      if (c > 1) {
+        EXPECT_GT(solve_mmck(c - 1, c - 1 + queue, lambda, 1.0).blocking,
+                  0.01);
+      }
+    }
+  }
+}
+
+TEST(Staffing, QueueNeverIncreasesStaffing) {
+  for (const double lambda : {2.0, 8.0, 30.0}) {
+    std::uint64_t previous = erlang_b_servers(lambda, 0.01);
+    for (const std::uint64_t queue : {1ull, 4ull, 16ull, 64ull}) {
+      const std::uint64_t c = staffing_with_queue(lambda, 1.0, queue, 0.01);
+      EXPECT_LE(c, previous) << "lambda=" << lambda << " q=" << queue;
+      previous = c;
+    }
+  }
+}
+
+TEST(Staffing, ServersSavedIsConsistent) {
+  const double lambda = 30.0;
+  const std::uint64_t saved = servers_saved_by_queue(lambda, 1.0, 16, 0.01);
+  EXPECT_EQ(saved, erlang_b_servers(lambda, 0.01) -
+                       staffing_with_queue(lambda, 1.0, 16, 0.01));
+  EXPECT_GT(saved, 0u);
+}
+
+TEST(Staffing, SquareRootRuleIsAConservativeEstimate) {
+  // With beta = the 1% normal quantile, the square-root rule over-staffs
+  // relative to exact Erlang-B (loss systems need less than delay systems),
+  // but stays within ~10%: a usable quick estimate, never an unsafe one.
+  for (const double rho : {10.0, 50.0, 200.0}) {
+    const std::uint64_t exact = erlang_b_servers(rho, 0.01);
+    const std::uint64_t rule = square_root_staffing(rho, 2.33);
+    EXPECT_GE(rule, exact) << "rho=" << rho;
+    EXPECT_LE(static_cast<double>(rule),
+              static_cast<double>(exact) * 1.10 + 3.0)
+        << "rho=" << rho;
+  }
+}
+
+TEST(Staffing, Validation) {
+  EXPECT_THROW(staffing_with_queue(0.0, 1.0, 1, 0.01), InvalidArgument);
+  EXPECT_THROW(staffing_with_queue(1.0, 1.0, 1, 0.0), InvalidArgument);
+  EXPECT_THROW(square_root_staffing(-1.0, 1.0), InvalidArgument);
+  EXPECT_THROW(square_root_staffing(1.0, -1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vmcons::queueing

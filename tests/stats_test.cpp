@@ -1,0 +1,152 @@
+// Tests for Summary, TimeWeighted, Histogram, and PercentileSketch.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+#include "stats/timeweighted.hpp"
+#include "util/error.hpp"
+
+namespace vmcons {
+namespace {
+
+TEST(Summary, EmptyIsZero) {
+  Summary summary;
+  EXPECT_EQ(summary.count(), 0u);
+  EXPECT_DOUBLE_EQ(summary.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(summary.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(summary.stderror(), 0.0);
+}
+
+TEST(Summary, KnownMoments) {
+  Summary summary;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    summary.add(x);
+  }
+  EXPECT_EQ(summary.count(), 8u);
+  EXPECT_DOUBLE_EQ(summary.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, / 7.
+  EXPECT_NEAR(summary.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(summary.min(), 2.0);
+  EXPECT_DOUBLE_EQ(summary.max(), 9.0);
+}
+
+TEST(Summary, MergeMatchesSequential) {
+  Summary whole;
+  Summary left;
+  Summary right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = std::sin(i * 0.37) * 10.0 + i * 0.01;
+    whole.add(x);
+    (i % 3 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Summary, MergeWithEmptyIsIdentity) {
+  Summary a;
+  a.add(1.0);
+  a.add(3.0);
+  Summary empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(TimeWeighted, StepSignalAverage) {
+  TimeWeighted signal(0.0, 0.0);
+  signal.set(10.0, 4.0);  // 0 for [0,10)
+  signal.set(30.0, 1.0);  // 4 for [10,30)
+  // 1 for [30,40): integral = 0*10 + 4*20 + 1*10 = 90.
+  EXPECT_DOUBLE_EQ(signal.integral(40.0), 90.0);
+  EXPECT_DOUBLE_EQ(signal.average(40.0), 2.25);
+  EXPECT_DOUBLE_EQ(signal.peak(), 4.0);
+}
+
+TEST(TimeWeighted, AddAccumulatesDeltas) {
+  TimeWeighted signal(0.0, 0.0);
+  signal.add(5.0, 2.0);
+  signal.add(5.0, 1.0);  // same instant: contributes zero width
+  EXPECT_DOUBLE_EQ(signal.value(), 3.0);
+  signal.add(10.0, -3.0);
+  EXPECT_DOUBLE_EQ(signal.value(), 0.0);
+  EXPECT_DOUBLE_EQ(signal.integral(10.0), 15.0);
+}
+
+TEST(TimeWeighted, NonzeroStartTime) {
+  TimeWeighted signal(100.0, 2.0);
+  signal.set(110.0, 0.0);
+  EXPECT_DOUBLE_EQ(signal.average(120.0), 1.0);
+}
+
+TEST(Histogram, BinningAndBounds) {
+  Histogram histogram(0.0, 10.0, 10);
+  histogram.add(-1.0);
+  histogram.add(0.0);
+  histogram.add(5.5);
+  histogram.add(9.999);
+  histogram.add(10.0);
+  histogram.add(42.0);
+  EXPECT_EQ(histogram.underflow(), 1u);
+  EXPECT_EQ(histogram.overflow(), 2u);
+  EXPECT_EQ(histogram.bin(0), 1u);
+  EXPECT_EQ(histogram.bin(5), 1u);
+  EXPECT_EQ(histogram.bin(9), 1u);
+  EXPECT_EQ(histogram.total(), 6u);
+  EXPECT_DOUBLE_EQ(histogram.bin_center(5), 5.5);
+}
+
+TEST(Histogram, QuantileOfUniformFill) {
+  Histogram histogram(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) {
+    histogram.add(i + 0.5);
+  }
+  EXPECT_NEAR(histogram.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(histogram.quantile(0.9), 90.0, 1.5);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), InvalidArgument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), InvalidArgument);
+}
+
+TEST(PercentileSketch, ExactWhenUnderCapacity) {
+  PercentileSketch sketch(1000);
+  for (int i = 1; i <= 100; ++i) {
+    sketch.add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(1.0), 100.0);
+  EXPECT_NEAR(sketch.quantile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(sketch.quantile(0.95), 95.05, 0.2);
+}
+
+TEST(PercentileSketch, ReservoirStaysUnbiased) {
+  PercentileSketch sketch(512, 99);
+  for (int i = 0; i < 100000; ++i) {
+    sketch.add(static_cast<double>(i % 1000));
+  }
+  EXPECT_EQ(sketch.count(), 100000u);
+  // Median of the underlying stream is ~499.5; reservoir noise is a few %.
+  EXPECT_NEAR(sketch.quantile(0.5), 499.5, 60.0);
+}
+
+TEST(PercentileSketch, QuantileValidatesRange) {
+  PercentileSketch sketch;
+  sketch.add(1.0);
+  EXPECT_THROW(sketch.quantile(-0.1), InvalidArgument);
+  EXPECT_THROW(sketch.quantile(1.1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vmcons

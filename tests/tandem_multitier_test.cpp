@@ -1,0 +1,127 @@
+// Tests for the tandem loss network and multi-tier planning.
+#include <gtest/gtest.h>
+
+#include "core/multitier.hpp"
+#include "datacenter/tandem.hpp"
+#include "queueing/erlang.hpp"
+#include "sim/replication.hpp"
+#include "util/error.hpp"
+
+namespace vmcons {
+namespace {
+
+TEST(Tandem, SingleTierReducesToErlangB) {
+  dc::TandemConfig config;
+  config.arrival_rate = 2.0;
+  config.tiers = {{"only", 1.0, 3}};
+  config.horizon = 4000.0;
+  config.warmup = 400.0;
+  const auto estimate = sim::replicate_scalar(
+      8, 151, [&](std::size_t, Rng& rng) {
+        return dc::simulate_tandem(config, rng).loss_probability();
+      });
+  EXPECT_NEAR(estimate.summary.mean(), queueing::erlang_b(3, 2.0), 0.012);
+}
+
+TEST(Tandem, LossAccumulatesAcrossTiers) {
+  dc::TandemConfig one_tier;
+  one_tier.arrival_rate = 2.0;
+  one_tier.tiers = {{"a", 1.0, 3}};
+  one_tier.horizon = 2000.0;
+  one_tier.warmup = 200.0;
+
+  dc::TandemConfig two_tiers = one_tier;
+  two_tiers.tiers.push_back({"b", 1.0, 3});
+
+  const auto single = sim::replicate_scalar(
+      6, 152, [&](std::size_t, Rng& rng) {
+        return dc::simulate_tandem(one_tier, rng).loss_probability();
+      });
+  const auto tandem = sim::replicate_scalar(
+      6, 152, [&](std::size_t, Rng& rng) {
+        return dc::simulate_tandem(two_tiers, rng).loss_probability();
+      });
+  EXPECT_GT(tandem.summary.mean(), single.summary.mean());
+}
+
+TEST(Tandem, SecondTierSeesThinnedTraffic) {
+  dc::TandemConfig config;
+  config.arrival_rate = 4.0;
+  config.tiers = {{"front", 1.0, 2}, {"back", 1.0, 8}};
+  config.horizon = 2000.0;
+  config.warmup = 200.0;
+  Rng rng(153);
+  const auto outcome = dc::simulate_tandem(config, rng);
+  // The front tier blocks heavily (rho = 4 on 2 servers), so the back tier
+  // receives only the carried stream.
+  EXPECT_LT(outcome.tiers[1].offered, outcome.tiers[0].offered);
+  EXPECT_GT(outcome.tiers[0].blocking(), 0.2);
+  EXPECT_LT(outcome.tiers[1].blocking(), 0.01);
+}
+
+TEST(Tandem, EndToEndResponseSumsTierTimes) {
+  dc::TandemConfig config;
+  config.arrival_rate = 0.5;
+  config.tiers = {{"a", 2.0, 4}, {"b", 1.0, 4}};
+  config.horizon = 3000.0;
+  config.warmup = 300.0;
+  Rng rng(154);
+  const auto outcome = dc::simulate_tandem(config, rng);
+  // Light load, loss system: response = 1/2 + 1/1.
+  EXPECT_NEAR(outcome.end_to_end_response.mean(), 1.5, 0.1);
+}
+
+TEST(Tandem, Validation) {
+  Rng rng(155);
+  dc::TandemConfig config;
+  EXPECT_THROW(dc::simulate_tandem(config, rng), InvalidArgument);
+  config.arrival_rate = 1.0;
+  config.tiers = {{"zero-rate", 0.0, 1}};
+  EXPECT_THROW(dc::simulate_tandem(config, rng), InvalidArgument);
+}
+
+TEST(MultiTier, ExpandScalesTierArrivals) {
+  const auto application = core::paper_ecommerce_application(100.0, 0.3);
+  const auto specs = application.expand();
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].name, "ecommerce/web");
+  EXPECT_DOUBLE_EQ(specs[0].arrival_rate, 100.0);
+  EXPECT_EQ(specs[1].name, "ecommerce/db");
+  EXPECT_DOUBLE_EQ(specs[1].arrival_rate, 30.0);
+}
+
+TEST(MultiTier, IntegralEquivalentUsesHarmonicAggregation) {
+  const auto application = core::paper_ecommerce_application(100.0, 1.0);
+  const auto integral = application.integral_equivalent(0.8);
+  // CPU seconds per request: 1/3360 + 1/100 -> rate ~ 97.1.
+  EXPECT_NEAR(integral.native_rates[dc::Resource::kCpu],
+              1.0 / (1.0 / 3360.0 + 1.0 / 100.0), 1e-6);
+  // Disk is demanded only by the web tier: rate 420.
+  EXPECT_NEAR(integral.native_rates[dc::Resource::kDiskIo], 420.0, 1e-9);
+}
+
+TEST(MultiTier, PerTierPlanningMeetsTargetWhereIntegralMissizes) {
+  const std::vector<core::MultiTierService> applications = {
+      core::paper_ecommerce_application(120.0, 0.3)};
+  const auto per_tier = core::plan_multitier(applications, 0.01);
+  EXPECT_GT(per_tier.consolidated_servers, 0u);
+  EXPECT_LE(per_tier.consolidated_blocking, 0.01);
+  // The integral plan with an optimistic application-level impact factor
+  // (e.g. measured on the CPU-light path) allocates fewer servers.
+  const auto integral = core::plan_integral(applications, 0.01, 0.95);
+  EXPECT_LE(integral.consolidated_servers, per_tier.consolidated_servers);
+}
+
+TEST(MultiTier, Validation) {
+  core::MultiTierService empty;
+  empty.name = "empty";
+  empty.arrival_rate = 1.0;
+  EXPECT_THROW(empty.expand(), InvalidArgument);
+  EXPECT_THROW(core::paper_ecommerce_application(100.0, 0.0), InvalidArgument);
+  const auto application = core::paper_ecommerce_application(100.0);
+  EXPECT_THROW(application.integral_equivalent(0.0), InvalidArgument);
+  EXPECT_THROW(core::plan_multitier({}, 0.01), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vmcons

@@ -1,0 +1,67 @@
+// Tests for arrival-trace recording, statistics, and CSV round-trips.
+#include "workload/trace.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace vmcons::workload {
+namespace {
+
+TEST(Trace, RejectsUnsortedTimes) {
+  EXPECT_THROW(ArrivalTrace({1.0, 0.5}), InvalidArgument);
+  EXPECT_THROW(ArrivalTrace({-1.0}), InvalidArgument);
+}
+
+TEST(Trace, PoissonRecordingMatchesRate) {
+  Rng rng(131);
+  const ArrivalTrace trace = ArrivalTrace::record_poisson(20.0, 500.0, rng);
+  EXPECT_NEAR(trace.mean_rate(), 20.0, 0.5);
+  EXPECT_NEAR(trace.duration(), 500.0, 1.0);
+  // Poisson: index of dispersion ~ 1.
+  EXPECT_NEAR(trace.index_of_dispersion(2.0), 1.0, 0.15);
+}
+
+TEST(Trace, MmppRecordingIsBursty) {
+  Rng rng(132);
+  // A long recording: with 10 s dwells the realized mean rate converges
+  // slowly (each burst/calm cycle is a big random block).
+  const ArrivalTrace trace =
+      ArrivalTrace::record_mmpp(20.0, 6.0, 5000.0, rng);
+  EXPECT_NEAR(trace.mean_rate(), 20.0, 2.0);
+  EXPECT_GT(trace.index_of_dispersion(2.0), 2.0);
+  EXPECT_GT(trace.peak_to_mean(2.0), 1.5);
+}
+
+TEST(Trace, CsvRoundTrip) {
+  Rng rng(133);
+  const ArrivalTrace original = ArrivalTrace::record_poisson(5.0, 50.0, rng);
+  std::ostringstream out;
+  original.to_csv(out);
+  const ArrivalTrace parsed = ArrivalTrace::from_csv(out.str());
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_NEAR(parsed.arrival_times()[i], original.arrival_times()[i], 1e-9);
+  }
+}
+
+TEST(Trace, ScalingChangesRateNotCount) {
+  Rng rng(134);
+  const ArrivalTrace base = ArrivalTrace::record_poisson(10.0, 200.0, rng);
+  const ArrivalTrace doubled = base.scaled(2.0);
+  EXPECT_EQ(doubled.size(), base.size());
+  EXPECT_NEAR(doubled.mean_rate(), base.mean_rate() * 2.0, 0.5);
+}
+
+TEST(Trace, StatisticsRequireEnoughData) {
+  const ArrivalTrace tiny(std::vector<double>{1.0});
+  EXPECT_THROW(tiny.mean_rate(), InvalidArgument);
+  const ArrivalTrace empty;
+  EXPECT_THROW(empty.index_of_dispersion(1.0), InvalidArgument);
+  EXPECT_DOUBLE_EQ(empty.duration(), 0.0);
+}
+
+}  // namespace
+}  // namespace vmcons::workload

@@ -1,0 +1,193 @@
+// Tests for CSV, ASCII tables, flags, thread pool, and parallel_for.
+#include <atomic>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/ascii_table.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/flags.hpp"
+#include "util/parallel_for.hpp"
+#include "util/thread_pool.hpp"
+
+namespace vmcons {
+namespace {
+
+TEST(Csv, FormatsAndQuotes) {
+  EXPECT_EQ(csv_format_cell(CsvCell{std::string("plain")}), "plain");
+  EXPECT_EQ(csv_format_cell(CsvCell{std::string("a,b")}), "\"a,b\"");
+  EXPECT_EQ(csv_format_cell(CsvCell{std::string("say \"hi\"")}),
+            "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_format_cell(CsvCell{42ll}), "42");
+  EXPECT_EQ(csv_format_cell(CsvCell{2.5}), "2.5");
+}
+
+TEST(Csv, WriterRoundTrip) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.header({"name", "value"});
+  writer.row({std::string("alpha, beta"), 1.25});
+  writer.row({std::string("gamma"), 7ll});
+  EXPECT_EQ(writer.rows_written(), 2u);
+
+  const CsvDocument document = csv_parse(out.str());
+  ASSERT_EQ(document.header.size(), 2u);
+  ASSERT_EQ(document.rows.size(), 2u);
+  EXPECT_EQ(document.rows[0][document.column("name")], "alpha, beta");
+  EXPECT_EQ(document.rows[0][document.column("value")], "1.25");
+  EXPECT_EQ(document.rows[1][0], "gamma");
+}
+
+TEST(Csv, WriterEnforcesProtocol) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  EXPECT_THROW(writer.row({1.0}), InvalidArgument);  // header first
+  writer.header({"a", "b"});
+  EXPECT_THROW(writer.row({1.0}), InvalidArgument);  // width mismatch
+  EXPECT_THROW(writer.header({"again"}), InvalidArgument);
+}
+
+TEST(Csv, ParseHandlesQuotedNewlineFreeFields) {
+  const auto fields = csv_parse_line("a,\"b,c\",\"d\"\"e\"");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "b,c");
+  EXPECT_EQ(fields[2], "d\"e");
+}
+
+TEST(Csv, MissingColumnThrows) {
+  const CsvDocument document = csv_parse("a,b\n1,2\n");
+  EXPECT_THROW(document.column("missing"), InvalidArgument);
+}
+
+TEST(AsciiTable, RendersAlignedBox) {
+  AsciiTable table;
+  table.set_header({"name", "count"});
+  table.add_row({"web", "100"});
+  table.add_row({"db", "7"});
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("| name | count |"), std::string::npos);
+  // Numeric cells right-align.
+  EXPECT_NE(text.find("|   100 |"), std::string::npos);
+  EXPECT_NE(text.find("|     7 |"), std::string::npos);
+}
+
+TEST(AsciiTable, NumericRowHelper) {
+  AsciiTable table;
+  table.set_header({"row", "a", "b"});
+  table.add_numeric_row("x", {1.23456, 2.0}, 2);
+  EXPECT_EQ(table.row_count(), 1u);
+  EXPECT_NE(table.to_string().find("1.23"), std::string::npos);
+}
+
+TEST(AsciiTable, EnforcesWidths) {
+  AsciiTable table;
+  table.set_header({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), InvalidArgument);
+  EXPECT_THROW(table.add_numeric_row("x", {1.0, 2.0}), InvalidArgument);
+}
+
+TEST(Flags, ParsesAllForms) {
+  const char* argv[] = {"prog", "--alpha=3",  "--beta", "4.5", "--gamma",
+                        "pos1", "--flag"};
+  Flags flags(7, argv);
+  EXPECT_EQ(flags.get_int("alpha", 0), 3);
+  EXPECT_DOUBLE_EQ(flags.get_double("beta", 0.0), 4.5);
+  EXPECT_EQ(flags.get_string("gamma", ""), "pos1");
+  EXPECT_TRUE(flags.get_bool("flag", false));
+  EXPECT_EQ(flags.get_int("missing", 9), 9);
+}
+
+TEST(Flags, BooleanSpellings) {
+  const char* argv[] = {"prog", "--on=yes", "--off=0", "--bad=maybe"};
+  Flags flags(4, argv);
+  EXPECT_TRUE(flags.get_bool("on", false));
+  EXPECT_FALSE(flags.get_bool("off", true));
+  EXPECT_THROW(flags.get_bool("bad", false), InvalidArgument);
+}
+
+TEST(Flags, TypeErrorsThrow) {
+  const char* argv[] = {"prog", "--n=abc"};
+  Flags flags(2, argv);
+  EXPECT_THROW(flags.get_int("n", 0), InvalidArgument);
+  EXPECT_THROW(flags.get_double("n", 0.0), InvalidArgument);
+}
+
+TEST(Flags, TracksUnknownFlags) {
+  const char* argv[] = {"prog", "--known=1", "--typo=2"};
+  Flags flags(3, argv);
+  flags.get_int("known", 0);
+  const auto unknown = flags.unknown_flags();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& future : futures) {
+    future.get();
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto future = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ReturnsValues) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ParallelFor, VisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(1000);
+  parallel_for(1000, [&](std::size_t i) { ++visits[i]; }, pool);
+  for (const auto& visit : visits) {
+    EXPECT_EQ(visit.load(), 1);
+  }
+}
+
+TEST(ParallelFor, EmptyAndSingle) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(0, [&](std::size_t) { ++calls; }, pool);
+  EXPECT_EQ(calls, 0);
+  parallel_for(1, [&](std::size_t) { ++calls; }, pool);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, RethrowsFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(
+                   100,
+                   [](std::size_t i) {
+                     if (i == 50) {
+                       throw InvalidArgument("bad index");
+                     }
+                   },
+                   pool),
+               InvalidArgument);
+}
+
+TEST(ParallelMap, PreservesOrder) {
+  ThreadPool pool(4);
+  const auto squares =
+      parallel_map(50, [](std::size_t i) { return i * i; }, pool);
+  ASSERT_EQ(squares.size(), 50u);
+  for (std::size_t i = 0; i < squares.size(); ++i) {
+    EXPECT_EQ(squares[i], i * i);
+  }
+}
+
+}  // namespace
+}  // namespace vmcons

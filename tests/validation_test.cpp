@@ -1,0 +1,90 @@
+// End-to-end tests: the model's predictions versus the simulator — the
+// in-repo analogue of the paper's Section IV-C2 case-study validation.
+#include "core/validation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vmcons::core {
+namespace {
+
+ModelInputs case_study(std::uint64_t dedicated_per_service) {
+  ModelInputs inputs;
+  inputs.target_loss = 0.01;
+  dc::ServiceSpec web = dc::paper_web_service();
+  dc::ServiceSpec db = dc::paper_db_service();
+  web.arrival_rate = intensive_workload(web, dedicated_per_service, 0.01);
+  db.arrival_rate = intensive_workload(db, dedicated_per_service, 0.01);
+  inputs.services = {web, db};
+  return inputs;
+}
+
+ValidationOptions fast_options() {
+  ValidationOptions options;
+  options.replications = 6;
+  options.scenario.horizon = 1200.0;
+  options.scenario.warmup = 120.0;
+  return options;
+}
+
+TEST(Validation, GroupOneConsolidatedMeetsDedicatedQos) {
+  const ValidationReport report = validate(case_study(3), fast_options());
+  EXPECT_EQ(report.model.dedicated_servers, 6u);
+  EXPECT_EQ(report.consolidated.servers, 3u);
+  // Both deployments hold loss near the 1% target. The simulated
+  // consolidated loss runs slightly above the model's prediction because
+  // Eq. (4) averages service *rates* (arithmetic mean) where the true
+  // offered work averages service *times* — a real bias of the paper's
+  // model that the joint loss network exposes; see EXPERIMENTS.md.
+  EXPECT_LT(report.dedicated.loss.summary.mean(), 0.02);
+  EXPECT_LT(report.consolidated.loss.summary.mean(), 0.03);
+  EXPECT_LT(report.consolidated_loss_error(), 0.02);
+}
+
+TEST(Validation, GroupTwoHeadlineNumbers) {
+  const ValidationReport report = validate(case_study(4), fast_options());
+  EXPECT_EQ(report.model.dedicated_servers, 8u);
+  EXPECT_EQ(report.consolidated.servers, 4u);
+  // Paper headlines: ~50% infrastructure, ~53% power, >1.5x utilization.
+  EXPECT_NEAR(report.model.infrastructure_saving, 0.5, 1e-9);
+  EXPECT_GT(report.measured_power_saving(), 0.40);
+  EXPECT_GT(report.measured_utilization_improvement(), 1.3);
+}
+
+TEST(Validation, UnderProvisionedConsolidationFails) {
+  // Group 1's N = 2 case in Fig. 10: too few consolidated servers lose far
+  // more than the target.
+  const ModelInputs inputs = case_study(3);
+  ValidationOptions options = fast_options();
+  options.consolidated_servers = 2;
+  const ValidationReport report = validate(inputs, options);
+  EXPECT_GT(report.consolidated.loss.summary.mean(), 0.03);
+}
+
+TEST(Validation, SimulatedUtilizationTracksModel) {
+  const ValidationReport report = validate(case_study(4), fast_options());
+  // The simulator's busy-host fraction tracks the model's offered-work
+  // estimate loosely: the model charges each request a whole server at its
+  // bottleneck rate, while the network's hosts overlap resource holdings
+  // (max over resources), so the simulated figure runs somewhat lower.
+  EXPECT_NEAR(report.consolidated.utilization.summary.mean(),
+              report.model.consolidated_utilization, 0.10);
+  EXPECT_NEAR(report.dedicated.utilization.summary.mean(),
+              report.model.dedicated_utilization, 0.05);
+}
+
+TEST(Validation, PerServiceMetricsArePopulated) {
+  const ModelInputs inputs = case_study(3);
+  const ValidationReport report = validate(inputs, fast_options());
+  ASSERT_EQ(report.consolidated.per_service_loss.size(), 2u);
+  ASSERT_EQ(report.dedicated.per_service_throughput.size(), 2u);
+  // Each service's throughput is positive and bounded by its arrival rate.
+  for (std::size_t i = 0; i < 2; ++i) {
+    const double throughput =
+        report.consolidated.per_service_throughput[i].summary.mean();
+    EXPECT_GT(throughput, 0.0);
+    EXPECT_LE(throughput, inputs.services[i].arrival_rate * 1.05);
+  }
+}
+
+}  // namespace
+}  // namespace vmcons::core

@@ -1,0 +1,233 @@
+// Tests for the workload generators: arrival processes, the httperf-style
+// open-loop driver, the TPC-W-style closed loop, and the SPECweb generator.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/summary.hpp"
+#include "util/error.hpp"
+#include "workload/arrival.hpp"
+#include "workload/httperf.hpp"
+#include "workload/specweb.hpp"
+#include "workload/tpcw.hpp"
+
+namespace vmcons::workload {
+namespace {
+
+TEST(Arrivals, PoissonGapsAverageToRate) {
+  Rng rng(91);
+  PoissonProcess process(4.0);
+  Summary gaps;
+  for (int i = 0; i < 50000; ++i) {
+    gaps.add(process.next_gap(rng));
+  }
+  EXPECT_NEAR(gaps.mean(), 0.25, 0.005);
+}
+
+TEST(Arrivals, DeterministicGapsAreConstant) {
+  Rng rng(92);
+  DeterministicProcess process(5.0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(process.next_gap(rng), 0.2);
+  }
+}
+
+TEST(Arrivals, MmppMeanRateMatchesConstruction) {
+  Rng rng(93);
+  Mmpp2Process process = Mmpp2Process::with_mean_rate(10.0, 5.0);
+  EXPECT_NEAR(process.mean_rate(), 10.0, 1e-12);
+  // Long-run empirical rate approaches the configured mean.
+  double total_time = 0.0;
+  const int arrivals = 200000;
+  for (int i = 0; i < arrivals; ++i) {
+    total_time += process.next_gap(rng);
+  }
+  EXPECT_NEAR(arrivals / total_time, 10.0, 0.5);
+}
+
+TEST(Arrivals, MmppIsBurstierThanPoisson) {
+  // Index of dispersion of counts over windows: Poisson ~ 1, MMPP >> 1.
+  Rng rng(94);
+  auto dispersion = [&](auto& process) {
+    Summary counts;
+    const double window = 1.0;
+    double clock = 0.0;
+    int count = 0;
+    for (int i = 0; i < 400000; ++i) {
+      clock += process.next_gap(rng);
+      if (clock >= window) {
+        counts.add(count);
+        count = 0;
+        clock = std::fmod(clock, window);
+      }
+      ++count;
+    }
+    return counts.variance() / counts.mean();
+  };
+  PoissonProcess poisson(10.0);
+  Mmpp2Process mmpp = Mmpp2Process::with_mean_rate(10.0, 8.0);
+  EXPECT_NEAR(dispersion(poisson), 1.0, 0.15);
+  EXPECT_GT(dispersion(mmpp), 2.0);
+}
+
+TEST(Arrivals, VariantHelpersDispatch) {
+  Rng rng(95);
+  ArrivalProcess process = PoissonProcess(3.0);
+  EXPECT_DOUBLE_EQ(mean_rate(process), 3.0);
+  EXPECT_GT(next_gap(process, rng), 0.0);
+  process = Mmpp2Process::with_mean_rate(6.0, 4.0);
+  EXPECT_NEAR(mean_rate(process), 6.0, 1e-12);
+}
+
+TEST(Httperf, CapacityFollowsImpactCurve) {
+  EXPECT_DOUBLE_EQ(httperf_capacity(specweb_diskio_config(0)), 420.0);
+  EXPECT_NEAR(httperf_capacity(specweb_diskio_config(1)), 420.0 * 0.98, 1e-9);
+  EXPECT_NEAR(httperf_capacity(specweb_diskio_config(6)), 420.0 * 0.47, 1e-9);
+}
+
+TEST(Httperf, ThroughputTracksOfferedBelowCapacity) {
+  HttperfConfig config = specweb_diskio_config(0);
+  config.duration = 300.0;
+  Rng rng(96);
+  const HttperfPoint point = httperf_run(config, 200.0, rng);
+  EXPECT_NEAR(point.reply_rate, 200.0, 10.0);
+  EXPECT_LT(point.loss, 0.01);
+}
+
+TEST(Httperf, PaperFigureFiveShape) {
+  // Rise, knee near capacity, slight dip past it, then stability.
+  HttperfConfig config = specweb_diskio_config(2);
+  config.duration = 300.0;
+  const double capacity = httperf_capacity(config);
+  const std::vector<double> rates{0.4 * capacity, 0.8 * capacity,
+                                  1.1 * capacity, 1.6 * capacity,
+                                  2.5 * capacity};
+  const auto points = httperf_sweep(config, rates, 97);
+  // Monotone rise up to the knee.
+  EXPECT_LT(points[0].reply_rate, points[1].reply_rate);
+  // Past the knee, throughput stays within a band below capacity: never
+  // collapses, never exceeds capacity by more than noise.
+  for (std::size_t i = 2; i < points.size(); ++i) {
+    EXPECT_GT(points[i].reply_rate, 0.6 * capacity);
+    EXPECT_LT(points[i].reply_rate, 1.05 * capacity);
+  }
+  // Loss grows with overload.
+  EXPECT_GT(points[4].loss, points[2].loss);
+}
+
+TEST(Httperf, MoreVmsMeanLessThroughput) {
+  std::vector<double> plateaus;
+  for (const unsigned vms : {1u, 4u, 8u}) {
+    HttperfConfig config = specweb_diskio_config(vms);
+    config.duration = 200.0;
+    Rng rng(98 + vms);
+    plateaus.push_back(httperf_run(config, 800.0, rng).reply_rate);
+  }
+  EXPECT_GT(plateaus[0], plateaus[1]);
+  EXPECT_GT(plateaus[1], plateaus[2]);
+}
+
+TEST(Tpcw, CapacityEncodesSoftwareCeiling) {
+  TpcwConfig native;
+  native.vm_count = 0;
+  TpcwConfig one_vm = native;
+  one_vm.vm_count = 1;
+  TpcwConfig two_vms = native;
+  two_vms.vm_count = 2;
+  // Native and one VM are close; two VMs are much faster (Fig. 8a).
+  EXPECT_NEAR(tpcw_capacity(one_vm) / tpcw_capacity(native), 1.0, 0.05);
+  EXPECT_GT(tpcw_capacity(two_vms) / tpcw_capacity(native), 1.4);
+}
+
+TEST(Tpcw, WipsRespectsClosedLoopBoundAndCapacity) {
+  TpcwConfig config;
+  config.vm_count = 2;
+  config.duration = 400.0;
+  Rng rng(99);
+  const TpcwPoint light = tpcw_run(config, 100, rng);
+  // Light load: WIPS ~ EBs/think (every browser cycles freely).
+  EXPECT_NEAR(light.wips, 100.0 / config.think_time, 2.0);
+  EXPECT_LE(light.wips, light.wips_upper_limit * 1.05);
+
+  Rng rng2(100);
+  const TpcwPoint heavy = tpcw_run(config, 3000, rng2);
+  // Heavy load: WIPS saturates at the capacity.
+  EXPECT_NEAR(heavy.wips, tpcw_capacity(config), tpcw_capacity(config) * 0.06);
+}
+
+TEST(Tpcw, PinnedVcpusBeatCreditScheduler) {
+  TpcwConfig pinned;
+  pinned.vm_count = 1;
+  TpcwConfig scheduled = pinned;
+  scheduled.vcpu_mode = virt::VcpuMode::kXenScheduled;
+  EXPECT_GT(tpcw_capacity(pinned), tpcw_capacity(scheduled));
+}
+
+TEST(Tpcw, FewerVcpusLowerThroughput) {
+  TpcwConfig six;
+  six.vm_count = 1;
+  six.vcpus = 6;
+  TpcwConfig two = six;
+  two.vcpus = 2;
+  EXPECT_GT(tpcw_capacity(six), tpcw_capacity(two));
+}
+
+TEST(Specweb, RequestDemandsAreConsistent) {
+  SpecwebGenerator generator{SpecwebConfig{}};
+  Rng rng(101);
+  Summary sizes;
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const SpecwebRequest request = generator.sample(rng);
+    ASSERT_LT(request.file_rank, generator.config().file_count);
+    ASSERT_GE(request.size_kb, 0.0);
+    ASSERT_GE(request.cpu_seconds, 0.0);
+    if (request.cache_hit) {
+      ++hits;
+      EXPECT_DOUBLE_EQ(request.disk_seconds, 0.0);
+    } else {
+      EXPECT_GT(request.disk_seconds, 0.0);
+    }
+    sizes.add(request.size_kb);
+  }
+  EXPECT_NEAR(sizes.mean(), generator.config().mean_file_kb, 3.0);
+  // Zipf head + 12% cache fraction: hit ratio well above the raw fraction.
+  EXPECT_GT(static_cast<double>(hits) / 20000.0, 0.2);
+}
+
+TEST(Specweb, RateEstimateAndServiceSpec) {
+  SpecwebGenerator generator{SpecwebConfig{}};
+  Rng rng(102);
+  const auto rates = generator.estimate_rates(rng, 50000);
+  EXPECT_GT(rates.disk_rate, 0.0);
+  EXPECT_GT(rates.cpu_rate, rates.disk_rate);  // disk is the bottleneck
+  const dc::ServiceSpec spec = generator.derive_service_spec(rates, 100.0);
+  EXPECT_DOUBLE_EQ(spec.arrival_rate, 100.0);
+  EXPECT_DOUBLE_EQ(spec.native_bottleneck_rate(), rates.disk_rate);
+}
+
+TEST(Specweb, SessionsResponseGrowsWithLoad) {
+  SpecwebSessionsConfig config;
+  config.duration = 300.0;
+  config.warmup = 30.0;
+  const auto points = specweb_sessions_sweep(config, {200, 1500, 4000}, 103);
+  // Light load: response ~ service time; heavy load: queueing dominates.
+  EXPECT_LT(points[0].mean_response, points[2].mean_response);
+  EXPECT_GT(points[2].mean_response, 3.0 * points[0].mean_response);
+  // Throughput saturates at pool capacity.
+  const double pool_capacity =
+      config.per_server_capacity * static_cast<double>(config.servers);
+  EXPECT_LT(points[2].throughput, pool_capacity * 1.02);
+}
+
+TEST(Specweb, GeneratorValidatesConfig) {
+  SpecwebConfig config;
+  config.file_count = 1;
+  EXPECT_THROW(SpecwebGenerator{config}, InvalidArgument);
+  config = SpecwebConfig{};
+  config.cache_fraction = 1.5;
+  EXPECT_THROW(SpecwebGenerator{config}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vmcons::workload
