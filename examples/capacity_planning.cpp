@@ -7,12 +7,14 @@
 //   1. how many (normalized) servers each deployment style needs;
 //   2. which real machines to rack for the consolidated plan;
 //   3. how the plan moves as the traffic grows 2x and 4x;
-//   4. how expensive tighter loss targets are.
+//   4. how expensive tighter loss targets are;
+//   5. the full loss-target x growth grid in one parallel sweep.
 //
 // Run: ./build/examples/example_capacity_planning
 #include <iostream>
 
 #include "core/planner.hpp"
+#include "core/sweep.hpp"
 #include "util/ascii_table.hpp"
 
 int main() {
@@ -77,6 +79,29 @@ int main() {
                    AsciiTable::format(reports[i].model.consolidated_blocking, 5)});
   }
   nines.print(std::cout, "\nthe price of nines (same workloads)");
+
+  // --- 5: the joint grid ---------------------------------------------------
+  // Sections 3 and 4 one axis at a time; SweepGrid crosses them. The 12
+  // plans fan out over the thread pool and share one memoized Erlang
+  // kernel, and the cells come back in grid index order (loss varies
+  // fastest) no matter how many workers ran them.
+  core::SweepGrid grid;
+  grid.target_losses(targets).workload_scales({1.0, 2.0, 4.0});
+  const auto cells = planner.sweep(grid);
+  AsciiTable joint;
+  joint.set_header({"traffic", "B=0.05", "B=0.01", "B=0.001", "B=0.0001"});
+  for (std::size_t row = 0; row < 3; ++row) {
+    std::vector<std::string> line{
+        AsciiTable::format(*cells[row * targets.size()].point.workload_scale,
+                           0) +
+        "x"};
+    for (std::size_t col = 0; col < targets.size(); ++col) {
+      line.push_back(std::to_string(
+          cells[row * targets.size() + col].report.model.consolidated_servers));
+    }
+    joint.add_row(line);
+  }
+  joint.print(std::cout, "\nconsolidated servers N, loss target x growth");
 
   std::cout << "\nTakeaway: consolidation halves the fleet at every growth "
                "step, and each order of magnitude on the loss target costs "

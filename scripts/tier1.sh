@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the standard Release build + full test suite, then an
+# asan+ubsan build running the concurrency-sensitive suites (thread pool,
+# parallel_for, engine cancellation/compaction, metrics, Erlang kernel,
+# sweeps) under the sanitizers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build + full ctest =="
+cmake --preset default
+cmake --build --preset default -j
+ctest --preset default -j
+
+echo
+echo "== tier-1: asan+ubsan build + concurrency tests =="
+cmake --preset asan
+cmake --build --preset asan -j
+ctest --preset asan-concurrency -j
+
+echo
+echo "tier-1 PASSED"

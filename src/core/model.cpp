@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "queueing/erlang.hpp"
+#include "queueing/erlang_kernel.hpp"
 #include "util/error.hpp"
 
 namespace vmcons::core {
@@ -29,6 +30,18 @@ UtilityAnalyticModel::UtilityAnalyticModel(ModelInputs inputs)
     VMCONS_REQUIRE(service.native_rates.any_positive(),
                    "service '" + service.name + "' demands no resource");
   }
+}
+
+double UtilityAnalyticModel::eval_erlang_b(std::uint64_t servers,
+                                           double rho) const {
+  return kernel_ ? kernel_->erlang_b(servers, rho)
+                 : queueing::erlang_b(servers, rho);
+}
+
+std::uint64_t UtilityAnalyticModel::eval_erlang_b_servers(
+    double rho, double target) const {
+  return kernel_ ? kernel_->erlang_b_servers(rho, target)
+                 : queueing::erlang_b_servers(rho, target);
 }
 
 unsigned UtilityAnalyticModel::vm_count() const {
@@ -87,7 +100,7 @@ ModelResult UtilityAnalyticModel::solve() const {
       const double rho = dedicated_offered_load(i, resource);
       plan.offered_load[resource] = rho;
       const std::uint64_t n =
-          rho > 0.0 ? queueing::erlang_b_servers(rho, b) : 0;
+          rho > 0.0 ? eval_erlang_b_servers(rho, b) : 0;
       plan.servers_per_resource[static_cast<std::size_t>(resource)] = n;
       plan.servers = std::max(plan.servers, n);
     }
@@ -96,7 +109,7 @@ ModelResult UtilityAnalyticModel::solve() const {
     for (const dc::Resource resource : dc::all_resources()) {
       const double rho = plan.offered_load[resource];
       if (rho > 0.0) {
-        blocking = std::max(blocking, queueing::erlang_b(plan.servers, rho));
+        blocking = std::max(blocking, eval_erlang_b(plan.servers, rho));
       }
     }
     plan.blocking = blocking;
@@ -119,7 +132,7 @@ ModelResult UtilityAnalyticModel::solve() const {
     plan.demanded = plan.offered_load > 0.0;
     if (plan.demanded) {
       plan.effective_service_rate = merged_lambda / plan.offered_load;
-      plan.servers = queueing::erlang_b_servers(plan.offered_load, b);
+      plan.servers = eval_erlang_b_servers(plan.offered_load, b);
       result.consolidated_servers =
           std::max(result.consolidated_servers, plan.servers);
     }
@@ -185,7 +198,7 @@ double UtilityAnalyticModel::dedicated_loss(
       const double rho = dedicated_offered_load(i, resource);
       if (rho > 0.0) {
         blocking = std::max(
-            blocking, queueing::erlang_b(servers_per_service[i], rho));
+            blocking, eval_erlang_b(servers_per_service[i], rho));
       }
     }
     lost += inputs_.services[i].arrival_rate * blocking;
@@ -199,7 +212,7 @@ double UtilityAnalyticModel::consolidated_loss(std::uint64_t servers) const {
   for (const dc::Resource resource : dc::all_resources()) {
     const double rho = consolidated_offered_load(resource);
     if (rho > 0.0) {
-      worst = std::max(worst, queueing::erlang_b(servers, rho));
+      worst = std::max(worst, eval_erlang_b(servers, rho));
     }
   }
   return worst;

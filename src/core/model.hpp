@@ -29,6 +29,10 @@
 #include "datacenter/resource.hpp"
 #include "datacenter/service_spec.hpp"
 
+namespace vmcons::queueing {
+class ErlangKernel;
+}  // namespace vmcons::queueing
+
 namespace vmcons::core {
 
 struct ModelInputs {
@@ -91,6 +95,14 @@ class UtilityAnalyticModel {
  public:
   explicit UtilityAnalyticModel(ModelInputs inputs);
 
+  /// Routes every Erlang-B evaluation through `kernel` (so sweeps over many
+  /// points share one incremental recursion cache); nullptr restores the
+  /// stateless free functions. Results are bit-identical either way.
+  UtilityAnalyticModel& use_kernel(queueing::ErlangKernel* kernel) {
+    kernel_ = kernel;
+    return *this;
+  }
+
   /// Runs the Fig. 4 algorithm plus the utilization and power derivations.
   ModelResult solve() const;
 
@@ -116,8 +128,12 @@ class UtilityAnalyticModel {
 
  private:
   double clamped_impact(std::size_t service, dc::Resource resource) const;
+  /// Erlang-B via kernel_ when set, else the free functions.
+  double eval_erlang_b(std::uint64_t servers, double rho) const;
+  std::uint64_t eval_erlang_b_servers(double rho, double target) const;
 
   ModelInputs inputs_;
+  queueing::ErlangKernel* kernel_ = nullptr;
 };
 
 /// Picks the "intensive workload" for a service, mirroring the paper's

@@ -87,9 +87,13 @@ InventoryAssignment ConsolidationPlanner::assign(double normalized_servers) cons
   return assignment;
 }
 
-PlanReport ConsolidationPlanner::plan() const {
+PlanReport ConsolidationPlanner::plan() const { return plan_with(nullptr); }
+
+PlanReport ConsolidationPlanner::plan_with(
+    queueing::ErlangKernel* kernel) const {
   const ModelInputs inputs = make_inputs();
   UtilityAnalyticModel model(inputs);
+  model.use_kernel(kernel);
   PlanReport report;
   report.model = model.solve();
   for (const auto& service : inputs.services) {
@@ -104,12 +108,13 @@ PlanReport ConsolidationPlanner::plan() const {
 
 std::vector<PlanReport> ConsolidationPlanner::sweep_target_loss(
     const std::vector<double>& losses) const {
+  SweepGrid grid;
+  grid.target_losses(losses);
+  std::vector<SweepCell> cells = sweep(grid);
   std::vector<PlanReport> reports;
-  reports.reserve(losses.size());
-  for (const double loss : losses) {
-    ConsolidationPlanner point = *this;
-    point.set_target_loss(loss);
-    reports.push_back(point.plan());
+  reports.reserve(cells.size());
+  for (auto& cell : cells) {
+    reports.push_back(std::move(cell.report));
   }
   return reports;
 }

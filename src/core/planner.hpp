@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/model.hpp"
+#include "core/sweep.hpp"
 
 namespace vmcons::core {
 
@@ -43,6 +44,12 @@ struct PlanReport {
   InventoryAssignment consolidated_assignment;
 };
 
+/// One evaluated grid point of a sweep.
+struct SweepCell {
+  SweepPoint point;
+  PlanReport report;
+};
+
 class ConsolidationPlanner {
  public:
   ConsolidationPlanner& set_target_loss(double b);
@@ -58,13 +65,25 @@ class ConsolidationPlanner {
   /// Solves the model and maps the result onto the inventory (if any).
   PlanReport plan() const;
 
+  /// Evaluates every point of `grid` (loss x scale x VMs-per-server what-if
+  /// cartesian product), returning cells in grid index order. By default the
+  /// points fan out over the shared thread pool and share one memoized
+  /// Erlang kernel; both are pure accelerations — output is bit-identical
+  /// to a serial, unmemoized run. Implemented in sweep.cpp.
+  std::vector<SweepCell> sweep(const SweepGrid& grid,
+                               const SweepOptions& options = {}) const;
+
   /// Sweeps the target loss probability, returning one report per point.
+  /// Thin wrapper over sweep() with a single-axis grid.
   std::vector<PlanReport> sweep_target_loss(const std::vector<double>& losses) const;
 
   const std::vector<dc::ServiceSpec>& services() const { return services_; }
 
  private:
   ModelInputs make_inputs() const;
+  /// plan() with every Erlang-B evaluation routed through `kernel`
+  /// (nullptr = the stateless free functions).
+  PlanReport plan_with(queueing::ErlangKernel* kernel) const;
   InventoryAssignment assign(double normalized_servers) const;
 
   double target_loss_ = 0.01;

@@ -4,6 +4,7 @@
 
 #include "util/ascii_table.hpp"
 #include "util/csv.hpp"
+#include "util/metrics.hpp"
 
 namespace vmcons::core {
 
@@ -97,6 +98,15 @@ void write_model_result_csv(std::ostream& out, const ModelResult& result) {
               std::string("saving"), result.power_saving});
   writer.row({std::string("summary"), std::string("utilization"),
               std::string("improvement"), result.utilization_improvement});
+}
+
+void print_metrics(std::ostream& out) {
+  AsciiTable table;
+  table.set_header({"metric", "value"});
+  for (const auto& row : metrics::registry().snapshot()) {
+    table.add_row({row.name, AsciiTable::format(row.value, 3)});
+  }
+  table.print(out, "metrics");
 }
 
 std::string headline(const ModelResult& result) {

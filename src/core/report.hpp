@@ -28,4 +28,9 @@ void write_model_result_csv(std::ostream& out, const ModelResult& result);
 /// One-line headline: "M=6 -> N=3, saves 50.0% servers, 53.9% power".
 std::string headline(const ModelResult& result);
 
+/// Prints the process-wide metrics registry (Erlang evaluations, kernel
+/// cache hits, sweep wall-time, engine events, ...) as an ASCII table.
+/// Benches call this after their measured phase.
+void print_metrics(std::ostream& out);
+
 }  // namespace vmcons::core

@@ -1,0 +1,114 @@
+#include "core/sweep.hpp"
+
+#include <algorithm>
+
+#include "core/planner.hpp"
+#include "queueing/erlang_kernel.hpp"
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/parallel_for.hpp"
+
+namespace vmcons::core {
+
+SweepGrid& SweepGrid::target_losses(std::vector<double> losses) {
+  for (const double loss : losses) {
+    VMCONS_REQUIRE(loss > 0.0 && loss < 1.0, "target loss must be in (0, 1)");
+  }
+  target_losses_ = std::move(losses);
+  return *this;
+}
+
+SweepGrid& SweepGrid::workload_scales(std::vector<double> scales) {
+  for (const double scale : scales) {
+    VMCONS_REQUIRE(scale > 0.0, "workload scale must be positive");
+  }
+  workload_scales_ = std::move(scales);
+  return *this;
+}
+
+SweepGrid& SweepGrid::vms_per_server(std::vector<unsigned> vms) {
+  for (const unsigned v : vms) {
+    VMCONS_REQUIRE(v >= 1, "need at least one VM per server");
+  }
+  vms_per_server_ = std::move(vms);
+  return *this;
+}
+
+std::size_t SweepGrid::size() const noexcept {
+  const std::size_t losses = std::max<std::size_t>(1, target_losses_.size());
+  const std::size_t vms = std::max<std::size_t>(1, vms_per_server_.size());
+  const std::size_t scales = std::max<std::size_t>(1, workload_scales_.size());
+  return losses * vms * scales;
+}
+
+SweepPoint SweepGrid::point(std::size_t index) const {
+  VMCONS_REQUIRE(index < size(), "sweep point index out of range");
+  const std::size_t losses = std::max<std::size_t>(1, target_losses_.size());
+  const std::size_t vms = std::max<std::size_t>(1, vms_per_server_.size());
+  SweepPoint point;
+  point.index = index;
+  const std::size_t loss_index = index % losses;
+  const std::size_t vms_index = (index / losses) % vms;
+  const std::size_t scale_index = index / (losses * vms);
+  if (!target_losses_.empty()) {
+    point.target_loss = target_losses_[loss_index];
+  }
+  if (!vms_per_server_.empty()) {
+    point.vms_per_server = vms_per_server_[vms_index];
+  }
+  if (!workload_scales_.empty()) {
+    point.workload_scale = workload_scales_[scale_index];
+  }
+  return point;
+}
+
+std::vector<SweepPoint> SweepGrid::points() const {
+  std::vector<SweepPoint> all;
+  all.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    all.push_back(point(i));
+  }
+  return all;
+}
+
+std::vector<SweepCell> ConsolidationPlanner::sweep(
+    const SweepGrid& grid, const SweepOptions& options) const {
+  const std::size_t count = grid.size();
+  queueing::ErlangKernel* kernel =
+      options.kernel != nullptr
+          ? options.kernel
+          : (options.memoize ? &queueing::ErlangKernel::shared() : nullptr);
+
+  metrics::ScopedTimer wall(metrics::registry().timer("sweep.wall"));
+  metrics::registry().counter("sweep.points").add(count);
+
+  std::vector<SweepCell> cells(count);
+  const auto run_point = [&](std::size_t i) {
+    // Everything below derives from the index alone, so the output is
+    // independent of how points are distributed over workers.
+    const SweepPoint point = grid.point(i);
+    ConsolidationPlanner instance = *this;
+    if (point.target_loss) {
+      instance.set_target_loss(*point.target_loss);
+    }
+    if (point.workload_scale) {
+      instance.scale_workloads(*point.workload_scale);
+    }
+    if (point.vms_per_server) {
+      instance.set_vms_per_server(*point.vms_per_server);
+    }
+    cells[i].point = point;
+    cells[i].report = instance.plan_with(kernel);
+  };
+
+  if (options.parallel) {
+    parallel_for(count, run_point);
+  } else {
+    for (std::size_t i = 0; i < count; ++i) {
+      run_point(i);
+    }
+  }
+  return cells;
+}
+
+}  // namespace vmcons::core

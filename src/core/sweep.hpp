@@ -1,0 +1,72 @@
+// Cartesian what-if grids for the ConsolidationPlanner.
+//
+// The paper's whole point is cheap offline what-if analysis: sweep the
+// target loss B, the workload scale, and the consolidation density (VMs per
+// server) and read off M vs N before deploying anything. SweepGrid
+// enumerates such a grid deterministically — point(i) is a pure function of
+// the index, independent of thread count — so ConsolidationPlanner::sweep
+// can fan the points out over the shared thread pool and still return
+// results in a stable, reproducible order.
+//
+// Axis semantics: an axis left empty contributes one point that inherits
+// the planner's current setting (so a grid with only target_losses set is
+// exactly the classic sweep_target_loss). The loss axis varies fastest,
+// which keeps points that share an offered load adjacent — the order in
+// which the memoized Erlang kernel reuses its recursion prefixes best.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace vmcons::queueing {
+class ErlangKernel;
+}  // namespace vmcons::queueing
+
+namespace vmcons::core {
+
+/// One grid point; unset fields inherit the planner's configuration.
+struct SweepPoint {
+  std::size_t index = 0;
+  std::optional<double> target_loss;
+  std::optional<double> workload_scale;
+  std::optional<unsigned> vms_per_server;
+};
+
+class SweepGrid {
+ public:
+  /// Target loss probabilities B, each in (0, 1).
+  SweepGrid& target_losses(std::vector<double> losses);
+  /// Multiplicative workload scales, each > 0.
+  SweepGrid& workload_scales(std::vector<double> scales);
+  /// Consolidation densities (VMs per server), each >= 1.
+  SweepGrid& vms_per_server(std::vector<unsigned> vms);
+
+  /// Number of grid points: the product of the (non-empty) axis sizes.
+  std::size_t size() const noexcept;
+
+  /// The index-derived point: loss varies fastest, then VMs, then scale.
+  SweepPoint point(std::size_t index) const;
+
+  /// All points in index order.
+  std::vector<SweepPoint> points() const;
+
+ private:
+  std::vector<double> target_losses_;
+  std::vector<double> workload_scales_;
+  std::vector<unsigned> vms_per_server_;
+};
+
+/// Execution knobs for ConsolidationPlanner::sweep.
+struct SweepOptions {
+  /// Fan points out over the shared thread pool (results stay in index
+  /// order and bit-identical to a serial run).
+  bool parallel = true;
+  /// Route Erlang-B evaluations through a memoized incremental kernel.
+  bool memoize = true;
+  /// Kernel override (implies memoize); nullptr uses the process-wide
+  /// ErlangKernel::shared() when memoize is set.
+  queueing::ErlangKernel* kernel = nullptr;
+};
+
+}  // namespace vmcons::core

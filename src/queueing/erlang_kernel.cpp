@@ -1,0 +1,262 @@
+#include "queueing/erlang_kernel.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace vmcons::queueing {
+namespace {
+
+// Memory bounds for the prefix cache: one state never stores more than
+// kMaxStatePrefix doubles (16 MB), and the kernel as a whole stays under
+// kPrefixBudget doubles (32 MB) by evicting least-recently-used states.
+// Queries beyond the per-state cap still answer correctly; the tail of the
+// recursion just runs uncached.
+constexpr std::size_t kMaxStatePrefix = std::size_t{1} << 21;
+constexpr std::size_t kPrefixBudget = std::size_t{1} << 22;
+
+/// The erlang.hpp convergence guard, kept bit-for-bit identical so the
+/// kernel throws exactly where the free function does.
+std::uint64_t servers_limit(double rho) {
+  return static_cast<std::uint64_t>(rho + 50.0 * std::sqrt(rho) + 64.0);
+}
+
+/// log E_n(rho) via the inverse recurrence I_n = 1 + (n/rho) I_{n-1}
+/// run on log I_n, which stays finite for any (n, rho).
+double log_erlang_b_plain(std::uint64_t servers, double rho,
+                          std::uint64_t& steps) {
+  double log_inverse = 0.0;  // log I_0 = log 1
+  for (std::uint64_t k = 1; k <= servers; ++k) {
+    const double x = std::log(static_cast<double>(k) / rho) + log_inverse;
+    log_inverse =
+        x > 0.0 ? x + std::log1p(std::exp(-x)) : std::log1p(std::exp(x));
+    ++steps;
+  }
+  return -log_inverse;
+}
+
+}  // namespace
+
+ErlangKernel::ErlangKernel(std::size_t max_states)
+    : max_states_(std::max<std::size_t>(1, max_states)),
+      evaluations_metric_(metrics::registry().counter("erlang.evaluations")),
+      cache_hits_metric_(metrics::registry().counter("erlang.cache_hits")),
+      steps_metric_(metrics::registry().counter("erlang.steps")) {}
+
+ErlangKernel::State& ErlangKernel::state_for(double rho) {
+  const std::uint64_t key = std::bit_cast<std::uint64_t>(rho);
+  auto it = states_.find(key);
+  if (it == states_.end()) {
+    // Evict the least-recently-used state when over either bound. The map
+    // is small (max_states_ entries), so a linear scan is fine.
+    while (states_.size() >= max_states_ ||
+           (cached_doubles_ > kPrefixBudget && !states_.empty())) {
+      auto victim = states_.begin();
+      for (auto candidate = states_.begin(); candidate != states_.end();
+           ++candidate) {
+        if (candidate->second.last_used < victim->second.last_used) {
+          victim = candidate;
+        }
+      }
+      cached_doubles_ -= victim->second.prefix.size();
+      states_.erase(victim);
+    }
+    it = states_.emplace(key, State{{1.0}, 0}).first;
+    cached_doubles_ += 1;
+  }
+  it->second.last_used = ++ticket_;
+  return it->second;
+}
+
+void ErlangKernel::extend(State& state, double rho, std::uint64_t servers) {
+  const std::uint64_t cap = std::min<std::uint64_t>(servers, kMaxStatePrefix - 1);
+  if (state.prefix.size() > cap) {
+    return;
+  }
+  const std::size_t before = state.prefix.size();
+  double blocking = state.prefix.back();
+  for (std::uint64_t n = state.prefix.size(); n <= cap; ++n) {
+    blocking = rho * blocking / (static_cast<double>(n) + rho * blocking);
+    state.prefix.push_back(blocking);
+  }
+  const std::uint64_t grown = state.prefix.size() - before;
+  stats_.steps += grown;
+  steps_metric_.add(grown);
+  cached_doubles_ += grown;
+}
+
+double ErlangKernel::erlang_b(std::uint64_t servers, double rho) {
+  VMCONS_REQUIRE(rho >= 0.0, "offered load must be >= 0");
+  if (rho == 0.0) {
+    return servers == 0 ? 1.0 : 0.0;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.evaluations;
+  evaluations_metric_.add();
+  State& state = state_for(rho);
+  if (state.prefix.size() > servers) {
+    ++stats_.cache_hits;
+    cache_hits_metric_.add();
+    return state.prefix[servers];
+  }
+  extend(state, rho, servers);
+  if (state.prefix.size() > servers) {
+    return state.prefix[servers];
+  }
+  // Beyond the per-state cache cap: finish the recursion uncached.
+  double blocking = state.prefix.back();
+  std::uint64_t steps = 0;
+  for (std::uint64_t n = state.prefix.size(); n <= servers; ++n) {
+    blocking = rho * blocking / (static_cast<double>(n) + rho * blocking);
+    ++steps;
+  }
+  stats_.steps += steps;
+  steps_metric_.add(steps);
+  return blocking;
+}
+
+double ErlangKernel::log_erlang_b(std::uint64_t servers, double rho) {
+  VMCONS_REQUIRE(rho >= 0.0, "offered load must be >= 0");
+  if (rho == 0.0) {
+    return servers == 0 ? 0.0 : -std::numeric_limits<double>::infinity();
+  }
+  std::uint64_t steps = 0;
+  const double result = log_erlang_b_plain(servers, rho, steps);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.evaluations;
+  evaluations_metric_.add();
+  stats_.steps += steps;
+  steps_metric_.add(steps);
+  return result;
+}
+
+std::uint64_t ErlangKernel::erlang_b_servers(double rho,
+                                             double target_blocking) {
+  VMCONS_REQUIRE(rho >= 0.0, "offered load must be >= 0");
+  VMCONS_REQUIRE(target_blocking > 0.0 && target_blocking <= 1.0,
+                 "target blocking must be in (0, 1]");
+  if (rho == 0.0) {
+    return 0;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.evaluations;
+  evaluations_metric_.add();
+  State& state = state_for(rho);
+  // E_n is strictly decreasing in n for rho > 0, so the cached prefix is
+  // sorted descending: binary-search for the first entry <= target.
+  const auto it = std::lower_bound(
+      state.prefix.begin(), state.prefix.end(), target_blocking,
+      [](double blocking, double target) { return blocking > target; });
+  if (it != state.prefix.end()) {
+    ++stats_.cache_hits;
+    cache_hits_metric_.add();
+    return static_cast<std::uint64_t>(it - state.prefix.begin());
+  }
+  // Resume the recursion where the prefix ends instead of from E_0.
+  const std::uint64_t limit = servers_limit(rho);
+  double blocking = state.prefix.back();
+  std::uint64_t n = state.prefix.size() - 1;
+  std::uint64_t uncached_steps = 0;
+  while (blocking > target_blocking) {
+    ++n;
+    blocking = rho * blocking / (static_cast<double>(n) + rho * blocking);
+    if (n < kMaxStatePrefix) {
+      state.prefix.push_back(blocking);
+      ++cached_doubles_;
+      ++stats_.steps;
+      steps_metric_.add(1);
+    } else {
+      ++uncached_steps;
+    }
+    if (n > limit) {
+      stats_.steps += uncached_steps;
+      steps_metric_.add(uncached_steps);
+      throw NumericError("erlang_b_servers failed to converge");
+    }
+  }
+  stats_.steps += uncached_steps;
+  steps_metric_.add(uncached_steps);
+  return n;
+}
+
+double ErlangKernel::erlang_b_capacity(std::uint64_t servers,
+                                       double target_blocking) {
+  VMCONS_REQUIRE(servers >= 1, "capacity inverse needs at least one server");
+  VMCONS_REQUIRE(target_blocking > 0.0 && target_blocking < 1.0,
+                 "target blocking must be in (0, 1)");
+  const double log_target = std::log(target_blocking);
+  const double n = static_cast<double>(servers);
+  std::uint64_t steps = 0;
+  std::uint64_t evaluations = 0;
+
+  // Bracket exactly like the bisection version, but in the log domain.
+  double lo = 0.0;
+  double hi = n;
+  ++evaluations;
+  while (log_erlang_b_plain(servers, hi, steps) < log_target) {
+    hi *= 2.0;
+    ++evaluations;
+    if (hi > 1e12) {
+      throw NumericError("erlang_b_capacity failed to bracket");
+    }
+  }
+
+  // Safeguarded Newton on f(rho) = log E_n(rho) - log B, using the closed
+  // form dE/drho = E * (n/rho - 1 + E) => f'(rho) = n/rho - 1 + E. Any step
+  // leaving the bracket falls back to bisection, so worst case matches the
+  // plain bisection; typical case converges in < 10 evaluations.
+  double rho = hi;
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    const double log_e = log_erlang_b_plain(servers, rho, steps);
+    ++evaluations;
+    const double f = log_e - log_target;
+    if (std::abs(f) < 1e-14) {
+      break;
+    }
+    if (f < 0.0) {
+      lo = rho;
+    } else {
+      hi = rho;
+    }
+    if (hi - lo < 1e-13 * (1.0 + hi)) {
+      rho = 0.5 * (lo + hi);
+      break;
+    }
+    const double derivative = n / rho - 1.0 + std::exp(log_e);
+    double next = rho - f / derivative;
+    if (!std::isfinite(next) || next <= lo || next >= hi) {
+      next = 0.5 * (lo + hi);
+    }
+    rho = next;
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.evaluations += evaluations;
+  evaluations_metric_.add(evaluations);
+  stats_.steps += steps;
+  steps_metric_.add(steps);
+  return rho;
+}
+
+ErlangKernel::Stats ErlangKernel::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void ErlangKernel::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  states_.clear();
+  cached_doubles_ = 0;
+  ticket_ = 0;
+  stats_ = Stats{};
+}
+
+ErlangKernel& ErlangKernel::shared() {
+  static ErlangKernel kernel;
+  return kernel;
+}
+
+}  // namespace vmcons::queueing

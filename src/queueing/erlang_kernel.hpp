@@ -1,0 +1,112 @@
+// Incremental, memoized Erlang-B kernel for parameter sweeps.
+//
+// The free functions in erlang.hpp restart the E_n(rho) recurrence from
+// E_0 = 1 on every call, which is fine for one-off queries but wasteful on
+// the planner's what-if grids: a sweep over target loss B at fixed workload
+// evaluates the same rho at many staffing levels, and erlang_b_capacity
+// bisects ~200 times at O(n) each. ErlangKernel removes both costs:
+//
+//  * per-rho prefix cache — the recurrence state E_0..E_k is kept per
+//    distinct rho, so a query at n <= k is a lookup and a query at n > k
+//    resumes the recursion at k instead of 0. erlang_b_servers(rho, B)
+//    binary-searches the cached prefix (E_n is strictly decreasing in n)
+//    before extending it, so sweeping B over a fixed workload costs one
+//    recursion total, not one per point.
+//  * Newton capacity inverse — erlang_b_capacity uses the closed-form
+//    derivative dE/drho = E * (n/rho - 1 + E), converging in ~5-8
+//    evaluations instead of ~200 bisection steps (a guarded bracket makes
+//    it as robust as bisection).
+//  * log-domain evaluation — log_erlang_b runs the recurrence on
+//    log(1/E_n), which neither overflows nor underflows, for the
+//    n >> rho regime where E_n itself drops below DBL_MIN.
+//
+// Thread safety: all public methods may be called concurrently; the cache
+// is guarded by a mutex (critical sections are O(log) lookups plus any
+// recursion extension). Results are bit-identical to the erlang.hpp free
+// functions (same recurrence, same order of operations), so replacing one
+// with the other never perturbs a plan.
+//
+// Instrumentation: evaluations, recursion steps, and cache hits are
+// reported both per-kernel (stats()) and to the process-wide metrics
+// registry ("erlang.evaluations", "erlang.cache_hits", "erlang.steps").
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "util/metrics.hpp"
+
+namespace vmcons::queueing {
+
+class ErlangKernel {
+ public:
+  struct Stats {
+    std::uint64_t evaluations = 0;  ///< public queries answered
+    std::uint64_t cache_hits = 0;   ///< answered from a cached prefix
+    std::uint64_t steps = 0;        ///< recurrence steps actually executed
+    double hit_rate() const noexcept {
+      return evaluations > 0
+                 ? static_cast<double>(cache_hits) /
+                       static_cast<double>(evaluations)
+                 : 0.0;
+    }
+  };
+
+  /// `max_states` caps the number of distinct rho values whose recursion
+  /// prefixes are retained (least-recently-used eviction beyond it).
+  explicit ErlangKernel(std::size_t max_states = 64);
+
+  /// Erlang-B blocking E_n(rho); identical contract and bit-identical
+  /// results to queueing::erlang_b.
+  double erlang_b(std::uint64_t servers, double rho);
+
+  /// log E_n(rho), evaluated wholly in the log domain: finite and accurate
+  /// even where E_n underflows double (large n - rho). rho = 0 with
+  /// servers >= 1 returns -infinity.
+  double log_erlang_b(std::uint64_t servers, double rho);
+
+  /// Minimum n with E_n(rho) <= target_blocking; identical contract and
+  /// results to queueing::erlang_b_servers.
+  std::uint64_t erlang_b_servers(double rho, double target_blocking);
+
+  /// Largest rho with E_n(rho) <= target_blocking. Same contract as
+  /// queueing::erlang_b_capacity; agrees with it to the bisection's own
+  /// tolerance (~1e-12 relative) while costing far fewer evaluations.
+  double erlang_b_capacity(std::uint64_t servers, double target_blocking);
+
+  /// Counters since construction (or the last clear()).
+  Stats stats() const;
+
+  /// Drops all cached state and zeroes the per-kernel counters.
+  void clear();
+
+  /// Process-wide kernel used by the default sweep path.
+  static ErlangKernel& shared();
+
+ private:
+  struct State {
+    std::vector<double> prefix;  ///< prefix[k] = E_k(rho); prefix[0] = 1
+    std::uint64_t last_used = 0;
+  };
+
+  /// Returns the cache slot for rho, creating/evicting as needed.
+  /// Requires rho > 0 and mutex_ held.
+  State& state_for(double rho);
+  /// Extends `state` so prefix covers index `servers`; mutex_ held.
+  void extend(State& state, double rho, std::uint64_t servers);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, State> states_;  // key: bit pattern of rho
+  std::size_t max_states_;
+  std::size_t cached_doubles_ = 0;  ///< sum of prefix sizes, for the budget
+  std::uint64_t ticket_ = 0;
+  Stats stats_;
+  // Process-wide mirrors of the per-kernel counters.
+  metrics::Counter& evaluations_metric_;
+  metrics::Counter& cache_hits_metric_;
+  metrics::Counter& steps_metric_;
+};
+
+}  // namespace vmcons::queueing

@@ -1,16 +1,27 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <utility>
 
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 
 namespace vmcons::sim {
+namespace {
+
+/// Compaction threshold: rebuild once dead entries outnumber live ones
+/// (i.e. exceed half the calendar), with a floor so tiny calendars never
+/// pay the O(n) rebuild.
+constexpr std::size_t kMinCompactSize = 16;
+
+}  // namespace
 
 EventId Engine::schedule_at(double when, EventFn fn) {
   VMCONS_REQUIRE(when >= now_, "cannot schedule an event in the past");
   const EventId id = next_sequence_++;
-  queue_.push(Event{when, id, std::move(fn)});
+  queue_.push_back(Event{when, id, std::move(fn)});
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
   live_.insert(id);
   return id;
 }
@@ -25,17 +36,32 @@ bool Engine::cancel(EventId id) {
     return false;  // already ran, already cancelled, or never existed
   }
   cancelled_.insert(id);
+  // Without this, entries cancelled beyond a run_until horizon are never
+  // popped and the calendar grows without bound.
+  if (cancelled_.size() >= kMinCompactSize &&
+      cancelled_.size() > live_.size()) {
+    compact();
+  }
   return true;
+}
+
+void Engine::compact() {
+  queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                              [this](const Event& event) {
+                                return cancelled_.count(event.sequence) > 0;
+                              }),
+               queue_.end());
+  std::make_heap(queue_.begin(), queue_.end(), Later{});
+  cancelled_.clear();
 }
 
 bool Engine::step(double limit) {
   // Skip lazily-cancelled events, but never past `limit`: a cancelled event
   // at the top must not cause a later-than-horizon event to run.
-  while (!queue_.empty() && queue_.top().time <= limit) {
-    // priority_queue::top() is const; the closure must be moved out before
-    // pop.
-    Event event = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+  while (!queue_.empty() && queue_.front().time <= limit) {
+    std::pop_heap(queue_.begin(), queue_.end(), Later{});
+    Event event = std::move(queue_.back());
+    queue_.pop_back();
     if (const auto it = cancelled_.find(event.sequence);
         it != cancelled_.end()) {
       cancelled_.erase(it);
@@ -52,13 +78,17 @@ bool Engine::step(double limit) {
 
 void Engine::run() {
   stopping_ = false;
+  const std::uint64_t before = executed_;
   while (!stopping_ && step(std::numeric_limits<double>::infinity())) {
   }
+  static metrics::Counter& events = metrics::registry().counter("engine.events");
+  events.add(executed_ - before);
 }
 
 void Engine::run_until(double horizon) {
   VMCONS_REQUIRE(horizon >= now_, "horizon precedes current time");
   stopping_ = false;
+  const std::uint64_t before = executed_;
   while (!stopping_ && step(horizon)) {
   }
   // A stop() request freezes the clock where the stopping event ran; only
@@ -66,6 +96,8 @@ void Engine::run_until(double horizon) {
   if (!stopping_ && now_ < horizon) {
     now_ = horizon;
   }
+  static metrics::Counter& events = metrics::registry().counter("engine.events");
+  events.add(executed_ - before);
 }
 
 }  // namespace vmcons::sim

@@ -10,7 +10,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -38,9 +37,11 @@ class Engine {
   EventId schedule_in(double delay, EventFn fn);
 
   /// Cancels a pending event; returns false if it already ran, was already
-  /// cancelled, or never existed. Cancellation is lazy: O(1) here, the
-  /// closure is skipped (not run) when its time comes, so cancelled events
-  /// occupy calendar memory until then.
+  /// cancelled, or never existed. Cancellation is lazy: normally O(1), the
+  /// closure is skipped (not run) when its time comes. When cancelled
+  /// entries come to outnumber live ones the calendar is compacted (dead
+  /// entries removed, heap rebuilt), so long-running sims that schedule and
+  /// cancel timers far beyond their run_until horizon stay bounded.
   bool cancel(EventId id);
 
   /// Runs events until the calendar empties or `stop()` is called.
@@ -56,8 +57,8 @@ class Engine {
   /// Number of events executed so far.
   std::uint64_t executed() const noexcept { return executed_; }
 
-  /// Number of events still scheduled (including lazily-cancelled ones).
-  std::size_t pending() const noexcept { return queue_.size(); }
+  /// Number of live (scheduled, not cancelled) events.
+  std::size_t pending() const noexcept { return live_.size(); }
 
   /// Number of pending events that have been cancelled.
   std::size_t cancelled() const noexcept { return cancelled_.size(); }
@@ -81,7 +82,12 @@ class Engine {
   /// if none qualifies. Cancelled events up to `limit` are consumed.
   bool step(double limit);
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  /// Removes every lazily-cancelled entry and rebuilds the heap; O(n).
+  void compact();
+
+  // Min-heap over (time, sequence) via std::push_heap/pop_heap — a plain
+  // vector (rather than std::priority_queue) so compact() can filter it.
+  std::vector<Event> queue_;
   std::unordered_set<EventId> live_;       // scheduled, not run/cancelled
   std::unordered_set<EventId> cancelled_;  // cancelled, not yet popped
   double now_ = 0.0;

@@ -1,0 +1,65 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace vmcons::metrics {
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Timer& Registry::timer(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = timers_[name];
+  if (!slot) {
+    slot = std::make_unique<Timer>();
+  }
+  return *slot;
+}
+
+std::vector<Registry::Row> Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Row> rows;
+  rows.reserve(counters_.size() + 2 * timers_.size());
+  for (const auto& [name, counter] : counters_) {
+    rows.push_back({name, static_cast<double>(counter->value())});
+  }
+  for (const auto& [name, timer] : timers_) {
+    rows.push_back({name + ".ms", timer->total_millis()});
+    rows.push_back({name + ".calls", static_cast<double>(timer->count())});
+  }
+  // std::map iterates sorted, but counter and timer rows interleave.
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.name < b.name; });
+  return rows;
+}
+
+void Registry::dump(std::ostream& out) const {
+  for (const auto& row : snapshot()) {
+    out << row.name << " = " << std::setprecision(6) << row.value << '\n';
+  }
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // In place, never reallocated: references handed out stay valid.
+  for (auto& [name, counter] : counters_) {
+    counter->reset();
+  }
+  for (auto& [name, timer] : timers_) {
+    timer->reset();
+  }
+}
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace vmcons::metrics

@@ -1,0 +1,119 @@
+// Lightweight counter/timer registry for planner and simulator telemetry.
+//
+// The planner's value proposition is cheap offline what-if analysis, so the
+// library instruments its own hot paths: Erlang evaluations, kernel cache
+// hits, sweep wall-time, events executed. Counters are monotonic relaxed
+// atomics (an increment is one uncontended atomic add); registration is
+// mutex-guarded and names are stable for the registry's lifetime, so a
+// Counter& obtained once can be bumped forever without further lookups.
+//
+// This is telemetry, not program state: values only ever accumulate, and no
+// control flow depends on them, which is why a process-wide registry()
+// instance is acceptable under the no-global-mutable-state rule.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vmcons::metrics {
+
+/// Monotonic event counter. Thread-safe; increments are relaxed atomics.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Accumulates wall-clock time across (possibly concurrent) measured scopes.
+class Timer {
+ public:
+  void add_nanos(std::uint64_t nanos) noexcept {
+    nanos_.fetch_add(nanos, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t total_nanos() const noexcept {
+    return nanos_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double total_millis() const noexcept {
+    return static_cast<double>(total_nanos()) / 1e6;
+  }
+  void reset() noexcept {
+    nanos_.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> nanos_{0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// RAII stopwatch: adds the elapsed wall time to a Timer on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer& timer) noexcept
+      : timer_(timer), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    timer_.add_nanos(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+  }
+
+ private:
+  Timer& timer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Name-keyed registry of counters and timers. counter()/timer() return
+/// references that stay valid for the registry's lifetime.
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Timer& timer(const std::string& name);
+
+  /// Snapshot of every metric as (name, value) rows, sorted by name.
+  /// Timers render as two rows: `<name>.ms` and `<name>.calls`.
+  struct Row {
+    std::string name;
+    double value = 0.0;
+  };
+  std::vector<Row> snapshot() const;
+
+  /// Text dump, one `name = value` line per metric, sorted by name.
+  void dump(std::ostream& out) const;
+
+  /// Resets every counter and timer to zero (names stay registered).
+  /// Intended for benches that measure phases; not for concurrent use with
+  /// in-flight increments.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  // node-based maps: references into the mapped values never invalidate.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Timer>> timers_;
+};
+
+/// The process-wide registry the library's own instrumentation reports to.
+Registry& registry();
+
+}  // namespace vmcons::metrics

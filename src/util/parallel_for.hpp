@@ -14,6 +14,8 @@
 #include <cstddef>
 #include <exception>
 #include <future>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "util/thread_pool.hpp"
@@ -26,7 +28,10 @@ void parallel_for(std::size_t count, Fn&& fn, ThreadPool& pool = ThreadPool::sha
     return;
   }
   const std::size_t workers = std::max<std::size_t>(1, pool.size());
-  if (count == 1 || workers == 1) {
+  // A nested call from a pool worker must not block on futures: with every
+  // worker parked in future.get() the queued chunks would never run, so the
+  // nested loop executes inline on the calling worker instead.
+  if (count == 1 || workers == 1 || ThreadPool::on_worker_thread()) {
     for (std::size_t i = 0; i < count; ++i) {
       fn(i);
     }
@@ -68,13 +73,20 @@ void parallel_for(std::size_t count, Fn&& fn, ThreadPool& pool = ThreadPool::sha
 }
 
 /// Maps fn over [0, n) in parallel, collecting results in index order.
+/// Results need not be default-constructible: each slot is materialized by
+/// move from fn's return value, then unwrapped in index order.
 template <typename Fn>
 auto parallel_map(std::size_t count, Fn&& fn, ThreadPool& pool = ThreadPool::shared())
     -> std::vector<decltype(fn(std::size_t{0}))> {
   using Result = decltype(fn(std::size_t{0}));
-  std::vector<Result> results(count);
+  std::vector<std::optional<Result>> slots(count);
   parallel_for(
-      count, [&](std::size_t i) { results[i] = fn(i); }, pool);
+      count, [&](std::size_t i) { slots[i].emplace(fn(i)); }, pool);
+  std::vector<Result> results;
+  results.reserve(count);
+  for (auto& slot : slots) {
+    results.push_back(std::move(*slot));
+  }
   return results;
 }
 

@@ -1,6 +1,15 @@
 #include "util/thread_pool.hpp"
 
 namespace vmcons {
+namespace {
+
+/// Set for the lifetime of every pool worker thread; read by
+/// ThreadPool::on_worker_thread() to detect nested parallelism.
+thread_local bool t_on_pool_worker = false;
+
+}  // namespace
+
+bool ThreadPool::on_worker_thread() noexcept { return t_on_pool_worker; }
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -27,6 +36,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  t_on_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {

@@ -51,6 +51,12 @@ class ThreadPool {
   /// Returns the process-wide default pool (created on first use).
   static ThreadPool& shared();
 
+  /// True when the calling thread is a worker of *any* ThreadPool (set via
+  /// a thread-local flag in worker_loop). parallel_for uses this to run
+  /// nested loops inline: a worker that blocked on futures for chunks
+  /// queued behind it would deadlock the pool.
+  static bool on_worker_thread() noexcept;
+
  private:
   void worker_loop();
 

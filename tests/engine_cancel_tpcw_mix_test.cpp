@@ -1,4 +1,6 @@
 // Tests for engine event cancellation and the TPC-W traffic mixes.
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "sim/engine.hpp"
@@ -60,6 +62,77 @@ TEST(EngineCancel, CancelledCountTracksPendingCancellations) {
   EXPECT_EQ(engine.cancelled(), 1u);
   engine.run();
   EXPECT_EQ(engine.cancelled(), 0u);  // consumed at pop time
+}
+
+TEST(EngineCancel, PendingCountsLiveEventsOnly) {
+  sim::Engine engine;
+  std::vector<sim::EventId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(engine.schedule_at(1.0 + i, [] {}));
+  }
+  EXPECT_EQ(engine.pending(), 10u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(engine.cancel(ids[i]));
+  }
+  EXPECT_EQ(engine.pending(), 7u);  // live events only, not calendar slots
+  EXPECT_EQ(engine.cancelled(), 3u);
+  engine.run();
+  EXPECT_EQ(engine.executed(), 7u);
+  EXPECT_EQ(engine.pending(), 0u);
+}
+
+TEST(EngineCancel, CompactionReclaimsCancelledBeyondHorizon) {
+  // Regression: cancelled events used to linger in the calendar until the
+  // clock reached their deadline, so a timeout wheel cancelling far-future
+  // events grew the heap for the whole run. The calendar now compacts
+  // whenever cancellations outnumber live events.
+  sim::Engine engine;
+  int fired = 0;
+  engine.schedule_at(1.0, [&] { ++fired; });
+  std::vector<sim::EventId> timeouts;
+  timeouts.reserve(1000);
+  for (int i = 0; i < 1000; ++i) {
+    timeouts.push_back(
+        engine.schedule_at(1e9 + static_cast<double>(i), [&] { ++fired; }));
+  }
+  engine.run_until(10.0);
+  EXPECT_EQ(fired, 1);
+  for (const sim::EventId id : timeouts) {
+    EXPECT_TRUE(engine.cancel(id));
+  }
+  EXPECT_EQ(engine.pending(), 0u);
+  // Only a final sub-threshold batch may remain un-compacted.
+  EXPECT_LE(engine.cancelled(), 16u);
+  engine.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine.executed(), 1u);
+  EXPECT_EQ(engine.cancelled(), 0u);
+}
+
+TEST(EngineCancel, CompactionPreservesEventOrdering) {
+  sim::Engine engine;
+  std::vector<int> order;
+  std::vector<sim::EventId> doomed;
+  for (int i = 90; i >= 1; --i) {  // reverse insertion order
+    if (i % 3 == 0) {
+      engine.schedule_at(static_cast<double>(i),
+                         [&order, i] { order.push_back(i); });
+    } else {
+      doomed.push_back(
+          engine.schedule_at(static_cast<double>(i), [&order] {
+            order.push_back(-1);
+          }));
+    }
+  }
+  for (const sim::EventId id : doomed) {
+    EXPECT_TRUE(engine.cancel(id));  // 60 cancelled vs 30 live -> compacts
+  }
+  EXPECT_EQ(engine.pending(), 30u);
+  engine.run();
+  ASSERT_EQ(order.size(), 30u);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], static_cast<int>(3 * (i + 1)));  // still time-sorted
+  }
 }
 
 TEST(TpcwMix, CostOrdering) {

@@ -179,6 +179,54 @@ TEST(ParallelFor, RethrowsFirstException) {
                InvalidArgument);
 }
 
+TEST(ThreadPool, DetectsWorkerThreads) {
+  EXPECT_FALSE(ThreadPool::on_worker_thread());
+  ThreadPool pool(1);
+  auto probe = pool.submit([] { return ThreadPool::on_worker_thread(); });
+  EXPECT_TRUE(probe.get());
+  EXPECT_FALSE(ThreadPool::on_worker_thread());  // flag is per-thread
+}
+
+TEST(ParallelFor, NestedTwoDeepOnSmallPoolCompletes) {
+  // Regression: a parallel_for issued from a pool worker used to block on
+  // future.get() for chunks queued behind it — with every worker of a
+  // 2-thread pool parked that way, the pool deadlocked. Nested loops now
+  // run inline on the worker.
+  ThreadPool pool(2);
+  std::atomic<int> visits{0};
+  parallel_for(
+      8,
+      [&](std::size_t) {
+        parallel_for(
+            8,
+            [&](std::size_t) {
+              parallel_for(
+                  4, [&](std::size_t) { ++visits; }, pool);
+            },
+            pool);
+      },
+      pool);
+  EXPECT_EQ(visits.load(), 8 * 8 * 4);
+}
+
+TEST(ParallelFor, NestedStillRethrowsExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(
+                   4,
+                   [&](std::size_t) {
+                     parallel_for(
+                         4,
+                         [](std::size_t i) {
+                           if (i == 2) {
+                             throw InvalidArgument("inner failure");
+                           }
+                         },
+                         pool);
+                   },
+                   pool),
+               InvalidArgument);
+}
+
 TEST(ParallelMap, PreservesOrder) {
   ThreadPool pool(4);
   const auto squares =
@@ -186,6 +234,29 @@ TEST(ParallelMap, PreservesOrder) {
   ASSERT_EQ(squares.size(), 50u);
   for (std::size_t i = 0; i < squares.size(); ++i) {
     EXPECT_EQ(squares[i], i * i);
+  }
+}
+
+namespace {
+// Deliberately awkward result type: no default constructor, move-only.
+struct TaggedResult {
+  explicit TaggedResult(std::size_t i) : tag(i) {}
+  TaggedResult(TaggedResult&&) = default;
+  TaggedResult& operator=(TaggedResult&&) = default;
+  TaggedResult(const TaggedResult&) = delete;
+  TaggedResult& operator=(const TaggedResult&) = delete;
+  std::size_t tag;
+};
+}  // namespace
+
+TEST(ParallelMap, SupportsNonDefaultConstructibleResults) {
+  static_assert(!std::is_default_constructible_v<TaggedResult>);
+  ThreadPool pool(4);
+  const auto results = parallel_map(
+      64, [](std::size_t i) { return TaggedResult(i); }, pool);
+  ASSERT_EQ(results.size(), 64u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].tag, i);
   }
 }
 
