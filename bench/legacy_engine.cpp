@@ -1,0 +1,71 @@
+// Out-of-line definitions for the legacy-calendar bench baseline; see
+// legacy_engine.hpp for why this is a separate translation unit.
+#include "legacy_engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace vmcons::bench {
+
+LegacyEngine::EventId LegacyEngine::schedule_at(double when, EventFn fn) {
+  VMCONS_REQUIRE(when >= now_, "cannot schedule an event in the past");
+  const EventId id = next_sequence_++;
+  queue_.push_back(Event{when, id, std::move(fn)});
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
+  live_.insert(id);
+  return id;
+}
+
+LegacyEngine::EventId LegacyEngine::schedule_in(double delay, EventFn fn) {
+  VMCONS_REQUIRE(delay >= 0.0, "event delay must be >= 0");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool LegacyEngine::cancel(EventId id) {
+  if (live_.erase(id) == 0) {
+    return false;
+  }
+  cancelled_.insert(id);
+  if (cancelled_.size() >= 16 && cancelled_.size() > live_.size()) {
+    compact();
+  }
+  return true;
+}
+
+void LegacyEngine::compact() {
+  queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                              [this](const Event& event) {
+                                return cancelled_.count(event.sequence) > 0;
+                              }),
+               queue_.end());
+  std::make_heap(queue_.begin(), queue_.end(), Later{});
+  cancelled_.clear();
+}
+
+bool LegacyEngine::step(double limit) {
+  while (!queue_.empty() && queue_.front().time <= limit) {
+    std::pop_heap(queue_.begin(), queue_.end(), Later{});
+    Event event = std::move(queue_.back());
+    queue_.pop_back();
+    if (const auto it = cancelled_.find(event.sequence);
+        it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    live_.erase(event.sequence);
+    now_ = event.time;
+    event.fn();
+    return true;
+  }
+  return false;
+}
+
+void LegacyEngine::run() {
+  while (step(std::numeric_limits<double>::infinity())) {
+  }
+}
+
+}  // namespace vmcons::bench

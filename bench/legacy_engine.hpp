@@ -1,0 +1,54 @@
+// Faithful replica of the pre-slot-map event calendar, kept as the bench
+// baseline: std::function closures, a binary std::push_heap/pop_heap
+// calendar, and two unordered_sets implementing lazy cancellation with
+// compaction. Compiled in its own translation unit (legacy_engine.cpp) so it
+// sits behind the same call boundary the original engine had in
+// src/sim/engine.cpp — inlining it into the workload loop would flatter a
+// baseline that never ran that way.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+namespace vmcons::bench {
+
+class LegacyEngine {
+ public:
+  using EventFn = std::function<void()>;
+  using EventId = std::uint64_t;
+
+  double now() const noexcept { return now_; }
+
+  EventId schedule_at(double when, EventFn fn);
+  EventId schedule_in(double delay, EventFn fn);
+  bool cancel(EventId id);
+  void run();
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t sequence;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.sequence > b.sequence;
+    }
+  };
+
+  bool step(double limit);
+  void compact();
+
+  std::vector<Event> queue_;
+  std::unordered_set<EventId> live_;
+  std::unordered_set<EventId> cancelled_;
+  double now_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace vmcons::bench

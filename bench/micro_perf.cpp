@@ -3,6 +3,8 @@
 // replication. Performance hygiene for the substrate, not a paper figure.
 #include <benchmark/benchmark.h>
 
+#include <functional>
+
 #include "datacenter/pool_sim.hpp"
 #include "queueing/erlang.hpp"
 #include "queueing/mmck.hpp"

@@ -68,6 +68,10 @@ int run(int argc, const char** argv) {
   const auto scales_n = static_cast<std::size_t>(flags.get_int("scales", 10));
   const auto dedicated =
       static_cast<std::uint64_t>(flags.get_int("servers", 20000));
+  // Pass/fail threshold for the exit status; smoke runs (tiny grids whose
+  // wall time is all fixed overhead) set this to 0 to check correctness
+  // only.
+  const double min_speedup = flags.get_double("min-speedup", 3.0);
   finish_flags(flags);
 
   banner("micro_sweep: serial-cold vs parallel memoized SweepGrid",
@@ -146,8 +150,9 @@ int run(int argc, const char** argv) {
 
   const double speedup = serial_ms / cold_ms;
   std::cout << "\ncold-kernel speedup over the serial baseline: "
-            << AsciiTable::format(speedup, 1) << "x (target >= 3x)\n";
-  return speedup >= 3.0 ? EXIT_SUCCESS : EXIT_FAILURE;
+            << AsciiTable::format(speedup, 1) << "x (target >= "
+            << AsciiTable::format(min_speedup, 1) << "x)\n";
+  return speedup >= min_speedup ? EXIT_SUCCESS : EXIT_FAILURE;
 }
 
 }  // namespace

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Performance hygiene: Release build, then the two microbenchmarks at full
+# size. micro_engine regenerates BENCH_engine.json at the repo root (the
+# checked-in numbers CI and DESIGN.md refer to); micro_sweep checks the
+# parallel memoized planner. Both exit non-zero when they miss their
+# speedup targets.
+#
+# The numbers are wall-clock sensitive: run on an idle machine. Pass extra
+# flags through, e.g. `scripts/bench.sh --fire-reps 10`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== bench: release build =="
+cmake --preset default
+cmake --build --preset default -j
+
+echo
+echo "== bench: micro_engine (slot-map calendar) =="
+./build/bench/micro_engine --json BENCH_engine.json "$@"
+
+echo
+echo "== bench: micro_sweep (parallel memoized planner) =="
+./build/bench/micro_sweep
+
+echo
+echo "bench PASSED (BENCH_engine.json updated)"

@@ -12,6 +12,16 @@ cmake --build --preset default -j
 ctest --preset default -j
 
 echo
+echo "== tier-1: bench smoke (correctness only, ~1s each) =="
+# Tiny workloads: checks the benchmarks still run and their invariants hold
+# (zero steady-state allocations, sweep reports identical across configs).
+# Speedup thresholds are disabled — real numbers come from scripts/bench.sh.
+./build/bench/micro_engine --events 50000 --cancels 20000 --reps 2 \
+  --fire-reps 2 --horizon 20 --min-speedup 0 --json /dev/null
+./build/bench/micro_sweep --losses 2 --scales 2 --servers 2000 \
+  --min-speedup 0
+
+echo
 echo "== tier-1: asan+ubsan build + concurrency tests =="
 cmake --preset asan
 cmake --build --preset asan -j

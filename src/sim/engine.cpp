@@ -1,94 +1,203 @@
+// Engine definitions: the per-event hot path (schedule/step/cancel and the
+// 4-ary sifts) plus construction, the purge/heapify rebuild, the run loops,
+// and metric flushing. The hot path stays out of line on purpose — inlining
+// it into callers measured slower (larger closures' invoke thunks, worse
+// icache behaviour).
 #include "sim/engine.hpp"
 
 #include <algorithm>
 #include <limits>
-#include <utility>
 
-#include "util/error.hpp"
 #include "util/metrics.hpp"
 
 namespace vmcons::sim {
 namespace {
 
-/// Compaction threshold: rebuild once dead entries outnumber live ones
-/// (i.e. exceed half the calendar), with a floor so tiny calendars never
-/// pay the O(n) rebuild.
-constexpr std::size_t kMinCompactSize = 16;
+// Branch-shape hints for the per-event path: slots nearly always recycle
+// (the free list is only empty while the calendar grows toward its
+// high-water mark) and popped entries are nearly always live (cancellation
+// is the rare case in every simulation this library runs).
+inline bool likely(bool condition) noexcept {
+  return __builtin_expect(condition, 1);
+}
 
 }  // namespace
 
-EventId Engine::schedule_at(double when, EventFn fn) {
+Engine::Engine()
+    : events_metric_(&metrics::registry().counter("engine.events")),
+      cancels_metric_(&metrics::registry().counter("engine.cancels")) {}
+
+Engine::~Engine() { flush_metrics(); }
+
+EventId Engine::acquire_slot(EventFn&& fn) {
+  if (likely(free_head_ != kNoFreeSlot)) {
+    const std::uint32_t index = free_head_;
+    Slot& slot = slots_[index];
+    free_head_ = slot.next_free;
+    const std::uint32_t generation = ++slot.generation;  // odd -> even
+    slot.fn.adopt_empty(std::move(fn));  // fired/cancelled tenants left empty
+    return pack(index, generation);
+  }
+  VMCONS_REQUIRE(slots_.size() < kNoFreeSlot,
+                 "event calendar slot space exhausted");
+  const auto index = static_cast<std::uint32_t>(slots_.size());
+  Slot& slot = slots_.emplace_back();  // generation 0: occupied
+  slot.fn.adopt_empty(std::move(fn));
+  return pack(index, 0);
+}
+
+void Engine::release_slot(std::uint32_t index) noexcept {
+  Slot& slot = slots_[index];
+  ++slot.generation;  // even (occupied) -> odd (free)
+  slot.next_free = free_head_;
+  free_head_ = index;
+}
+
+void Engine::sift_up(std::size_t pos) noexcept {
+  HeapEntry* const heap = queue_.data();
+  const HeapEntry moving = heap[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 4;
+    if (!earlier(moving, heap[parent])) {
+      break;
+    }
+    heap[pos] = heap[parent];
+    pos = parent;
+  }
+  heap[pos] = moving;
+}
+
+void Engine::sift_down(std::size_t pos, std::uint64_t time_bits,
+                       std::uint64_t sequence,
+                       std::uint64_t slot_and_generation) noexcept {
+  HeapEntry* const heap = queue_.data();
+  const std::size_t size = queue_.size();
+  const HeapEntry moving{time_bits, sequence,
+                         static_cast<std::uint32_t>(slot_and_generation),
+                         static_cast<std::uint32_t>(slot_and_generation >> 32)};
+  for (;;) {
+    const std::size_t first_child = 4 * pos + 1;
+    if (first_child >= size) {
+      break;
+    }
+    const std::size_t last_child = std::min(first_child + 4, size);
+    std::size_t best = first_child;
+    for (std::size_t child = first_child + 1; child < last_child; ++child) {
+      if (earlier(heap[child], heap[best])) {
+        best = child;
+      }
+    }
+    if (!earlier(heap[best], moving)) {
+      break;
+    }
+    heap[pos] = heap[best];
+    pos = best;
+  }
+  heap[pos] = moving;
+}
+
+EventId Engine::schedule_impl(double when, EventFn&& fn) {
   VMCONS_REQUIRE(when >= now_, "cannot schedule an event in the past");
-  const EventId id = next_sequence_++;
-  queue_.push_back(Event{when, id, std::move(fn)});
-  std::push_heap(queue_.begin(), queue_.end(), Later{});
-  live_.insert(id);
+  const EventId id = acquire_slot(std::move(fn));
+  queue_.push_back(HeapEntry{time_key(when), next_sequence_++,
+                             static_cast<std::uint32_t>(id & 0xffffffffu),
+                             static_cast<std::uint32_t>(id >> 32)});
+  sift_up(queue_.size() - 1);
+  ++live_;
   return id;
+}
+
+EventId Engine::schedule_at(double when, EventFn fn) {
+  return schedule_impl(when, std::move(fn));
 }
 
 EventId Engine::schedule_in(double delay, EventFn fn) {
   VMCONS_REQUIRE(delay >= 0.0, "event delay must be >= 0");
-  return schedule_at(now_ + delay, std::move(fn));
+  return schedule_impl(now_ + delay, std::move(fn));
 }
 
 bool Engine::cancel(EventId id) {
-  if (live_.erase(id) == 0) {
+  const auto index = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  if (index >= slots_.size() || slots_[index].generation != generation) {
     return false;  // already ran, already cancelled, or never existed
   }
-  cancelled_.insert(id);
+  slots_[index].fn.reset();  // destroy the closure eagerly
+  release_slot(index);
+  --live_;
+  ++stale_;
+  ++cancels_;
   // Without this, entries cancelled beyond a run_until horizon are never
   // popped and the calendar grows without bound.
-  if (cancelled_.size() >= kMinCompactSize &&
-      cancelled_.size() > live_.size()) {
-    compact();
+  if (stale_ >= kMinPurgeSize && stale_ > live_) {
+    purge();
   }
   return true;
 }
 
-void Engine::compact() {
-  queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
-                              [this](const Event& event) {
-                                return cancelled_.count(event.sequence) > 0;
-                              }),
-               queue_.end());
-  std::make_heap(queue_.begin(), queue_.end(), Later{});
-  cancelled_.clear();
-}
-
 bool Engine::step(double limit) {
-  // Skip lazily-cancelled events, but never past `limit`: a cancelled event
-  // at the top must not cause a later-than-horizon event to run.
-  while (!queue_.empty() && queue_.front().time <= limit) {
-    std::pop_heap(queue_.begin(), queue_.end(), Later{});
-    Event event = std::move(queue_.back());
+  // Skip dead entries, but never past `limit`: a cancelled event at the top
+  // must not cause a later-than-horizon event to run. `limit` is converted
+  // once per step; key order matches value order (see time_key).
+  const std::uint64_t limit_bits = time_key(limit);
+  while (!queue_.empty() && queue_.front().time_bits <= limit_bits) {
+    const HeapEntry entry = queue_.front();
+    const HeapEntry displaced = queue_.back();
     queue_.pop_back();
-    if (const auto it = cancelled_.find(event.sequence);
-        it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;  // lazily-cancelled event: skip without running
+    if (!queue_.empty()) {
+      sift_down(0, displaced.time_bits, displaced.sequence,
+                pack(displaced.slot, displaced.generation));
     }
-    live_.erase(event.sequence);
-    now_ = event.time;
+    Slot& slot = slots_[entry.slot];
+    if (!likely(slot.generation == entry.generation)) {
+      --stale_;
+      continue;  // cancelled: closure already destroyed, skip the POD
+    }
+    // Move the closure out and free the slot *before* invoking: the closure
+    // may schedule events, which can grow slots_ and recycle this slot.
+    EventFn fn = std::move(slot.fn);
+    release_slot(entry.slot);
+    --live_;
+    now_ = key_time(entry.time_bits);
     ++executed_;
-    event.fn();
+    fn();
     return true;
   }
   return false;
 }
 
+void Engine::purge() {
+  queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                              [this](const HeapEntry& entry) {
+                                return slots_[entry.slot].generation !=
+                                       entry.generation;
+                              }),
+               queue_.end());
+  heapify();
+  stale_ = 0;
+}
+
+void Engine::heapify() noexcept {
+  if (queue_.size() < 2) {
+    return;
+  }
+  for (std::size_t pos = (queue_.size() - 2) / 4 + 1; pos-- > 0;) {
+    const HeapEntry entry = queue_[pos];
+    sift_down(pos, entry.time_bits, entry.sequence,
+              pack(entry.slot, entry.generation));
+  }
+}
+
 void Engine::run() {
   stopping_ = false;
-  const std::uint64_t before = executed_;
   while (!stopping_ && step(std::numeric_limits<double>::infinity())) {
   }
-  static metrics::Counter& events = metrics::registry().counter("engine.events");
-  events.add(executed_ - before);
+  flush_metrics();
 }
 
 void Engine::run_until(double horizon) {
   VMCONS_REQUIRE(horizon >= now_, "horizon precedes current time");
   stopping_ = false;
-  const std::uint64_t before = executed_;
   while (!stopping_ && step(horizon)) {
   }
   // A stop() request freezes the clock where the stopping event ran; only
@@ -96,8 +205,18 @@ void Engine::run_until(double horizon) {
   if (!stopping_ && now_ < horizon) {
     now_ = horizon;
   }
-  static metrics::Counter& events = metrics::registry().counter("engine.events");
-  events.add(executed_ - before);
+  flush_metrics();
+}
+
+void Engine::flush_metrics() noexcept {
+  if (executed_ != flushed_executed_) {
+    events_metric_->add(executed_ - flushed_executed_);
+    flushed_executed_ = executed_;
+  }
+  if (cancels_ != flushed_cancels_) {
+    cancels_metric_->add(cancels_ - flushed_cancels_);
+    flushed_cancels_ = cancels_;
+  }
 }
 
 }  // namespace vmcons::sim

@@ -1,28 +1,49 @@
 // Discrete-event simulation engine.
 //
-// A minimal, fast calendar: events are (time, sequence, closure) tuples in a
-// binary heap. Ties break by insertion order, which makes runs fully
-// deterministic. The engine owns no model state; models (clusters, workload
-// drivers) capture what they need in the closures.
+// The calendar is a 4-ary heap of 24-byte POD entries over a
+// generation-counted slot map: each scheduled event owns a slot holding its
+// closure (an InlineEvent — 48 inline bytes, so common closures never touch
+// the heap) and a generation counter. An EventId packs {generation, slot}
+// into one uint64, so cancel() is two array writes and liveness at pop time
+// is a single load — no hash sets anywhere. Freed slots recycle through an
+// intrusive free list, so steady-state simulation performs zero allocations
+// per event once the calendar has reached its high-water mark.
+//
+// Ties break by insertion order (a monotonic sequence number carried in the
+// heap entry), which makes runs fully deterministic. The engine owns no
+// model state; models (clusters, workload drivers) capture what they need in
+// the closures.
 //
 // Time is in seconds of simulated time, starting at 0.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
+#include <cstring>
 #include <vector>
+
+#include "sim/inline_event.hpp"
+#include "util/error.hpp"
+
+namespace vmcons::metrics {
+class Counter;
+}  // namespace vmcons::metrics
+
 
 namespace vmcons::sim {
 
-using EventFn = std::function<void()>;
+using EventFn = InlineEvent;
 
-/// Handle for cancelling a scheduled event.
+/// Handle for cancelling a scheduled event. Packed {generation:32, slot:32};
+/// the slot's generation advances every time the slot is consumed (fired or
+/// cancelled), so a stale handle can never affect the slot's next tenant.
+/// A generation wraps after 2^31 reuses of one slot — far beyond any run
+/// this library performs.
 using EventId = std::uint64_t;
 
 class Engine {
  public:
-  Engine() = default;
+  Engine();
+  ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -37,10 +58,11 @@ class Engine {
   EventId schedule_in(double delay, EventFn fn);
 
   /// Cancels a pending event; returns false if it already ran, was already
-  /// cancelled, or never existed. Cancellation is lazy: normally O(1), the
-  /// closure is skipped (not run) when its time comes. When cancelled
-  /// entries come to outnumber live ones the calendar is compacted (dead
-  /// entries removed, heap rebuilt), so long-running sims that schedule and
+  /// cancelled, or never existed. O(1): the slot's generation is bumped and
+  /// its closure destroyed immediately; the heap keeps a dead 24-byte POD
+  /// entry that is skipped (one generation load) when its time comes. When
+  /// dead entries come to outnumber live ones the heap is purged (dead PODs
+  /// filtered out, heap rebuilt), so long-running sims that schedule and
   /// cancel timers far beyond their run_until horizon stay bounded.
   bool cancel(EventId id);
 
@@ -58,42 +80,128 @@ class Engine {
   std::uint64_t executed() const noexcept { return executed_; }
 
   /// Number of live (scheduled, not cancelled) events.
-  std::size_t pending() const noexcept { return live_.size(); }
+  std::size_t pending() const noexcept { return live_; }
 
-  /// Number of pending events that have been cancelled.
-  std::size_t cancelled() const noexcept { return cancelled_.size(); }
+  /// Number of cancelled events whose dead heap entries have not yet been
+  /// consumed (their closures are already destroyed).
+  std::size_t cancelled() const noexcept { return stale_; }
 
  private:
-  struct Event {
-    double time;
+  /// Heap entry: plain data, no closure. `time_bits` is the event time as
+  /// an order-preserving integer key (see time_key); `sequence` preserves
+  /// the global insertion order for deterministic tie-breaking; `generation`
+  /// is compared against the slot's current generation to detect
+  /// cancellation with a single load.
+  struct HeapEntry {
+    std::uint64_t time_bits;
     std::uint64_t sequence;
-    EventFn fn;
+    std::uint32_t slot;
+    std::uint32_t generation;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.time != b.time) {
-        return a.time > b.time;
-      }
-      return a.sequence > b.sequence;
-    }
+
+  /// Simulated time as a totally-ordered integer key. Times are always
+  /// >= 0 (enforced by schedule_at, starting from now_ == 0), and for
+  /// non-negative IEEE doubles the raw bit pattern compares identically to
+  /// the value (+inf included; -0.0 is canonicalized to +0.0 by the
+  /// addition; NaN never passes the >= now_ check). Integer keys keep the
+  /// heap comparator branch-free, which matters: event times are random,
+  /// so a floating-point compare inside the sift loops is an
+  /// unpredictable branch per level.
+  static std::uint64_t time_key(double time) noexcept {
+    std::uint64_t bits;
+    const double canonical = time + 0.0;
+    std::memcpy(&bits, &canonical, sizeof(bits));
+    return bits;
+  }
+  static double key_time(std::uint64_t bits) noexcept {
+    double time;
+    std::memcpy(&time, &bits, sizeof(time));
+    return time;
+  }
+
+  /// Strict total order (all (time, sequence) pairs are distinct), so the
+  /// pop sequence — and therefore every simulation result — is independent
+  /// of the heap's internal layout. Written with bitwise operators on
+  /// integer compares so the whole predicate compiles branch-free.
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) noexcept {
+    return (a.time_bits < b.time_bits) |
+           ((a.time_bits == b.time_bits) & (a.sequence < b.sequence));
+  }
+  /// Slot-map cell. Generation parity encodes occupancy (even = holding a
+  /// scheduled event, odd = free): acquire and release each bump it once,
+  /// so every EventId ever handed out carries an even generation and can
+  /// only ever match the exact tenancy it was issued for.
+  struct Slot {
+    InlineEvent fn;
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = 0;  ///< intrusive free-list link (when free)
   };
+
+  /// Purge threshold: rebuild once dead entries outnumber live ones (i.e.
+  /// exceed half the calendar), with a floor so tiny calendars never pay
+  /// the O(n) rebuild. The rebuild filters 24-byte PODs — closures were
+  /// already destroyed at cancel() time.
+  static constexpr std::size_t kMinPurgeSize = 16;
+
+  /// Free-list terminator; also bounds the slot map (a calendar with 2^32-1
+  /// concurrently-pending events would exceed memory long before this).
+  static constexpr std::uint32_t kNoFreeSlot = 0xffffffffu;
+
+  static EventId pack(std::uint32_t slot, std::uint32_t generation) noexcept {
+    return (static_cast<EventId>(generation) << 32) | slot;
+  }
 
   /// Pops and runs the next live event with time <= limit; returns false
-  /// if none qualifies. Cancelled events up to `limit` are consumed.
+  /// if none qualifies. Dead entries up to `limit` are consumed.
   bool step(double limit);
 
-  /// Removes every lazily-cancelled entry and rebuilds the heap; O(n).
-  void compact();
+  /// Removes every dead heap entry and rebuilds the heap; O(n) over PODs.
+  void purge();
 
-  // Min-heap over (time, sequence) via std::push_heap/pop_heap — a plain
-  // vector (rather than std::priority_queue) so compact() can filter it.
-  std::vector<Event> queue_;
-  std::unordered_set<EventId> live_;       // scheduled, not run/cancelled
-  std::unordered_set<EventId> cancelled_;  // cancelled, not yet popped
+  /// 4-ary heap primitives. A 4-ary layout halves the tree depth of a binary
+  /// heap, and both sifts move a "hole" instead of swapping, so each level
+  /// costs one 24-byte copy instead of three. The extra per-level compares
+  /// stay within two cache lines of children.
+  /// Shared body of schedule_at/schedule_in, taking the closure by rvalue
+  /// reference so the public by-value entry points forward without an extra
+  /// relocation.
+  EventId schedule_impl(double when, EventFn&& fn);
+
+  void sift_up(std::size_t pos) noexcept;
+  /// `moving` travels as three scalar parameters (registers under the SysV
+  /// ABI) — a by-value HeapEntry would be passed through the stack.
+  void sift_down(std::size_t pos, std::uint64_t time_bits,
+                 std::uint64_t sequence,
+                 std::uint64_t slot_and_generation) noexcept;
+  void heapify() noexcept;
+
+  /// Returns the packed EventId {generation, slot} of the acquired slot, so
+  /// the schedule path never re-derives the generation from the slot map.
+  EventId acquire_slot(EventFn&& fn);
+  void release_slot(std::uint32_t index) noexcept;
+
+  /// Publishes executed/cancelled deltas to the process-wide metrics
+  /// registry ("engine.events" / "engine.cancels"). Called when a run ends
+  /// and at destruction, so concurrently-replicated engines each add their
+  /// own delta instead of racing on per-step increments.
+  void flush_metrics() noexcept;
+
+  // 4-ary min-heap over (time, sequence) — a plain vector (rather than
+  // std::priority_queue) so purge() can filter it.
+  std::vector<HeapEntry> queue_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoFreeSlot;  ///< head of the intrusive free list
+  std::size_t live_ = 0;     ///< slots currently holding a scheduled event
+  std::size_t stale_ = 0;    ///< dead heap entries not yet consumed
   double now_ = 0.0;
   std::uint64_t next_sequence_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t cancels_ = 0;
+  std::uint64_t flushed_executed_ = 0;
+  std::uint64_t flushed_cancels_ = 0;
   bool stopping_ = false;
+  metrics::Counter* events_metric_;
+  metrics::Counter* cancels_metric_;
 };
 
 }  // namespace vmcons::sim

@@ -1,0 +1,185 @@
+// Small-buffer-optimized, move-only event closure.
+//
+// The engine's calendar stores one closure per scheduled event; with
+// std::function every capture larger than the libstdc++ 16-byte buffer costs
+// a heap allocation per event. The common closures in this library (a `this`
+// pointer plus a couple of indices and a double — see pool_sim, loss_network,
+// tandem, autoscaler, the workload drivers) all fit in well under 48 bytes,
+// so InlineEvent reserves 48 inline bytes and only falls back to the heap for
+// oversized or over-aligned captures. Events fire at most once and are never
+// copied, which is why InlineEvent is move-only: moves between calendar slots
+// relocate the callable (move-construct + destroy source) without touching
+// the heap.
+// Trivially-copyable inline callables (every simulation closure in this
+// library: raw pointers + indices + doubles) take a fast path with no ops
+// table at all — relocation is a buffer copy and destruction is a no-op —
+// so the calendar hot loop performs zero indirect calls beyond the one
+// unavoidable invoke.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace vmcons::sim {
+
+class InlineEvent {
+ public:
+  /// Inline storage contract: any callable with
+  ///   sizeof(F) <= kInlineSize, alignof(F) <= kInlineAlign,
+  /// and a noexcept move constructor is stored inline (zero allocations);
+  /// anything else lives in a single heap allocation owned by the event.
+  static constexpr std::size_t kInlineSize = 48;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+  /// True when callable F will use the inline buffer (compile-time query,
+  /// used by tests and benches to pin down the zero-allocation guarantee).
+  template <typename F>
+  static constexpr bool stores_inline() noexcept {
+    using Decayed = std::decay_t<F>;
+    return fits_inline<Decayed>;
+  }
+
+  InlineEvent() noexcept = default;
+
+  template <typename F,
+            std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineEvent> &&
+                    std::is_invocable_r_v<void, std::decay_t<F>&>,
+                int> = 0>
+  InlineEvent(F&& fn) {  // NOLINT(google-explicit-constructor): closures
+                         // convert implicitly, mirroring std::function.
+    using Decayed = std::decay_t<F>;
+    if constexpr (fits_inline<Decayed>) {
+      ::new (static_cast<void*>(storage_)) Decayed(std::forward<F>(fn));
+    } else {
+      ::new (static_cast<void*>(storage_))
+          Decayed*(new Decayed(std::forward<F>(fn)));
+    }
+    invoke_ = &Ops<Decayed>::invoke;
+    // Trivial inline callables need no ops table: relocation is a buffer
+    // copy and destruction is a no-op. ops_ stays null for them, which the
+    // move path and reset() branch on.
+    if constexpr (!trivial_inline<Decayed>) {
+      ops_ = &Ops<Decayed>::vtable;
+    }
+  }
+
+  InlineEvent(InlineEvent&& other) noexcept
+      : invoke_(other.invoke_), ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+    } else if (invoke_ != nullptr) {
+      std::memcpy(storage_, other.storage_, kInlineSize);
+    }
+    other.invoke_ = nullptr;
+    other.ops_ = nullptr;
+  }
+
+  InlineEvent& operator=(InlineEvent&& other) noexcept {
+    if (this != &other) {
+      reset();
+      invoke_ = other.invoke_;
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+      } else if (invoke_ != nullptr) {
+        std::memcpy(storage_, other.storage_, kInlineSize);
+      }
+      other.invoke_ = nullptr;
+      other.ops_ = nullptr;
+    }
+    return *this;
+  }
+
+  InlineEvent(const InlineEvent&) = delete;
+  InlineEvent& operator=(const InlineEvent&) = delete;
+
+  ~InlineEvent() { reset(); }
+
+  /// True when a callable is held.
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  /// Invokes the callable; undefined when empty (the engine only invokes
+  /// slots it just verified live).
+  void operator()() { invoke_(storage_); }
+
+  /// Takes `other`'s callable; *this must be empty (engine hot path: a
+  /// recycled slot's previous closure was already moved out or reset, so
+  /// the move-assign's destroy-the-old-value branch is dead weight).
+  void adopt_empty(InlineEvent&& other) noexcept {
+    invoke_ = other.invoke_;
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+    } else if (invoke_ != nullptr) {
+      std::memcpy(storage_, other.storage_, kInlineSize);
+    }
+    other.invoke_ = nullptr;
+    other.ops_ = nullptr;
+  }
+
+  /// Destroys the held callable, leaving the event empty.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+    invoke_ = nullptr;
+  }
+
+ private:
+  struct VTable {
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename F>
+  static constexpr bool fits_inline =
+      sizeof(F) <= kInlineSize && alignof(F) <= kInlineAlign &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  /// Inline *and* bitwise-relocatable with nothing to destroy — the engine's
+  /// hot path moves these with memcpy and never calls through an ops table.
+  template <typename F>
+  static constexpr bool trivial_inline =
+      fits_inline<F> && std::is_trivially_copyable_v<F> &&
+      std::is_trivially_destructible_v<F>;
+
+  template <typename F>
+  struct Ops {
+    static F* object(void* storage) noexcept {
+      if constexpr (fits_inline<F>) {
+        return std::launder(reinterpret_cast<F*>(storage));
+      } else {
+        return *std::launder(reinterpret_cast<F**>(storage));
+      }
+    }
+    static void invoke(void* storage) { (*object(storage))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      if constexpr (fits_inline<F>) {
+        F* from = object(src);
+        ::new (dst) F(std::move(*from));
+        from->~F();
+      } else {
+        ::new (dst) F*(object(src));  // ownership transfer: pointer copy
+      }
+    }
+    static void destroy(void* storage) noexcept {
+      if constexpr (fits_inline<F>) {
+        object(storage)->~F();
+      } else {
+        delete object(storage);
+      }
+    }
+    static constexpr VTable vtable{&relocate, &destroy};
+  };
+
+  alignas(kInlineAlign) unsigned char storage_[kInlineSize];
+  void (*invoke_)(void* storage) = nullptr;
+  const VTable* ops_ = nullptr;
+};
+
+}  // namespace vmcons::sim

@@ -17,14 +17,19 @@ namespace vmcons::sim {
 /// Runs `fn(replication_index, rng)` for each replication in parallel.
 /// Results are returned in replication order; output is independent of the
 /// worker-thread count because each replication derives its randomness from
-/// make_stream(seed, index).
+/// make_stream(seed, index). Pass an explicit pool to control parallelism
+/// (the default shared pool honors the VMCONS_THREADS environment variable).
 template <typename Fn>
-auto replicate(std::size_t replications, std::uint64_t seed, Fn&& fn)
+auto replicate(std::size_t replications, std::uint64_t seed, Fn&& fn,
+               ThreadPool& pool = ThreadPool::shared())
     -> std::vector<decltype(fn(std::size_t{0}, std::declval<Rng&>()))> {
-  return parallel_map(replications, [&](std::size_t index) {
-    Rng rng = make_stream(seed, index);
-    return fn(index, rng);
-  });
+  return parallel_map(
+      replications,
+      [&](std::size_t index) {
+        Rng rng = make_stream(seed, index);
+        return fn(index, rng);
+      },
+      pool);
 }
 
 /// Aggregate of replicated scalar estimates.

@@ -5,6 +5,13 @@
 // iteration are rethrown (first one wins) after all chunks finish, so the
 // caller never observes partially-joined work.
 //
+// `grain` is the number of consecutive indices handed to one pool task:
+// 0 (the default) auto-chunks to about count / (4 * workers) so each worker
+// sees ~4 chunks, which balances heterogeneous iteration costs without
+// swamping the queue; an explicit grain caps dispatch overhead for tiny
+// per-item bodies (per-replication postprocessing, per-cell reductions)
+// where even 4 chunks per worker would underfill each task.
+//
 // Determinism contract: fn must derive any randomness from the index i (for
 // example via make_stream(seed, i)), never from thread identity; then output
 // is independent of the worker count.
@@ -23,7 +30,8 @@
 namespace vmcons {
 
 template <typename Fn>
-void parallel_for(std::size_t count, Fn&& fn, ThreadPool& pool = ThreadPool::shared()) {
+void parallel_for(std::size_t count, Fn&& fn, ThreadPool& pool = ThreadPool::shared(),
+                  std::size_t grain = 0) {
   if (count == 0) {
     return;
   }
@@ -31,16 +39,19 @@ void parallel_for(std::size_t count, Fn&& fn, ThreadPool& pool = ThreadPool::sha
   // A nested call from a pool worker must not block on futures: with every
   // worker parked in future.get() the queued chunks would never run, so the
   // nested loop executes inline on the calling worker instead.
-  if (count == 1 || workers == 1 || ThreadPool::on_worker_thread()) {
+  if (count == 1 || workers == 1 || ThreadPool::on_worker_thread() ||
+      grain >= count) {
     for (std::size_t i = 0; i < count; ++i) {
       fn(i);
     }
     return;
   }
-  // Four chunks per worker balances load for heterogeneous iteration costs
-  // without swamping the queue.
-  const std::size_t chunks = std::min(count, workers * 4);
-  const std::size_t chunk_size = (count + chunks - 1) / chunks;
+  // Auto grain: four chunks per worker balances load for heterogeneous
+  // iteration costs without swamping the queue.
+  const std::size_t auto_chunks = std::min(count, workers * 4);
+  const std::size_t chunk_size =
+      grain > 0 ? grain : (count + auto_chunks - 1) / auto_chunks;
+  const std::size_t chunks = (count + chunk_size - 1) / chunk_size;
 
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);
@@ -74,14 +85,16 @@ void parallel_for(std::size_t count, Fn&& fn, ThreadPool& pool = ThreadPool::sha
 
 /// Maps fn over [0, n) in parallel, collecting results in index order.
 /// Results need not be default-constructible: each slot is materialized by
-/// move from fn's return value, then unwrapped in index order.
+/// move from fn's return value, then unwrapped in index order. `grain` is
+/// forwarded to parallel_for (0 = auto-chunking).
 template <typename Fn>
-auto parallel_map(std::size_t count, Fn&& fn, ThreadPool& pool = ThreadPool::shared())
+auto parallel_map(std::size_t count, Fn&& fn, ThreadPool& pool = ThreadPool::shared(),
+                  std::size_t grain = 0)
     -> std::vector<decltype(fn(std::size_t{0}))> {
   using Result = decltype(fn(std::size_t{0}));
   std::vector<std::optional<Result>> slots(count);
   parallel_for(
-      count, [&](std::size_t i) { slots[i].emplace(fn(i)); }, pool);
+      count, [&](std::size_t i) { slots[i].emplace(fn(i)); }, pool, grain);
   std::vector<Result> results;
   results.reserve(count);
   for (auto& slot : slots) {

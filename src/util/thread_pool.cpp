@@ -1,5 +1,7 @@
 #include "util/thread_pool.hpp"
 
+#include <cstdlib>
+
 namespace vmcons {
 namespace {
 
@@ -53,7 +55,20 @@ void ThreadPool::worker_loop() {
 }
 
 ThreadPool& ThreadPool::shared() {
-  static ThreadPool pool;
+  // VMCONS_THREADS pins the shared pool's size (useful for determinism
+  // experiments and for benchmarking scaling); unset/invalid/0 falls back
+  // to hardware concurrency.
+  static ThreadPool pool([] {
+    std::size_t threads = 0;
+    if (const char* env = std::getenv("VMCONS_THREADS")) {
+      char* end = nullptr;
+      const unsigned long value = std::strtoul(env, &end, 10);
+      if (end != nullptr && *end == '\0') {
+        threads = static_cast<std::size_t>(value);
+      }
+    }
+    return threads;
+  }());
   return pool;
 }
 

@@ -48,7 +48,9 @@ class ThreadPool {
     return future;
   }
 
-  /// Returns the process-wide default pool (created on first use).
+  /// Returns the process-wide default pool (created on first use). Its size
+  /// is hardware concurrency, overridable via the VMCONS_THREADS environment
+  /// variable (read once, at first use).
   static ThreadPool& shared();
 
   /// True when the calling thread is a worker of *any* ThreadPool (set via

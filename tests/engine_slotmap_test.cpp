@@ -1,0 +1,419 @@
+// Tests for the slot-map event calendar: generation-counted EventIds,
+// randomized cross-checking against a naive reference calendar, InlineEvent
+// move/destruction semantics, and the cross-thread-count determinism the
+// slot map must preserve. Suite names start with "Engine" so the
+// asan-concurrency preset runs all of them under the sanitizers.
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datacenter/pool_sim.hpp"
+#include "sim/engine.hpp"
+#include "sim/inline_event.hpp"
+#include "sim/replication.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace vmcons {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Slot/generation reuse
+// ---------------------------------------------------------------------------
+
+TEST(EngineSlotMap, StaleIdCannotCancelRecycledSlot) {
+  sim::Engine engine;
+  int victim_fired = 0;
+  // Occupies slot 0, then frees it.
+  const sim::EventId stale = engine.schedule_at(1.0, [] {});
+  ASSERT_TRUE(engine.cancel(stale));
+  // Recycles slot 0 under a new generation.
+  const sim::EventId fresh = engine.schedule_at(2.0, [&] { ++victim_fired; });
+  EXPECT_NE(stale, fresh);
+  // The stale handle must not evict the slot's new tenant.
+  EXPECT_FALSE(engine.cancel(stale));
+  EXPECT_EQ(engine.pending(), 1u);
+  engine.run();
+  EXPECT_EQ(victim_fired, 1);
+  // Both handles are now dead.
+  EXPECT_FALSE(engine.cancel(stale));
+  EXPECT_FALSE(engine.cancel(fresh));
+}
+
+TEST(EngineSlotMap, StaleIdAfterExecutionCannotCancelRecycledSlot) {
+  sim::Engine engine;
+  const sim::EventId ran = engine.schedule_at(1.0, [] {});
+  engine.run();
+  int fired = 0;
+  // The executed event's slot is recycled by the next schedule.
+  engine.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_FALSE(engine.cancel(ran));
+  engine.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EngineSlotMap, GenerationsSurviveHeavySlotChurn) {
+  sim::Engine engine;
+  std::vector<sim::EventId> stale;
+  stale.reserve(5000);
+  // Churn one small set of slots through thousands of tenancies.
+  for (int round = 0; round < 5000; ++round) {
+    stale.push_back(engine.schedule_at(1e6, [] {}));
+    ASSERT_TRUE(engine.cancel(stale.back()));
+  }
+  int fired = 0;
+  engine.schedule_at(1.0, [&] { ++fired; });
+  for (const sim::EventId id : stale) {
+    EXPECT_FALSE(engine.cancel(id));  // every old generation is dead
+  }
+  EXPECT_EQ(engine.pending(), 1u);
+  engine.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine.executed(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized interleavings vs a naive reference calendar
+// ---------------------------------------------------------------------------
+
+/// Naive reference: a sorted map of (time, sequence) keys to event labels.
+/// Trivially correct — no slot reuse, no lazy cancellation, no heap.
+class ReferenceCalendar {
+ public:
+  std::uint64_t schedule_at(double when, int label) {
+    const std::uint64_t id = next_sequence_++;
+    pending_.emplace(Key{when, id}, label);
+    by_id_.emplace(id, Key{when, id});
+    return id;
+  }
+
+  bool cancel(std::uint64_t id) {
+    const auto it = by_id_.find(id);
+    if (it == by_id_.end()) {
+      return false;
+    }
+    pending_.erase(it->second);
+    by_id_.erase(it);
+    return true;
+  }
+
+  /// Executes everything with time <= horizon in (time, sequence) order,
+  /// applying `child` to decide follow-up events exactly like the engine's
+  /// closures do.
+  template <typename Child>
+  void run_until(double horizon, std::vector<std::pair<int, double>>& log,
+                 const Child& child) {
+    while (!pending_.empty() && pending_.begin()->first.first <= horizon) {
+      const auto [key, label] = *pending_.begin();
+      pending_.erase(pending_.begin());
+      by_id_.erase(key.second);
+      log.emplace_back(label, key.first);
+      child(*this, label, key.first);
+    }
+  }
+
+  std::size_t pending() const { return pending_.size(); }
+
+ private:
+  using Key = std::pair<double, std::uint64_t>;  // (time, sequence)
+  std::map<Key, int> pending_;
+  std::map<std::uint64_t, Key> by_id_;
+  std::uint64_t next_sequence_ = 0;
+};
+
+/// Deterministic follow-up rule applied identically by both calendars: every
+/// 7th label spawns one child event half a tick later.
+constexpr int kChildBias = 1'000'000;
+bool spawns_child(int label) { return label < kChildBias && label % 7 == 0; }
+
+TEST(EngineSlotMap, RandomizedScheduleCancelRescheduleMatchesReference) {
+  sim::Engine engine;
+  ReferenceCalendar reference;
+  std::vector<std::pair<int, double>> engine_log;
+  std::vector<std::pair<int, double>> reference_log;
+  int next_child_label = kChildBias;
+  int next_ref_child_label = kChildBias;
+
+  // The engine closure and the reference child rule must stay in lockstep.
+  std::function<void(int)> on_engine_event = [&](int label) {
+    engine_log.emplace_back(label, engine.now());
+    if (spawns_child(label)) {
+      const int child = next_child_label++;
+      engine.schedule_in(0.5, [&, child] { on_engine_event(child); });
+    }
+  };
+  const auto reference_child = [&](ReferenceCalendar& cal, int label,
+                                   double time) {
+    if (spawns_child(label)) {
+      cal.schedule_at(time + 0.5, next_ref_child_label++);
+    }
+  };
+
+  Rng rng(20260806);
+  // Outstanding cancellable events, engine id alongside the reference id.
+  std::vector<std::pair<sim::EventId, std::uint64_t>> outstanding;
+  std::vector<sim::EventId> dead_ids;  // for stale-cancel probes
+  int next_label = 0;
+  double now = 0.0;
+
+  for (int phase = 0; phase < 800; ++phase) {
+    const std::size_t batch = 1 + rng.uniform_index(400);
+    for (std::size_t i = 0; i < batch; ++i) {
+      // Quantized offsets force (time, sequence) tie-breaking.
+      const double when =
+          now + 0.25 * static_cast<double>(1 + rng.uniform_index(40));
+      const int label = next_label++;
+      const sim::EventId engine_id =
+          engine.schedule_at(when, [&, label] { on_engine_event(label); });
+      const std::uint64_t ref_id = reference.schedule_at(when, label);
+      outstanding.emplace_back(engine_id, ref_id);
+    }
+    // Cancel ~a third of the outstanding handles, in random order. Picks
+    // include handles whose events already executed — those must return
+    // false on both sides.
+    const std::size_t cancels =
+        std::min<std::size_t>(outstanding.size() / 3, 300);
+    for (std::size_t i = 0; i < cancels; ++i) {
+      const std::size_t pick = rng.uniform_index(outstanding.size());
+      const auto [engine_id, ref_id] = outstanding[pick];
+      outstanding.erase(outstanding.begin() +
+                        static_cast<std::ptrdiff_t>(pick));
+      const bool engine_ok = engine.cancel(engine_id);
+      const bool ref_ok = reference.cancel(ref_id);
+      EXPECT_EQ(engine_ok, ref_ok);
+      dead_ids.push_back(engine_id);
+      if (engine_ok && rng.bernoulli(0.5)) {
+        // Reschedule: the cancelled event reappears later under a new label.
+        const double when =
+            now + 0.25 * static_cast<double>(1 + rng.uniform_index(40));
+        const int label = next_label++;
+        outstanding.emplace_back(
+            engine.schedule_at(when, [&, label] { on_engine_event(label); }),
+            reference.schedule_at(when, label));
+      }
+    }
+    // Stale and double cancels must be no-ops on both sides.
+    if (!dead_ids.empty()) {
+      const sim::EventId stale = dead_ids[rng.uniform_index(dead_ids.size())];
+      EXPECT_FALSE(engine.cancel(stale));
+    }
+    // Advance both calendars over the same window.
+    now += 0.25 * static_cast<double>(1 + rng.uniform_index(20));
+    engine.run_until(now);
+    reference.run_until(now, reference_log, reference_child);
+    ASSERT_EQ(engine_log.size(), reference_log.size());
+  }
+
+  // Drain everything left.
+  engine.run();
+  reference.run_until(1e18, reference_log, reference_child);
+  ASSERT_GE(engine_log.size(), 100'000u) << "exercise at least 10^5 events";
+  ASSERT_EQ(engine_log.size(), reference_log.size());
+  for (std::size_t i = 0; i < engine_log.size(); ++i) {
+    ASSERT_EQ(engine_log[i].first, reference_log[i].first) << "at " << i;
+    ASSERT_DOUBLE_EQ(engine_log[i].second, reference_log[i].second);
+  }
+  EXPECT_EQ(engine.pending(), 0u);
+  EXPECT_EQ(reference.pending(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// InlineEvent storage, move, and destruction
+// ---------------------------------------------------------------------------
+
+struct LifeCounters {
+  int constructed = 0;
+  int destroyed = 0;
+  int moves = 0;
+  int invoked = 0;
+};
+
+template <std::size_t Padding>
+struct TrackedCallable {
+  explicit TrackedCallable(LifeCounters* c) : counters(c) {
+    ++counters->constructed;
+  }
+  TrackedCallable(TrackedCallable&& other) noexcept
+      : counters(other.counters) {
+    ++counters->constructed;
+    ++counters->moves;
+  }
+  TrackedCallable(const TrackedCallable& other) : counters(other.counters) {
+    ++counters->constructed;
+  }
+  ~TrackedCallable() { ++counters->destroyed; }
+  void operator()() { ++counters->invoked; }
+
+  LifeCounters* counters;
+  std::array<char, Padding> payload{};
+};
+
+using SmallCallable = TrackedCallable<8>;    // well under 48 bytes
+using OversizedCallable = TrackedCallable<128>;  // forces the heap fallback
+
+TEST(EngineInlineEvent, StorageContract) {
+  // The closures the simulators actually schedule must stay inline.
+  struct Engineish {
+    void* engine;
+    std::size_t server;
+    std::size_t service;
+    double arrival_time;
+    void operator()() {}
+  };
+  static_assert(sim::InlineEvent::stores_inline<Engineish>());
+  static_assert(sim::InlineEvent::stores_inline<SmallCallable>());
+  static_assert(!sim::InlineEvent::stores_inline<OversizedCallable>());
+}
+
+TEST(EngineInlineEvent, SmallCallableMovesAndDestroysExactlyOnce) {
+  LifeCounters counters;
+  {
+    sim::InlineEvent event{SmallCallable(&counters)};
+    sim::InlineEvent moved{std::move(event)};
+    EXPECT_FALSE(static_cast<bool>(event));  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(static_cast<bool>(moved));
+    sim::InlineEvent assigned;
+    assigned = std::move(moved);
+    EXPECT_TRUE(static_cast<bool>(assigned));
+    assigned();
+    EXPECT_EQ(counters.invoked, 1);
+  }
+  EXPECT_EQ(counters.constructed, counters.destroyed);
+  EXPECT_GE(counters.moves, 2);  // one relocation per container move
+}
+
+TEST(EngineInlineEvent, OversizedCallableHeapFallbackDestroysExactlyOnce) {
+  LifeCounters counters;
+  {
+    sim::InlineEvent event{OversizedCallable(&counters)};
+    // Heap-held callables move by pointer: no further element moves.
+    const int moves_after_construction = counters.moves;
+    sim::InlineEvent moved{std::move(event)};
+    EXPECT_EQ(counters.moves, moves_after_construction);
+    moved();
+    EXPECT_EQ(counters.invoked, 1);
+  }
+  EXPECT_EQ(counters.constructed, counters.destroyed);
+}
+
+TEST(EngineInlineEvent, ResetReleasesHeldState) {
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> observer = token;
+  sim::InlineEvent event{[token = std::move(token)] { (void)*token; }};
+  EXPECT_FALSE(observer.expired());
+  event.reset();
+  EXPECT_TRUE(observer.expired());
+  EXPECT_FALSE(static_cast<bool>(event));
+}
+
+TEST(EngineInlineEvent, CancelDestroysClosureEagerly) {
+  sim::Engine engine;
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> observer = token;
+  const sim::EventId id =
+      engine.schedule_at(1e9, [token = std::move(token)] { (void)*token; });
+  EXPECT_FALSE(observer.expired());
+  EXPECT_TRUE(engine.cancel(id));
+  // The closure dies at cancel() time, not when the dead entry is popped.
+  EXPECT_TRUE(observer.expired());
+}
+
+TEST(EngineInlineEvent, OversizedClosuresRunThroughTheEngine) {
+  sim::Engine engine;
+  LifeCounters counters;
+  engine.schedule_at(1.0, OversizedCallable(&counters));
+  engine.run();
+  EXPECT_EQ(counters.invoked, 1);
+  EXPECT_EQ(counters.constructed, counters.destroyed);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics satellite: per-engine accumulation, engine.cancels
+// ---------------------------------------------------------------------------
+
+TEST(EngineMetricsCounters, CancelsCounterTracksSuccessfulCancelsOnly) {
+  const auto before = metrics::registry().counter("engine.cancels").value();
+  {
+    sim::Engine engine;
+    const sim::EventId a = engine.schedule_at(1.0, [] {});
+    engine.schedule_at(2.0, [] {});
+    EXPECT_TRUE(engine.cancel(a));
+    EXPECT_FALSE(engine.cancel(a));            // double cancel: not counted
+    EXPECT_FALSE(engine.cancel(987654321u));   // bogus id: not counted
+    engine.run();
+  }  // engines flush at run end and at destruction
+  EXPECT_EQ(metrics::registry().counter("engine.cancels").value(), before + 1);
+}
+
+TEST(EngineMetricsCounters, ReplicatedEnginesAccumulateWithoutRacing) {
+  const auto before = metrics::registry().counter("engine.events").value();
+  constexpr std::size_t kReplications = 32;
+  constexpr int kEventsEach = 500;
+  sim::replicate(kReplications, 99, [&](std::size_t, Rng&) {
+    sim::Engine engine;
+    for (int i = 0; i < kEventsEach; ++i) {
+      engine.schedule_at(static_cast<double>(i), [] {});
+    }
+    engine.run();
+    return 0;
+  });
+  EXPECT_EQ(metrics::registry().counter("engine.events").value(),
+            before + kReplications * kEventsEach);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism across worker-thread counts
+// ---------------------------------------------------------------------------
+
+TEST(EngineReplicationDeterminism, PoolSimBitIdenticalAcross1_2_8Threads) {
+  dc::PoolConfig config;
+  config.arrival_rates = {130.0, 30.0};
+  config.service_rates = {336.0, 90.0};
+  config.servers = 3;
+  config.slots_per_server = 4;
+  config.queue_capacity = 8;
+  config.allocation = dc::AllocationPolicy::kProportionalShare;
+  config.realloc_interval = 7.0;
+  config.realloc_overhead = 0.05;
+  config.horizon = 300.0;
+  config.warmup = 30.0;
+
+  const auto fingerprint = [&](ThreadPool& pool) {
+    std::vector<double> values;
+    const auto outcomes =
+        sim::replicate(12, 4242, [&](std::size_t, Rng& rng) {
+          return dc::simulate_pool(config, rng);
+        }, pool);
+    for (const auto& outcome : outcomes) {
+      values.push_back(outcome.overall_loss());
+      values.push_back(outcome.mean_utilization);
+      values.push_back(outcome.energy_joules);
+      for (const auto& service : outcome.services) {
+        values.push_back(static_cast<double>(service.arrivals));
+        values.push_back(static_cast<double>(service.completed));
+        values.push_back(service.response_time.mean());
+        values.push_back(service.response_time.variance());
+      }
+    }
+    return values;
+  };
+
+  ThreadPool one(1);
+  ThreadPool two(2);
+  ThreadPool eight(8);
+  const std::vector<double> serial = fingerprint(one);
+  // Exact equality on purpose: the determinism contract is bit-identity,
+  // not closeness.
+  EXPECT_EQ(serial, fingerprint(two));
+  EXPECT_EQ(serial, fingerprint(eight));
+}
+
+}  // namespace
+}  // namespace vmcons

@@ -1,6 +1,7 @@
 // Tests for the discrete-event engine: ordering, determinism, horizons.
 #include "sim/engine.hpp"
 
+#include <functional>
 #include <vector>
 
 #include <gtest/gtest.h>

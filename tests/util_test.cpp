@@ -179,6 +179,47 @@ TEST(ParallelFor, RethrowsFirstException) {
                InvalidArgument);
 }
 
+TEST(ParallelFor, ExplicitGrainVisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  for (const std::size_t grain : {1u, 7u, 64u, 1000u, 5000u}) {
+    std::vector<std::atomic<int>> visits(1000);
+    parallel_for(
+        1000, [&](std::size_t i) { ++visits[i]; }, pool, grain);
+    for (const auto& visit : visits) {
+      ASSERT_EQ(visit.load(), 1) << "grain " << grain;
+    }
+  }
+}
+
+TEST(ParallelFor, GrainLargerThanCountRunsSerially) {
+  ThreadPool pool(4);
+  // grain >= count must not dispatch to the pool at all: every index runs
+  // on the calling thread.
+  std::vector<int> visits(64, 0);  // unsynchronized on purpose
+  bool on_worker = false;
+  parallel_for(
+      64,
+      [&](std::size_t i) {
+        ++visits[i];
+        on_worker = on_worker || ThreadPool::on_worker_thread();
+      },
+      pool, 64);
+  EXPECT_FALSE(on_worker);
+  for (const int visit : visits) {
+    EXPECT_EQ(visit, 1);
+  }
+}
+
+TEST(ParallelMap, GrainPreservesOrder) {
+  ThreadPool pool(4);
+  const auto squares = parallel_map(
+      100, [](std::size_t i) { return i * i; }, pool, 9);
+  ASSERT_EQ(squares.size(), 100u);
+  for (std::size_t i = 0; i < squares.size(); ++i) {
+    EXPECT_EQ(squares[i], i * i);
+  }
+}
+
 TEST(ThreadPool, DetectsWorkerThreads) {
   EXPECT_FALSE(ThreadPool::on_worker_thread());
   ThreadPool pool(1);
