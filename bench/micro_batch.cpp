@@ -1,0 +1,201 @@
+// Microbenchmark for the columnar batch evaluator: object-at-a-time
+// (one UtilityAnalyticModel::solve() per grid cell, stateless Erlang
+// functions — the pre-batch behavior) vs one ScenarioBatch evaluated by the
+// BatchEvaluator on a single thread, vs the sharded parallel evaluation.
+// Every configuration computes the same plans — the bench verifies the
+// results are bit-identical before printing timings, then emits
+// BENCH_batch.json (plans/sec, wall ms, speedup per configuration).
+// Not a paper figure; performance hygiene for the what-if sweep path.
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/batch_eval.hpp"
+#include "core/model.hpp"
+#include "core/report.hpp"
+#include "core/scenario_batch.hpp"
+#include "queueing/erlang_kernel.hpp"
+#include "util/metrics.hpp"
+
+namespace vmcons::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double run_millis(const std::function<void()>& fn) {
+  const auto start = Clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+bool same_results(const std::vector<core::ModelResult>& a,
+                  const std::vector<core::ModelResult>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].dedicated_servers != b[i].dedicated_servers ||
+        a[i].consolidated_servers != b[i].consolidated_servers ||
+        a[i].consolidated_blocking != b[i].consolidated_blocking ||
+        a[i].dedicated_utilization != b[i].dedicated_utilization ||
+        a[i].consolidated_utilization != b[i].consolidated_utilization ||
+        a[i].power_saving != b[i].power_saving) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int run(int argc, const char** argv) {
+  Flags flags(argc, argv);
+  const auto losses_n = static_cast<std::size_t>(flags.get_int("losses", 12));
+  const auto scales_n = static_cast<std::size_t>(flags.get_int("scales", 12));
+  const auto dedicated =
+      static_cast<std::uint64_t>(flags.get_int("servers", 20000));
+  // Pass/fail threshold for the exit status; smoke runs (tiny grids whose
+  // wall time is all fixed overhead) set this to 0 to check correctness only.
+  const double min_speedup = flags.get_double("min-speedup", 3.0);
+  const std::string json_path = flags.get_string("json", "BENCH_batch.json");
+  finish_flags(flags);
+
+  banner("micro_batch: object-at-a-time vs columnar ScenarioBatch",
+         "library performance hygiene (no paper figure)");
+  metrics::registry().reset();
+
+  // The same grid shape micro_sweep uses: loss axis log-spaced 0.05 -> 1e-4,
+  // scale axis linear 0.5 -> 2.0, over the heavy case-study workload. Points
+  // at the same scale share offered loads, which is exactly the structure
+  // the sorted batched kernel walk exploits.
+  const core::ModelInputs base = case_study_inputs(dedicated);
+  std::vector<core::ModelInputs> grid;
+  grid.reserve(losses_n * scales_n);
+  for (std::size_t s = 0; s < scales_n; ++s) {
+    const double ts =
+        scales_n == 1
+            ? 0.0
+            : static_cast<double>(s) / static_cast<double>(scales_n - 1);
+    const double scale = 0.5 + ts * 1.5;
+    for (std::size_t l = 0; l < losses_n; ++l) {
+      const double tl =
+          losses_n == 1
+              ? 0.0
+              : static_cast<double>(l) / static_cast<double>(losses_n - 1);
+      core::ModelInputs cell = base;
+      cell.target_loss = 0.05 * std::pow(1e-4 / 0.05, tl);
+      for (auto& service : cell.services) {
+        service.arrival_rate *= scale;
+      }
+      grid.push_back(std::move(cell));
+    }
+  }
+  std::cout << "grid: " << losses_n << " losses x " << scales_n
+            << " scales = " << grid.size() << " plans, offered load ~"
+            << static_cast<long long>(dedicated) << " Erlangs/service\n\n";
+
+  // Object-at-a-time: the pre-batch behavior — every cell solves its own
+  // model through the stateless Erlang free functions.
+  std::vector<core::ModelResult> object_results;
+  const double object_ms = run_millis([&] {
+    object_results.reserve(grid.size());
+    for (const core::ModelInputs& cell : grid) {
+      object_results.push_back(core::UtilityAnalyticModel(cell).solve());
+    }
+  });
+
+  // Columnar, one thread: batch construction is part of the measured cost.
+  queueing::ErlangKernel serial_kernel;
+  core::BatchOptions serial_options;
+  serial_options.parallel = false;
+  serial_options.kernel = &serial_kernel;
+  std::vector<core::ModelResult> serial_results;
+  const double serial_ms = run_millis([&] {
+    const core::ScenarioBatch batch = core::ScenarioBatch::from_inputs(grid);
+    serial_results = core::BatchEvaluator(serial_options).evaluate(batch);
+  });
+
+  // Columnar, sharded across the thread pool with its own cold kernel.
+  queueing::ErlangKernel parallel_kernel;
+  core::BatchOptions parallel_options;
+  parallel_options.kernel = &parallel_kernel;
+  std::vector<core::ModelResult> parallel_results;
+  const double parallel_ms = run_millis([&] {
+    const core::ScenarioBatch batch = core::ScenarioBatch::from_inputs(grid);
+    parallel_results =
+        core::BatchEvaluator(parallel_options).evaluate(batch);
+  });
+
+  if (!same_results(object_results, serial_results) ||
+      !same_results(object_results, parallel_results)) {
+    std::cerr << "FAIL: batch evaluation diverged from per-scenario solve\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "all " << grid.size()
+            << " plans bit-identical across configurations\n\n";
+
+  const double count = static_cast<double>(grid.size());
+  AsciiTable table;
+  table.set_header({"configuration", "wall ms", "plans/s", "speedup"});
+  table.add_row({"object-at-a-time, serial (old behavior)",
+                 AsciiTable::format(object_ms, 1),
+                 AsciiTable::format(count / object_ms * 1000.0, 0), "1.0x"});
+  table.add_row({"batch, 1 thread",
+                 AsciiTable::format(serial_ms, 1),
+                 AsciiTable::format(count / serial_ms * 1000.0, 0),
+                 AsciiTable::format(object_ms / serial_ms, 1) + "x"});
+  table.add_row({"batch, sharded parallel",
+                 AsciiTable::format(parallel_ms, 1),
+                 AsciiTable::format(count / parallel_ms * 1000.0, 0),
+                 AsciiTable::format(object_ms / parallel_ms, 1) + "x"});
+  table.print(std::cout,
+              std::to_string(grid.size()) + "-plan batch wall time");
+
+  const auto stats = serial_kernel.stats();
+  std::cout << "\n1-thread kernel: " << stats.evaluations
+            << " Erlang evaluations, " << stats.cache_hits << " cache hits ("
+            << AsciiTable::format(stats.hit_rate() * 100.0, 1)
+            << "% hit rate), " << stats.steps << " recurrence steps\n\n";
+  core::print_metrics(std::cout);
+
+  std::ostringstream json;
+  json.precision(6);
+  json << std::fixed << "{\n";
+  const auto emit = [&](const char* name, double ms, bool last) {
+    json << "  \"" << name << "\": {\"plans_per_sec\": "
+         << count / ms * 1000.0 << ", \"ms_total\": " << ms
+         << ", \"speedup_vs_object\": " << object_ms / ms << "}"
+         << (last ? "\n" : ",\n");
+  };
+  emit("object_at_a_time", object_ms, false);
+  emit("batch_1thread", serial_ms, false);
+  emit("batch_parallel", parallel_ms, true);
+  json << "}\n";
+  std::ofstream out(json_path);
+  out << json.str();
+  out.close();
+  std::cout << "\nwrote " << json_path << "\n";
+
+  const double speedup = object_ms / serial_ms;
+  std::cout << "1-thread batch speedup over object-at-a-time: "
+            << AsciiTable::format(speedup, 1) << "x (target >= "
+            << AsciiTable::format(min_speedup, 1) << "x)\n";
+  return speedup >= min_speedup ? EXIT_SUCCESS : EXIT_FAILURE;
+}
+
+}  // namespace
+}  // namespace vmcons::bench
+
+int main(int argc, const char** argv) {
+  try {
+    return vmcons::bench::run(argc, argv);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return EXIT_FAILURE;
+  }
+}

@@ -23,4 +23,8 @@ echo "== bench: micro_sweep (parallel memoized planner) =="
 ./build/bench/micro_sweep
 
 echo
-echo "bench PASSED (BENCH_engine.json updated)"
+echo "== bench: micro_batch (columnar ScenarioBatch evaluator) =="
+./build/bench/micro_batch --json BENCH_batch.json
+
+echo
+echo "bench PASSED (BENCH_engine.json, BENCH_batch.json updated)"

@@ -20,6 +20,8 @@ echo "== tier-1: bench smoke (correctness only, ~1s each) =="
   --fire-reps 2 --horizon 20 --min-speedup 0 --json /dev/null
 ./build/bench/micro_sweep --losses 2 --scales 2 --servers 2000 \
   --min-speedup 0
+./build/bench/micro_batch --losses 2 --scales 2 --servers 2000 \
+  --min-speedup 0 --json /dev/null
 
 echo
 echo "== tier-1: asan+ubsan build + concurrency tests =="

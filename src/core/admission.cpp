@@ -1,14 +1,18 @@
 #include "core/admission.hpp"
 
+#include <sstream>
+
 #include "util/error.hpp"
 
 namespace vmcons::core {
 namespace {
 
 /// Bisection for the largest x in [0, hi] where predicate(x) holds;
-/// predicate must be monotone (true below, false above).
+/// predicate must be monotone (true below, false above). `context`
+/// names the caller in the bracket-failure diagnostic.
 template <typename Predicate>
-double bisect_max(double hi_start, Predicate&& satisfied) {
+double bisect_max(double hi_start, const std::string& context,
+                  Predicate&& satisfied) {
   if (!satisfied(1e-9)) {
     return 0.0;
   }
@@ -18,7 +22,12 @@ double bisect_max(double hi_start, Predicate&& satisfied) {
     lo = hi;
     hi *= 2.0;
     if (hi > 1e12) {
-      throw NumericError("admission bisection failed to bracket");
+      std::ostringstream why;
+      why.precision(17);
+      why << context << ": bisection failed to bracket: the loss target is "
+          << "still met at the upper bound (bracket [" << lo << ", " << hi
+          << "], search started at " << hi_start << ")";
+      throw NumericError(why.str());
     }
   }
   for (int iteration = 0; iteration < 200; ++iteration) {
@@ -41,7 +50,11 @@ double max_workload_scale(const ModelInputs& inputs, std::uint64_t servers) {
   VMCONS_REQUIRE(servers >= 1, "need at least one server");
   UtilityAnalyticModel validator(inputs);  // validate inputs
   (void)validator;
-  return bisect_max(1.0, [&](double scale) {
+  std::ostringstream context;
+  context.precision(17);
+  context << "max_workload_scale(target_loss = " << inputs.target_loss
+          << ", servers = " << servers << ")";
+  return bisect_max(1.0, context.str(), [&](double scale) {
     ModelInputs scaled = inputs;
     for (auto& service : scaled.services) {
       service.arrival_rate *= scale;
@@ -63,7 +76,12 @@ double admission_headroom(const ModelInputs& inputs,
     return 0.0;
   }
   const double hint = candidate.native_bottleneck_rate();
-  return bisect_max(hint, [&](double rate) {
+  std::ostringstream context;
+  context.precision(17);
+  context << "admission_headroom(candidate '" << candidate.name
+          << "', target_loss = " << inputs.target_loss
+          << ", servers = " << servers << ")";
+  return bisect_max(hint, context.str(), [&](double rate) {
     ModelInputs grown = inputs;
     dc::ServiceSpec admitted = candidate;
     admitted.arrival_rate = rate;

@@ -1,0 +1,350 @@
+#include "core/batch_eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "queueing/erlang.hpp"
+#include "queueing/erlang_kernel.hpp"
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/parallel_for.hpp"
+#include "util/thread_pool.hpp"
+
+namespace vmcons::core {
+namespace {
+
+/// Routes staged query lists through the memoized kernel's sorted batch
+/// walk when a kernel is set, else through the stateless free functions in
+/// query order. Per-query results are bit-identical either way.
+struct ErlangDispatch {
+  queueing::ErlangKernel* kernel = nullptr;
+
+  void servers_for_many(std::span<const queueing::StaffingQuery> queries,
+                        std::span<std::uint64_t> out) const {
+    if (queries.empty()) {
+      return;
+    }
+    if (kernel != nullptr) {
+      kernel->servers_for_many(queries, out);
+      return;
+    }
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      out[i] = queueing::erlang_b_servers(queries[i].rho,
+                                          queries[i].target_blocking);
+    }
+  }
+
+  void eval_many(std::span<const queueing::BlockingQuery> queries,
+                 std::span<double> out) const {
+    if (queries.empty()) {
+      return;
+    }
+    if (kernel != nullptr) {
+      kernel->eval_many(queries, out);
+      return;
+    }
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      out[i] = queueing::erlang_b(queries[i].servers, queries[i].rho);
+    }
+  }
+};
+
+/// Merged offered load rho'_j of one resource for one scenario (Eq. 4/5),
+/// the columnar twin of UtilityAnalyticModel::consolidated_offered_load:
+/// same accumulation order over services, same operand order.
+double merged_offered_load(const ScenarioBatch& batch, std::size_t scenario,
+                           dc::Resource resource, double& merged_lambda_out) {
+  const auto arrival = batch.arrival_rate();
+  const auto rates = batch.native_rate(resource);
+  const auto impacts = batch.impact(resource);
+  double merged_lambda = 0.0;
+  double weighted_capacity = 0.0;  // sum_i lambda_i * mu_ij * a_ij
+  for (std::size_t row = batch.services_begin(scenario);
+       row < batch.services_end(scenario); ++row) {
+    const double mu = rates[row];
+    if (mu <= 0.0) {
+      continue;
+    }
+    merged_lambda += arrival[row];
+    weighted_capacity += arrival[row] * mu * impacts[row];
+  }
+  merged_lambda_out = merged_lambda;
+  if (merged_lambda <= 0.0) {
+    return 0.0;
+  }
+  // rho' = lambda / mu' with mu' = weighted_capacity / lambda (Eq. 4).
+  return merged_lambda * merged_lambda / weighted_capacity;
+}
+
+}  // namespace
+
+namespace batch_kernels {
+
+void staff_dedicated(const ScenarioBatch& batch, std::size_t begin,
+                     std::size_t end, queueing::ErlangKernel* kernel,
+                     std::span<ModelResult> results) {
+  const ErlangDispatch erlang{kernel};
+  const auto arrival = batch.arrival_rate();
+
+  // Stage 1: gather every staffing query of the range, in deterministic
+  // (scenario, service, resource) order.
+  std::vector<queueing::StaffingQuery> staffing;
+  for (std::size_t s = begin; s < end; ++s) {
+    const double b = batch.target_loss(s);
+    for (std::size_t row = batch.services_begin(s);
+         row < batch.services_end(s); ++row) {
+      for (const dc::Resource resource : dc::all_resources()) {
+        const double mu = batch.native_rate(resource)[row];
+        if (mu > 0.0) {
+          staffing.push_back({arrival[row] / mu, b});
+        }
+      }
+    }
+  }
+  std::vector<std::uint64_t> staffed(staffing.size());
+  erlang.servers_for_many(staffing, staffed);
+
+  // Stage 2: consume the answers in the same order, building the per-service
+  // plans (servers = max over resources, M = sum over services), and gather
+  // the blocking queries at each granted staffing.
+  std::vector<queueing::BlockingQuery> blocking;
+  std::size_t cursor = 0;
+  for (std::size_t s = begin; s < end; ++s) {
+    ModelResult& result = results[s - begin];
+    for (std::size_t row = batch.services_begin(s);
+         row < batch.services_end(s); ++row) {
+      ServicePlan plan;
+      plan.name = batch.service_name(row);
+      for (const dc::Resource resource : dc::all_resources()) {
+        const double mu = batch.native_rate(resource)[row];
+        const double rho = mu > 0.0 ? arrival[row] / mu : 0.0;
+        plan.offered_load[resource] = rho;
+        const std::uint64_t n = rho > 0.0 ? staffed[cursor++] : 0;
+        plan.servers_per_resource[static_cast<std::size_t>(resource)] = n;
+        plan.servers = std::max(plan.servers, n);
+      }
+      for (const dc::Resource resource : dc::all_resources()) {
+        if (plan.offered_load[resource] > 0.0) {
+          blocking.push_back({plan.servers, plan.offered_load[resource]});
+        }
+      }
+      result.dedicated_servers += plan.servers;
+      result.dedicated.push_back(std::move(plan));
+    }
+  }
+  std::vector<double> blocked(blocking.size());
+  erlang.eval_many(blocking, blocked);
+
+  // Stage 3: per-service blocking is the worst demanded resource.
+  cursor = 0;
+  for (std::size_t s = begin; s < end; ++s) {
+    for (ServicePlan& plan : results[s - begin].dedicated) {
+      double worst = 0.0;
+      for (const dc::Resource resource : dc::all_resources()) {
+        if (plan.offered_load[resource] > 0.0) {
+          worst = std::max(worst, blocked[cursor++]);
+        }
+      }
+      plan.blocking = worst;
+    }
+  }
+}
+
+void staff_consolidated(const ScenarioBatch& batch, std::size_t begin,
+                        std::size_t end, queueing::ErlangKernel* kernel,
+                        std::span<ModelResult> results) {
+  const ErlangDispatch erlang{kernel};
+
+  // Stage 1: merged offered loads per (scenario, resource) and the staffing
+  // queries for every demanded resource.
+  std::vector<queueing::StaffingQuery> staffing;
+  for (std::size_t s = begin; s < end; ++s) {
+    ModelResult& result = results[s - begin];
+    const double b = batch.target_loss(s);
+    for (const dc::Resource resource : dc::all_resources()) {
+      auto& plan = result.consolidated[static_cast<std::size_t>(resource)];
+      plan.resource = resource;
+      double merged_lambda = 0.0;
+      plan.offered_load = merged_offered_load(batch, s, resource,
+                                              merged_lambda);
+      plan.merged_arrival_rate = merged_lambda;
+      plan.demanded = plan.offered_load > 0.0;
+      if (plan.demanded) {
+        plan.effective_service_rate = merged_lambda / plan.offered_load;
+        staffing.push_back({plan.offered_load, b});
+      }
+    }
+  }
+  std::vector<std::uint64_t> staffed(staffing.size());
+  erlang.servers_for_many(staffing, staffed);
+
+  // Stage 2: N = max over resources; gather the blocking queries at N.
+  std::vector<queueing::BlockingQuery> blocking;
+  std::size_t cursor = 0;
+  for (std::size_t s = begin; s < end; ++s) {
+    ModelResult& result = results[s - begin];
+    for (const dc::Resource resource : dc::all_resources()) {
+      auto& plan = result.consolidated[static_cast<std::size_t>(resource)];
+      if (plan.demanded) {
+        plan.servers = staffed[cursor++];
+        result.consolidated_servers =
+            std::max(result.consolidated_servers, plan.servers);
+      }
+    }
+    for (const dc::Resource resource : dc::all_resources()) {
+      const auto& plan =
+          result.consolidated[static_cast<std::size_t>(resource)];
+      if (plan.demanded) {
+        blocking.push_back({result.consolidated_servers, plan.offered_load});
+      }
+    }
+  }
+  std::vector<double> blocked(blocking.size());
+  erlang.eval_many(blocking, blocked);
+
+  // Stage 3: consolidated blocking is the worst demanded resource at N.
+  cursor = 0;
+  for (std::size_t s = begin; s < end; ++s) {
+    ModelResult& result = results[s - begin];
+    double worst = 0.0;
+    for (const dc::Resource resource : dc::all_resources()) {
+      if (result.consolidated[static_cast<std::size_t>(resource)].demanded) {
+        worst = std::max(worst, blocked[cursor++]);
+      }
+    }
+    result.consolidated_blocking = worst;
+  }
+}
+
+void derive_utility(const ScenarioBatch& batch, std::size_t begin,
+                    std::size_t end, std::span<ModelResult> results) {
+  const auto arrival = batch.arrival_rate();
+  const auto bottleneck = batch.bottleneck_rate();
+  const auto effective = batch.effective_rate();
+  for (std::size_t s = begin; s < end; ++s) {
+    ModelResult& result = results[s - begin];
+    double dedicated_work = 0.0;
+    double consolidated_work = 0.0;
+    for (std::size_t row = batch.services_begin(s);
+         row < batch.services_end(s); ++row) {
+      dedicated_work += arrival[row] / bottleneck[row];
+      consolidated_work += arrival[row] / effective[row];
+    }
+    if (result.dedicated_servers > 0) {
+      result.dedicated_utilization =
+          dedicated_work / static_cast<double>(result.dedicated_servers);
+    }
+    if (result.consolidated_servers > 0) {
+      result.consolidated_utilization =
+          consolidated_work / static_cast<double>(result.consolidated_servers);
+    }
+    if (result.dedicated_utilization > 0.0) {
+      result.utilization_improvement =
+          result.consolidated_utilization / result.dedicated_utilization;
+    }
+  }
+}
+
+void derive_power(const ScenarioBatch& batch, std::size_t begin,
+                  std::size_t end, std::span<ModelResult> results) {
+  const std::size_t count = end - begin;
+  std::vector<double> clamped(count);
+  std::vector<double> watts(count);
+
+  for (std::size_t k = 0; k < count; ++k) {
+    clamped[k] = std::min(1.0, results[k].dedicated_utilization);
+  }
+  dc::watts_many(batch.dedicated_power().subspan(begin, count), clamped,
+                 watts);
+  for (std::size_t k = 0; k < count; ++k) {
+    results[k].dedicated_power_watts =
+        static_cast<double>(results[k].dedicated_servers) * watts[k];
+  }
+
+  for (std::size_t k = 0; k < count; ++k) {
+    clamped[k] = std::min(1.0, results[k].consolidated_utilization);
+  }
+  dc::watts_many(batch.consolidated_power().subspan(begin, count), clamped,
+                 watts);
+  for (std::size_t k = 0; k < count; ++k) {
+    ModelResult& result = results[k];
+    result.consolidated_power_watts =
+        static_cast<double>(result.consolidated_servers) * watts[k];
+    if (result.dedicated_power_watts > 0.0) {
+      result.power_ratio =
+          result.consolidated_power_watts / result.dedicated_power_watts;
+      result.power_saving = 1.0 - result.power_ratio;
+    }
+    if (result.dedicated_servers > 0) {
+      result.infrastructure_saving =
+          1.0 - static_cast<double>(result.consolidated_servers) /
+                    static_cast<double>(result.dedicated_servers);
+    }
+  }
+}
+
+}  // namespace batch_kernels
+
+std::vector<ModelResult> BatchEvaluator::evaluate(
+    const ScenarioBatch& batch) const {
+  const std::size_t count = batch.size();
+  std::vector<ModelResult> results(count);
+  if (count == 0) {
+    return results;
+  }
+  queueing::ErlangKernel* kernel =
+      options_.kernel != nullptr
+          ? options_.kernel
+          : (options_.memoize ? &queueing::ErlangKernel::shared() : nullptr);
+
+  auto& registry = metrics::registry();
+  metrics::ScopedTimer wall(registry.timer(metrics::names::kBatchWall));
+  registry.counter(metrics::names::kBatchEvaluations).add();
+  registry.counter(metrics::names::kBatchScenarios).add(count);
+
+  std::size_t shard = options_.shard_size;
+  if (shard == 0) {
+    // ~4 shards per worker: enough slack to balance heterogeneous scenario
+    // costs, big enough that each staged kernel walk amortizes its sort.
+    const std::size_t workers =
+        std::max<std::size_t>(1, ThreadPool::shared().size());
+    shard = std::max<std::size_t>(1, (count + workers * 4 - 1) / (workers * 4));
+  }
+  const std::size_t shard_count = (count + shard - 1) / shard;
+  registry.counter(metrics::names::kBatchShards).add(shard_count);
+
+  // Cache behavior attributable to this batch: the delta of the kernel's
+  // counters across the evaluation. Concurrent users of a shared kernel
+  // blur the attribution; this is telemetry, not program state.
+  const queueing::ErlangKernel::Stats before =
+      kernel != nullptr ? kernel->stats() : queueing::ErlangKernel::Stats{};
+
+  const auto run_shard = [&](std::size_t index) {
+    const std::size_t first = index * shard;
+    const std::size_t last = std::min(count, first + shard);
+    const std::span<ModelResult> out(results.data() + first, last - first);
+    batch_kernels::staff_dedicated(batch, first, last, kernel, out);
+    batch_kernels::staff_consolidated(batch, first, last, kernel, out);
+    batch_kernels::derive_utility(batch, first, last, out);
+    batch_kernels::derive_power(batch, first, last, out);
+  };
+  if (options_.parallel && shard_count > 1) {
+    parallel_for(shard_count, run_shard);
+  } else {
+    for (std::size_t i = 0; i < shard_count; ++i) {
+      run_shard(i);
+    }
+  }
+
+  if (kernel != nullptr) {
+    const queueing::ErlangKernel::Stats after = kernel->stats();
+    const std::uint64_t hits = after.cache_hits - before.cache_hits;
+    const std::uint64_t misses =
+        (after.evaluations - before.evaluations) - hits;
+    registry.counter(metrics::names::kBatchKernelHits).add(hits);
+    registry.counter(metrics::names::kBatchKernelMisses).add(misses);
+  }
+  return results;
+}
+
+}  // namespace vmcons::core

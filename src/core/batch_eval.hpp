@@ -1,0 +1,94 @@
+// Batch evaluation of the utility analytic model over columnar scenarios.
+//
+// The Fig. 4 staffing algorithm, the Eq. 8-11 utilization derivation, and
+// the Eq. 12-14 power derivation are implemented as four stateless,
+// span-based kernels over a ScenarioBatch. Each kernel stages its Erlang-B
+// work: it first gathers every query in its scenario range into one flat
+// list, answers them through the kernel's batched entry points (which sort
+// by offered load so the memoized recursion prefixes are walked
+// monotonically), then scatters the answers back into ModelResults. The
+// scalar UtilityAnalyticModel::solve() runs the same four kernels on a
+// batch of one, so batch and scalar results are bit-identical by
+// construction — there is exactly one implementation of the math.
+//
+// BatchEvaluator shards a batch over the process thread pool (each shard is
+// a contiguous scenario range, so output is independent of the worker
+// count) and reports batch.* metrics: evaluations, scenarios, shards, and
+// the kernel cache hits/misses attributable to the batch.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/scenario_batch.hpp"
+
+namespace vmcons::queueing {
+class ErlangKernel;
+}  // namespace vmcons::queueing
+
+namespace vmcons::core {
+
+/// Execution knobs for BatchEvaluator.
+struct BatchOptions {
+  /// Fan shards out over the shared thread pool (results stay in scenario
+  /// order and bit-identical to a serial run).
+  bool parallel = true;
+  /// Route Erlang-B evaluations through a memoized incremental kernel.
+  bool memoize = true;
+  /// Kernel override (implies memoize); nullptr uses the process-wide
+  /// ErlangKernel::shared() when memoize is set.
+  queueing::ErlangKernel* kernel = nullptr;
+  /// Scenarios per shard; 0 auto-sizes to ~4 shards per pool worker.
+  std::size_t shard_size = 0;
+};
+
+/// Evaluates whole ScenarioBatches; the batch-first face of the model.
+class BatchEvaluator {
+ public:
+  explicit BatchEvaluator(BatchOptions options = {}) : options_(options) {}
+
+  /// One ModelResult per scenario, in scenario order. Bit-identical to
+  /// calling UtilityAnalyticModel::solve() per scenario.
+  std::vector<ModelResult> evaluate(const ScenarioBatch& batch) const;
+
+  const BatchOptions& options() const { return options_; }
+
+ private:
+  BatchOptions options_;
+};
+
+// --- The stateless span kernels shared by the scalar and batch paths -----
+// Each runs one stage of the model for scenarios [begin, end) of `batch`,
+// writing into results[s - begin]. `kernel` may be nullptr (stateless free
+// functions). Call order per scenario range: staff_dedicated,
+// staff_consolidated, derive_utility, derive_power.
+namespace batch_kernels {
+
+/// Fig. 4 per-service staffing: per-resource Erlang-B sizing, max over
+/// resources, sum over services (M), plus per-service blocking at the
+/// granted staffing.
+void staff_dedicated(const ScenarioBatch& batch, std::size_t begin,
+                     std::size_t end, queueing::ErlangKernel* kernel,
+                     std::span<ModelResult> results);
+
+/// Merged-stream staffing (Eq. 4-5): per-resource effective service rate,
+/// Erlang-B sizing, max over resources (N), and the worst-resource blocking
+/// at N.
+void staff_consolidated(const ScenarioBatch& batch, std::size_t begin,
+                        std::size_t end, queueing::ErlangKernel* kernel,
+                        std::span<ModelResult> results);
+
+/// Eq. 8-11: offered bottleneck work per server for both deployments.
+void derive_utility(const ScenarioBatch& batch, std::size_t begin,
+                    std::size_t end, std::span<ModelResult> results);
+
+/// Eq. 12-14: linear power model applied over the shard's utilization span,
+/// plus the power/infrastructure saving ratios.
+void derive_power(const ScenarioBatch& batch, std::size_t begin,
+                  std::size_t end, std::span<ModelResult> results);
+
+}  // namespace batch_kernels
+
+}  // namespace vmcons::core

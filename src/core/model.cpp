@@ -2,22 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
+#include "core/batch_eval.hpp"
+#include "core/scenario_batch.hpp"
 #include "queueing/erlang.hpp"
 #include "queueing/erlang_kernel.hpp"
 #include "util/error.hpp"
 
 namespace vmcons::core {
-namespace {
-
-/// Offered *work* per service (erlangs at the bottleneck resource): the
-/// quantity the utilization equations (8)-(11) aggregate. `rate` is the
-/// per-server service rate in the relevant deployment.
-double offered_work(double arrival_rate, double rate) {
-  return arrival_rate / rate;
-}
-
-}  // namespace
 
 UtilityAnalyticModel::UtilityAnalyticModel(ModelInputs inputs)
     : inputs_(std::move(inputs)) {
@@ -88,99 +81,17 @@ double UtilityAnalyticModel::consolidated_offered_load(dc::Resource resource) co
 }
 
 ModelResult UtilityAnalyticModel::solve() const {
+  // The scalar path is a batch of one: the same four span kernels the
+  // BatchEvaluator runs over whole grids, so the two are bit-identical by
+  // construction (there is exactly one implementation of the math).
+  ScenarioBatch batch;
+  batch.append(inputs_);
   ModelResult result;
-  const double b = inputs_.target_loss;
-
-  // ---- Dedicated staffing: per service, per resource; max; sum ----------
-  for (std::size_t i = 0; i < inputs_.services.size(); ++i) {
-    const auto& service = inputs_.services[i];
-    ServicePlan plan;
-    plan.name = service.name;
-    for (const dc::Resource resource : dc::all_resources()) {
-      const double rho = dedicated_offered_load(i, resource);
-      plan.offered_load[resource] = rho;
-      const std::uint64_t n =
-          rho > 0.0 ? eval_erlang_b_servers(rho, b) : 0;
-      plan.servers_per_resource[static_cast<std::size_t>(resource)] = n;
-      plan.servers = std::max(plan.servers, n);
-    }
-    // Blocking at the granted staffing: worst resource.
-    double blocking = 0.0;
-    for (const dc::Resource resource : dc::all_resources()) {
-      const double rho = plan.offered_load[resource];
-      if (rho > 0.0) {
-        blocking = std::max(blocking, eval_erlang_b(plan.servers, rho));
-      }
-    }
-    plan.blocking = blocking;
-    result.dedicated_servers += plan.servers;
-    result.dedicated.push_back(std::move(plan));
-  }
-
-  // ---- Consolidated staffing: per resource on the merged stream ---------
-  for (const dc::Resource resource : dc::all_resources()) {
-    auto& plan = result.consolidated[static_cast<std::size_t>(resource)];
-    plan.resource = resource;
-    double merged_lambda = 0.0;
-    for (std::size_t i = 0; i < inputs_.services.size(); ++i) {
-      if (inputs_.services[i].native_rates[resource] > 0.0) {
-        merged_lambda += inputs_.services[i].arrival_rate;
-      }
-    }
-    plan.merged_arrival_rate = merged_lambda;
-    plan.offered_load = consolidated_offered_load(resource);
-    plan.demanded = plan.offered_load > 0.0;
-    if (plan.demanded) {
-      plan.effective_service_rate = merged_lambda / plan.offered_load;
-      plan.servers = eval_erlang_b_servers(plan.offered_load, b);
-      result.consolidated_servers =
-          std::max(result.consolidated_servers, plan.servers);
-    }
-  }
-  result.consolidated_blocking = consolidated_loss(result.consolidated_servers);
-
-  // ---- Utilization (Eq. 8-11): offered bottleneck work per server -------
-  double dedicated_work = 0.0;
-  double consolidated_work = 0.0;
-  const unsigned v = vm_count();
-  for (const auto& service : inputs_.services) {
-    dedicated_work +=
-        offered_work(service.arrival_rate, service.native_bottleneck_rate());
-    consolidated_work +=
-        offered_work(service.arrival_rate, service.effective_rate(v));
-  }
-  if (result.dedicated_servers > 0) {
-    result.dedicated_utilization =
-        dedicated_work / static_cast<double>(result.dedicated_servers);
-  }
-  if (result.consolidated_servers > 0) {
-    result.consolidated_utilization =
-        consolidated_work / static_cast<double>(result.consolidated_servers);
-  }
-  if (result.dedicated_utilization > 0.0) {
-    result.utilization_improvement =
-        result.consolidated_utilization / result.dedicated_utilization;
-  }
-
-  // ---- Power (Eq. 12-14) -------------------------------------------------
-  result.dedicated_power_watts =
-      static_cast<double>(result.dedicated_servers) *
-      inputs_.dedicated_power.watts(
-          std::min(1.0, result.dedicated_utilization));
-  result.consolidated_power_watts =
-      static_cast<double>(result.consolidated_servers) *
-      inputs_.consolidated_power.watts(
-          std::min(1.0, result.consolidated_utilization));
-  if (result.dedicated_power_watts > 0.0) {
-    result.power_ratio =
-        result.consolidated_power_watts / result.dedicated_power_watts;
-    result.power_saving = 1.0 - result.power_ratio;
-  }
-  if (result.dedicated_servers > 0) {
-    result.infrastructure_saving =
-        1.0 - static_cast<double>(result.consolidated_servers) /
-                  static_cast<double>(result.dedicated_servers);
-  }
+  const std::span<ModelResult> out(&result, 1);
+  batch_kernels::staff_dedicated(batch, 0, 1, kernel_, out);
+  batch_kernels::staff_consolidated(batch, 0, 1, kernel_, out);
+  batch_kernels::derive_utility(batch, 0, 1, out);
+  batch_kernels::derive_power(batch, 0, 1, out);
   return result;
 }
 

@@ -104,6 +104,9 @@ class UtilityAnalyticModel {
   }
 
   /// Runs the Fig. 4 algorithm plus the utilization and power derivations.
+  /// Implemented as the batch_kernels span kernels over a ScenarioBatch of
+  /// one, so results are bit-identical to BatchEvaluator on any batch
+  /// containing these inputs.
   ModelResult solve() const;
 
   /// Overall request-loss probability of the dedicated deployment when

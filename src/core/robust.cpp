@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/batch_eval.hpp"
+#include "core/scenario_batch.hpp"
 #include "util/error.hpp"
 #include "util/parallel_for.hpp"
 #include "util/rng.hpp"
@@ -65,19 +67,31 @@ RobustPlan robust_consolidated_plan(const ModelInputs& inputs,
 
   RobustPlan plan;
   plan.quantile = quantile;
-  plan.point_estimate_n =
-      UtilityAnalyticModel(inputs).solve().consolidated_servers;
 
-  const std::vector<std::uint64_t> draws =
+  // One columnar batch holds the unperturbed point estimate (scenario 0)
+  // plus every Monte Carlo draw; sampling stays deterministic per index.
+  // Memoization is off: perturbed offered loads are almost surely distinct,
+  // so a prefix cache would only churn.
+  const std::vector<ModelInputs> sampled =
       parallel_map(samples, [&](std::size_t index) {
         Rng rng = make_stream(seed, index);
-        const ModelInputs sample = perturb_inputs(inputs, uncertainty, rng);
-        return UtilityAnalyticModel(sample).solve().consolidated_servers;
+        return perturb_inputs(inputs, uncertainty, rng);
       });
+  ScenarioBatch batch;
+  batch.append(inputs);
+  for (const ModelInputs& sample : sampled) {
+    batch.append(sample);
+  }
+  BatchOptions options;
+  options.memoize = false;
+  const std::vector<ModelResult> results =
+      BatchEvaluator(options).evaluate(batch);
+  plan.point_estimate_n = results[0].consolidated_servers;
 
   double total = 0.0;
   std::size_t above_point = 0;
-  for (const std::uint64_t n : draws) {
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    const std::uint64_t n = results[i].consolidated_servers;
     ++plan.n_histogram[n];
     total += static_cast<double>(n);
     if (n > plan.point_estimate_n) {

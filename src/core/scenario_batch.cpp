@@ -1,0 +1,89 @@
+#include "core/scenario_batch.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+#include "virt/impact.hpp"
+
+namespace vmcons::core {
+
+std::size_t ScenarioBatch::append(const ModelInputs& inputs) {
+  // Same preconditions as the UtilityAnalyticModel constructor, so a batch
+  // can only hold scenarios the scalar path would also accept.
+  VMCONS_REQUIRE(inputs.target_loss > 0.0 && inputs.target_loss < 1.0,
+                 "target loss must be in (0, 1)");
+  VMCONS_REQUIRE(!inputs.services.empty(), "model needs at least one service");
+  for (const auto& service : inputs.services) {
+    VMCONS_REQUIRE(service.arrival_rate > 0.0,
+                   "service '" + service.name + "' needs arrival rate > 0");
+    VMCONS_REQUIRE(service.native_rates.any_positive(),
+                   "service '" + service.name + "' demands no resource");
+  }
+
+  const std::size_t scenario = size();
+  const unsigned v = inputs.vms_per_server.value_or(
+      static_cast<unsigned>(inputs.services.size()));
+  target_loss_.push_back(inputs.target_loss);
+  vm_count_.push_back(v);
+  dedicated_power_.push_back(inputs.dedicated_power);
+  consolidated_power_.push_back(inputs.consolidated_power);
+
+  const std::size_t first_row = service_rows();
+  const std::size_t count = inputs.services.size();
+  row_begin_.push_back(first_row + count);
+
+  for (const auto& service : inputs.services) {
+    arrival_rate_.push_back(service.arrival_rate);
+    service_name_.push_back(service.name);
+  }
+
+  // Impact factors are evaluated per-column: gather one resource's curves
+  // across the scenario's services, evaluate the whole column at v, and
+  // derive the native/impact rate columns from the same values.
+  std::vector<const virt::Impact*> curves(count);
+  std::vector<double> factors(count);
+  for (const dc::Resource resource : dc::all_resources()) {
+    const auto r = static_cast<std::size_t>(resource);
+    for (std::size_t i = 0; i < count; ++i) {
+      curves[i] = &inputs.services[i].impacts[r];
+    }
+    virt::fill_factors(curves, v, factors);
+    for (std::size_t i = 0; i < count; ++i) {
+      native_rate_[r].push_back(inputs.services[i].native_rates[resource]);
+      impact_[r].push_back(factors[i]);
+    }
+  }
+
+  // Derived rate columns, with the exact arithmetic of the scalar accessors
+  // (ServiceSpec::native_bottleneck_rate / effective_rate): resources in
+  // all_resources() order, zero rates skipped, min-accumulation.
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t row = first_row + i;
+    double bottleneck = std::numeric_limits<double>::infinity();
+    double effective = std::numeric_limits<double>::infinity();
+    for (const dc::Resource resource : dc::all_resources()) {
+      const auto r = static_cast<std::size_t>(resource);
+      const double mu = native_rate_[r][row];
+      if (mu <= 0.0) {
+        continue;
+      }
+      bottleneck = std::min(bottleneck, mu);
+      effective = std::min(effective, mu * impact_[r][row]);
+    }
+    bottleneck_rate_.push_back(bottleneck);
+    effective_rate_.push_back(effective);
+  }
+  return scenario;
+}
+
+ScenarioBatch ScenarioBatch::from_inputs(std::span<const ModelInputs> inputs) {
+  ScenarioBatch batch;
+  batch.target_loss_.reserve(inputs.size());
+  for (const ModelInputs& scenario : inputs) {
+    batch.append(scenario);
+  }
+  return batch;
+}
+
+}  // namespace vmcons::core

@@ -1,0 +1,115 @@
+// Columnar (structure-of-arrays) storage for many model scenarios.
+//
+// The analytic model is cheap per point; the system's value at scale is
+// answering *many* points at once — what-if grids, robustness envelopes,
+// placement searches over thousands of services. Object-at-a-time
+// evaluation re-materializes a vector<ServiceSpec> per grid cell and
+// hammers the Erlang kernel with scalar queries. ScenarioBatch instead
+// stores every scenario's inputs as contiguous columns:
+//
+//   per scenario   target loss B, resolved VM count v, the two PowerModels,
+//                  and the half-open row range of its services;
+//   per service    arrival rate lambda_i, native rate mu_ij per resource,
+//   row            the clamped impact factor a_ij(v) per resource (evaluated
+//                  per-column at append time via virt::fill_factors), the
+//                  bottleneck native rate, and the effective consolidated
+//                  rate mu_i'(v) — all flattened across scenarios.
+//
+// BatchEvaluator (batch_eval.hpp) runs the Fig. 4 staffing algorithm and
+// the Eq. 8-14 derivations over whole batches of these columns; the
+// single-scenario UtilityAnalyticModel::solve() is a thin view over a
+// batch of one, so the two paths are bit-identical by construction.
+//
+// Derived columns follow the exact arithmetic of the scalar accessors they
+// replace (same operand order, same clamping), which is what makes batch
+// results interchangeable with scalar ones.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "datacenter/power.hpp"
+#include "datacenter/resource.hpp"
+
+namespace vmcons::core {
+
+class ScenarioBatch {
+ public:
+  /// Number of scenarios appended so far.
+  std::size_t size() const noexcept { return target_loss_.size(); }
+  bool empty() const noexcept { return target_loss_.empty(); }
+
+  /// Total service rows across all scenarios (the length of the flat
+  /// service-level columns).
+  std::size_t service_rows() const noexcept { return arrival_rate_.size(); }
+
+  /// Validates and appends one scenario (same preconditions as the
+  /// UtilityAnalyticModel constructor), returning its index. Impact curves
+  /// are evaluated per-column at the scenario's resolved VM count here, so
+  /// evaluation never touches virt code.
+  std::size_t append(const ModelInputs& inputs);
+
+  /// Builds a batch from a span of inputs (append in order).
+  static ScenarioBatch from_inputs(std::span<const ModelInputs> inputs);
+
+  // --- per-scenario columns ----------------------------------------------
+  double target_loss(std::size_t scenario) const {
+    return target_loss_[scenario];
+  }
+  /// Resolved VM count: vms_per_server if set, else the service count.
+  unsigned vm_count(std::size_t scenario) const { return vm_count_[scenario]; }
+  std::span<const dc::PowerModel> dedicated_power() const {
+    return dedicated_power_;
+  }
+  std::span<const dc::PowerModel> consolidated_power() const {
+    return consolidated_power_;
+  }
+
+  /// Half-open row range [services_begin(s), services_end(s)) of scenario s
+  /// in the flat service-level columns.
+  std::size_t services_begin(std::size_t scenario) const {
+    return row_begin_[scenario];
+  }
+  std::size_t services_end(std::size_t scenario) const {
+    return row_begin_[scenario + 1];
+  }
+  std::size_t service_count(std::size_t scenario) const {
+    return services_end(scenario) - services_begin(scenario);
+  }
+
+  // --- flat service-row columns ------------------------------------------
+  std::span<const double> arrival_rate() const { return arrival_rate_; }
+  std::span<const double> native_rate(dc::Resource resource) const {
+    return native_rate_[static_cast<std::size_t>(resource)];
+  }
+  /// Clamped planning factor a_ij(v) of the owning scenario's VM count.
+  std::span<const double> impact(dc::Resource resource) const {
+    return impact_[static_cast<std::size_t>(resource)];
+  }
+  /// Smallest positive mu_ij (the dedicated bottleneck rate).
+  std::span<const double> bottleneck_rate() const { return bottleneck_rate_; }
+  /// min over demanded resources of mu_ij * a_ij(v) (Eq. 4 per service).
+  std::span<const double> effective_rate() const { return effective_rate_; }
+  const std::string& service_name(std::size_t row) const {
+    return service_name_[row];
+  }
+
+ private:
+  std::vector<double> target_loss_;
+  std::vector<unsigned> vm_count_;
+  std::vector<dc::PowerModel> dedicated_power_;
+  std::vector<dc::PowerModel> consolidated_power_;
+  std::vector<std::size_t> row_begin_{0};  ///< size() + 1 offsets
+
+  std::vector<double> arrival_rate_;
+  std::array<std::vector<double>, dc::kResourceCount> native_rate_;
+  std::array<std::vector<double>, dc::kResourceCount> impact_;
+  std::vector<double> bottleneck_rate_;
+  std::vector<double> effective_rate_;
+  std::vector<std::string> service_name_;
+};
+
+}  // namespace vmcons::core

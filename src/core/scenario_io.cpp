@@ -21,21 +21,36 @@ constexpr ResourceKey kResourceKeys[] = {
     {dc::Resource::kNetwork, "network_rate", "network_impact"},
 };
 
+/// "service 'web': cpu_impact = 1.5" — the shared prefix of every
+/// field-level validation error, so users can find the offending line.
+std::string field_value(const std::string& service, const char* field,
+                        double value) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "service '" << service << "': " << field << " = " << value;
+  return out.str();
+}
+
 dc::ServiceSpec parse_service(const IniSection& section) {
   dc::ServiceSpec spec;
   spec.name = section.get("name", "service");
   for (const auto& key : kResourceKeys) {
     const double rate = section.get_double(key.rate_key, 0.0);
+    VMCONS_REQUIRE(rate >= 0.0,
+                   field_value(spec.name, key.rate_key, rate) +
+                       " must be >= 0 (omit the key for no demand)");
     if (rate > 0.0) {
       const double impact = section.get_double(key.impact_key, 1.0);
       VMCONS_REQUIRE(impact > 0.0 && impact <= 1.0,
-                     "service '" + spec.name + "': impact factors must be in "
-                     "(0, 1]");
+                     field_value(spec.name, key.impact_key, impact) +
+                         " must be in (0, 1]");
       spec.demand(key.resource, rate, virt::Impact::constant(impact));
     }
   }
   VMCONS_REQUIRE(spec.native_rates.any_positive(),
-                 "service '" + spec.name + "' declares no resource rates");
+                 "service '" + spec.name +
+                     "' declares no resource rates: set at least one of "
+                     "cpu_rate, disk_rate, memory_rate, network_rate");
   return spec;
 }
 
@@ -62,8 +77,17 @@ ModelInputs scenario_inputs(const IniDocument& document) {
       spec.arrival_rate = intensive_workload(
           spec, static_cast<std::uint64_t>(dedicated), inputs.target_loss);
     } else {
-      throw InvalidArgument("service '" + spec.name +
-                            "': set arrival_rate or dedicated_servers");
+      std::ostringstream why;
+      why.precision(17);
+      why << "service '" << spec.name
+          << "': set arrival_rate or dedicated_servers to a positive value";
+      if (arrival != 0.0) {
+        why << " (got arrival_rate = " << arrival << ")";
+      }
+      if (dedicated != 0) {
+        why << " (got dedicated_servers = " << dedicated << ")";
+      }
+      throw InvalidArgument(why.str());
     }
     inputs.services.push_back(std::move(spec));
   }

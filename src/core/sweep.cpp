@@ -2,11 +2,12 @@
 
 #include <algorithm>
 
+#include "core/batch_eval.hpp"
 #include "core/planner.hpp"
+#include "core/scenario_batch.hpp"
 #include "queueing/erlang_kernel.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
-#include "util/parallel_for.hpp"
 
 namespace vmcons::core {
 
@@ -74,18 +75,16 @@ std::vector<SweepPoint> SweepGrid::points() const {
 std::vector<SweepCell> ConsolidationPlanner::sweep(
     const SweepGrid& grid, const SweepOptions& options) const {
   const std::size_t count = grid.size();
-  queueing::ErlangKernel* kernel =
-      options.kernel != nullptr
-          ? options.kernel
-          : (options.memoize ? &queueing::ErlangKernel::shared() : nullptr);
 
   metrics::ScopedTimer wall(metrics::registry().timer("sweep.wall"));
   metrics::registry().counter("sweep.points").add(count);
 
+  // Build one columnar batch for the whole grid. Each scenario derives from
+  // its index alone, so the batch (and everything downstream) is
+  // deterministic regardless of execution order.
+  ScenarioBatch batch;
   std::vector<SweepCell> cells(count);
-  const auto run_point = [&](std::size_t i) {
-    // Everything below derives from the index alone, so the output is
-    // independent of how points are distributed over workers.
+  for (std::size_t i = 0; i < count; ++i) {
     const SweepPoint point = grid.point(i);
     ConsolidationPlanner instance = *this;
     if (point.target_loss) {
@@ -97,16 +96,28 @@ std::vector<SweepCell> ConsolidationPlanner::sweep(
     if (point.vms_per_server) {
       instance.set_vms_per_server(*point.vms_per_server);
     }
+    batch.append(instance.make_inputs());
     cells[i].point = point;
-    cells[i].report = instance.plan_with(kernel);
-  };
+  }
 
-  if (options.parallel) {
-    parallel_for(count, run_point);
-  } else {
-    for (std::size_t i = 0; i < count; ++i) {
-      run_point(i);
-    }
+  BatchOptions batch_options;
+  batch_options.parallel = options.parallel;
+  batch_options.memoize = options.memoize;
+  batch_options.kernel = options.kernel;
+  std::vector<ModelResult> results =
+      BatchEvaluator(batch_options).evaluate(batch);
+
+  const auto arrival = batch.arrival_rate();
+  for (std::size_t i = 0; i < count; ++i) {
+    PlanReport& report = cells[i].report;
+    report.model = std::move(results[i]);
+    report.arrival_rates.assign(
+        arrival.begin() + static_cast<std::ptrdiff_t>(batch.services_begin(i)),
+        arrival.begin() + static_cast<std::ptrdiff_t>(batch.services_end(i)));
+    report.dedicated_assignment =
+        assign(static_cast<double>(report.model.dedicated_servers));
+    report.consolidated_assignment =
+        assign(static_cast<double>(report.model.consolidated_servers));
   }
   return cells;
 }

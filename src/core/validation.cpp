@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "core/batch_eval.hpp"
+#include "core/scenario_batch.hpp"
 #include "util/error.hpp"
 
 namespace vmcons::core {
@@ -113,25 +115,37 @@ DeploymentMeasurement measure_dedicated(
 
 ValidationReport validate(const ModelInputs& inputs,
                           const ValidationOptions& options) {
-  UtilityAnalyticModel model(inputs);
-  ValidationReport report;
-  report.model = model.solve();
+  return std::move(validate_many(std::span(&inputs, 1), options).front());
+}
 
-  std::vector<unsigned> dedicated_staffing = options.dedicated_servers;
-  if (dedicated_staffing.empty()) {
-    for (const auto& plan : report.model.dedicated) {
-      dedicated_staffing.push_back(static_cast<unsigned>(plan.servers));
+std::vector<ValidationReport> validate_many(std::span<const ModelInputs> inputs,
+                                            const ValidationOptions& options) {
+  // Solve every scenario through one columnar batch; the simulated
+  // measurements then run per scenario at the model's staffing.
+  const ScenarioBatch batch = ScenarioBatch::from_inputs(inputs);
+  std::vector<ModelResult> solutions = BatchEvaluator().evaluate(batch);
+
+  std::vector<ValidationReport> reports(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    ValidationReport& report = reports[i];
+    report.model = std::move(solutions[i]);
+
+    std::vector<unsigned> dedicated_staffing = options.dedicated_servers;
+    if (dedicated_staffing.empty()) {
+      for (const auto& plan : report.model.dedicated) {
+        dedicated_staffing.push_back(static_cast<unsigned>(plan.servers));
+      }
     }
-  }
-  const auto consolidated_servers = static_cast<unsigned>(
-      options.consolidated_servers != 0 ? options.consolidated_servers
-                                        : report.model.consolidated_servers);
+    const auto consolidated_servers = static_cast<unsigned>(
+        options.consolidated_servers != 0 ? options.consolidated_servers
+                                          : report.model.consolidated_servers);
 
-  report.dedicated =
-      measure_dedicated(inputs.services, dedicated_staffing, options);
-  report.consolidated =
-      measure_consolidated(inputs.services, consolidated_servers, options);
-  return report;
+    report.dedicated =
+        measure_dedicated(inputs[i].services, dedicated_staffing, options);
+    report.consolidated =
+        measure_consolidated(inputs[i].services, consolidated_servers, options);
+  }
+  return reports;
 }
 
 }  // namespace vmcons::core

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/model.hpp"
@@ -49,9 +50,18 @@ struct ValidationOptions {
   std::vector<unsigned> dedicated_servers;
 };
 
-/// Solves the model for `inputs` and measures both deployments.
+/// Solves the model for `inputs` and measures both deployments. A view
+/// over validate_many with a batch of one.
 ValidationReport validate(const ModelInputs& inputs,
                           const ValidationOptions& options = {});
+
+/// Validates many scenarios: every model solution comes from one columnar
+/// ScenarioBatch evaluated by the BatchEvaluator (bit-identical to
+/// per-scenario solve()), then each deployment pair is simulated with the
+/// same options. Reports are returned in input order.
+std::vector<ValidationReport> validate_many(
+    std::span<const ModelInputs> inputs,
+    const ValidationOptions& options = {});
 
 /// Measures one consolidated deployment (used for the Fig. 10 sweep over
 /// candidate N values).

@@ -25,6 +25,16 @@ PowerModel PowerModel::paper_default(Platform platform) {
   return model;
 }
 
+void watts_many(std::span<const PowerModel> models,
+                std::span<const double> utilization, std::span<double> out) {
+  VMCONS_REQUIRE(models.size() == utilization.size() &&
+                     models.size() == out.size(),
+                 "watts_many spans must have equal length");
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    out[i] = models[i].watts(utilization[i]);
+  }
+}
+
 double EnergyMeter::energy_joules(double now) const {
   // E = P_idle * T + P_dynamic_range * integral(u dt).
   const double span = now - start_time_;

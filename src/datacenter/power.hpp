@@ -9,6 +9,8 @@
 // paper's 2x Quad-Core Opteron testbed.
 #pragma once
 
+#include <span>
+
 #include "stats/timeweighted.hpp"
 
 namespace vmcons::dc {
@@ -35,6 +37,12 @@ struct PowerModel {
   /// The paper's default testbed server, per platform.
   static PowerModel paper_default(Platform platform);
 };
+
+/// Span form of PowerModel::watts for the batch path: out[i] =
+/// models[i].watts(utilization[i]), bit-identical to the scalar calls.
+/// All three spans must have the same length.
+void watts_many(std::span<const PowerModel> models,
+                std::span<const double> utilization, std::span<double> out);
 
 /// Integrates energy (joules) of one server from a utilization step signal.
 class EnergyMeter {

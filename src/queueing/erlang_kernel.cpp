@@ -88,12 +88,7 @@ void ErlangKernel::extend(State& state, double rho, std::uint64_t servers) {
   cached_doubles_ += grown;
 }
 
-double ErlangKernel::erlang_b(std::uint64_t servers, double rho) {
-  VMCONS_REQUIRE(rho >= 0.0, "offered load must be >= 0");
-  if (rho == 0.0) {
-    return servers == 0 ? 1.0 : 0.0;
-  }
-  std::lock_guard<std::mutex> lock(mutex_);
+double ErlangKernel::erlang_b_locked(std::uint64_t servers, double rho) {
   ++stats_.evaluations;
   evaluations_metric_.add();
   State& state = state_for(rho);
@@ -118,6 +113,15 @@ double ErlangKernel::erlang_b(std::uint64_t servers, double rho) {
   return blocking;
 }
 
+double ErlangKernel::erlang_b(std::uint64_t servers, double rho) {
+  VMCONS_REQUIRE(rho >= 0.0, "offered load must be >= 0");
+  if (rho == 0.0) {
+    return servers == 0 ? 1.0 : 0.0;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  return erlang_b_locked(servers, rho);
+}
+
 double ErlangKernel::log_erlang_b(std::uint64_t servers, double rho) {
   VMCONS_REQUIRE(rho >= 0.0, "offered load must be >= 0");
   if (rho == 0.0) {
@@ -133,15 +137,8 @@ double ErlangKernel::log_erlang_b(std::uint64_t servers, double rho) {
   return result;
 }
 
-std::uint64_t ErlangKernel::erlang_b_servers(double rho,
-                                             double target_blocking) {
-  VMCONS_REQUIRE(rho >= 0.0, "offered load must be >= 0");
-  VMCONS_REQUIRE(target_blocking > 0.0 && target_blocking <= 1.0,
-                 "target blocking must be in (0, 1]");
-  if (rho == 0.0) {
-    return 0;
-  }
-  std::lock_guard<std::mutex> lock(mutex_);
+std::uint64_t ErlangKernel::erlang_b_servers_locked(double rho,
+                                                    double target_blocking) {
   ++stats_.evaluations;
   evaluations_metric_.add();
   State& state = state_for(rho);
@@ -180,6 +177,78 @@ std::uint64_t ErlangKernel::erlang_b_servers(double rho,
   stats_.steps += uncached_steps;
   steps_metric_.add(uncached_steps);
   return n;
+}
+
+std::uint64_t ErlangKernel::erlang_b_servers(double rho,
+                                             double target_blocking) {
+  VMCONS_REQUIRE(rho >= 0.0, "offered load must be >= 0");
+  VMCONS_REQUIRE(target_blocking > 0.0 && target_blocking <= 1.0,
+                 "target blocking must be in (0, 1]");
+  if (rho == 0.0) {
+    return 0;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  return erlang_b_servers_locked(rho, target_blocking);
+}
+
+void ErlangKernel::eval_many(std::span<const BlockingQuery> queries,
+                             std::span<double> out) {
+  VMCONS_REQUIRE(queries.size() == out.size(),
+                 "eval_many needs one output slot per query");
+  for (const BlockingQuery& query : queries) {
+    VMCONS_REQUIRE(query.rho >= 0.0, "offered load must be >= 0");
+  }
+  // Sort by (rho, servers): queries against the same recursion state become
+  // adjacent, and within a state the prefix only ever grows forward.
+  std::vector<std::uint32_t> order(queries.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (queries[a].rho != queries[b].rho) {
+                return queries[a].rho < queries[b].rho;
+              }
+              return queries[a].servers < queries[b].servers;
+            });
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::uint32_t i : order) {
+    const BlockingQuery& query = queries[i];
+    out[i] = query.rho == 0.0 ? (query.servers == 0 ? 1.0 : 0.0)
+                              : erlang_b_locked(query.servers, query.rho);
+  }
+}
+
+void ErlangKernel::servers_for_many(std::span<const StaffingQuery> queries,
+                                    std::span<std::uint64_t> out) {
+  VMCONS_REQUIRE(queries.size() == out.size(),
+                 "servers_for_many needs one output slot per query");
+  for (const StaffingQuery& query : queries) {
+    VMCONS_REQUIRE(query.rho >= 0.0, "offered load must be >= 0");
+    VMCONS_REQUIRE(
+        query.target_blocking > 0.0 && query.target_blocking <= 1.0,
+        "target blocking must be in (0, 1]");
+  }
+  // Sort by (rho, descending target): looser targets need shorter prefixes,
+  // so each state's recursion is resumed, never restarted.
+  std::vector<std::uint32_t> order(queries.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (queries[a].rho != queries[b].rho) {
+                return queries[a].rho < queries[b].rho;
+              }
+              return queries[a].target_blocking > queries[b].target_blocking;
+            });
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::uint32_t i : order) {
+    const StaffingQuery& query = queries[i];
+    out[i] = query.rho == 0.0
+                 ? 0
+                 : erlang_b_servers_locked(query.rho, query.target_blocking);
+  }
 }
 
 double ErlangKernel::erlang_b_capacity(std::uint64_t servers,

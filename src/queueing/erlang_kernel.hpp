@@ -33,12 +33,25 @@
 
 #include <cstdint>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "util/metrics.hpp"
 
 namespace vmcons::queueing {
+
+/// One E_n(rho) evaluation request for ErlangKernel::eval_many.
+struct BlockingQuery {
+  std::uint64_t servers = 0;
+  double rho = 0.0;
+};
+
+/// One staffing (minimum-n) request for ErlangKernel::servers_for_many.
+struct StaffingQuery {
+  double rho = 0.0;
+  double target_blocking = 0.0;
+};
 
 class ErlangKernel {
  public:
@@ -76,6 +89,20 @@ class ErlangKernel {
   /// tolerance (~1e-12 relative) while costing far fewer evaluations.
   double erlang_b_capacity(std::uint64_t servers, double target_blocking);
 
+  /// Batched erlang_b: out[i] = E_{queries[i].servers}(queries[i].rho), each
+  /// bit-identical to the scalar call. Queries are processed sorted by
+  /// (rho, servers) under one lock acquisition, so every per-rho recursion
+  /// prefix is visited once and only ever extended — a monotone cache walk
+  /// instead of the thrash an arbitrary query order causes.
+  void eval_many(std::span<const BlockingQuery> queries,
+                 std::span<double> out);
+
+  /// Batched erlang_b_servers: out[i] = min n with E_n <= target, processed
+  /// sorted by (rho, descending target) under one lock; same monotone-walk
+  /// guarantee and bit-identical per-query results.
+  void servers_for_many(std::span<const StaffingQuery> queries,
+                        std::span<std::uint64_t> out);
+
   /// Counters since construction (or the last clear()).
   Stats stats() const;
 
@@ -96,6 +123,10 @@ class ErlangKernel {
   State& state_for(double rho);
   /// Extends `state` so prefix covers index `servers`; mutex_ held.
   void extend(State& state, double rho, std::uint64_t servers);
+  /// The locked bodies of erlang_b / erlang_b_servers, shared by the scalar
+  /// entry points and the sorted batch walks. Require rho > 0, mutex_ held.
+  double erlang_b_locked(std::uint64_t servers, double rho);
+  std::uint64_t erlang_b_servers_locked(double rho, double target_blocking);
 
   mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, State> states_;  // key: bit pattern of rho

@@ -24,6 +24,19 @@
 
 namespace vmcons::metrics {
 
+// Canonical names of the batch-evaluation metrics, shared by the batch
+// evaluator, its tests, and anything parsing print_metrics output. Kept here
+// (not in core) so a typo'd name is a link error, not a silently separate
+// counter.
+namespace names {
+inline constexpr const char* kBatchEvaluations = "batch.evaluations";
+inline constexpr const char* kBatchScenarios = "batch.scenarios";
+inline constexpr const char* kBatchShards = "batch.shards";
+inline constexpr const char* kBatchKernelHits = "batch.kernel_hits";
+inline constexpr const char* kBatchKernelMisses = "batch.kernel_misses";
+inline constexpr const char* kBatchWall = "batch.wall";
+}  // namespace names
+
 /// Monotonic event counter. Thread-safe; increments are relaxed atomics.
 class Counter {
  public:

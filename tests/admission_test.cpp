@@ -94,6 +94,29 @@ TEST(Admission, HeadroomGrowsWithServers) {
   EXPECT_GT(at_6, at_4);
 }
 
+TEST(Admission, BracketFailureReportsEndpointsAndTarget) {
+  // A vanishing workload keeps the loss under target at every scale the
+  // bisection can reach (rho stays ~1e-3 even at scale 1e12), so the
+  // doubling phase must give up — and say where it got stuck.
+  ModelInputs inputs;
+  inputs.target_loss = 0.01;
+  dc::ServiceSpec tiny;
+  tiny.name = "tiny";
+  tiny.arrival_rate = 1e-15;
+  tiny.demand(dc::Resource::kCpu, 1.0);
+  inputs.services = {tiny};
+  try {
+    max_workload_scale(inputs, 1);
+    FAIL() << "expected NumericError";
+  } catch (const NumericError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("max_workload_scale"), std::string::npos) << what;
+    EXPECT_NE(what.find("target_loss = 0.01"), std::string::npos) << what;
+    EXPECT_NE(what.find("failed to bracket"), std::string::npos) << what;
+    EXPECT_NE(what.find("bracket ["), std::string::npos) << what;
+  }
+}
+
 TEST(Admission, Validation) {
   const ModelInputs inputs = case_study();
   dc::ServiceSpec no_demand;

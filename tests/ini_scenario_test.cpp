@@ -119,6 +119,59 @@ TEST(Scenario, ValidatesServiceDeclarations) {
                InvalidArgument);  // impact out of range
 }
 
+TEST(Scenario, ValidationErrorsNameTheServiceFieldAndValue) {
+  // Impact out of range: the message must identify which service, which
+  // key, and what value was rejected.
+  try {
+    core::scenario_inputs(ini_parse(
+        "[service]\nname = web\narrival_rate = 5\ncpu_rate = 10\n"
+        "cpu_impact = 1.5\n"));
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("service 'web'"), std::string::npos) << what;
+    EXPECT_NE(what.find("cpu_impact"), std::string::npos) << what;
+    EXPECT_NE(what.find("1.5"), std::string::npos) << what;
+    EXPECT_NE(what.find("(0, 1]"), std::string::npos) << what;
+  }
+
+  // Negative rates are rejected loudly instead of being silently treated
+  // as "no demand".
+  try {
+    core::scenario_inputs(ini_parse(
+        "[service]\nname = db\narrival_rate = 5\ndisk_rate = -3\n"));
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("service 'db'"), std::string::npos) << what;
+    EXPECT_NE(what.find("disk_rate"), std::string::npos) << what;
+    EXPECT_NE(what.find("-3"), std::string::npos) << what;
+  }
+
+  // A negative arrival rate is reported with its value, not just the
+  // generic "set arrival_rate or dedicated_servers".
+  try {
+    core::scenario_inputs(ini_parse(
+        "[service]\nname = s\narrival_rate = -5\ncpu_rate = 10\n"));
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("service 's'"), std::string::npos) << what;
+    EXPECT_NE(what.find("arrival_rate = -5"), std::string::npos) << what;
+  }
+
+  // A service with no demand lists the keys that would declare one.
+  try {
+    core::scenario_inputs(
+        ini_parse("[service]\nname = ghost\narrival_rate = 5\n"));
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("service 'ghost'"), std::string::npos) << what;
+    EXPECT_NE(what.find("cpu_rate"), std::string::npos) << what;
+  }
+}
+
 TEST(Scenario, SerializationRoundTrips) {
   const core::ModelInputs original =
       core::scenario_inputs(ini_parse(kCaseStudy));

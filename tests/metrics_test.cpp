@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include "core/batch_eval.hpp"
 #include "core/report.hpp"
+#include "core/scenario_batch.hpp"
 #include "sim/engine.hpp"
 #include "util/parallel_for.hpp"
 #include "util/thread_pool.hpp"
@@ -102,6 +104,54 @@ TEST(Metrics, EngineReportsExecutedEvents) {
   }
   engine.run();
   EXPECT_EQ(registry().counter("engine.events").value(), before + 25);
+}
+
+TEST(Metrics, BatchEvaluatorReportsCountersByCanonicalName) {
+  core::ModelInputs inputs;
+  inputs.target_loss = 0.01;
+  dc::ServiceSpec service;
+  service.name = "web";
+  service.arrival_rate = 100.0;
+  service.demand(dc::Resource::kCpu, 50.0, virt::Impact::constant(0.8));
+  inputs.services = {service};
+
+  core::ScenarioBatch batch;
+  batch.append(inputs);
+  batch.append(inputs);
+  batch.append(inputs);
+
+  Registry& global = registry();
+  const auto evaluations_before =
+      global.counter(names::kBatchEvaluations).value();
+  const auto scenarios_before = global.counter(names::kBatchScenarios).value();
+  const auto shards_before = global.counter(names::kBatchShards).value();
+  const auto wall_before = global.timer(names::kBatchWall).count();
+
+  core::BatchOptions options;
+  options.parallel = false;
+  core::BatchEvaluator evaluator(options);
+  ASSERT_EQ(evaluator.evaluate(batch).size(), 3u);
+
+  EXPECT_EQ(global.counter(names::kBatchEvaluations).value(),
+            evaluations_before + 1);
+  EXPECT_EQ(global.counter(names::kBatchScenarios).value(),
+            scenarios_before + 3);
+  EXPECT_GE(global.counter(names::kBatchShards).value(), shards_before + 1);
+  EXPECT_EQ(global.timer(names::kBatchWall).count(), wall_before + 1);
+
+  // The memoizing kernel answers the three identical scenarios mostly from
+  // cache, and the batch attributes those hits to itself.
+  const auto hits_before = global.counter(names::kBatchKernelHits).value();
+  core::BatchEvaluator memoized;  // default: shared kernel, memoize on
+  ASSERT_EQ(memoized.evaluate(batch).size(), 3u);
+  EXPECT_GT(global.counter(names::kBatchKernelHits).value(), hits_before);
+}
+
+TEST(Metrics, PrintMetricsRendersBatchCounters) {
+  registry().counter(names::kBatchEvaluations).add(0);  // ensure it exists
+  std::ostringstream out;
+  core::print_metrics(out);
+  EXPECT_NE(out.str().find(names::kBatchEvaluations), std::string::npos);
 }
 
 TEST(Metrics, PrintMetricsRendersRegistryTable) {
