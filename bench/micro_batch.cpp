@@ -1,11 +1,15 @@
 // Microbenchmark for the columnar batch evaluator: object-at-a-time
 // (one UtilityAnalyticModel::solve() per grid cell, stateless Erlang
 // functions — the pre-batch behavior) vs one ScenarioBatch evaluated by the
-// BatchEvaluator on a single thread, vs the sharded parallel evaluation.
-// Every configuration computes the same plans — the bench verifies the
-// results are bit-identical before printing timings, then emits
-// BENCH_batch.json (plans/sec, wall ms, speedup per configuration).
-// Not a paper figure; performance hygiene for the what-if sweep path.
+// BatchEvaluator on a single thread, vs the sharded parallel evaluation,
+// plus a thread-scaling sweep over fixed-size pools (1/2/4/8 workers)
+// exercising the kernel's contention-free snapshot/arena path. Every
+// configuration computes the same plans — the bench verifies the results
+// are bit-identical before printing timings, then emits BENCH_batch.json
+// (header with git rev + worker counts; plans/sec, wall ms, speedup per
+// configuration). Not a paper figure; performance hygiene for the what-if
+// sweep path.
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
@@ -13,6 +17,7 @@
 #include <functional>
 #include <iostream>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -22,6 +27,7 @@
 #include "core/scenario_batch.hpp"
 #include "queueing/erlang_kernel.hpp"
 #include "util/metrics.hpp"
+#include "util/thread_pool.hpp"
 
 namespace vmcons::bench {
 namespace {
@@ -62,7 +68,14 @@ int run(int argc, const char** argv) {
   // Pass/fail threshold for the exit status; smoke runs (tiny grids whose
   // wall time is all fixed overhead) set this to 0 to check correctness only.
   const double min_speedup = flags.get_double("min-speedup", 3.0);
+  // Require batch_parallel >= this multiple of batch_1thread plans/sec.
+  // Only enforced on machines with >= 4 hardware threads; elsewhere the
+  // check is skipped with a notice (a 1-core box cannot demonstrate
+  // parallel speedup no matter how contention-free the kernel is).
+  const double min_parallel_speedup =
+      flags.get_double("min-parallel-speedup", 0.0);
   const std::string json_path = flags.get_string("json", "BENCH_batch.json");
+  const std::string git_rev = flags.get_string("git-rev", "unknown");
   finish_flags(flags);
 
   banner("micro_batch: object-at-a-time vs columnar ScenarioBatch",
@@ -131,6 +144,32 @@ int run(int argc, const char** argv) {
         core::BatchEvaluator(parallel_options).evaluate(batch);
   });
 
+  // Thread-scaling sweep: fixed-size injected pools, cold kernel each, so
+  // every row measures the same work under a known worker count.
+  struct ThreadRow {
+    std::size_t threads = 0;
+    double ms = 0.0;
+  };
+  std::vector<ThreadRow> thread_rows;
+  for (const std::size_t threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    queueing::ErlangKernel kernel;
+    core::BatchOptions options;
+    options.kernel = &kernel;
+    options.pool = &pool;
+    std::vector<core::ModelResult> results;
+    const double ms = run_millis([&] {
+      const core::ScenarioBatch batch = core::ScenarioBatch::from_inputs(grid);
+      results = core::BatchEvaluator(options).evaluate(batch);
+    });
+    if (!same_results(object_results, results)) {
+      std::cerr << "FAIL: " << threads
+                << "-thread batch diverged from per-scenario solve\n";
+      return EXIT_FAILURE;
+    }
+    thread_rows.push_back({threads, ms});
+  }
+
   if (!same_results(object_results, serial_results) ||
       !same_results(object_results, parallel_results)) {
     std::cerr << "FAIL: batch evaluation diverged from per-scenario solve\n";
@@ -153,6 +192,12 @@ int run(int argc, const char** argv) {
                  AsciiTable::format(parallel_ms, 1),
                  AsciiTable::format(count / parallel_ms * 1000.0, 0),
                  AsciiTable::format(object_ms / parallel_ms, 1) + "x"});
+  for (const ThreadRow& row : thread_rows) {
+    table.add_row({"batch, pool(" + std::to_string(row.threads) + ")",
+                   AsciiTable::format(row.ms, 1),
+                   AsciiTable::format(count / row.ms * 1000.0, 0),
+                   AsciiTable::format(object_ms / row.ms, 1) + "x"});
+  }
   table.print(std::cout,
               std::to_string(grid.size()) + "-plan batch wall time");
 
@@ -163,10 +208,14 @@ int run(int argc, const char** argv) {
             << "% hit rate), " << stats.steps << " recurrence steps\n\n";
   core::print_metrics(std::cout);
 
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
   std::ostringstream json;
   json.precision(6);
   json << std::fixed << "{\n";
-  const auto emit = [&](const char* name, double ms, bool last) {
+  json << "  \"header\": {\"git_rev\": \"" << git_rev
+       << "\", \"workers\": " << ThreadPool::shared().size()
+       << ", \"hardware_concurrency\": " << hardware << "},\n";
+  const auto emit = [&](const std::string& name, double ms, bool last) {
     json << "  \"" << name << "\": {\"plans_per_sec\": "
          << count / ms * 1000.0 << ", \"ms_total\": " << ms
          << ", \"speedup_vs_object\": " << object_ms / ms << "}"
@@ -174,18 +223,39 @@ int run(int argc, const char** argv) {
   };
   emit("object_at_a_time", object_ms, false);
   emit("batch_1thread", serial_ms, false);
-  emit("batch_parallel", parallel_ms, true);
+  emit("batch_parallel", parallel_ms, false);
+  for (std::size_t i = 0; i < thread_rows.size(); ++i) {
+    emit("batch_threads_" + std::to_string(thread_rows[i].threads),
+         thread_rows[i].ms, i + 1 == thread_rows.size());
+  }
   json << "}\n";
   std::ofstream out(json_path);
   out << json.str();
   out.close();
   std::cout << "\nwrote " << json_path << "\n";
 
+  bool passed = true;
   const double speedup = object_ms / serial_ms;
   std::cout << "1-thread batch speedup over object-at-a-time: "
             << AsciiTable::format(speedup, 1) << "x (target >= "
             << AsciiTable::format(min_speedup, 1) << "x)\n";
-  return speedup >= min_speedup ? EXIT_SUCCESS : EXIT_FAILURE;
+  passed = passed && speedup >= min_speedup;
+
+  if (min_parallel_speedup > 0.0) {
+    const double parallel_speedup = serial_ms / parallel_ms;
+    if (hardware < 4) {
+      std::cout << "parallel speedup check SKIPPED: only " << hardware
+                << " hardware thread(s) available (need >= 4 to demonstrate "
+                   "scaling)\n";
+    } else {
+      std::cout << "parallel batch speedup over 1-thread batch: "
+                << AsciiTable::format(parallel_speedup, 2) << "x (target >= "
+                << AsciiTable::format(min_parallel_speedup, 2) << "x on "
+                << hardware << " hardware threads)\n";
+      passed = passed && parallel_speedup >= min_parallel_speedup;
+    }
+  }
+  return passed ? EXIT_SUCCESS : EXIT_FAILURE;
 }
 
 }  // namespace

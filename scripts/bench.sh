@@ -24,7 +24,8 @@ echo "== bench: micro_sweep (parallel memoized planner) =="
 
 echo
 echo "== bench: micro_batch (columnar ScenarioBatch evaluator) =="
-./build/bench/micro_batch --json BENCH_batch.json
+./build/bench/micro_batch --json BENCH_batch.json \
+  --git-rev "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
 echo
 echo "bench PASSED (BENCH_engine.json, BENCH_batch.json updated)"

@@ -22,6 +22,12 @@ echo "== tier-1: bench smoke (correctness only, ~1s each) =="
   --min-speedup 0
 ./build/bench/micro_batch --losses 2 --scales 2 --servers 2000 \
   --min-speedup 0 --json /dev/null
+# Parallel-scaling gate: batch_parallel must beat batch_1thread by 1.5x on
+# machines with >= 4 hardware threads (the bench skips the check, with a
+# notice, on smaller machines where scaling cannot show). The grid is
+# bigger than the smoke above so the parallel path has real work to split.
+./build/bench/micro_batch --losses 8 --scales 8 --servers 2000 \
+  --min-speedup 0 --min-parallel-speedup 1.5 --json /dev/null
 
 echo
 echo "== tier-1: asan+ubsan build + concurrency tests =="

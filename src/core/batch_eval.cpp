@@ -221,14 +221,36 @@ void derive_utility(const ScenarioBatch& batch, std::size_t begin,
   const auto arrival = batch.arrival_rate();
   const auto bottleneck = batch.bottleneck_rate();
   const auto effective = batch.effective_rate();
+  if (begin == end) {
+    return;
+  }
+
+  // Pass 1: per-row work terms over the shard's contiguous row range. The
+  // loops are branch-free streams over dense columns, so the compiler can
+  // vectorize the divisions; summing the staged terms afterwards in row
+  // order is the same operation order as the fused loop, hence
+  // bit-identical.
+  const std::size_t row0 = batch.services_begin(begin);
+  const std::size_t row_end = batch.services_end(end - 1);
+  const std::size_t rows = row_end - row0;
+  std::vector<double> dedicated_terms(rows);
+  std::vector<double> consolidated_terms(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    dedicated_terms[r] = arrival[row0 + r] / bottleneck[row0 + r];
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    consolidated_terms[r] = arrival[row0 + r] / effective[row0 + r];
+  }
+
+  // Pass 2: per-scenario forward sums and the Eq. 8-11 ratios.
   for (std::size_t s = begin; s < end; ++s) {
     ModelResult& result = results[s - begin];
     double dedicated_work = 0.0;
     double consolidated_work = 0.0;
     for (std::size_t row = batch.services_begin(s);
          row < batch.services_end(s); ++row) {
-      dedicated_work += arrival[row] / bottleneck[row];
-      consolidated_work += arrival[row] / effective[row];
+      dedicated_work += dedicated_terms[row - row0];
+      consolidated_work += consolidated_terms[row - row0];
     }
     if (result.dedicated_servers > 0) {
       result.dedicated_utilization =
@@ -248,28 +270,37 @@ void derive_utility(const ScenarioBatch& batch, std::size_t begin,
 void derive_power(const ScenarioBatch& batch, std::size_t begin,
                   std::size_t end, std::span<ModelResult> results) {
   const std::size_t count = end - begin;
-  std::vector<double> clamped(count);
-  std::vector<double> watts(count);
+  // One scratch block, both deployments staged before any scatter: the
+  // clamp loops are branch-free min-streams and watts_many runs over dense
+  // columns, so all four passes vectorize.
+  std::vector<double> scratch(count * 4);
+  const std::span<double> dedicated_clamped(scratch.data(), count);
+  const std::span<double> consolidated_clamped(scratch.data() + count, count);
+  const std::span<double> dedicated_watts(scratch.data() + 2 * count, count);
+  const std::span<double> consolidated_watts(scratch.data() + 3 * count,
+                                             count);
 
   for (std::size_t k = 0; k < count; ++k) {
-    clamped[k] = std::min(1.0, results[k].dedicated_utilization);
+    dedicated_clamped[k] = std::min(1.0, results[k].dedicated_utilization);
   }
-  dc::watts_many(batch.dedicated_power().subspan(begin, count), clamped,
-                 watts);
   for (std::size_t k = 0; k < count; ++k) {
-    results[k].dedicated_power_watts =
-        static_cast<double>(results[k].dedicated_servers) * watts[k];
+    consolidated_clamped[k] =
+        std::min(1.0, results[k].consolidated_utilization);
   }
+  dc::watts_many(batch.dedicated_power().subspan(begin, count),
+                 dedicated_clamped, dedicated_watts);
+  dc::watts_many(batch.consolidated_power().subspan(begin, count),
+                 consolidated_clamped, consolidated_watts);
 
-  for (std::size_t k = 0; k < count; ++k) {
-    clamped[k] = std::min(1.0, results[k].consolidated_utilization);
-  }
-  dc::watts_many(batch.consolidated_power().subspan(begin, count), clamped,
-                 watts);
+  // Single fused finalize: per-server watts scaled to fleets, then the
+  // Eq. 12-14 saving ratios.
   for (std::size_t k = 0; k < count; ++k) {
     ModelResult& result = results[k];
+    result.dedicated_power_watts =
+        static_cast<double>(result.dedicated_servers) * dedicated_watts[k];
     result.consolidated_power_watts =
-        static_cast<double>(result.consolidated_servers) * watts[k];
+        static_cast<double>(result.consolidated_servers) *
+        consolidated_watts[k];
     if (result.dedicated_power_watts > 0.0) {
       result.power_ratio =
           result.consolidated_power_watts / result.dedicated_power_watts;
@@ -302,12 +333,13 @@ std::vector<ModelResult> BatchEvaluator::evaluate(
   registry.counter(metrics::names::kBatchEvaluations).add();
   registry.counter(metrics::names::kBatchScenarios).add(count);
 
+  ThreadPool& pool =
+      options_.pool != nullptr ? *options_.pool : ThreadPool::shared();
   std::size_t shard = options_.shard_size;
   if (shard == 0) {
     // ~4 shards per worker: enough slack to balance heterogeneous scenario
     // costs, big enough that each staged kernel walk amortizes its sort.
-    const std::size_t workers =
-        std::max<std::size_t>(1, ThreadPool::shared().size());
+    const std::size_t workers = std::max<std::size_t>(1, pool.size());
     shard = std::max<std::size_t>(1, (count + workers * 4 - 1) / (workers * 4));
   }
   const std::size_t shard_count = (count + shard - 1) / shard;
@@ -329,7 +361,7 @@ std::vector<ModelResult> BatchEvaluator::evaluate(
     batch_kernels::derive_power(batch, first, last, out);
   };
   if (options_.parallel && shard_count > 1) {
-    parallel_for(shard_count, run_shard);
+    parallel_for(shard_count, run_shard, pool);
   } else {
     for (std::size_t i = 0; i < shard_count; ++i) {
       run_shard(i);
@@ -337,6 +369,15 @@ std::vector<ModelResult> BatchEvaluator::evaluate(
   }
 
   if (kernel != nullptr) {
+    // Batch completion ends a merge epoch: fold every worker's private
+    // recursion extensions into a fresh snapshot so the next batch (or any
+    // direct kernel query) starts lock-free. This is the only serialized
+    // section on the batch path; its cost is the contention bill.
+    {
+      metrics::ScopedTimer merge_wait(
+          registry.timer(metrics::names::kBatchLockWait));
+      kernel->publish();
+    }
     const queueing::ErlangKernel::Stats after = kernel->stats();
     const std::uint64_t hits = after.cache_hits - before.cache_hits;
     const std::uint64_t misses =

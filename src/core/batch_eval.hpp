@@ -11,10 +11,15 @@
 // batch of one, so batch and scalar results are bit-identical by
 // construction — there is exactly one implementation of the math.
 //
-// BatchEvaluator shards a batch over the process thread pool (each shard is
-// a contiguous scenario range, so output is independent of the worker
-// count) and reports batch.* metrics: evaluations, scenarios, shards, and
-// the kernel cache hits/misses attributable to the batch.
+// BatchEvaluator shards a batch over a thread pool (each shard is a
+// contiguous scenario range, so output is independent of the worker count).
+// Each shard stages and sorts its own query spans and walks them against
+// the kernel's lock-free snapshot tier plus its worker's private extension
+// arena — no cross-shard lock. Batch completion is a merge-epoch boundary:
+// the evaluator calls ErlangKernel::publish() so the next batch starts with
+// every prefix in the snapshot tier. batch.* metrics report evaluations,
+// scenarios, shards, kernel cache hits/misses attributable to the batch,
+// and the end-of-batch merge cost (batch.lock_wait).
 #pragma once
 
 #include <cstddef>
@@ -24,16 +29,19 @@
 #include "core/model.hpp"
 #include "core/scenario_batch.hpp"
 
-namespace vmcons::queueing {
+namespace vmcons {
+class ThreadPool;
+namespace queueing {
 class ErlangKernel;
-}  // namespace vmcons::queueing
+}  // namespace queueing
+}  // namespace vmcons
 
 namespace vmcons::core {
 
 /// Execution knobs for BatchEvaluator.
 struct BatchOptions {
-  /// Fan shards out over the shared thread pool (results stay in scenario
-  /// order and bit-identical to a serial run).
+  /// Fan shards out over a thread pool (results stay in scenario order and
+  /// bit-identical to a serial run).
   bool parallel = true;
   /// Route Erlang-B evaluations through a memoized incremental kernel.
   bool memoize = true;
@@ -42,6 +50,9 @@ struct BatchOptions {
   queueing::ErlangKernel* kernel = nullptr;
   /// Scenarios per shard; 0 auto-sizes to ~4 shards per pool worker.
   std::size_t shard_size = 0;
+  /// Pool to shard over; nullptr uses ThreadPool::shared(). Benches inject
+  /// fixed-size pools here to measure thread scaling reproducibly.
+  ThreadPool* pool = nullptr;
 };
 
 /// Evaluates whole ScenarioBatches; the batch-first face of the model.

@@ -71,7 +71,11 @@ RobustPlan robust_consolidated_plan(const ModelInputs& inputs,
   // One columnar batch holds the unperturbed point estimate (scenario 0)
   // plus every Monte Carlo draw; sampling stays deterministic per index.
   // Memoization is off: perturbed offered loads are almost surely distinct,
-  // so a prefix cache would only churn.
+  // so caching them would fill every worker's extension arena with
+  // single-use prefixes and the end-of-batch merge would flush that churn
+  // into the shared snapshot, evicting genuinely reusable states. Keeping
+  // the Monte Carlo pass off the kernel leaves its merge epochs to the
+  // sweep/validation paths that actually revisit their loads.
   const std::vector<ModelInputs> sampled =
       parallel_map(samples, [&](std::size_t index) {
         Rng rng = make_stream(seed, index);

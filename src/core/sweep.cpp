@@ -104,6 +104,7 @@ std::vector<SweepCell> ConsolidationPlanner::sweep(
   batch_options.parallel = options.parallel;
   batch_options.memoize = options.memoize;
   batch_options.kernel = options.kernel;
+  batch_options.pool = options.pool;
   std::vector<ModelResult> results =
       BatchEvaluator(batch_options).evaluate(batch);
 

@@ -19,9 +19,12 @@
 #include <optional>
 #include <vector>
 
-namespace vmcons::queueing {
+namespace vmcons {
+class ThreadPool;
+namespace queueing {
 class ErlangKernel;
-}  // namespace vmcons::queueing
+}  // namespace queueing
+}  // namespace vmcons
 
 namespace vmcons::core {
 
@@ -59,14 +62,19 @@ class SweepGrid {
 
 /// Execution knobs for ConsolidationPlanner::sweep.
 struct SweepOptions {
-  /// Fan points out over the shared thread pool (results stay in index
-  /// order and bit-identical to a serial run).
+  /// Fan points out over a thread pool (results stay in index order and
+  /// bit-identical to a serial run).
   bool parallel = true;
   /// Route Erlang-B evaluations through a memoized incremental kernel.
+  /// The sweep is one batch, so it ends with one merge epoch: the kernel
+  /// publishes every recursion prefix the grid touched into its lock-free
+  /// snapshot tier.
   bool memoize = true;
   /// Kernel override (implies memoize); nullptr uses the process-wide
   /// ErlangKernel::shared() when memoize is set.
   queueing::ErlangKernel* kernel = nullptr;
+  /// Pool to fan out over; nullptr uses ThreadPool::shared().
+  ThreadPool* pool = nullptr;
 };
 
 }  // namespace vmcons::core

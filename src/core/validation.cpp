@@ -121,9 +121,14 @@ ValidationReport validate(const ModelInputs& inputs,
 std::vector<ValidationReport> validate_many(std::span<const ModelInputs> inputs,
                                             const ValidationOptions& options) {
   // Solve every scenario through one columnar batch; the simulated
-  // measurements then run per scenario at the model's staffing.
+  // measurements then run per scenario at the model's staffing. The batch
+  // is its own merge epoch: by the time the simulation phase starts, every
+  // Erlang prefix the analytic pass touched has been published to the
+  // shared kernel's snapshot tier, so nothing below contends with the
+  // simulation threads.
   const ScenarioBatch batch = ScenarioBatch::from_inputs(inputs);
-  std::vector<ModelResult> solutions = BatchEvaluator().evaluate(batch);
+  std::vector<ModelResult> solutions =
+      BatchEvaluator(BatchOptions{}).evaluate(batch);
 
   std::vector<ValidationReport> reports(inputs.size());
   for (std::size_t i = 0; i < inputs.size(); ++i) {

@@ -10,13 +10,23 @@
 namespace vmcons::queueing {
 namespace {
 
-// Memory bounds for the prefix cache: one state never stores more than
-// kMaxStatePrefix doubles (16 MB), and the kernel as a whole stays under
-// kPrefixBudget doubles (32 MB) by evicting least-recently-used states.
+// Memory bounds: one cached prefix never stores more than kMaxStatePrefix
+// doubles (16 MB), and a published snapshot stays under kPrefixBudget
+// doubles (32 MB) by evicting least-recently-merged states at publish time.
 // Queries beyond the per-state cap still answer correctly; the tail of the
 // recursion just runs uncached.
 constexpr std::size_t kMaxStatePrefix = std::size_t{1} << 21;
 constexpr std::size_t kPrefixBudget = std::size_t{1} << 22;
+
+// A thread whose private arena exceeds this many extension doubles (512 KB)
+// folds it into a fresh snapshot, so arenas stay small and other threads
+// start hitting the published prefixes instead of re-deriving them.
+constexpr std::size_t kArenaWatermark = std::size_t{1} << 16;
+
+/// Monotonically increasing kernel-generation ids. Never reused, so a
+/// thread-local arena pointer keyed by a retired serial can never collide
+/// with a live kernel.
+std::atomic<std::uint64_t> g_kernel_serial{1};
 
 /// The erlang.hpp convergence guard, kept bit-for-bit identical so the
 /// kernel throws exactly where the free function does.
@@ -38,79 +48,258 @@ double log_erlang_b_plain(std::uint64_t servers, double rho,
   return -log_inverse;
 }
 
+/// First index whose (strictly decreasing) value is <= target, or size().
+template <typename Vec>
+std::size_t descending_lower_bound(const Vec& values, double target) {
+  const auto it = std::lower_bound(
+      values.begin(), values.end(), target,
+      [](double blocking, double t) { return blocking > t; });
+  return static_cast<std::size_t>(it - values.begin());
+}
+
 }  // namespace
 
-ErlangKernel::ErlangKernel(std::size_t max_states)
-    : max_states_(std::max<std::size_t>(1, max_states)),
-      evaluations_metric_(metrics::registry().counter("erlang.evaluations")),
-      cache_hits_metric_(metrics::registry().counter("erlang.cache_hits")),
-      steps_metric_(metrics::registry().counter("erlang.steps")) {}
-
-ErlangKernel::State& ErlangKernel::state_for(double rho) {
-  const std::uint64_t key = std::bit_cast<std::uint64_t>(rho);
-  auto it = states_.find(key);
-  if (it == states_.end()) {
-    // Evict the least-recently-used state when over either bound. The map
-    // is small (max_states_ entries), so a linear scan is fine.
-    while (states_.size() >= max_states_ ||
-           (cached_doubles_ > kPrefixBudget && !states_.empty())) {
-      auto victim = states_.begin();
-      for (auto candidate = states_.begin(); candidate != states_.end();
-           ++candidate) {
-        if (candidate->second.last_used < victim->second.last_used) {
-          victim = candidate;
-        }
-      }
-      cached_doubles_ -= victim->second.prefix.size();
-      states_.erase(victim);
+/// One thread's private extension tier. The owning thread mutates it only
+/// under `m`; publish() reads it under `m`; the owner's own reads need no
+/// lock (it is the only writer). Entries are dropped by the owner once the
+/// snapshot covers them, so arenas stay transient.
+struct ErlangKernel::Arena {
+  /// Continuation of one rho's recurrence: values before `base->size()`
+  /// live in the immutable snapshot prefix `base` (null when the rho was
+  /// never published), values at index base_len + i live in ext[i].
+  struct Extension {
+    PrefixPtr base;
+    std::vector<double> ext;
+    std::size_t base_len() const noexcept { return base ? base->size() : 0; }
+    std::size_t combined() const noexcept { return base_len() + ext.size(); }
+    double value_at(std::uint64_t n) const {
+      return n < base_len() ? (*base)[n] : ext[n - base_len()];
     }
-    it = states_.emplace(key, State{{1.0}, 0}).first;
-    cached_doubles_ += 1;
+    double last() const { return ext.empty() ? base->back() : ext.back(); }
+  };
+
+  std::mutex m;
+  std::unordered_map<std::uint64_t, Extension> states;  // key: rho bits
+  std::size_t doubles = 0;  ///< sum of ext sizes — the merge watermark gauge
+  std::uint64_t serial = 0;  ///< kernel generation this arena belongs to
+
+  /// The slot for rho, created from (or rebased onto) the snapshot's
+  /// prefix. Requires `m` held by the owning thread.
+  Extension& state_for(const Snapshot& snapshot, std::uint64_t key) {
+    PrefixPtr published;
+    if (const auto it = snapshot.states.find(key);
+        it != snapshot.states.end()) {
+      published = it->second.prefix;
+    }
+    auto [it, inserted] = states.try_emplace(key);
+    Extension& state = it->second;
+    if (inserted) {
+      if (published) {
+        state.base = std::move(published);
+      } else {
+        state.ext.push_back(1.0);  // E_0 — seeded, not a recurrence step
+        ++doubles;
+      }
+    } else if (published && published->size() > state.combined()) {
+      // A merge published a longer prefix (bit-identical to anything this
+      // arena derived): adopt it and drop the now-redundant extension.
+      doubles -= state.ext.size();
+      state.ext.clear();
+      state.base = std::move(published);
+    }
+    return state;
   }
-  it->second.last_used = ++ticket_;
-  return it->second;
+};
+
+ErlangKernel::ErlangKernel(std::size_t max_states)
+    : snapshot_(std::make_shared<const Snapshot>()),
+      serial_(g_kernel_serial.fetch_add(1, std::memory_order_relaxed)),
+      max_states_(std::max<std::size_t>(1, max_states)),
+      evaluations_metric_(
+          metrics::registry().counter(metrics::names::kErlangEvaluations)),
+      cache_hits_metric_(
+          metrics::registry().counter(metrics::names::kErlangCacheHits)),
+      steps_metric_(metrics::registry().counter(metrics::names::kErlangSteps)),
+      snapshot_hits_metric_(
+          metrics::registry().counter(metrics::names::kErlangSnapshotHits)),
+      arena_extensions_metric_(
+          metrics::registry().counter(metrics::names::kErlangArenaExtensions)),
+      merges_metric_(
+          metrics::registry().counter(metrics::names::kErlangMerges)) {}
+
+ErlangKernel::~ErlangKernel() = default;
+
+ErlangKernel::SnapshotPtr ErlangKernel::load_snapshot() const {
+  return snapshot_.load(std::memory_order_acquire);
 }
 
-void ErlangKernel::extend(State& state, double rho, std::uint64_t servers) {
-  const std::uint64_t cap = std::min<std::uint64_t>(servers, kMaxStatePrefix - 1);
-  if (state.prefix.size() > cap) {
-    return;
+std::unordered_map<std::uint64_t, ErlangKernel::Arena*>&
+ErlangKernel::thread_arena_map() {
+  // Keyed by kernel serial (never reused), so entries for destroyed or
+  // cleared kernels simply go stale; they are never dereferenced again.
+  thread_local std::unordered_map<std::uint64_t, Arena*> map;
+  return map;
+}
+
+ErlangKernel::Arena& ErlangKernel::local_arena() {
+  auto& map = thread_arena_map();
+  if (const auto it = map.find(serial_.load(std::memory_order_acquire));
+      it != map.end()) {
+    return *it->second;
   }
-  const std::size_t before = state.prefix.size();
-  double blocking = state.prefix.back();
-  for (std::uint64_t n = state.prefix.size(); n <= cap; ++n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Re-read under the lock: a concurrent clear() may have bumped the
+  // generation between the fast-path lookup and here.
+  const std::uint64_t serial = serial_.load(std::memory_order_relaxed);
+  if (const auto it = map.find(serial); it != map.end()) {
+    return *it->second;
+  }
+  arenas_.push_back(std::make_unique<Arena>());
+  Arena* arena = arenas_.back().get();
+  arena->serial = serial;
+  map.emplace(serial, arena);
+  return *arena;
+}
+
+ErlangKernel::Arena* ErlangKernel::registered_local_arena() const {
+  auto& map = thread_arena_map();
+  const auto it = map.find(serial_.load(std::memory_order_acquire));
+  return it != map.end() ? it->second : nullptr;
+}
+
+double ErlangKernel::eval_one(const Snapshot& snapshot, std::uint64_t servers,
+                              double rho, Tally& tally) {
+  ++tally.evaluations;
+  const std::uint64_t key = std::bit_cast<std::uint64_t>(rho);
+  if (const auto it = snapshot.states.find(key);
+      it != snapshot.states.end() && it->second.prefix->size() > servers) {
+    ++tally.cache_hits;
+    ++tally.snapshot_hits;
+    return (*it->second.prefix)[servers];
+  }
+  Arena& arena = local_arena();
+  std::lock_guard<std::mutex> lock(arena.m);
+  Arena::Extension& state = arena.state_for(snapshot, key);
+  std::size_t covered = state.combined();
+  if (servers < covered) {
+    ++tally.cache_hits;
+    return state.value_at(servers);
+  }
+  // Resume the recurrence privately where the covered prefix ends.
+  double blocking = state.last();
+  const std::uint64_t cap =
+      std::min<std::uint64_t>(servers, kMaxStatePrefix - 1);
+  std::uint64_t grown = 0;
+  for (std::uint64_t n = covered; n <= cap; ++n) {
     blocking = rho * blocking / (static_cast<double>(n) + rho * blocking);
-    state.prefix.push_back(blocking);
+    state.ext.push_back(blocking);
+    ++grown;
   }
-  const std::uint64_t grown = state.prefix.size() - before;
-  stats_.steps += grown;
-  steps_metric_.add(grown);
-  cached_doubles_ += grown;
-}
-
-double ErlangKernel::erlang_b_locked(std::uint64_t servers, double rho) {
-  ++stats_.evaluations;
-  evaluations_metric_.add();
-  State& state = state_for(rho);
-  if (state.prefix.size() > servers) {
-    ++stats_.cache_hits;
-    cache_hits_metric_.add();
-    return state.prefix[servers];
+  if (grown > 0) {
+    tally.steps += grown;
+    arena.doubles += grown;
+    ++tally.arena_extensions;
   }
-  extend(state, rho, servers);
-  if (state.prefix.size() > servers) {
-    return state.prefix[servers];
+  covered += grown;
+  if (servers < covered) {
+    return state.value_at(servers);
   }
   // Beyond the per-state cache cap: finish the recursion uncached.
-  double blocking = state.prefix.back();
-  std::uint64_t steps = 0;
-  for (std::uint64_t n = state.prefix.size(); n <= servers; ++n) {
+  std::uint64_t uncached = 0;
+  for (std::uint64_t n = covered; n <= servers; ++n) {
     blocking = rho * blocking / (static_cast<double>(n) + rho * blocking);
-    ++steps;
+    ++uncached;
   }
-  stats_.steps += steps;
-  steps_metric_.add(steps);
+  tally.steps += uncached;
   return blocking;
+}
+
+std::uint64_t ErlangKernel::staff_one(const Snapshot& snapshot, double rho,
+                                      double target_blocking, Tally& tally) {
+  ++tally.evaluations;
+  const std::uint64_t key = std::bit_cast<std::uint64_t>(rho);
+  if (const auto it = snapshot.states.find(key); it != snapshot.states.end()) {
+    // E_n is strictly decreasing in n for rho > 0, so the prefix is sorted
+    // descending: the answer is in it iff its last entry is <= target.
+    const Prefix& prefix = *it->second.prefix;
+    if (prefix.back() <= target_blocking) {
+      ++tally.cache_hits;
+      ++tally.snapshot_hits;
+      return descending_lower_bound(prefix, target_blocking);
+    }
+  }
+  Arena& arena = local_arena();
+  std::lock_guard<std::mutex> lock(arena.m);
+  Arena::Extension& state = arena.state_for(snapshot, key);
+  if (state.base && state.base->back() <= target_blocking) {
+    ++tally.cache_hits;
+    return descending_lower_bound(*state.base, target_blocking);
+  }
+  if (!state.ext.empty() && state.ext.back() <= target_blocking) {
+    ++tally.cache_hits;
+    return state.base_len() +
+           descending_lower_bound(state.ext, target_blocking);
+  }
+  // Resume the recursion where the covered prefix ends instead of from E_0.
+  const std::uint64_t limit = servers_limit(rho);
+  double blocking = state.last();
+  std::uint64_t n = state.combined() - 1;
+  std::uint64_t grown = 0;
+  std::uint64_t uncached = 0;
+  const auto settle = [&] {
+    tally.steps += grown + uncached;
+    arena.doubles += grown;
+    if (grown > 0) {
+      ++tally.arena_extensions;
+    }
+  };
+  while (blocking > target_blocking) {
+    ++n;
+    blocking = rho * blocking / (static_cast<double>(n) + rho * blocking);
+    if (n < kMaxStatePrefix) {
+      state.ext.push_back(blocking);
+      ++grown;
+    } else {
+      ++uncached;
+    }
+    if (n > limit) {
+      settle();
+      throw NumericError("erlang_b_servers failed to converge");
+    }
+  }
+  settle();
+  return n;
+}
+
+void ErlangKernel::flush(const Tally& tally) {
+  if (tally.evaluations > 0) {
+    evaluations_.fetch_add(tally.evaluations, std::memory_order_relaxed);
+    evaluations_metric_.add(tally.evaluations);
+  }
+  if (tally.cache_hits > 0) {
+    cache_hits_.fetch_add(tally.cache_hits, std::memory_order_relaxed);
+    cache_hits_metric_.add(tally.cache_hits);
+  }
+  if (tally.snapshot_hits > 0) {
+    snapshot_hits_.fetch_add(tally.snapshot_hits, std::memory_order_relaxed);
+    snapshot_hits_metric_.add(tally.snapshot_hits);
+  }
+  if (tally.steps > 0) {
+    steps_.fetch_add(tally.steps, std::memory_order_relaxed);
+    steps_metric_.add(tally.steps);
+  }
+  if (tally.arena_extensions > 0) {
+    arena_extensions_.fetch_add(tally.arena_extensions,
+                                std::memory_order_relaxed);
+    arena_extensions_metric_.add(tally.arena_extensions);
+  }
+}
+
+void ErlangKernel::maybe_publish() {
+  Arena* arena = registered_local_arena();
+  if (arena != nullptr && arena->doubles > kArenaWatermark) {
+    publish();
+  }
 }
 
 double ErlangKernel::erlang_b(std::uint64_t servers, double rho) {
@@ -118,8 +307,18 @@ double ErlangKernel::erlang_b(std::uint64_t servers, double rho) {
   if (rho == 0.0) {
     return servers == 0 ? 1.0 : 0.0;
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  return erlang_b_locked(servers, rho);
+  const SnapshotPtr snapshot = load_snapshot();
+  Tally tally;
+  double result;
+  try {
+    result = eval_one(*snapshot, servers, rho, tally);
+  } catch (...) {
+    flush(tally);
+    throw;
+  }
+  flush(tally);
+  maybe_publish();
+  return result;
 }
 
 double ErlangKernel::log_erlang_b(std::uint64_t servers, double rho) {
@@ -127,56 +326,11 @@ double ErlangKernel::log_erlang_b(std::uint64_t servers, double rho) {
   if (rho == 0.0) {
     return servers == 0 ? 0.0 : -std::numeric_limits<double>::infinity();
   }
-  std::uint64_t steps = 0;
-  const double result = log_erlang_b_plain(servers, rho, steps);
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.evaluations;
-  evaluations_metric_.add();
-  stats_.steps += steps;
-  steps_metric_.add(steps);
+  Tally tally;
+  ++tally.evaluations;
+  const double result = log_erlang_b_plain(servers, rho, tally.steps);
+  flush(tally);
   return result;
-}
-
-std::uint64_t ErlangKernel::erlang_b_servers_locked(double rho,
-                                                    double target_blocking) {
-  ++stats_.evaluations;
-  evaluations_metric_.add();
-  State& state = state_for(rho);
-  // E_n is strictly decreasing in n for rho > 0, so the cached prefix is
-  // sorted descending: binary-search for the first entry <= target.
-  const auto it = std::lower_bound(
-      state.prefix.begin(), state.prefix.end(), target_blocking,
-      [](double blocking, double target) { return blocking > target; });
-  if (it != state.prefix.end()) {
-    ++stats_.cache_hits;
-    cache_hits_metric_.add();
-    return static_cast<std::uint64_t>(it - state.prefix.begin());
-  }
-  // Resume the recursion where the prefix ends instead of from E_0.
-  const std::uint64_t limit = servers_limit(rho);
-  double blocking = state.prefix.back();
-  std::uint64_t n = state.prefix.size() - 1;
-  std::uint64_t uncached_steps = 0;
-  while (blocking > target_blocking) {
-    ++n;
-    blocking = rho * blocking / (static_cast<double>(n) + rho * blocking);
-    if (n < kMaxStatePrefix) {
-      state.prefix.push_back(blocking);
-      ++cached_doubles_;
-      ++stats_.steps;
-      steps_metric_.add(1);
-    } else {
-      ++uncached_steps;
-    }
-    if (n > limit) {
-      stats_.steps += uncached_steps;
-      steps_metric_.add(uncached_steps);
-      throw NumericError("erlang_b_servers failed to converge");
-    }
-  }
-  stats_.steps += uncached_steps;
-  steps_metric_.add(uncached_steps);
-  return n;
 }
 
 std::uint64_t ErlangKernel::erlang_b_servers(double rho,
@@ -187,8 +341,18 @@ std::uint64_t ErlangKernel::erlang_b_servers(double rho,
   if (rho == 0.0) {
     return 0;
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  return erlang_b_servers_locked(rho, target_blocking);
+  const SnapshotPtr snapshot = load_snapshot();
+  Tally tally;
+  std::uint64_t result;
+  try {
+    result = staff_one(*snapshot, rho, target_blocking, tally);
+  } catch (...) {
+    flush(tally);
+    throw;
+  }
+  flush(tally);
+  maybe_publish();
+  return result;
 }
 
 void ErlangKernel::eval_many(std::span<const BlockingQuery> queries,
@@ -199,7 +363,9 @@ void ErlangKernel::eval_many(std::span<const BlockingQuery> queries,
     VMCONS_REQUIRE(query.rho >= 0.0, "offered load must be >= 0");
   }
   // Sort by (rho, servers): queries against the same recursion state become
-  // adjacent, and within a state the prefix only ever grows forward.
+  // adjacent, and within a state the covered prefix only ever grows
+  // forward. Each caller sorts its own span, so concurrent walks proceed
+  // independently against one shared snapshot load.
   std::vector<std::uint32_t> order(queries.size());
   for (std::uint32_t i = 0; i < order.size(); ++i) {
     order[i] = i;
@@ -211,12 +377,21 @@ void ErlangKernel::eval_many(std::span<const BlockingQuery> queries,
               }
               return queries[a].servers < queries[b].servers;
             });
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (const std::uint32_t i : order) {
-    const BlockingQuery& query = queries[i];
-    out[i] = query.rho == 0.0 ? (query.servers == 0 ? 1.0 : 0.0)
-                              : erlang_b_locked(query.servers, query.rho);
+  const SnapshotPtr snapshot = load_snapshot();
+  Tally tally;
+  try {
+    for (const std::uint32_t i : order) {
+      const BlockingQuery& query = queries[i];
+      out[i] = query.rho == 0.0
+                   ? (query.servers == 0 ? 1.0 : 0.0)
+                   : eval_one(*snapshot, query.servers, query.rho, tally);
+    }
+  } catch (...) {
+    flush(tally);
+    throw;
   }
+  flush(tally);
+  maybe_publish();
 }
 
 void ErlangKernel::servers_for_many(std::span<const StaffingQuery> queries,
@@ -242,13 +417,22 @@ void ErlangKernel::servers_for_many(std::span<const StaffingQuery> queries,
               }
               return queries[a].target_blocking > queries[b].target_blocking;
             });
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (const std::uint32_t i : order) {
-    const StaffingQuery& query = queries[i];
-    out[i] = query.rho == 0.0
-                 ? 0
-                 : erlang_b_servers_locked(query.rho, query.target_blocking);
+  const SnapshotPtr snapshot = load_snapshot();
+  Tally tally;
+  try {
+    for (const std::uint32_t i : order) {
+      const StaffingQuery& query = queries[i];
+      out[i] = query.rho == 0.0
+                   ? 0
+                   : staff_one(*snapshot, query.rho, query.target_blocking,
+                               tally);
+    }
+  } catch (...) {
+    flush(tally);
+    throw;
   }
+  flush(tally);
+  maybe_publish();
 }
 
 double ErlangKernel::erlang_b_capacity(std::uint64_t servers,
@@ -258,17 +442,17 @@ double ErlangKernel::erlang_b_capacity(std::uint64_t servers,
                  "target blocking must be in (0, 1)");
   const double log_target = std::log(target_blocking);
   const double n = static_cast<double>(servers);
-  std::uint64_t steps = 0;
-  std::uint64_t evaluations = 0;
+  Tally tally;
 
   // Bracket exactly like the bisection version, but in the log domain.
   double lo = 0.0;
   double hi = n;
-  ++evaluations;
-  while (log_erlang_b_plain(servers, hi, steps) < log_target) {
+  ++tally.evaluations;
+  while (log_erlang_b_plain(servers, hi, tally.steps) < log_target) {
     hi *= 2.0;
-    ++evaluations;
+    ++tally.evaluations;
     if (hi > 1e12) {
+      flush(tally);
       throw NumericError("erlang_b_capacity failed to bracket");
     }
   }
@@ -279,8 +463,8 @@ double ErlangKernel::erlang_b_capacity(std::uint64_t servers,
   // plain bisection; typical case converges in < 10 evaluations.
   double rho = hi;
   for (int iteration = 0; iteration < 200; ++iteration) {
-    const double log_e = log_erlang_b_plain(servers, rho, steps);
-    ++evaluations;
+    const double log_e = log_erlang_b_plain(servers, rho, tally.steps);
+    ++tally.evaluations;
     const double f = log_e - log_target;
     if (std::abs(f) < 1e-14) {
       break;
@@ -302,25 +486,98 @@ double ErlangKernel::erlang_b_capacity(std::uint64_t servers,
     rho = next;
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  stats_.evaluations += evaluations;
-  evaluations_metric_.add(evaluations);
-  stats_.steps += steps;
-  steps_metric_.add(steps);
+  flush(tally);
   return rho;
 }
 
-ErlangKernel::Stats ErlangKernel::stats() const {
+void ErlangKernel::publish() {
+  Arena* own = registered_local_arena();
   std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  const std::uint64_t serial = serial_.load(std::memory_order_relaxed);
+  const SnapshotPtr old_snapshot = load_snapshot();
+  auto next = std::make_shared<Snapshot>();
+  next->version = old_snapshot->version + 1;
+  next->states = old_snapshot->states;  // shallow: prefixes are shared
+  next->doubles = old_snapshot->doubles;
+
+  for (const auto& arena_ptr : arenas_) {
+    Arena& arena = *arena_ptr;
+    if (arena.serial != serial) {
+      continue;  // orphaned by clear(); excluded from new snapshots
+    }
+    std::lock_guard<std::mutex> arena_lock(arena.m);
+    for (const auto& [key, state] : arena.states) {
+      const std::size_t combined = state.combined();
+      const auto it = next->states.find(key);
+      const std::size_t have =
+          it != next->states.end() ? it->second.prefix->size() : 0;
+      if (combined <= have) {
+        continue;
+      }
+      // The recurrence is deterministic, so every thread's extension of
+      // this rho agrees bit-for-bit on shared indices: the union is simply
+      // the longest prefix.
+      auto merged = std::make_shared<Prefix>();
+      merged->reserve(combined);
+      if (state.base) {
+        merged->insert(merged->end(), state.base->begin(), state.base->end());
+      }
+      merged->insert(merged->end(), state.ext.begin(), state.ext.end());
+      next->doubles += combined - have;
+      next->states[key] = SnapshotEntry{std::move(merged), next->version};
+    }
+    if (&arena == own) {
+      // Only the owner may mutate (its lock-free read path allows no other
+      // writer); foreign arenas self-clean on their owner's next query.
+      arena.states.clear();
+      arena.doubles = 0;
+    }
+  }
+
+  // Bound the published tier: least-recently-merged states go first.
+  while (next->states.size() > max_states_ ||
+         (next->doubles > kPrefixBudget && !next->states.empty())) {
+    auto victim = next->states.begin();
+    for (auto it = next->states.begin(); it != next->states.end(); ++it) {
+      if (it->second.touched < victim->second.touched) {
+        victim = it;
+      }
+    }
+    next->doubles -= victim->second.prefix->size();
+    next->states.erase(victim);
+  }
+
+  snapshot_.store(std::move(next), std::memory_order_release);
+  merges_.fetch_add(1, std::memory_order_relaxed);
+  merges_metric_.add();
+}
+
+ErlangKernel::Stats ErlangKernel::stats() const {
+  Stats stats;
+  stats.evaluations = evaluations_.load(std::memory_order_relaxed);
+  stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  stats.steps = steps_.load(std::memory_order_relaxed);
+  stats.snapshot_hits = snapshot_hits_.load(std::memory_order_relaxed);
+  stats.arena_extensions = arena_extensions_.load(std::memory_order_relaxed);
+  stats.merges = merges_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 void ErlangKernel::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
-  states_.clear();
-  cached_doubles_ = 0;
-  ticket_ = 0;
-  stats_ = Stats{};
+  // A new generation orphans every registered arena (threads re-register on
+  // their next query); orphaned arenas are retained until destruction so a
+  // concurrent query can never touch freed memory.
+  serial_.store(g_kernel_serial.fetch_add(1, std::memory_order_relaxed),
+                std::memory_order_release);
+  snapshot_.store(std::make_shared<const Snapshot>(),
+                  std::memory_order_release);
+  evaluations_.store(0, std::memory_order_relaxed);
+  cache_hits_.store(0, std::memory_order_relaxed);
+  snapshot_hits_.store(0, std::memory_order_relaxed);
+  steps_.store(0, std::memory_order_relaxed);
+  arena_extensions_.store(0, std::memory_order_relaxed);
+  merges_.store(0, std::memory_order_relaxed);
 }
 
 ErlangKernel& ErlangKernel::shared() {

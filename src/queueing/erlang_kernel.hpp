@@ -20,18 +20,45 @@
 //    log(1/E_n), which neither overflows nor underflows, for the
 //    n >> rho regime where E_n itself drops below DBL_MIN.
 //
-// Thread safety: all public methods may be called concurrently; the cache
-// is guarded by a mutex (critical sections are O(log) lookups plus any
-// recursion extension). Results are bit-identical to the erlang.hpp free
-// functions (same recurrence, same order of operations), so replacing one
-// with the other never perturbs a plan.
+// Concurrency model — two-tier, contention-free memoization:
 //
-// Instrumentation: evaluations, recursion steps, and cache hits are
-// reported both per-kernel (stats()) and to the process-wide metrics
-// registry ("erlang.evaluations", "erlang.cache_hits", "erlang.steps").
+//  * Snapshot tier. An immutable map rho -> prefix(E_0..E_k), published as
+//    one atomically-swapped std::shared_ptr. Readers load the pointer and
+//    binary-search/index the prefix with no lock; a query answered here
+//    ("snapshot hit") involves zero synchronization beyond that one atomic
+//    shared_ptr load.
+//  * Arena tier. A query the snapshot cannot answer resumes the recurrence
+//    in the calling thread's private extension arena: each worker owns a
+//    per-rho {base prefix, private extension} pair and extends it without
+//    seeing any other thread. The only lock an arena operation takes is the
+//    arena's own (uncontended except while a merge reads it).
+//  * Merge epochs. publish() folds the longest prefix per rho across every
+//    arena into a fresh snapshot and swaps it in. Epochs end (a) when an
+//    arena crosses a size watermark, (b) when a BatchEvaluator batch
+//    completes, or (c) on an explicit publish() call. Because the
+//    recurrence is deterministic with a fixed order of operations, a prefix
+//    extended by any thread from any published base is bit-identical to
+//    every other extension of the same rho — merging is a pure
+//    longest-prefix union and never changes an answer.
+//
+// Results are bit-identical to the erlang.hpp free functions (same
+// recurrence, same order of operations), so replacing one with the other —
+// or changing the worker count — never perturbs a plan.
+//
+// clear() is safe to call concurrently with queries, but counters and
+// cached prefixes touched by in-flight queries may survive it; call it
+// quiescently when exact stats matter. Orphaned arenas are retained until
+// the kernel is destroyed.
+//
+// Instrumentation: evaluations, recursion steps, cache hits, snapshot
+// hits, arena extensions, and merges are reported both per-kernel
+// (stats()) and to the process-wide metrics registry under the
+// metrics::names::kErlang* canonical names.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <unordered_map>
@@ -57,8 +84,11 @@ class ErlangKernel {
  public:
   struct Stats {
     std::uint64_t evaluations = 0;  ///< public queries answered
-    std::uint64_t cache_hits = 0;   ///< answered from a cached prefix
+    std::uint64_t cache_hits = 0;   ///< answered from snapshot or arena
     std::uint64_t steps = 0;        ///< recurrence steps actually executed
+    std::uint64_t snapshot_hits = 0;      ///< hits served lock-free
+    std::uint64_t arena_extensions = 0;   ///< private recurrence resumptions
+    std::uint64_t merges = 0;             ///< snapshots published
     double hit_rate() const noexcept {
       return evaluations > 0
                  ? static_cast<double>(cache_hits) /
@@ -68,8 +98,13 @@ class ErlangKernel {
   };
 
   /// `max_states` caps the number of distinct rho values whose recursion
-  /// prefixes are retained (least-recently-used eviction beyond it).
+  /// prefixes are retained in a published snapshot (least-recently-merged
+  /// eviction beyond it; arenas are bounded by the merge watermark).
   explicit ErlangKernel(std::size_t max_states = 64);
+  ~ErlangKernel();
+
+  ErlangKernel(const ErlangKernel&) = delete;
+  ErlangKernel& operator=(const ErlangKernel&) = delete;
 
   /// Erlang-B blocking E_n(rho); identical contract and bit-identical
   /// results to queueing::erlang_b.
@@ -90,54 +125,101 @@ class ErlangKernel {
   double erlang_b_capacity(std::uint64_t servers, double target_blocking);
 
   /// Batched erlang_b: out[i] = E_{queries[i].servers}(queries[i].rho), each
-  /// bit-identical to the scalar call. Queries are processed sorted by
-  /// (rho, servers) under one lock acquisition, so every per-rho recursion
-  /// prefix is visited once and only ever extended — a monotone cache walk
-  /// instead of the thrash an arbitrary query order causes.
+  /// bit-identical to the scalar call. The span is sorted by (rho, servers)
+  /// and walked against one snapshot load, so every per-rho recursion prefix
+  /// is visited once and only ever extended — a monotone, lock-free walk.
   void eval_many(std::span<const BlockingQuery> queries,
                  std::span<double> out);
 
   /// Batched erlang_b_servers: out[i] = min n with E_n <= target, processed
-  /// sorted by (rho, descending target) under one lock; same monotone-walk
-  /// guarantee and bit-identical per-query results.
+  /// sorted by (rho, descending target) against one snapshot load; same
+  /// monotone-walk guarantee and bit-identical per-query results.
   void servers_for_many(std::span<const StaffingQuery> queries,
                         std::span<std::uint64_t> out);
+
+  /// Ends the current merge epoch: folds the longest prefix per rho across
+  /// every thread's arena into a new snapshot and publishes it atomically.
+  /// The calling thread's arena is drained; other arenas self-clean on
+  /// their owner's next query. Answers are unaffected (merged prefixes are
+  /// bit-identical to the arena values they replace).
+  void publish();
 
   /// Counters since construction (or the last clear()).
   Stats stats() const;
 
-  /// Drops all cached state and zeroes the per-kernel counters.
+  /// Drops all published and arena state and zeroes the per-kernel
+  /// counters. See the header comment for concurrent-use caveats.
   void clear();
 
   /// Process-wide kernel used by the default sweep path.
   static ErlangKernel& shared();
 
  private:
-  struct State {
-    std::vector<double> prefix;  ///< prefix[k] = E_k(rho); prefix[0] = 1
-    std::uint64_t last_used = 0;
+  using Prefix = std::vector<double>;  ///< prefix[k] = E_k(rho); [0] = 1
+  using PrefixPtr = std::shared_ptr<const Prefix>;
+
+  struct SnapshotEntry {
+    PrefixPtr prefix;
+    std::uint64_t touched = 0;  ///< merge version that last grew this rho
+  };
+  /// Immutable once published; replaced wholesale by publish().
+  struct Snapshot {
+    std::unordered_map<std::uint64_t, SnapshotEntry> states;  // key: rho bits
+    std::uint64_t version = 0;
+    std::size_t doubles = 0;  ///< sum of prefix sizes, for the budget
+  };
+  using SnapshotPtr = std::shared_ptr<const Snapshot>;
+
+  struct Arena;  // private to erlang_kernel.cpp
+
+  /// Per-walk counter deltas, flushed to the atomics once per public call
+  /// instead of once per query.
+  struct Tally {
+    std::uint64_t evaluations = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t snapshot_hits = 0;
+    std::uint64_t steps = 0;
+    std::uint64_t arena_extensions = 0;
   };
 
-  /// Returns the cache slot for rho, creating/evicting as needed.
-  /// Requires rho > 0 and mutex_ held.
-  State& state_for(double rho);
-  /// Extends `state` so prefix covers index `servers`; mutex_ held.
-  void extend(State& state, double rho, std::uint64_t servers);
-  /// The locked bodies of erlang_b / erlang_b_servers, shared by the scalar
-  /// entry points and the sorted batch walks. Require rho > 0, mutex_ held.
-  double erlang_b_locked(std::uint64_t servers, double rho);
-  std::uint64_t erlang_b_servers_locked(double rho, double target_blocking);
+  SnapshotPtr load_snapshot() const;
+  /// The calling thread's arena for this kernel generation, registering it
+  /// (under mutex_) on first use.
+  Arena& local_arena();
+  /// Registered arena or nullptr; never registers (safe under mutex_).
+  Arena* registered_local_arena() const;
+  static std::unordered_map<std::uint64_t, Arena*>& thread_arena_map();
 
-  mutable std::mutex mutex_;
-  std::unordered_map<std::uint64_t, State> states_;  // key: bit pattern of rho
+  /// Single-query bodies shared by the scalar entry points and the sorted
+  /// batch walks. Require rho > 0; lock only the local arena, on miss.
+  double eval_one(const Snapshot& snapshot, std::uint64_t servers, double rho,
+                  Tally& tally);
+  std::uint64_t staff_one(const Snapshot& snapshot, double rho,
+                          double target_blocking, Tally& tally);
+  void flush(const Tally& tally);
+  /// publish() iff the local arena crossed the merge watermark.
+  void maybe_publish();
+
+  std::atomic<SnapshotPtr> snapshot_;
+  mutable std::mutex mutex_;  ///< arena registration, merges, clear()
+  std::vector<std::unique_ptr<Arena>> arenas_;
+  std::atomic<std::uint64_t> serial_;  ///< globally unique kernel generation
   std::size_t max_states_;
-  std::size_t cached_doubles_ = 0;  ///< sum of prefix sizes, for the budget
-  std::uint64_t ticket_ = 0;
-  Stats stats_;
+
+  std::atomic<std::uint64_t> evaluations_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> snapshot_hits_{0};
+  std::atomic<std::uint64_t> steps_{0};
+  std::atomic<std::uint64_t> arena_extensions_{0};
+  std::atomic<std::uint64_t> merges_{0};
+
   // Process-wide mirrors of the per-kernel counters.
   metrics::Counter& evaluations_metric_;
   metrics::Counter& cache_hits_metric_;
   metrics::Counter& steps_metric_;
+  metrics::Counter& snapshot_hits_metric_;
+  metrics::Counter& arena_extensions_metric_;
+  metrics::Counter& merges_metric_;
 };
 
 }  // namespace vmcons::queueing

@@ -24,10 +24,10 @@
 
 namespace vmcons::metrics {
 
-// Canonical names of the batch-evaluation metrics, shared by the batch
-// evaluator, its tests, and anything parsing print_metrics output. Kept here
-// (not in core) so a typo'd name is a link error, not a silently separate
-// counter.
+// Canonical names of the batch-evaluation and Erlang-kernel metrics, shared
+// by the instrumented code, its tests, and anything parsing print_metrics
+// output. Kept here (not in core/queueing) so a typo'd name is a compile
+// error, not a silently separate counter.
 namespace names {
 inline constexpr const char* kBatchEvaluations = "batch.evaluations";
 inline constexpr const char* kBatchScenarios = "batch.scenarios";
@@ -35,6 +35,21 @@ inline constexpr const char* kBatchShards = "batch.shards";
 inline constexpr const char* kBatchKernelHits = "batch.kernel_hits";
 inline constexpr const char* kBatchKernelMisses = "batch.kernel_misses";
 inline constexpr const char* kBatchWall = "batch.wall";
+/// Timer around the end-of-batch ErlangKernel::publish() — the only
+/// serialized section left on the batch path, so its total is the batch
+/// evaluator's contention bill.
+inline constexpr const char* kBatchLockWait = "batch.lock_wait";
+
+inline constexpr const char* kErlangEvaluations = "erlang.evaluations";
+inline constexpr const char* kErlangCacheHits = "erlang.cache_hits";
+inline constexpr const char* kErlangSteps = "erlang.steps";
+/// Queries answered lock-free from the published snapshot tier.
+inline constexpr const char* kErlangSnapshotHits = "erlang.snapshot_hits";
+/// Times a thread resumed a recurrence privately in its extension arena.
+inline constexpr const char* kErlangArenaExtensions =
+    "erlang.arena_extensions";
+/// Merge epochs: snapshots folded from the arenas and published.
+inline constexpr const char* kErlangMerges = "erlang.merges";
 }  // namespace names
 
 /// Monotonic event counter. Thread-safe; increments are relaxed atomics.

@@ -50,7 +50,9 @@ class ThreadPool {
 
   /// Returns the process-wide default pool (created on first use). Its size
   /// is hardware concurrency, overridable via the VMCONS_THREADS environment
-  /// variable (read once, at first use).
+  /// variable (read once, at first use; unset/0/unparsable falls back to
+  /// hardware concurrency). Pinning the size only changes wall time, never
+  /// results — see "Reproducible parallelism" in CONTRIBUTING.md.
   static ThreadPool& shared();
 
   /// True when the calling thread is a worker of *any* ThreadPool (set via

@@ -206,6 +206,109 @@ TEST(ErlangKernel, ConcurrentQueriesAreConsistent) {
   }
 }
 
+TEST(ErlangKernel, PublishMovesArenaIntoSnapshot) {
+  ErlangKernel kernel;
+  const double rho = 300.0;
+  kernel.erlang_b(200, rho);  // cold: built in this thread's arena
+  EXPECT_EQ(kernel.stats().snapshot_hits, 0u);
+  EXPECT_EQ(kernel.stats().arena_extensions, 1u);
+  EXPECT_EQ(kernel.stats().merges, 0u);
+
+  kernel.publish();
+  EXPECT_EQ(kernel.stats().merges, 1u);
+
+  // Any query inside the published prefix is now a lock-free snapshot hit
+  // costing zero recursion steps — including the exact boundary n.
+  const auto before = kernel.stats();
+  EXPECT_DOUBLE_EQ(kernel.erlang_b(150, rho), erlang_b(150, rho));
+  EXPECT_DOUBLE_EQ(kernel.erlang_b(200, rho), erlang_b(200, rho));
+  const auto after = kernel.stats();
+  EXPECT_EQ(after.snapshot_hits, before.snapshot_hits + 2);
+  EXPECT_EQ(after.cache_hits, before.cache_hits + 2);
+  EXPECT_EQ(after.steps, before.steps);
+}
+
+TEST(ErlangKernel, ExtensionResumesFromPublishedPrefix) {
+  ErlangKernel kernel;
+  const double rho = 500.0;
+  kernel.erlang_b(100, rho);
+  kernel.publish();
+  const auto before = kernel.stats();
+  // The arena was drained by publish(); extending past the snapshot still
+  // resumes at 100, it does not restart from E_0.
+  kernel.erlang_b(600, rho);
+  const auto after = kernel.stats();
+  EXPECT_EQ(after.steps - before.steps, 500u);
+  EXPECT_DOUBLE_EQ(kernel.erlang_b(600, rho), erlang_b(600, rho));
+}
+
+TEST(ErlangKernel, WatermarkFoldsArenaAutomatically) {
+  ErlangKernel kernel;
+  // One query whose extension crosses the arena watermark (2^16 doubles)
+  // must end its epoch by itself: the merge happens without any explicit
+  // publish() and the next covered query is a snapshot hit.
+  kernel.erlang_b(70000, 100.0);
+  EXPECT_EQ(kernel.stats().merges, 1u);
+  const auto before = kernel.stats();
+  EXPECT_DOUBLE_EQ(kernel.erlang_b(60000, 100.0), erlang_b(60000, 100.0));
+  const auto after = kernel.stats();
+  EXPECT_EQ(after.snapshot_hits, before.snapshot_hits + 1);
+  EXPECT_EQ(after.steps, before.steps);
+}
+
+TEST(ErlangKernel, PublishOnFreshKernelIsHarmless) {
+  ErlangKernel kernel;
+  kernel.publish();  // no arenas registered anywhere: empty snapshot
+  EXPECT_EQ(kernel.stats().merges, 1u);
+  EXPECT_DOUBLE_EQ(kernel.erlang_b(50, 40.0), erlang_b(50, 40.0));
+}
+
+TEST(ErlangKernel, ClearZeroesConcurrencyCounters) {
+  ErlangKernel kernel;
+  kernel.erlang_b(200, 300.0);
+  kernel.publish();
+  kernel.erlang_b(100, 300.0);  // snapshot hit
+  ASSERT_GT(kernel.stats().snapshot_hits, 0u);
+  ASSERT_GT(kernel.stats().arena_extensions, 0u);
+  ASSERT_GT(kernel.stats().merges, 0u);
+  kernel.clear();
+  const auto stats = kernel.stats();
+  EXPECT_EQ(stats.snapshot_hits, 0u);
+  EXPECT_EQ(stats.arena_extensions, 0u);
+  EXPECT_EQ(stats.merges, 0u);
+  // The snapshot was dropped too: the same query is cold again.
+  const auto before = kernel.stats();
+  kernel.erlang_b(100, 300.0);
+  EXPECT_EQ(kernel.stats().steps - before.steps, 100u);
+}
+
+TEST(ErlangKernel, ConcurrentPublishAndQueriesAgree) {
+  ErlangKernel kernel;
+  ThreadPool pool(4);
+  constexpr std::size_t kQueries = 600;
+  std::vector<double> results(kQueries);
+  parallel_for(
+      kQueries,
+      [&](std::size_t i) {
+        // Interleave merges with reads and private extensions: every 97th
+        // index publishes mid-traffic. Results must be unaffected — merged
+        // prefixes are bit-identical to the arena values they replace.
+        if (i % 97 == 0) {
+          kernel.publish();
+        }
+        const double rho = 50.0 + static_cast<double>(i % 5) * 61.0;
+        const std::uint64_t servers = 1 + (i % 300);
+        results[i] = kernel.erlang_b(servers, rho);
+      },
+      pool);
+  for (std::size_t i = 0; i < kQueries; ++i) {
+    const double rho = 50.0 + static_cast<double>(i % 5) * 61.0;
+    const std::uint64_t servers = 1 + (i % 300);
+    EXPECT_DOUBLE_EQ(results[i], erlang_b(servers, rho)) << "i=" << i;
+  }
+  EXPECT_GE(kernel.stats().merges, 1u);
+}
+
 TEST(ErlangKernel, SharedInstanceIsAvailable) {
   // Smoke test only: other suites also use the shared kernel, so no
   // assumptions about its counters.

@@ -10,6 +10,7 @@
 #include "core/batch_eval.hpp"
 #include "core/report.hpp"
 #include "core/scenario_batch.hpp"
+#include "queueing/erlang_kernel.hpp"
 #include "sim/engine.hpp"
 #include "util/parallel_for.hpp"
 #include "util/thread_pool.hpp"
@@ -145,6 +146,50 @@ TEST(Metrics, BatchEvaluatorReportsCountersByCanonicalName) {
   core::BatchEvaluator memoized;  // default: shared kernel, memoize on
   ASSERT_EQ(memoized.evaluate(batch).size(), 3u);
   EXPECT_GT(global.counter(names::kBatchKernelHits).value(), hits_before);
+}
+
+TEST(Metrics, ErlangKernelReportsConcurrencyCountersByCanonicalName) {
+  Registry& global = registry();
+  const auto snapshot_before =
+      global.counter(names::kErlangSnapshotHits).value();
+  const auto arena_before =
+      global.counter(names::kErlangArenaExtensions).value();
+  const auto merges_before = global.counter(names::kErlangMerges).value();
+
+  queueing::ErlangKernel kernel;
+  kernel.erlang_b(120, 90.0);  // cold: one private arena extension
+  kernel.publish();            // one merge epoch
+  kernel.erlang_b(60, 90.0);   // warm: lock-free snapshot hit
+
+  EXPECT_EQ(global.counter(names::kErlangSnapshotHits).value(),
+            snapshot_before + 1);
+  EXPECT_EQ(global.counter(names::kErlangArenaExtensions).value(),
+            arena_before + 1);
+  EXPECT_EQ(global.counter(names::kErlangMerges).value(), merges_before + 1);
+}
+
+TEST(Metrics, BatchEvaluationTimesItsMergeEpoch) {
+  core::ModelInputs inputs;
+  inputs.target_loss = 0.01;
+  dc::ServiceSpec service;
+  service.name = "web";
+  service.arrival_rate = 100.0;
+  service.demand(dc::Resource::kCpu, 50.0, virt::Impact::constant(0.8));
+  inputs.services = {service};
+  core::ScenarioBatch batch;
+  batch.append(inputs);
+
+  Registry& global = registry();
+  const auto lock_wait_before = global.timer(names::kBatchLockWait).count();
+  queueing::ErlangKernel kernel;
+  core::BatchOptions options;
+  options.parallel = false;
+  options.kernel = &kernel;
+  ASSERT_EQ(core::BatchEvaluator(options).evaluate(batch).size(), 1u);
+  // The batch ended exactly one merge epoch and timed it.
+  EXPECT_EQ(global.timer(names::kBatchLockWait).count(),
+            lock_wait_before + 1);
+  EXPECT_EQ(kernel.stats().merges, 1u);
 }
 
 TEST(Metrics, PrintMetricsRendersBatchCounters) {
