@@ -144,6 +144,31 @@ int run(int argc, const char** argv) {
         core::BatchEvaluator(parallel_options).evaluate(batch);
   });
 
+  // Quarantine overhead: same 1-thread columnar run with the fault-tolerant
+  // policy (and its BatchOutcome bookkeeping) on a fault-free batch. The
+  // fallback path never triggers without a failure, so this must sit within
+  // noise of the fail-fast row — the bench verifies results stay identical
+  // and reports the ratio for the record.
+  queueing::ErlangKernel quarantine_kernel;
+  core::BatchOptions quarantine_options;
+  quarantine_options.parallel = false;
+  quarantine_options.kernel = &quarantine_kernel;
+  quarantine_options.policy = core::FailurePolicy::kQuarantine;
+  std::vector<core::ModelResult> quarantine_results;
+  std::size_t quarantine_failures = 0;
+  const double quarantine_ms = run_millis([&] {
+    const core::ScenarioBatch batch = core::ScenarioBatch::from_inputs(grid);
+    core::BatchOutcome outcome =
+        core::BatchEvaluator(quarantine_options).evaluate_all(batch);
+    quarantine_failures = outcome.failures.size();
+    quarantine_results = std::move(outcome.results);
+  });
+  if (quarantine_failures != 0) {
+    std::cerr << "FAIL: fault-free batch reported " << quarantine_failures
+              << " quarantined cells\n";
+    return EXIT_FAILURE;
+  }
+
   // Thread-scaling sweep: fixed-size injected pools, cold kernel each, so
   // every row measures the same work under a known worker count.
   struct ThreadRow {
@@ -171,7 +196,8 @@ int run(int argc, const char** argv) {
   }
 
   if (!same_results(object_results, serial_results) ||
-      !same_results(object_results, parallel_results)) {
+      !same_results(object_results, parallel_results) ||
+      !same_results(object_results, quarantine_results)) {
     std::cerr << "FAIL: batch evaluation diverged from per-scenario solve\n";
     return EXIT_FAILURE;
   }
@@ -188,6 +214,10 @@ int run(int argc, const char** argv) {
                  AsciiTable::format(serial_ms, 1),
                  AsciiTable::format(count / serial_ms * 1000.0, 0),
                  AsciiTable::format(object_ms / serial_ms, 1) + "x"});
+  table.add_row({"batch, 1 thread, kQuarantine (fault-free)",
+                 AsciiTable::format(quarantine_ms, 1),
+                 AsciiTable::format(count / quarantine_ms * 1000.0, 0),
+                 AsciiTable::format(object_ms / quarantine_ms, 1) + "x"});
   table.add_row({"batch, sharded parallel",
                  AsciiTable::format(parallel_ms, 1),
                  AsciiTable::format(count / parallel_ms * 1000.0, 0),
@@ -223,6 +253,7 @@ int run(int argc, const char** argv) {
   };
   emit("object_at_a_time", object_ms, false);
   emit("batch_1thread", serial_ms, false);
+  emit("batch_quarantine", quarantine_ms, false);
   emit("batch_parallel", parallel_ms, false);
   for (std::size_t i = 0; i < thread_rows.size(); ++i) {
     emit("batch_threads_" + std::to_string(thread_rows[i].threads),
@@ -233,6 +264,11 @@ int run(int argc, const char** argv) {
   out << json.str();
   out.close();
   std::cout << "\nwrote " << json_path << "\n";
+
+  std::cout << "quarantine policy overhead on a fault-free batch: "
+            << AsciiTable::format(quarantine_ms / serial_ms, 2)
+            << "x the fail-fast wall time (expect ~1.0x; the fallback path "
+               "only runs on a failure)\n";
 
   bool passed = true;
   const double speedup = object_ms / serial_ms;

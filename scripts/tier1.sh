@@ -6,10 +6,21 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Global per-test watchdog: a hung cancellation/deadline test (the exact
+# failure mode the run-control suites guard against) must fail, not wedge CI.
+CTEST_TIMEOUT=300
+
 echo "== tier-1: release build + full ctest =="
 cmake --preset default
 cmake --build --preset default -j
-ctest --preset default -j
+ctest --preset default -j --timeout "${CTEST_TIMEOUT}"
+
+echo
+echo "== tier-1: fault-injection suite under a pinned seed =="
+# The run-control/fault suites read VMCONS_FAULT_SEED; pinning it here means
+# a red fault run in CI replays bit-identically at a desk.
+VMCONS_FAULT_SEED=20090806 ./build/tests/vmcons_tests \
+  --gtest_filter='RunControl*:FaultInject*'
 
 echo
 echo "== tier-1: bench smoke (correctness only, ~1s each) =="
@@ -33,7 +44,7 @@ echo
 echo "== tier-1: asan+ubsan build + concurrency tests =="
 cmake --preset asan
 cmake --build --preset asan -j
-ctest --preset asan-concurrency -j
+ctest --preset asan-concurrency -j --timeout "${CTEST_TIMEOUT}"
 
 echo
 echo "tier-1 PASSED"

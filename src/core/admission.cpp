@@ -9,16 +9,23 @@ namespace {
 
 /// Bisection for the largest x in [0, hi] where predicate(x) holds;
 /// predicate must be monotone (true below, false above). `context`
-/// names the caller in the bracket-failure diagnostic.
+/// names the caller in the bracket-failure diagnostic. The RunControl is
+/// polled before every predicate evaluation (each is a full model solve),
+/// so a deadline bounds the whole search, spinning included.
 template <typename Predicate>
 double bisect_max(double hi_start, const std::string& context,
-                  Predicate&& satisfied) {
+                  const RunControl& control, Predicate&& satisfied) {
+  control.raise_if_stopped(context);
   if (!satisfied(1e-9)) {
     return 0.0;
   }
   double lo = 1e-9;
   double hi = hi_start;
-  while (satisfied(hi)) {
+  for (;;) {
+    control.raise_if_stopped(context);
+    if (!satisfied(hi)) {
+      break;
+    }
     lo = hi;
     hi *= 2.0;
     if (hi > 1e12) {
@@ -31,6 +38,7 @@ double bisect_max(double hi_start, const std::string& context,
     }
   }
   for (int iteration = 0; iteration < 200; ++iteration) {
+    control.raise_if_stopped(context);
     const double mid = 0.5 * (lo + hi);
     if (satisfied(mid)) {
       lo = mid;
@@ -46,7 +54,8 @@ double bisect_max(double hi_start, const std::string& context,
 
 }  // namespace
 
-double max_workload_scale(const ModelInputs& inputs, std::uint64_t servers) {
+double max_workload_scale(const ModelInputs& inputs, std::uint64_t servers,
+                          const RunControl& control) {
   VMCONS_REQUIRE(servers >= 1, "need at least one server");
   UtilityAnalyticModel validator(inputs);  // validate inputs
   (void)validator;
@@ -54,7 +63,7 @@ double max_workload_scale(const ModelInputs& inputs, std::uint64_t servers) {
   context.precision(17);
   context << "max_workload_scale(target_loss = " << inputs.target_loss
           << ", servers = " << servers << ")";
-  return bisect_max(1.0, context.str(), [&](double scale) {
+  return bisect_max(1.0, context.str(), control, [&](double scale) {
     ModelInputs scaled = inputs;
     for (auto& service : scaled.services) {
       service.arrival_rate *= scale;
@@ -66,7 +75,7 @@ double max_workload_scale(const ModelInputs& inputs, std::uint64_t servers) {
 
 double admission_headroom(const ModelInputs& inputs,
                           const dc::ServiceSpec& candidate,
-                          std::uint64_t servers) {
+                          std::uint64_t servers, const RunControl& control) {
   VMCONS_REQUIRE(servers >= 1, "need at least one server");
   VMCONS_REQUIRE(candidate.native_rates.any_positive(),
                  "candidate service demands no resource");
@@ -81,7 +90,7 @@ double admission_headroom(const ModelInputs& inputs,
   context << "admission_headroom(candidate '" << candidate.name
           << "', target_loss = " << inputs.target_loss
           << ", servers = " << servers << ")";
-  return bisect_max(hint, context.str(), [&](double rate) {
+  return bisect_max(hint, context.str(), control, [&](double rate) {
     ModelInputs grown = inputs;
     dc::ServiceSpec admitted = candidate;
     admitted.arrival_rate = rate;

@@ -7,13 +7,23 @@
 #include <cstdint>
 
 #include "core/model.hpp"
+#include "util/run_control.hpp"
 
 namespace vmcons::core {
+
+// Both searches are iterated bisections over full model solves; on a
+// degenerate input the bracket can fail (NumericError, code kNumericError,
+// message naming the caller and the bracket endpoints) or the fixed-point
+// search can spin. The RunControl bounds the latter: its deadline is
+// checked every bisection step, so a stuck search raises
+// DeadlineExceededError (code kDeadlineExceeded) instead of hanging the
+// admission path of a long-running host.
 
 /// Largest uniform multiplier s such that scaling every service's arrival
 /// rate by s keeps the consolidated loss at `servers` within the target.
 /// Returns 0 if the pool misses the target already at scale -> 0.
-double max_workload_scale(const ModelInputs& inputs, std::uint64_t servers);
+double max_workload_scale(const ModelInputs& inputs, std::uint64_t servers,
+                          const RunControl& control = {});
 
 /// Largest arrival rate of `candidate` (its arrival_rate field is ignored)
 /// that can be admitted alongside the existing services on `servers`
@@ -21,6 +31,7 @@ double max_workload_scale(const ModelInputs& inputs, std::uint64_t servers);
 /// there is no headroom.
 double admission_headroom(const ModelInputs& inputs,
                           const dc::ServiceSpec& candidate,
-                          std::uint64_t servers);
+                          std::uint64_t servers,
+                          const RunControl& control = {});
 
 }  // namespace vmcons::core

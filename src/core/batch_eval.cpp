@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
 #include "queueing/erlang.hpp"
 #include "queueing/erlang_kernel.hpp"
 #include "util/error.hpp"
+#include "util/fault_inject.hpp"
 #include "util/metrics.hpp"
 #include "util/parallel_for.hpp"
 #include "util/thread_pool.hpp"
@@ -16,6 +18,11 @@ namespace {
 /// Routes staged query lists through the memoized kernel's sorted batch
 /// walk when a kernel is set, else through the stateless free functions in
 /// query order. Per-query results are bit-identical either way.
+///
+/// Fault-injection sites erlang.eval / staffing.inverse fire here, one draw
+/// per staged query, with the index derived from the query's own bit
+/// pattern — so an armed fault poisons the same (rho, target) no matter
+/// which shard, thread, or memoization tier answers it.
 struct ErlangDispatch {
   queueing::ErlangKernel* kernel = nullptr;
 
@@ -23,6 +30,13 @@ struct ErlangDispatch {
                         std::span<std::uint64_t> out) const {
     if (queries.empty()) {
       return;
+    }
+    if (util::FaultInjector::enabled()) {
+      const util::FaultInjector& injector = util::FaultInjector::global();
+      for (const queueing::StaffingQuery& query : queries) {
+        injector.check(util::fault_sites::kStaffingInverse,
+                       util::fault_index(query.rho, query.target_blocking));
+      }
     }
     if (kernel != nullptr) {
       kernel->servers_for_many(queries, out);
@@ -38,6 +52,13 @@ struct ErlangDispatch {
                  std::span<double> out) const {
     if (queries.empty()) {
       return;
+    }
+    if (util::FaultInjector::enabled()) {
+      const util::FaultInjector& injector = util::FaultInjector::global();
+      for (const queueing::BlockingQuery& query : queries) {
+        injector.check(util::fault_sites::kErlangEval,
+                       util::fault_index(query.rho, 0.0, query.servers));
+      }
     }
     if (kernel != nullptr) {
       kernel->eval_many(queries, out);
@@ -318,10 +339,28 @@ void derive_power(const ScenarioBatch& batch, std::size_t begin,
 
 std::vector<ModelResult> BatchEvaluator::evaluate(
     const ScenarioBatch& batch) const {
+  BatchOutcome outcome = evaluate_all(batch);
+  if (outcome.cancelled) {
+    throw CancelledError("batch evaluation cancelled after " +
+                         std::to_string(outcome.evaluated_count()) + " of " +
+                         std::to_string(batch.size()) + " scenarios");
+  }
+  if (outcome.deadline_exceeded) {
+    throw DeadlineExceededError("batch evaluation deadline exceeded after " +
+                                std::to_string(outcome.evaluated_count()) +
+                                " of " + std::to_string(batch.size()) +
+                                " scenarios");
+  }
+  return std::move(outcome.results);
+}
+
+BatchOutcome BatchEvaluator::evaluate_all(const ScenarioBatch& batch) const {
   const std::size_t count = batch.size();
-  std::vector<ModelResult> results(count);
+  BatchOutcome outcome;
+  outcome.results.resize(count);
+  outcome.evaluated.assign(count, 0);
   if (count == 0) {
-    return results;
+    return outcome;
   }
   queueing::ErlangKernel* kernel =
       options_.kernel != nullptr
@@ -351,20 +390,106 @@ std::vector<ModelResult> BatchEvaluator::evaluate(
   const queueing::ErlangKernel::Stats before =
       kernel != nullptr ? kernel->stats() : queueing::ErlangKernel::Stats{};
 
-  const auto run_shard = [&](std::size_t index) {
-    const std::size_t first = index * shard;
-    const std::size_t last = std::min(count, first + shard);
-    const std::span<ModelResult> out(results.data() + first, last - first);
+  const RunControl& control = options_.control;
+  const bool quarantine = options_.policy == FailurePolicy::kQuarantine;
+  std::mutex failures_mutex;  // shards append failures; sorted afterwards
+
+  const auto evaluate_range = [&](std::size_t first, std::size_t last,
+                                  std::span<ModelResult> out) {
     batch_kernels::staff_dedicated(batch, first, last, kernel, out);
     batch_kernels::staff_consolidated(batch, first, last, kernel, out);
     batch_kernels::derive_utility(batch, first, last, out);
     batch_kernels::derive_power(batch, first, last, out);
   };
+
+  const auto run_shard = [&](std::size_t index) {
+    const std::size_t first = index * shard;
+    const std::size_t last = std::min(count, first + shard);
+    if (control.stop_requested()) {
+      return;
+    }
+    const std::span<ModelResult> out(outcome.results.data() + first,
+                                     last - first);
+    try {
+      if (util::FaultInjector::enabled()) {
+        const util::FaultInjector& injector = util::FaultInjector::global();
+        injector.check(util::fault_sites::kBatchShard, index);
+        for (std::size_t s = first; s < last; ++s) {
+          injector.check(util::fault_sites::kBatchCell, s);
+        }
+      }
+      evaluate_range(first, last, out);
+      std::fill(outcome.evaluated.begin() + static_cast<std::ptrdiff_t>(first),
+                outcome.evaluated.begin() + static_cast<std::ptrdiff_t>(last),
+                std::uint8_t{1});
+    } catch (...) {
+      if (!quarantine) {
+        throw;  // kFailFast: parallel_for joins all shards, then rethrows
+      }
+      // Quarantine fallback: isolate the failing cell(s) by re-running this
+      // shard cell-at-a-time. Each cell is a batch of one — the same four
+      // span kernels over the range [s, s+1) — so healthy cells produce
+      // bit-identical results to the staged whole-shard walk, and the
+      // memoized kernel's answers are order-independent by construction.
+      for (std::size_t s = first; s < last; ++s) {
+        if (control.stop_requested()) {
+          return;
+        }
+        ModelResult& slot = outcome.results[s];
+        slot = ModelResult{};  // discard partial fast-path writes
+        try {
+          if (util::FaultInjector::enabled()) {
+            util::FaultInjector::global().check(util::fault_sites::kBatchCell,
+                                                s);
+          }
+          evaluate_range(s, s + 1, std::span<ModelResult>(&slot, 1));
+          outcome.evaluated[s] = 1;
+        } catch (const Error& error) {
+          slot = ModelResult{};
+          const std::lock_guard<std::mutex> lock(failures_mutex);
+          outcome.failures.push_back({s, error.code(), error.what()});
+        } catch (const std::exception& error) {
+          slot = ModelResult{};
+          const std::lock_guard<std::mutex> lock(failures_mutex);
+          outcome.failures.push_back({s, ErrorCode::kUnknown, error.what()});
+        }
+      }
+    }
+  };
   if (options_.parallel && shard_count > 1) {
-    parallel_for(shard_count, run_shard, pool);
+    parallel_for(shard_count, run_shard, pool, 0, &control);
   } else {
     for (std::size_t i = 0; i < shard_count; ++i) {
+      if (control.stop_requested()) {
+        break;
+      }
       run_shard(i);
+    }
+  }
+
+  // Shards append failures in completion order; report them in scenario
+  // order so the record is deterministic regardless of the worker count.
+  std::sort(outcome.failures.begin(), outcome.failures.end(),
+            [](const CellFailure& a, const CellFailure& b) {
+              return a.scenario_index < b.scenario_index;
+            });
+  registry.counter(metrics::names::kBatchQuarantined)
+      .add(outcome.failures.size());
+
+  // A stop only counts as an abort if it actually left cells unhandled;
+  // a deadline expiring as the last shard retires is not an abort.
+  if (outcome.evaluated_count() + outcome.failures.size() < count) {
+    switch (control.stop_reason()) {
+      case StopReason::kCancelled:
+        outcome.cancelled = true;
+        registry.counter(metrics::names::kBatchCancelled).add();
+        break;
+      case StopReason::kDeadlineExceeded:
+        outcome.deadline_exceeded = true;
+        registry.counter(metrics::names::kBatchDeadlineExceeded).add();
+        break;
+      case StopReason::kNone:
+        break;  // unreachable: only a stop skips cells without recording
     }
   }
 
@@ -385,7 +510,7 @@ std::vector<ModelResult> BatchEvaluator::evaluate(
     registry.counter(metrics::names::kBatchKernelHits).add(hits);
     registry.counter(metrics::names::kBatchKernelMisses).add(misses);
   }
-  return results;
+  return outcome;
 }
 
 }  // namespace vmcons::core

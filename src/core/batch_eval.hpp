@@ -20,14 +20,25 @@
 // every prefix in the snapshot tier. batch.* metrics report evaluations,
 // scenarios, shards, kernel cache hits/misses attributable to the batch,
 // and the end-of-batch merge cost (batch.lock_wait).
+// Fault tolerance (see util/run_control.hpp): BatchOptions carries a
+// RunControl and a FailurePolicy. Under kQuarantine a throwing scenario is
+// isolated — the shard that contained it falls back to cell-at-a-time
+// evaluation (each cell is a batch of one, so healthy cells stay
+// bit-identical to a clean run), and the failure is recorded as a
+// structured CellFailure instead of aborting the batch. Cancellation and
+// deadlines are checked between shards (and between parallel_for chunks),
+// so abort latency is bounded by one shard's work.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/model.hpp"
 #include "core/scenario_batch.hpp"
+#include "util/run_control.hpp"
 
 namespace vmcons {
 class ThreadPool;
@@ -37,6 +48,49 @@ class ErlangKernel;
 }  // namespace vmcons
 
 namespace vmcons::core {
+
+/// What a BatchEvaluator does with a scenario whose evaluation throws.
+enum class FailurePolicy {
+  /// Propagate the first failure as an exception (the pre-quarantine
+  /// behavior). Right for interactive plans, where one scenario is the
+  /// whole job and a wrong input should be loud.
+  kFailFast,
+  /// Record the failure as a CellFailure, keep every other cell. Right for
+  /// large sweeps, where one degenerate corner must not destroy a
+  /// multi-million-cell run.
+  kQuarantine,
+};
+
+/// One scenario that failed under FailurePolicy::kQuarantine.
+struct CellFailure {
+  std::size_t scenario_index = 0;
+  ErrorCode code = ErrorCode::kUnknown;
+  std::string message;
+};
+
+/// Everything a fault-tolerant batch evaluation produced. `results[i]` is
+/// meaningful iff `evaluated[i]`; failed cells keep a default ModelResult
+/// and appear in `failures` (sorted by scenario index); cells that were
+/// never reached because of a stop are neither evaluated nor failed.
+struct BatchOutcome {
+  std::vector<ModelResult> results;
+  std::vector<CellFailure> failures;
+  std::vector<std::uint8_t> evaluated;  ///< 1 per successfully solved cell
+  bool cancelled = false;               ///< aborted by the CancelToken
+  bool deadline_exceeded = false;       ///< aborted by the Deadline
+
+  std::size_t evaluated_count() const noexcept {
+    std::size_t n = 0;
+    for (const std::uint8_t e : evaluated) {
+      n += e;
+    }
+    return n;
+  }
+  /// Every cell solved: no failures, no abort.
+  bool complete() const noexcept {
+    return failures.empty() && !cancelled && !deadline_exceeded;
+  }
+};
 
 /// Execution knobs for BatchEvaluator.
 struct BatchOptions {
@@ -53,6 +107,11 @@ struct BatchOptions {
   /// Pool to shard over; nullptr uses ThreadPool::shared(). Benches inject
   /// fixed-size pools here to measure thread scaling reproducibly.
   ThreadPool* pool = nullptr;
+  /// Failure handling; see FailurePolicy.
+  FailurePolicy policy = FailurePolicy::kFailFast;
+  /// Cooperative cancellation + deadline; the embedded token shares state
+  /// with the caller's copy, so the caller can abort a running batch.
+  RunControl control;
 };
 
 /// Evaluates whole ScenarioBatches; the batch-first face of the model.
@@ -61,8 +120,17 @@ class BatchEvaluator {
   explicit BatchEvaluator(BatchOptions options = {}) : options_(options) {}
 
   /// One ModelResult per scenario, in scenario order. Bit-identical to
-  /// calling UtilityAnalyticModel::solve() per scenario.
+  /// calling UtilityAnalyticModel::solve() per scenario. Throws
+  /// CancelledError / DeadlineExceededError if the RunControl aborted the
+  /// batch; under kFailFast the first cell failure propagates, under
+  /// kQuarantine failed cells silently keep default results (use
+  /// evaluate_all when the failure report matters).
   std::vector<ModelResult> evaluate(const ScenarioBatch& batch) const;
+
+  /// The fault-tolerant face: never throws for per-cell failures or stops;
+  /// everything is reported in the BatchOutcome. Under kFailFast a cell
+  /// failure still propagates as an exception.
+  BatchOutcome evaluate_all(const ScenarioBatch& batch) const;
 
   const BatchOptions& options() const { return options_; }
 

@@ -44,10 +44,27 @@ struct PlanReport {
   InventoryAssignment consolidated_assignment;
 };
 
-/// One evaluated grid point of a sweep.
+/// One evaluated grid point of a sweep. `evaluated` is false for cells a
+/// quarantined sweep isolated (see SweepOutcome::failures) or a stop left
+/// unreached; their report is default-constructed.
 struct SweepCell {
   SweepPoint point;
   PlanReport report;
+  bool evaluated = true;
+};
+
+/// Fault-tolerant sweep result: every grid cell plus the structured record
+/// of what went wrong (quarantined cells, cancellation, deadline expiry).
+struct SweepOutcome {
+  std::vector<SweepCell> cells;
+  /// Failed cells under FailurePolicy::kQuarantine, sorted by grid index
+  /// (CellFailure::scenario_index is the SweepPoint index).
+  std::vector<CellFailure> failures;
+  bool cancelled = false;
+  bool deadline_exceeded = false;
+  bool complete() const noexcept {
+    return failures.empty() && !cancelled && !deadline_exceeded;
+  }
 };
 
 class ConsolidationPlanner {
@@ -72,6 +89,13 @@ class ConsolidationPlanner {
   /// to a serial, unmemoized run. Implemented in sweep.cpp.
   std::vector<SweepCell> sweep(const SweepGrid& grid,
                                const SweepOptions& options = {}) const;
+
+  /// The fault-tolerant face of sweep(): honors options.policy and
+  /// options.control, reporting quarantined cells and aborts in the
+  /// SweepOutcome instead of throwing. Healthy cells are bit-identical to
+  /// the same cells of a clean sweep() run. Implemented in sweep.cpp.
+  SweepOutcome sweep_all(const SweepGrid& grid,
+                         const SweepOptions& options = {}) const;
 
   /// Sweeps the target loss probability, returning one report per point.
   /// Thin wrapper over sweep() with a single-axis grid.

@@ -60,7 +60,8 @@ ModelInputs perturb_inputs(const ModelInputs& inputs,
 RobustPlan robust_consolidated_plan(const ModelInputs& inputs,
                                     const ParameterUncertainty& uncertainty,
                                     std::size_t samples, std::uint64_t seed,
-                                    double quantile) {
+                                    double quantile,
+                                    const RunControl& control) {
   VMCONS_REQUIRE(samples >= 1, "need at least one sample");
   VMCONS_REQUIRE(quantile > 0.0 && quantile <= 1.0,
                  "quantile must be in (0, 1]");
@@ -76,11 +77,13 @@ RobustPlan robust_consolidated_plan(const ModelInputs& inputs,
   // into the shared snapshot, evicting genuinely reusable states. Keeping
   // the Monte Carlo pass off the kernel leaves its merge epochs to the
   // sweep/validation paths that actually revisit their loads.
-  const std::vector<ModelInputs> sampled =
-      parallel_map(samples, [&](std::size_t index) {
+  const std::vector<ModelInputs> sampled = parallel_map(
+      samples,
+      [&](std::size_t index) {
         Rng rng = make_stream(seed, index);
         return perturb_inputs(inputs, uncertainty, rng);
-      });
+      },
+      ThreadPool::shared(), 0, &control);
   ScenarioBatch batch;
   batch.append(inputs);
   for (const ModelInputs& sample : sampled) {
@@ -88,6 +91,7 @@ RobustPlan robust_consolidated_plan(const ModelInputs& inputs,
   }
   BatchOptions options;
   options.memoize = false;
+  options.control = control;
   const std::vector<ModelResult> results =
       BatchEvaluator(options).evaluate(batch);
   plan.point_estimate_n = results[0].consolidated_servers;

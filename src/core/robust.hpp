@@ -15,6 +15,7 @@
 
 #include "core/model.hpp"
 #include "util/rng.hpp"
+#include "util/run_control.hpp"
 
 namespace vmcons::core {
 
@@ -40,11 +41,15 @@ struct RobustPlan {
 };
 
 /// Runs `samples` Monte Carlo solves in parallel (deterministic per seed).
+/// A stop requested through `control` raises CancelledError /
+/// DeadlineExceededError — a truncated Monte Carlo distribution would be
+/// silently biased, so there is no partial result.
 RobustPlan robust_consolidated_plan(const ModelInputs& inputs,
                                     const ParameterUncertainty& uncertainty,
                                     std::size_t samples = 2000,
                                     std::uint64_t seed = 2009,
-                                    double quantile = 0.95);
+                                    double quantile = 0.95,
+                                    const RunControl& control = {});
 
 /// Applies one sampled perturbation to the inputs (exposed for testing).
 ModelInputs perturb_inputs(const ModelInputs& inputs,

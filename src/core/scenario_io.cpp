@@ -1,5 +1,6 @@
 #include "core/scenario_io.hpp"
 
+#include <cmath>
 #include <sstream>
 
 #include "util/error.hpp"
@@ -31,16 +32,35 @@ std::string field_value(const std::string& service, const char* field,
   return out.str();
 }
 
+/// "[power]: base_watts = inf" — the section-level analogue of field_value
+/// for keys that do not belong to a [service].
+std::string section_field_value(const char* section, const char* field,
+                                double value) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "[" << section << "]: " << field << " = " << value;
+  return out.str();
+}
+
 dc::ServiceSpec parse_service(const IniSection& section) {
   dc::ServiceSpec spec;
   spec.name = section.get("name", "service");
   for (const auto& key : kResourceKeys) {
     const double rate = section.get_double(key.rate_key, 0.0);
+    // NaN/inf rates would propagate silently through the Erlang recursion
+    // (every comparison against a target is false for NaN), so they are
+    // rejected here at the boundary, before any model code runs.
+    VMCONS_REQUIRE(std::isfinite(rate),
+                   field_value(spec.name, key.rate_key, rate) +
+                       " must be finite");
     VMCONS_REQUIRE(rate >= 0.0,
                    field_value(spec.name, key.rate_key, rate) +
                        " must be >= 0 (omit the key for no demand)");
     if (rate > 0.0) {
       const double impact = section.get_double(key.impact_key, 1.0);
+      VMCONS_REQUIRE(std::isfinite(impact),
+                     field_value(spec.name, key.impact_key, impact) +
+                         " must be finite");
       VMCONS_REQUIRE(impact > 0.0 && impact <= 1.0,
                      field_value(spec.name, key.impact_key, impact) +
                          " must be in (0, 1]");
@@ -60,16 +80,46 @@ ModelInputs scenario_inputs(const IniDocument& document) {
   ModelInputs inputs;
   if (const IniSection* plan = document.first("plan")) {
     inputs.target_loss = plan->get_double("target_loss", 0.01);
+    VMCONS_REQUIRE(std::isfinite(inputs.target_loss),
+                   section_field_value("plan", "target_loss",
+                                       inputs.target_loss) +
+                       " must be finite");
     const long long vms = plan->get_int("vms_per_server", 0);
     if (vms > 0) {
       inputs.vms_per_server = static_cast<unsigned>(vms);
     }
+  }
+  if (const IniSection* power = document.first("power")) {
+    const dc::PowerModel defaults;
+    const double base = power->get_double("base_watts", defaults.base_watts);
+    const double max = power->get_double("max_watts", defaults.max_watts);
+    VMCONS_REQUIRE(std::isfinite(base),
+                   section_field_value("power", "base_watts", base) +
+                       " must be finite");
+    VMCONS_REQUIRE(std::isfinite(max),
+                   section_field_value("power", "max_watts", max) +
+                       " must be finite");
+    VMCONS_REQUIRE(base > 0.0,
+                   section_field_value("power", "base_watts", base) +
+                       " must be > 0");
+    VMCONS_REQUIRE(max >= base,
+                   section_field_value("power", "max_watts", max) +
+                       " must be >= base_watts");
+    // One testbed wattage pair drives both deployments; the platform
+    // deltas (idle/dynamic Xen factors) stay inside PowerModel::watts.
+    inputs.dedicated_power.base_watts = base;
+    inputs.dedicated_power.max_watts = max;
+    inputs.consolidated_power.base_watts = base;
+    inputs.consolidated_power.max_watts = max;
   }
   const auto services = document.all("service");
   VMCONS_REQUIRE(!services.empty(), "scenario declares no [service] sections");
   for (const IniSection* section : services) {
     dc::ServiceSpec spec = parse_service(*section);
     const double arrival = section->get_double("arrival_rate", 0.0);
+    VMCONS_REQUIRE(std::isfinite(arrival),
+                   field_value(spec.name, "arrival_rate", arrival) +
+                       " must be finite");
     const long long dedicated = section->get_int("dedicated_servers", 0);
     if (arrival > 0.0) {
       spec.arrival_rate = arrival;

@@ -72,8 +72,8 @@ std::vector<SweepPoint> SweepGrid::points() const {
   return all;
 }
 
-std::vector<SweepCell> ConsolidationPlanner::sweep(
-    const SweepGrid& grid, const SweepOptions& options) const {
+SweepOutcome ConsolidationPlanner::sweep_all(const SweepGrid& grid,
+                                             const SweepOptions& options) const {
   const std::size_t count = grid.size();
 
   metrics::ScopedTimer wall(metrics::registry().timer("sweep.wall"));
@@ -83,7 +83,8 @@ std::vector<SweepCell> ConsolidationPlanner::sweep(
   // its index alone, so the batch (and everything downstream) is
   // deterministic regardless of execution order.
   ScenarioBatch batch;
-  std::vector<SweepCell> cells(count);
+  SweepOutcome outcome;
+  outcome.cells.resize(count);
   for (std::size_t i = 0; i < count; ++i) {
     const SweepPoint point = grid.point(i);
     ConsolidationPlanner instance = *this;
@@ -97,7 +98,7 @@ std::vector<SweepCell> ConsolidationPlanner::sweep(
       instance.set_vms_per_server(*point.vms_per_server);
     }
     batch.append(instance.make_inputs());
-    cells[i].point = point;
+    outcome.cells[i].point = point;
   }
 
   BatchOptions batch_options;
@@ -105,13 +106,22 @@ std::vector<SweepCell> ConsolidationPlanner::sweep(
   batch_options.memoize = options.memoize;
   batch_options.kernel = options.kernel;
   batch_options.pool = options.pool;
-  std::vector<ModelResult> results =
-      BatchEvaluator(batch_options).evaluate(batch);
+  batch_options.policy = options.policy;
+  batch_options.control = options.control;
+  BatchOutcome evaluated = BatchEvaluator(batch_options).evaluate_all(batch);
+  outcome.failures = std::move(evaluated.failures);
+  outcome.cancelled = evaluated.cancelled;
+  outcome.deadline_exceeded = evaluated.deadline_exceeded;
 
   const auto arrival = batch.arrival_rate();
   for (std::size_t i = 0; i < count; ++i) {
-    PlanReport& report = cells[i].report;
-    report.model = std::move(results[i]);
+    SweepCell& cell = outcome.cells[i];
+    cell.evaluated = evaluated.evaluated[i] != 0;
+    if (!cell.evaluated) {
+      continue;  // quarantined or unreached: keep the default report
+    }
+    PlanReport& report = cell.report;
+    report.model = std::move(evaluated.results[i]);
     report.arrival_rates.assign(
         arrival.begin() + static_cast<std::ptrdiff_t>(batch.services_begin(i)),
         arrival.begin() + static_cast<std::ptrdiff_t>(batch.services_end(i)));
@@ -120,7 +130,19 @@ std::vector<SweepCell> ConsolidationPlanner::sweep(
     report.consolidated_assignment =
         assign(static_cast<double>(report.model.consolidated_servers));
   }
-  return cells;
+  return outcome;
+}
+
+std::vector<SweepCell> ConsolidationPlanner::sweep(
+    const SweepGrid& grid, const SweepOptions& options) const {
+  SweepOutcome outcome = sweep_all(grid, options);
+  if (outcome.cancelled) {
+    throw CancelledError("sweep cancelled by caller");
+  }
+  if (outcome.deadline_exceeded) {
+    throw DeadlineExceededError("sweep deadline exceeded");
+  }
+  return std::move(outcome.cells);
 }
 
 }  // namespace vmcons::core

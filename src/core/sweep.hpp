@@ -19,6 +19,9 @@
 #include <optional>
 #include <vector>
 
+#include "core/batch_eval.hpp"
+#include "util/run_control.hpp"
+
 namespace vmcons {
 class ThreadPool;
 namespace queueing {
@@ -75,6 +78,12 @@ struct SweepOptions {
   queueing::ErlangKernel* kernel = nullptr;
   /// Pool to fan out over; nullptr uses ThreadPool::shared().
   ThreadPool* pool = nullptr;
+  /// Failure handling for degenerate grid cells: kFailFast propagates the
+  /// first cell's exception (classic behavior); kQuarantine isolates
+  /// failing cells as CellFailures so the rest of the grid survives.
+  FailurePolicy policy = FailurePolicy::kFailFast;
+  /// Cooperative cancellation + deadline for the whole sweep.
+  RunControl control;
 };
 
 }  // namespace vmcons::core

@@ -127,11 +127,18 @@ std::vector<ValidationReport> validate_many(std::span<const ModelInputs> inputs,
   // shared kernel's snapshot tier, so nothing below contends with the
   // simulation threads.
   const ScenarioBatch batch = ScenarioBatch::from_inputs(inputs);
+  BatchOptions batch_options;
+  batch_options.control = options.control;
   std::vector<ModelResult> solutions =
-      BatchEvaluator(BatchOptions{}).evaluate(batch);
+      BatchEvaluator(batch_options).evaluate(batch);
 
   std::vector<ValidationReport> reports(inputs.size());
   for (std::size_t i = 0; i < inputs.size(); ++i) {
+    // The simulation phase dwarfs the analytic solve, so scenario
+    // boundaries are the abort points: latency is one scenario's
+    // replications.
+    options.control.raise_if_stopped("validate_many (scenario " +
+                                     std::to_string(i) + ")");
     ValidationReport& report = reports[i];
     report.model = std::move(solutions[i]);
 

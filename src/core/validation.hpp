@@ -14,6 +14,7 @@
 #include "core/model.hpp"
 #include "datacenter/cluster.hpp"
 #include "sim/replication.hpp"
+#include "util/run_control.hpp"
 
 namespace vmcons::core {
 
@@ -48,6 +49,10 @@ struct ValidationOptions {
   std::uint64_t consolidated_servers = 0;
   /// Override dedicated staffing (empty = use the model's per-service plan).
   std::vector<unsigned> dedicated_servers;
+  /// Cooperative cancellation + deadline. Checked between scenarios (and
+  /// inside the analytic batch); a stop raises CancelledError /
+  /// DeadlineExceededError — validation has no partial-result story.
+  RunControl control;
 };
 
 /// Solves the model for `inputs` and measures both deployments. A view

@@ -5,6 +5,7 @@
 #include "queueing/erlang.hpp"
 #include "queueing/mmck.hpp"
 #include "util/error.hpp"
+#include "util/fault_inject.hpp"
 
 namespace vmcons::queueing {
 
@@ -15,6 +16,14 @@ std::uint64_t staffing_with_queue(double lambda, double mu,
   VMCONS_REQUIRE(target_blocking > 0.0 && target_blocking <= 1.0,
                  "target blocking must be in (0, 1]");
   const double rho = lambda / mu;
+  // Fault index derives from the query's own bit pattern so an injected
+  // failure lands on the same staffing question regardless of which thread
+  // (or batch shard) asks it.
+  if (util::FaultInjector::enabled()) {
+    util::FaultInjector::global().check(
+        util::fault_sites::kStaffingInverse,
+        util::fault_index(rho, target_blocking, queue));
+  }
   // The Erlang-B staffing is an upper bound (queue >= 0 only helps), so
   // scan downward from it; blocking of M/M/c/c+q is monotone in c.
   std::uint64_t c = erlang_b_servers(rho, target_blocking);

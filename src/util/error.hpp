@@ -5,41 +5,112 @@
 // violations use VMCONS_ASSERT, which throws LogicError in debug-friendly
 // builds instead of aborting, keeping the library usable inside long-running
 // host processes (simulation drivers, capacity planners).
+//
+// Every Error carries a stable ErrorCode so structured consumers — the
+// BatchEvaluator's quarantine records, log pipelines, RPC layers — can
+// classify failures without parsing what() strings. Codes are append-only:
+// never renumber or reuse a value, because CellFailure records and logs
+// outlive any one build.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
 namespace vmcons {
 
+/// Stable machine-readable failure classification. Append-only.
+enum class ErrorCode : std::uint32_t {
+  kUnknown = 0,           ///< not a vmcons::Error, or a pre-code throw site
+  kInvalidArgument = 1,   ///< caller passed an out-of-domain argument
+  kLogicError = 2,        ///< internal invariant violated (a vmcons bug)
+  kNumericError = 3,      ///< convergence failure / numeric range exceeded
+  kIoError = 4,           ///< file or stream operation failed
+  kCancelled = 5,         ///< a RunControl's CancelToken was flipped
+  kDeadlineExceeded = 6,  ///< a RunControl's Deadline expired
+  kFaultInjected = 7,     ///< synthetic failure from util::FaultInjector
+};
+
+/// Stable lowercase name of a code ("numeric_error", "cancelled", ...),
+/// suitable for metrics labels and log fields.
+constexpr const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kUnknown:
+      return "unknown";
+    case ErrorCode::kInvalidArgument:
+      return "invalid_argument";
+    case ErrorCode::kLogicError:
+      return "logic_error";
+    case ErrorCode::kNumericError:
+      return "numeric_error";
+    case ErrorCode::kIoError:
+      return "io_error";
+    case ErrorCode::kCancelled:
+      return "cancelled";
+    case ErrorCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ErrorCode::kFaultInjected:
+      return "fault_injected";
+  }
+  return "unknown";
+}
+
 /// Base class of every exception thrown by the vmcons library.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what,
+                 ErrorCode code = ErrorCode::kUnknown)
+      : std::runtime_error(what), code_(code) {}
+
+  ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
 };
 
 /// A caller passed an argument outside the documented domain.
 class InvalidArgument : public Error {
  public:
-  explicit InvalidArgument(const std::string& what) : Error(what) {}
+  explicit InvalidArgument(const std::string& what)
+      : Error(what, ErrorCode::kInvalidArgument) {}
 };
 
 /// An internal invariant was violated (a bug in vmcons itself).
 class LogicError : public Error {
  public:
-  explicit LogicError(const std::string& what) : Error(what) {}
+  explicit LogicError(const std::string& what)
+      : Error(what, ErrorCode::kLogicError) {}
 };
 
-/// A numeric routine failed to converge or left its supported range.
+/// A numeric routine failed to converge or left its supported range. The
+/// code defaults to kNumericError; the fault injector throws this type with
+/// kFaultInjected so synthetic failures stay distinguishable from real ones.
 class NumericError : public Error {
  public:
-  explicit NumericError(const std::string& what) : Error(what) {}
+  explicit NumericError(const std::string& what,
+                        ErrorCode code = ErrorCode::kNumericError)
+      : Error(what, code) {}
 };
 
 /// An I/O operation (CSV read/write, report emission) failed.
 class IoError : public Error {
  public:
-  explicit IoError(const std::string& what) : Error(what) {}
+  explicit IoError(const std::string& what)
+      : Error(what, ErrorCode::kIoError) {}
+};
+
+/// Work was stopped because a RunControl's CancelToken was flipped.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what)
+      : Error(what, ErrorCode::kCancelled) {}
+};
+
+/// Work was stopped because a RunControl's Deadline expired.
+class DeadlineExceededError : public Error {
+ public:
+  explicit DeadlineExceededError(const std::string& what)
+      : Error(what, ErrorCode::kDeadlineExceeded) {}
 };
 
 namespace detail {

@@ -1,0 +1,146 @@
+// Deterministic, seeded fault injection for run-control testing.
+//
+// Quarantine, cancellation, and deadline behavior can only be trusted if it
+// is exercised under failures — but failures must be reproducible, or a
+// red run can never be replayed. FaultInjector makes synthetic failures a
+// pure function of (seed, site, index): each *site* is a named point in the
+// library (registered below), and each check passes an *index* derived from
+// the work unit itself — a scenario index, the bit pattern of an Erlang
+// query — never from thread identity or wall time. The same armed
+// configuration therefore injects the same faults into the same cells
+// whether the batch runs on 1, 2, or 8 workers, and a quarantined run's
+// failure report is bit-reproducible.
+//
+// Sites can inject two effects, independently drawn:
+//   * errors — a NumericError with ErrorCode::kFaultInjected, thrown from
+//     the site (exercises quarantine / fail-fast paths);
+//   * delays — a sleep of `delay` at the site (exercises deadlines and
+//     cancellation latency without perturbing results).
+//
+// The disarmed fast path is one relaxed atomic load (FaultInjector::
+// enabled()), hoisted out of query loops by the call sites, so production
+// runs pay nothing. Call sites only consult the process-wide global()
+// instance; tests arm it and must disarm_all() when done (see ScopedFaults).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace vmcons::util {
+
+/// Registry of injection-site names. A site string passed to check() must
+/// be one of these (arming an unknown site throws), so a typo'd site is an
+/// error, not a silently never-firing fault.
+namespace fault_sites {
+/// Per Erlang-B blocking evaluation; index derives from the query bits.
+inline constexpr std::string_view kErlangEval = "erlang.eval";
+/// Per staffing (minimum-server) inversion; index derives from the query.
+inline constexpr std::string_view kStaffingInverse = "staffing.inverse";
+/// Once per BatchEvaluator shard; index is the shard number. Shard
+/// boundaries depend on the pool size, so use this site for delays (or to
+/// exercise the quarantine retry path), not for exact-cell fault placement.
+inline constexpr std::string_view kBatchShard = "batch.shard";
+/// Once per scenario cell of a batch; index is the scenario index — the
+/// site to use when a test must predict exactly which cells fail.
+inline constexpr std::string_view kBatchCell = "batch.cell";
+}  // namespace fault_sites
+
+/// Index helper for value-derived sites: mixes the bit patterns of up to
+/// two doubles and an integer into one stable 64-bit index, so a draw at an
+/// (rho, target) query is the same no matter which shard or thread staged it.
+inline std::uint64_t fault_index(double a, double b = 0.0,
+                                 std::uint64_t c = 0) noexcept {
+  const std::uint64_t kMul = 0x9e3779b97f4a7c15ULL;
+  std::uint64_t h = std::bit_cast<std::uint64_t>(a);
+  h = (h ^ (h >> 30)) * kMul;
+  h ^= std::bit_cast<std::uint64_t>(b) + kMul * 3;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  h ^= c * kMul;
+  return h ^ (h >> 31);
+}
+
+class FaultInjector {
+ public:
+  /// What an armed site injects. Rates are probabilities in [0, 1]; the
+  /// error and delay draws are independent.
+  struct SiteConfig {
+    double error_rate = 0.0;
+    double delay_rate = 0.0;
+    std::chrono::microseconds delay{0};
+  };
+
+  FaultInjector();
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Arms `site` with `config` (replacing any previous config for it).
+  /// Throws InvalidArgument for a site name not in known_sites() or a rate
+  /// outside [0, 1].
+  void arm(std::string_view site, SiteConfig config);
+
+  /// Disarms every site; check() becomes a no-op again.
+  void disarm_all();
+
+  /// Reseeds the draw stream (applies to subsequent checks). The default
+  /// seed is 2009; tests pin it via scripts/tier1.sh so fault suites replay.
+  void set_seed(std::uint64_t seed);
+
+  std::uint64_t seed() const;
+
+  /// True when any site of the *global* injector is armed. One relaxed
+  /// atomic load — call sites gate all injection work behind this, so the
+  /// disarmed hot path costs nothing measurable.
+  static bool enabled() noexcept {
+    return g_enabled.load(std::memory_order_relaxed);
+  }
+
+  /// Evaluates the (seed, site, index) draws for `site`: sleeps if the
+  /// delay draw fires, then throws NumericError(kFaultInjected) if the
+  /// error draw fires. No-op when the site is not armed.
+  void check(std::string_view site, std::uint64_t index) const;
+
+  /// True iff check(site, index) would throw under the current arming —
+  /// lets tests compute the exact expected failure set up front.
+  bool would_fail(std::string_view site, std::uint64_t index) const;
+
+  /// Every site name compiled into the library.
+  static std::span<const std::string_view> known_sites() noexcept;
+
+  /// The process-wide injector all library sites consult. Disarmed by
+  /// default; arming it flips enabled().
+  static FaultInjector& global();
+
+ private:
+  struct Config;  // private to fault_inject.cpp
+
+  std::shared_ptr<const Config> load() const;
+  void publish_enabled() const;
+
+  static std::atomic<bool> g_enabled;
+
+  std::atomic<std::shared_ptr<const Config>> config_;
+};
+
+/// RAII arming guard for tests: disarms the global injector (and restores
+/// its seed) on scope exit, so a failing test cannot leak faults into the
+/// rest of the suite.
+class ScopedFaults {
+ public:
+  ScopedFaults();
+  ~ScopedFaults();
+  ScopedFaults(const ScopedFaults&) = delete;
+  ScopedFaults& operator=(const ScopedFaults&) = delete;
+
+ private:
+  std::uint64_t saved_seed_;
+};
+
+}  // namespace vmcons::util

@@ -39,6 +39,13 @@ inline constexpr const char* kBatchWall = "batch.wall";
 /// serialized section left on the batch path, so its total is the batch
 /// evaluator's contention bill.
 inline constexpr const char* kBatchLockWait = "batch.lock_wait";
+/// Scenario cells isolated as CellFailures under FailurePolicy::kQuarantine.
+inline constexpr const char* kBatchQuarantined = "batch.quarantined";
+/// Batches aborted by a RunControl CancelToken before every cell was handled.
+inline constexpr const char* kBatchCancelled = "batch.cancelled";
+/// Batches aborted by an expired RunControl Deadline.
+inline constexpr const char* kBatchDeadlineExceeded =
+    "batch.deadline_exceeded";
 
 inline constexpr const char* kErlangEvaluations = "erlang.evaluations";
 inline constexpr const char* kErlangCacheHits = "erlang.cache_hits";

@@ -3,7 +3,11 @@
 // parallel_for(n, fn) invokes fn(i) for every i in [0, n), distributing
 // contiguous chunks over the shared thread pool. Exceptions thrown by any
 // iteration are rethrown (first one wins) after all chunks finish, so the
-// caller never observes partially-joined work.
+// caller never observes partially-joined work. If enqueueing a chunk itself
+// throws (pool allocation failure), already-submitted chunks are aborted
+// cooperatively and joined before the dispatch error is rethrown — futures
+// from packaged tasks do not block on destruction, so abandoning them would
+// leave queued chunks referencing the dying fn and locals.
 //
 // `grain` is the number of consecutive indices handed to one pool task:
 // 0 (the default) auto-chunks to about count / (4 * workers) so each worker
@@ -12,12 +16,23 @@
 // per-item bodies (per-replication postprocessing, per-cell reductions)
 // where even 4 chunks per worker would underfill each task.
 //
+// `control` (optional) makes the loop cooperatively stoppable: dispatch
+// stops submitting new chunks once control->stop_requested(), every not-yet
+// -started chunk returns without running, and the serial inline path checks
+// between iterations — so cancellation latency is bounded by one chunk of
+// work. parallel_for itself does not throw on a stop (it simply completes
+// early, with all started chunks finished and joined); the caller inspects
+// the RunControl to decide whether to raise. parallel_map cannot represent
+// a partial result, so it throws CancelledError / DeadlineExceededError
+// when a stop left slots unfilled.
+//
 // Determinism contract: fn must derive any randomness from the index i (for
 // example via make_stream(seed, i)), never from thread identity; then output
 // is independent of the worker count.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <exception>
 #include <future>
@@ -25,13 +40,14 @@
 #include <utility>
 #include <vector>
 
+#include "util/run_control.hpp"
 #include "util/thread_pool.hpp"
 
 namespace vmcons {
 
 template <typename Fn>
 void parallel_for(std::size_t count, Fn&& fn, ThreadPool& pool = ThreadPool::shared(),
-                  std::size_t grain = 0) {
+                  std::size_t grain = 0, const RunControl* control = nullptr) {
   if (count == 0) {
     return;
   }
@@ -42,6 +58,9 @@ void parallel_for(std::size_t count, Fn&& fn, ThreadPool& pool = ThreadPool::sha
   if (count == 1 || workers == 1 || ThreadPool::on_worker_thread() ||
       grain >= count) {
     for (std::size_t i = 0; i < count; ++i) {
+      if (control != nullptr && control->stop_requested()) {
+        return;
+      }
       fn(i);
     }
     return;
@@ -53,19 +72,37 @@ void parallel_for(std::size_t count, Fn&& fn, ThreadPool& pool = ThreadPool::sha
       grain > 0 ? grain : (count + auto_chunks - 1) / auto_chunks;
   const std::size_t chunks = (count + chunk_size - 1) / chunk_size;
 
+  // Flipped when dispatch fails, so chunks already queued behind the failure
+  // skip their work and drain fast; stack lifetime is safe because every
+  // path below joins all submitted futures before unwinding.
+  std::atomic<bool> abort{false};
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);
+  std::exception_ptr dispatch_error;
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t begin = c * chunk_size;
     if (begin >= count) {
       break;
     }
+    if (control != nullptr && control->stop_requested()) {
+      break;  // stop dispatching; already-queued chunks self-skip below
+    }
     const std::size_t end = std::min(count, begin + chunk_size);
-    futures.push_back(pool.submit([begin, end, &fn] {
-      for (std::size_t i = begin; i < end; ++i) {
-        fn(i);
-      }
-    }));
+    try {
+      futures.push_back(pool.submit([begin, end, &fn, &abort, control] {
+        if (abort.load(std::memory_order_relaxed) ||
+            (control != nullptr && control->stop_requested())) {
+          return;
+        }
+        for (std::size_t i = begin; i < end; ++i) {
+          fn(i);
+        }
+      }));
+    } catch (...) {
+      abort.store(true, std::memory_order_relaxed);
+      dispatch_error = std::current_exception();
+      break;
+    }
   }
 
   std::exception_ptr first_error;
@@ -78,26 +115,39 @@ void parallel_for(std::size_t count, Fn&& fn, ThreadPool& pool = ThreadPool::sha
       }
     }
   }
+  // A chunk's own error is more informative than the (likely allocation)
+  // dispatch failure, so it wins when both occurred.
   if (first_error) {
     std::rethrow_exception(first_error);
+  }
+  if (dispatch_error) {
+    std::rethrow_exception(dispatch_error);
   }
 }
 
 /// Maps fn over [0, n) in parallel, collecting results in index order.
 /// Results need not be default-constructible: each slot is materialized by
 /// move from fn's return value, then unwrapped in index order. `grain` is
-/// forwarded to parallel_for (0 = auto-chunking).
+/// forwarded to parallel_for (0 = auto-chunking). A stop requested through
+/// `control` throws (a partial map has no honest representation).
 template <typename Fn>
 auto parallel_map(std::size_t count, Fn&& fn, ThreadPool& pool = ThreadPool::shared(),
-                  std::size_t grain = 0)
+                  std::size_t grain = 0, const RunControl* control = nullptr)
     -> std::vector<decltype(fn(std::size_t{0}))> {
   using Result = decltype(fn(std::size_t{0}));
   std::vector<std::optional<Result>> slots(count);
   parallel_for(
-      count, [&](std::size_t i) { slots[i].emplace(fn(i)); }, pool, grain);
+      count, [&](std::size_t i) { slots[i].emplace(fn(i)); }, pool, grain,
+      control);
   std::vector<Result> results;
   results.reserve(count);
   for (auto& slot : slots) {
+    if (!slot.has_value()) {
+      // Only a stop can leave a hole (chunk errors rethrow above).
+      VMCONS_ASSERT(control != nullptr);
+      control->raise_if_stopped("parallel_map");
+      VMCONS_ASSERT(false);  // stop cleared between the hole and the check
+    }
     results.push_back(std::move(*slot));
   }
   return results;

@@ -1,0 +1,136 @@
+// Cooperative run control for long-running batch/sweep work.
+//
+// A production planner host needs to bound and abort work it launched: a
+// dashboard cancels a superseded what-if sweep, a request handler gives a
+// batch a wall-clock budget, an operator kills a runaway grid. The library
+// is cooperative, not preemptive: hot loops (parallel_for chunks,
+// BatchEvaluator shards, admission bisections) poll a RunControl between
+// units of work and stop dispatching new units once a stop is requested, so
+// cancellation latency is bounded by one unit (one chunk, one shard, one
+// bisection step) and no thread is ever killed mid-update.
+//
+//   * CancelToken — a shared atomic flag. Copies share state, so the caller
+//     keeps one token, hands copies to the options structs, and flips it
+//     from any thread. Checking is one acquire load.
+//   * Deadline — an absolute steady_clock expiry. Default-constructed it is
+//     unset and never expires (and costs no clock read to check).
+//   * RunControl — the pair, embedded in BatchOptions / SweepOptions /
+//     ValidationOptions. stop_reason() distinguishes cancellation from
+//     deadline expiry so callers can report batch.cancelled vs
+//     batch.deadline_exceeded.
+//
+// Stopping is advisory for result correctness: work completed before the
+// stop is bit-identical to the same work in an uninterrupted run.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace vmcons {
+
+/// Shared, cooperative cancellation flag. Copies alias one flag; cancel()
+/// is sticky (there is no un-cancel — make a new token for the next run).
+class CancelToken {
+ public:
+  CancelToken() : state_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Requests cancellation; visible to every copy of this token. Safe to
+  /// call from any thread, any number of times.
+  void cancel() const noexcept { state_->store(true, std::memory_order_release); }
+
+  /// True once any copy has been cancelled.
+  bool cancelled() const noexcept {
+    return state_->load(std::memory_order_acquire);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> state_;
+};
+
+/// Absolute wall-clock budget on the monotonic steady clock. Unset (the
+/// default) never expires and never reads the clock.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Deadline() = default;  ///< unset: never expires
+
+  /// Deadline at an absolute steady-clock instant.
+  static Deadline at(Clock::time_point when) {
+    Deadline deadline;
+    deadline.when_ = when;
+    return deadline;
+  }
+
+  /// Deadline `budget` from now.
+  static Deadline after(Clock::duration budget) {
+    return at(Clock::now() + budget);
+  }
+
+  bool is_set() const noexcept { return when_.has_value(); }
+
+  bool expired() const noexcept {
+    return when_.has_value() && Clock::now() >= *when_;
+  }
+
+  std::optional<Clock::time_point> when() const noexcept { return when_; }
+
+  /// Time left before expiry (clamped at zero); nullopt when unset.
+  std::optional<Clock::duration> remaining() const noexcept {
+    if (!when_.has_value()) {
+      return std::nullopt;
+    }
+    const auto now = Clock::now();
+    return now >= *when_ ? Clock::duration::zero() : *when_ - now;
+  }
+
+ private:
+  std::optional<Clock::time_point> when_;
+};
+
+/// Why a RunControl asked the work to stop.
+enum class StopReason { kNone, kCancelled, kDeadlineExceeded };
+
+/// Cancellation + deadline, composed. Held by value in the options structs;
+/// the embedded CancelToken still shares state with the caller's copy.
+struct RunControl {
+  CancelToken token;
+  Deadline deadline;
+
+  /// Cancellation outranks deadline expiry when both hold (an explicit stop
+  /// is the stronger signal).
+  StopReason stop_reason() const noexcept {
+    if (token.cancelled()) {
+      return StopReason::kCancelled;
+    }
+    if (deadline.expired()) {
+      return StopReason::kDeadlineExceeded;
+    }
+    return StopReason::kNone;
+  }
+
+  bool stop_requested() const noexcept {
+    return stop_reason() != StopReason::kNone;
+  }
+
+  /// Throws CancelledError or DeadlineExceededError (with the matching
+  /// ErrorCode) when a stop has been requested; `context` names the
+  /// interrupted operation in the message.
+  void raise_if_stopped(const std::string& context) const {
+    switch (stop_reason()) {
+      case StopReason::kNone:
+        return;
+      case StopReason::kCancelled:
+        throw CancelledError(context + ": cancelled by caller");
+      case StopReason::kDeadlineExceeded:
+        throw DeadlineExceededError(context + ": deadline exceeded");
+    }
+  }
+};
+
+}  // namespace vmcons

@@ -33,6 +33,14 @@ class ThreadPool {
   /// Number of worker threads.
   std::size_t size() const noexcept { return workers_.size(); }
 
+  /// Tasks enqueued but not yet claimed by a worker. Zero after every
+  /// parallel_for returns (it joins all submitted chunks, even aborted
+  /// ones) — tests use this to assert a cancelled batch leaked nothing.
+  std::size_t queued() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
   /// Enqueues a task and returns a future for its completion/exception.
   template <typename F>
   auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
@@ -66,7 +74,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable available_;
   bool stopping_ = false;
 };

@@ -172,6 +172,75 @@ TEST(Scenario, ValidationErrorsNameTheServiceFieldAndValue) {
   }
 }
 
+TEST(Scenario, RejectsNonFiniteValues) {
+  // NaN/inf parse fine through strtod, so the loader must reject them
+  // explicitly — they would otherwise sail through every range check whose
+  // comparison is simply false for NaN.
+  try {
+    core::scenario_inputs(ini_parse(
+        "[service]\nname = web\narrival_rate = inf\ncpu_rate = 10\n"));
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("service 'web'"), std::string::npos) << what;
+    EXPECT_NE(what.find("arrival_rate"), std::string::npos) << what;
+    EXPECT_NE(what.find("must be finite"), std::string::npos) << what;
+  }
+  try {
+    core::scenario_inputs(ini_parse(
+        "[service]\nname = web\narrival_rate = 5\ncpu_rate = nan\n"));
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("cpu_rate"), std::string::npos) << what;
+    EXPECT_NE(what.find("must be finite"), std::string::npos) << what;
+  }
+  EXPECT_THROW(core::scenario_inputs(ini_parse(
+                   "[service]\nname = s\narrival_rate = 5\ncpu_rate = 10\n"
+                   "cpu_impact = inf\n")),
+               InvalidArgument);
+  EXPECT_THROW(core::scenario_inputs(ini_parse(
+                   "[plan]\ntarget_loss = nan\n"
+                   "[service]\nname = s\narrival_rate = 5\ncpu_rate = 10\n")),
+               InvalidArgument);
+}
+
+TEST(Scenario, PowerSectionAppliesAndValidates) {
+  const core::ModelInputs tuned = core::scenario_inputs(ini_parse(
+      "[power]\nbase_watts = 180\nmax_watts = 240\n"
+      "[service]\nname = s\narrival_rate = 5\ncpu_rate = 10\n"));
+  EXPECT_DOUBLE_EQ(tuned.dedicated_power.base_watts, 180.0);
+  EXPECT_DOUBLE_EQ(tuned.dedicated_power.max_watts, 240.0);
+  EXPECT_DOUBLE_EQ(tuned.consolidated_power.base_watts, 180.0);
+  // Platform deltas stay with the deployment, not the [power] section.
+  EXPECT_EQ(tuned.dedicated_power.platform, dc::Platform::kNativeLinux);
+  EXPECT_EQ(tuned.consolidated_power.platform, dc::Platform::kXen);
+
+  const char* kService =
+      "[service]\nname = s\narrival_rate = 5\ncpu_rate = 10\n";
+  try {
+    core::scenario_inputs(
+        ini_parse(std::string("[power]\nbase_watts = inf\n") + kService));
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("[power]"), std::string::npos) << what;
+    EXPECT_NE(what.find("base_watts"), std::string::npos) << what;
+    EXPECT_NE(what.find("must be finite"), std::string::npos) << what;
+  }
+  EXPECT_THROW(core::scenario_inputs(ini_parse(
+                   std::string("[power]\nmax_watts = nan\n") + kService)),
+               InvalidArgument);
+  EXPECT_THROW(core::scenario_inputs(ini_parse(
+                   std::string("[power]\nbase_watts = -5\n") + kService)),
+               InvalidArgument);
+  EXPECT_THROW(core::scenario_inputs(
+                   ini_parse(std::string("[power]\nbase_watts = 300\n"
+                                         "max_watts = 200\n") +
+                             kService)),
+               InvalidArgument);
+}
+
 TEST(Scenario, SerializationRoundTrips) {
   const core::ModelInputs original =
       core::scenario_inputs(ini_parse(kCaseStudy));
