@@ -204,6 +204,15 @@ int run(int argc, const char** argv) {
   std::cout << "all " << grid.size()
             << " plans bit-identical across configurations\n\n";
 
+  // A row whose worker count exceeds the physical core count measures
+  // oversubscription, not scaling: its timings are marked unreliable in the
+  // table and in BENCH_batch.json so nobody reads them as a regression.
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t shared_workers = ThreadPool::shared().size();
+  const auto unreliable = [hardware](std::size_t workers) {
+    return workers > hardware;
+  };
+
   const double count = static_cast<double>(grid.size());
   AsciiTable table;
   table.set_header({"configuration", "wall ms", "plans/s", "speedup"});
@@ -218,18 +227,29 @@ int run(int argc, const char** argv) {
                  AsciiTable::format(quarantine_ms, 1),
                  AsciiTable::format(count / quarantine_ms * 1000.0, 0),
                  AsciiTable::format(object_ms / quarantine_ms, 1) + "x"});
-  table.add_row({"batch, sharded parallel",
+  table.add_row({"batch, sharded parallel" +
+                     std::string(unreliable(shared_workers) ? " [unreliable]"
+                                                           : ""),
                  AsciiTable::format(parallel_ms, 1),
                  AsciiTable::format(count / parallel_ms * 1000.0, 0),
                  AsciiTable::format(object_ms / parallel_ms, 1) + "x"});
+  bool any_unreliable = unreliable(shared_workers);
   for (const ThreadRow& row : thread_rows) {
-    table.add_row({"batch, pool(" + std::to_string(row.threads) + ")",
+    any_unreliable = any_unreliable || unreliable(row.threads);
+    table.add_row({"batch, pool(" + std::to_string(row.threads) + ")" +
+                       std::string(unreliable(row.threads) ? " [unreliable]"
+                                                           : ""),
                    AsciiTable::format(row.ms, 1),
                    AsciiTable::format(count / row.ms * 1000.0, 0),
                    AsciiTable::format(object_ms / row.ms, 1) + "x"});
   }
   table.print(std::cout,
               std::to_string(grid.size()) + "-plan batch wall time");
+  if (any_unreliable) {
+    std::cout << "[unreliable]: row uses more workers than the " << hardware
+              << " detected core(s); its timing measures oversubscription, "
+                 "not scaling\n";
+  }
 
   const auto stats = serial_kernel.stats();
   std::cout << "\n1-thread kernel: " << stats.evaluations
@@ -238,26 +258,30 @@ int run(int argc, const char** argv) {
             << "% hit rate), " << stats.steps << " recurrence steps\n\n";
   core::print_metrics(std::cout);
 
-  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
   std::ostringstream json;
   json.precision(6);
   json << std::fixed << "{\n";
   json << "  \"header\": {\"git_rev\": \"" << git_rev
-       << "\", \"workers\": " << ThreadPool::shared().size()
+       << "\", \"workers\": " << shared_workers
+       << ", \"detected_cores\": " << hardware
        << ", \"hardware_concurrency\": " << hardware << "},\n";
-  const auto emit = [&](const std::string& name, double ms, bool last) {
+  const auto emit = [&](const std::string& name, double ms,
+                        std::size_t workers, bool last) {
     json << "  \"" << name << "\": {\"plans_per_sec\": "
          << count / ms * 1000.0 << ", \"ms_total\": " << ms
-         << ", \"speedup_vs_object\": " << object_ms / ms << "}"
+         << ", \"speedup_vs_object\": " << object_ms / ms
+         << ", \"workers\": " << workers << ", \"unreliable\": "
+         << (unreliable(workers) ? "true" : "false") << "}"
          << (last ? "\n" : ",\n");
   };
-  emit("object_at_a_time", object_ms, false);
-  emit("batch_1thread", serial_ms, false);
-  emit("batch_quarantine", quarantine_ms, false);
-  emit("batch_parallel", parallel_ms, false);
+  emit("object_at_a_time", object_ms, 1, false);
+  emit("batch_1thread", serial_ms, 1, false);
+  emit("batch_quarantine", quarantine_ms, 1, false);
+  emit("batch_parallel", parallel_ms, shared_workers, false);
   for (std::size_t i = 0; i < thread_rows.size(); ++i) {
     emit("batch_threads_" + std::to_string(thread_rows[i].threads),
-         thread_rows[i].ms, i + 1 == thread_rows.size());
+         thread_rows[i].ms, thread_rows[i].threads,
+         i + 1 == thread_rows.size());
   }
   json << "}\n";
   std::ofstream out(json_path);

@@ -1,0 +1,239 @@
+// Microbenchmark for the out-of-core streaming sweep: writes a large
+// scenario store (the grid is never materialized in memory), streams it
+// shard-by-shard through StreamingSweep, and proves the two properties the
+// subsystem exists for —
+//   * bounded resident memory: the resident high-water delta while
+//     streaming stays a small multiple of one shard's working set, not of
+//     the store size (reported in MB next to the store size; optionally
+//     gated via --max-rss-mb);
+//   * lossless kill-and-resume: a run cancelled halfway resumes from the
+//     checkpoint manifest and its per-shard result checksums match a clean
+//     uninterrupted run exactly.
+// Defaults are sized for an idle desktop; pass --scenarios 1000000 for the
+// million-scenario configuration of the acceptance criteria. Emits
+// BENCH_streaming.json. Not a paper figure; performance hygiene for the
+// out-of-core sweep path.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/planner.hpp"
+#include "core/scenario_store.hpp"
+#include "core/streaming_sweep.hpp"
+#include "core/sweep.hpp"
+#include "util/run_control.hpp"
+
+namespace vmcons::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double since_ms(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Peak resident set (VmHWM) in KiB from /proc/self/status; 0 where the
+/// proc interface is unavailable (the bounded-memory report is then
+/// skipped, not failed).
+std::size_t peak_rss_kb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return static_cast<std::size_t>(
+          std::strtoull(line.c_str() + 6, nullptr, 10));
+    }
+  }
+  return 0;
+}
+
+int run(int argc, const char** argv) {
+  Flags flags(argc, argv);
+  const auto scenarios =
+      static_cast<std::size_t>(flags.get_int("scenarios", 100000));
+  const auto shard_size =
+      static_cast<std::size_t>(flags.get_int("shard", 4096));
+  const auto dedicated =
+      static_cast<std::uint64_t>(flags.get_int("servers", 2000));
+  // Resident high-water gate in MB for the streaming phase; 0 reports only.
+  const double max_rss_mb = flags.get_double("max-rss-mb", 0.0);
+  const std::string json_path =
+      flags.get_string("json", "BENCH_streaming.json");
+  const std::string git_rev = flags.get_string("git-rev", "unknown");
+  const std::string store_path =
+      flags.get_string("store", "micro_streaming.store");
+  finish_flags(flags);
+
+  banner("micro_streaming: out-of-core sweep with checkpoint/resume",
+         "library performance hygiene (no paper figure)");
+
+  // Grid: one distinct log-spaced loss per 4 cells, crossed with 2 VM
+  // densities and 2 workload scales — the loss axis dominates, so shards
+  // mix repeated offered loads (kernel-friendly) with fresh targets.
+  const std::size_t losses_n = std::max<std::size_t>(1, scenarios / 4);
+  std::vector<double> losses(losses_n);
+  for (std::size_t i = 0; i < losses_n; ++i) {
+    const double t = losses_n == 1 ? 0.0
+                                   : static_cast<double>(i) /
+                                         static_cast<double>(losses_n - 1);
+    losses[i] = 0.05 * std::pow(1e-4 / 0.05, t);
+  }
+  core::SweepGrid grid;
+  grid.target_losses(std::move(losses))
+      .vms_per_server({2, 3})
+      .workload_scales({0.9, 1.1});
+
+  const core::ModelInputs base = case_study_inputs(dedicated);
+  core::ConsolidationPlanner planner;
+  planner.set_target_loss(base.target_loss);
+  for (const auto& service : base.services) {
+    planner.add_service(service);
+  }
+
+  const std::string manifest_path = store_path + ".manifest.csv";
+  std::remove(store_path.c_str());
+  std::remove(manifest_path.c_str());
+
+  // Phase 1: enumerate the grid straight to disk, one shard in RAM.
+  const auto write_start = Clock::now();
+  const auto summary =
+      core::write_sweep_store(planner, grid, store_path, shard_size);
+  const double write_ms = since_ms(write_start);
+  const auto store_bytes = std::filesystem::file_size(store_path);
+  const double store_mb = static_cast<double>(store_bytes) / (1024.0 * 1024.0);
+  std::cout << "store: " << summary.scenarios << " scenarios in "
+            << summary.shards << " shards of " << shard_size << " ("
+            << AsciiTable::format(store_mb, 1) << " MB, written in "
+            << AsciiTable::format(write_ms, 0) << " ms)\n";
+
+  const core::ScenarioStore store(store_path);
+  const double rss_before_mb =
+      static_cast<double>(peak_rss_kb()) / 1024.0;
+
+  // Phase 2: clean streaming run. The sink drops each shard's results after
+  // recording its checksum, so the working set is one shard end-to-end.
+  core::StreamingSweepOptions clean_options;
+  const auto stream_start = Clock::now();
+  const core::StreamingSweepReport clean =
+      core::StreamingSweep(clean_options)
+          .run(store, [](core::ShardOutcome&&) {});
+  const double stream_ms = since_ms(stream_start);
+  const double rss_after_mb = static_cast<double>(peak_rss_kb()) / 1024.0;
+  const double rss_delta_mb = rss_after_mb - rss_before_mb;
+  if (!clean.complete()) {
+    std::cerr << "FAIL: clean streaming run did not complete\n";
+    return EXIT_FAILURE;
+  }
+  const double plans_per_sec =
+      static_cast<double>(clean.scenarios_evaluated) / stream_ms * 1000.0;
+  std::cout << "stream: " << clean.scenarios_evaluated << " plans in "
+            << AsciiTable::format(stream_ms, 0) << " ms ("
+            << AsciiTable::format(plans_per_sec, 0) << " plans/s)\n";
+  if (rss_after_mb > 0.0) {
+    std::cout << "resident high-water while streaming: +"
+              << AsciiTable::format(rss_delta_mb, 1) << " MB over a "
+              << AsciiTable::format(store_mb, 1)
+              << " MB store (bounded working set)\n";
+  }
+
+  // Phase 3: kill-and-resume. Cancel halfway through, resume from the
+  // manifest, and require checksum-for-checksum identity with the clean run.
+  const std::size_t kill_after = std::max<std::size_t>(1, clean.shards_total / 2);
+  core::StreamingSweepOptions kill_options;
+  kill_options.checkpoint_path = manifest_path;
+  CancelToken token = kill_options.batch.control.token;
+  std::size_t delivered = 0;
+  const auto kill_start = Clock::now();
+  const core::StreamingSweepReport killed =
+      core::StreamingSweep(kill_options)
+          .run(store, [&](core::ShardOutcome&&) {
+            if (++delivered == kill_after) {
+              token.cancel();
+            }
+          });
+  const double kill_ms = since_ms(kill_start);
+  if (!killed.cancelled || killed.shards_completed != kill_after) {
+    std::cerr << "FAIL: cancelled run committed " << killed.shards_completed
+              << " shards, expected " << kill_after << "\n";
+    return EXIT_FAILURE;
+  }
+
+  core::StreamingSweepOptions resume_options;
+  resume_options.checkpoint_path = manifest_path;
+  const auto resume_start = Clock::now();
+  const core::StreamingSweepReport resumed =
+      core::StreamingSweep(resume_options)
+          .run(store, [](core::ShardOutcome&&) {});
+  const double resume_ms = since_ms(resume_start);
+  if (!resumed.complete() || resumed.shards_resumed != kill_after) {
+    std::cerr << "FAIL: resume skipped " << resumed.shards_resumed
+              << " shards, expected " << kill_after << "\n";
+    return EXIT_FAILURE;
+  }
+  if (resumed.shard_checksums != clean.shard_checksums) {
+    std::cerr << "FAIL: resumed run's shard checksums diverged from the "
+                 "clean run\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "kill/resume: cancelled after " << kill_after << "/"
+            << clean.shards_total << " shards ("
+            << AsciiTable::format(kill_ms, 0) << " ms), resumed the rest in "
+            << AsciiTable::format(resume_ms, 0)
+            << " ms; all shard checksums identical to the clean run\n";
+
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  std::ostringstream json;
+  json.precision(6);
+  json << std::fixed << "{\n";
+  json << "  \"header\": {\"git_rev\": \"" << git_rev
+       << "\", \"scenarios\": " << summary.scenarios
+       << ", \"shard_size\": " << shard_size
+       << ", \"shards\": " << summary.shards
+       << ", \"store_mb\": " << store_mb
+       << ", \"detected_cores\": " << hardware << "},\n";
+  json << "  \"write\": {\"ms_total\": " << write_ms << "},\n";
+  json << "  \"stream\": {\"ms_total\": " << stream_ms
+       << ", \"plans_per_sec\": " << plans_per_sec
+       << ", \"rss_high_water_delta_mb\": " << rss_delta_mb << "},\n";
+  json << "  \"resume\": {\"killed_after_shards\": " << kill_after
+       << ", \"resume_ms\": " << resume_ms
+       << ", \"checksums_identical\": true}\n";
+  json << "}\n";
+  std::ofstream out(json_path);
+  out << json.str();
+  out.close();
+  std::cout << "\nwrote " << json_path << "\n";
+
+  std::remove(store_path.c_str());
+  std::remove(manifest_path.c_str());
+
+  if (max_rss_mb > 0.0 && rss_after_mb > 0.0 && rss_delta_mb > max_rss_mb) {
+    std::cerr << "FAIL: streaming resident high-water delta "
+              << AsciiTable::format(rss_delta_mb, 1) << " MB exceeds --max-rss-mb "
+              << AsciiTable::format(max_rss_mb, 1) << " MB\n";
+    return EXIT_FAILURE;
+  }
+  return EXIT_SUCCESS;
+}
+
+}  // namespace
+}  // namespace vmcons::bench
+
+int main(int argc, const char** argv) {
+  try {
+    return vmcons::bench::run(argc, argv);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return EXIT_FAILURE;
+  }
+}

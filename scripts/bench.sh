@@ -1,14 +1,20 @@
 #!/usr/bin/env bash
-# Performance hygiene: Release build, then the two microbenchmarks at full
+# Performance hygiene: Release build, then the microbenchmarks at full
 # size. micro_engine regenerates BENCH_engine.json at the repo root (the
 # checked-in numbers CI and DESIGN.md refer to); micro_sweep checks the
-# parallel memoized planner. Both exit non-zero when they miss their
-# speedup targets.
+# parallel memoized planner; micro_batch regenerates BENCH_batch.json;
+# micro_streaming regenerates BENCH_streaming.json (out-of-core sweep with
+# checkpoint/resume). All exit non-zero when they miss their targets.
 #
-# The numbers are wall-clock sensitive: run on an idle machine. Pass extra
-# flags through, e.g. `scripts/bench.sh --fire-reps 10`.
+# The numbers are wall-clock sensitive: run on an idle machine. Multi-worker
+# rows recorded on a box with fewer cores than workers are marked
+# "unreliable" in BENCH_batch.json rather than suppressed. Pass extra flags
+# through, e.g. `scripts/bench.sh --fire-reps 10`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+CORES="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo unknown)"
+echo "== bench: detected ${CORES} core(s) =="
 
 echo "== bench: release build =="
 cmake --preset default
@@ -28,4 +34,11 @@ echo "== bench: micro_batch (columnar ScenarioBatch evaluator) =="
   --git-rev "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
 echo
-echo "bench PASSED (BENCH_engine.json, BENCH_batch.json updated)"
+echo "== bench: micro_streaming (out-of-core sweep, 10^6 scenarios) =="
+./build/bench/micro_streaming --scenarios 1000000 --shard 8192 \
+  --json BENCH_streaming.json \
+  --store build/bench/micro_streaming.store \
+  --git-rev "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+
+echo
+echo "bench PASSED (BENCH_engine.json, BENCH_batch.json, BENCH_streaming.json updated)"

@@ -17,10 +17,13 @@ ctest --preset default -j --timeout "${CTEST_TIMEOUT}"
 
 echo
 echo "== tier-1: fault-injection suite under a pinned seed =="
-# The run-control/fault suites read VMCONS_FAULT_SEED; pinning it here means
-# a red fault run in CI replays bit-identically at a desk.
+# The run-control/fault/streaming suites read VMCONS_FAULT_SEED; pinning it
+# here means a red fault run in CI replays bit-identically at a desk. The
+# StreamingSweep suite includes the kill-and-resume smoke: a sweep killed by
+# an injected shard fault resumes from its checkpoint manifest bit-identical
+# to a clean run.
 VMCONS_FAULT_SEED=20090806 ./build/tests/vmcons_tests \
-  --gtest_filter='RunControl*:FaultInject*'
+  --gtest_filter='RunControl*:FaultInject*:StreamingSweep*'
 
 echo
 echo "== tier-1: bench smoke (correctness only, ~1s each) =="
@@ -39,6 +42,10 @@ echo "== tier-1: bench smoke (correctness only, ~1s each) =="
 # bigger than the smoke above so the parallel path has real work to split.
 ./build/bench/micro_batch --losses 8 --scales 8 --servers 2000 \
   --min-speedup 0 --min-parallel-speedup 1.5 --json /dev/null
+# Out-of-core streaming smoke: store write/read round trip, a cancelled run
+# resuming checksum-identical, and a loose resident-memory ceiling.
+./build/bench/micro_streaming --scenarios 4000 --shard 512 \
+  --max-rss-mb 64 --json /dev/null --store build/bench/tier1_streaming.store
 
 echo
 echo "== tier-1: asan+ubsan build + concurrency tests =="

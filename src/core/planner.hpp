@@ -101,6 +101,12 @@ class ConsolidationPlanner {
   /// Thin wrapper over sweep() with a single-axis grid.
   std::vector<PlanReport> sweep_target_loss(const std::vector<double>& losses) const;
 
+  /// Model inputs for one grid point: this planner's configuration with the
+  /// point's set axes applied. A pure function of (planner, point), so a
+  /// streaming sweep can rebuild any scenario range of a grid without ever
+  /// materializing the whole grid. Implemented in sweep.cpp.
+  ModelInputs point_inputs(const SweepPoint& point) const;
+
   const std::vector<dc::ServiceSpec>& services() const { return services_; }
 
  private:

@@ -77,6 +77,60 @@ std::size_t ScenarioBatch::append(const ModelInputs& inputs) {
   return scenario;
 }
 
+ScenarioBatch ScenarioBatch::from_columns(Columns&& columns) {
+  const std::size_t scenarios = columns.target_loss.size();
+  VMCONS_REQUIRE(columns.vm_count.size() == scenarios &&
+                     columns.dedicated_power.size() == scenarios &&
+                     columns.consolidated_power.size() == scenarios,
+                 "scenario columns disagree on the scenario count");
+  VMCONS_REQUIRE(columns.row_begin.size() == scenarios + 1,
+                 "row_begin must hold scenario count + 1 offsets");
+  VMCONS_REQUIRE(columns.row_begin.front() == 0,
+                 "row_begin must start at offset 0");
+  for (std::size_t s = 0; s < scenarios; ++s) {
+    VMCONS_REQUIRE(columns.row_begin[s] < columns.row_begin[s + 1],
+                   "row_begin must be strictly increasing (every scenario "
+                   "needs at least one service)");
+  }
+  const std::size_t rows = columns.row_begin.back();
+  bool rows_consistent =
+      columns.arrival_rate.size() == rows &&
+      columns.bottleneck_rate.size() == rows &&
+      columns.effective_rate.size() == rows &&
+      columns.service_name.size() == rows;
+  for (std::size_t r = 0; r < dc::kResourceCount; ++r) {
+    rows_consistent = rows_consistent && columns.native_rate[r].size() == rows &&
+                      columns.impact[r].size() == rows;
+  }
+  VMCONS_REQUIRE(rows_consistent,
+                 "service-row columns disagree with the row_begin offsets");
+  for (std::size_t s = 0; s < scenarios; ++s) {
+    VMCONS_REQUIRE(
+        columns.target_loss[s] > 0.0 && columns.target_loss[s] < 1.0,
+        "target loss must be in (0, 1)");
+    VMCONS_REQUIRE(columns.vm_count[s] >= 1, "need at least one VM per server");
+  }
+  for (std::size_t row = 0; row < rows; ++row) {
+    VMCONS_REQUIRE(columns.arrival_rate[row] > 0.0,
+                   "service '" + columns.service_name[row] +
+                       "' needs arrival rate > 0");
+  }
+
+  ScenarioBatch batch;
+  batch.target_loss_ = std::move(columns.target_loss);
+  batch.vm_count_ = std::move(columns.vm_count);
+  batch.dedicated_power_ = std::move(columns.dedicated_power);
+  batch.consolidated_power_ = std::move(columns.consolidated_power);
+  batch.row_begin_ = std::move(columns.row_begin);
+  batch.arrival_rate_ = std::move(columns.arrival_rate);
+  batch.native_rate_ = std::move(columns.native_rate);
+  batch.impact_ = std::move(columns.impact);
+  batch.bottleneck_rate_ = std::move(columns.bottleneck_rate);
+  batch.effective_rate_ = std::move(columns.effective_rate);
+  batch.service_name_ = std::move(columns.service_name);
+  return batch;
+}
+
 ScenarioBatch ScenarioBatch::from_inputs(std::span<const ModelInputs> inputs) {
   ScenarioBatch batch;
   batch.target_loss_.reserve(inputs.size());

@@ -25,6 +25,7 @@
 // results interchangeable with scalar ones.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <span>
 #include <string>
@@ -54,6 +55,31 @@ class ScenarioBatch {
 
   /// Builds a batch from a span of inputs (append in order).
   static ScenarioBatch from_inputs(std::span<const ModelInputs> inputs);
+
+  /// Raw column contents of a batch, mirroring the private members exactly.
+  /// This is the serialization face used by core::ScenarioStore: a batch
+  /// round-tripped through Columns is bit-identical to the original,
+  /// including the derived columns (which are stored, not recomputed).
+  struct Columns {
+    std::vector<double> target_loss;
+    std::vector<unsigned> vm_count;
+    std::vector<dc::PowerModel> dedicated_power;
+    std::vector<dc::PowerModel> consolidated_power;
+    std::vector<std::size_t> row_begin;  ///< size()+1 offsets, row_begin[0]==0
+    std::vector<double> arrival_rate;
+    std::array<std::vector<double>, dc::kResourceCount> native_rate;
+    std::array<std::vector<double>, dc::kResourceCount> impact;
+    std::vector<double> bottleneck_rate;
+    std::vector<double> effective_rate;
+    std::vector<std::string> service_name;
+  };
+
+  /// Rebuilds a batch from raw columns (the deserialization path). Validates
+  /// the structural invariants (offset monotonicity and column lengths) and
+  /// the same per-scenario value preconditions append() enforces; throws
+  /// InvalidArgument naming the violated invariant. Derived columns are
+  /// adopted as stored so the round trip stays bit-identical.
+  static ScenarioBatch from_columns(Columns&& columns);
 
   // --- per-scenario columns ----------------------------------------------
   double target_loss(std::size_t scenario) const {

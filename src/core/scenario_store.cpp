@@ -1,0 +1,445 @@
+#include "core/scenario_store.hpp"
+
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+
+namespace vmcons::core {
+namespace {
+
+// File layout (host-endian, version 1):
+//   header   "VMCSTOR1" | u32 version | u32 resource_count
+//   shard*   u64 scenarios | u64 service_rows | columns (see write_shard)
+//   footer   u64 shard_count | ShardInfo-per-shard as 6 x u64
+//   trailer  u64 footer_offset | u64 footer_checksum | u64 scenario_count
+//            | "VMCSEND1"
+constexpr char kHeaderMagic[8] = {'V', 'M', 'C', 'S', 'T', 'O', 'R', '1'};
+constexpr char kTrailerMagic[8] = {'V', 'M', 'C', 'S', 'E', 'N', 'D', '1'};
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::size_t kHeaderBytes = sizeof(kHeaderMagic) + 2 * sizeof(std::uint32_t);
+constexpr std::size_t kTrailerBytes = 3 * sizeof(std::uint64_t) + sizeof(kTrailerMagic);
+constexpr std::size_t kShardInfoFields = 6;
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw IoError("scenario store '" + path + "': " + what);
+}
+
+// Serializer into a flat byte buffer; the buffer is checksummed and written
+// as one shard payload, so the checksum covers exactly what lands on disk.
+class ByteSink {
+ public:
+  explicit ByteSink(std::vector<char>& out) : out_(out) {}
+
+  void raw(const void* data, std::size_t bytes) {
+    const char* p = static_cast<const char*>(data);
+    out_.insert(out_.end(), p, p + bytes);
+  }
+  void u32(std::uint32_t value) { raw(&value, sizeof value); }
+  void u64(std::uint64_t value) { raw(&value, sizeof value); }
+  void f64_column(const std::vector<double>& column) {
+    raw(column.data(), column.size() * sizeof(double));
+  }
+
+ private:
+  std::vector<char>& out_;
+};
+
+// Deserializer over a shard payload; every read is bounds-checked so a
+// truncated or garbled payload surfaces as IoError, never as a wild read.
+class ByteSource {
+ public:
+  ByteSource(const std::vector<char>& in, const std::string& path,
+             std::size_t shard)
+      : in_(in), path_(path), shard_(shard) {}
+
+  void raw(void* data, std::size_t bytes) {
+    if (bytes > in_.size() - pos_) {
+      std::ostringstream message;
+      message << "shard " << shard_ << " payload is truncated (need " << bytes
+              << " bytes at offset " << pos_ << " of " << in_.size() << ")";
+      fail(path_, message.str());
+    }
+    std::memcpy(data, in_.data() + pos_, bytes);
+    pos_ += bytes;
+  }
+  std::uint32_t u32() {
+    std::uint32_t value = 0;
+    raw(&value, sizeof value);
+    return value;
+  }
+  std::uint64_t u64() {
+    std::uint64_t value = 0;
+    raw(&value, sizeof value);
+    return value;
+  }
+  void f64_column(std::vector<double>& column, std::size_t count) {
+    column.resize(count);
+    raw(column.data(), count * sizeof(double));
+  }
+  std::size_t remaining() const { return in_.size() - pos_; }
+
+ private:
+  const std::vector<char>& in_;
+  const std::string& path_;
+  std::size_t shard_;
+  std::size_t pos_ = 0;
+};
+
+void write_power_column(ByteSink& sink,
+                        std::span<const dc::PowerModel> column) {
+  for (const dc::PowerModel& model : column) {
+    sink.raw(&model.base_watts, sizeof model.base_watts);
+    sink.raw(&model.max_watts, sizeof model.max_watts);
+    sink.u32(static_cast<std::uint32_t>(model.platform));
+  }
+}
+
+void read_power_column(ByteSource& source, std::vector<dc::PowerModel>& column,
+                       std::size_t count, const std::string& path,
+                       std::size_t shard) {
+  column.resize(count);
+  for (dc::PowerModel& model : column) {
+    source.raw(&model.base_watts, sizeof model.base_watts);
+    source.raw(&model.max_watts, sizeof model.max_watts);
+    const std::uint32_t platform = source.u32();
+    if (platform > static_cast<std::uint32_t>(dc::Platform::kXen)) {
+      std::ostringstream message;
+      message << "shard " << shard << " holds unknown platform enum value "
+              << platform;
+      fail(path, message.str());
+    }
+    model.platform = static_cast<dc::Platform>(platform);
+  }
+}
+
+// Serializes one batch's columns; the inverse of read_shard_payload.
+std::vector<char> serialize_shard(const ScenarioBatch& batch) {
+  std::vector<char> bytes;
+  ByteSink sink(bytes);
+  const std::size_t scenarios = batch.size();
+  const std::size_t rows = batch.service_rows();
+  sink.u64(scenarios);
+  sink.u64(rows);
+  for (std::size_t s = 0; s < scenarios; ++s) {
+    const double loss = batch.target_loss(s);
+    sink.raw(&loss, sizeof loss);
+  }
+  for (std::size_t s = 0; s < scenarios; ++s) {
+    sink.u32(batch.vm_count(s));
+  }
+  write_power_column(sink, batch.dedicated_power());
+  write_power_column(sink, batch.consolidated_power());
+  for (std::size_t s = 0; s <= scenarios; ++s) {
+    sink.u64(s == 0 ? 0 : batch.services_end(s - 1));
+  }
+  sink.raw(batch.arrival_rate().data(), rows * sizeof(double));
+  for (const dc::Resource resource : dc::all_resources()) {
+    sink.raw(batch.native_rate(resource).data(), rows * sizeof(double));
+  }
+  for (const dc::Resource resource : dc::all_resources()) {
+    sink.raw(batch.impact(resource).data(), rows * sizeof(double));
+  }
+  sink.raw(batch.bottleneck_rate().data(), rows * sizeof(double));
+  sink.raw(batch.effective_rate().data(), rows * sizeof(double));
+  for (std::size_t row = 0; row < rows; ++row) {
+    const std::string& name = batch.service_name(row);
+    sink.u32(static_cast<std::uint32_t>(name.size()));
+    sink.raw(name.data(), name.size());
+  }
+  return bytes;
+}
+
+ScenarioBatch deserialize_shard(const std::vector<char>& bytes,
+                                const std::string& path, std::size_t shard,
+                                const ShardInfo& info) {
+  ByteSource source(bytes, path, shard);
+  ScenarioBatch::Columns columns;
+  const std::uint64_t scenarios = source.u64();
+  const std::uint64_t rows = source.u64();
+  if (scenarios != info.scenarios || rows != info.service_rows) {
+    std::ostringstream message;
+    message << "shard " << shard << " payload declares " << scenarios
+            << " scenarios / " << rows << " rows but the footer recorded "
+            << info.scenarios << " / " << info.service_rows;
+    fail(path, message.str());
+  }
+  source.f64_column(columns.target_loss, scenarios);
+  columns.vm_count.resize(scenarios);
+  for (unsigned& v : columns.vm_count) {
+    v = source.u32();
+  }
+  read_power_column(source, columns.dedicated_power, scenarios, path, shard);
+  read_power_column(source, columns.consolidated_power, scenarios, path, shard);
+  columns.row_begin.resize(scenarios + 1);
+  for (std::size_t& offset : columns.row_begin) {
+    offset = static_cast<std::size_t>(source.u64());
+  }
+  source.f64_column(columns.arrival_rate, rows);
+  for (std::size_t r = 0; r < dc::kResourceCount; ++r) {
+    source.f64_column(columns.native_rate[r], rows);
+  }
+  for (std::size_t r = 0; r < dc::kResourceCount; ++r) {
+    source.f64_column(columns.impact[r], rows);
+  }
+  source.f64_column(columns.bottleneck_rate, rows);
+  source.f64_column(columns.effective_rate, rows);
+  columns.service_name.resize(rows);
+  for (std::string& name : columns.service_name) {
+    const std::uint32_t length = source.u32();
+    name.resize(length);
+    source.raw(name.data(), length);
+  }
+  if (source.remaining() != 0) {
+    std::ostringstream message;
+    message << "shard " << shard << " payload has " << source.remaining()
+            << " trailing bytes past the last column";
+    fail(path, message.str());
+  }
+  // from_columns re-validates the structural invariants, so corruption that
+  // happens to pass the checksum still cannot build an inconsistent batch.
+  try {
+    return ScenarioBatch::from_columns(std::move(columns));
+  } catch (const Error& error) {
+    std::ostringstream message;
+    message << "shard " << shard << " deserialized into an invalid batch: "
+            << error.what();
+    fail(path, message.str());
+  }
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const void* data, std::size_t bytes,
+                      std::uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = seed;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+ScenarioStoreWriter::ScenarioStoreWriter(std::string path,
+                                         std::size_t shard_size)
+    : path_(std::move(path)),
+      out_(path_, std::ios::binary | std::ios::trunc),
+      shard_size_(shard_size) {
+  VMCONS_REQUIRE(shard_size_ > 0, "scenario store shard size must be >= 1");
+  if (!out_) {
+    fail(path_, "cannot open for writing");
+  }
+  out_.write(kHeaderMagic, sizeof kHeaderMagic);
+  const std::uint32_t version = kFormatVersion;
+  const std::uint32_t resources = dc::kResourceCount;
+  out_.write(reinterpret_cast<const char*>(&version), sizeof version);
+  out_.write(reinterpret_cast<const char*>(&resources), sizeof resources);
+}
+
+ScenarioStoreWriter::~ScenarioStoreWriter() = default;
+
+std::size_t ScenarioStoreWriter::append(const ModelInputs& inputs) {
+  VMCONS_ASSERT(!finished_);
+  buffer_.append(inputs);
+  const std::size_t global = static_cast<std::size_t>(scenario_count_);
+  ++scenario_count_;
+  if (buffer_.size() >= shard_size_) {
+    flush_shard();
+  }
+  return global;
+}
+
+void ScenarioStoreWriter::flush_shard() {
+  if (buffer_.empty()) {
+    return;
+  }
+  const std::vector<char> payload = serialize_shard(buffer_);
+  ShardInfo info;
+  info.offset = static_cast<std::uint64_t>(out_.tellp());
+  info.bytes = payload.size();
+  info.scenarios = buffer_.size();
+  info.service_rows = buffer_.service_rows();
+  info.checksum = fnv1a64(payload.data(), payload.size());
+  info.scenario_begin = scenario_count_ - buffer_.size();
+  out_.write(payload.data(),
+             static_cast<std::streamsize>(payload.size()));
+  if (!out_) {
+    fail(path_, "write failed (disk full?)");
+  }
+  shards_.push_back(info);
+  buffer_ = ScenarioBatch{};
+  metrics::registry().counter(metrics::names::kStoreShardsWritten).add();
+  metrics::registry()
+      .counter(metrics::names::kStoreBytesWritten)
+      .add(payload.size());
+}
+
+ScenarioStoreWriter::Summary ScenarioStoreWriter::finish() {
+  VMCONS_ASSERT(!finished_);
+  finished_ = true;
+  flush_shard();
+
+  std::vector<char> footer;
+  ByteSink sink(footer);
+  sink.u64(shards_.size());
+  for (const ShardInfo& info : shards_) {
+    sink.u64(info.offset);
+    sink.u64(info.bytes);
+    sink.u64(info.scenarios);
+    sink.u64(info.service_rows);
+    sink.u64(info.checksum);
+    sink.u64(info.scenario_begin);
+  }
+  const std::uint64_t footer_offset = static_cast<std::uint64_t>(out_.tellp());
+  const std::uint64_t footer_checksum = fnv1a64(footer.data(), footer.size());
+  out_.write(footer.data(), static_cast<std::streamsize>(footer.size()));
+  out_.write(reinterpret_cast<const char*>(&footer_offset),
+             sizeof footer_offset);
+  out_.write(reinterpret_cast<const char*>(&footer_checksum),
+             sizeof footer_checksum);
+  out_.write(reinterpret_cast<const char*>(&scenario_count_),
+             sizeof scenario_count_);
+  out_.write(kTrailerMagic, sizeof kTrailerMagic);
+  out_.close();
+  if (!out_) {
+    fail(path_, "finish failed while writing the footer/trailer");
+  }
+  return Summary{scenario_count_, shards_.size(), footer_checksum};
+}
+
+ScenarioStore::ScenarioStore(std::string path) : path_(std::move(path)) {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) {
+    fail(path_, "cannot open for reading");
+  }
+  in.seekg(0, std::ios::end);
+  const std::uint64_t file_bytes = static_cast<std::uint64_t>(in.tellg());
+  if (file_bytes < kHeaderBytes + kTrailerBytes) {
+    fail(path_, "file is too small to hold a header and trailer (truncated "
+                "or never finished)");
+  }
+
+  char magic[8];
+  std::uint32_t version = 0;
+  std::uint32_t resources = 0;
+  in.seekg(0);
+  in.read(magic, sizeof magic);
+  in.read(reinterpret_cast<char*>(&version), sizeof version);
+  in.read(reinterpret_cast<char*>(&resources), sizeof resources);
+  if (!in || std::memcmp(magic, kHeaderMagic, sizeof magic) != 0) {
+    fail(path_, "bad header magic (not a scenario store)");
+  }
+  if (version != kFormatVersion) {
+    fail(path_, "unsupported format version " + std::to_string(version));
+  }
+  if (resources != dc::kResourceCount) {
+    std::ostringstream message;
+    message << "written with " << resources << " resource kinds, this build "
+            << "has " << dc::kResourceCount;
+    fail(path_, message.str());
+  }
+
+  std::uint64_t footer_offset = 0;
+  std::uint64_t footer_checksum = 0;
+  in.seekg(static_cast<std::streamoff>(file_bytes - kTrailerBytes));
+  in.read(reinterpret_cast<char*>(&footer_offset), sizeof footer_offset);
+  in.read(reinterpret_cast<char*>(&footer_checksum), sizeof footer_checksum);
+  in.read(reinterpret_cast<char*>(&scenario_count_), sizeof scenario_count_);
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kTrailerMagic, sizeof magic) != 0) {
+    fail(path_, "bad trailer magic (truncated file or unfinished writer)");
+  }
+  if (footer_offset < kHeaderBytes ||
+      footer_offset > file_bytes - kTrailerBytes) {
+    fail(path_, "trailer points the footer outside the file");
+  }
+
+  const std::size_t footer_bytes =
+      static_cast<std::size_t>(file_bytes - kTrailerBytes - footer_offset);
+  std::vector<char> footer(footer_bytes);
+  in.seekg(static_cast<std::streamoff>(footer_offset));
+  in.read(footer.data(), static_cast<std::streamsize>(footer_bytes));
+  if (!in) {
+    fail(path_, "footer read failed");
+  }
+  if (fnv1a64(footer.data(), footer.size()) != footer_checksum) {
+    fail(path_, "footer checksum mismatch (corrupted file)");
+  }
+  checksum_ = footer_checksum;
+
+  ByteSource source(footer, path_, 0);
+  const std::uint64_t shard_count = source.u64();
+  if (footer_bytes !=
+      sizeof(std::uint64_t) * (1 + kShardInfoFields * shard_count)) {
+    fail(path_, "footer size disagrees with its shard count");
+  }
+  std::uint64_t scenarios_seen = 0;
+  shards_.reserve(static_cast<std::size_t>(shard_count));
+  for (std::uint64_t i = 0; i < shard_count; ++i) {
+    ShardInfo info;
+    info.offset = source.u64();
+    info.bytes = source.u64();
+    info.scenarios = source.u64();
+    info.service_rows = source.u64();
+    info.checksum = source.u64();
+    info.scenario_begin = source.u64();
+    if (info.offset < kHeaderBytes || info.bytes > footer_offset ||
+        info.offset > footer_offset - info.bytes) {
+      std::ostringstream message;
+      message << "footer places shard " << i << " outside the payload region";
+      fail(path_, message.str());
+    }
+    if (info.scenario_begin != scenarios_seen || info.scenarios == 0) {
+      std::ostringstream message;
+      message << "footer shard " << i << " breaks the scenario numbering at "
+              << scenarios_seen;
+      fail(path_, message.str());
+    }
+    scenarios_seen += info.scenarios;
+    shards_.push_back(info);
+  }
+  if (scenarios_seen != scenario_count_) {
+    std::ostringstream message;
+    message << "footer shards sum to " << scenarios_seen
+            << " scenarios but the trailer recorded " << scenario_count_;
+    fail(path_, message.str());
+  }
+}
+
+const ShardInfo& ScenarioStore::shard(std::size_t index) const {
+  VMCONS_REQUIRE(index < shards_.size(),
+                 "shard index " + std::to_string(index) + " out of range (" +
+                     std::to_string(shards_.size()) + " shards)");
+  return shards_[index];
+}
+
+ScenarioBatch ScenarioStore::read_shard(std::size_t index) const {
+  const ShardInfo& info = shard(index);
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) {
+    fail(path_, "cannot open for reading");
+  }
+  std::vector<char> payload(static_cast<std::size_t>(info.bytes));
+  in.seekg(static_cast<std::streamoff>(info.offset));
+  in.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!in) {
+    std::ostringstream message;
+    message << "shard " << index << " read failed (file shrank since open?)";
+    fail(path_, message.str());
+  }
+  if (fnv1a64(payload.data(), payload.size()) != info.checksum) {
+    std::ostringstream message;
+    message << "shard " << index << " checksum mismatch (corrupted payload)";
+    fail(path_, message.str());
+  }
+  metrics::registry().counter(metrics::names::kStoreShardsRead).add();
+  metrics::registry()
+      .counter(metrics::names::kStoreBytesRead)
+      .add(payload.size());
+  return deserialize_shard(payload, path_, index, info);
+}
+
+}  // namespace vmcons::core

@@ -1,0 +1,118 @@
+// Out-of-core scenario storage: ScenarioBatch contents as a chunked
+// columnar file.
+//
+// The columnar batch stack (scenario_batch.hpp / batch_eval.hpp) is
+// RAM-bound: a 10^6-10^7-cell what-if grid does not fit as one in-memory
+// ScenarioBatch, and a sweep that dies at cell 900k restarts from zero.
+// ScenarioStore fixes the first half of that (streaming_sweep.hpp fixes the
+// second): scenarios are written through a ScenarioStoreWriter into
+// fixed-size *shards* — each shard is one ScenarioBatch's columns,
+// serialized contiguously — followed by a footer of per-shard
+// {offset, bytes, scenario counts, checksum} records and a fixed-size
+// trailer locating the footer. A reader then materializes any single shard
+// as a ScenarioBatch without touching the rest of the file, so the working
+// set of a streaming sweep is one shard, independent of the store size.
+//
+// Integrity is end-to-end: every shard payload carries an FNV-1a checksum
+// in the footer, the footer itself is checksummed from the trailer, and a
+// file missing its trailer (a crashed writer) is rejected at open. The
+// format is host-endian — a cache/checkpoint format for one machine, not a
+// portable interchange format.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/scenario_batch.hpp"
+
+namespace vmcons::core {
+
+/// FNV-1a 64-bit over a byte range. Pass a previous digest as `seed` to
+/// chain incremental updates; the default seed is the FNV offset basis.
+std::uint64_t fnv1a64(const void* data, std::size_t bytes,
+                      std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/// Location + integrity record of one shard, as stored in the footer.
+struct ShardInfo {
+  std::uint64_t offset = 0;         ///< payload start, bytes from file begin
+  std::uint64_t bytes = 0;          ///< payload length
+  std::uint64_t scenarios = 0;      ///< scenario count in this shard
+  std::uint64_t service_rows = 0;   ///< flat service rows in this shard
+  std::uint64_t checksum = 0;       ///< fnv1a64 of the payload bytes
+  std::uint64_t scenario_begin = 0; ///< global index of the first scenario
+};
+
+/// Streams scenarios into a store file, flushing a shard every `shard_size`
+/// appends. Memory high-water mark is one shard's ScenarioBatch regardless
+/// of how many scenarios pass through. The file is only valid once finish()
+/// has written the footer and trailer; a writer destroyed early leaves a
+/// file every ScenarioStore constructor rejects (the crash-safe default).
+class ScenarioStoreWriter {
+ public:
+  ScenarioStoreWriter(std::string path, std::size_t shard_size);
+  ~ScenarioStoreWriter();
+
+  ScenarioStoreWriter(const ScenarioStoreWriter&) = delete;
+  ScenarioStoreWriter& operator=(const ScenarioStoreWriter&) = delete;
+
+  /// Validates and buffers one scenario (ScenarioBatch::append semantics),
+  /// returning its global index; flushes a shard when the buffer is full.
+  std::size_t append(const ModelInputs& inputs);
+
+  /// What finish() wrote, in the units resume logic needs.
+  struct Summary {
+    std::uint64_t scenarios = 0;
+    std::uint64_t shards = 0;
+    std::uint64_t checksum = 0;  ///< footer checksum = the store's identity
+  };
+
+  /// Flushes the partial shard, writes the footer + trailer, and closes the
+  /// file. Must be called exactly once; append() is invalid afterwards.
+  Summary finish();
+
+ private:
+  void flush_shard();
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t shard_size_;
+  ScenarioBatch buffer_;
+  std::vector<ShardInfo> shards_;
+  std::uint64_t scenario_count_ = 0;
+  bool finished_ = false;
+};
+
+/// Read face: opens a finished store, validates trailer + footer, and
+/// materializes single shards as ScenarioBatches on demand.
+class ScenarioStore {
+ public:
+  /// Opens and validates the file's trailer and footer (magic, version,
+  /// checksum, offset sanity). Throws IoError naming the defect on any
+  /// truncation or corruption; a store that opens is safe to iterate.
+  explicit ScenarioStore(std::string path);
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  std::uint64_t scenario_count() const noexcept { return scenario_count_; }
+  const ShardInfo& shard(std::size_t index) const;
+  const std::string& path() const noexcept { return path_; }
+
+  /// Footer checksum: identifies this store's exact contents, so a
+  /// checkpoint manifest can refuse to resume against a different store.
+  std::uint64_t checksum() const noexcept { return checksum_; }
+
+  /// Reads, checksum-verifies, and deserializes one shard. Throws IoError
+  /// (with the shard index) if the payload fails its footer checksum or is
+  /// structurally truncated.
+  ScenarioBatch read_shard(std::size_t index) const;
+
+ private:
+  std::string path_;
+  std::vector<ShardInfo> shards_;
+  std::uint64_t scenario_count_ = 0;
+  std::uint64_t checksum_ = 0;
+};
+
+}  // namespace vmcons::core

@@ -1,6 +1,7 @@
 #include "core/sweep.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "core/batch_eval.hpp"
 #include "core/planner.hpp"
@@ -35,11 +36,21 @@ SweepGrid& SweepGrid::vms_per_server(std::vector<unsigned> vms) {
   return *this;
 }
 
-std::size_t SweepGrid::size() const noexcept {
+std::size_t SweepGrid::size() const {
   const std::size_t losses = std::max<std::size_t>(1, target_losses_.size());
   const std::size_t vms = std::max<std::size_t>(1, vms_per_server_.size());
   const std::size_t scales = std::max<std::size_t>(1, workload_scales_.size());
-  return losses * vms * scales;
+  std::size_t losses_vms = 0;
+  std::size_t total = 0;
+  if (__builtin_mul_overflow(losses, vms, &losses_vms) ||
+      __builtin_mul_overflow(losses_vms, scales, &total)) {
+    std::ostringstream why;
+    why << "SweepGrid: grid size overflows std::size_t: " << losses
+        << " target losses x " << vms << " VMs-per-server x " << scales
+        << " workload scales; split the request into sub-grids";
+    throw NumericError(why.str());
+  }
+  return total;
 }
 
 SweepPoint SweepGrid::point(std::size_t index) const {
@@ -72,6 +83,20 @@ std::vector<SweepPoint> SweepGrid::points() const {
   return all;
 }
 
+ModelInputs ConsolidationPlanner::point_inputs(const SweepPoint& point) const {
+  ConsolidationPlanner instance = *this;
+  if (point.target_loss) {
+    instance.set_target_loss(*point.target_loss);
+  }
+  if (point.workload_scale) {
+    instance.scale_workloads(*point.workload_scale);
+  }
+  if (point.vms_per_server) {
+    instance.set_vms_per_server(*point.vms_per_server);
+  }
+  return instance.make_inputs();
+}
+
 SweepOutcome ConsolidationPlanner::sweep_all(const SweepGrid& grid,
                                              const SweepOptions& options) const {
   const std::size_t count = grid.size();
@@ -87,17 +112,7 @@ SweepOutcome ConsolidationPlanner::sweep_all(const SweepGrid& grid,
   outcome.cells.resize(count);
   for (std::size_t i = 0; i < count; ++i) {
     const SweepPoint point = grid.point(i);
-    ConsolidationPlanner instance = *this;
-    if (point.target_loss) {
-      instance.set_target_loss(*point.target_loss);
-    }
-    if (point.workload_scale) {
-      instance.scale_workloads(*point.workload_scale);
-    }
-    if (point.vms_per_server) {
-      instance.set_vms_per_server(*point.vms_per_server);
-    }
-    batch.append(instance.make_inputs());
+    batch.append(point_inputs(point));
     outcome.cells[i].point = point;
   }
 

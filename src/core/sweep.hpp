@@ -49,7 +49,10 @@ class SweepGrid {
   SweepGrid& vms_per_server(std::vector<unsigned> vms);
 
   /// Number of grid points: the product of the (non-empty) axis sizes.
-  std::size_t size() const noexcept;
+  /// Throws NumericError (with the axis sizes in the message) if the product
+  /// overflows std::size_t — a wrapped grid size would otherwise make a
+  /// 10^7-point request silently iterate the wrong cell count.
+  std::size_t size() const;
 
   /// The index-derived point: loss varies fastest, then VMs, then scale.
   SweepPoint point(std::size_t index) const;

@@ -1,7 +1,7 @@
 #include "util/csv.hpp"
 
+#include <algorithm>
 #include <cstdio>
-#include <sstream>
 
 #include "util/error.hpp"
 
@@ -70,8 +70,22 @@ std::vector<std::string> csv_parse_line(const std::string& line) {
       current.push_back(c);
     }
   }
+  if (in_quotes) {
+    // A quoted field that never closes means the line was cut mid-record
+    // (a truncated checkpoint manifest, a partial download). Returning the
+    // partial field would let a resume trust garbage, so fail loudly.
+    throw IoError("CSV line ends inside an unterminated quoted field: " +
+                  line.substr(0, std::min<std::size_t>(line.size(), 120)));
+  }
   fields.push_back(std::move(current));
   return fields;
+}
+
+void CsvWriter::continue_rows(std::size_t columns) {
+  VMCONS_REQUIRE(!header_written_, "CSV header already written");
+  VMCONS_REQUIRE(columns > 0, "CSV header must have at least one column");
+  columns_ = columns;
+  header_written_ = true;
 }
 
 void CsvWriter::header(const std::vector<std::string>& columns) {
@@ -111,21 +125,63 @@ std::size_t CsvDocument::column(const std::string& name) const {
 }
 
 CsvDocument csv_parse(const std::string& text) {
+  // Record-level parse: a quoted field may span lines (RFC 4180), so the
+  // state machine walks characters, not getline() lines. Outside quotes a
+  // bare newline (or CRLF) ends the record; inside quotes every character —
+  // newlines included — belongs to the field verbatim.
   CsvDocument document;
-  std::istringstream stream(text);
-  std::string line;
-  bool first = true;
-  while (std::getline(stream, line)) {
-    if (line.empty()) {
-      continue;
+  bool have_header = false;
+  std::vector<std::string> record;
+  std::string current;
+  bool in_quotes = false;
+
+  const auto end_record = [&] {
+    record.push_back(std::move(current));
+    current.clear();
+    if (record.size() == 1 && record.front().empty()) {
+      record.clear();  // blank line, skipped as before
+      return;
     }
-    auto fields = csv_parse_line(line);
-    if (first) {
-      document.header = std::move(fields);
-      first = false;
+    if (!have_header) {
+      document.header = std::move(record);
+      have_header = true;
     } else {
-      document.rows.push_back(std::move(fields));
+      document.rows.push_back(std::move(record));
     }
+    record.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      record.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\n') {
+      end_record();
+    } else if (c != '\r') {
+      current.push_back(c);
+    }
+  }
+  if (in_quotes) {
+    throw IoError(
+        "CSV text ends inside an unterminated quoted field (truncated "
+        "input?)");
+  }
+  if (!current.empty() || !record.empty()) {
+    end_record();  // final record without a trailing newline
   }
   return document;
 }

@@ -19,7 +19,10 @@ using CsvCell = std::variant<std::string, long long, double>;
 /// Renders a cell per RFC 4180 quoting rules.
 std::string csv_format_cell(const CsvCell& cell);
 
-/// Splits one CSV line into raw fields, honouring quoted fields.
+/// Splits one CSV line into raw fields, honouring quoted fields. Throws
+/// IoError (ErrorCode::kIoError) when the line ends inside an unterminated
+/// quoted field — the signature of a truncated record — instead of silently
+/// returning the partial field.
 std::vector<std::string> csv_parse_line(const std::string& line);
 
 /// Streaming CSV writer.
@@ -30,6 +33,11 @@ class CsvWriter {
 
   /// Writes the header row. Must be called before any data row (enforced).
   void header(const std::vector<std::string>& columns);
+
+  /// Adopts an already-written header of `columns` columns without emitting
+  /// one, so rows can be appended to an existing document (e.g. a checkpoint
+  /// manifest being resumed). Counts as the header for the before-rows rule.
+  void continue_rows(std::size_t columns);
 
   /// Writes one data row; the column count must match the header.
   void row(const std::vector<CsvCell>& cells);
@@ -53,7 +61,10 @@ struct CsvDocument {
   std::size_t column(const std::string& name) const;
 };
 
-/// Parses an entire CSV text (first line is the header).
+/// Parses an entire CSV text (first record is the header). Record-level:
+/// quoted fields may contain embedded newlines and CRLF line endings are
+/// accepted. Throws IoError if the text ends inside an unterminated quoted
+/// field (truncated input).
 CsvDocument csv_parse(const std::string& text);
 
 }  // namespace vmcons

@@ -9,11 +9,12 @@
 namespace vmcons::util {
 namespace {
 
-constexpr std::array<std::string_view, 4> kKnownSites = {
+constexpr std::array<std::string_view, 5> kKnownSites = {
     fault_sites::kErlangEval,
     fault_sites::kStaffingInverse,
     fault_sites::kBatchShard,
     fault_sites::kBatchCell,
+    fault_sites::kSweepShard,
 };
 
 /// FNV-1a over the site name; stable across runs and platforms.

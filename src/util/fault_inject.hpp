@@ -49,6 +49,11 @@ inline constexpr std::string_view kBatchShard = "batch.shard";
 /// Once per scenario cell of a batch; index is the scenario index — the
 /// site to use when a test must predict exactly which cells fail.
 inline constexpr std::string_view kBatchCell = "batch.cell";
+/// Once per StreamingSweep store shard, before the shard is read; index is
+/// the global shard number. Fires outside the evaluator's quarantine, so an
+/// injected error propagates out of StreamingSweep::run() like a process
+/// kill — the site for checkpoint/resume (kill-and-resume) tests.
+inline constexpr std::string_view kSweepShard = "sweep.shard";
 }  // namespace fault_sites
 
 /// Index helper for value-derived sites: mixes the bit patterns of up to

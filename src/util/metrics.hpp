@@ -47,6 +47,17 @@ inline constexpr const char* kBatchCancelled = "batch.cancelled";
 inline constexpr const char* kBatchDeadlineExceeded =
     "batch.deadline_exceeded";
 
+/// Shards serialized into / deserialized out of a ScenarioStore file.
+inline constexpr const char* kStoreShardsWritten = "store.shards_written";
+inline constexpr const char* kStoreShardsRead = "store.shards_read";
+/// Payload bytes written to / read from scenario stores (footers excluded).
+inline constexpr const char* kStoreBytesWritten = "store.bytes_written";
+inline constexpr const char* kStoreBytesRead = "store.bytes_read";
+/// StreamingSweep shards skipped because a checkpoint manifest already
+/// recorded them as complete, vs shards evaluated (and committed) this run.
+inline constexpr const char* kSweepShardsResumed = "sweep.shards_resumed";
+inline constexpr const char* kSweepShardsCompleted = "sweep.shards_completed";
+
 inline constexpr const char* kErlangEvaluations = "erlang.evaluations";
 inline constexpr const char* kErlangCacheHits = "erlang.cache_hits";
 inline constexpr const char* kErlangSteps = "erlang.steps";

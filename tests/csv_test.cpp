@@ -1,0 +1,127 @@
+// CSV correctness: RFC 4180 round-trips (embedded commas, quotes-in-quotes,
+// CRLF, embedded newlines) and the loud rejection of truncated quoted
+// fields — a silently-accepted unterminated quote is how a half-written
+// checkpoint manifest turns into wrong resume state.
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace vmcons {
+namespace {
+
+TEST(CsvParse, RoundTripsEmbeddedCommasAndQuotes) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.header({"name", "note"});
+  writer.row({std::string("a,b"), std::string("say \"hi\"")});
+  writer.row({std::string("\"quoted\",\"twice\""), std::string("plain")});
+  const CsvDocument document = csv_parse(out.str());
+  ASSERT_EQ(document.rows.size(), 2u);
+  EXPECT_EQ(document.rows[0][0], "a,b");
+  EXPECT_EQ(document.rows[0][1], "say \"hi\"");
+  EXPECT_EQ(document.rows[1][0], "\"quoted\",\"twice\"");
+  EXPECT_EQ(document.rows[1][1], "plain");
+}
+
+TEST(CsvParse, QuotesInsideQuotesOnOneLine) {
+  const auto fields = csv_parse_line("\"a\"\"b\"\"c\",\"\"\"\"");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "a\"b\"c");
+  EXPECT_EQ(fields[1], "\"");
+}
+
+TEST(CsvParse, AcceptsCrlfLineEndings) {
+  const CsvDocument document = csv_parse("a,b\r\n1,2\r\n3,4\r\n");
+  ASSERT_EQ(document.header.size(), 2u);
+  ASSERT_EQ(document.rows.size(), 2u);
+  EXPECT_EQ(document.rows[0], (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(document.rows[1], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(CsvParse, QuotedFieldsMayEmbedNewlines) {
+  const CsvDocument document = csv_parse("k,v\n\"line1\nline2\",x\n");
+  ASSERT_EQ(document.rows.size(), 1u);
+  EXPECT_EQ(document.rows[0][0], "line1\nline2");
+  EXPECT_EQ(document.rows[0][1], "x");
+  // CRLF inside a quoted field is data, not a record break.
+  const CsvDocument crlf = csv_parse("k,v\r\n\"a\r\nb\",y\r\n");
+  ASSERT_EQ(crlf.rows.size(), 1u);
+  EXPECT_EQ(crlf.rows[0][0], "a\r\nb");
+}
+
+TEST(CsvParse, MissingFinalNewlineStillYieldsLastRecord) {
+  const CsvDocument document = csv_parse("a,b\n1,2");
+  ASSERT_EQ(document.rows.size(), 1u);
+  EXPECT_EQ(document.rows[0], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvParse, LineParserRejectsUnterminatedQuote) {
+  try {
+    csv_parse_line("ok,\"truncat");
+    FAIL() << "expected IoError";
+  } catch (const IoError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kIoError);
+    EXPECT_NE(std::string(error.what()).find("unterminated"),
+              std::string::npos);
+  }
+  // A lone closing quote that re-opens a field is the same defect.
+  EXPECT_THROW(csv_parse_line("\"a\"\""), IoError);
+}
+
+TEST(CsvParse, DocumentParserRejectsUnterminatedQuote) {
+  try {
+    csv_parse("a,b\n\"begun but never fini");
+    FAIL() << "expected IoError";
+  } catch (const IoError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kIoError);
+    EXPECT_NE(std::string(error.what()).find("truncated"), std::string::npos);
+  }
+}
+
+TEST(CsvParse, ProperlyQuotedFieldsStillAccepted) {
+  // Regression guard: the rejection must not catch legitimate quoting.
+  const auto fields = csv_parse_line("\"a\",\"b\"\"c\",d");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b\"c");
+  EXPECT_EQ(fields[2], "d");
+}
+
+TEST(CsvWriter, ContinueRowsAppendsWithoutReEmittingHeader) {
+  std::ostringstream first;
+  CsvWriter writer(first);
+  writer.header({"k", "v"});
+  writer.row({std::string("a"), 1ll});
+
+  // Second writer adopts the existing two-column header (the resume path of
+  // a checkpoint manifest) and appends rows only.
+  std::ostringstream second;
+  CsvWriter appender(second);
+  appender.continue_rows(2);
+  appender.row({std::string("b"), 2ll});
+  EXPECT_EQ(appender.rows_written(), 1u);
+
+  const CsvDocument document = csv_parse(first.str() + second.str());
+  ASSERT_EQ(document.rows.size(), 2u);
+  EXPECT_EQ(document.rows[1], (std::vector<std::string>{"b", "2"}));
+}
+
+TEST(CsvWriter, ContinueRowsEnforcesProtocol) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  EXPECT_THROW(writer.continue_rows(0), InvalidArgument);
+  writer.header({"a"});
+  EXPECT_THROW(writer.continue_rows(1), InvalidArgument);  // header already set
+  std::ostringstream out2;
+  CsvWriter writer2(out2);
+  writer2.continue_rows(2);
+  EXPECT_THROW(writer2.row({std::string("only-one")}), InvalidArgument);
+  EXPECT_THROW(writer2.header({"a", "b"}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vmcons

@@ -1,0 +1,277 @@
+// ScenarioStore: chunked columnar files round-trip ScenarioBatches
+// bit-identically, and every corruption mode — flipped payload byte,
+// flipped footer byte, truncated file, writer that never finished — is
+// rejected loudly instead of feeding garbage to a million-cell sweep.
+#include "core/scenario_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/scenario_batch.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "virt/impact.hpp"
+
+namespace vmcons::core {
+namespace {
+
+/// Random but valid scenarios, fully derived from (seed, index) — the same
+/// generator shape the batch determinism suites use.
+ModelInputs random_inputs(std::uint64_t seed, std::size_t index) {
+  Rng rng = make_stream(seed, index);
+  ModelInputs inputs;
+  inputs.target_loss = 1e-4 + rng.uniform() * 0.2;
+  const std::size_t service_count = 1 + rng.uniform_index(4);
+  for (std::size_t i = 0; i < service_count; ++i) {
+    dc::ServiceSpec service;
+    service.name = "svc" + std::to_string(i);
+    service.arrival_rate = rng.uniform(0.5, 500.0);
+    bool any = false;
+    for (const dc::Resource resource : dc::all_resources()) {
+      if (rng.bernoulli(0.5)) {
+        continue;
+      }
+      any = true;
+      service.demand(resource, rng.uniform(1.0, 2000.0),
+                     virt::Impact::constant(rng.uniform(0.05, 1.0)));
+    }
+    if (!any) {
+      service.demand(dc::Resource::kCpu, rng.uniform(1.0, 2000.0),
+                     virt::Impact::constant(rng.uniform(0.05, 1.0)));
+    }
+    inputs.services.push_back(std::move(service));
+  }
+  return inputs;
+}
+
+std::string temp_path(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "vmcons_store_" + name;
+  std::remove(path.c_str());  // drop leftovers of an earlier (failed) run
+  return path;
+}
+
+/// Bit-exact equality of `shard` against scenarios [begin, begin+n) of the
+/// reference batch: every column, including the derived ones.
+void expect_shard_matches(const ScenarioBatch& reference,
+                          const ScenarioBatch& shard, std::size_t begin) {
+  const std::size_t row_offset = reference.services_begin(begin);
+  for (std::size_t s = 0; s < shard.size(); ++s) {
+    SCOPED_TRACE("scenario " + std::to_string(begin + s));
+    const std::size_t global = begin + s;
+    EXPECT_EQ(shard.target_loss(s), reference.target_loss(global));
+    EXPECT_EQ(shard.vm_count(s), reference.vm_count(global));
+    EXPECT_EQ(shard.dedicated_power()[s].base_watts,
+              reference.dedicated_power()[global].base_watts);
+    EXPECT_EQ(shard.consolidated_power()[s].platform,
+              reference.consolidated_power()[global].platform);
+    ASSERT_EQ(shard.service_count(s), reference.service_count(global));
+    for (std::size_t r = 0; r < shard.service_count(s); ++r) {
+      const std::size_t local_row = shard.services_begin(s) + r;
+      const std::size_t global_row = reference.services_begin(global) + r;
+      EXPECT_EQ(local_row, global_row - row_offset);
+      EXPECT_EQ(shard.arrival_rate()[local_row],
+                reference.arrival_rate()[global_row]);
+      EXPECT_EQ(shard.service_name(local_row),
+                reference.service_name(global_row));
+      EXPECT_EQ(shard.bottleneck_rate()[local_row],
+                reference.bottleneck_rate()[global_row]);
+      EXPECT_EQ(shard.effective_rate()[local_row],
+                reference.effective_rate()[global_row]);
+      for (const dc::Resource resource : dc::all_resources()) {
+        EXPECT_EQ(shard.native_rate(resource)[local_row],
+                  reference.native_rate(resource)[global_row]);
+        EXPECT_EQ(shard.impact(resource)[local_row],
+                  reference.impact(resource)[global_row]);
+      }
+    }
+  }
+}
+
+/// Writes `count` generated scenarios with the given shard size, returning
+/// the finish() summary.
+ScenarioStoreWriter::Summary write_store(const std::string& path,
+                                         std::size_t count,
+                                         std::size_t shard_size,
+                                         std::uint64_t seed = 7) {
+  ScenarioStoreWriter writer(path, shard_size);
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(writer.append(random_inputs(seed, i)), i);
+  }
+  return writer.finish();
+}
+
+void flip_byte(const std::string& path, std::uint64_t offset) {
+  std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(file.is_open());
+  file.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  file.read(&byte, 1);
+  byte ^= 0x5a;
+  file.seekp(static_cast<std::streamoff>(offset));
+  file.write(&byte, 1);
+}
+
+TEST(ScenarioStore, WriteReadRoundTripIsBitIdentical) {
+  const std::string path = temp_path("roundtrip.bin");
+  constexpr std::size_t kScenarios = 23;
+  constexpr std::size_t kShardSize = 5;
+  const auto summary = write_store(path, kScenarios, kShardSize);
+  EXPECT_EQ(summary.scenarios, kScenarios);
+  EXPECT_EQ(summary.shards, 5u);  // 4 full shards + one of 3
+
+  std::vector<ModelInputs> inputs;
+  for (std::size_t i = 0; i < kScenarios; ++i) {
+    inputs.push_back(random_inputs(7, i));
+  }
+  const ScenarioBatch reference = ScenarioBatch::from_inputs(inputs);
+
+  const ScenarioStore store(path);
+  EXPECT_EQ(store.scenario_count(), kScenarios);
+  ASSERT_EQ(store.shard_count(), 5u);
+  EXPECT_EQ(store.checksum(), summary.checksum);
+  std::size_t seen = 0;
+  for (std::size_t i = 0; i < store.shard_count(); ++i) {
+    const ShardInfo& info = store.shard(i);
+    EXPECT_EQ(info.scenario_begin, seen);
+    const ScenarioBatch shard = store.read_shard(i);
+    EXPECT_EQ(shard.size(), info.scenarios);
+    EXPECT_EQ(shard.service_rows(), info.service_rows);
+    expect_shard_matches(reference, shard, seen);
+    seen += shard.size();
+  }
+  EXPECT_EQ(seen, kScenarios);
+  std::remove(path.c_str());
+}
+
+TEST(ScenarioStore, ExactShardMultipleHasNoRaggedTail) {
+  const std::string path = temp_path("exact.bin");
+  const auto summary = write_store(path, 12, 4);
+  EXPECT_EQ(summary.shards, 3u);
+  const ScenarioStore store(path);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(store.shard(i).scenarios, 4u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ScenarioStore, RejectsCorruptedShardPayload) {
+  const std::string path = temp_path("corrupt_shard.bin");
+  write_store(path, 10, 4);
+  const ScenarioStore store(path);
+  // Flip one byte inside shard 1's payload: open still succeeds (the footer
+  // is intact) but reading that shard must fail its checksum.
+  flip_byte(path, store.shard(1).offset + store.shard(1).bytes / 2);
+  EXPECT_NO_THROW(store.read_shard(0));
+  try {
+    store.read_shard(1);
+    FAIL() << "expected IoError";
+  } catch (const IoError& error) {
+    EXPECT_NE(std::string(error.what()).find("checksum"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("shard 1"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ScenarioStore, RejectsCorruptedFooter) {
+  const std::string path = temp_path("corrupt_footer.bin");
+  write_store(path, 10, 4);
+  // The footer sits between the last shard payload and the 32-byte trailer.
+  const std::uint64_t file_bytes = std::filesystem::file_size(path);
+  flip_byte(path, file_bytes - 32 - 8);
+  EXPECT_THROW(ScenarioStore{path}, IoError);
+  std::remove(path.c_str());
+}
+
+TEST(ScenarioStore, RejectsTruncatedFile) {
+  const std::string path = temp_path("truncated.bin");
+  write_store(path, 10, 4);
+  const std::uint64_t file_bytes = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, file_bytes - 7);
+  EXPECT_THROW(ScenarioStore{path}, IoError);
+  std::remove(path.c_str());
+}
+
+TEST(ScenarioStore, RejectsUnfinishedWriterOutput) {
+  const std::string path = temp_path("unfinished.bin");
+  {
+    ScenarioStoreWriter writer(path, 4);
+    for (std::size_t i = 0; i < 10; ++i) {
+      writer.append(random_inputs(7, i));
+    }
+    // No finish(): simulates a writer killed mid-build.
+  }
+  EXPECT_THROW(ScenarioStore{path}, IoError);
+  std::remove(path.c_str());
+}
+
+TEST(ScenarioStore, RejectsMissingFileAndBadShardIndex) {
+  EXPECT_THROW(ScenarioStore{temp_path("never_written.bin")}, IoError);
+  const std::string path = temp_path("index.bin");
+  write_store(path, 4, 2);
+  const ScenarioStore store(path);
+  EXPECT_THROW(store.shard(2), InvalidArgument);
+  EXPECT_THROW(store.read_shard(99), InvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(ScenarioStore, WriterRejectsZeroShardSize) {
+  EXPECT_THROW(ScenarioStoreWriter(temp_path("zero.bin"), 0), InvalidArgument);
+}
+
+TEST(ScenarioBatchColumns, FromColumnsRejectsInconsistentColumns) {
+  const ScenarioBatch reference =
+      ScenarioBatch::from_inputs(std::vector<ModelInputs>{random_inputs(7, 0)});
+
+  // A minimal valid Columns set, derived from a real batch via accessors.
+  const auto make_columns = [&reference] {
+    ScenarioBatch::Columns columns;
+    columns.target_loss = {reference.target_loss(0)};
+    columns.vm_count = {reference.vm_count(0)};
+    columns.dedicated_power = {reference.dedicated_power()[0]};
+    columns.consolidated_power = {reference.consolidated_power()[0]};
+    columns.row_begin = {0, reference.service_rows()};
+    const auto rows = reference.service_rows();
+    for (std::size_t row = 0; row < rows; ++row) {
+      columns.arrival_rate.push_back(reference.arrival_rate()[row]);
+      columns.bottleneck_rate.push_back(reference.bottleneck_rate()[row]);
+      columns.effective_rate.push_back(reference.effective_rate()[row]);
+      columns.service_name.push_back(reference.service_name(row));
+      for (const dc::Resource resource : dc::all_resources()) {
+        const auto r = static_cast<std::size_t>(resource);
+        columns.native_rate[r].push_back(reference.native_rate(resource)[row]);
+        columns.impact[r].push_back(reference.impact(resource)[row]);
+      }
+    }
+    return columns;
+  };
+
+  EXPECT_NO_THROW(ScenarioBatch::from_columns(make_columns()));
+
+  auto bad_offsets = make_columns();
+  bad_offsets.row_begin.back() += 1;  // offsets disagree with column lengths
+  EXPECT_THROW(ScenarioBatch::from_columns(std::move(bad_offsets)),
+               InvalidArgument);
+
+  auto bad_loss = make_columns();
+  bad_loss.target_loss[0] = 1.5;
+  EXPECT_THROW(ScenarioBatch::from_columns(std::move(bad_loss)),
+               InvalidArgument);
+
+  auto bad_rows = make_columns();
+  bad_rows.arrival_rate.pop_back();
+  EXPECT_THROW(ScenarioBatch::from_columns(std::move(bad_rows)),
+               InvalidArgument);
+
+  auto bad_counts = make_columns();
+  bad_counts.vm_count.push_back(2);  // scenario columns disagree
+  EXPECT_THROW(ScenarioBatch::from_columns(std::move(bad_counts)),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vmcons::core

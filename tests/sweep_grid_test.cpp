@@ -81,6 +81,29 @@ TEST(SweepGrid, ValidatesAxisValues) {
   EXPECT_THROW(grid.point(1), InvalidArgument);
 }
 
+TEST(SweepGrid, SizeOverflowFailsLoudlyWithAxisContext) {
+  // 2^22 x 2^21 x 2^21 = 2^64 wraps std::size_t to 0; a silent wrap would
+  // make a grid request iterate the wrong cell count. The axis vectors are
+  // large but the values are valid, so only the product is at fault.
+  SweepGrid grid;
+  grid.target_losses(std::vector<double>(std::size_t{1} << 22, 0.01))
+      .vms_per_server(std::vector<unsigned>(std::size_t{1} << 21, 2))
+      .workload_scales(std::vector<double>(std::size_t{1} << 21, 1.0));
+  try {
+    grid.size();
+    FAIL() << "expected NumericError";
+  } catch (const NumericError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kNumericError);
+    const std::string what = error.what();
+    EXPECT_NE(what.find("overflows"), std::string::npos);
+    EXPECT_NE(what.find("4194304 target losses"), std::string::npos);
+    EXPECT_NE(what.find("2097152 VMs-per-server"), std::string::npos);
+    EXPECT_NE(what.find("2097152 workload scales"), std::string::npos);
+  }
+  // point() and points() route through size(), so they fail the same way.
+  EXPECT_THROW(grid.point(0), NumericError);
+}
+
 TEST(Sweep, ParallelMemoizedMatchesSerialCold) {
   const ConsolidationPlanner planner = case_study_planner();
   SweepGrid grid;
