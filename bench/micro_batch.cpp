@@ -27,6 +27,7 @@
 #include "core/scenario_batch.hpp"
 #include "queueing/erlang_kernel.hpp"
 #include "util/metrics.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace vmcons::bench {
@@ -39,6 +40,31 @@ double run_millis(const std::function<void()>& fn) {
   fn();
   return std::chrono::duration<double, std::milli>(Clock::now() - start)
       .count();
+}
+
+/// Minimum wall time over `reps` runs of `fn`. The box this bench runs on
+/// may be shared/noisy; the minimum is the least-interfered sample and the
+/// one the recorded JSON should carry. `fn` must reset its own state (cold
+/// kernel, cleared outputs) so every rep measures identical work.
+double best_of(int reps, const std::function<void()>& fn) {
+  double best = run_millis(fn);
+  for (int r = 1; r < reps; ++r) {
+    best = std::min(best, run_millis(fn));
+  }
+  return best;
+}
+
+/// First number following `"key": ` in a JSON blob, searched from `from`.
+/// Enough of a parser for the flat bench files this tool writes itself.
+bool find_json_number(const std::string& text, const std::string& key,
+                      double& out, std::size_t from = 0) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t pos = text.find(needle, from);
+  if (pos == std::string::npos) {
+    return false;
+  }
+  out = std::strtod(text.c_str() + pos + needle.size(), nullptr);
+  return true;
 }
 
 bool same_results(const std::vector<core::ModelResult>& a,
@@ -74,6 +100,16 @@ int run(int argc, const char** argv) {
   // parallel speedup no matter how contention-free the kernel is).
   const double min_parallel_speedup =
       flags.get_double("min-parallel-speedup", 0.0);
+  // Each configuration is timed `reps` times and the minimum is reported:
+  // the least-interfered sample on a noisy box.
+  const int reps = static_cast<int>(std::max(1ll, flags.get_int("reps", 3)));
+  // Regression gate against a previously recorded BENCH_batch.json:
+  // batch_1thread plans/sec must be >= min-baseline-speedup x the recorded
+  // value. Skipped with a notice when the baseline was recorded on a
+  // different machine or grid (those numbers are not comparable).
+  const std::string baseline_path = flags.get_string("baseline-json", "");
+  const double min_baseline_speedup =
+      flags.get_double("min-baseline-speedup", 0.0);
   const std::string json_path = flags.get_string("json", "BENCH_batch.json");
   const std::string git_rev = flags.get_string("git-rev", "unknown");
   finish_flags(flags);
@@ -115,20 +151,23 @@ int run(int argc, const char** argv) {
   // Object-at-a-time: the pre-batch behavior — every cell solves its own
   // model through the stateless Erlang free functions.
   std::vector<core::ModelResult> object_results;
-  const double object_ms = run_millis([&] {
+  const double object_ms = best_of(reps, [&] {
+    object_results.clear();
     object_results.reserve(grid.size());
     for (const core::ModelInputs& cell : grid) {
       object_results.push_back(core::UtilityAnalyticModel(cell).solve());
     }
   });
 
-  // Columnar, one thread: batch construction is part of the measured cost.
+  // Columnar, one thread: batch construction is part of the measured cost,
+  // and the kernel is cleared per rep so every sample starts cold.
   queueing::ErlangKernel serial_kernel;
   core::BatchOptions serial_options;
   serial_options.parallel = false;
   serial_options.kernel = &serial_kernel;
   std::vector<core::ModelResult> serial_results;
-  const double serial_ms = run_millis([&] {
+  const double serial_ms = best_of(reps, [&] {
+    serial_kernel.clear();
     const core::ScenarioBatch batch = core::ScenarioBatch::from_inputs(grid);
     serial_results = core::BatchEvaluator(serial_options).evaluate(batch);
   });
@@ -138,7 +177,8 @@ int run(int argc, const char** argv) {
   core::BatchOptions parallel_options;
   parallel_options.kernel = &parallel_kernel;
   std::vector<core::ModelResult> parallel_results;
-  const double parallel_ms = run_millis([&] {
+  const double parallel_ms = best_of(reps, [&] {
+    parallel_kernel.clear();
     const core::ScenarioBatch batch = core::ScenarioBatch::from_inputs(grid);
     parallel_results =
         core::BatchEvaluator(parallel_options).evaluate(batch);
@@ -156,7 +196,8 @@ int run(int argc, const char** argv) {
   quarantine_options.policy = core::FailurePolicy::kQuarantine;
   std::vector<core::ModelResult> quarantine_results;
   std::size_t quarantine_failures = 0;
-  const double quarantine_ms = run_millis([&] {
+  const double quarantine_ms = best_of(reps, [&] {
+    quarantine_kernel.clear();
     const core::ScenarioBatch batch = core::ScenarioBatch::from_inputs(grid);
     core::BatchOutcome outcome =
         core::BatchEvaluator(quarantine_options).evaluate_all(batch);
@@ -183,7 +224,8 @@ int run(int argc, const char** argv) {
     options.kernel = &kernel;
     options.pool = &pool;
     std::vector<core::ModelResult> results;
-    const double ms = run_millis([&] {
+    const double ms = best_of(reps, [&] {
+      kernel.clear();
       const core::ScenarioBatch batch = core::ScenarioBatch::from_inputs(grid);
       results = core::BatchEvaluator(options).evaluate(batch);
     });
@@ -203,6 +245,57 @@ int run(int argc, const char** argv) {
   }
   std::cout << "all " << grid.size()
             << " plans bit-identical across configurations\n\n";
+
+  // Per-kernel attribution: time the four hot kernels in isolation so the
+  // headline speedup can be traced to the loop that earned it. The Erlang
+  // query lists are reconstructed from the solved plans (exactly the
+  // queries the batch kernels staged); the derive kernels re-run over a
+  // copy of the solved results. Cold kernel per rep, minimum reported.
+  std::vector<queueing::StaffingQuery> staff_queries;
+  std::vector<queueing::BlockingQuery> eval_queries;
+  for (std::size_t s = 0; s < serial_results.size(); ++s) {
+    const core::ModelResult& result = serial_results[s];
+    const double b = grid[s].target_loss;
+    for (const core::ServicePlan& plan : result.dedicated) {
+      for (const dc::Resource resource : dc::all_resources()) {
+        if (plan.offered_load[resource] > 0.0) {
+          staff_queries.push_back({plan.offered_load[resource], b});
+          eval_queries.push_back({plan.servers, plan.offered_load[resource]});
+        }
+      }
+    }
+    for (const auto& plan : result.consolidated) {
+      if (plan.demanded) {
+        staff_queries.push_back({plan.offered_load, b});
+        eval_queries.push_back({result.consolidated_servers,
+                                plan.offered_load});
+      }
+    }
+  }
+  queueing::ErlangKernel stage_kernel;
+  std::vector<std::uint64_t> staffed_out(staff_queries.size());
+  std::vector<double> blocked_out(eval_queries.size());
+  const double staffing_ms = best_of(reps, [&] {
+    stage_kernel.clear();
+    stage_kernel.servers_for_many(staff_queries, staffed_out);
+  });
+  const double eval_ms = best_of(reps, [&] {
+    stage_kernel.clear();
+    stage_kernel.eval_many(eval_queries, blocked_out);
+  });
+  const core::ScenarioBatch derive_batch =
+      core::ScenarioBatch::from_inputs(grid);
+  // The derive kernels only write fields they never read, so re-running
+  // them over one solved copy is identical work every rep.
+  std::vector<core::ModelResult> derive_scratch = serial_results;
+  const double utility_ms = best_of(reps, [&] {
+    core::batch_kernels::derive_utility(derive_batch, 0, grid.size(),
+                                        derive_scratch);
+  });
+  const double power_ms = best_of(reps, [&] {
+    core::batch_kernels::derive_power(derive_batch, 0, grid.size(),
+                                      derive_scratch);
+  });
 
   // A row whose worker count exceeds the physical core count measures
   // oversubscription, not scaling: its timings are marked unreliable in the
@@ -251,6 +344,30 @@ int run(int argc, const char** argv) {
                  "not scaling\n";
   }
 
+  AsciiTable kernel_table;
+  kernel_table.set_header(
+      {"kernel (whole batch, isolated)", "wall ms", "queries",
+       "% of batch_1thread"});
+  const auto kernel_row = [&](const std::string& name, double ms,
+                              std::size_t queries) {
+    kernel_table.add_row({name, AsciiTable::format(ms, 2),
+                          std::to_string(queries),
+                          AsciiTable::format(ms / serial_ms * 100.0, 1) +
+                              "%"});
+  };
+  kernel_row("staffing inverse (servers_for_many)", staffing_ms,
+             staff_queries.size());
+  kernel_row("erlang eval (eval_many)", eval_ms, eval_queries.size());
+  kernel_row("utility derivation (derive_utility)", utility_ms, grid.size());
+  kernel_row("power derivation (derive_power)", power_ms, grid.size());
+  std::cout << "\n";
+  kernel_table.print(
+      std::cout,
+      "per-kernel attribution (" +
+          std::to_string(util::simd::kRecurrenceLanes) +
+          " recurrence lanes; isolated cold-kernel reruns, so the rows "
+          "need not sum to the pipeline time)");
+
   const auto stats = serial_kernel.stats();
   std::cout << "\n1-thread kernel: " << stats.evaluations
             << " Erlang evaluations, " << stats.cache_hits << " cache hits ("
@@ -258,13 +375,29 @@ int run(int argc, const char** argv) {
             << "% hit rate), " << stats.steps << " recurrence steps\n\n";
   core::print_metrics(std::cout);
 
+  // Snapshot the recorded baseline BEFORE overwriting json_path below —
+  // bench.sh points both flags at the same file on purpose (gate the new
+  // numbers against the previous recording, then replace it).
+  std::string baseline;
+  if (!baseline_path.empty()) {
+    std::ifstream baseline_in(baseline_path);
+    std::stringstream buffer;
+    buffer << baseline_in.rdbuf();
+    baseline = buffer.str();
+  }
+
   std::ostringstream json;
   json.precision(6);
   json << std::fixed << "{\n";
   json << "  \"header\": {\"git_rev\": \"" << git_rev
        << "\", \"workers\": " << shared_workers
        << ", \"detected_cores\": " << hardware
-       << ", \"hardware_concurrency\": " << hardware << "},\n";
+       << ", \"hardware_concurrency\": " << hardware
+       << ", \"lane_width\": " << util::simd::kRecurrenceLanes
+       << ", \"native_lanes\": " << util::simd::kNativeDoubleLanes
+       << ", \"reps\": " << reps << ", \"losses\": " << losses_n
+       << ", \"scales\": " << scales_n << ", \"servers\": " << dedicated
+       << "},\n";
   const auto emit = [&](const std::string& name, double ms,
                         std::size_t workers, bool last) {
     json << "  \"" << name << "\": {\"plans_per_sec\": "
@@ -276,6 +409,10 @@ int run(int argc, const char** argv) {
   };
   emit("object_at_a_time", object_ms, 1, false);
   emit("batch_1thread", serial_ms, 1, false);
+  emit("kernel_staffing_inverse", staffing_ms, 1, false);
+  emit("kernel_erlang_eval", eval_ms, 1, false);
+  emit("kernel_utility", utility_ms, 1, false);
+  emit("kernel_power", power_ms, 1, false);
   emit("batch_quarantine", quarantine_ms, 1, false);
   emit("batch_parallel", parallel_ms, shared_workers, false);
   for (std::size_t i = 0; i < thread_rows.size(); ++i) {
@@ -300,6 +437,48 @@ int run(int argc, const char** argv) {
             << AsciiTable::format(speedup, 1) << "x (target >= "
             << AsciiTable::format(min_speedup, 1) << "x)\n";
   passed = passed && speedup >= min_speedup;
+
+  if (!baseline_path.empty() && min_baseline_speedup > 0.0) {
+    const double current_pps = count / serial_ms * 1000.0;
+    double base_cores = 0.0, base_lanes = 0.0;
+    double base_losses = 0.0, base_scales = 0.0, base_servers = 0.0;
+    double base_pps = 0.0;
+    const std::size_t row = baseline.find("\"batch_1thread\"");
+    const bool have_row =
+        row != std::string::npos &&
+        find_json_number(baseline, "plans_per_sec", base_pps, row);
+    if (!have_row) {
+      std::cout << "baseline check SKIPPED: no batch_1thread row in "
+                << baseline_path << "\n";
+    } else if (!find_json_number(baseline, "detected_cores", base_cores) ||
+               static_cast<unsigned>(base_cores) != hardware ||
+               (find_json_number(baseline, "lane_width", base_lanes) &&
+                static_cast<std::size_t>(base_lanes) !=
+                    util::simd::kRecurrenceLanes)) {
+      std::cout << "baseline check SKIPPED: " << baseline_path
+                << " was recorded on a different machine ("
+                << static_cast<long long>(base_cores) << " cores, lane width "
+                << static_cast<long long>(base_lanes) << " vs " << hardware
+                << " cores, lane width " << util::simd::kRecurrenceLanes
+                << " here)\n";
+    } else if (find_json_number(baseline, "losses", base_losses) &&
+               (static_cast<std::size_t>(base_losses) != losses_n ||
+                !find_json_number(baseline, "scales", base_scales) ||
+                static_cast<std::size_t>(base_scales) != scales_n ||
+                !find_json_number(baseline, "servers", base_servers) ||
+                static_cast<std::uint64_t>(base_servers) != dedicated)) {
+      std::cout << "baseline check SKIPPED: " << baseline_path
+                << " was recorded on a different grid\n";
+    } else {
+      const double ratio = current_pps / base_pps;
+      std::cout << "batch_1thread vs recorded baseline: "
+                << AsciiTable::format(current_pps, 0) << " / "
+                << AsciiTable::format(base_pps, 0) << " plans/s = "
+                << AsciiTable::format(ratio, 2) << "x (target >= "
+                << AsciiTable::format(min_baseline_speedup, 2) << "x)\n";
+      passed = passed && ratio >= min_baseline_speedup;
+    }
+  }
 
   if (min_parallel_speedup > 0.0) {
     const double parallel_speedup = serial_ms / parallel_ms;

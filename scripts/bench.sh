@@ -30,7 +30,12 @@ echo "== bench: micro_sweep (parallel memoized planner) =="
 
 echo
 echo "== bench: micro_batch (columnar ScenarioBatch evaluator) =="
+# Gate the multi-lane rows against the previously recorded file before
+# overwriting it: a regeneration that silently lost >10% of batch_1thread
+# plans/sec fails here. The bench skips the check (with a notice) when the
+# recorded baseline came from a different machine or grid.
 ./build/bench/micro_batch --json BENCH_batch.json \
+  --baseline-json BENCH_batch.json --min-baseline-speedup 0.9 \
   --git-rev "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
 echo

@@ -42,10 +42,21 @@ echo "== tier-1: bench smoke (correctness only, ~1s each) =="
 # bigger than the smoke above so the parallel path has real work to split.
 ./build/bench/micro_batch --losses 8 --scales 8 --servers 2000 \
   --min-speedup 0 --min-parallel-speedup 1.5 --json /dev/null
+# Multi-lane regression gate: a full-size run must hold >= 0.9x of the
+# recorded BENCH_batch.json batch_1thread plans/sec, so a change that
+# quietly serializes the lane-batched Erlang walk fails tier-1 loudly. The
+# bench skips the check with a notice when the recorded baseline is from a
+# different machine (core count / lane width) or grid shape.
+./build/bench/micro_batch --min-speedup 0 --json /dev/null \
+  --baseline-json BENCH_batch.json --min-baseline-speedup 0.9
 # Out-of-core streaming smoke: store write/read round trip, a cancelled run
 # resuming checksum-identical, and a loose resident-memory ceiling.
 ./build/bench/micro_streaming --scenarios 4000 --shard 512 \
   --max-rss-mb 64 --json /dev/null --store build/bench/tier1_streaming.store
+
+echo
+echo "== tier-1: auto-vectorization check on the column kernels =="
+./scripts/check_vectorize.sh
 
 echo
 echo "== tier-1: asan+ubsan build + concurrency tests =="

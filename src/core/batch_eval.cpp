@@ -70,33 +70,6 @@ struct ErlangDispatch {
   }
 };
 
-/// Merged offered load rho'_j of one resource for one scenario (Eq. 4/5),
-/// the columnar twin of UtilityAnalyticModel::consolidated_offered_load:
-/// same accumulation order over services, same operand order.
-double merged_offered_load(const ScenarioBatch& batch, std::size_t scenario,
-                           dc::Resource resource, double& merged_lambda_out) {
-  const auto arrival = batch.arrival_rate();
-  const auto rates = batch.native_rate(resource);
-  const auto impacts = batch.impact(resource);
-  double merged_lambda = 0.0;
-  double weighted_capacity = 0.0;  // sum_i lambda_i * mu_ij * a_ij
-  for (std::size_t row = batch.services_begin(scenario);
-       row < batch.services_end(scenario); ++row) {
-    const double mu = rates[row];
-    if (mu <= 0.0) {
-      continue;
-    }
-    merged_lambda += arrival[row];
-    weighted_capacity += arrival[row] * mu * impacts[row];
-  }
-  merged_lambda_out = merged_lambda;
-  if (merged_lambda <= 0.0) {
-    return 0.0;
-  }
-  // rho' = lambda / mu' with mu' = weighted_capacity / lambda (Eq. 4).
-  return merged_lambda * merged_lambda / weighted_capacity;
-}
-
 }  // namespace
 
 namespace batch_kernels {
@@ -106,18 +79,46 @@ void staff_dedicated(const ScenarioBatch& batch, std::size_t begin,
                      std::span<ModelResult> results) {
   const ErlangDispatch erlang{kernel};
   const auto arrival = batch.arrival_rate();
+  const std::size_t row0 = batch.services_begin(begin);
+  const std::size_t rows = batch.services_end(end - 1) - row0;
+
+  // Stage 0: per-resource offered-load columns over the shard's contiguous
+  // row range. The divisions are hoisted out of the per-scenario query loop
+  // into one branch-free stream per resource: divide by a safe stand-in,
+  // then blend, so undemanded rows (mu <= 0) come out exactly 0.0 without a
+  // branch in the loop body. Demanded rows perform the very same
+  // arrival/mu division the fused loop did, hence bit-identical.
+  std::vector<double> rho_cols(dc::kResourceCount * rows);
+  for (std::size_t r = 0; r < dc::kResourceCount; ++r) {
+    const double* __restrict__ arr = arrival.data() + row0;
+    const double* __restrict__ mu_col =
+        batch.native_rate(static_cast<dc::Resource>(r)).data() + row0;
+    double* __restrict__ rho = rho_cols.data() + r * rows;
+    // Two passes on purpose: fusing the safe-divide with the mask gives the
+    // compiler two selects on one predicate, which it re-branches around
+    // the divide instead of if-converting ("control flow in loop"). Split,
+    // each loop is a single blend stream and both vectorize.
+    for (std::size_t i = 0; i < rows; ++i) {
+      rho[i] = arr[i] / (mu_col[i] > 0.0 ? mu_col[i] : 1.0);
+    }
+    for (std::size_t i = 0; i < rows; ++i) {
+      rho[i] = mu_col[i] > 0.0 ? rho[i] : 0.0;
+    }
+  }
+  const auto rho_of = [&](dc::Resource resource, std::size_t row) {
+    return rho_cols[static_cast<std::size_t>(resource) * rows + (row - row0)];
+  };
 
   // Stage 1: gather every staffing query of the range, in deterministic
-  // (scenario, service, resource) order.
+  // (scenario, service, resource) order, reading the staged columns.
   std::vector<queueing::StaffingQuery> staffing;
   for (std::size_t s = begin; s < end; ++s) {
     const double b = batch.target_loss(s);
     for (std::size_t row = batch.services_begin(s);
          row < batch.services_end(s); ++row) {
       for (const dc::Resource resource : dc::all_resources()) {
-        const double mu = batch.native_rate(resource)[row];
-        if (mu > 0.0) {
-          staffing.push_back({arrival[row] / mu, b});
+        if (batch.native_rate(resource)[row] > 0.0) {
+          staffing.push_back({rho_of(resource, row), b});
         }
       }
     }
@@ -137,8 +138,7 @@ void staff_dedicated(const ScenarioBatch& batch, std::size_t begin,
       ServicePlan plan;
       plan.name = batch.service_name(row);
       for (const dc::Resource resource : dc::all_resources()) {
-        const double mu = batch.native_rate(resource)[row];
-        const double rho = mu > 0.0 ? arrival[row] / mu : 0.0;
+        const double rho = rho_of(resource, row);
         plan.offered_load[resource] = rho;
         const std::uint64_t n = rho > 0.0 ? staffed[cursor++] : 0;
         plan.servers_per_resource[static_cast<std::size_t>(resource)] = n;
@@ -175,19 +175,59 @@ void staff_consolidated(const ScenarioBatch& batch, std::size_t begin,
                         std::size_t end, queueing::ErlangKernel* kernel,
                         std::span<ModelResult> results) {
   const ErlangDispatch erlang{kernel};
+  const auto arrival = batch.arrival_rate();
+  const std::size_t row0 = batch.services_begin(begin);
+  const std::size_t rows = batch.services_end(end - 1) - row0;
 
-  // Stage 1: merged offered loads per (scenario, resource) and the staffing
-  // queries for every demanded resource.
+  // Stage 0: masked per-row merge terms of Eq. 4/5 as contiguous columns,
+  // the columnar twin of UtilityAnalyticModel::consolidated_offered_load.
+  // Undemanded rows (mu <= 0) contribute exact +0.0; arrival rates and
+  // weighted capacities are non-negative, so x + 0.0 is a bit-level
+  // identity on every partial sum and accumulating the masked columns in
+  // row order is bit-identical to the fused loop that skipped those rows.
+  std::vector<double> merge_cols(2 * dc::kResourceCount * rows);
+  for (std::size_t r = 0; r < dc::kResourceCount; ++r) {
+    const dc::Resource resource = static_cast<dc::Resource>(r);
+    const double* __restrict__ arr = arrival.data() + row0;
+    const double* __restrict__ mu_col =
+        batch.native_rate(resource).data() + row0;
+    const double* __restrict__ imp = batch.impact(resource).data() + row0;
+    double* __restrict__ lam = merge_cols.data() + (2 * r) * rows;
+    double* __restrict__ wcap = merge_cols.data() + (2 * r + 1) * rows;
+    for (std::size_t i = 0; i < rows; ++i) {
+      const double mu = mu_col[i];
+      lam[i] = mu > 0.0 ? arr[i] : 0.0;
+      // sum_i lambda_i * mu_ij * a_ij, same operand order as the fused loop
+      wcap[i] = mu > 0.0 ? arr[i] * mu * imp[i] : 0.0;
+    }
+  }
+
+  // Stage 1: merged offered loads per (scenario, resource) — forward sums
+  // of the staged columns — and the staffing queries for every demanded
+  // resource.
   std::vector<queueing::StaffingQuery> staffing;
   for (std::size_t s = begin; s < end; ++s) {
     ModelResult& result = results[s - begin];
     const double b = batch.target_loss(s);
     for (const dc::Resource resource : dc::all_resources()) {
-      auto& plan = result.consolidated[static_cast<std::size_t>(resource)];
+      const std::size_t r = static_cast<std::size_t>(resource);
+      auto& plan = result.consolidated[r];
       plan.resource = resource;
+      const double* __restrict__ lam = merge_cols.data() + (2 * r) * rows;
+      const double* __restrict__ wcap =
+          merge_cols.data() + (2 * r + 1) * rows;
       double merged_lambda = 0.0;
-      plan.offered_load = merged_offered_load(batch, s, resource,
-                                              merged_lambda);
+      double weighted_capacity = 0.0;
+      for (std::size_t row = batch.services_begin(s);
+           row < batch.services_end(s); ++row) {
+        merged_lambda += lam[row - row0];
+        weighted_capacity += wcap[row - row0];
+      }
+      // rho' = lambda / mu' with mu' = weighted_capacity / lambda (Eq. 4).
+      plan.offered_load =
+          merged_lambda <= 0.0
+              ? 0.0
+              : merged_lambda * merged_lambda / weighted_capacity;
       plan.merged_arrival_rate = merged_lambda;
       plan.demanded = plan.offered_load > 0.0;
       if (plan.demanded) {
@@ -256,11 +296,18 @@ void derive_utility(const ScenarioBatch& batch, std::size_t begin,
   const std::size_t rows = row_end - row0;
   std::vector<double> dedicated_terms(rows);
   std::vector<double> consolidated_terms(rows);
-  for (std::size_t r = 0; r < rows; ++r) {
-    dedicated_terms[r] = arrival[row0 + r] / bottleneck[row0 + r];
-  }
-  for (std::size_t r = 0; r < rows; ++r) {
-    consolidated_terms[r] = arrival[row0 + r] / effective[row0 + r];
+  {
+    const double* __restrict__ arr = arrival.data() + row0;
+    const double* __restrict__ bot = bottleneck.data() + row0;
+    const double* __restrict__ eff = effective.data() + row0;
+    double* __restrict__ ded = dedicated_terms.data();
+    double* __restrict__ con = consolidated_terms.data();
+    for (std::size_t r = 0; r < rows; ++r) {
+      ded[r] = arr[r] / bot[r];
+    }
+    for (std::size_t r = 0; r < rows; ++r) {
+      con[r] = arr[r] / eff[r];
+    }
   }
 
   // Pass 2: per-scenario forward sums and the Eq. 8-11 ratios.
@@ -301,12 +348,19 @@ void derive_power(const ScenarioBatch& batch, std::size_t begin,
   const std::span<double> consolidated_watts(scratch.data() + 3 * count,
                                              count);
 
-  for (std::size_t k = 0; k < count; ++k) {
-    dedicated_clamped[k] = std::min(1.0, results[k].dedicated_utilization);
-  }
-  for (std::size_t k = 0; k < count; ++k) {
-    consolidated_clamped[k] =
-        std::min(1.0, results[k].consolidated_utilization);
+  {
+    // Gather pass: strided reads out of the result structs into the dense
+    // clamp columns, no stores anywhere else (restrict), so the min-streams
+    // stay branch-free and pack.
+    const ModelResult* __restrict__ res = results.data();
+    double* __restrict__ ded = dedicated_clamped.data();
+    double* __restrict__ con = consolidated_clamped.data();
+    for (std::size_t k = 0; k < count; ++k) {
+      ded[k] = std::min(1.0, res[k].dedicated_utilization);
+    }
+    for (std::size_t k = 0; k < count; ++k) {
+      con[k] = std::min(1.0, res[k].consolidated_utilization);
+    }
   }
   dc::watts_many(batch.dedicated_power().subspan(begin, count),
                  dedicated_clamped, dedicated_watts);
@@ -374,12 +428,21 @@ BatchOutcome BatchEvaluator::evaluate_all(const ScenarioBatch& batch) const {
 
   ThreadPool& pool =
       options_.pool != nullptr ? *options_.pool : ThreadPool::shared();
+  // Workers that can claim at least min_scenarios_per_worker scenarios;
+  // a tiny batch caps this at 1 and skips pool dispatch entirely.
+  const std::size_t workers = std::max<std::size_t>(1, pool.size());
+  std::size_t active_workers = workers;
+  if (options_.min_scenarios_per_worker > 0) {
+    active_workers = std::clamp<std::size_t>(
+        count / options_.min_scenarios_per_worker, std::size_t{1}, workers);
+  }
   std::size_t shard = options_.shard_size;
   if (shard == 0) {
-    // ~4 shards per worker: enough slack to balance heterogeneous scenario
-    // costs, big enough that each staged kernel walk amortizes its sort.
-    const std::size_t workers = std::max<std::size_t>(1, pool.size());
-    shard = std::max<std::size_t>(1, (count + workers * 4 - 1) / (workers * 4));
+    // ~4 shards per active worker: enough slack to balance heterogeneous
+    // scenario costs, big enough that each staged kernel walk amortizes its
+    // sort.
+    shard = std::max<std::size_t>(
+        1, (count + active_workers * 4 - 1) / (active_workers * 4));
   }
   const std::size_t shard_count = (count + shard - 1) / shard;
   registry.counter(metrics::names::kBatchShards).add(shard_count);
@@ -456,7 +519,7 @@ BatchOutcome BatchEvaluator::evaluate_all(const ScenarioBatch& batch) const {
       }
     }
   };
-  if (options_.parallel && shard_count > 1) {
+  if (options_.parallel && shard_count > 1 && active_workers > 1) {
     parallel_for(shard_count, run_shard, pool, 0, &control);
   } else {
     for (std::size_t i = 0; i < shard_count; ++i) {

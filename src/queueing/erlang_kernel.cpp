@@ -1,11 +1,14 @@
 #include "queueing/erlang_kernel.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "util/error.hpp"
+#include "util/simd.hpp"
 
 namespace vmcons::queueing {
 namespace {
@@ -55,6 +58,272 @@ std::size_t descending_lower_bound(const Vec& values, double target) {
       values.begin(), values.end(), target,
       [](double blocking, double t) { return blocking > t; });
   return static_cast<std::size_t>(it - values.begin());
+}
+
+// --- Multi-lane recurrence engine ----------------------------------------
+//
+// The sorted batch walks group queries by distinct rho; each group that
+// outruns its cached prefix becomes one LaneTask — an independent
+// continuation of that rho's recurrence. run_lane_tasks advances up to
+// kRecurrenceLanes tasks in lockstep: the per-step loop over lanes has no
+// loop-carried dependence (each lane is its own chain), so the W
+// independent divide chains run at divider throughput instead of the
+// ~15-cycle divide latency that serializes the scalar walk.
+//
+// The inner loop is completely branch- and mask-free on purpose. The
+// recurrence has no stopping-dependent state: advancing a lane past its
+// stop point just computes E_{n+1}, E_{n+2}, ... — values that are still
+// bit-correct members of that rho's prefix. So every lane runs
+// unconditionally for a whole block, and stop conditions (count reached,
+// target reached, convergence limit) are resolved once per block from the
+// staged values, off the hot chain. A retired lane idles at the absorbing
+// state blk = 0 (0 / n stays 0, no subnormals, no traps) until refilled
+// from the pending tasks; leftover tasks are the scalar tail, a block with
+// fewer live lanes.
+//
+// Bit-identity: an active lane executes exactly the scalar sequence
+// E_n = rho E_{n-1} / (n + rho E_{n-1}) with n counting up by 1 — the same
+// operations on the same operands in the same order as eval_one/staff_one —
+// and lanes never mix, so every value appended to a prefix is bit-for-bit
+// the value the scalar walk would have appended. Values computed past a
+// stop point are simply discarded, never appended.
+
+constexpr std::size_t kLanes = util::simd::kRecurrenceLanes;
+/// Steps per lockstep block: bounds the scratch footprint (kLaneBlock *
+/// kLanes doubles = 16 KB at 8 lanes), the work a lane wastes past its
+/// stop point, and the overshoot past a staffing walk's convergence limit.
+constexpr std::size_t kLaneBlock = 256;
+
+/// One rho's recurrence continuation. Count-driven tasks (eval_many)
+/// produce exactly `remaining` values; target-driven tasks
+/// (servers_for_many) run until the value drops to `target` (with `limit`
+/// as the scalar walk's convergence guard). The lane's index counter lives
+/// in a double (exact far below 2^53) so the whole lockstep state shares
+/// one vector domain.
+struct LaneTask {
+  std::vector<double>* ext = nullptr;  ///< produced values append here
+  double rho = 1.0;
+  double start_value = 1.0;  ///< last covered prefix value
+  double start_index = 1.0;  ///< absolute index of that value
+  double target = -1.0;      ///< stop at first value <= target (-1 = count
+                             ///< mode; real blocking values are >= 0)
+  std::size_t remaining = 0;  ///< count mode: values left to produce
+  std::uint64_t limit = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t grown = 0;  ///< out: values actually appended
+  bool overflowed = false;  ///< out: limit breached before target
+};
+
+/// Finish a count-mode task whose value has decayed below DBL_MIN.
+///
+/// Deep prefix extensions (blocking evaluated at an N set by a different,
+/// busier resource) walk E_n far past rho, where the value goes subnormal
+/// around n ~ 1.76 rho and then *hovers* in the subnormal range until
+/// n = 2 rho before underflowing to exact zero (k = 1 rounds back to 1
+/// while rho/n > 1/2). Subnormal operands cost a ~100 ns microcode assist
+/// per operation — and one hovering lane slows every packed op for the
+/// whole lane block — so the lockstep walk hands these tails over here.
+///
+/// Bit-identity is preserved by exact emulation, not approximation: a
+/// subnormal double is an integer count k of 2^-1074 units, the addend
+/// rho*E is below half an ulp of n (so n + load == n exactly), and both
+/// the multiply's and the divide's round-to-nearest-even land back on the
+/// same 2^-1074 grid — integer shifts and divides reproduce them
+/// bit-for-bit. Steps outside the emulable regime (product rounds into
+/// the normal range, oversized rho) fall back to the plain FP step, which
+/// is exact by definition. From the first exact zero on, every later
+/// value is zero (rho*0 = 0, 0/n = 0), already supplied by resize().
+void finish_subnormal_tail(LaneTask& task, double value, double n_start) {
+  std::vector<double>& ext = *task.ext;
+  const std::size_t old = ext.size();
+  ext.resize(old + task.remaining);  // value-initialized: the zero tail
+  double* __restrict__ out = ext.data() + old;
+
+  int rho_exp = 0;
+  const double rho_mant = std::frexp(task.rho, &rho_exp);
+  // rho = mant53 * 2^(rho_exp - 53) with mant53 in [2^52, 2^53), exact.
+  const std::uint64_t mant53 =
+      static_cast<std::uint64_t>(std::ldexp(rho_mant, 53));
+  const int shift = 53 - rho_exp;
+  constexpr std::uint64_t kTopBit = std::uint64_t{1} << 52;
+
+  double n_d = n_start;
+  std::uint64_t n_i = static_cast<std::uint64_t>(n_start);
+  std::size_t i = 0;
+  while (i < task.remaining && value != 0.0) {
+    n_d += 1.0;
+    ++n_i;
+    const std::uint64_t k = std::bit_cast<std::uint64_t>(value);
+    bool stepped = false;
+    if (k < kTopBit && shift >= 0) {
+      // Subnormal value: k units of 2^-1074. The product rho * value in
+      // those units is P / 2^shift with P = k * mant53 (<= 105 bits).
+      __extension__ using U128 = unsigned __int128;
+      const U128 P = static_cast<U128>(k) * mant53;
+      U128 j = 0;
+      bool exact = false;
+      if (shift == 0) {
+        j = P;
+        exact = true;
+      } else if (shift >= 107) {
+        j = 0;  // P < 2^106 < 2^(shift-1): rounds to zero
+        exact = true;
+      } else {
+        const U128 half = static_cast<U128>(1) << (shift - 1);
+        const U128 frac = P & ((half << 1) - 1);
+        j = P >> shift;
+        if (frac > half || (frac == half && (j & 1))) {
+          ++j;
+        }
+        exact = true;
+      }
+      if (exact && j < kTopBit) {
+        // Product stayed subnormal, so n + load == n exactly and the
+        // divide rounds j / n back onto the 2^-1074 grid.
+        std::uint64_t q = static_cast<std::uint64_t>(j) / n_i;
+        const std::uint64_t r = static_cast<std::uint64_t>(j) % n_i;
+        if (2 * r > n_i || (2 * r == n_i && (q & 1))) {
+          ++q;
+        }
+        value = std::bit_cast<double>(q);
+        stepped = true;
+      }
+    }
+    if (!stepped) {
+      // Transition band (product rounds into the normal range): one plain
+      // FP step, exact by definition. At most ~log2(rho) such steps.
+      const double load = task.rho * value;
+      value = load / (n_d + load);
+    }
+    out[i++] = value;
+  }
+  task.grown += task.remaining;
+  task.remaining = 0;
+}
+
+void run_lane_tasks(std::vector<LaneTask>& tasks) {
+  using Lanes = util::simd::Pack<kLanes>;
+  Lanes rho = Lanes::broadcast(1.0);
+  Lanes blk = Lanes::broadcast(0.0);
+  Lanes n = Lanes::broadcast(1.0);
+  std::array<LaneTask*, kLanes> slot{};
+  std::size_t next = 0;
+  std::size_t active = 0;
+  alignas(64) std::array<double, kLaneBlock * kLanes> scratch;
+
+  const auto load_lane = [&](std::size_t lane, LaneTask* task) {
+    slot[lane] = task;
+    rho.v[lane] = task->rho;
+    blk.v[lane] = task->start_value;
+    n.v[lane] = task->start_index;
+    ++active;
+  };
+  const auto unload_lane = [&](std::size_t lane) {
+    // Idle lanes sit in the absorbing state blk = 0: rho*0 = 0 and 0/n = 0,
+    // so the dead lane's divides stay fast (no subnormals) and harmless.
+    slot[lane] = nullptr;
+    rho.v[lane] = 1.0;
+    blk.v[lane] = 0.0;
+    n.v[lane] = 1.0;
+    --active;
+  };
+  /// Append the first `count` staged values of `lane` to the task's prefix.
+  const auto drain = [&](LaneTask& task, std::size_t lane,
+                         std::size_t count) {
+    std::vector<double>& ext = *task.ext;
+    const std::size_t old = ext.size();
+    ext.resize(old + count);
+    std::memcpy(ext.data() + old, scratch.data() + lane * kLaneBlock,
+                count * sizeof(double));
+    task.grown += count;
+  };
+
+  while (true) {
+    for (std::size_t lane = 0; lane < kLanes && next < tasks.size(); ++lane) {
+      // Tasks already completed at plan time (subnormal-tail shortcut)
+      // carry remaining == 0 and never occupy a lane.
+      while (next < tasks.size() && tasks[next].target < 0.0 &&
+             tasks[next].remaining == 0) {
+        ++next;
+      }
+      if (next < tasks.size() && slot[lane] == nullptr) {
+        load_lane(lane, &tasks[next++]);
+      }
+    }
+    if (active == 0) {
+      break;
+    }
+    // Shrink the block when every live lane is a small count-mode task, so
+    // short extensions don't pay for a full block of discarded work.
+    std::size_t steps = 0;
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      if (const LaneTask* task = slot[lane]; task != nullptr) {
+        const std::size_t want =
+            task->target < 0.0 ? task->remaining : kLaneBlock;
+        steps = std::max(steps, std::min(want, kLaneBlock));
+      }
+    }
+    const Lanes one = Lanes::broadcast(1.0);
+    for (std::size_t s = 0; s < steps; ++s) {
+      n = n + one;
+      const Lanes load = rho * blk;
+      blk = load / (n + load);
+      // Lane-major scatter: lane l's column is contiguous at
+      // scratch[l * kLaneBlock ...], so drain is one memcpy per lane
+      // instead of a strided gather (one cache line per element).
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        scratch[l * kLaneBlock + s] = blk.v[l];
+      }
+    }
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      LaneTask* task = slot[lane];
+      if (task == nullptr) {
+        continue;
+      }
+      if (task->target < 0.0) {
+        // Count mode: keep exactly the requested values; anything the lane
+        // computed past them is discarded (it was valid, just unwanted).
+        const std::size_t produced = std::min(task->remaining, steps);
+        drain(*task, lane, produced);
+        task->remaining -= produced;
+        if (task->remaining == 0) {
+          unload_lane(lane);
+        } else if (blk.v[lane] < std::numeric_limits<double>::min()) {
+          // The lane decayed below DBL_MIN: hand the rest to the integer
+          // subnormal tail before its microcode assists stall the pack.
+          finish_subnormal_tail(*task, blk.v[lane], n.v[lane]);
+          unload_lane(lane);
+        }
+      } else if (scratch[lane * kLaneBlock + (steps - 1)] > task->target) {
+        // Target mode, no stop in this block (the column is decreasing, so
+        // its last value decides): keep everything and continue — unless
+        // the walk has outrun the scalar convergence guard.
+        drain(*task, lane, steps);
+        if (static_cast<std::uint64_t>(n.v[lane]) > task->limit) {
+          task->overflowed = true;
+          unload_lane(lane);
+        }
+      } else {
+        // Target mode, stop inside this block: keep values up to and
+        // including the first one at or below the target — exactly where
+        // the scalar walk's per-step test would have halted.
+        const double* const col = scratch.data() + lane * kLaneBlock;
+        std::size_t stop = 0;
+        while (col[stop] > task->target) {
+          ++stop;
+        }
+        const std::size_t produced = stop + 1;
+        drain(*task, lane, produced);
+        // The scalar walk throws if it reaches limit + 1 still searching;
+        // mirror that even when the stop value itself lands past it.
+        const double stop_index =
+            n.v[lane] - static_cast<double>(steps - produced);
+        if (static_cast<std::uint64_t>(stop_index) > task->limit) {
+          task->overflowed = true;
+        }
+        unload_lane(lane);
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -379,16 +648,121 @@ void ErlangKernel::eval_many(std::span<const BlockingQuery> queries,
             });
   const SnapshotPtr snapshot = load_snapshot();
   Tally tally;
+
+  // Plan → extend → answer. Each distinct rho becomes one group; groups
+  // whose largest query outruns the cached prefix contribute one LaneTask,
+  // and run_lane_tasks grows all of them together so independent rho
+  // chains fill the divider pipeline. Every value appended is bit-identical
+  // to the scalar walk (see the lane-engine comment above), so the answer
+  // phase reads exactly the prefixes eval_one would have built.
+  struct Group {
+    std::size_t begin = 0;
+    std::size_t end = 0;                ///< half-open range in `order`
+    const Prefix* snap = nullptr;       ///< published prefix for this rho
+    Arena::Extension* state = nullptr;  ///< arena continuation, if needed
+    std::size_t covered_before = 0;     ///< prefix length before growth
+  };
+  std::vector<Group> groups;
+  std::vector<LaneTask> tasks;
+  Arena* arena = nullptr;
+  std::unique_lock<std::mutex> arena_lock;
   try {
-    for (const std::uint32_t i : order) {
-      const BlockingQuery& query = queries[i];
-      out[i] = query.rho == 0.0
-                   ? (query.servers == 0 ? 1.0 : 0.0)
-                   : eval_one(*snapshot, query.servers, query.rho, tally);
+    for (std::size_t pos = 0; pos < order.size();) {
+      const double rho = queries[order[pos]].rho;
+      Group group;
+      group.begin = pos;
+      while (pos < order.size() && queries[order[pos]].rho == rho) {
+        ++pos;
+      }
+      group.end = pos;
+      if (rho == 0.0) {
+        for (std::size_t q = group.begin; q < group.end; ++q) {
+          out[order[q]] = queries[order[q]].servers == 0 ? 1.0 : 0.0;
+        }
+        continue;
+      }
+      const std::uint64_t key = std::bit_cast<std::uint64_t>(rho);
+      if (const auto it = snapshot->states.find(key);
+          it != snapshot->states.end()) {
+        group.snap = it->second.prefix.get();
+      }
+      const std::uint64_t max_servers = queries[order[group.end - 1]].servers;
+      if (group.snap == nullptr || group.snap->size() <= max_servers) {
+        if (arena == nullptr) {
+          arena = &local_arena();
+          arena_lock = std::unique_lock<std::mutex>(arena->m);
+        }
+        group.state = &arena->state_for(*snapshot, key);
+        group.covered_before = group.state->combined();
+        const std::uint64_t cap =
+            std::min<std::uint64_t>(max_servers, kMaxStatePrefix - 1);
+        if (cap + 1 > group.covered_before) {
+          const std::uint64_t need = cap + 1 - group.covered_before;
+          group.state->ext.reserve(group.state->ext.size() + need);
+          LaneTask task;
+          task.ext = &group.state->ext;
+          task.rho = rho;
+          task.start_value = group.state->last();
+          task.start_index = static_cast<double>(group.covered_before - 1);
+          task.remaining = static_cast<std::size_t>(need);
+          if (task.start_value < std::numeric_limits<double>::min()) {
+            // Already below DBL_MIN: the whole extension is subnormal
+            // hover + zeros. Skip the lanes and run the integer tail now.
+            finish_subnormal_tail(task, task.start_value, task.start_index);
+          }
+          tasks.push_back(task);
+        }
+      }
+      groups.push_back(group);
+    }
+
+    run_lane_tasks(tasks);
+    for (const LaneTask& task : tasks) {
+      tally.steps += task.grown;
+      arena->doubles += task.grown;
+      if (task.grown > 0) {
+        ++tally.arena_extensions;
+      }
+    }
+
+    for (const Group& group : groups) {
+      for (std::size_t q = group.begin; q < group.end; ++q) {
+        const std::uint32_t i = order[q];
+        const BlockingQuery& query = queries[i];
+        ++tally.evaluations;
+        if (group.snap != nullptr && group.snap->size() > query.servers) {
+          ++tally.cache_hits;
+          ++tally.snapshot_hits;
+          out[i] = (*group.snap)[query.servers];
+          continue;
+        }
+        const Arena::Extension& state = *group.state;
+        if (query.servers < group.covered_before) {
+          ++tally.cache_hits;
+        }
+        if (query.servers < state.combined()) {
+          out[i] = state.value_at(query.servers);
+          continue;
+        }
+        // Beyond the per-state cache cap: finish this recursion uncached,
+        // exactly as eval_one does.
+        double blocking = state.last();
+        std::uint64_t uncached = 0;
+        for (std::uint64_t n = state.combined(); n <= query.servers; ++n) {
+          blocking = query.rho * blocking /
+                     (static_cast<double>(n) + query.rho * blocking);
+          ++uncached;
+        }
+        tally.steps += uncached;
+        out[i] = blocking;
+      }
     }
   } catch (...) {
     flush(tally);
     throw;
+  }
+  if (arena_lock.owns_lock()) {
+    arena_lock.unlock();
   }
   flush(tally);
   maybe_publish();
@@ -419,13 +793,148 @@ void ErlangKernel::servers_for_many(std::span<const StaffingQuery> queries,
             });
   const SnapshotPtr snapshot = load_snapshot();
   Tally tally;
+
+  // Plan → extend → answer, mirroring eval_many. The tightest (smallest)
+  // target in a group — last in the descending sort — decides how far that
+  // rho's prefix must grow; one target-driven LaneTask per group runs the
+  // predicated lane-count update in run_lane_tasks, and every query is then
+  // answered by binary search over the grown prefix, which lands on exactly
+  // the index where the scalar walk's per-step branch would have stopped.
+  struct Group {
+    std::size_t begin = 0;
+    std::size_t end = 0;                ///< half-open range in `order`
+    const Prefix* snap = nullptr;       ///< published prefix for this rho
+    Arena::Extension* state = nullptr;  ///< arena continuation, if needed
+    double last_before = 1.0;           ///< prefix tail before growth
+    bool fallback = false;              ///< huge-rho group: use staff_one
+  };
+  std::vector<Group> groups;
+  std::vector<LaneTask> tasks;
+  Arena* arena = nullptr;
+  std::unique_lock<std::mutex> arena_lock;
+  bool overflowed = false;
   try {
-    for (const std::uint32_t i : order) {
-      const StaffingQuery& query = queries[i];
-      out[i] = query.rho == 0.0
-                   ? 0
-                   : staff_one(*snapshot, query.rho, query.target_blocking,
-                               tally);
+    for (std::size_t pos = 0; pos < order.size();) {
+      const double rho = queries[order[pos]].rho;
+      Group group;
+      group.begin = pos;
+      while (pos < order.size() && queries[order[pos]].rho == rho) {
+        ++pos;
+      }
+      group.end = pos;
+      if (rho == 0.0) {
+        for (std::size_t q = group.begin; q < group.end; ++q) {
+          out[order[q]] = 0;
+        }
+        continue;
+      }
+      const std::uint64_t key = std::bit_cast<std::uint64_t>(rho);
+      if (const auto it = snapshot->states.find(key);
+          it != snapshot->states.end()) {
+        group.snap = it->second.prefix.get();
+      }
+      const double tightest = queries[order[group.end - 1]].target_blocking;
+      if (group.snap != nullptr && group.snap->back() <= tightest) {
+        groups.push_back(group);  // every answer is in the snapshot prefix
+        continue;
+      }
+      const std::uint64_t limit = servers_limit(rho);
+      if (limit + kLaneBlock + 1 >= kMaxStatePrefix) {
+        // The walk could outrun the per-state cache cap, and the
+        // block-granular lanes would cache past it; keep the scalar walk
+        // (which switches to uncached steps at the cap) for huge rhos.
+        group.fallback = true;
+        groups.push_back(group);
+        continue;
+      }
+      if (arena == nullptr) {
+        arena = &local_arena();
+        arena_lock = std::unique_lock<std::mutex>(arena->m);
+      }
+      group.state = &arena->state_for(*snapshot, key);
+      group.last_before = group.state->last();
+      if (group.last_before > tightest) {
+        // Reserve up to the convergence guard plus one block of lane
+        // overshoot so drain() never reallocates mid-walk (a realloc would
+        // copy the whole grown prefix every doubling).
+        const std::size_t cap_bound = limit + kLaneBlock + 2;
+        const std::size_t combined = group.state->combined();
+        if (cap_bound > combined) {
+          group.state->ext.reserve(group.state->ext.size() +
+                                   (cap_bound - combined));
+        }
+        LaneTask task;
+        task.ext = &group.state->ext;
+        task.rho = rho;
+        task.start_value = group.last_before;
+        task.start_index =
+            static_cast<double>(group.state->combined() - 1);
+        task.target = tightest;
+        task.limit = limit;
+        tasks.push_back(task);
+      }
+      groups.push_back(group);
+    }
+
+    run_lane_tasks(tasks);
+    for (const LaneTask& task : tasks) {
+      tally.steps += task.grown;
+      arena->doubles += task.grown;
+      if (task.grown > 0) {
+        ++tally.arena_extensions;
+      }
+      overflowed = overflowed || task.overflowed;
+    }
+    if (overflowed) {
+      throw NumericError("erlang_b_servers failed to converge");
+    }
+
+    for (const Group& group : groups) {
+      if (group.fallback) {
+        continue;  // answered below, after the arena lock drops
+      }
+      for (std::size_t q = group.begin; q < group.end; ++q) {
+        const std::uint32_t i = order[q];
+        const double target = queries[i].target_blocking;
+        ++tally.evaluations;
+        if (group.snap != nullptr && group.snap->back() <= target) {
+          ++tally.cache_hits;
+          ++tally.snapshot_hits;
+          out[i] = descending_lower_bound(*group.snap, target);
+          continue;
+        }
+        const Arena::Extension& state = *group.state;
+        if (group.last_before <= target) {
+          ++tally.cache_hits;
+        }
+        if (state.base && state.base->back() <= target) {
+          out[i] = descending_lower_bound(*state.base, target);
+        } else {
+          out[i] =
+              state.base_len() + descending_lower_bound(state.ext, target);
+        }
+      }
+    }
+  } catch (...) {
+    flush(tally);
+    throw;
+  }
+  if (arena_lock.owns_lock()) {
+    arena_lock.unlock();
+  }
+
+  // Huge-rho fallback groups run the scalar walk; staff_one takes the
+  // arena lock itself, so these must run after the batch lock is released.
+  try {
+    for (const Group& group : groups) {
+      if (!group.fallback) {
+        continue;
+      }
+      for (std::size_t q = group.begin; q < group.end; ++q) {
+        const std::uint32_t i = order[q];
+        out[i] = staff_one(*snapshot, queries[i].rho,
+                           queries[i].target_blocking, tally);
+      }
     }
   } catch (...) {
     flush(tally);

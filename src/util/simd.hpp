@@ -1,0 +1,113 @@
+// Lane-batching primitives for the analytic hot path.
+//
+// The Erlang-B recurrence E_n = rho E_{n-1} / (n + rho E_{n-1}) is a serial
+// dependence chain through one double divide per step: evaluated scalar, the
+// core's divider sits idle for most of each ~15-cycle latency. The divider
+// is pipelined, though, so W *independent* chains interleaved in lockstep
+// run at divide throughput instead of divide latency — and the lockstep
+// inner loop over lanes is exactly the shape the compiler's SLP/loop
+// vectorizer turns into packed divides. This header provides the lane
+// plumbing: compile-time width detection and a fixed-width value pack whose
+// operations are plain per-element loops, so every target gets a correct
+// scalar twin and SIMD-capable targets get packed code from the
+// auto-vectorizer. No intrinsics anywhere; this is standard C++ that
+// happens to vectorize.
+//
+// Width policy: kNativeDoubleLanes is the number of doubles per SIMD
+// register the compiler is allowed to use for this translation unit
+// (detected from the target macros; 1 on targets with no vector unit).
+// kRecurrenceLanes is the number of independent recurrence chains the
+// multi-lane Erlang kernels advance together: at least 8 regardless of
+// register width, because hiding the divide latency needs more chains than
+// one register holds (8 chains on SSE2 = 4 packed divides in flight).
+//
+// Bit-identity: Pack operations are per-lane and never reorder or fuse
+// across lanes, so a value computed in lane i is bit-identical to the same
+// scalar operation sequence — lanes are independent computations that
+// merely share instructions. Anything that would change results (reordered
+// reductions, FMA contraction, reciprocal approximations) is out of scope
+// here on purpose.
+#pragma once
+
+#include <cstddef>
+
+namespace vmcons::util::simd {
+
+/// Doubles per SIMD register the target can pack (1 = scalar fallback).
+#if defined(__AVX512F__)
+inline constexpr std::size_t kNativeDoubleLanes = 8;
+#elif defined(__AVX__)
+inline constexpr std::size_t kNativeDoubleLanes = 4;
+#elif defined(__SSE2__) || defined(__x86_64__) || defined(_M_X64) || \
+    defined(__aarch64__) || defined(__ARM_NEON) || defined(__VSX__) || \
+    defined(__wasm_simd128__)
+inline constexpr std::size_t kNativeDoubleLanes = 2;
+#else
+inline constexpr std::size_t kNativeDoubleLanes = 1;
+#endif
+
+/// Independent recurrence chains the multi-lane Erlang walk advances in
+/// lockstep. A multiple of the register width, and at least 8 so the
+/// divider pipeline stays full even on 2-lane targets.
+inline constexpr std::size_t kRecurrenceLanes =
+    kNativeDoubleLanes < 8 ? 8 : kNativeDoubleLanes;
+
+/// Fixed-width pack of doubles with per-element (never cross-lane)
+/// arithmetic. All operations are plain loops: the scalar twin on targets
+/// without SIMD, packed instructions wherever the auto-vectorizer applies.
+template <std::size_t W>
+struct Pack {
+  static_assert(W > 0, "a pack needs at least one lane");
+  alignas(W * sizeof(double) <= 64 ? W * sizeof(double) : 64) double v[W];
+
+  static Pack broadcast(double x) {
+    Pack p;
+    for (std::size_t l = 0; l < W; ++l) {
+      p.v[l] = x;
+    }
+    return p;
+  }
+  static Pack load(const double* src) {
+    Pack p;
+    for (std::size_t l = 0; l < W; ++l) {
+      p.v[l] = src[l];
+    }
+    return p;
+  }
+  void store(double* dst) const {
+    for (std::size_t l = 0; l < W; ++l) {
+      dst[l] = v[l];
+    }
+  }
+
+  friend Pack operator+(const Pack& a, const Pack& b) {
+    Pack r;
+    for (std::size_t l = 0; l < W; ++l) {
+      r.v[l] = a.v[l] + b.v[l];
+    }
+    return r;
+  }
+  friend Pack operator-(const Pack& a, const Pack& b) {
+    Pack r;
+    for (std::size_t l = 0; l < W; ++l) {
+      r.v[l] = a.v[l] - b.v[l];
+    }
+    return r;
+  }
+  friend Pack operator*(const Pack& a, const Pack& b) {
+    Pack r;
+    for (std::size_t l = 0; l < W; ++l) {
+      r.v[l] = a.v[l] * b.v[l];
+    }
+    return r;
+  }
+  friend Pack operator/(const Pack& a, const Pack& b) {
+    Pack r;
+    for (std::size_t l = 0; l < W; ++l) {
+      r.v[l] = a.v[l] / b.v[l];
+    }
+    return r;
+  }
+};
+
+}  // namespace vmcons::util::simd
