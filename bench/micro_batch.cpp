@@ -237,6 +237,58 @@ int run(int argc, const char** argv) {
     thread_rows.push_back({threads, ms});
   }
 
+  // Heterogeneous fleet row: the same grid with a 3-class fleet attached to
+  // every cell, exercising the staff_fleet kernel and the class-major power
+  // blend. Staffing, blocking, and utilization must stay bit-identical to
+  // the fleetless solve (the fleet pass is post-processing in reference
+  // units); power intentionally differs (per-class wattages), so the
+  // comparison below excludes it.
+  std::vector<core::ModelInputs> hetero_grid = grid;
+  for (core::ModelInputs& cell : hetero_grid) {
+    cell.fleet.add(dc::ServerClass::reference("old-gen"));
+    dc::ServerClass mid;
+    mid.name = "mid-gen";
+    for (const dc::Resource resource : dc::all_resources()) {
+      mid.capacity[resource] = 1.5;
+    }
+    mid.power = dc::PowerModel{280.0, 340.0};
+    mid.count = 64;
+    cell.fleet.add(mid);
+    dc::ServerClass fast;
+    fast.name = "new-gen";
+    for (const dc::Resource resource : dc::all_resources()) {
+      fast.capacity[resource] = 2.0;
+    }
+    fast.power = dc::PowerModel{310.0, 390.0};
+    fast.count = 16;
+    cell.fleet.add(fast);
+  }
+  queueing::ErlangKernel hetero_kernel;
+  core::BatchOptions hetero_options;
+  hetero_options.parallel = false;
+  hetero_options.kernel = &hetero_kernel;
+  std::vector<core::ModelResult> hetero_results;
+  const double hetero_ms = best_of(reps, [&] {
+    hetero_kernel.clear();
+    const core::ScenarioBatch batch =
+        core::ScenarioBatch::from_inputs(hetero_grid);
+    hetero_results = core::BatchEvaluator(hetero_options).evaluate(batch);
+  });
+  for (std::size_t i = 0; i < hetero_results.size(); ++i) {
+    const core::ModelResult& a = object_results[i];
+    const core::ModelResult& b = hetero_results[i];
+    if (a.dedicated_servers != b.dedicated_servers ||
+        a.consolidated_servers != b.consolidated_servers ||
+        a.consolidated_blocking != b.consolidated_blocking ||
+        a.dedicated_utilization != b.dedicated_utilization ||
+        a.consolidated_utilization != b.consolidated_utilization ||
+        !b.fleet.planned || b.fleet.classes.size() != 3) {
+      std::cerr << "FAIL: 3-class fleet batch diverged from the fleetless "
+                   "solve in a reference-unit field\n";
+      return EXIT_FAILURE;
+    }
+  }
+
   if (!same_results(object_results, serial_results) ||
       !same_results(object_results, parallel_results) ||
       !same_results(object_results, quarantine_results)) {
@@ -320,6 +372,10 @@ int run(int argc, const char** argv) {
                  AsciiTable::format(quarantine_ms, 1),
                  AsciiTable::format(count / quarantine_ms * 1000.0, 0),
                  AsciiTable::format(object_ms / quarantine_ms, 1) + "x"});
+  table.add_row({"batch, 1 thread, 3-class fleet",
+                 AsciiTable::format(hetero_ms, 1),
+                 AsciiTable::format(count / hetero_ms * 1000.0, 0),
+                 AsciiTable::format(object_ms / hetero_ms, 1) + "x"});
   table.add_row({"batch, sharded parallel" +
                      std::string(unreliable(shared_workers) ? " [unreliable]"
                                                            : ""),
@@ -417,9 +473,9 @@ int run(int argc, const char** argv) {
   emit("batch_parallel", parallel_ms, shared_workers, false);
   for (std::size_t i = 0; i < thread_rows.size(); ++i) {
     emit("batch_threads_" + std::to_string(thread_rows[i].threads),
-         thread_rows[i].ms, thread_rows[i].threads,
-         i + 1 == thread_rows.size());
+         thread_rows[i].ms, thread_rows[i].threads, false);
   }
+  emit("batch_hetero_3class", hetero_ms, 1, true);
   json << "}\n";
   std::ofstream out(json_path);
   out << json.str();

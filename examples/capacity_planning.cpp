@@ -8,7 +8,9 @@
 //   2. which real machines to rack for the consolidated plan;
 //   3. how the plan moves as the traffic grows 2x and 4x;
 //   4. how expensive tighter loss targets are;
-//   5. the full loss-target x growth grid in one parallel sweep.
+//   5. the full loss-target x growth grid in one parallel sweep;
+//   6. how the model itself staffs a two-class fleet (dc::Fleet): per-class
+//      server counts and the power split between generations.
 //
 // Run: ./build/examples/example_capacity_planning
 #include <iostream>
@@ -103,6 +105,49 @@ int main() {
     joint.add_row(line);
   }
   joint.print(std::cout, "\nconsolidated servers N, loss target x growth");
+
+  // --- 6: fleet-aware staffing --------------------------------------------
+  // The inventory above assigns machines *after* the model solves in
+  // reference units; a dc::Fleet moves the machine mix *into* the model.
+  // Here: a shelf of reference-speed old machines plus six new boxes that
+  // are twice as fast but hungrier. The fastest class fills first, so the
+  // new generation absorbs the consolidated load and the old shelf only
+  // backfills what is left.
+  dc::Fleet fleet;
+  fleet.add(dc::ServerClass::reference("old-gen",
+                                       dc::PowerModel{250.0, 292.5}));
+  dc::ServerClass new_gen;
+  new_gen.name = "new-gen";
+  for (const dc::Resource resource : dc::all_resources()) {
+    new_gen.capacity[resource] = 2.0;
+  }
+  new_gen.power = dc::PowerModel{310.0, 390.0};
+  new_gen.count = 6;
+  fleet.add(new_gen);
+
+  core::ConsolidationPlanner fleet_planner = planner;
+  fleet_planner.set_fleet(fleet);
+  const core::ModelResult fleet_plan = fleet_planner.plan().model;
+  AsciiTable fleet_table;
+  fleet_table.set_header(
+      {"class", "speed", "M_c", "N_c", "P_M (W)", "P_N (W)"});
+  for (const core::ClassAllocation& alloc : fleet_plan.fleet.classes) {
+    fleet_table.add_row(
+        {alloc.name, AsciiTable::format(alloc.speed, 1),
+         std::to_string(alloc.dedicated_servers),
+         std::to_string(alloc.consolidated_servers),
+         AsciiTable::format(alloc.dedicated_power_watts, 1),
+         AsciiTable::format(alloc.consolidated_power_watts, 1)});
+  }
+  fleet_table.print(std::cout, "\ntwo-class fleet staffing (model-level)");
+  std::cout << "fleet totals: M = " << fleet_plan.fleet.dedicated_total()
+            << " physical servers (vs " << fleet_plan.dedicated_servers
+            << " reference), N = " << fleet_plan.fleet.consolidated_total()
+            << " (vs " << fleet_plan.consolidated_servers << "); power "
+            << AsciiTable::format(fleet_plan.dedicated_power_watts, 0)
+            << " W -> "
+            << AsciiTable::format(fleet_plan.consolidated_power_watts, 0)
+            << " W consolidated.\n";
 
   std::cout << "\nTakeaway: consolidation halves the fleet at every growth "
                "step, and each order of magnitude on the loss target costs "

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Asserts the four analytic column kernels in src/core/batch_eval.cpp
-# (staff_dedicated, staff_consolidated, derive_utility, derive_power)
+# Asserts the five analytic column kernels in src/core/batch_eval.cpp
+# (staff_dedicated, staff_consolidated, staff_fleet, derive_utility,
+# derive_power)
 # actually auto-vectorize under the Release flags. Compiles the one file
 # with -fopt-info-vec and requires at least one "loop vectorized" report
 # inside each kernel's line range — so a refactor that quietly reintroduces
@@ -27,23 +28,25 @@ else
     -fopt-info-vec 2>&1 | grep -E "${SRC}.*loop vectorized" || true)
 fi
 
-# Line ranges of the four kernels: each starts at its definition and ends at
+# Line ranges of the five kernels: each starts at its definition and ends at
 # the next kernel (or EOF). grep -n keeps this robust against edits.
 mapfile -t STARTS < <(grep -n \
   -e '^void staff_dedicated' -e '^void staff_consolidated' \
+  -e '^void staff_fleet' \
   -e '^void derive_utility' -e '^void derive_power' \
   "${SRC}" | cut -d: -f1)
-NAMES=(staff_dedicated staff_consolidated derive_utility derive_power)
-if [[ "${#STARTS[@]}" -ne 4 ]]; then
-  echo "check_vectorize FAILED: expected 4 kernel definitions in ${SRC}," \
+NAMES=(staff_dedicated staff_consolidated staff_fleet derive_utility \
+       derive_power)
+if [[ "${#STARTS[@]}" -ne 5 ]]; then
+  echo "check_vectorize FAILED: expected 5 kernel definitions in ${SRC}," \
        "found ${#STARTS[@]}"
   exit 1
 fi
 
 FAILED=0
-for i in 0 1 2 3; do
+for i in 0 1 2 3 4; do
   LO="${STARTS[$i]}"
-  if [[ "$i" -lt 3 ]]; then HI="${STARTS[$((i + 1))]}"; else HI=1000000; fi
+  if [[ "$i" -lt 4 ]]; then HI="${STARTS[$((i + 1))]}"; else HI=1000000; fi
   COUNT=$(echo "${REPORT}" | awk -F: -v lo="${LO}" -v hi="${HI}" \
     'NF > 1 && $2 >= lo && $2 < hi' | wc -l)
   if [[ "${COUNT}" -gt 0 ]]; then

@@ -277,6 +277,109 @@ void staff_consolidated(const ScenarioBatch& batch, std::size_t begin,
   }
 }
 
+void staff_fleet(const ScenarioBatch& batch, std::size_t begin,
+                 std::size_t end, std::span<ModelResult> results) {
+  if (begin == end) {
+    return;
+  }
+  const std::size_t c0 = batch.classes_begin(begin);
+  const std::size_t crows = batch.classes_end(end - 1) - c0;
+  if (crows == 0) {
+    return;  // no scenario in the range carries a fleet
+  }
+
+  // Stage 0: fill-priority tie-break column — reference-equivalents per
+  // peak watt — as one dense divide stream over the shard's class rows.
+  // max_watts is validated >= base_watts > 0, so the divide is safe.
+  std::vector<double> efficiency(crows);
+  {
+    const double* __restrict__ speed = batch.class_speed().data() + c0;
+    const double* __restrict__ peak = batch.class_max_watts().data() + c0;
+    double* __restrict__ eff = efficiency.data();
+    for (std::size_t i = 0; i < crows; ++i) {
+      eff[i] = speed[i] / peak[i];
+    }
+  }
+
+  const auto available = batch.class_available();
+  const auto speeds = batch.class_speed();
+  std::vector<std::size_t> order;
+  for (std::size_t s = begin; s < end; ++s) {
+    const std::size_t cb = batch.classes_begin(s);
+    const std::size_t ce = batch.classes_end(s);
+    if (cb == ce) {
+      continue;  // homogeneous scenario: FleetPlan stays unplanned
+    }
+    ModelResult& result = results[s - begin];
+    FleetPlan& plan = result.fleet;
+    plan.planned = true;
+    const std::size_t classes = ce - cb;
+    plan.classes.resize(classes);
+    for (std::size_t local = 0; local < classes; ++local) {
+      ClassAllocation& alloc = plan.classes[local];
+      alloc.name = batch.class_name(cb + local);
+      alloc.speed = speeds[cb + local];
+      alloc.available = available[cb + local];
+    }
+
+    // Fill order: fastest class first. Greedy on speed is exactly "take the
+    // fastest remaining server, one at a time", so the physical count is
+    // minimal and adding a class never increases a feasible total. A
+    // per-watt-first order would NOT be monotone: a slightly slower but
+    // thriftier class can displace part of a fast class's coverage and
+    // force an extra machine. Efficiency only breaks exact speed ties;
+    // name and declaration order make the plan fully deterministic.
+    order.resize(classes);
+    for (std::size_t i = 0; i < classes; ++i) {
+      order[i] = i;
+    }
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (speeds[cb + a] != speeds[cb + b]) {
+                  return speeds[cb + a] > speeds[cb + b];
+                }
+                if (efficiency[cb + a - c0] != efficiency[cb + b - c0]) {
+                  return efficiency[cb + a - c0] > efficiency[cb + b - c0];
+                }
+                if (batch.class_name(cb + a) != batch.class_name(cb + b)) {
+                  return batch.class_name(cb + a) < batch.class_name(cb + b);
+                }
+                return a < b;
+              });
+
+    // Cover `target` reference-equivalents from the ordered classes. Counts
+    // cast exactly: targets are Erlang staffing answers (far below 2^53)
+    // and kUnbounded rounds to 2^64, which only ever relaxes the min.
+    const auto allocate = [&](std::uint64_t target,
+                              std::uint64_t ClassAllocation::*granted,
+                              bool& feasible, double& shortfall) {
+      double remaining = static_cast<double>(target);
+      for (const std::size_t local : order) {
+        if (remaining <= 0.0) {
+          break;  // later classes keep their zero-initialized grant
+        }
+        ClassAllocation& alloc = plan.classes[local];
+        const double want = std::ceil(remaining / alloc.speed);
+        // Branch keeps the uint64 cast in range: `want` is only converted
+        // when it is provably below the available count (and so below 2^64).
+        std::uint64_t take = alloc.available;
+        if (want < static_cast<double>(alloc.available)) {
+          take = static_cast<std::uint64_t>(want);
+        }
+        alloc.*granted = take;
+        remaining -= static_cast<double>(take) * alloc.speed;
+      }
+      feasible = remaining <= 0.0;
+      shortfall = std::max(0.0, remaining);
+    };
+    allocate(result.dedicated_servers, &ClassAllocation::dedicated_servers,
+             plan.dedicated_feasible, plan.dedicated_shortfall);
+    allocate(result.consolidated_servers,
+             &ClassAllocation::consolidated_servers,
+             plan.consolidated_feasible, plan.consolidated_shortfall);
+  }
+}
+
 void derive_utility(const ScenarioBatch& batch, std::size_t begin,
                     std::size_t end, std::span<ModelResult> results) {
   const auto arrival = batch.arrival_rate();
@@ -387,6 +490,86 @@ void derive_power(const ScenarioBatch& batch, std::size_t begin,
                     static_cast<double>(result.dedicated_servers);
     }
   }
+
+  // Heterogeneous tail: scenarios with fleet-class rows re-derive P_M/P_N
+  // from per-class wattages. The class-major watts passes keep the exact
+  // operand grouping of PowerModel::watts — native `base + (max-base)*u`
+  // for the dedicated deployment, Xen idle/dynamic scaling for the
+  // consolidated one — so a single-class fleet whose wattage pair matches
+  // the scenario's reproduces the homogeneous answer bit for bit.
+  if (begin == end) {
+    return;
+  }
+  const std::size_t c0 = batch.classes_begin(begin);
+  const std::size_t crows = batch.classes_end(end - 1) - c0;
+  if (crows == 0) {
+    return;
+  }
+  std::vector<double> class_scratch(crows * 4);
+  double* const u_ded = class_scratch.data();
+  double* const u_con = class_scratch.data() + crows;
+  double* const w_ded = class_scratch.data() + 2 * crows;
+  double* const w_con = class_scratch.data() + 3 * crows;
+  // Broadcast each scenario's clamped utilizations across its class rows so
+  // the watts passes below run over dense, scenario-free columns.
+  for (std::size_t s = begin; s < end; ++s) {
+    const double ded = dedicated_clamped[s - begin];
+    const double con = consolidated_clamped[s - begin];
+    for (std::size_t row = batch.classes_begin(s); row < batch.classes_end(s);
+         ++row) {
+      u_ded[row - c0] = ded;
+      u_con[row - c0] = con;
+    }
+  }
+  {
+    const double* __restrict__ base = batch.class_base_watts().data() + c0;
+    const double* __restrict__ peak = batch.class_max_watts().data() + c0;
+    const double* __restrict__ ud = u_ded;
+    const double* __restrict__ uc = u_con;
+    double* __restrict__ wd = w_ded;
+    double* __restrict__ wc = w_con;
+    for (std::size_t i = 0; i < crows; ++i) {
+      wd[i] = base[i] + (peak[i] - base[i]) * ud[i];
+    }
+    for (std::size_t i = 0; i < crows; ++i) {
+      wc[i] = base[i] * dc::PowerModel::kXenIdleFactor +
+              ((peak[i] - base[i]) * dc::PowerModel::kXenDynamicFactor) *
+                  uc[i];
+    }
+  }
+
+  // Fleet finalize: per-class watts scaled by the granted counts, summed
+  // into the scenario's P_M/P_N, and the Eq. 14 ratios recomputed from the
+  // per-class sums. The homogeneous fields written above are overwritten
+  // only for scenarios that actually planned a fleet.
+  for (std::size_t s = begin; s < end; ++s) {
+    const std::size_t cb = batch.classes_begin(s);
+    const std::size_t ce = batch.classes_end(s);
+    if (cb == ce) {
+      continue;
+    }
+    ModelResult& result = results[s - begin];
+    double p_m = 0.0;
+    double p_n = 0.0;
+    for (std::size_t local = 0; local < ce - cb; ++local) {
+      ClassAllocation& alloc = result.fleet.classes[local];
+      alloc.dedicated_power_watts =
+          static_cast<double>(alloc.dedicated_servers) * w_ded[cb - c0 + local];
+      alloc.consolidated_power_watts =
+          static_cast<double>(alloc.consolidated_servers) *
+          w_con[cb - c0 + local];
+      p_m += alloc.dedicated_power_watts;
+      p_n += alloc.consolidated_power_watts;
+    }
+    result.dedicated_power_watts = p_m;
+    result.consolidated_power_watts = p_n;
+    result.power_ratio = 0.0;
+    result.power_saving = 0.0;
+    if (p_m > 0.0) {
+      result.power_ratio = p_n / p_m;
+      result.power_saving = 1.0 - result.power_ratio;
+    }
+  }
 }
 
 }  // namespace batch_kernels
@@ -461,6 +644,7 @@ BatchOutcome BatchEvaluator::evaluate_all(const ScenarioBatch& batch) const {
                                   std::span<ModelResult> out) {
     batch_kernels::staff_dedicated(batch, first, last, kernel, out);
     batch_kernels::staff_consolidated(batch, first, last, kernel, out);
+    batch_kernels::staff_fleet(batch, first, last, out);
     batch_kernels::derive_utility(batch, first, last, out);
     batch_kernels::derive_power(batch, first, last, out);
   };

@@ -151,7 +151,7 @@ class BatchEvaluator {
 // Each runs one stage of the model for scenarios [begin, end) of `batch`,
 // writing into results[s - begin]. `kernel` may be nullptr (stateless free
 // functions). Call order per scenario range: staff_dedicated,
-// staff_consolidated, derive_utility, derive_power.
+// staff_consolidated, staff_fleet, derive_utility, derive_power.
 namespace batch_kernels {
 
 /// Fig. 4 per-service staffing: per-resource Erlang-B sizing, max over
@@ -167,6 +167,17 @@ void staff_dedicated(const ScenarioBatch& batch, std::size_t begin,
 void staff_consolidated(const ScenarioBatch& batch, std::size_t begin,
                         std::size_t end, queueing::ErlangKernel* kernel,
                         std::span<ModelResult> results);
+
+/// Heterogeneous fleet allocation: maps the reference-unit answers M and N
+/// (written by the two staffing kernels) onto per-class physical counts for
+/// every scenario in the range that carries fleet-class rows. Classes are
+/// filled fastest first (greedy on ServerClass::speed()), which yields the
+/// minimal physical count and keeps totals monotone when a class is added;
+/// ties break on reference-equivalents per peak watt, then name, then
+/// declaration order, so the plan is deterministic. Scenarios without a
+/// fleet are untouched (their FleetPlan stays unplanned).
+void staff_fleet(const ScenarioBatch& batch, std::size_t begin,
+                 std::size_t end, std::span<ModelResult> results);
 
 /// Eq. 8-11: offered bottleneck work per server for both deployments.
 void derive_utility(const ScenarioBatch& batch, std::size_t begin,

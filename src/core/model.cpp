@@ -12,6 +12,22 @@
 
 namespace vmcons::core {
 
+std::uint64_t FleetPlan::dedicated_total() const {
+  std::uint64_t total = 0;
+  for (const ClassAllocation& allocation : classes) {
+    total += allocation.dedicated_servers;
+  }
+  return total;
+}
+
+std::uint64_t FleetPlan::consolidated_total() const {
+  std::uint64_t total = 0;
+  for (const ClassAllocation& allocation : classes) {
+    total += allocation.consolidated_servers;
+  }
+  return total;
+}
+
 UtilityAnalyticModel::UtilityAnalyticModel(ModelInputs inputs)
     : inputs_(std::move(inputs)) {
   VMCONS_REQUIRE(inputs_.target_loss > 0.0 && inputs_.target_loss < 1.0,
@@ -90,6 +106,7 @@ ModelResult UtilityAnalyticModel::solve() const {
   const std::span<ModelResult> out(&result, 1);
   batch_kernels::staff_dedicated(batch, 0, 1, kernel_, out);
   batch_kernels::staff_consolidated(batch, 0, 1, kernel_, out);
+  batch_kernels::staff_fleet(batch, 0, 1, out);
   batch_kernels::derive_utility(batch, 0, 1, out);
   batch_kernels::derive_power(batch, 0, 1, out);
   return result;

@@ -27,6 +27,7 @@
 
 #include "datacenter/power.hpp"
 #include "datacenter/resource.hpp"
+#include "datacenter/server_class.hpp"
 #include "datacenter/service_spec.hpp"
 
 namespace vmcons::queueing {
@@ -46,6 +47,11 @@ struct ModelInputs {
   /// Power model parameters for the two platforms.
   dc::PowerModel dedicated_power = dc::PowerModel::paper_default(dc::Platform::kNativeLinux);
   dc::PowerModel consolidated_power = dc::PowerModel::paper_default(dc::Platform::kXen);
+  /// Heterogeneous server classes to staff from. Empty (the default) keeps
+  /// the classic homogeneous reference-server model; non-empty adds a
+  /// fleet-aware allocation pass mapping M and N onto per-class counts (see
+  /// ModelResult::fleet) and derives power from per-class wattages.
+  dc::Fleet fleet;
 };
 
 /// Per-service staffing of the dedicated deployment.
@@ -65,6 +71,37 @@ struct ConsolidatedResourcePlan {
   double offered_load = 0.0;          ///< Eq. (5)
   std::uint64_t servers = 0;
   bool demanded = false;              ///< any service demands this resource
+};
+
+/// One server class's share of a fleet staffing allocation.
+struct ClassAllocation {
+  std::string name;
+  /// Reference-equivalents per server (ServerClass::speed()).
+  double speed = 0.0;
+  /// Owned count (ServerClass::kUnbounded when unconstrained).
+  std::uint64_t available = 0;
+  std::uint64_t dedicated_servers = 0;     ///< M_c: physical servers for M
+  std::uint64_t consolidated_servers = 0;  ///< N_c: physical servers for N
+  double dedicated_power_watts = 0.0;      ///< M_c x native-Linux watts
+  double consolidated_power_watts = 0.0;   ///< N_c x Xen watts
+};
+
+/// How a fleet covers the reference-unit staffing answers M and N: classes
+/// are filled fastest first (per-watt cheapest among equal speeds; see
+/// batch_kernels::staff_fleet for the deterministic tie-break), so the
+/// physical server count is minimal and never grows when a class is added.
+struct FleetPlan {
+  /// True iff the inputs carried a fleet; everything below is meaningful
+  /// only when set (the homogeneous model leaves the plan empty).
+  bool planned = false;
+  std::vector<ClassAllocation> classes;  ///< fleet declaration order
+  bool dedicated_feasible = true;        ///< counts covered all of M
+  bool consolidated_feasible = true;     ///< counts covered all of N
+  double dedicated_shortfall = 0.0;      ///< uncovered reference-equivalents
+  double consolidated_shortfall = 0.0;
+
+  std::uint64_t dedicated_total() const;     ///< sum of M_c
+  std::uint64_t consolidated_total() const;  ///< sum of N_c
 };
 
 struct ModelResult {
@@ -89,6 +126,9 @@ struct ModelResult {
   double power_saving = 0.0;              ///< 1 - P_N / P_M
 
   double infrastructure_saving = 0.0;     ///< 1 - N / M
+
+  // --- Heterogeneous fleet allocation (empty unless inputs had a fleet) --
+  FleetPlan fleet;
 };
 
 class UtilityAnalyticModel {

@@ -32,6 +32,11 @@ ConsolidationPlanner& ConsolidationPlanner::add_server_class(
   return *this;
 }
 
+ConsolidationPlanner& ConsolidationPlanner::set_fleet(dc::Fleet fleet) {
+  fleet_ = std::move(fleet);
+  return *this;
+}
+
 ConsolidationPlanner& ConsolidationPlanner::scale_workloads(double factor) {
   VMCONS_REQUIRE(factor > 0.0, "workload scale must be positive");
   workload_scale_ *= factor;
@@ -47,6 +52,7 @@ ModelInputs ConsolidationPlanner::make_inputs() const {
     service.arrival_rate *= workload_scale_;
   }
   inputs.vms_per_server = vms_per_server_;
+  inputs.fleet = fleet_;
   return inputs;
 }
 

@@ -76,6 +76,14 @@ class ConsolidationPlanner {
   /// normalized (homogeneous reference) units.
   ConsolidationPlanner& add_server_class(ServerClass server_class);
 
+  /// Sets the model-level heterogeneous fleet (dc::Fleet): the solver's
+  /// staff_fleet pass maps M and N onto per-class counts and derives power
+  /// from per-class wattages (ModelResult::fleet). Orthogonal to
+  /// add_server_class, which only post-maps normalized counts onto
+  /// inventory without touching the model's power answers.
+  ConsolidationPlanner& set_fleet(dc::Fleet fleet);
+  const dc::Fleet& fleet() const { return fleet_; }
+
   /// Scales every service's arrival rate by `factor` (what-if growth).
   ConsolidationPlanner& scale_workloads(double factor);
 
@@ -119,6 +127,7 @@ class ConsolidationPlanner {
   double target_loss_ = 0.01;
   std::vector<dc::ServiceSpec> services_;
   std::vector<ServerClass> inventory_;
+  dc::Fleet fleet_;
   std::optional<unsigned> vms_per_server_;
   double workload_scale_ = 1.0;
 };

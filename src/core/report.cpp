@@ -37,6 +37,34 @@ void print_model_result(std::ostream& out, const ModelResult& result) {
   }
   consolidated.print(out, "\nconsolidated staffing (per resource, Eq. 4-5)");
 
+  if (result.fleet.planned) {
+    AsciiTable fleet;
+    fleet.set_header({"class", "speed", "available", "M_c", "N_c", "P_M (W)",
+                      "P_N (W)"});
+    for (const ClassAllocation& alloc : result.fleet.classes) {
+      fleet.add_row(
+          {alloc.name, AsciiTable::format(alloc.speed, 2),
+           alloc.available == dc::ServerClass::kUnbounded
+               ? std::string("unbounded")
+               : std::to_string(alloc.available),
+           std::to_string(alloc.dedicated_servers),
+           std::to_string(alloc.consolidated_servers),
+           AsciiTable::format(alloc.dedicated_power_watts, 1),
+           AsciiTable::format(alloc.consolidated_power_watts, 1)});
+    }
+    fleet.print(out, "\nfleet allocation (per server class)");
+    if (!result.fleet.dedicated_feasible) {
+      out << "dedicated shortfall: "
+          << AsciiTable::format(result.fleet.dedicated_shortfall, 2)
+          << " reference-equivalents uncovered\n";
+    }
+    if (!result.fleet.consolidated_feasible) {
+      out << "consolidated shortfall: "
+          << AsciiTable::format(result.fleet.consolidated_shortfall, 2)
+          << " reference-equivalents uncovered\n";
+    }
+  }
+
   out << '\n' << headline(result) << '\n';
   print_kv(out, "U_M", result.dedicated_utilization);
   print_kv(out, "U_N", result.consolidated_utilization);
@@ -89,6 +117,20 @@ void write_model_result_csv(std::ostream& out, const ModelResult& result) {
                 plan.offered_load});
     writer.row({std::string("consolidated"), name, std::string("servers"),
                 static_cast<long long>(plan.servers)});
+  }
+  for (const ClassAllocation& alloc : result.fleet.classes) {
+    writer.row({std::string("fleet"), alloc.name,
+                std::string("dedicated_servers"),
+                static_cast<long long>(alloc.dedicated_servers)});
+    writer.row({std::string("fleet"), alloc.name,
+                std::string("consolidated_servers"),
+                static_cast<long long>(alloc.consolidated_servers)});
+    writer.row({std::string("fleet"), alloc.name,
+                std::string("dedicated_power_watts"),
+                alloc.dedicated_power_watts});
+    writer.row({std::string("fleet"), alloc.name,
+                std::string("consolidated_power_watts"),
+                alloc.consolidated_power_watts});
   }
   writer.row({std::string("summary"), std::string("M"), std::string("servers"),
               static_cast<long long>(result.dedicated_servers)});

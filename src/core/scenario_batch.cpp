@@ -1,6 +1,7 @@
 #include "core/scenario_batch.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "util/error.hpp"
@@ -74,6 +75,22 @@ std::size_t ScenarioBatch::append(const ModelInputs& inputs) {
     bottleneck_rate_.push_back(bottleneck);
     effective_rate_.push_back(effective);
   }
+
+  // Fleet-class rows. A Fleet is valid by construction (its only mutator
+  // validates), so the columns adopt the classes as-is; speed is derived
+  // here with ServerClass::speed()'s exact min-accumulation.
+  class_begin_.push_back(class_rows() + inputs.fleet.size());
+  for (const dc::ServerClass& server_class : inputs.fleet.classes()) {
+    class_name_.push_back(server_class.name);
+    for (const dc::Resource resource : dc::all_resources()) {
+      class_capacity_[static_cast<std::size_t>(resource)].push_back(
+          server_class.capacity[resource]);
+    }
+    class_base_watts_.push_back(server_class.power.base_watts);
+    class_max_watts_.push_back(server_class.power.max_watts);
+    class_count_.push_back(server_class.count);
+    class_speed_.push_back(server_class.speed());
+  }
   return scenario;
 }
 
@@ -116,6 +133,52 @@ ScenarioBatch ScenarioBatch::from_columns(Columns&& columns) {
                        "' needs arrival rate > 0");
   }
 
+  if (columns.class_begin.empty()) {
+    // Pre-fleet column sets (and hand-built legacy Columns) carry no class
+    // offsets at all; that is the "no scenario owns a fleet" shape.
+    columns.class_begin.assign(scenarios + 1, 0);
+  }
+  VMCONS_REQUIRE(columns.class_begin.size() == scenarios + 1,
+                 "class_begin must hold scenario count + 1 offsets");
+  VMCONS_REQUIRE(columns.class_begin.front() == 0,
+                 "class_begin must start at offset 0");
+  for (std::size_t s = 0; s < scenarios; ++s) {
+    VMCONS_REQUIRE(columns.class_begin[s] <= columns.class_begin[s + 1],
+                   "class_begin must be non-decreasing (a scenario may own "
+                   "zero class rows, never a negative count)");
+  }
+  const std::size_t class_rows = columns.class_begin.back();
+  bool class_rows_consistent =
+      columns.class_name.size() == class_rows &&
+      columns.class_base_watts.size() == class_rows &&
+      columns.class_max_watts.size() == class_rows &&
+      columns.class_count.size() == class_rows &&
+      columns.class_speed.size() == class_rows;
+  for (std::size_t r = 0; r < dc::kResourceCount; ++r) {
+    class_rows_consistent =
+        class_rows_consistent && columns.class_capacity[r].size() == class_rows;
+  }
+  VMCONS_REQUIRE(class_rows_consistent,
+                 "fleet-class columns disagree with the class_begin offsets");
+  for (std::size_t row = 0; row < class_rows; ++row) {
+    // Rebuild the class and run the same validation Fleet::add applies, so
+    // corrupted columns cannot smuggle in a class append() would reject.
+    dc::ServerClass server_class;
+    server_class.name = columns.class_name[row];
+    for (const dc::Resource resource : dc::all_resources()) {
+      server_class.capacity[resource] =
+          columns.class_capacity[static_cast<std::size_t>(resource)][row];
+    }
+    server_class.power.base_watts = columns.class_base_watts[row];
+    server_class.power.max_watts = columns.class_max_watts[row];
+    server_class.count = columns.class_count[row];
+    dc::validate_server_class(server_class);
+    VMCONS_REQUIRE(columns.class_speed[row] > 0.0 &&
+                       std::isfinite(columns.class_speed[row]),
+                   "class '" + server_class.name +
+                       "' stores a non-positive derived speed");
+  }
+
   ScenarioBatch batch;
   batch.target_loss_ = std::move(columns.target_loss);
   batch.vm_count_ = std::move(columns.vm_count);
@@ -128,6 +191,13 @@ ScenarioBatch ScenarioBatch::from_columns(Columns&& columns) {
   batch.bottleneck_rate_ = std::move(columns.bottleneck_rate);
   batch.effective_rate_ = std::move(columns.effective_rate);
   batch.service_name_ = std::move(columns.service_name);
+  batch.class_begin_ = std::move(columns.class_begin);
+  batch.class_name_ = std::move(columns.class_name);
+  batch.class_capacity_ = std::move(columns.class_capacity);
+  batch.class_base_watts_ = std::move(columns.class_base_watts);
+  batch.class_max_watts_ = std::move(columns.class_max_watts);
+  batch.class_count_ = std::move(columns.class_count);
+  batch.class_speed_ = std::move(columns.class_speed);
   return batch;
 }
 

@@ -8,12 +8,18 @@
 // stores every scenario's inputs as contiguous columns:
 //
 //   per scenario   target loss B, resolved VM count v, the two PowerModels,
-//                  and the half-open row range of its services;
+//                  the half-open row range of its services, and the
+//                  half-open row range of its fleet classes;
 //   per service    arrival rate lambda_i, native rate mu_ij per resource,
 //   row            the clamped impact factor a_ij(v) per resource (evaluated
 //                  per-column at append time via virt::fill_factors), the
 //                  bottleneck native rate, and the effective consolidated
-//                  rate mu_i'(v) — all flattened across scenarios.
+//                  rate mu_i'(v) — all flattened across scenarios;
+//   per class      name, per-resource capacity multiplier, S_base/S_max
+//   row            watts, the owned count, and the derived speed (worst
+//                  resource capacity) — flattened across scenarios with
+//                  class_begin offsets, mirroring the service-row scheme.
+//                  Scenarios without a fleet own zero class rows.
 //
 // BatchEvaluator (batch_eval.hpp) runs the Fig. 4 staffing algorithm and
 // the Eq. 8-14 derivations over whole batches of these columns; the
@@ -34,6 +40,7 @@
 #include "core/model.hpp"
 #include "datacenter/power.hpp"
 #include "datacenter/resource.hpp"
+#include "datacenter/server_class.hpp"
 
 namespace vmcons::core {
 
@@ -46,6 +53,10 @@ class ScenarioBatch {
   /// Total service rows across all scenarios (the length of the flat
   /// service-level columns).
   std::size_t service_rows() const noexcept { return arrival_rate_.size(); }
+
+  /// Total fleet-class rows across all scenarios (the length of the flat
+  /// class-level columns; scenarios without a fleet contribute none).
+  std::size_t class_rows() const noexcept { return class_name_.size(); }
 
   /// Validates and appends one scenario (same preconditions as the
   /// UtilityAnalyticModel constructor), returning its index. Impact curves
@@ -72,6 +83,13 @@ class ScenarioBatch {
     std::vector<double> bottleneck_rate;
     std::vector<double> effective_rate;
     std::vector<std::string> service_name;
+    std::vector<std::size_t> class_begin;  ///< size()+1, class_begin[0]==0
+    std::vector<std::string> class_name;
+    std::array<std::vector<double>, dc::kResourceCount> class_capacity;
+    std::vector<double> class_base_watts;
+    std::vector<double> class_max_watts;
+    std::vector<std::uint64_t> class_count;
+    std::vector<double> class_speed;
   };
 
   /// Rebuilds a batch from raw columns (the deserialization path). Validates
@@ -123,6 +141,32 @@ class ScenarioBatch {
     return service_name_[row];
   }
 
+  // --- flat fleet-class columns ------------------------------------------
+  /// Half-open class-row range [classes_begin(s), classes_end(s)) of
+  /// scenario s in the flat class-level columns (empty = no fleet).
+  std::size_t classes_begin(std::size_t scenario) const {
+    return class_begin_[scenario];
+  }
+  std::size_t classes_end(std::size_t scenario) const {
+    return class_begin_[scenario + 1];
+  }
+  const std::string& class_name(std::size_t row) const {
+    return class_name_[row];
+  }
+  /// Per-resource capacity multiplier relative to the reference server.
+  std::span<const double> class_capacity(dc::Resource resource) const {
+    return class_capacity_[static_cast<std::size_t>(resource)];
+  }
+  std::span<const double> class_base_watts() const { return class_base_watts_; }
+  std::span<const double> class_max_watts() const { return class_max_watts_; }
+  /// Owned count per class row (ServerClass::kUnbounded = unconstrained).
+  std::span<const std::uint64_t> class_available() const {
+    return class_count_;
+  }
+  /// Derived reference-equivalents per server: min capacity over resources
+  /// (ServerClass::speed(), stored at append so evaluation never recomputes).
+  std::span<const double> class_speed() const { return class_speed_; }
+
  private:
   std::vector<double> target_loss_;
   std::vector<unsigned> vm_count_;
@@ -136,6 +180,14 @@ class ScenarioBatch {
   std::vector<double> bottleneck_rate_;
   std::vector<double> effective_rate_;
   std::vector<std::string> service_name_;
+
+  std::vector<std::size_t> class_begin_{0};  ///< size() + 1 offsets
+  std::vector<std::string> class_name_;
+  std::array<std::vector<double>, dc::kResourceCount> class_capacity_;
+  std::vector<double> class_base_watts_;
+  std::vector<double> class_max_watts_;
+  std::vector<std::uint64_t> class_count_;
+  std::vector<double> class_speed_;
 };
 
 }  // namespace vmcons::core

@@ -42,6 +42,60 @@ std::string section_field_value(const char* section, const char* field,
   return out.str();
 }
 
+constexpr const char* kCapacityKeys[dc::kResourceCount] = {
+    "cpu_capacity", "disk_capacity", "memory_capacity", "network_capacity"};
+
+/// Parses one `[class.NAME]` section into a ServerClass. Every field error
+/// names the section and the key ("[class.old-gen]: cpu_capacity = -1 ...")
+/// so operators can find the offending line; structural validation
+/// (positive finite capacities, max_watts >= base_watts) is re-checked by
+/// Fleet::add with class-naming messages.
+dc::ServerClass parse_server_class(const IniSection& section,
+                                   const std::string& class_name) {
+  const std::string label = "[" + section.name + "]";
+  dc::ServerClass server_class;
+  server_class.name = class_name;
+
+  const double uniform = section.get_double("capacity", 1.0);
+  VMCONS_REQUIRE(std::isfinite(uniform) && uniform > 0.0,
+                 label + ": capacity = " + std::to_string(uniform) +
+                     " must be finite and > 0 (relative to the reference "
+                     "server)");
+  for (const dc::Resource resource : dc::all_resources()) {
+    const char* key = kCapacityKeys[static_cast<std::size_t>(resource)];
+    const double capacity = section.get_double(key, uniform);
+    VMCONS_REQUIRE(std::isfinite(capacity) && capacity > 0.0,
+                   label + ": " + key + " = " + std::to_string(capacity) +
+                       " must be finite and > 0");
+    server_class.capacity[resource] = capacity;
+  }
+
+  const dc::PowerModel defaults;
+  const double base = section.get_double("base_watts", defaults.base_watts);
+  const double max = section.get_double("max_watts", defaults.max_watts);
+  VMCONS_REQUIRE(std::isfinite(base) && base > 0.0,
+                 section_field_value(section.name.c_str(), "base_watts",
+                                     base) +
+                     " must be finite and > 0");
+  VMCONS_REQUIRE(std::isfinite(max),
+                 section_field_value(section.name.c_str(), "max_watts", max) +
+                     " must be finite");
+  VMCONS_REQUIRE(max >= base,
+                 section_field_value(section.name.c_str(), "max_watts", max) +
+                     " must be >= base_watts");
+  server_class.power.base_watts = base;
+  server_class.power.max_watts = max;
+
+  if (section.has("count")) {
+    const long long count = section.get_int("count", 0);
+    VMCONS_REQUIRE(count >= 0,
+                   label + ": count = " + std::to_string(count) +
+                       " must be >= 0 (omit the key for an unbounded class)");
+    server_class.count = static_cast<std::uint64_t>(count);
+  }
+  return server_class;
+}
+
 dc::ServiceSpec parse_service(const IniSection& section) {
   dc::ServiceSpec spec;
   spec.name = section.get("name", "service");
@@ -112,6 +166,20 @@ ModelInputs scenario_inputs(const IniDocument& document) {
     inputs.consolidated_power.base_watts = base;
     inputs.consolidated_power.max_watts = max;
   }
+  // Heterogeneous fleet: one [class.NAME] section per server class, in
+  // declaration order. Fleet::add rejects duplicates loudly.
+  constexpr const char* kClassPrefix = "class.";
+  for (const IniSection& section : document.sections) {
+    if (section.name.rfind(kClassPrefix, 0) != 0) {
+      continue;
+    }
+    const std::string class_name =
+        section.name.substr(std::string(kClassPrefix).size());
+    VMCONS_REQUIRE(!class_name.empty(),
+                   "[" + section.name +
+                       "]: section header needs a class name after 'class.'");
+    inputs.fleet.add(parse_server_class(section, class_name));
+  }
   const auto services = document.all("service");
   VMCONS_REQUIRE(!services.empty(), "scenario declares no [service] sections");
   for (const IniSection* section : services) {
@@ -151,6 +219,9 @@ ConsolidationPlanner scenario_planner(const IniDocument& document) {
   if (inputs.vms_per_server) {
     planner.set_vms_per_server(*inputs.vms_per_server);
   }
+  if (!inputs.fleet.empty()) {
+    planner.set_fleet(inputs.fleet);
+  }
   for (const auto& service : inputs.services) {
     planner.add_service(service);
   }
@@ -176,6 +247,18 @@ std::string scenario_to_ini(const ModelInputs& inputs) {
   out << "target_loss = " << inputs.target_loss << "\n";
   if (inputs.vms_per_server) {
     out << "vms_per_server = " << *inputs.vms_per_server << "\n";
+  }
+  for (const dc::ServerClass& server_class : inputs.fleet.classes()) {
+    out << "\n[class." << server_class.name << "]\n";
+    for (const dc::Resource resource : dc::all_resources()) {
+      out << kCapacityKeys[static_cast<std::size_t>(resource)] << " = "
+          << server_class.capacity[resource] << "\n";
+    }
+    out << "base_watts = " << server_class.power.base_watts << "\n";
+    out << "max_watts = " << server_class.power.max_watts << "\n";
+    if (server_class.count != dc::ServerClass::kUnbounded) {
+      out << "count = " << server_class.count << "\n";
+    }
   }
   const unsigned vm_count = inputs.vms_per_server.value_or(
       static_cast<unsigned>(inputs.services.size()));

@@ -20,6 +20,13 @@
 //   name = dual-quad
 //   capacity = 1.0
 //   available = 4
+//
+//   [class.old-gen]             ; optional model-level fleet class
+//   capacity = 0.5              ; uniform capacity vs the reference server
+//   cpu_capacity = 0.6          ; per-resource override (default: capacity)
+//   base_watts = 180            ; this class's S_base/S_max pair
+//   max_watts = 210
+//   count = 12                  ; owned servers (omit for unbounded)
 #pragma once
 
 #include <string>

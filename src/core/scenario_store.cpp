@@ -10,15 +10,20 @@
 namespace vmcons::core {
 namespace {
 
-// File layout (host-endian, version 1):
+// File layout (host-endian, version 2):
 //   header   "VMCSTOR1" | u32 version | u32 resource_count
 //   shard*   u64 scenarios | u64 service_rows | columns (see write_shard)
 //   footer   u64 shard_count | ShardInfo-per-shard as 6 x u64
 //   trailer  u64 footer_offset | u64 footer_checksum | u64 scenario_count
 //            | "VMCSEND1"
+// Version 2 appends the fleet-class columns (class_begin offsets plus the
+// per-class capacity/wattage/count/speed/name columns) to every shard
+// payload. Version-1 files are still readable: they carry no class bytes,
+// which deserializes as "no scenario owns a fleet".
 constexpr char kHeaderMagic[8] = {'V', 'M', 'C', 'S', 'T', 'O', 'R', '1'};
 constexpr char kTrailerMagic[8] = {'V', 'M', 'C', 'S', 'E', 'N', 'D', '1'};
-constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::uint32_t kFormatVersion = 2;
+constexpr std::uint32_t kOldestReadableVersion = 1;
 constexpr std::size_t kHeaderBytes = sizeof(kHeaderMagic) + 2 * sizeof(std::uint32_t);
 constexpr std::size_t kTrailerBytes = 3 * sizeof(std::uint64_t) + sizeof(kTrailerMagic);
 constexpr std::size_t kShardInfoFields = 6;
@@ -34,6 +39,9 @@ class ByteSink {
   explicit ByteSink(std::vector<char>& out) : out_(out) {}
 
   void raw(const void* data, std::size_t bytes) {
+    if (bytes == 0) {
+      return;  // empty columns may hand over a null data()
+    }
     const char* p = static_cast<const char*>(data);
     out_.insert(out_.end(), p, p + bytes);
   }
@@ -56,6 +64,9 @@ class ByteSource {
       : in_(in), path_(path), shard_(shard) {}
 
   void raw(void* data, std::size_t bytes) {
+    if (bytes == 0) {
+      return;  // empty columns may hand over a null data()
+    }
     if (bytes > in_.size() - pos_) {
       std::ostringstream message;
       message << "shard " << shard_ << " payload is truncated (need " << bytes
@@ -149,12 +160,33 @@ std::vector<char> serialize_shard(const ScenarioBatch& batch) {
     sink.u32(static_cast<std::uint32_t>(name.size()));
     sink.raw(name.data(), name.size());
   }
+  // Version 2: fleet-class columns, mirroring the service-row scheme.
+  const std::size_t class_rows = batch.class_rows();
+  sink.u64(class_rows);
+  for (std::size_t s = 0; s <= scenarios; ++s) {
+    sink.u64(s == 0 ? 0 : batch.classes_end(s - 1));
+  }
+  for (const dc::Resource resource : dc::all_resources()) {
+    sink.raw(batch.class_capacity(resource).data(),
+             class_rows * sizeof(double));
+  }
+  sink.raw(batch.class_base_watts().data(), class_rows * sizeof(double));
+  sink.raw(batch.class_max_watts().data(), class_rows * sizeof(double));
+  sink.raw(batch.class_available().data(),
+           class_rows * sizeof(std::uint64_t));
+  sink.raw(batch.class_speed().data(), class_rows * sizeof(double));
+  for (std::size_t row = 0; row < class_rows; ++row) {
+    const std::string& name = batch.class_name(row);
+    sink.u32(static_cast<std::uint32_t>(name.size()));
+    sink.raw(name.data(), name.size());
+  }
   return bytes;
 }
 
 ScenarioBatch deserialize_shard(const std::vector<char>& bytes,
                                 const std::string& path, std::size_t shard,
-                                const ShardInfo& info) {
+                                const ShardInfo& info,
+                                std::uint32_t version) {
   ByteSource source(bytes, path, shard);
   ScenarioBatch::Columns columns;
   const std::uint64_t scenarios = source.u64();
@@ -191,6 +223,31 @@ ScenarioBatch deserialize_shard(const std::vector<char>& bytes,
     const std::uint32_t length = source.u32();
     name.resize(length);
     source.raw(name.data(), length);
+  }
+  if (version >= 2) {
+    // Fleet-class columns; a version-1 payload simply ends here and
+    // from_columns defaults the absent class_begin to all-zero offsets.
+    const std::uint64_t class_rows = source.u64();
+    columns.class_begin.resize(scenarios + 1);
+    for (std::size_t& offset : columns.class_begin) {
+      offset = static_cast<std::size_t>(source.u64());
+    }
+    for (std::size_t r = 0; r < dc::kResourceCount; ++r) {
+      source.f64_column(columns.class_capacity[r], class_rows);
+    }
+    source.f64_column(columns.class_base_watts, class_rows);
+    source.f64_column(columns.class_max_watts, class_rows);
+    columns.class_count.resize(class_rows);
+    for (std::uint64_t& count : columns.class_count) {
+      count = source.u64();
+    }
+    source.f64_column(columns.class_speed, class_rows);
+    columns.class_name.resize(class_rows);
+    for (std::string& name : columns.class_name) {
+      const std::uint32_t length = source.u32();
+      name.resize(length);
+      source.raw(name.data(), length);
+    }
   }
   if (source.remaining() != 0) {
     std::ostringstream message;
@@ -332,9 +389,13 @@ ScenarioStore::ScenarioStore(std::string path) : path_(std::move(path)) {
   if (!in || std::memcmp(magic, kHeaderMagic, sizeof magic) != 0) {
     fail(path_, "bad header magic (not a scenario store)");
   }
-  if (version != kFormatVersion) {
-    fail(path_, "unsupported format version " + std::to_string(version));
+  if (version < kOldestReadableVersion || version > kFormatVersion) {
+    fail(path_, "unsupported format version " + std::to_string(version) +
+                    " (this build reads versions " +
+                    std::to_string(kOldestReadableVersion) + ".." +
+                    std::to_string(kFormatVersion) + ")");
   }
+  version_ = version;
   if (resources != dc::kResourceCount) {
     std::ostringstream message;
     message << "written with " << resources << " resource kinds, this build "
@@ -439,7 +500,7 @@ ScenarioBatch ScenarioStore::read_shard(std::size_t index) const {
   metrics::registry()
       .counter(metrics::names::kStoreBytesRead)
       .add(payload.size());
-  return deserialize_shard(payload, path_, index, info);
+  return deserialize_shard(payload, path_, index, info, version_);
 }
 
 }  // namespace vmcons::core

@@ -108,11 +108,16 @@ class ScenarioStore {
   /// structurally truncated.
   ScenarioBatch read_shard(std::size_t index) const;
 
+  /// On-disk format version the file was written with (new stores write
+  /// version 2, which appends fleet-class columns; version 1 still reads).
+  std::uint32_t format_version() const noexcept { return version_; }
+
  private:
   std::string path_;
   std::vector<ShardInfo> shards_;
   std::uint64_t scenario_count_ = 0;
   std::uint64_t checksum_ = 0;
+  std::uint32_t version_ = 0;
 };
 
 }  // namespace vmcons::core

@@ -36,18 +36,35 @@ SweepGrid& SweepGrid::vms_per_server(std::vector<unsigned> vms) {
   return *this;
 }
 
+SweepGrid& SweepGrid::fleet_mixes(std::vector<std::vector<std::uint64_t>> mixes) {
+  for (const std::vector<std::uint64_t>& mix : mixes) {
+    VMCONS_REQUIRE(!mix.empty(),
+                   "a fleet mix needs at least one per-class count");
+    VMCONS_REQUIRE(mix.size() == mixes.front().size(),
+                   "every fleet mix must list the same class count (got " +
+                       std::to_string(mix.size()) + " and " +
+                       std::to_string(mixes.front().size()) + ")");
+  }
+  fleet_mixes_ = std::move(mixes);
+  return *this;
+}
+
 std::size_t SweepGrid::size() const {
   const std::size_t losses = std::max<std::size_t>(1, target_losses_.size());
   const std::size_t vms = std::max<std::size_t>(1, vms_per_server_.size());
   const std::size_t scales = std::max<std::size_t>(1, workload_scales_.size());
+  const std::size_t mixes = std::max<std::size_t>(1, fleet_mixes_.size());
   std::size_t losses_vms = 0;
+  std::size_t losses_vms_scales = 0;
   std::size_t total = 0;
   if (__builtin_mul_overflow(losses, vms, &losses_vms) ||
-      __builtin_mul_overflow(losses_vms, scales, &total)) {
+      __builtin_mul_overflow(losses_vms, scales, &losses_vms_scales) ||
+      __builtin_mul_overflow(losses_vms_scales, mixes, &total)) {
     std::ostringstream why;
     why << "SweepGrid: grid size overflows std::size_t: " << losses
         << " target losses x " << vms << " VMs-per-server x " << scales
-        << " workload scales; split the request into sub-grids";
+        << " workload scales x " << mixes
+        << " fleet mixes; split the request into sub-grids";
     throw NumericError(why.str());
   }
   return total;
@@ -57,11 +74,13 @@ SweepPoint SweepGrid::point(std::size_t index) const {
   VMCONS_REQUIRE(index < size(), "sweep point index out of range");
   const std::size_t losses = std::max<std::size_t>(1, target_losses_.size());
   const std::size_t vms = std::max<std::size_t>(1, vms_per_server_.size());
+  const std::size_t scales = std::max<std::size_t>(1, workload_scales_.size());
   SweepPoint point;
   point.index = index;
   const std::size_t loss_index = index % losses;
   const std::size_t vms_index = (index / losses) % vms;
-  const std::size_t scale_index = index / (losses * vms);
+  const std::size_t scale_index = index / (losses * vms) % scales;
+  const std::size_t mix_index = index / (losses * vms * scales);
   if (!target_losses_.empty()) {
     point.target_loss = target_losses_[loss_index];
   }
@@ -70,6 +89,9 @@ SweepPoint SweepGrid::point(std::size_t index) const {
   }
   if (!workload_scales_.empty()) {
     point.workload_scale = workload_scales_[scale_index];
+  }
+  if (!fleet_mixes_.empty()) {
+    point.fleet_mix = fleet_mixes_[mix_index];
   }
   return point;
 }
@@ -93,6 +115,11 @@ ModelInputs ConsolidationPlanner::point_inputs(const SweepPoint& point) const {
   }
   if (point.vms_per_server) {
     instance.set_vms_per_server(*point.vms_per_server);
+  }
+  if (point.fleet_mix) {
+    // Throws InvalidArgument naming both sizes if the mix length does not
+    // match the planner's fleet (including the no-fleet case: 0 classes).
+    instance.set_fleet(fleet_.with_counts(*point.fleet_mix));
   }
   return instance.make_inputs();
 }

@@ -37,6 +37,9 @@ struct SweepPoint {
   std::optional<double> target_loss;
   std::optional<double> workload_scale;
   std::optional<unsigned> vms_per_server;
+  /// Per-class owned counts applied to the planner's fleet via
+  /// Fleet::with_counts (declaration order; ServerClass::kUnbounded allowed).
+  std::optional<std::vector<std::uint64_t>> fleet_mix;
 };
 
 class SweepGrid {
@@ -47,6 +50,12 @@ class SweepGrid {
   SweepGrid& workload_scales(std::vector<double> scales);
   /// Consolidation densities (VMs per server), each >= 1.
   SweepGrid& vms_per_server(std::vector<unsigned> vms);
+  /// Fleet-mix axis: each entry is one vector of per-class owned counts
+  /// (declaration order), applied via Fleet::with_counts at point_inputs
+  /// time — so a mismatched length fails loudly there, naming both sizes.
+  /// Every mix must have the same length; the planner it is swept against
+  /// must carry a fleet of that many classes.
+  SweepGrid& fleet_mixes(std::vector<std::vector<std::uint64_t>> mixes);
 
   /// Number of grid points: the product of the (non-empty) axis sizes.
   /// Throws NumericError (with the axis sizes in the message) if the product
@@ -54,7 +63,9 @@ class SweepGrid {
   /// 10^7-point request silently iterate the wrong cell count.
   std::size_t size() const;
 
-  /// The index-derived point: loss varies fastest, then VMs, then scale.
+  /// The index-derived point: loss varies fastest, then VMs, then scale,
+  /// then fleet mix (slowest — mixes change the staffing envelope most, so
+  /// adjacent points keep sharing memoized Erlang prefixes).
   SweepPoint point(std::size_t index) const;
 
   /// All points in index order.
@@ -64,6 +75,7 @@ class SweepGrid {
   std::vector<double> target_losses_;
   std::vector<double> workload_scales_;
   std::vector<unsigned> vms_per_server_;
+  std::vector<std::vector<std::uint64_t>> fleet_mixes_;
 };
 
 /// Execution knobs for ConsolidationPlanner::sweep.

@@ -124,6 +124,97 @@ Placement pack_vms(const std::vector<VmRequirement>& vms,
   return placement;
 }
 
+ClassedPlacement pack_vms_classed(const std::vector<VmRequirement>& vms,
+                                  const std::vector<HostClassSpec>& classes,
+                                  PackingHeuristic heuristic,
+                                  bool one_vm_per_service_per_host) {
+  VMCONS_REQUIRE(!classes.empty(), "need at least one host class");
+  for (const HostClassSpec& spec : classes) {
+    VMCONS_REQUIRE(!spec.name.empty(), "host class needs a name");
+    validate_shape(spec.shape);
+  }
+  for (const auto& vm : vms) {
+    VMCONS_REQUIRE(vm.vcpus >= 1, "VM '" + vm.name + "' needs >= 1 vCPU");
+    VMCONS_REQUIRE(vm.memory_gb > 0.0,
+                   "VM '" + vm.name + "' needs positive memory");
+    const bool fits_somewhere =
+        std::any_of(classes.begin(), classes.end(),
+                    [&](const HostClassSpec& spec) {
+                      return vm.vcpus <= spec.shape.usable_cores() &&
+                             vm.memory_gb <=
+                                 spec.shape.usable_memory_gb() + 1e-12;
+                    });
+    VMCONS_REQUIRE(fits_somewhere,
+                   "VM '" + vm.name + "' does not fit any host class");
+  }
+
+  std::vector<std::size_t> order(vms.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (heuristic == PackingHeuristic::kFirstFitDecreasing) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (vms[a].vcpus != vms[b].vcpus) {
+        return vms[a].vcpus > vms[b].vcpus;
+      }
+      return vms[a].memory_gb > vms[b].memory_gb;
+    });
+  }
+
+  ClassedPlacement classed;
+  classed.placement.feasible = true;
+  std::vector<HostLoad> loads;
+  std::vector<std::size_t> opened(classes.size(), 0);
+  for (const std::size_t index : order) {
+    const VmRequirement& vm = vms[index];
+    std::size_t chosen = kNpos;
+    if (heuristic == PackingHeuristic::kBestFit) {
+      unsigned best_slack = std::numeric_limits<unsigned>::max();
+      for (std::size_t h = 0; h < loads.size(); ++h) {
+        const HostShape& shape = classes[classed.host_class[h]].shape;
+        if (!fits(vm, loads[h], shape, one_vm_per_service_per_host)) {
+          continue;
+        }
+        const unsigned slack = shape.usable_cores() - loads[h].cores - vm.vcpus;
+        if (slack < best_slack) {
+          best_slack = slack;
+          chosen = h;
+        }
+      }
+    } else {
+      for (std::size_t h = 0; h < loads.size(); ++h) {
+        if (fits(vm, loads[h], classes[classed.host_class[h]].shape,
+                 one_vm_per_service_per_host)) {
+          chosen = h;
+          break;
+        }
+      }
+    }
+    if (chosen == kNpos) {
+      for (std::size_t c = 0; c < classes.size(); ++c) {
+        if (opened[c] >= classes[c].count) {
+          continue;
+        }
+        if (vm.vcpus > classes[c].shape.usable_cores() ||
+            vm.memory_gb > classes[c].shape.usable_memory_gb() + 1e-12) {
+          continue;
+        }
+        ++opened[c];
+        loads.emplace_back();
+        classed.placement.assignments.emplace_back();
+        classed.host_class.push_back(c);
+        chosen = loads.size() - 1;
+        break;
+      }
+    }
+    if (chosen == kNpos) {
+      classed.placement.feasible = false;
+      continue;  // keep packing the rest for the partial answer
+    }
+    place(vm, loads[chosen]);
+    classed.placement.assignments[chosen].push_back(index);
+  }
+  return classed;
+}
+
 std::size_t min_hosts(const std::vector<VmRequirement>& vms,
                       const HostShape& host, PackingHeuristic heuristic,
                       bool one_vm_per_service_per_host) {

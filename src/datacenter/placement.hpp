@@ -44,6 +44,23 @@ struct Placement {
 
 enum class PackingHeuristic { kFirstFitDecreasing, kBestFit };
 
+/// One class of hosts available to the heterogeneous packer — the placement
+/// face of a dc::ServerClass. `count` bounds how many hosts of this class
+/// may be opened (use kUnlimitedHosts for an unbounded class).
+inline constexpr std::size_t kUnlimitedHosts = static_cast<std::size_t>(-1);
+struct HostClassSpec {
+  std::string name;
+  HostShape shape;
+  std::size_t count = kUnlimitedHosts;
+};
+
+/// A Placement whose hosts carry a class tag: host h was opened from
+/// classes[host_class[h]].
+struct ClassedPlacement {
+  Placement placement;
+  std::vector<std::size_t> host_class;  ///< per opened host, class index
+};
+
 /// Packs the VMs onto at most `max_hosts` hosts of the given shape.
 /// Infeasible results still return the partial packing (assignments cover
 /// the prefix of VMs that fit) with feasible = false.
@@ -54,6 +71,20 @@ Placement pack_vms(const std::vector<VmRequirement>& vms,
                    const HostShape& host, std::size_t max_hosts,
                    PackingHeuristic heuristic = PackingHeuristic::kFirstFitDecreasing,
                    bool one_vm_per_service_per_host = false);
+
+/// Packs the VMs onto a heterogeneous fleet of host classes. VMs are placed
+/// first-fit (decreasing size for kFirstFitDecreasing) over the hosts opened
+/// so far; when none fits, a new host is opened from the first class in
+/// declaration order that still has remaining count and whose shape can hold
+/// the VM — so listing the preferred (e.g. newest) class first biases the
+/// packing toward it. A VM that fits no class's shape throws InvalidArgument
+/// naming the VM; running out of hosts yields feasible = false with the
+/// partial packing, like pack_vms.
+ClassedPlacement pack_vms_classed(
+    const std::vector<VmRequirement>& vms,
+    const std::vector<HostClassSpec>& classes,
+    PackingHeuristic heuristic = PackingHeuristic::kFirstFitDecreasing,
+    bool one_vm_per_service_per_host = false);
 
 /// Minimum hosts needed for the VM set (scans upward from the volume bound).
 std::size_t min_hosts(const std::vector<VmRequirement>& vms,

@@ -16,20 +16,43 @@ struct QueuedRequest {
   double arrival_time;
 };
 
+std::size_t total_servers(const PoolConfig& config) {
+  if (config.groups.empty()) {
+    return config.servers;
+  }
+  std::size_t total = 0;
+  for (const ServerGroup& group : config.groups) {
+    total += group.servers;
+  }
+  return total;
+}
+
 class PoolSimulation {
  public:
   PoolSimulation(const PoolConfig& config, Rng& rng)
       : config_(config),
         rng_(rng),
-        dispatcher_(config.dispatch, config.servers),
+        dispatcher_(config.dispatch, total_servers(config)),
         outcome_() {
     validate();
-    servers_.reserve(config_.servers);
-    for (unsigned s = 0; s < config_.servers; ++s) {
-      servers_.emplace_back(s, config_.slots_per_server, config_.power);
+    if (config_.groups.empty()) {
+      servers_.reserve(config_.servers);
+      for (unsigned s = 0; s < config_.servers; ++s) {
+        servers_.emplace_back(s, config_.slots_per_server, config_.power);
+      }
+      rate_multiplier_.assign(config_.servers, 1.0);
+    } else {
+      servers_.reserve(total_servers(config_));
+      std::uint32_t id = 0;
+      for (const ServerGroup& group : config_.groups) {
+        for (unsigned s = 0; s < group.servers; ++s) {
+          servers_.emplace_back(id++, group.slots_per_server, group.power);
+          rate_multiplier_.push_back(group.rate_multiplier);
+        }
+      }
     }
     busy_per_service_.assign(
-        config_.servers, std::vector<unsigned>(service_count(), 0));
+        servers_.size(), std::vector<unsigned>(service_count(), 0));
     quotas_ = initial_quotas();
     window_arrivals_.assign(service_count(), 0);
     outcome_.services.resize(service_count());
@@ -64,8 +87,30 @@ class PoolSimulation {
     for (const double rate : config_.arrival_rates) {
       VMCONS_REQUIRE(rate >= 0.0, "arrival rates must be >= 0");
     }
-    VMCONS_REQUIRE(config_.servers >= 1, "pool needs at least one server");
-    VMCONS_REQUIRE(config_.slots_per_server >= 1, "need at least one slot");
+    if (config_.groups.empty()) {
+      VMCONS_REQUIRE(config_.servers >= 1, "pool needs at least one server");
+      VMCONS_REQUIRE(config_.slots_per_server >= 1,
+                     "need at least one slot");
+    } else {
+      // Per-service quotas meter slots uniformly across servers, which has
+      // no meaning when servers differ in shape — so grouped pools require
+      // the work-conserving policy.
+      VMCONS_REQUIRE(config_.allocation == AllocationPolicy::kOnDemandFlowing,
+                     "heterogeneous server groups require on-demand flowing "
+                     "allocation");
+      std::size_t grouped = 0;
+      for (const ServerGroup& group : config_.groups) {
+        VMCONS_REQUIRE(!group.name.empty(), "server group needs a name");
+        VMCONS_REQUIRE(group.slots_per_server >= 1,
+                       "group '" + group.name +
+                           "' needs at least one slot per server");
+        VMCONS_REQUIRE(group.rate_multiplier > 0.0,
+                       "group '" + group.name +
+                           "' needs a positive rate multiplier");
+        grouped += group.servers;
+      }
+      VMCONS_REQUIRE(grouped >= 1, "server groups declare no servers");
+    }
     VMCONS_REQUIRE(config_.horizon > config_.warmup && config_.warmup >= 0.0,
                    "horizon must exceed warmup");
     if (config_.allocation == AllocationPolicy::kProportionalShare) {
@@ -152,7 +197,10 @@ class PoolSimulation {
     if (config_.allocation != AllocationPolicy::kOnDemandFlowing) {
       ++busy_per_service_[server][service];
     }
-    const double duration = rng_.exponential(config_.service_rates[service]);
+    // A faster server class serves every request proportionally quicker;
+    // the homogeneous path multiplies by exactly 1.0 (a bit-level identity).
+    const double duration = rng_.exponential(config_.service_rates[service] *
+                                             rate_multiplier_[server]);
     engine_.schedule_in(duration, [this, server, service, arrival_time] {
       on_departure(server, service, arrival_time);
     });
@@ -266,9 +314,11 @@ class PoolSimulation {
     }
     outcome_.energy_joules = energy - warmup_energy_;
     outcome_.idle_energy_joules = idle_energy - warmup_idle_energy_;
-    const double slot_seconds =
-        outcome_.measured_span *
-        static_cast<double>(config_.servers * config_.slots_per_server);
+    double total_slots = 0.0;
+    for (const auto& server : servers_) {
+      total_slots += static_cast<double>(server.slots());
+    }
+    const double slot_seconds = outcome_.measured_span * total_slots;
     outcome_.mean_utilization =
         slot_seconds <= 0.0
             ? 0.0
@@ -284,6 +334,7 @@ class PoolSimulation {
   sim::Engine engine_;
   Dispatcher dispatcher_;
   std::vector<PhysicalServer> servers_;
+  std::vector<double> rate_multiplier_;  ///< per server, 1.0 when homogeneous
   std::vector<std::vector<unsigned>> busy_per_service_;
   std::vector<unsigned> quotas_;
   std::vector<std::uint64_t> window_arrivals_;

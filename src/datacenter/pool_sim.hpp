@@ -13,9 +13,13 @@
 //     the response-time experiments (Fig. 9) and the waiting-room extension;
 //   * the allocation policy decides which slots a service may use, modelling
 //     on-demand resource flowing vs static partitioning (Section III-B4).
+//   * a non-empty `groups` list replaces the homogeneous server block with
+//     class-tagged sub-pools (per-group slot counts, wattages, and service
+//     rate multipliers), the simulator-side face of dc::ServerClass.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "datacenter/dispatcher.hpp"
@@ -38,11 +42,29 @@ enum class AllocationPolicy {
   kProportionalShare,
 };
 
+/// One homogeneous sub-pool of a heterogeneous pool — the simulator-side
+/// face of a dc::ServerClass. When PoolConfig::groups is non-empty the pool
+/// is the concatenation of the groups (server ids assigned group by group,
+/// declaration order) and the scalar servers/slots_per_server/power fields
+/// are ignored.
+struct ServerGroup {
+  std::string name;
+  unsigned servers = 1;
+  unsigned slots_per_server = 1;
+  /// Service-rate multiplier vs the reference server (ServerClass::speed()):
+  /// requests served on this group's slots complete this much faster.
+  double rate_multiplier = 1.0;
+  PowerModel power;
+};
+
 struct PoolConfig {
   std::vector<double> arrival_rates;  ///< lambda per service (req/s)
   std::vector<double> service_rates;  ///< per-slot service rate per service
   unsigned servers = 1;
   unsigned slots_per_server = 1;
+  /// Class-tagged servers; non-empty requires kOnDemandFlowing (per-service
+  /// quotas assume one slot shape on every server).
+  std::vector<ServerGroup> groups;
   unsigned queue_capacity = 0;  ///< shared waiting places (0 = pure loss)
   DispatchPolicy dispatch = DispatchPolicy::kLeastLoaded;
   AllocationPolicy allocation = AllocationPolicy::kOnDemandFlowing;

@@ -1,0 +1,103 @@
+#include "datacenter/server_class.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace vmcons::dc {
+namespace {
+
+/// "class 'legacy': cpu capacity = -1" — every validation error names the
+/// class and the offending field so operators can find the line.
+std::string class_field_value(const std::string& name, const std::string& field,
+                              double value) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "class '" << name << "': " << field << " = " << value;
+  return out.str();
+}
+
+}  // namespace
+
+ResourceVector ServerClass::unit_capacity() {
+  ResourceVector capacity;
+  for (const Resource resource : all_resources()) {
+    capacity[resource] = 1.0;
+  }
+  return capacity;
+}
+
+double ServerClass::speed() const {
+  double slowest = std::numeric_limits<double>::infinity();
+  for (const Resource resource : all_resources()) {
+    slowest = std::min(slowest, capacity[resource]);
+  }
+  return slowest;
+}
+
+ServerClass ServerClass::reference(std::string name, PowerModel power,
+                                   std::uint64_t count) {
+  ServerClass server_class;
+  server_class.name = std::move(name);
+  server_class.power = power;
+  server_class.count = count;
+  return server_class;
+}
+
+void validate_server_class(const ServerClass& server_class) {
+  VMCONS_REQUIRE(!server_class.name.empty(),
+                 "server class needs a non-empty name");
+  for (const Resource resource : all_resources()) {
+    const double capacity = server_class.capacity[resource];
+    const std::string field =
+        std::string(resource_name(resource)) + " capacity";
+    VMCONS_REQUIRE(std::isfinite(capacity),
+                   class_field_value(server_class.name, field, capacity) +
+                       " must be finite");
+    VMCONS_REQUIRE(capacity > 0.0,
+                   class_field_value(server_class.name, field, capacity) +
+                       " must be > 0 (relative to the reference server)");
+  }
+  const double base = server_class.power.base_watts;
+  const double max = server_class.power.max_watts;
+  VMCONS_REQUIRE(std::isfinite(base),
+                 class_field_value(server_class.name, "base_watts", base) +
+                     " must be finite");
+  VMCONS_REQUIRE(std::isfinite(max),
+                 class_field_value(server_class.name, "max_watts", max) +
+                     " must be finite");
+  VMCONS_REQUIRE(base > 0.0,
+                 class_field_value(server_class.name, "base_watts", base) +
+                     " must be > 0");
+  VMCONS_REQUIRE(max >= base,
+                 class_field_value(server_class.name, "max_watts", max) +
+                     " must be >= base_watts (a negative dynamic range would "
+                     "reward utilization with phantom savings)");
+}
+
+Fleet& Fleet::add(ServerClass server_class) {
+  validate_server_class(server_class);
+  for (const ServerClass& existing : classes_) {
+    VMCONS_REQUIRE(existing.name != server_class.name,
+                   "fleet already has a class named '" + server_class.name +
+                       "'");
+  }
+  classes_.push_back(std::move(server_class));
+  return *this;
+}
+
+Fleet Fleet::with_counts(const std::vector<std::uint64_t>& counts) const {
+  VMCONS_REQUIRE(counts.size() == classes_.size(),
+                 "fleet mix has " + std::to_string(counts.size()) +
+                     " counts but the fleet declares " +
+                     std::to_string(classes_.size()) + " classes");
+  Fleet fleet;
+  fleet.classes_ = classes_;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    fleet.classes_[i].count = counts[i];
+  }
+  return fleet;
+}
+
+}  // namespace vmcons::dc

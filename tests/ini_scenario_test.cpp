@@ -241,6 +241,123 @@ TEST(Scenario, PowerSectionAppliesAndValidates) {
                InvalidArgument);
 }
 
+TEST(Scenario, PowerMaxBelowBaseNamesBothFields) {
+  // A busy-draw below idle draw is always a typo; the rejection must name
+  // the offending key, its value, and the field it is compared against —
+  // not just say "bad power model".
+  try {
+    core::scenario_inputs(ini_parse(
+        "[power]\nbase_watts = 300\nmax_watts = 200\n"
+        "[service]\nname = s\narrival_rate = 5\ncpu_rate = 10\n"));
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("[power]"), std::string::npos) << what;
+    EXPECT_NE(what.find("max_watts = 200"), std::string::npos) << what;
+    EXPECT_NE(what.find("base_watts"), std::string::npos) << what;
+  }
+}
+
+TEST(Scenario, ClassSectionsParseIntoAFleet) {
+  const core::ModelInputs inputs = core::scenario_inputs(ini_parse(
+      "[class.old-gen]\n"
+      "capacity = 1.0\n"
+      "count = 40\n"
+      "[class.new-gen]\n"
+      "capacity = 2.0\n"
+      "disk_capacity = 1.5\n"
+      "base_watts = 180\n"
+      "max_watts = 260\n"
+      "[service]\nname = s\narrival_rate = 5\ncpu_rate = 10\n"));
+  ASSERT_EQ(inputs.fleet.size(), 2u);
+  const dc::ServerClass& old_gen = inputs.fleet.at(0);
+  EXPECT_EQ(old_gen.name, "old-gen");
+  EXPECT_EQ(old_gen.count, 40u);  // bounded
+  EXPECT_DOUBLE_EQ(old_gen.speed(), 1.0);
+  const dc::ServerClass& new_gen = inputs.fleet.at(1);
+  EXPECT_EQ(new_gen.name, "new-gen");
+  EXPECT_EQ(new_gen.count, dc::ServerClass::kUnbounded);  // no count key
+  EXPECT_DOUBLE_EQ(new_gen.capacity[dc::Resource::kCpu], 2.0);
+  EXPECT_DOUBLE_EQ(new_gen.capacity[dc::Resource::kDiskIo], 1.5);
+  EXPECT_DOUBLE_EQ(new_gen.speed(), 1.5);  // min over resources
+  EXPECT_DOUBLE_EQ(new_gen.power.base_watts, 180.0);
+  EXPECT_DOUBLE_EQ(new_gen.power.max_watts, 260.0);
+
+  // The fleet reaches the model: the plan carries a per-class allocation.
+  const core::ModelResult result =
+      core::UtilityAnalyticModel(inputs).solve();
+  ASSERT_TRUE(result.fleet.planned);
+  ASSERT_EQ(result.fleet.classes.size(), 2u);
+}
+
+TEST(Scenario, ClassSectionFieldErrorsNameSectionKeyAndValue) {
+  const char* kService =
+      "[service]\nname = s\narrival_rate = 5\ncpu_rate = 10\n";
+  try {
+    core::scenario_inputs(ini_parse(
+        std::string("[class.slow]\ncpu_capacity = -1\n") + kService));
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("[class.slow]"), std::string::npos) << what;
+    EXPECT_NE(what.find("cpu_capacity"), std::string::npos) << what;
+    EXPECT_NE(what.find("-1"), std::string::npos) << what;
+  }
+  try {
+    core::scenario_inputs(ini_parse(
+        std::string("[class.hot]\nbase_watts = 300\nmax_watts = 250\n") +
+        kService));
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("[class.hot]"), std::string::npos) << what;
+    EXPECT_NE(what.find("max_watts"), std::string::npos) << what;
+    EXPECT_NE(what.find("base_watts"), std::string::npos) << what;
+  }
+  try {
+    core::scenario_inputs(ini_parse(
+        std::string("[class.some]\ncount = -2\n") + kService));
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("count = -2"), std::string::npos) << what;
+    EXPECT_NE(what.find("unbounded"), std::string::npos) << what;
+  }
+  // A bare "[class.]" header has no class name to report by.
+  EXPECT_THROW(core::scenario_inputs(
+                   ini_parse(std::string("[class.]\ncapacity = 1\n") +
+                             kService)),
+               InvalidArgument);
+  // Duplicate class names are rejected by Fleet::add.
+  EXPECT_THROW(core::scenario_inputs(ini_parse(
+                   std::string("[class.twin]\ncapacity = 1\n"
+                               "[class.twin]\ncapacity = 2\n") +
+                   kService)),
+               InvalidArgument);
+}
+
+TEST(Scenario, ClassSectionsRoundTripThroughIni) {
+  const core::ModelInputs original = core::scenario_inputs(ini_parse(
+      "[class.old-gen]\ncapacity = 1.0\ncount = 12\n"
+      "[class.new-gen]\ncapacity = 2.25\nbase_watts = 200\n"
+      "max_watts = 310\n"
+      "[service]\nname = s\narrival_rate = 5\ncpu_rate = 10\n"));
+  const core::ModelInputs reparsed =
+      core::scenario_inputs(ini_parse(core::scenario_to_ini(original)));
+  ASSERT_EQ(reparsed.fleet.size(), original.fleet.size());
+  for (std::size_t i = 0; i < original.fleet.size(); ++i) {
+    const dc::ServerClass& a = original.fleet.at(i);
+    const dc::ServerClass& b = reparsed.fleet.at(i);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.count, b.count);
+    EXPECT_NEAR(a.power.base_watts, b.power.base_watts, 1e-9);
+    EXPECT_NEAR(a.power.max_watts, b.power.max_watts, 1e-9);
+    for (const dc::Resource resource : dc::all_resources()) {
+      EXPECT_NEAR(a.capacity[resource], b.capacity[resource], 1e-9);
+    }
+  }
+}
+
 TEST(Scenario, SerializationRoundTrips) {
   const core::ModelInputs original =
       core::scenario_inputs(ini_parse(kCaseStudy));

@@ -101,6 +101,75 @@ TEST(Placement, OversizedVmIsRejected) {
   EXPECT_THROW(pack_vms(vms, host, 4), InvalidArgument);
 }
 
+TEST(ClassedPlacement, PrefersDeclarationOrderAndSpillsToNextClass) {
+  // Two big-host slots, then unlimited small hosts: the packer opens the
+  // preferred big hosts first and spills the remainder onto small ones.
+  HostShape big;
+  big.cpu_cores = 16;
+  big.memory_gb = 32.0;
+  HostShape small;
+  small.cpu_cores = 8;
+  small.memory_gb = 8.0;
+  std::vector<VmRequirement> vms;
+  for (unsigned i = 0; i < 10; ++i) {
+    vms.push_back({"vm-" + std::to_string(i), 4, 2.0, i});
+  }
+  const ClassedPlacement classed = pack_vms_classed(
+      vms, {{"big", big, 2}, {"small", small, kUnlimitedHosts}});
+  EXPECT_TRUE(classed.placement.feasible);
+  ASSERT_EQ(classed.host_class.size(), classed.placement.hosts_used());
+  // Big hosts (14 usable cores) take 3 VMs each; the remaining 4 VMs spill
+  // onto small hosts (6 usable cores hold one 4-vCPU VM apiece).
+  EXPECT_EQ(classed.host_class[0], 0u);
+  EXPECT_EQ(classed.host_class[1], 0u);
+  std::size_t big_hosts = 0;
+  for (const std::size_t c : classed.host_class) {
+    big_hosts += (c == 0) ? 1 : 0;
+  }
+  EXPECT_EQ(big_hosts, 2u);
+}
+
+TEST(ClassedPlacement, VmTooBigForEveryClassIsRejectedByName) {
+  HostShape tiny;
+  tiny.cpu_cores = 4;
+  tiny.memory_gb = 4.0;
+  try {
+    pack_vms_classed({{"leviathan", 12, 2.0, 0}}, {{"tiny", tiny, 4}});
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& error) {
+    EXPECT_NE(std::string(error.what()).find("leviathan"),
+              std::string::npos);
+  }
+}
+
+TEST(ClassedPlacement, RunsOutOfBoundedHostsGracefully) {
+  HostShape host;  // 6 usable cores
+  std::vector<VmRequirement> vms;
+  for (unsigned i = 0; i < 8; ++i) {
+    vms.push_back({"vm-" + std::to_string(i), 6, 1.0, i});
+  }
+  const ClassedPlacement classed =
+      pack_vms_classed(vms, {{"only", host, 3}});
+  EXPECT_FALSE(classed.placement.feasible);
+  EXPECT_EQ(classed.placement.hosts_used(), 3u);  // partial packing kept
+}
+
+TEST(ClassedPlacement, SingleUnboundedClassMatchesPackVms) {
+  HostShape host;
+  host.reserved_cores = 1;
+  const auto vms = paper_vms(4);
+  const Placement classic = pack_vms(vms, host, vms.size());
+  const ClassedPlacement classed =
+      pack_vms_classed(vms, {{"uniform", host, kUnlimitedHosts}});
+  EXPECT_TRUE(classed.placement.feasible);
+  EXPECT_EQ(classed.placement.hosts_used(), classic.hosts_used());
+  ASSERT_EQ(classed.placement.assignments.size(),
+            classic.assignments.size());
+  for (std::size_t h = 0; h < classic.assignments.size(); ++h) {
+    EXPECT_EQ(classed.placement.assignments[h], classic.assignments[h]);
+  }
+}
+
 TEST(Replan, NoChangeMeansNoMigrations) {
   HostShape host;
   host.reserved_cores = 1;

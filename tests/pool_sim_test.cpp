@@ -215,6 +215,86 @@ TEST(PoolSim, ValidatesConfig) {
   EXPECT_THROW(simulate_pool(config, rng), InvalidArgument);
 }
 
+TEST(PoolSim, ServerGroupsMatchEquivalentHomogeneousPool) {
+  // One group with multiplier 1.0 is exactly the homogeneous pool: same
+  // server count, same slot shape, same RNG draws, bit-identical outcome.
+  PoolConfig flat = base_config();
+  PoolConfig grouped = base_config();
+  ServerGroup group;
+  group.name = "only";
+  group.servers = flat.servers;
+  group.slots_per_server = flat.slots_per_server;
+  group.power = flat.power;
+  grouped.groups = {group};
+
+  Rng a(81);
+  Rng b(81);
+  const PoolOutcome one = simulate_pool(flat, a);
+  const PoolOutcome two = simulate_pool(grouped, b);
+  EXPECT_EQ(one.services[0].arrivals, two.services[0].arrivals);
+  EXPECT_EQ(one.services[0].lost, two.services[0].lost);
+  EXPECT_EQ(one.services[0].completed, two.services[0].completed);
+  EXPECT_DOUBLE_EQ(one.mean_utilization, two.mean_utilization);
+  EXPECT_DOUBLE_EQ(one.energy_joules, two.energy_joules);
+}
+
+TEST(PoolSim, FasterGroupLosesLessThanSlowerGroupAlone) {
+  // Doubling the service rate on half the fleet must not hurt: the mixed
+  // fleet loses no more than the all-slow fleet at the same offered load.
+  PoolConfig slow = base_config();
+  slow.arrival_rates = {6.0};
+  slow.service_rates = {1.0};
+  ServerGroup old_gen;
+  old_gen.name = "old-gen";
+  old_gen.servers = 4;
+  slow.groups = {old_gen};
+
+  PoolConfig mixed = slow;
+  ServerGroup new_gen;
+  new_gen.name = "new-gen";
+  new_gen.servers = 2;
+  new_gen.rate_multiplier = 2.0;
+  mixed.groups = {old_gen, new_gen};
+  mixed.groups[0].servers = 2;
+
+  Rng a(82);
+  Rng b(82);
+  const double slow_loss = simulate_pool(slow, a).overall_loss();
+  const double mixed_loss = simulate_pool(mixed, b).overall_loss();
+  EXPECT_LT(mixed_loss, slow_loss + 0.02);
+}
+
+TEST(PoolSim, ValidatesServerGroups) {
+  Rng rng(83);
+  PoolConfig config = base_config();
+  ServerGroup group;
+  group.name = "g";
+  group.servers = 2;
+
+  // Groups require the work-conserving policy: per-service quotas have no
+  // meaning across heterogeneous slot shapes.
+  config.groups = {group};
+  config.allocation = AllocationPolicy::kStaticPartition;
+  EXPECT_THROW(simulate_pool(config, rng), InvalidArgument);
+
+  config = base_config();
+  group.name = "";
+  config.groups = {group};
+  EXPECT_THROW(simulate_pool(config, rng), InvalidArgument);
+
+  config = base_config();
+  group.name = "g";
+  group.rate_multiplier = 0.0;
+  config.groups = {group};
+  EXPECT_THROW(simulate_pool(config, rng), InvalidArgument);
+
+  config = base_config();
+  group.rate_multiplier = 1.0;
+  group.servers = 0;
+  config.groups = {group};
+  EXPECT_THROW(simulate_pool(config, rng), InvalidArgument);
+}
+
 TEST(PoolSim, DeterministicForSameStream) {
   PoolConfig config = base_config();
   Rng a(71);

@@ -46,6 +46,17 @@ TEST(SweepGrid, SizeIsProductOfNonEmptyAxes) {
   EXPECT_EQ(grid.size(), 6u);
   grid.vms_per_server({2, 4});
   EXPECT_EQ(grid.size(), 12u);
+  grid.fleet_mixes({{4, 0}, {0, 4}});
+  EXPECT_EQ(grid.size(), 24u);
+}
+
+TEST(SweepGrid, FleetMixesValidateShape) {
+  SweepGrid grid;
+  EXPECT_THROW(grid.fleet_mixes({{}}), InvalidArgument);  // empty mix
+  EXPECT_THROW(grid.fleet_mixes({{1, 2}, {3}}), InvalidArgument);  // ragged
+  grid.fleet_mixes({{1, 2}, {3, 4}});
+  EXPECT_EQ(grid.size(), 2u);
+  EXPECT_EQ(grid.point(1).fleet_mix->at(1), 4u);
 }
 
 TEST(SweepGrid, PointDecomposesIndexLossFastest) {
@@ -82,13 +93,15 @@ TEST(SweepGrid, ValidatesAxisValues) {
 }
 
 TEST(SweepGrid, SizeOverflowFailsLoudlyWithAxisContext) {
-  // 2^22 x 2^21 x 2^21 = 2^64 wraps std::size_t to 0; a silent wrap would
+  // 2^21 x 2^21 x 2^21 x 2 = 2^64 wraps std::size_t to 0; a silent wrap would
   // make a grid request iterate the wrong cell count. The axis vectors are
   // large but the values are valid, so only the product is at fault.
   SweepGrid grid;
-  grid.target_losses(std::vector<double>(std::size_t{1} << 22, 0.01))
+  grid.target_losses(std::vector<double>(std::size_t{1} << 21, 0.01))
       .vms_per_server(std::vector<unsigned>(std::size_t{1} << 21, 2))
-      .workload_scales(std::vector<double>(std::size_t{1} << 21, 1.0));
+      .workload_scales(std::vector<double>(std::size_t{1} << 21, 1.0))
+      .fleet_mixes(
+          std::vector<std::vector<std::uint64_t>>(std::size_t{1} << 1, {1}));
   try {
     grid.size();
     FAIL() << "expected NumericError";
@@ -96,9 +109,10 @@ TEST(SweepGrid, SizeOverflowFailsLoudlyWithAxisContext) {
     EXPECT_EQ(error.code(), ErrorCode::kNumericError);
     const std::string what = error.what();
     EXPECT_NE(what.find("overflows"), std::string::npos);
-    EXPECT_NE(what.find("4194304 target losses"), std::string::npos);
+    EXPECT_NE(what.find("2097152 target losses"), std::string::npos);
     EXPECT_NE(what.find("2097152 VMs-per-server"), std::string::npos);
     EXPECT_NE(what.find("2097152 workload scales"), std::string::npos);
+    EXPECT_NE(what.find("2 fleet mixes"), std::string::npos);
   }
   // point() and points() route through size(), so they fail the same way.
   EXPECT_THROW(grid.point(0), NumericError);
