@@ -1,0 +1,357 @@
+// Microbenchmark: multi-process sharded sweep driver vs 1-process streaming.
+//
+// Builds a scenario store, runs a 1-process StreamingSweep as the reference
+// (serial inside, like a production worker), then for each worker count
+// forks that many worker processes over a fresh claim ledger, waits, and
+// merges — verifying on every configuration that the merged per-shard
+// result digests are bit-identical to the reference before any number is
+// recorded. Writes BENCH_shard.json.
+//
+// Process parallelism is the whole point, so rows where the worker count
+// exceeds the machine's cores are recorded but marked "unreliable": true
+// (oversubscribed processes time-slice one core and measure the scheduler,
+// not the driver). The --min-2worker-speedup gate is likewise skipped, with
+// a notice, on machines with fewer than 2 cores.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "bench_common.hpp"
+#include "core/planner.hpp"
+#include "core/report.hpp"
+#include "core/scenario_store.hpp"
+#include "core/sharded_sweep.hpp"
+#include "core/streaming_sweep.hpp"
+#include "core/sweep.hpp"
+#include "util/ascii_table.hpp"
+
+namespace {
+
+using namespace vmcons;
+using Clock = std::chrono::steady_clock;
+
+double run_millis(const std::function<void()>& fn) {
+  const auto start = Clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+double best_of(int reps, const std::function<void()>& fn) {
+  double best = run_millis(fn);
+  for (int r = 1; r < reps; ++r) {
+    best = std::min(best, run_millis(fn));
+  }
+  return best;
+}
+
+/// First number following `"key": ` in a JSON blob (the flat files this
+/// tool writes itself).
+bool find_json_number(const std::string& text, const std::string& key,
+                      double& out, std::size_t from = 0) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t pos = text.find(needle, from);
+  if (pos == std::string::npos) {
+    return false;
+  }
+  out = std::strtod(text.c_str() + pos + needle.size(), nullptr);
+  return true;
+}
+
+core::ConsolidationPlanner bench_planner() {
+  core::ConsolidationPlanner planner;
+  planner.set_target_loss(0.01);
+  dc::ServiceSpec web = dc::paper_web_service();
+  dc::ServiceSpec db = dc::paper_db_service();
+  web.arrival_rate = 120.0;
+  db.arrival_rate = 60.0;
+  planner.add_service(web);
+  planner.add_service(db);
+  return planner;
+}
+
+/// Forks `workers` children, each claiming shards of `store_path` through
+/// `ledger`, and waits for every one. The parent is single-threaded (every
+/// evaluation in this bench runs with parallel=false), so forking is safe.
+/// Returns false if any child exited non-zero.
+bool fork_fleet(std::size_t workers, const std::string& store_path,
+                const std::string& ledger) {
+  std::vector<::pid_t> children;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const ::pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("fork");
+      return false;
+    }
+    if (pid == 0) {
+      try {
+        core::ShardedSweepOptions options;
+        options.batch.parallel = false;
+        options.batch.policy = core::FailurePolicy::kQuarantine;
+        options.ledger_dir = ledger;
+        options.worker_id = "w" + std::to_string(w);
+        options.lease = std::chrono::seconds(60);
+        options.poll = std::chrono::milliseconds(2);
+        const core::ScenarioStore store(store_path);
+        const core::ShardedSweepDriver driver(std::move(options));
+        driver.run_worker(store);
+        driver.write_worker_metrics();
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "worker: %s\n", error.what());
+        ::_exit(1);
+      }
+      ::_exit(0);
+    }
+    children.push_back(pid);
+  }
+  bool ok = true;
+  for (const ::pid_t pid : children) {
+    int status = 0;
+    if (::waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+int run(int argc, const char** argv) {
+  Flags flags(argc, argv);
+  const auto losses_n = static_cast<std::size_t>(flags.get_int("losses", 10));
+  const auto scales_n = static_cast<std::size_t>(flags.get_int("scales", 10));
+  const auto shard_size =
+      static_cast<std::size_t>(flags.get_int("shard", 8));
+  const int reps = static_cast<int>(std::max(1ll, flags.get_int("reps", 3)));
+  // Require the 2-worker fleet to reach this multiple of the 1-process
+  // streaming throughput; 0 disables. Only enforced on >= 2 cores — a
+  // 1-core box cannot demonstrate process scaling.
+  const double min_2worker = flags.get_double("min-2worker-speedup", 0.0);
+  // Regression gate against a previously recorded BENCH_shard.json:
+  // streaming_1proc plans/sec must hold >= this multiple of the recording.
+  // Skipped with a notice for a different machine or grid.
+  const std::string baseline_path =
+      flags.get_string("baseline-json", "");
+  const double min_baseline = flags.get_double("min-baseline-speedup", 0.0);
+  const std::string json_path = flags.get_string("json", "BENCH_shard.json");
+  const std::string store_path =
+      flags.get_string("store", "build/bench/micro_shard.store");
+  const std::string git_rev = flags.get_string("git-rev", "unknown");
+  bench::finish_flags(flags);
+
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  const auto unreliable = [&](std::size_t workers) {
+    return workers > hardware;
+  };
+
+  bench::banner("micro_shard_driver: multi-process sharded sweep",
+                "scale-out driver over the Section V what-if grids");
+
+  core::SweepGrid grid;
+  std::vector<double> losses(losses_n), scales(scales_n);
+  for (std::size_t i = 0; i < losses_n; ++i) {
+    losses[i] = 0.002 + 0.001 * static_cast<double>(i);
+  }
+  for (std::size_t i = 0; i < scales_n; ++i) {
+    scales[i] = 0.8 + 0.05 * static_cast<double>(i);
+  }
+  grid.target_losses(losses).vms_per_server({2, 3}).workload_scales(scales);
+
+  const core::ConsolidationPlanner planner = bench_planner();
+  const auto summary =
+      core::write_sweep_store(planner, grid, store_path, shard_size);
+  const core::ScenarioStore store(store_path);
+  const double scenarios = static_cast<double>(store.scenario_count());
+  std::cout << summary.scenarios << " scenarios in " << summary.shards
+            << " shards of " << shard_size << ", store "
+            << store_path << "\n";
+  std::cout << "detected cores: " << hardware << "\n\n";
+
+  // Reference: 1-process streaming sweep, serial evaluation (a production
+  // worker's shape), no checkpoint. Also the bit-identity oracle below.
+  core::StreamingSweepOptions streaming_options;
+  streaming_options.batch.parallel = false;
+  streaming_options.batch.policy = core::FailurePolicy::kQuarantine;
+  const core::StreamingSweep streaming(streaming_options);
+  core::StreamingSweepReport reference;
+  const double streaming_ms =
+      best_of(reps, [&] { reference = streaming.run(store); });
+  if (!reference.complete()) {
+    std::cerr << "FAIL: reference streaming sweep did not complete\n";
+    return 1;
+  }
+
+  struct Row {
+    std::size_t workers = 0;
+    double worker_ms = 0.0;
+    double merge_ms = 0.0;
+  };
+  std::vector<Row> rows;
+  const std::string ledger_base = store_path + ".ledger";
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+    Row row;
+    row.workers = workers;
+    double merge_ms_best = 0.0;
+    row.worker_ms = best_of(reps, [&] {
+      std::error_code ec;
+      std::filesystem::remove_all(ledger_base, ec);
+      if (!fork_fleet(workers, store_path, ledger_base)) {
+        throw IoError("a worker process failed");
+      }
+    });
+    // The fleet of the *last* rep left its ledger behind; merge and verify
+    // bit-identity against the streaming reference before recording.
+    core::ShardedSweepOptions merge_options;
+    merge_options.batch.parallel = false;
+    merge_options.ledger_dir = ledger_base;
+    merge_options.worker_id = "merger";
+    const core::ShardedSweepDriver merger(merge_options);
+    core::MergedSweep merged;
+    merge_ms_best = run_millis([&] { merged = merger.merge(store); });
+    if (merged.report.shard_checksums != reference.shard_checksums ||
+        merged.report.scenarios_evaluated != reference.scenarios_evaluated) {
+      std::cerr << "FAIL: " << workers << "-worker merge is not "
+                << "bit-identical to the 1-process streaming sweep\n";
+      return 1;
+    }
+    row.merge_ms = merge_ms_best;
+    rows.push_back(row);
+    std::error_code ec;
+    std::filesystem::remove_all(ledger_base, ec);
+  }
+
+  AsciiTable table;
+  table.set_header({"configuration", "ms", "plans/sec", "speedup", "note"});
+  table.add_row({"streaming_1proc", AsciiTable::format(streaming_ms, 1),
+                 AsciiTable::format(scenarios / streaming_ms * 1000.0, 0),
+                 "1.00", ""});
+  for (const Row& row : rows) {
+    table.add_row(
+        {"workers_" + std::to_string(row.workers),
+         AsciiTable::format(row.worker_ms, 1),
+         AsciiTable::format(scenarios / row.worker_ms * 1000.0, 0),
+         AsciiTable::format(streaming_ms / row.worker_ms, 2),
+         unreliable(row.workers) ? "unreliable (workers > cores)" : ""});
+  }
+  table.print(std::cout, "sharded sweep driver (merge excluded)");
+  std::cout << "\nmerge of " << reference.shards_total << " shards: "
+            << AsciiTable::format(rows.back().merge_ms, 1) << " ms\n\n";
+  core::print_metrics(std::cout);
+
+  // Snapshot the recorded baseline BEFORE overwriting json_path — bench.sh
+  // points both flags at the same file (gate against the previous
+  // recording, then replace it).
+  std::string baseline;
+  if (!baseline_path.empty()) {
+    std::ifstream baseline_in(baseline_path);
+    std::stringstream buffer;
+    buffer << baseline_in.rdbuf();
+    baseline = buffer.str();
+  }
+
+  std::ostringstream json;
+  json.precision(6);
+  json << std::fixed << "{\n";
+  json << "  \"header\": {\"git_rev\": \"" << git_rev
+       << "\", \"detected_cores\": " << hardware << ", \"reps\": " << reps
+       << ", \"losses\": " << losses_n << ", \"scales\": " << scales_n
+       << ", \"shard\": " << shard_size
+       << ", \"scenarios\": " << store.scenario_count()
+       << ", \"shards\": " << store.shard_count() << "},\n";
+  json << "  \"streaming_1proc\": {\"plans_per_sec\": "
+       << scenarios / streaming_ms * 1000.0
+       << ", \"ms_total\": " << streaming_ms
+       << ", \"workers\": 1, \"unreliable\": false},\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    json << "  \"workers_" << row.workers << "\": {\"plans_per_sec\": "
+         << scenarios / row.worker_ms * 1000.0
+         << ", \"ms_total\": " << row.worker_ms
+         << ", \"merge_ms\": " << row.merge_ms
+         << ", \"speedup_vs_1proc\": " << streaming_ms / row.worker_ms
+         << ", \"workers\": " << row.workers << ", \"unreliable\": "
+         << (unreliable(row.workers) ? "true" : "false") << "}"
+         << (i + 1 == rows.size() ? "\n" : ",\n");
+  }
+  json << "}\n";
+  std::ofstream out(json_path);
+  out << json.str();
+  out.close();
+  std::cout << "\nwrote " << json_path << "\n";
+
+  bool passed = true;
+  if (min_2worker > 0.0) {
+    if (hardware < 2) {
+      std::cout << "2-worker speedup check SKIPPED: this machine has "
+                << hardware << " core(s); process scaling cannot show\n";
+    } else {
+      const double speedup = streaming_ms / rows[1].worker_ms;
+      std::cout << "2-worker speedup over 1-process streaming: "
+                << AsciiTable::format(speedup, 2) << "x (target >= "
+                << AsciiTable::format(min_2worker, 2) << "x)\n";
+      passed = passed && speedup >= min_2worker;
+    }
+  }
+
+  if (!baseline_path.empty() && min_baseline > 0.0) {
+    double base_pps = 0.0, base_cores = 0.0;
+    double base_losses = 0.0, base_scales = 0.0, base_shard = 0.0;
+    const std::size_t row = baseline.find("\"streaming_1proc\"");
+    const bool have_row =
+        row != std::string::npos &&
+        find_json_number(baseline, "plans_per_sec", base_pps, row);
+    if (!have_row) {
+      std::cout << "baseline check SKIPPED: no streaming_1proc row in "
+                << baseline_path << "\n";
+    } else if (!find_json_number(baseline, "detected_cores", base_cores) ||
+               static_cast<unsigned>(base_cores) != hardware) {
+      std::cout << "baseline check SKIPPED: " << baseline_path
+                << " was recorded on a different machine ("
+                << static_cast<long long>(base_cores) << " cores vs "
+                << hardware << " here)\n";
+    } else if (!find_json_number(baseline, "losses", base_losses) ||
+               static_cast<std::size_t>(base_losses) != losses_n ||
+               !find_json_number(baseline, "scales", base_scales) ||
+               static_cast<std::size_t>(base_scales) != scales_n ||
+               !find_json_number(baseline, "shard", base_shard) ||
+               static_cast<std::size_t>(base_shard) != shard_size) {
+      std::cout << "baseline check SKIPPED: " << baseline_path
+                << " was recorded on a different grid\n";
+    } else {
+      const double current_pps = scenarios / streaming_ms * 1000.0;
+      const double ratio = current_pps / base_pps;
+      std::cout << "streaming_1proc vs recorded baseline: "
+                << AsciiTable::format(current_pps, 0) << " / "
+                << AsciiTable::format(base_pps, 0) << " plans/s = "
+                << AsciiTable::format(ratio, 2) << "x (target >= "
+                << AsciiTable::format(min_baseline, 2) << "x)\n";
+      passed = passed && ratio >= min_baseline;
+    }
+  }
+
+  std::remove(store_path.c_str());
+  std::cout << (passed ? "\nPASS\n" : "\nFAIL\n");
+  return passed ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& error) {
+    std::cerr << "micro_shard_driver: " << error.what() << "\n";
+    return 1;
+  }
+}

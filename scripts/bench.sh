@@ -39,6 +39,19 @@ echo "== bench: micro_batch (columnar ScenarioBatch evaluator) =="
   --git-rev "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
 echo
+echo "== bench: micro_shard_driver (multi-process sharded sweep) =="
+# Same gate-then-overwrite pattern as micro_batch: the 1-process streaming
+# throughput must hold >= 0.9x of the recorded BENCH_shard.json before the
+# file is regenerated. The 2-worker fleet must reach 1.6x of 1-process on
+# machines with >= 2 cores (skipped with a notice elsewhere; rows with more
+# workers than cores are recorded but marked unreliable).
+./build/bench/micro_shard_driver --json BENCH_shard.json \
+  --baseline-json BENCH_shard.json --min-baseline-speedup 0.9 \
+  --min-2worker-speedup 1.6 \
+  --store build/bench/micro_shard.store \
+  --git-rev "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+
+echo
 echo "== bench: micro_streaming (out-of-core sweep, 10^6 scenarios) =="
 ./build/bench/micro_streaming --scenarios 1000000 --shard 8192 \
   --json BENCH_streaming.json \
@@ -46,4 +59,4 @@ echo "== bench: micro_streaming (out-of-core sweep, 10^6 scenarios) =="
   --git-rev "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
 echo
-echo "bench PASSED (BENCH_engine.json, BENCH_batch.json, BENCH_streaming.json updated)"
+echo "bench PASSED (BENCH_engine.json, BENCH_batch.json, BENCH_shard.json, BENCH_streaming.json updated)"

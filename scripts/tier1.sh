@@ -23,7 +23,7 @@ echo "== tier-1: fault-injection suite under a pinned seed =="
 # an injected shard fault resumes from its checkpoint manifest bit-identical
 # to a clean run.
 VMCONS_FAULT_SEED=20090806 ./build/tests/vmcons_tests \
-  --gtest_filter='RunControl*:FaultInject*:StreamingSweep*'
+  --gtest_filter='RunControl*:FaultInject*:StreamingSweep*:ShardedSweep*:ClaimLedger*:ManifestLock*'
 
 echo
 echo "== tier-1: bench smoke (correctness only, ~1s each) =="
@@ -53,6 +53,22 @@ echo "== tier-1: bench smoke (correctness only, ~1s each) =="
 # resuming checksum-identical, and a loose resident-memory ceiling.
 ./build/bench/micro_streaming --scenarios 4000 --shard 512 \
   --max-rss-mb 64 --json /dev/null --store build/bench/tier1_streaming.store
+# Multi-process sharded driver smoke: every worker-count row must merge
+# bit-identical to the 1-process streaming reference (checked inside the
+# bench), gated against the recorded BENCH_shard.json streaming_1proc
+# throughput (skipped with a notice on a different machine or grid).
+./build/bench/micro_shard_driver --losses 4 --scales 4 --shard 4 --reps 1 \
+  --json /dev/null --store build/bench/tier1_shard.store \
+  --baseline-json BENCH_shard.json --min-baseline-speedup 0
+
+echo
+echo "== tier-1: multi-process kill-and-reclaim drill =="
+# Two worker processes over a small store; one is killed mid-shard (_exit
+# after its claim lands, the kill -9 window), a relaunched worker reclaims
+# the dead pid's lease, and the merged result must be bit-identical to a
+# 1-process StreamingSweep. Exercises the whole claim-ledger protocol with
+# real processes, not threads.
+./build/tools/vmcons_sweep_worker --mode selftest --workers 2 --kill-one
 
 echo
 echo "== tier-1: auto-vectorization check on the column kernels =="

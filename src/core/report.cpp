@@ -151,6 +151,10 @@ void print_metrics(std::ostream& out) {
   table.print(out, "metrics");
 }
 
+void print_metrics_json(std::ostream& out) {
+  metrics::to_json(out, metrics::registry().snapshot());
+}
+
 std::string headline(const ModelResult& result) {
   std::ostringstream out;
   out << "M=" << result.dedicated_servers << " -> N="

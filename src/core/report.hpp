@@ -33,4 +33,9 @@ std::string headline(const ModelResult& result);
 /// Benches call this after their measured phase.
 void print_metrics(std::ostream& out);
 
+/// The same snapshot as machine-readable JSON (metrics::to_json): the
+/// `--json` face of print_metrics. Sharded-sweep worker processes write
+/// this to the claim ledger so the merger can sum counters across workers.
+void print_metrics_json(std::ostream& out);
+
 }  // namespace vmcons::core

@@ -1,8 +1,12 @@
 #include "core/scenario_store.hpp"
 
+#include <cerrno>
 #include <cstring>
 #include <sstream>
 #include <utility>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "util/error.hpp"
 #include "util/metrics.hpp"
@@ -468,6 +472,21 @@ ScenarioStore::ScenarioStore(std::string path) : path_(std::move(path)) {
             << " scenarios but the trailer recorded " << scenario_count_;
     fail(path_, message.str());
   }
+
+  // Positional-read descriptor for read_shard: one fd, no shared offset, so
+  // concurrent readers (threads here, worker processes via their own
+  // ScenarioStore instances) never interleave seeks.
+  fd_ = ::open(path_.c_str(), O_RDONLY);
+  if (fd_ < 0) {
+    fail(path_, std::string("cannot open for positional reads: ") +
+                    std::strerror(errno));
+  }
+}
+
+ScenarioStore::~ScenarioStore() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
 }
 
 const ShardInfo& ScenarioStore::shard(std::size_t index) const {
@@ -479,21 +498,38 @@ const ShardInfo& ScenarioStore::shard(std::size_t index) const {
 
 ScenarioBatch ScenarioStore::read_shard(std::size_t index) const {
   const ShardInfo& info = shard(index);
-  std::ifstream in(path_, std::ios::binary);
-  if (!in) {
-    fail(path_, "cannot open for reading");
-  }
   std::vector<char> payload(static_cast<std::size_t>(info.bytes));
-  in.seekg(static_cast<std::streamoff>(info.offset));
-  in.read(payload.data(), static_cast<std::streamsize>(payload.size()));
-  if (!in) {
-    std::ostringstream message;
-    message << "shard " << index << " read failed (file shrank since open?)";
-    fail(path_, message.str());
+  // pread: the offset travels with each call, never with the fd, so any
+  // number of concurrent read_shard calls share fd_ safely.
+  std::size_t done = 0;
+  while (done < payload.size()) {
+    const ::ssize_t n =
+        ::pread(fd_, payload.data() + done, payload.size() - done,
+                static_cast<::off_t>(info.offset + done));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      std::ostringstream message;
+      message << "shard " << index << " pread failed at offset "
+              << (info.offset + done) << ": " << std::strerror(errno);
+      fail(path_, message.str());
+    }
+    if (n == 0) {
+      std::ostringstream message;
+      message << "shard " << index << " read hit end-of-file at offset "
+              << (info.offset + done) << " (file shrank since open?)";
+      fail(path_, message.str());
+    }
+    done += static_cast<std::size_t>(n);
   }
-  if (fnv1a64(payload.data(), payload.size()) != info.checksum) {
+  const std::uint64_t actual = fnv1a64(payload.data(), payload.size());
+  if (actual != info.checksum) {
     std::ostringstream message;
-    message << "shard " << index << " checksum mismatch (corrupted payload)";
+    message << "shard " << index << " checksum mismatch (footer "
+            << std::hex << info.checksum << ", payload " << actual << std::dec
+            << " over " << info.bytes << " bytes at offset " << info.offset
+            << "): corrupted payload";
     fail(path_, message.str());
   }
   metrics::registry().counter(metrics::names::kStoreShardsRead).add();

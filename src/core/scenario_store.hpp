@@ -87,12 +87,23 @@ class ScenarioStoreWriter {
 
 /// Read face: opens a finished store, validates trailer + footer, and
 /// materializes single shards as ScenarioBatches on demand.
+///
+/// Shard reads are *positional* (pread on one file descriptor held for the
+/// store's lifetime): there is no shared file offset to race on, so any
+/// number of threads in one process — and any number of processes opening
+/// the same store — can call read_shard concurrently. Every read failure
+/// and checksum mismatch names the store path and the shard index, so a
+/// worker's error report identifies the exact corrupt region.
 class ScenarioStore {
  public:
   /// Opens and validates the file's trailer and footer (magic, version,
   /// checksum, offset sanity). Throws IoError naming the defect on any
   /// truncation or corruption; a store that opens is safe to iterate.
   explicit ScenarioStore(std::string path);
+  ~ScenarioStore();
+
+  ScenarioStore(const ScenarioStore&) = delete;
+  ScenarioStore& operator=(const ScenarioStore&) = delete;
 
   std::size_t shard_count() const noexcept { return shards_.size(); }
   std::uint64_t scenario_count() const noexcept { return scenario_count_; }
@@ -103,9 +114,10 @@ class ScenarioStore {
   /// checkpoint manifest can refuse to resume against a different store.
   std::uint64_t checksum() const noexcept { return checksum_; }
 
-  /// Reads, checksum-verifies, and deserializes one shard. Throws IoError
-  /// (with the shard index) if the payload fails its footer checksum or is
-  /// structurally truncated.
+  /// Reads, checksum-verifies, and deserializes one shard via a positional
+  /// read (safe to call concurrently from any number of threads). Throws
+  /// IoError naming the store path and shard index if the payload fails its
+  /// footer checksum or is structurally truncated.
   ScenarioBatch read_shard(std::size_t index) const;
 
   /// On-disk format version the file was written with (new stores write
@@ -118,6 +130,9 @@ class ScenarioStore {
   std::uint64_t scenario_count_ = 0;
   std::uint64_t checksum_ = 0;
   std::uint32_t version_ = 0;
+  /// Read-only descriptor shared by every read_shard call; positional reads
+  /// (pread) keep concurrent readers from racing on a file offset.
+  int fd_ = -1;
 };
 
 }  // namespace vmcons::core

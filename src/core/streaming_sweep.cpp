@@ -5,6 +5,7 @@
 #include <fstream>
 #include <iomanip>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <utility>
 
@@ -12,6 +13,7 @@
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/fault_inject.hpp"
+#include "util/file_lock.hpp"
 #include "util/metrics.hpp"
 
 namespace vmcons::core {
@@ -284,6 +286,19 @@ StreamingSweepReport StreamingSweep::run(const ScenarioStore& store,
   report.shard_checksums.assign(report.shards_total, 0);
 
   const bool checkpointing = !options_.checkpoint_path.empty();
+
+  // The manifest assumes a single writer: two sweeps appending to the same
+  // checkpoint would interleave rows and corrupt both runs' resume state.
+  // An exclusive pid lock makes the second sweep fail fast and loudly; a
+  // lock left by a crashed sweep (dead pid) is detected as stale and taken
+  // over, so a kill-and-resume cycle never wedges on its own leftovers.
+  std::optional<util::PidLockFile> manifest_lock;
+  if (checkpointing) {
+    manifest_lock.emplace(options_.checkpoint_path + ".lock",
+                          "checkpoint manifest '" + options_.checkpoint_path +
+                              "'");
+  }
+
   Manifest manifest;
   if (checkpointing && options_.resume) {
     manifest = load_manifest(options_.checkpoint_path, store);

@@ -28,6 +28,14 @@
 // but garbled line is corruption, not a crash artifact, and throws IoError.
 // A manifest whose store checksum disagrees with the store refuses to
 // resume (it checkpoints some other sweep).
+//
+// The manifest has exactly one writer: a checkpointing run() holds an
+// exclusive pid lock (`<checkpoint_path>.lock`) for its duration, so a
+// second sweep pointed at the same checkpoint fails fast with IoError
+// instead of interleaving rows. A lock whose pid is dead (the crashed-sweep
+// case) is detected as stale and taken over. Multi-process sharded sweeps
+// should not share a manifest at all — see core/sharded_sweep.hpp, whose
+// claim ledger is built for concurrent writers.
 #pragma once
 
 #include <cstddef>

@@ -9,12 +9,14 @@
 namespace vmcons::util {
 namespace {
 
-constexpr std::array<std::string_view, 5> kKnownSites = {
+constexpr std::array<std::string_view, 7> kKnownSites = {
     fault_sites::kErlangEval,
     fault_sites::kStaffingInverse,
     fault_sites::kBatchShard,
     fault_sites::kBatchCell,
     fault_sites::kSweepShard,
+    fault_sites::kDriverClaim,
+    fault_sites::kDriverShard,
 };
 
 /// FNV-1a over the site name; stable across runs and platforms.

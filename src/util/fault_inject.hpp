@@ -54,6 +54,16 @@ inline constexpr std::string_view kBatchCell = "batch.cell";
 /// injected error propagates out of StreamingSweep::run() like a process
 /// kill — the site for checkpoint/resume (kill-and-resume) tests.
 inline constexpr std::string_view kSweepShard = "sweep.shard";
+/// Once per ShardedSweepDriver claim attempt, before the ledger is touched;
+/// index is the shard number. An injected error escapes run_worker() like a
+/// worker crash between shards (its committed results survive, no claim is
+/// left behind).
+inline constexpr std::string_view kDriverClaim = "driver.claim";
+/// Once per successfully claimed shard, after the claim is durable but
+/// before the shard is evaluated or committed; index is the shard number.
+/// An injected error kills the worker *holding a lease* — the site for
+/// lease-expiry / peer-reclaim tests.
+inline constexpr std::string_view kDriverShard = "driver.shard";
 }  // namespace fault_sites
 
 /// Index helper for value-derived sites: mixes the bit patterns of up to

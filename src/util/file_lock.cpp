@@ -1,0 +1,162 @@
+#include "util/file_lock.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include "util/error.hpp"
+
+namespace vmcons::util {
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw IoError("lock file '" + path + "': " + what);
+}
+
+std::string errno_text() {
+  return std::string(std::strerror(errno));
+}
+
+}  // namespace
+
+bool pid_alive(::pid_t pid) noexcept {
+  if (pid <= 0) {
+    return false;
+  }
+  if (::kill(pid, 0) == 0) {
+    return true;
+  }
+  // EPERM: the process exists but belongs to someone we cannot signal.
+  return errno == EPERM;
+}
+
+bool create_exclusive(const std::string& path, const std::string& contents) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (fd < 0) {
+    if (errno == EEXIST) {
+      return false;
+    }
+    fail(path, "exclusive create failed: " + errno_text());
+  }
+  std::size_t written = 0;
+  while (written < contents.size()) {
+    const ::ssize_t n = ::write(fd, contents.data() + written,
+                                contents.size() - written);
+    if (n < 0) {
+      const std::string reason = errno_text();
+      ::close(fd);
+      ::unlink(path.c_str());
+      fail(path, "write after exclusive create failed: " + reason);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  return true;
+}
+
+void write_file_atomic(const std::string& path, const std::string& contents,
+                       const std::string& tag) {
+  const std::string tmp = path + ".tmp." + tag;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << contents;
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      fail(path, "cannot write temporary '" + tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string reason = errno_text();
+    std::remove(tmp.c_str());
+    fail(path, "rename commit failed: " + reason);
+  }
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (errno == ENOENT) {
+      return std::nullopt;
+    }
+    // Distinguish "not there" from "there but unreadable" where errno lets
+    // us; an unreadable existing file is a real error.
+    if (::access(path.c_str(), F_OK) != 0) {
+      return std::nullopt;
+    }
+    fail(path, "cannot open for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+namespace {
+
+std::string pid_record(::pid_t pid) {
+  return std::to_string(static_cast<long long>(pid)) + "\n";
+}
+
+/// Pid recorded in a lock file; nullopt for a missing, empty, or garbled
+/// record (a holder that crashed between create and write looks garbled —
+/// and is, by definition, dead).
+std::optional<::pid_t> read_lock_pid(const std::string& path) {
+  const auto contents = read_file(path);
+  if (!contents.has_value()) {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long pid = std::strtoll(contents->c_str(), &end, 10);
+  if (end == contents->c_str() || pid <= 0) {
+    return std::nullopt;
+  }
+  return static_cast<::pid_t>(pid);
+}
+
+}  // namespace
+
+PidLockFile::PidLockFile(std::string path, std::string what)
+    : path_(std::move(path)) {
+  const ::pid_t self = ::getpid();
+  const std::string record = pid_record(self);
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    if (create_exclusive(path_, record)) {
+      return;  // clean acquisition
+    }
+    const std::optional<::pid_t> holder = read_lock_pid(path_);
+    if (holder.has_value() && pid_alive(*holder)) {
+      throw IoError(what + " is locked by live pid " +
+                    std::to_string(static_cast<long long>(*holder)) + " ('" +
+                    path_ + "'); refusing to run two sweeps against it");
+    }
+    // Stale (dead pid or unreadable record): take over by renaming a fresh
+    // lock on top, then confirm by read-back that our rename won. A loser
+    // of the takeover race loops and now sees a live holder.
+    write_file_atomic(path_, record,
+                      std::to_string(static_cast<long long>(self)));
+    const std::optional<::pid_t> now = read_lock_pid(path_);
+    if (now.has_value() && *now == self) {
+      return;
+    }
+  }
+  fail(path_, "could not acquire after repeated stale-lock takeovers");
+}
+
+PidLockFile::~PidLockFile() {
+  // Only release a lock that is still ours: if a peer broke the lock as
+  // stale (it cannot have, while we live, but belt-and-braces) we must not
+  // unlink their lock.
+  const std::optional<::pid_t> holder = read_lock_pid(path_);
+  if (holder.has_value() && *holder == ::getpid()) {
+    ::unlink(path_.c_str());
+  }
+}
+
+}  // namespace vmcons::util

@@ -1,0 +1,80 @@
+// Cross-process file locking and atomic-commit primitives.
+//
+// The multi-process sweep driver (core/sharded_sweep.hpp) and the streaming
+// sweep's checkpoint manifest coordinate through the filesystem, because
+// worker processes share nothing else. Two POSIX guarantees carry all of
+// it on one machine:
+//
+//   * open(O_CREAT | O_EXCL) is atomic — exactly one of N racing processes
+//     creates the file. That arbitration is the claim primitive.
+//   * rename(2) within a directory is atomic — a reader sees either the old
+//     file or the complete new file, never a partial write. Writing to a
+//     temporary name and renaming onto the final name is the commit
+//     primitive (write_file_atomic), and renaming a fresh record onto an
+//     existing one is the compare-and-swap primitive (the caller re-reads
+//     after the rename to learn whether it won).
+//
+// PidLockFile builds a process-exclusive advisory lock from these: the lock
+// file holds the owner's pid, acquisition is O_EXCL, and a lock whose pid no
+// longer exists (stale: its owner crashed) is broken by renaming a fresh
+// lock over it and verifying ownership by read-back. Liveness checks use
+// kill(pid, 0), so the lock is meaningful only between processes on one
+// host — which is exactly the sharded driver's domain (the store format
+// itself is host-endian and single-machine).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include <sys/types.h>
+
+namespace vmcons::util {
+
+/// True iff a process with this pid exists right now (kill(pid, 0)).
+/// EPERM counts as alive: the process exists, we just may not signal it.
+bool pid_alive(::pid_t pid) noexcept;
+
+/// Creates `path` with O_CREAT|O_EXCL and writes `contents`. Returns false
+/// (touching nothing) when the file already exists; throws IoError on any
+/// other failure. The create is atomic, but the write is not — readers of
+/// freshly claimed files must tolerate a not-yet-written record.
+bool create_exclusive(const std::string& path, const std::string& contents);
+
+/// Writes `contents` to `path` via a temporary file in the same directory
+/// plus rename, so concurrent readers see the old contents or the new
+/// contents, never a prefix. The temporary name embeds `tag` (pid, token)
+/// to keep concurrent writers from colliding on the scratch file.
+void write_file_atomic(const std::string& path, const std::string& contents,
+                       const std::string& tag);
+
+/// Whole file as a string; nullopt when the file does not exist. Throws
+/// IoError for any other read failure.
+std::optional<std::string> read_file(const std::string& path);
+
+/// Advisory exclusive lock: a file holding the owner's pid.
+///
+/// Acquisition order: O_EXCL create; on EEXIST read the holder's pid — a
+/// live holder fails the acquisition loudly (IoError naming path and pid),
+/// a dead or unreadable holder is *stale* and is broken by atomically
+/// renaming a fresh lock (our pid) over it, then re-reading to confirm we
+/// won the takeover race. The destructor releases by unlinking, but only
+/// while the file still names our pid, so releasing never destroys a lock
+/// someone else legitimately took over.
+class PidLockFile {
+ public:
+  /// Acquires or throws IoError. `what` names the protected resource in
+  /// error messages ("checkpoint manifest", "claim ledger").
+  PidLockFile(std::string path, std::string what);
+  ~PidLockFile();
+
+  PidLockFile(const PidLockFile&) = delete;
+  PidLockFile& operator=(const PidLockFile&) = delete;
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace vmcons::util

@@ -1,7 +1,12 @@
 #include "util/metrics.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <cstdlib>
 #include <iomanip>
+#include <sstream>
+
+#include "util/error.hpp"
 
 namespace vmcons::metrics {
 
@@ -60,6 +65,113 @@ void Registry::reset() {
 Registry& registry() {
   static Registry instance;
   return instance;
+}
+
+namespace {
+
+[[noreturn]] void json_fail(const std::string& what) {
+  throw IoError("metrics json: " + what);
+}
+
+void skip_spaces(const std::string& text, std::size_t& pos) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+    ++pos;
+  }
+}
+
+void expect(const std::string& text, std::size_t& pos, char c) {
+  skip_spaces(text, pos);
+  if (pos >= text.size() || text[pos] != c) {
+    json_fail(std::string("expected '") + c + "' at offset " +
+              std::to_string(pos));
+  }
+  ++pos;
+}
+
+std::string parse_string(const std::string& text, std::size_t& pos) {
+  expect(text, pos, '"');
+  std::string out;
+  while (pos < text.size() && text[pos] != '"') {
+    // Metric names never need escapes; reject them rather than half-parse.
+    if (text[pos] == '\\') {
+      json_fail("escape sequences are not supported in metric names");
+    }
+    out += text[pos++];
+  }
+  if (pos >= text.size()) {
+    json_fail("unterminated string");
+  }
+  ++pos;  // closing quote
+  return out;
+}
+
+double parse_number(const std::string& text, std::size_t& pos) {
+  skip_spaces(text, pos);
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str() + pos, &end);
+  if (end == text.c_str() + pos) {
+    json_fail("expected a number at offset " + std::to_string(pos));
+  }
+  pos = static_cast<std::size_t>(end - text.c_str());
+  return value;
+}
+
+}  // namespace
+
+void to_json(std::ostream& out, const std::vector<Registry::Row>& rows) {
+  out << "{\"metrics\": {";
+  bool first = true;
+  for (const auto& row : rows) {
+    if (!first) {
+      out << ", ";
+    }
+    first = false;
+    out << '"' << row.name << "\": " << std::setprecision(17) << row.value;
+  }
+  out << "}}\n";
+}
+
+std::string to_json_string() {
+  std::ostringstream out;
+  to_json(out, registry().snapshot());
+  return out.str();
+}
+
+std::vector<Registry::Row> parse_json(const std::string& text) {
+  std::vector<Registry::Row> rows;
+  std::size_t pos = 0;
+  expect(text, pos, '{');
+  if (parse_string(text, pos) != "metrics") {
+    json_fail("top-level key must be \"metrics\"");
+  }
+  expect(text, pos, ':');
+  expect(text, pos, '{');
+  skip_spaces(text, pos);
+  if (pos < text.size() && text[pos] == '}') {
+    ++pos;  // empty object
+  } else {
+    while (true) {
+      Registry::Row row;
+      row.name = parse_string(text, pos);
+      expect(text, pos, ':');
+      row.value = parse_number(text, pos);
+      rows.push_back(std::move(row));
+      skip_spaces(text, pos);
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      expect(text, pos, '}');
+      break;
+    }
+  }
+  expect(text, pos, '}');
+  skip_spaces(text, pos);
+  if (pos != text.size()) {
+    json_fail("trailing bytes after the closing brace");
+  }
+  return rows;
 }
 
 }  // namespace vmcons::metrics

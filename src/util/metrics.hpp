@@ -58,6 +58,18 @@ inline constexpr const char* kStoreBytesRead = "store.bytes_read";
 inline constexpr const char* kSweepShardsResumed = "sweep.shards_resumed";
 inline constexpr const char* kSweepShardsCompleted = "sweep.shards_completed";
 
+/// ShardedSweepDriver: shards this worker claimed, evaluated, and committed.
+inline constexpr const char* kDriverShardsEvaluated =
+    "driver.shards_evaluated";
+/// Claims taken over from a dead or lease-expired peer.
+inline constexpr const char* kDriverLeasesReclaimed =
+    "driver.leases_reclaimed";
+/// Claim attempts that found the shard already held by a live peer.
+inline constexpr const char* kDriverClaimConflicts = "driver.claim_conflicts";
+/// Result files folded by the merger, and wall time spent merging.
+inline constexpr const char* kDriverShardsMerged = "driver.shards_merged";
+inline constexpr const char* kDriverMergeWall = "driver.merge_wall";
+
 inline constexpr const char* kErlangEvaluations = "erlang.evaluations";
 inline constexpr const char* kErlangCacheHits = "erlang.cache_hits";
 inline constexpr const char* kErlangSteps = "erlang.steps";
@@ -161,5 +173,19 @@ class Registry {
 
 /// The process-wide registry the library's own instrumentation reports to.
 Registry& registry();
+
+/// Machine-readable dump of a snapshot: a flat JSON object
+/// `{"metrics": {"<name>": <value>, ...}}`, names sorted. This is the wire
+/// format worker processes use to ship their counters to the sharded-sweep
+/// merger (one file per worker), and the format parse_json reads back.
+void to_json(std::ostream& out, const std::vector<Registry::Row>& rows);
+
+/// registry()'s current snapshot as a JSON string (see to_json).
+std::string to_json_string();
+
+/// Parses the exact shape to_json emits back into rows. Throws IoError
+/// naming the defect on anything else — a truncated or hand-edited worker
+/// metrics file must fail the merge loudly, not sum garbage.
+std::vector<Registry::Row> parse_json(const std::string& text);
 
 }  // namespace vmcons::metrics

@@ -402,7 +402,7 @@ TEST(FaultInject, ArmRejectsUnknownSitesAndBadRates) {
   EXPECT_THROW(injector.arm(sites::kBatchCell, bad), InvalidArgument);
   bad.error_rate = -0.1;
   EXPECT_THROW(injector.arm(sites::kBatchCell, bad), InvalidArgument);
-  EXPECT_EQ(FaultInjector::known_sites().size(), 5u);
+  EXPECT_EQ(FaultInjector::known_sites().size(), 7u);
 }
 
 TEST(FaultInject, DisarmedInjectorIsInertAndDisabled) {
