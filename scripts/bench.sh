@@ -44,10 +44,14 @@ echo "== bench: micro_shard_driver (multi-process sharded sweep) =="
 # throughput must hold >= 0.9x of the recorded BENCH_shard.json before the
 # file is regenerated. The 2-worker fleet must reach 1.6x of 1-process on
 # machines with >= 2 cores (skipped with a notice elsewhere; rows with more
-# workers than cores are recorded but marked unreliable).
+# workers than cores are recorded but marked unreliable). The fs-overhead
+# gate bounds the crash-consistent util::fs layer's hot-path cost: the
+# streaming_1proc row must stay within 2% of the recording (also skipped
+# with a notice on a foreign machine/grid). The lease-sweep rows run a
+# healthy 2-worker lease-only fleet at several --lease-ms values.
 ./build/bench/micro_shard_driver --json BENCH_shard.json \
   --baseline-json BENCH_shard.json --min-baseline-speedup 0.9 \
-  --min-2worker-speedup 1.6 \
+  --min-2worker-speedup 1.6 --max-fs-overhead-pct 2 \
   --store build/bench/micro_shard.store \
   --git-rev "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 

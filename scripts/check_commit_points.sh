@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Static commit-point discipline check (tier-1).
+#
+# The crash-consistency story in DESIGN.md rests on one rule: a persistence
+# path makes data durable through util::fs, and the ONLY rename it may
+# perform is the one inside fs::commit_file (write temp, fsync temp, rename,
+# fsync parent dir). A raw rename(2) somewhere else is atomic but not
+# durable — it reorders freely against the data writes it is supposed to
+# publish — and a raw ofstream in a persistence file is a write whose
+# failure nobody sees. Both regressions grep cleanly, so tier-1 refuses
+# them here instead of waiting for a power-loss postmortem.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# Rule 1: no raw rename(2)/std::rename outside the fs layer itself.
+# The pattern requires the call prefix (::rename( / std::rename(), so prose
+# mentions of "rename(2)" in comments do not trip it.
+raw_renames=$(grep -rEn '(std::|::)rename[[:space:]]*\(' src/ \
+  --include='*.cpp' --include='*.hpp' | grep -v '^src/util/fs.cpp:' || true)
+if [[ -n "${raw_renames}" ]]; then
+  echo "check_commit_points: raw rename outside src/util/fs.cpp —"
+  echo "use util::fs::commit_file (the durable commit point) instead:"
+  echo "${raw_renames}"
+  fail=1
+fi
+
+# Rule 2: fs::rename_file is the commit helper's internal step; call sites
+# elsewhere mean someone is renaming without the fsync sandwich.
+rename_file_callers=$(grep -rn 'rename_file' src/ \
+  --include='*.cpp' --include='*.hpp' \
+  | grep -v '^src/util/fs.cpp:' | grep -v '^src/util/fs.hpp:' || true)
+if [[ -n "${rename_file_callers}" ]]; then
+  echo "check_commit_points: fs::rename_file called outside the fs layer —"
+  echo "persistence code must go through util::fs::commit_file:"
+  echo "${rename_file_callers}"
+  fail=1
+fi
+
+# Rule 3: persistence translation units must not write through ofstream
+# (unchecked buffered writes, no fsync, no errno). The list names every
+# file that owns a durable artifact: store, checkpoint manifest, claim
+# ledger, pid locks, and the durable CSV backend.
+persistence_files=(
+  src/core/scenario_store.cpp
+  src/core/scenario_store.hpp
+  src/core/streaming_sweep.cpp
+  src/core/streaming_sweep.hpp
+  src/core/sharded_sweep.cpp
+  src/core/sharded_sweep.hpp
+  src/util/file_lock.cpp
+  src/util/file_lock.hpp
+  src/util/csv.cpp
+)
+raw_streams=$(grep -n 'ofstream\|<fstream>' "${persistence_files[@]}" || true)
+if [[ -n "${raw_streams}" ]]; then
+  echo "check_commit_points: ofstream/<fstream> in a persistence path —"
+  echo "write through util::fs (checked Status, named fault site) instead:"
+  echo "${raw_streams}"
+  fail=1
+fi
+
+if [[ "${fail}" -ne 0 ]]; then
+  exit 1
+fi
+echo "check_commit_points: OK (no raw renames, no unchecked streams in" \
+  "persistence paths)"

@@ -5,10 +5,10 @@
 #include <sstream>
 #include <utility>
 
-#include <fcntl.h>
-#include <unistd.h>
+#include <sys/stat.h>
 
 #include "util/error.hpp"
+#include "util/fs.hpp"
 #include "util/metrics.hpp"
 
 namespace vmcons::core {
@@ -286,24 +286,41 @@ std::uint64_t fnv1a64(const void* data, std::size_t bytes,
 
 ScenarioStoreWriter::ScenarioStoreWriter(std::string path,
                                          std::size_t shard_size)
-    : path_(std::move(path)),
-      out_(path_, std::ios::binary | std::ios::trunc),
-      shard_size_(shard_size) {
+    : path_(std::move(path)), shard_size_(shard_size) {
   VMCONS_REQUIRE(shard_size_ > 0, "scenario store shard size must be >= 1");
-  if (!out_) {
-    fail(path_, "cannot open for writing");
+  const util::fs::Status opened =
+      util::fs::create_truncate(path_, util::fs::sites::kStoreOpen, file_);
+  if (!opened.ok()) {
+    fail(path_, "cannot open for writing: " + opened.message());
   }
-  out_.write(kHeaderMagic, sizeof kHeaderMagic);
+  write_checked(kHeaderMagic, sizeof kHeaderMagic, util::fs::sites::kStoreOpen);
   const std::uint32_t version = kFormatVersion;
   const std::uint32_t resources = dc::kResourceCount;
-  out_.write(reinterpret_cast<const char*>(&version), sizeof version);
-  out_.write(reinterpret_cast<const char*>(&resources), sizeof resources);
+  write_checked(&version, sizeof version, util::fs::sites::kStoreOpen);
+  write_checked(&resources, sizeof resources, util::fs::sites::kStoreOpen);
 }
 
 ScenarioStoreWriter::~ScenarioStoreWriter() = default;
 
+void ScenarioStoreWriter::write_checked(const void* data, std::size_t bytes,
+                                        std::string_view site) {
+  const util::fs::Status status =
+      util::fs::write_all(file_, data, bytes, site);
+  if (!status.ok()) {
+    broken_ = true;
+    std::ostringstream message;
+    message << "write failed at offset " << (offset_ + status.bytes)
+            << " (shard " << shards_.size() << ", "
+            << status.bytes << " of " << bytes << " bytes landed): "
+            << status.message();
+    fail(path_, message.str());
+  }
+  offset_ += bytes;
+}
+
 std::size_t ScenarioStoreWriter::append(const ModelInputs& inputs) {
   VMCONS_ASSERT(!finished_);
+  VMCONS_ASSERT(!broken_);
   buffer_.append(inputs);
   const std::size_t global = static_cast<std::size_t>(scenario_count_);
   ++scenario_count_;
@@ -319,17 +336,13 @@ void ScenarioStoreWriter::flush_shard() {
   }
   const std::vector<char> payload = serialize_shard(buffer_);
   ShardInfo info;
-  info.offset = static_cast<std::uint64_t>(out_.tellp());
+  info.offset = offset_;
   info.bytes = payload.size();
   info.scenarios = buffer_.size();
   info.service_rows = buffer_.service_rows();
   info.checksum = fnv1a64(payload.data(), payload.size());
   info.scenario_begin = scenario_count_ - buffer_.size();
-  out_.write(payload.data(),
-             static_cast<std::streamsize>(payload.size()));
-  if (!out_) {
-    fail(path_, "write failed (disk full?)");
-  }
+  write_checked(payload.data(), payload.size(), util::fs::sites::kStoreShard);
   shards_.push_back(info);
   buffer_ = ScenarioBatch{};
   metrics::registry().counter(metrics::names::kStoreShardsWritten).add();
@@ -340,6 +353,7 @@ void ScenarioStoreWriter::flush_shard() {
 
 ScenarioStoreWriter::Summary ScenarioStoreWriter::finish() {
   VMCONS_ASSERT(!finished_);
+  VMCONS_ASSERT(!broken_);
   finished_ = true;
   flush_shard();
 
@@ -354,43 +368,78 @@ ScenarioStoreWriter::Summary ScenarioStoreWriter::finish() {
     sink.u64(info.checksum);
     sink.u64(info.scenario_begin);
   }
-  const std::uint64_t footer_offset = static_cast<std::uint64_t>(out_.tellp());
+  const std::uint64_t footer_offset = offset_;
   const std::uint64_t footer_checksum = fnv1a64(footer.data(), footer.size());
-  out_.write(footer.data(), static_cast<std::streamsize>(footer.size()));
-  out_.write(reinterpret_cast<const char*>(&footer_offset),
-             sizeof footer_offset);
-  out_.write(reinterpret_cast<const char*>(&footer_checksum),
-             sizeof footer_checksum);
-  out_.write(reinterpret_cast<const char*>(&scenario_count_),
-             sizeof scenario_count_);
-  out_.write(kTrailerMagic, sizeof kTrailerMagic);
-  out_.close();
-  if (!out_) {
-    fail(path_, "finish failed while writing the footer/trailer");
+  write_checked(footer.data(), footer.size(), util::fs::sites::kStoreFinish);
+  // Commit-point ordering: everything up to and including the footer must be
+  // on disk before the trailer that declares the file finished can land.
+  // Otherwise a crash could leave a valid-looking trailer over unsynced
+  // payload pages, and a reader would trust a file the disk never held.
+  util::fs::Status synced =
+      util::fs::fsync_file(file_, util::fs::sites::kStoreFinish);
+  if (!synced.ok()) {
+    broken_ = true;
+    fail(path_, "fsync before the trailer failed: " + synced.message());
+  }
+  write_checked(&footer_offset, sizeof footer_offset,
+                util::fs::sites::kStoreFinish);
+  write_checked(&footer_checksum, sizeof footer_checksum,
+                util::fs::sites::kStoreFinish);
+  write_checked(&scenario_count_, sizeof scenario_count_,
+                util::fs::sites::kStoreFinish);
+  write_checked(kTrailerMagic, sizeof kTrailerMagic,
+                util::fs::sites::kStoreFinish);
+  synced = util::fs::fsync_file(file_, util::fs::sites::kStoreFinish);
+  if (!synced.ok()) {
+    broken_ = true;
+    fail(path_, "fsync of the trailer failed: " + synced.message());
+  }
+  const util::fs::Status closed = file_.close();
+  if (!closed.ok()) {
+    broken_ = true;
+    fail(path_, "close after finish failed: " + closed.message());
   }
   return Summary{scenario_count_, shards_.size(), footer_checksum};
 }
 
 ScenarioStore::ScenarioStore(std::string path) : path_(std::move(path)) {
-  std::ifstream in(path_, std::ios::binary);
-  if (!in) {
-    fail(path_, "cannot open for reading");
+  const util::fs::Status opened =
+      util::fs::open_read(path_, util::fs::sites::kStoreRead, file_);
+  if (!opened.ok()) {
+    fail(path_, "cannot open for reading: " + opened.message());
   }
-  in.seekg(0, std::ios::end);
-  const std::uint64_t file_bytes = static_cast<std::uint64_t>(in.tellg());
+  struct ::stat st {};
+  if (::fstat(file_.fd(), &st) != 0) {
+    fail(path_, std::string("cannot stat: ") + std::strerror(errno));
+  }
+  const std::uint64_t file_bytes = static_cast<std::uint64_t>(st.st_size);
   if (file_bytes < kHeaderBytes + kTrailerBytes) {
     fail(path_, "file is too small to hold a header and trailer (truncated "
                 "or never finished)");
   }
 
+  // Validation reads are positional too, through the same checked pread
+  // wrapper read_shard uses, so a torn header/trailer names its offset.
+  const auto read_at = [&](void* data, std::size_t bytes,
+                           std::uint64_t offset, const char* what) {
+    const util::fs::Status status = util::fs::pread_all(
+        file_, data, bytes, offset, util::fs::sites::kStoreRead);
+    if (!status.ok()) {
+      std::ostringstream message;
+      message << what << " read failed at offset " << (offset + status.bytes)
+              << ": " << status.message();
+      fail(path_, message.str());
+    }
+  };
+
   char magic[8];
   std::uint32_t version = 0;
   std::uint32_t resources = 0;
-  in.seekg(0);
-  in.read(magic, sizeof magic);
-  in.read(reinterpret_cast<char*>(&version), sizeof version);
-  in.read(reinterpret_cast<char*>(&resources), sizeof resources);
-  if (!in || std::memcmp(magic, kHeaderMagic, sizeof magic) != 0) {
+  read_at(magic, sizeof magic, 0, "header magic");
+  read_at(&version, sizeof version, sizeof magic, "header version");
+  read_at(&resources, sizeof resources, sizeof magic + sizeof version,
+          "header resource count");
+  if (std::memcmp(magic, kHeaderMagic, sizeof magic) != 0) {
     fail(path_, "bad header magic (not a scenario store)");
   }
   if (version < kOldestReadableVersion || version > kFormatVersion) {
@@ -409,12 +458,15 @@ ScenarioStore::ScenarioStore(std::string path) : path_(std::move(path)) {
 
   std::uint64_t footer_offset = 0;
   std::uint64_t footer_checksum = 0;
-  in.seekg(static_cast<std::streamoff>(file_bytes - kTrailerBytes));
-  in.read(reinterpret_cast<char*>(&footer_offset), sizeof footer_offset);
-  in.read(reinterpret_cast<char*>(&footer_checksum), sizeof footer_checksum);
-  in.read(reinterpret_cast<char*>(&scenario_count_), sizeof scenario_count_);
-  in.read(magic, sizeof magic);
-  if (!in || std::memcmp(magic, kTrailerMagic, sizeof magic) != 0) {
+  const std::uint64_t trailer_at = file_bytes - kTrailerBytes;
+  read_at(&footer_offset, sizeof footer_offset, trailer_at, "trailer");
+  read_at(&footer_checksum, sizeof footer_checksum,
+          trailer_at + sizeof footer_offset, "trailer");
+  read_at(&scenario_count_, sizeof scenario_count_,
+          trailer_at + 2 * sizeof footer_offset, "trailer");
+  read_at(magic, sizeof magic, trailer_at + 3 * sizeof footer_offset,
+          "trailer magic");
+  if (std::memcmp(magic, kTrailerMagic, sizeof magic) != 0) {
     fail(path_, "bad trailer magic (truncated file or unfinished writer)");
   }
   if (footer_offset < kHeaderBytes ||
@@ -425,11 +477,7 @@ ScenarioStore::ScenarioStore(std::string path) : path_(std::move(path)) {
   const std::size_t footer_bytes =
       static_cast<std::size_t>(file_bytes - kTrailerBytes - footer_offset);
   std::vector<char> footer(footer_bytes);
-  in.seekg(static_cast<std::streamoff>(footer_offset));
-  in.read(footer.data(), static_cast<std::streamsize>(footer_bytes));
-  if (!in) {
-    fail(path_, "footer read failed");
-  }
+  read_at(footer.data(), footer_bytes, footer_offset, "footer");
   if (fnv1a64(footer.data(), footer.size()) != footer_checksum) {
     fail(path_, "footer checksum mismatch (corrupted file)");
   }
@@ -472,22 +520,9 @@ ScenarioStore::ScenarioStore(std::string path) : path_(std::move(path)) {
             << " scenarios but the trailer recorded " << scenario_count_;
     fail(path_, message.str());
   }
-
-  // Positional-read descriptor for read_shard: one fd, no shared offset, so
-  // concurrent readers (threads here, worker processes via their own
-  // ScenarioStore instances) never interleave seeks.
-  fd_ = ::open(path_.c_str(), O_RDONLY);
-  if (fd_ < 0) {
-    fail(path_, std::string("cannot open for positional reads: ") +
-                    std::strerror(errno));
-  }
 }
 
-ScenarioStore::~ScenarioStore() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-  }
-}
+ScenarioStore::~ScenarioStore() = default;
 
 const ShardInfo& ScenarioStore::shard(std::size_t index) const {
   VMCONS_REQUIRE(index < shards_.size(),
@@ -500,28 +535,18 @@ ScenarioBatch ScenarioStore::read_shard(std::size_t index) const {
   const ShardInfo& info = shard(index);
   std::vector<char> payload(static_cast<std::size_t>(info.bytes));
   // pread: the offset travels with each call, never with the fd, so any
-  // number of concurrent read_shard calls share fd_ safely.
-  std::size_t done = 0;
-  while (done < payload.size()) {
-    const ::ssize_t n =
-        ::pread(fd_, payload.data() + done, payload.size() - done,
-                static_cast<::off_t>(info.offset + done));
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      std::ostringstream message;
-      message << "shard " << index << " pread failed at offset "
-              << (info.offset + done) << ": " << std::strerror(errno);
-      fail(path_, message.str());
-    }
-    if (n == 0) {
-      std::ostringstream message;
-      message << "shard " << index << " read hit end-of-file at offset "
-              << (info.offset + done) << " (file shrank since open?)";
-      fail(path_, message.str());
-    }
-    done += static_cast<std::size_t>(n);
+  // number of concurrent read_shard calls share the descriptor safely.
+  const util::fs::Status status =
+      util::fs::pread_all(file_, payload.data(), payload.size(), info.offset,
+                          util::fs::sites::kStoreRead);
+  if (!status.ok()) {
+    std::ostringstream message;
+    message << "shard " << index << " pread failed at offset "
+            << (info.offset + status.bytes) << ": "
+            << (status.err == ENODATA
+                    ? "hit end-of-file (file shrank since open?)"
+                    : status.message());
+    fail(path_, message.str());
   }
   const std::uint64_t actual = fnv1a64(payload.data(), payload.size());
   if (actual != info.checksum) {

@@ -22,11 +22,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/scenario_batch.hpp"
+#include "util/fs.hpp"
 
 namespace vmcons::core {
 
@@ -47,9 +47,15 @@ struct ShardInfo {
 
 /// Streams scenarios into a store file, flushing a shard every `shard_size`
 /// appends. Memory high-water mark is one shard's ScenarioBatch regardless
-/// of how many scenarios pass through. The file is only valid once finish()
-/// has written the footer and trailer; a writer destroyed early leaves a
-/// file every ScenarioStore constructor rejects (the crash-safe default).
+/// of how many scenarios pass through. All I/O goes through util::fs (sites
+/// fs.store.open / fs.store.shard / fs.store.finish): every write is
+/// checked at the call that issued it, and a failure raises IoError naming
+/// the path, the shard index, and the errno. The file is only valid once
+/// finish() has written the footer and trailer; finish() fsyncs the payload
+/// and footer *before* the trailer lands and fsyncs again after, so a file
+/// whose trailer validates is durable end to end — the trailer is the
+/// commit point. A writer destroyed early (or crashed mid-write) leaves a
+/// trailerless file every ScenarioStore constructor rejects.
 class ScenarioStoreWriter {
  public:
   ScenarioStoreWriter(std::string path, std::size_t shard_size);
@@ -69,20 +75,27 @@ class ScenarioStoreWriter {
     std::uint64_t checksum = 0;  ///< footer checksum = the store's identity
   };
 
-  /// Flushes the partial shard, writes the footer + trailer, and closes the
-  /// file. Must be called exactly once; append() is invalid afterwards.
+  /// Flushes the partial shard, writes the footer + trailer (with the
+  /// fsync-before-trailer ordering described above), and closes the file.
+  /// Must be called exactly once; append() is invalid afterwards.
   Summary finish();
 
  private:
+  /// Checked write at `site`; on failure marks the writer broken and throws
+  /// IoError naming path, current shard, and errno.
+  void write_checked(const void* data, std::size_t bytes,
+                     std::string_view site);
   void flush_shard();
 
   std::string path_;
-  std::ofstream out_;
+  util::fs::File file_;
+  std::uint64_t offset_ = 0;  ///< bytes written so far = next write offset
   std::size_t shard_size_;
   ScenarioBatch buffer_;
   std::vector<ShardInfo> shards_;
   std::uint64_t scenario_count_ = 0;
   bool finished_ = false;
+  bool broken_ = false;  ///< a write failed; further use is invalid
 };
 
 /// Read face: opens a finished store, validates trailer + footer, and
@@ -131,8 +144,9 @@ class ScenarioStore {
   std::uint64_t checksum_ = 0;
   std::uint32_t version_ = 0;
   /// Read-only descriptor shared by every read_shard call; positional reads
-  /// (pread) keep concurrent readers from racing on a file offset.
-  int fd_ = -1;
+  /// (fs::pread_all at fs.store.read) keep concurrent readers from racing
+  /// on a file offset.
+  util::fs::File file_;
 };
 
 }  // namespace vmcons::core

@@ -1,5 +1,6 @@
 #include "core/sharded_sweep.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -8,14 +9,17 @@
 #include <map>
 #include <random>
 #include <sstream>
+#include <string_view>
 #include <thread>
 
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "util/backoff.hpp"
 #include "util/error.hpp"
 #include "util/fault_inject.hpp"
 #include "util/file_lock.hpp"
+#include "util/fs.hpp"
 #include "util/metrics.hpp"
 
 namespace vmcons::core {
@@ -73,9 +77,9 @@ bool filename_safe(const std::string& name) {
 
 std::string format_claim(const ShardClaim& claim) {
   std::ostringstream out;
-  out << claim.worker << ',' << claim.pid << ',' << hex64(claim.token) << ','
-      << claim.lease_deadline_ms << ',' << hex64(claim.store_checksum)
-      << '\n';
+  out << claim.worker << ',' << claim.pid << ',' << claim.hostname << ','
+      << hex64(claim.token) << ',' << claim.lease_deadline_ms << ','
+      << hex64(claim.store_checksum) << '\n';
   return out.str();
 }
 
@@ -94,7 +98,11 @@ std::optional<ShardClaim> parse_claim(const std::string& text) {
     }
   }
   fields.push_back(current);
-  if (fields.size() != 5 || text.find('\n') == std::string::npos) {
+  // 6 fields since the hostname column landed; 5-field records from older
+  // builds parse with an empty hostname (= written on this host).
+  const bool legacy = fields.size() == 5;
+  if ((fields.size() != 6 && !legacy) ||
+      text.find('\n') == std::string::npos) {
     return std::nullopt;  // partial write of a crashed claimer
   }
   ShardClaim claim;
@@ -104,9 +112,13 @@ std::optional<ShardClaim> parse_claim(const std::string& text) {
   if (end == fields[1].c_str()) {
     return std::nullopt;
   }
-  claim.token = std::strtoull(fields[2].c_str(), &end, 16);
-  claim.lease_deadline_ms = std::strtoll(fields[3].c_str(), &end, 10);
-  claim.store_checksum = std::strtoull(fields[4].c_str(), &end, 16);
+  const std::size_t base = legacy ? 2 : 3;
+  if (!legacy) {
+    claim.hostname = fields[2];
+  }
+  claim.token = std::strtoull(fields[base].c_str(), &end, 16);
+  claim.lease_deadline_ms = std::strtoll(fields[base + 1].c_str(), &end, 10);
+  claim.store_checksum = std::strtoull(fields[base + 2].c_str(), &end, 16);
   return claim;
 }
 
@@ -345,8 +357,12 @@ BatchOutcome deserialize_outcome(ByteReader& r, std::size_t scenarios,
 // --- ClaimLedger ----------------------------------------------------------
 
 ClaimLedger::ClaimLedger(std::string dir, std::uint64_t store_checksum,
-                         std::chrono::milliseconds lease)
-    : dir_(std::move(dir)), store_checksum_(store_checksum), lease_(lease) {
+                         std::chrono::milliseconds lease,
+                         bool dead_pid_fast_path)
+    : dir_(std::move(dir)),
+      store_checksum_(store_checksum),
+      lease_(lease),
+      dead_pid_fast_path_(dead_pid_fast_path) {
   VMCONS_REQUIRE(!dir_.empty(), "claim ledger directory must be non-empty");
   VMCONS_REQUIRE(lease_.count() > 0, "claim lease must be positive");
   std::error_code ec;
@@ -403,18 +419,28 @@ bool ClaimLedger::try_claim(std::size_t shard, const std::string& worker_id,
   ShardClaim mine;
   mine.worker = worker_id;
   mine.pid = static_cast<long long>(::getpid());
+  mine.hostname = util::local_hostname();
   mine.token = token;
   mine.lease_deadline_ms = now_wall_ms() + lease_.count();
   mine.store_checksum = store_checksum_;
   const std::string path = claim_path(shard);
 
-  if (util::create_exclusive(path, format_claim(mine))) {
+  const util::fs::Status created = util::fs::create_exclusive_file(
+      path, format_claim(mine), util::fs::sites::kClaim);
+  if (created.ok()) {
     return true;  // the kernel arbitrated: we own the fresh claim
   }
+  if (created.err != EEXIST) {
+    ledger_fail(path, "claim create failed: " + created.message());
+  }
 
-  // Held: decide staleness. A parseable claim is stale when its pid is dead
-  // or its lease expired; an unparseable one (claimer crashed between
-  // create and write) is judged by file age against the lease.
+  // Held: decide staleness. The lease is the portable rule — any host may
+  // reclaim an expired claim. The dead-pid probe is a same-host fast path
+  // only: a remote claimer's pid number says nothing about the remote
+  // process (and may name a live local one), so it never short-circuits the
+  // lease for records from other hosts, and lease-only mode disables it
+  // entirely. An unparseable record (claimer crashed between create and
+  // write) is judged by file age against the lease.
   const auto contents = util::read_file(path);
   if (!contents.has_value()) {
     // Claim vanished between create-fail and read (peer released after
@@ -431,8 +457,12 @@ bool ClaimLedger::try_claim(std::size_t shard, const std::string& worker_id,
                             hex64(store_checksum_) +
                             " (two sweeps sharing one ledger?)");
     }
-    stale = !util::pid_alive(static_cast<::pid_t>(held->pid)) ||
-            now_wall_ms() > held->lease_deadline_ms;
+    const bool held_locally = held->hostname.empty() ||
+                              held->hostname == util::local_hostname();
+    const bool pid_dead =
+        dead_pid_fast_path_ && held_locally &&
+        !util::pid_alive(static_cast<::pid_t>(held->pid));
+    stale = pid_dead || now_wall_ms() > held->lease_deadline_ms;
   } else {
     const auto age = file_age_ms(path);
     stale = age.has_value() && *age > lease_.count() + 1000;
@@ -445,7 +475,11 @@ bool ClaimLedger::try_claim(std::size_t shard, const std::string& worker_id,
   // read-back that our rename won the race. Losing is fine — the winner is
   // doing the work.
   mine.lease_deadline_ms = now_wall_ms() + lease_.count();
-  util::write_file_atomic(path, format_claim(mine), hex64(token));
+  const util::fs::Status committed = util::fs::commit_file(
+      path, format_claim(mine), hex64(token), util::fs::sites::kClaim);
+  if (!committed.ok()) {
+    ledger_fail(path, "claim takeover failed: " + committed.message());
+  }
   const auto after = util::read_file(path);
   if (!after.has_value()) {
     return false;
@@ -462,7 +496,7 @@ void ClaimLedger::release_if_ours(std::size_t shard,
                                   std::uint64_t token) const {
   const std::optional<ShardClaim> held = read_claim(shard);
   if (held.has_value() && held->token == token) {
-    ::unlink(claim_path(shard).c_str());
+    util::fs::unlink_file(claim_path(shard), util::fs::sites::kClaim);
   }
 }
 
@@ -482,7 +516,7 @@ ShardedSweepDriver::ShardedSweepDriver(ShardedSweepOptions options)
 
 WorkerReport ShardedSweepDriver::run_worker(const ScenarioStore& store) const {
   const ClaimLedger ledger(options_.ledger_dir, store.checksum(),
-                           options_.lease);
+                           options_.lease, !options_.lease_only);
   const BatchEvaluator evaluator(options_.batch);
   WorkerReport report;
   auto& evaluated_counter =
@@ -500,6 +534,18 @@ WorkerReport ShardedSweepDriver::run_worker(const ScenarioStore& store) const {
       shard_count == 0
           ? 0
           : fnv1a64(worker_id_.data(), worker_id_.size()) % shard_count;
+
+  // Contention backoff: deterministic per worker (seeded by its id), so a
+  // pinned-seed fault test replays the exact same wait schedule while real
+  // fleets still desynchronize their polls.
+  util::Backoff idle_backoff(
+      util::Backoff::Options{
+          .initial = std::chrono::duration_cast<std::chrono::microseconds>(
+              options_.poll),
+          .max = std::max(std::chrono::duration_cast<std::chrono::microseconds>(
+                              32 * options_.poll),
+                          std::chrono::microseconds(1))},
+      fnv1a64(worker_id_.data(), worker_id_.size()));
 
   bool done = shard_count == 0;
   while (!done) {
@@ -581,10 +627,21 @@ WorkerReport ShardedSweepDriver::run_worker(const ScenarioStore& store) const {
         t.u64(fnv1a64(payload.data(), payload.size()));
         t.raw(kResultEndMagic, sizeof kResultEndMagic);
       }
-      // The rename is the commit point. A duplicate commit after a lease
-      // expired mid-evaluation overwrites with identical bytes (the
-      // evaluation is deterministic), so last-writer-wins is safe.
-      util::write_file_atomic(ledger.result_path(shard), file, hex64(token));
+      // Durable commit point: write + fsync a temporary, rename onto the
+      // result name, fsync the ledger directory. A duplicate commit after a
+      // lease expired mid-evaluation overwrites with identical bytes (the
+      // evaluation is deterministic), so last-writer-wins is safe. A failed
+      // commit releases the claim and propagates — the shard stays
+      // uncommitted for a peer rather than half-written.
+      const util::fs::Status committed =
+          util::fs::commit_file(ledger.result_path(shard), file, hex64(token),
+                                util::fs::sites::kResultCommit);
+      if (!committed.ok()) {
+        ledger.release_if_ours(shard, token);
+        ledger_fail(ledger.result_path(shard),
+                    "result commit for shard " + std::to_string(shard) +
+                        " failed: " + committed.message());
+      }
       ledger.release_if_ours(shard, token);
 
       report.shards_evaluated += 1;
@@ -601,8 +658,11 @@ WorkerReport ShardedSweepDriver::run_worker(const ScenarioStore& store) const {
     }
     if (!done && !progressed) {
       // Every unfinished shard is held by a live peer: wait for commits or
-      // lease expiries rather than spinning on the claim files.
-      std::this_thread::sleep_for(options_.poll);
+      // lease expiries rather than spinning on the claim files, backing off
+      // further each empty pass.
+      std::this_thread::sleep_for(idle_backoff.next());
+    } else {
+      idle_backoff.reset();
     }
   }
 
@@ -620,15 +680,21 @@ WorkerReport ShardedSweepDriver::run_worker(const ScenarioStore& store) const {
 }
 
 void ShardedSweepDriver::write_worker_metrics() const {
-  const ClaimLedger ledger(options_.ledger_dir, 0, options_.lease);
-  util::write_file_atomic(ledger.worker_metrics_path(worker_id_),
-                          metrics::to_json_string(), worker_id_);
+  const ClaimLedger ledger(options_.ledger_dir, 0, options_.lease,
+                           !options_.lease_only);
+  const std::string path = ledger.worker_metrics_path(worker_id_);
+  const util::fs::Status committed =
+      util::fs::commit_file(path, metrics::to_json_string(), worker_id_,
+                            util::fs::sites::kMetricsCommit);
+  if (!committed.ok()) {
+    ledger_fail(path, "metrics commit failed: " + committed.message());
+  }
 }
 
 MergedSweep ShardedSweepDriver::merge(const ScenarioStore& store,
                                       const ShardSink& sink) const {
   const ClaimLedger ledger(options_.ledger_dir, store.checksum(),
-                           options_.lease);
+                           options_.lease, !options_.lease_only);
   auto& merged_counter =
       metrics::registry().counter(metrics::names::kDriverShardsMerged);
   metrics::ScopedTimer merge_timer(
@@ -733,8 +799,12 @@ MergedSweep ShardedSweepDriver::merge(const ScenarioStore& store,
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(options_.ledger_dir, ec)) {
     const std::string name = entry.path().filename().string();
-    if (name.rfind("worker-", 0) != 0 ||
-        name.find(".metrics.json") == std::string::npos) {
+    // Exact suffix match: a crashed commit's leftover temporary is named
+    // "<file>.tmp.<tag>" and must never be summed as a metrics file.
+    constexpr std::string_view kSuffix = ".metrics.json";
+    if (name.rfind("worker-", 0) != 0 || name.size() < kSuffix.size() ||
+        name.compare(name.size() - kSuffix.size(), kSuffix.size(),
+                     kSuffix) != 0) {
       continue;
     }
     const auto contents = util::read_file(entry.path().string());

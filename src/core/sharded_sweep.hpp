@@ -9,12 +9,16 @@
 // The coordination protocol is a *claim ledger*: a directory next to the
 // store where every shard's ownership and result live as files.
 //
-//   claim-NNNNNN.csv    who owns shard N right now: worker id, pid, a
-//                       per-claim token, a wall-clock lease deadline, and
-//                       the store checksum. Created with O_CREAT|O_EXCL —
-//                       the kernel arbitrates racing claimers — and
-//                       *reclaimed* (atomically renamed over) only when the
-//                       holder's pid is dead or its lease expired.
+//   claim-NNNNNN.csv    who owns shard N right now: worker id, pid,
+//                       hostname, a per-claim token, a wall-clock lease
+//                       deadline, and the store checksum. Created with
+//                       O_CREAT|O_EXCL — the kernel arbitrates racing
+//                       claimers — and *reclaimed* (atomically renamed
+//                       over) only when its lease expired, or — as a
+//                       same-host fast path — when the record names this
+//                       host and its pid is dead. The pid/hostname pair is
+//                       also the diagnostic trail: a stuck sweep's claim
+//                       files say exactly who to look at.
 //   result-NNNNNN.bin   shard N's evaluated BatchOutcome, committed by
 //                       rename from a temporary, so a result file either
 //                       does not exist or is complete. Carries the store
@@ -63,6 +67,7 @@ namespace vmcons::core {
 struct ShardClaim {
   std::string worker;
   long long pid = 0;
+  std::string hostname;              ///< claimer's host; empty = legacy/local
   std::uint64_t token = 0;           ///< unique per claim attempt
   std::int64_t lease_deadline_ms = 0;///< wall clock, ms since epoch
   std::uint64_t store_checksum = 0;
@@ -76,8 +81,18 @@ class ClaimLedger {
   /// Creates `dir` if needed. `store_checksum` brands every record this
   /// ledger writes; claims carrying a different brand are rejected loudly
   /// (the ledger belongs to a different store).
+  ///
+  /// Staleness is lease-first and host-portable: a claim is always
+  /// reclaimable once its lease deadline passes, whatever host wrote it.
+  /// `dead_pid_fast_path` additionally reclaims a claim *before* its lease
+  /// expires when the record's hostname matches this host and its pid is
+  /// dead — a pure latency optimization, only sound where kill(pid, 0) is
+  /// meaningful. Disable it (lease-only mode) when the ledger lives on a
+  /// shared filesystem where a remote worker's pid number could collide
+  /// with an unrelated live local process.
   ClaimLedger(std::string dir, std::uint64_t store_checksum,
-              std::chrono::milliseconds lease);
+              std::chrono::milliseconds lease,
+              bool dead_pid_fast_path = true);
 
   const std::string& dir() const noexcept { return dir_; }
   std::string claim_path(std::size_t shard) const;
@@ -114,6 +129,7 @@ class ClaimLedger {
   std::string dir_;
   std::uint64_t store_checksum_ = 0;
   std::chrono::milliseconds lease_{30000};
+  bool dead_pid_fast_path_ = true;
 };
 
 /// Execution knobs for one sharded-sweep participant (worker or merger).
@@ -133,9 +149,16 @@ struct ShardedSweepOptions {
   /// the upper bound on work lost to a crashed worker (one shard). Dead
   /// pids are reclaimed without waiting for the lease.
   std::chrono::milliseconds lease{30000};
-  /// Sleep between passes when every unfinished shard is claimed by a live
-  /// peer (nothing to do but wait for commits or expiries).
+  /// Base sleep between passes when every unfinished shard is claimed by a
+  /// live peer. The actual schedule is deterministic jittered exponential
+  /// backoff (util::Backoff, seeded from the worker id) starting at `poll`,
+  /// reset whenever a pass makes progress — so N blocked workers spread out
+  /// instead of polling the ledger in lockstep.
   std::chrono::milliseconds poll{25};
+  /// Lease-only staleness: disables the dead-pid reclaim fast path, so a
+  /// claim is reclaimed strictly by lease expiry. The host-portable mode for
+  /// ledgers on shared filesystems (see ClaimLedger).
+  bool lease_only = false;
   /// Test hook: called after a claim becomes durable, before the shard is
   /// read or evaluated. Tests and the worker binary use it to simulate a
   /// worker dying mid-shard (throw, or _exit) while holding a lease.

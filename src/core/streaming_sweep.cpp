@@ -1,8 +1,7 @@
 #include "core/streaming_sweep.hpp"
 
+#include <cerrno>
 #include <charconv>
-#include <filesystem>
-#include <fstream>
 #include <iomanip>
 #include <map>
 #include <optional>
@@ -14,6 +13,7 @@
 #include "util/error.hpp"
 #include "util/fault_inject.hpp"
 #include "util/file_lock.hpp"
+#include "util/fs.hpp"
 #include "util/metrics.hpp"
 
 namespace vmcons::core {
@@ -79,13 +79,16 @@ struct Manifest {
 
 Manifest load_manifest(const std::string& path, const ScenarioStore& store) {
   Manifest manifest;
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
+  std::string text;
+  const util::fs::Status read =
+      util::fs::read_file(path, text, util::fs::sites::kManifestOpen);
+  if (read.err == ENOENT) {
     return manifest;  // no manifest yet: nothing committed
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const std::string text = buffer.str();
+  if (!read.ok()) {
+    manifest_fail(path, "read failed after " + std::to_string(read.bytes) +
+                            " bytes: " + read.message());
+  }
 
   // A trailing line without '\n' is the footprint of a process killed
   // mid-append; drop it (losing at most that one record) rather than
@@ -304,25 +307,43 @@ StreamingSweepReport StreamingSweep::run(const ScenarioStore& store,
     manifest = load_manifest(options_.checkpoint_path, store);
   }
 
-  std::ofstream manifest_out;
-  CsvWriter writer(manifest_out);
+  // Durable manifest writer: rows go through util::fs (site
+  // fs.manifest.append) so every append is checked, and commit() fsyncs —
+  // the per-shard fsync is what turns the shard row into a real commit
+  // point that survives power loss, not just a process kill.
+  util::fs::File manifest_file;
+  CsvWriter writer(manifest_file, util::fs::sites::kManifestAppend);
   if (checkpointing) {
     if (manifest.has_header) {
       // Appending: first drop the crash-truncated tail (if any), then adopt
       // the existing header so new records extend the same document.
-      std::filesystem::resize_file(options_.checkpoint_path,
-                                   manifest.valid_prefix_bytes);
-      manifest_out.open(options_.checkpoint_path,
-                        std::ios::binary | std::ios::app);
+      const util::fs::Status truncated = util::fs::truncate_file(
+          options_.checkpoint_path, manifest.valid_prefix_bytes,
+          util::fs::sites::kManifestOpen);
+      if (!truncated.ok()) {
+        manifest_fail(options_.checkpoint_path,
+                      "cannot drop the torn tail at byte " +
+                          std::to_string(manifest.valid_prefix_bytes) + ": " +
+                          truncated.message());
+      }
+      const util::fs::Status opened = util::fs::open_append(
+          options_.checkpoint_path, util::fs::sites::kManifestOpen,
+          manifest_file);
+      if (!opened.ok()) {
+        manifest_fail(options_.checkpoint_path,
+                      "cannot open for appending: " + opened.message());
+      }
       writer.continue_rows(kManifestColumns);
     } else {
-      manifest_out.open(options_.checkpoint_path,
-                        std::ios::binary | std::ios::trunc);
+      const util::fs::Status opened = util::fs::create_truncate(
+          options_.checkpoint_path, util::fs::sites::kManifestOpen,
+          manifest_file);
+      if (!opened.ok()) {
+        manifest_fail(options_.checkpoint_path,
+                      "cannot open for writing: " + opened.message());
+      }
       writer.header(kManifestHeader);
-      manifest_out.flush();
-    }
-    if (!manifest_out) {
-      manifest_fail(options_.checkpoint_path, "cannot open for writing");
+      writer.commit();
     }
   }
 
@@ -382,14 +403,20 @@ StreamingSweepReport StreamingSweep::run(const ScenarioStore& store,
     }
 
     if (checkpointing) {
-      append_shard_records(writer, shard, info, store.checksum(),
-                           result_checksum, outcome.failures, scenario_begin);
-      manifest_out.flush();
-      if (!manifest_out) {
+      try {
+        append_shard_records(writer, shard, info, store.checksum(),
+                             result_checksum, outcome.failures,
+                             scenario_begin);
+        // fsync: the shard row only counts as committed once it is durable.
+        writer.commit();
+      } catch (const IoError& error) {
         manifest_fail(options_.checkpoint_path,
                       "write failed while committing shard " +
-                          std::to_string(shard));
+                          std::to_string(shard) + ": " + error.what());
       }
+      // Progress point: keep the manifest lock fresh so remote hosts never
+      // see a live single-writer as lease-stale.
+      manifest_lock->refresh();
     }
     ++report.shards_completed;
     completed_counter.add();

@@ -1,0 +1,83 @@
+// Deterministic seeded jittered exponential backoff.
+//
+// Two consumers need to wait politely: a sharded-sweep worker whose every
+// unfinished shard is claimed by a live peer (poll-loop contention), and
+// the fs layer retrying a transient EIO. Fixed sleeps either hammer the
+// ledger (too short) or waste wall-clock near a lease expiry (too long);
+// exponential backoff with jitter is the standard fix, but a random jitter
+// source would break the repo's replay discipline — two runs of a pinned-
+// seed fault test must sleep the same schedule. So the jitter here is a
+// pure function of (seed, step): delay_k = min(max, initial * multiplier^k)
+// scaled by a factor drawn deterministically from [1 - jitter, 1 + jitter].
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace vmcons::util {
+
+class Backoff {
+ public:
+  struct Options {
+    std::chrono::microseconds initial{2000};
+    std::chrono::microseconds max{1000000};
+    double multiplier = 2.0;
+    /// Relative jitter in [0, 1): each delay is scaled by a deterministic
+    /// factor in [1 - jitter, 1 + jitter].
+    double jitter = 0.25;
+  };
+
+  explicit Backoff(Options options, std::uint64_t seed = 0)
+      : options_(options), seed_(seed) {
+    VMCONS_REQUIRE(options_.initial.count() > 0 && options_.max.count() > 0,
+                   "Backoff delays must be positive");
+    VMCONS_REQUIRE(options_.multiplier >= 1.0,
+                   "Backoff multiplier must be >= 1");
+    VMCONS_REQUIRE(options_.jitter >= 0.0 && options_.jitter < 1.0,
+                   "Backoff jitter must be in [0, 1)");
+  }
+
+  /// The next delay in the schedule (advances the step).
+  std::chrono::microseconds next() noexcept {
+    const double base = static_cast<double>(options_.initial.count());
+    const double cap = static_cast<double>(options_.max.count());
+    double delay = base;
+    // Bounded multiply-up instead of pow(): exact for the small step counts
+    // that matter and saturates at the cap without overflow.
+    for (std::uint64_t i = 0; i < step_ && delay < cap; ++i) {
+      delay *= options_.multiplier;
+    }
+    delay = std::min(delay, cap);
+    const double factor =
+        1.0 - options_.jitter + 2.0 * options_.jitter * unit_draw(step_);
+    ++step_;
+    const auto scaled = static_cast<std::int64_t>(delay * factor);
+    return std::chrono::microseconds(std::max<std::int64_t>(1, scaled));
+  }
+
+  /// Restarts the schedule (call after the contended resource made
+  /// progress, so the next wait starts short again).
+  void reset() noexcept { step_ = 0; }
+
+  std::uint64_t step() const noexcept { return step_; }
+
+ private:
+  /// splitmix64-style mix of (seed, step) into [0, 1); no global state, no
+  /// clock, so schedules replay across runs and processes.
+  double unit_draw(std::uint64_t step) const noexcept {
+    std::uint64_t x = seed_ ^ (step + 0x9e3779b97f4a7c15ULL);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<double>(x >> 11) * 0x1.0p-53;
+  }
+
+  Options options_;
+  std::uint64_t seed_ = 0;
+  std::uint64_t step_ = 0;
+};
+
+}  // namespace vmcons::util

@@ -88,30 +88,58 @@ void CsvWriter::continue_rows(std::size_t columns) {
   header_written_ = true;
 }
 
+void CsvWriter::emit(const std::string& line) {
+  if (file_ != nullptr) {
+    const util::fs::Status status =
+        util::fs::write_all(*file_, line.data(), line.size(), site_);
+    if (!status.ok()) {
+      throw IoError("CSV file '" + file_->path() + "': row write failed after " +
+                    std::to_string(status.bytes) + " of " +
+                    std::to_string(line.size()) + " bytes: " + status.message());
+    }
+    return;
+  }
+  *out_ << line;
+}
+
+void CsvWriter::commit() {
+  VMCONS_REQUIRE(file_ != nullptr,
+                 "CsvWriter::commit requires the durable (fs-backed) mode");
+  const util::fs::Status status = util::fs::fsync_file(*file_, site_);
+  if (!status.ok()) {
+    throw IoError("CSV file '" + file_->path() +
+                  "': fsync failed: " + status.message());
+  }
+}
+
 void CsvWriter::header(const std::vector<std::string>& columns) {
   VMCONS_REQUIRE(!header_written_, "CSV header already written");
   VMCONS_REQUIRE(!columns.empty(), "CSV header must have at least one column");
   columns_ = columns.size();
   header_written_ = true;
+  std::string line;
   for (std::size_t i = 0; i < columns.size(); ++i) {
     if (i != 0) {
-      out_ << ',';
+      line.push_back(',');
     }
-    out_ << csv_format_cell(columns[i]);
+    line += csv_format_cell(columns[i]);
   }
-  out_ << '\n';
+  line.push_back('\n');
+  emit(line);
 }
 
 void CsvWriter::row(const std::vector<CsvCell>& cells) {
   VMCONS_REQUIRE(header_written_, "CSV header must be written before rows");
   VMCONS_REQUIRE(cells.size() == columns_, "CSV row width differs from header");
+  std::string line;
   for (std::size_t i = 0; i < cells.size(); ++i) {
     if (i != 0) {
-      out_ << ',';
+      line.push_back(',');
     }
-    out_ << csv_format_cell(cells[i]);
+    line += csv_format_cell(cells[i]);
   }
-  out_ << '\n';
+  line.push_back('\n');
+  emit(line);
   ++rows_;
 }
 

@@ -8,8 +8,11 @@
 
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
+
+#include "util/fs.hpp"
 
 namespace vmcons {
 
@@ -25,11 +28,24 @@ std::string csv_format_cell(const CsvCell& cell);
 /// returning the partial field.
 std::vector<std::string> csv_parse_line(const std::string& line);
 
-/// Streaming CSV writer.
+/// Streaming CSV writer. Two backends:
+///
+///   * ostream mode — best-effort buffered output for bench tables and
+///     reports; failures follow the stream's own error state.
+///   * durable mode — rows go through the util::fs crash-consistent layer to
+///     an open descriptor at a named fault site; every write is checked
+///     (IoError naming the path on short write / EIO / ENOSPC) and commit()
+///     fsyncs, so a caller can make each row a durable commit point (the
+///     StreamingSweep checkpoint manifest does, per shard).
 class CsvWriter {
  public:
   /// Writes to `out`; the stream must outlive the writer.
-  explicit CsvWriter(std::ostream& out) : out_(out) {}
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Durable mode: writes through `file` (must stay open for the writer's
+  /// lifetime) via util::fs at `site`.
+  CsvWriter(util::fs::File& file, std::string_view site)
+      : file_(&file), site_(site) {}
 
   /// Writes the header row. Must be called before any data row (enforced).
   void header(const std::vector<std::string>& columns);
@@ -42,11 +58,19 @@ class CsvWriter {
   /// Writes one data row; the column count must match the header.
   void row(const std::vector<CsvCell>& cells);
 
+  /// Durable mode only: fsyncs the underlying file, making every row
+  /// written so far a commit point. Throws IoError on fsync failure.
+  void commit();
+
   /// Number of data rows written so far.
   std::size_t rows_written() const noexcept { return rows_; }
 
  private:
-  std::ostream& out_;
+  void emit(const std::string& line);
+
+  std::ostream* out_ = nullptr;
+  util::fs::File* file_ = nullptr;
+  std::string_view site_;
   std::size_t columns_ = 0;
   bool header_written_ = false;
   std::size_t rows_ = 0;

@@ -29,6 +29,7 @@ enum class ErrorCode : std::uint32_t {
   kCancelled = 5,         ///< a RunControl's CancelToken was flipped
   kDeadlineExceeded = 6,  ///< a RunControl's Deadline expired
   kFaultInjected = 7,     ///< synthetic failure from util::FaultInjector
+  kCrashInjected = 8,     ///< synthetic crash from util::fs::FsFaultInjector
 };
 
 /// Stable lowercase name of a code ("numeric_error", "cancelled", ...),
@@ -51,6 +52,8 @@ constexpr const char* error_code_name(ErrorCode code) noexcept {
       return "deadline_exceeded";
     case ErrorCode::kFaultInjected:
       return "fault_injected";
+    case ErrorCode::kCrashInjected:
+      return "crash_injected";
   }
   return "unknown";
 }
@@ -111,6 +114,17 @@ class DeadlineExceededError : public Error {
  public:
   explicit DeadlineExceededError(const std::string& what)
       : Error(what, ErrorCode::kDeadlineExceeded) {}
+};
+
+/// A synthetic process crash thrown by util::fs::FsFaultInjector at an armed
+/// crash-at-op point. Crash-recovery tests let it unwind out of the whole
+/// persistence operation (like a kill) and then restart; production code
+/// must never catch it short of the test harness, or the simulated crash
+/// would be softer than a real one.
+class CrashInjectedError : public Error {
+ public:
+  explicit CrashInjectedError(const std::string& what)
+      : Error(what, ErrorCode::kCrashInjected) {}
 };
 
 namespace detail {

@@ -1,26 +1,70 @@
 #include "util/file_lock.hpp"
 
 #include <cerrno>
-#include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 
-#include <fcntl.h>
 #include <signal.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include "util/error.hpp"
+#include "util/fs.hpp"
 
 namespace vmcons::util {
 namespace {
 
-[[noreturn]] void fail(const std::string& path, const std::string& what) {
+[[noreturn]] void lock_fail(const std::string& path, const std::string& what) {
   throw IoError("lock file '" + path + "': " + what);
 }
 
-std::string errno_text() {
-  return std::string(std::strerror(errno));
+std::string pid_record(::pid_t pid) {
+  return std::to_string(static_cast<long long>(pid)) + " " +
+         local_hostname() + "\n";
+}
+
+struct LockRecord {
+  ::pid_t pid = 0;
+  std::string hostname;  ///< empty for legacy pid-only records (= local)
+};
+
+/// Record in a lock file; nullopt for a missing, empty, or garbled record
+/// (a holder that crashed between create and write looks garbled — and the
+/// write follows the create immediately, so a garbled record is a crash
+/// footprint, not an in-progress writer).
+std::optional<LockRecord> read_lock_record(const std::string& path) {
+  const auto contents = read_file(path);
+  if (!contents.has_value()) {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  const long long pid = std::strtoll(contents->c_str(), &end, 10);
+  if (end == contents->c_str() || pid <= 0) {
+    return std::nullopt;
+  }
+  LockRecord record;
+  record.pid = static_cast<::pid_t>(pid);
+  // Optional hostname after the pid; trailing newline stripped.
+  const char* p = end;
+  while (*p == ' ') {
+    ++p;
+  }
+  while (*p != '\0' && *p != '\n' && *p != ' ') {
+    record.hostname.push_back(*p++);
+  }
+  return record;
+}
+
+/// Age of the lock file in milliseconds; nullopt when it vanished.
+std::optional<std::int64_t> lock_age_ms(const std::string& path) {
+  struct ::stat st {};
+  if (::stat(path.c_str(), &st) != 0) {
+    return std::nullopt;
+  }
+  const auto now = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::system_clock::now().time_since_epoch())
+                       .count();
+  return now - static_cast<std::int64_t>(st.st_mtime) * 1000;
 }
 
 }  // namespace
@@ -36,127 +80,123 @@ bool pid_alive(::pid_t pid) noexcept {
   return errno == EPERM;
 }
 
-bool create_exclusive(const std::string& path, const std::string& contents) {
-  const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
-  if (fd < 0) {
-    if (errno == EEXIST) {
-      return false;
+const std::string& local_hostname() {
+  static const std::string hostname = [] {
+    char buffer[256] = {};
+    if (::gethostname(buffer, sizeof buffer - 1) != 0 || buffer[0] == '\0') {
+      return std::string("localhost");
     }
-    fail(path, "exclusive create failed: " + errno_text());
-  }
-  std::size_t written = 0;
-  while (written < contents.size()) {
-    const ::ssize_t n = ::write(fd, contents.data() + written,
-                                contents.size() - written);
-    if (n < 0) {
-      const std::string reason = errno_text();
-      ::close(fd);
-      ::unlink(path.c_str());
-      fail(path, "write after exclusive create failed: " + reason);
+    std::string name(buffer);
+    for (char& c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                      c == '-';
+      if (!ok) {
+        c = '_';
+      }
     }
-    written += static_cast<std::size_t>(n);
-  }
-  ::close(fd);
-  return true;
-}
-
-void write_file_atomic(const std::string& path, const std::string& contents,
-                       const std::string& tag) {
-  const std::string tmp = path + ".tmp." + tag;
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    out << contents;
-    out.flush();
-    if (!out) {
-      std::remove(tmp.c_str());
-      fail(path, "cannot write temporary '" + tmp + "'");
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    const std::string reason = errno_text();
-    std::remove(tmp.c_str());
-    fail(path, "rename commit failed: " + reason);
-  }
+    return name;
+  }();
+  return hostname;
 }
 
 std::optional<std::string> read_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    if (errno == ENOENT) {
-      return std::nullopt;
-    }
-    // Distinguish "not there" from "there but unreadable" where errno lets
-    // us; an unreadable existing file is a real error.
-    if (::access(path.c_str(), F_OK) != 0) {
-      return std::nullopt;
-    }
-    fail(path, "cannot open for reading");
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
-
-namespace {
-
-std::string pid_record(::pid_t pid) {
-  return std::to_string(static_cast<long long>(pid)) + "\n";
-}
-
-/// Pid recorded in a lock file; nullopt for a missing, empty, or garbled
-/// record (a holder that crashed between create and write looks garbled —
-/// and is, by definition, dead).
-std::optional<::pid_t> read_lock_pid(const std::string& path) {
-  const auto contents = read_file(path);
-  if (!contents.has_value()) {
+  std::string contents;
+  const fs::Status status = fs::read_file(path, contents, fs::sites::kRead);
+  if (status.err == ENOENT) {
     return std::nullopt;
   }
-  errno = 0;
-  char* end = nullptr;
-  const long long pid = std::strtoll(contents->c_str(), &end, 10);
-  if (end == contents->c_str() || pid <= 0) {
-    return std::nullopt;
+  if (!status.ok()) {
+    throw IoError("file '" + path + "': read failed after " +
+                  std::to_string(status.bytes) + " bytes: " +
+                  status.message());
   }
-  return static_cast<::pid_t>(pid);
+  return contents;
 }
 
-}  // namespace
-
-PidLockFile::PidLockFile(std::string path, std::string what)
+PidLockFile::PidLockFile(std::string path, std::string what,
+                         std::chrono::milliseconds lease)
     : path_(std::move(path)) {
   const ::pid_t self = ::getpid();
   const std::string record = pid_record(self);
   for (int attempt = 0; attempt < 4; ++attempt) {
-    if (create_exclusive(path_, record)) {
+    const fs::Status created =
+        fs::create_exclusive_file(path_, record, fs::sites::kLock);
+    if (created.ok()) {
       return;  // clean acquisition
     }
-    const std::optional<::pid_t> holder = read_lock_pid(path_);
-    if (holder.has_value() && pid_alive(*holder)) {
-      throw IoError(what + " is locked by live pid " +
-                    std::to_string(static_cast<long long>(*holder)) + " ('" +
-                    path_ + "'); refusing to run two sweeps against it");
+    if (created.err != EEXIST) {
+      lock_fail(path_, "exclusive create failed: " + created.message());
     }
-    // Stale (dead pid or unreadable record): take over by renaming a fresh
-    // lock on top, then confirm by read-back that our rename won. A loser
-    // of the takeover race loops and now sees a live holder.
-    write_file_atomic(path_, record,
-                      std::to_string(static_cast<long long>(self)));
-    const std::optional<::pid_t> now = read_lock_pid(path_);
-    if (now.has_value() && *now == self) {
+    const std::optional<LockRecord> holder = read_lock_record(path_);
+    bool stale = true;
+    if (holder.has_value()) {
+      const bool is_local =
+          holder->hostname.empty() || holder->hostname == local_hostname();
+      if (is_local) {
+        // Same host: the pid probe is authoritative, no lease wait.
+        if (pid_alive(holder->pid)) {
+          throw IoError(what + " is locked by live pid " +
+                        std::to_string(static_cast<long long>(holder->pid)) +
+                        " ('" + path_ +
+                        "'); refusing to run two sweeps against it");
+        }
+      } else {
+        // Another host: its pid numbers mean nothing here. The only
+        // liveness signal is the lock's age against the lease (holders
+        // refresh() at progress points).
+        const auto age = lock_age_ms(path_);
+        if (age.has_value() && *age <= lease.count()) {
+          throw IoError(
+              what + " is locked by pid " +
+              std::to_string(static_cast<long long>(holder->pid)) +
+              " on host '" + holder->hostname + "' ('" + path_ +
+              "') and the lease has not expired; refusing to run two "
+              "sweeps against it");
+        }
+        stale = age.has_value();  // vanished mid-check: loop and re-create
+      }
+    }
+    if (!stale) {
+      continue;
+    }
+    // Stale: take over by committing a fresh lock on top, then confirm by
+    // read-back that our rename won. A loser of the takeover race loops
+    // and now sees a live holder.
+    const fs::Status committed = fs::commit_file(
+        path_, record, std::to_string(static_cast<long long>(self)),
+        fs::sites::kLock);
+    if (!committed.ok()) {
+      lock_fail(path_, "stale-lock takeover failed: " + committed.message());
+    }
+    const std::optional<LockRecord> now = read_lock_record(path_);
+    if (now.has_value() && now->pid == self &&
+        (now->hostname.empty() || now->hostname == local_hostname())) {
       return;
     }
   }
-  fail(path_, "could not acquire after repeated stale-lock takeovers");
+  lock_fail(path_, "could not acquire after repeated stale-lock takeovers");
 }
 
 PidLockFile::~PidLockFile() {
   // Only release a lock that is still ours: if a peer broke the lock as
-  // stale (it cannot have, while we live, but belt-and-braces) we must not
-  // unlink their lock.
-  const std::optional<::pid_t> holder = read_lock_pid(path_);
-  if (holder.has_value() && *holder == ::getpid()) {
-    ::unlink(path_.c_str());
+  // stale (it cannot have, while we live and refresh, but belt-and-braces)
+  // we must not unlink their lock.
+  try {
+    const std::optional<LockRecord> holder = read_lock_record(path_);
+    if (holder.has_value() && holder->pid == ::getpid() &&
+        (holder->hostname.empty() ||
+         holder->hostname == local_hostname())) {
+      fs::unlink_file(path_, fs::sites::kLock);
+    }
+  } catch (...) {
+    // Destructor: an unreadable lock file stays behind and ages out via
+    // the lease rule; throwing here would terminate the process.
   }
+}
+
+void PidLockFile::refresh() const noexcept {
+  fs::touch_file(path_, fs::sites::kLock);
 }
 
 }  // namespace vmcons::util

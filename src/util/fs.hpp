@@ -1,0 +1,293 @@
+// Crash-consistent filesystem layer: every persistence path goes through
+// these wrappers, and every wrapper is a fault-injection point.
+//
+// The sweep stack's durability story (scenario stores, checkpoint
+// manifests, claim ledgers, pid locks) used to be spread over ofstream
+// calls whose failures were checked late or not at all, and renames that
+// were atomic but not durable. This layer centralizes both concerns:
+//
+//   * Every syscall wrapper returns a Status carrying the errno, so a short
+//     write, EIO, or ENOSPC surfaces at the call that hit it — call sites
+//     convert to IoError naming their path/shard/record, never a generic
+//     "write failed" three layers up.
+//   * commit_file() is THE durable commit point: write a temporary in the
+//     same directory, fsync it, rename(2) onto the final name, fsync the
+//     parent directory. A reader sees the old file or the complete new
+//     file, and after commit_file returns the new file survives power loss.
+//     scripts/check_commit_points.sh enforces that no persistence path
+//     renames outside this helper.
+//   * Transient EIO on data reads/writes is retried a bounded number of
+//     times with deterministic jittered backoff (util::Backoff); ENOSPC and
+//     every other errno fail immediately. fsync failures are never retried:
+//     after a failed fsync the kernel may have dropped the dirty pages, so
+//     retrying can report durability that does not exist.
+//
+// FsFaultInjector mirrors util::FaultInjector (same seed plumbing, same
+// disarmed-fast-path design, same pinned-seed replay discipline — see
+// fault_inject.hpp): each wrapper call is an *op* at a named *site*, ops
+// are counted per site, and an armed site can deliver errno failures
+// (random-rate or exactly-at-op-N), short writes (the failing write lands a
+// partial prefix first — a torn write), and crash-at-op-N (throws
+// CrashInjectedError before or after the syscall, so tests can stop a
+// persistence operation at every boundary it has). Draws are a pure
+// function of (seed, site, op index): a given armed run replays
+// bit-identically.
+#pragma once
+
+#include <atomic>
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "util/error.hpp"
+
+namespace vmcons::util::fs {
+
+/// Registry of fs fault-site names, one per persistence call site family.
+/// Wrappers take the site explicitly so two callers of write_all can be
+/// crashed independently. Arming an unknown site throws (typos fail loudly).
+namespace sites {
+/// ScenarioStoreWriter: create/truncate + header write.
+inline constexpr std::string_view kStoreOpen = "fs.store.open";
+/// ScenarioStoreWriter: one op per shard-payload write attempt.
+inline constexpr std::string_view kStoreShard = "fs.store.shard";
+/// ScenarioStoreWriter::finish: footer/trailer writes and the two fsyncs
+/// that make the trailer a commit point.
+inline constexpr std::string_view kStoreFinish = "fs.store.finish";
+/// ScenarioStore::read_shard positional reads (and the validating open).
+inline constexpr std::string_view kStoreRead = "fs.store.read";
+/// StreamingSweep checkpoint manifest: open/truncate-tail/header.
+inline constexpr std::string_view kManifestOpen = "fs.manifest.open";
+/// StreamingSweep checkpoint manifest: per-shard row appends + fsync.
+inline constexpr std::string_view kManifestAppend = "fs.manifest.append";
+/// PidLockFile create/read/takeover.
+inline constexpr std::string_view kLock = "fs.lock";
+/// ClaimLedger claim create/read/takeover/release.
+inline constexpr std::string_view kClaim = "fs.claim";
+/// ClaimLedger result-file durable commit (write+fsync+rename+dirfsync).
+inline constexpr std::string_view kResultCommit = "fs.result.commit";
+/// Worker metrics snapshot durable commit.
+inline constexpr std::string_view kMetricsCommit = "fs.metrics.commit";
+/// Generic whole-file reads (merge inputs, util::read_file default).
+inline constexpr std::string_view kRead = "fs.read";
+}  // namespace sites
+
+inline constexpr std::size_t kSiteCount = 11;
+
+/// Outcome of one wrapper call. err is the errno (0 on success); bytes is
+/// how many bytes actually landed/were read before the failure, so callers
+/// can report exactly where a short write tore.
+struct Status {
+  int err = 0;
+  std::size_t bytes = 0;
+
+  bool ok() const noexcept { return err == 0; }
+  /// Stable classification for structured consumers; fs failures are all
+  /// kIoError (the errno carries the detail).
+  ErrorCode code() const noexcept {
+    return err == 0 ? ErrorCode::kUnknown : ErrorCode::kIoError;
+  }
+  /// strerror text of err ("No space left on device"), "ok" when clean.
+  std::string message() const;
+};
+
+/// Move-only RAII descriptor. Wrappers populate it via the open functions;
+/// the destructor closes silently (call close() where the close result
+/// matters, e.g. before judging a commit durable).
+class File {
+ public:
+  File() = default;
+  File(File&& other) noexcept;
+  File& operator=(File&& other) noexcept;
+  ~File();
+
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  bool is_open() const noexcept { return fd_ >= 0; }
+  int fd() const noexcept { return fd_; }
+  const std::string& path() const noexcept { return path_; }
+
+  /// Closes the descriptor (idempotent) and reports the close(2) result —
+  /// on NFS a deferred write error can surface here, so durable paths check
+  /// it instead of relying on the silent destructor.
+  Status close() noexcept;
+
+  /// Takes ownership of an already-open descriptor (used by the open
+  /// wrappers and tests only).
+  void adopt(int fd, std::string path) noexcept;
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+// --- syscall wrappers -----------------------------------------------------
+// Each call consults the global FsFaultInjector at `site` (one op per call;
+// write_all/pread_all count one op per underlying attempt, retries
+// included), loops on EINTR, and returns the first real failure as Status.
+
+/// O_WRONLY|O_CREAT|O_TRUNC, mode 0644.
+Status create_truncate(const std::string& path, std::string_view site,
+                       File& out);
+/// O_WRONLY|O_APPEND (file must exist).
+Status open_append(const std::string& path, std::string_view site, File& out);
+/// O_RDONLY.
+Status open_read(const std::string& path, std::string_view site, File& out);
+
+/// O_CREAT|O_EXCL claim primitive: atomically creates `path` and writes
+/// `contents`. Status.err == EEXIST means another process won (not an
+/// error); any other errno is a real failure and the partial file is
+/// unlinked. The create is atomic but the contents are not fsynced: claim
+/// records are coordination state whose loss is covered by leases.
+Status create_exclusive_file(const std::string& path,
+                             std::string_view contents, std::string_view site);
+
+/// Writes all n bytes (retrying transient EIO with backoff, resuming after
+/// short writes). On failure Status.bytes reports the prefix that landed.
+Status write_all(File& file, const void* data, std::size_t n,
+                 std::string_view site);
+
+/// Positional read of exactly n bytes at `offset` (retrying transient EIO
+/// with backoff). Hitting end-of-file before n bytes is reported as
+/// err == ENODATA with Status.bytes holding the partial count.
+Status pread_all(const File& file, void* data, std::size_t n,
+                 std::uint64_t offset, std::string_view site);
+
+/// fsync(2) on the file. Never retried (see header comment).
+Status fsync_file(const File& file, std::string_view site);
+
+/// Opens and fsyncs the directory containing `path`, making a rename into
+/// that directory durable.
+Status fsync_parent_dir(const std::string& path, std::string_view site);
+
+/// rename(2). Atomic, but durable only after fsync_parent_dir.
+Status rename_file(const std::string& from, const std::string& to,
+                   std::string_view site);
+
+/// unlink(2); ENOENT is returned (callers usually treat it as benign).
+Status unlink_file(const std::string& path, std::string_view site);
+
+/// truncate(2) to `bytes` (drops a torn tail before appending).
+Status truncate_file(const std::string& path, std::uint64_t bytes,
+                     std::string_view site);
+
+/// Bumps mtime to now (utimensat); PidLockFile::refresh uses it so a live
+/// holder's lock never looks lease-stale to remote hosts.
+Status touch_file(const std::string& path, std::string_view site);
+
+/// Whole file into `out`. err == ENOENT when the file does not exist.
+Status read_file(const std::string& path, std::string& out,
+                 std::string_view site);
+
+/// THE durable commit point (and the only rename persistence code may use —
+/// scripts/check_commit_points.sh enforces it): writes `path + ".tmp." +
+/// tag`, fsyncs it, renames onto `path`, fsyncs the parent directory.
+/// Readers see old-or-complete-new at every instant, and success means the
+/// new contents survive power loss. On failure the temporary is unlinked
+/// (best-effort) and the Status names the failing step's errno.
+Status commit_file(const std::string& path, std::string_view contents,
+                   const std::string& tag, std::string_view site);
+
+// --- fault injection ------------------------------------------------------
+
+/// Deterministic seeded fault injector for the fs layer. See the file
+/// header; the shape deliberately mirrors util::FaultInjector.
+class FsFaultInjector {
+ public:
+  /// What an armed site delivers. Effects compose: a crash op crashes, an
+  /// error op fails with error_errno, and when `short_write` is set a
+  /// failing *write* op first lands half of its remaining bytes (a torn
+  /// write). error_rate draws and error_at_op are independent triggers.
+  struct SiteConfig {
+    double error_rate = 0.0;        ///< per-op failure probability
+    std::uint64_t error_at_op = 0;  ///< 1-based op that fails; 0 = off
+    int error_errno = EIO;          ///< errno delivered by error triggers
+    bool short_write = false;       ///< failing writes tear (partial lands)
+    std::uint64_t crash_at_op = 0;  ///< 1-based op that crashes; 0 = off
+    bool crash_after = false;       ///< crash after the syscall, not before
+  };
+
+  /// What a wrapper should do for the current op. A crash_at_op with
+  /// crash_after == false throws from on_op directly; with
+  /// crash_after == true the plan carries `crash_after`, and the wrapper
+  /// calls throw_crash() right after the syscall completes.
+  struct FaultPlan {
+    bool fail = false;
+    int err = 0;
+    bool short_write = false;
+    bool crash_after = false;
+    std::uint64_t op = 0;  ///< 1-based op number, for crash messages
+  };
+
+  FsFaultInjector();
+  ~FsFaultInjector();
+
+  FsFaultInjector(const FsFaultInjector&) = delete;
+  FsFaultInjector& operator=(const FsFaultInjector&) = delete;
+
+  /// Arms `site` (must be in known_sites(); rates in [0,1]). An all-default
+  /// SiteConfig is valid and useful: it makes the site count ops without
+  /// injecting, which is how tests discover how many ops an operation has
+  /// before choosing crash points.
+  void arm(std::string_view site, SiteConfig config);
+
+  /// Disarms every site (op counters are left intact; see reset_ops).
+  void disarm_all();
+
+  /// Reseeds the draw stream. Default seed 2009; tier1 pins via the same
+  /// VMCONS_FAULT_SEED convention as util::FaultInjector.
+  void set_seed(std::uint64_t seed);
+  std::uint64_t seed() const;
+
+  /// One relaxed load; wrappers gate all injection work behind it.
+  static bool enabled() noexcept {
+    return g_enabled.load(std::memory_order_relaxed);
+  }
+
+  /// Called by a wrapper for each op at `site`. Counts the op (armed sites
+  /// only), throws CrashInjectedError at an armed pre-syscall crash op, and
+  /// returns the plan (error / short-write / crash_after) otherwise.
+  FaultPlan on_op(std::string_view site);
+
+  /// Throws the CrashInjectedError for a FaultPlan whose crash_after fired;
+  /// wrappers call it immediately after the op's syscall.
+  [[noreturn]] void throw_crash(std::string_view site, std::uint64_t op) const;
+
+  /// Ops counted at `site` since the last reset_ops (armed intervals only).
+  std::uint64_t ops_at(std::string_view site) const;
+  void reset_ops();
+
+  static std::span<const std::string_view> known_sites() noexcept;
+  static FsFaultInjector& global();
+
+ private:
+  struct Config;  // private to fs.cpp
+
+  std::shared_ptr<const Config> load() const;
+  void publish_enabled() const;
+
+  static std::atomic<bool> g_enabled;
+
+  std::atomic<std::shared_ptr<const Config>> config_;
+  std::atomic<std::uint64_t> ops_[kSiteCount] = {};
+};
+
+/// RAII arming guard for tests: disarms the global fs injector, restores
+/// its seed, and resets op counters on scope exit.
+class ScopedFsFaults {
+ public:
+  ScopedFsFaults();
+  ~ScopedFsFaults();
+  ScopedFsFaults(const ScopedFsFaults&) = delete;
+  ScopedFsFaults& operator=(const ScopedFsFaults&) = delete;
+
+ private:
+  std::uint64_t saved_seed_;
+};
+
+}  // namespace vmcons::util::fs

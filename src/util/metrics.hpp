@@ -70,6 +70,14 @@ inline constexpr const char* kDriverClaimConflicts = "driver.claim_conflicts";
 inline constexpr const char* kDriverShardsMerged = "driver.shards_merged";
 inline constexpr const char* kDriverMergeWall = "driver.merge_wall";
 
+/// util::fs layer: fsync(2) calls issued (file + directory), durable
+/// commit_file completions, bytes written through write_all, and transient
+/// EIO attempts absorbed by the bounded retry loop.
+inline constexpr const char* kFsFsyncs = "fs.fsyncs";
+inline constexpr const char* kFsCommits = "fs.commits";
+inline constexpr const char* kFsBytesWritten = "fs.bytes_written";
+inline constexpr const char* kFsEioRetries = "fs.eio_retries";
+
 inline constexpr const char* kErlangEvaluations = "erlang.evaluations";
 inline constexpr const char* kErlangCacheHits = "erlang.cache_hits";
 inline constexpr const char* kErlangSteps = "erlang.steps";

@@ -1,0 +1,857 @@
+// util::fs crash-consistency suite: deterministic seeded fault injection
+// at every persistence site, and the recovery property the layer exists
+// for — after an injected crash at ANY op of a store write, checkpoint
+// commit, claim, result commit, or merge read, a restarted run recovers
+// bit-identical to a clean 1-process StreamingSweep.
+//
+// The op counts that pick crash points come from *probe runs*: arming a
+// site with an all-default SiteConfig makes the injector count ops without
+// injecting anything, so the tests discover how many ops an operation has
+// instead of hard-coding syscall sequences. Seeds pin via VMCONS_FAULT_SEED
+// (scripts/tier1.sh sets it) so a red run replays bit-identically.
+#include "util/fs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "core/planner.hpp"
+#include "core/scenario_store.hpp"
+#include "core/sharded_sweep.hpp"
+#include "core/streaming_sweep.hpp"
+#include "util/backoff.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/file_lock.hpp"
+#include "util/metrics.hpp"
+#include "virt/impact.hpp"
+
+namespace vmcons::core {
+namespace {
+
+namespace fs = util::fs;
+using fs::FsFaultInjector;
+using fs::ScopedFsFaults;
+
+std::uint64_t fault_seed() {
+  if (const char* env = std::getenv("VMCONS_FAULT_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 2009;
+}
+
+/// The streaming suite's small scenario space: 12 points, shard size 2 ->
+/// 6 shards, cheap enough to evaluate dozens of times per test.
+ConsolidationPlanner small_planner() {
+  ConsolidationPlanner planner;
+  planner.set_target_loss(0.01);
+  dc::ServiceSpec web;
+  web.name = "web";
+  web.arrival_rate = 120.0;
+  web.demand(dc::Resource::kCpu, 180.0, virt::Impact::constant(0.8));
+  web.demand(dc::Resource::kNetwork, 400.0, virt::Impact::constant(0.9));
+  planner.add_service(web);
+  dc::ServiceSpec db;
+  db.name = "db";
+  db.arrival_rate = 60.0;
+  db.demand(dc::Resource::kCpu, 90.0, virt::Impact::constant(0.75));
+  db.demand(dc::Resource::kDiskIo, 150.0, virt::Impact::constant(0.7));
+  planner.add_service(db);
+  return planner;
+}
+
+SweepGrid small_grid() {
+  SweepGrid grid;
+  grid.target_losses({0.005, 0.01, 0.05})
+      .vms_per_server({2, 3})
+      .workload_scales({1.0, 1.4});
+  return grid;
+}
+constexpr std::size_t kShards = 6;
+
+std::string temp_path(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "vmcons_fsfault_" + name;
+  std::remove(path.c_str());
+  std::error_code ec;
+  std::filesystem::remove_all(path, ec);
+  return path;
+}
+
+std::uint64_t write_small_store(const std::string& path) {
+  return write_sweep_store(small_planner(), small_grid(), path, 2).checksum;
+}
+
+StreamingSweepOptions streaming_options(const std::string& checkpoint) {
+  StreamingSweepOptions options;
+  options.batch.parallel = false;
+  options.batch.policy = FailurePolicy::kQuarantine;
+  options.checkpoint_path = checkpoint;
+  return options;
+}
+
+ShardedSweepOptions worker_options(const std::string& ledger,
+                                   const std::string& worker_id,
+                                   std::chrono::milliseconds lease) {
+  ShardedSweepOptions options;
+  options.batch.parallel = false;
+  options.batch.policy = FailurePolicy::kQuarantine;
+  options.ledger_dir = ledger;
+  options.worker_id = worker_id;
+  options.lease = lease;
+  options.poll = std::chrono::milliseconds(2);
+  return options;
+}
+
+/// Clean-run reference digests: the bit-identity yardstick for every
+/// recovery below.
+std::vector<std::uint64_t> reference_checksums(const ScenarioStore& store) {
+  const StreamingSweep sweep(streaming_options(""));
+  const StreamingSweepReport report = sweep.run(store);
+  EXPECT_TRUE(report.complete());
+  return report.shard_checksums;
+}
+
+/// Arms `site` with an all-default config, runs `operation`, and returns
+/// how many ops the site counted — the probe run that lets tests choose
+/// crash points without hard-coding syscall sequences.
+template <typename Operation>
+std::uint64_t probe_ops(std::string_view site, Operation&& operation) {
+  FsFaultInjector& injector = FsFaultInjector::global();
+  injector.reset_ops();
+  injector.arm(site, {});
+  operation();
+  const std::uint64_t ops = injector.ops_at(site);
+  injector.disarm_all();
+  injector.reset_ops();
+  return ops;
+}
+
+// --- Backoff --------------------------------------------------------------
+
+TEST(FsFaultBackoff, DeterministicJitteredSchedule) {
+  util::Backoff::Options options;
+  options.initial = std::chrono::microseconds(1000);
+  options.max = std::chrono::microseconds(16000);
+  options.multiplier = 2.0;
+  options.jitter = 0.25;
+
+  util::Backoff a(options, 42);
+  util::Backoff b(options, 42);
+  util::Backoff c(options, 43);
+  bool any_difference = false;
+  double expected_base = 1000.0;
+  for (int step = 0; step < 8; ++step) {
+    const auto delay_a = a.next();
+    const auto delay_b = b.next();
+    const auto delay_c = c.next();
+    EXPECT_EQ(delay_a, delay_b) << "same seed must replay the same schedule";
+    any_difference = any_difference || delay_a != delay_c;
+    // Every delay stays inside [1 - jitter, 1 + jitter] of the exponential.
+    const double base = std::min(expected_base, 16000.0);
+    EXPECT_GE(delay_a.count(), static_cast<std::int64_t>(base * 0.75) - 1);
+    EXPECT_LE(delay_a.count(), static_cast<std::int64_t>(base * 1.25) + 1);
+    expected_base *= 2.0;
+  }
+  EXPECT_TRUE(any_difference) << "different seeds should jitter differently";
+
+  a.reset();
+  util::Backoff fresh(options, 42);
+  EXPECT_EQ(a.next(), fresh.next()) << "reset must restart the schedule";
+}
+
+TEST(FsFaultBackoff, RejectsInvalidOptions) {
+  util::Backoff::Options bad;
+  bad.multiplier = 0.5;
+  EXPECT_THROW(util::Backoff(bad, 1), Error);
+  util::Backoff::Options negative;
+  negative.initial = std::chrono::microseconds(0);
+  EXPECT_THROW(util::Backoff(negative, 1), Error);
+  util::Backoff::Options jitter;
+  jitter.jitter = 1.0;
+  EXPECT_THROW(util::Backoff(jitter, 1), Error);
+}
+
+// --- injector basics ------------------------------------------------------
+
+TEST(FsFaultInjection, ArmingUnknownSiteThrows) {
+  ScopedFsFaults guard;
+  EXPECT_THROW(FsFaultInjector::global().arm("fs.nonexistent", {}), Error);
+}
+
+TEST(FsFaultInjection, DisarmedFastPathCountsNothing) {
+  ScopedFsFaults guard;
+  FsFaultInjector& injector = FsFaultInjector::global();
+  EXPECT_FALSE(FsFaultInjector::enabled());
+  const std::string path = temp_path("disarmed.txt");
+  fs::File file;
+  ASSERT_TRUE(fs::create_truncate(path, fs::sites::kRead, file).ok());
+  ASSERT_TRUE(fs::write_all(file, "x", 1, fs::sites::kRead).ok());
+  EXPECT_EQ(injector.ops_at(fs::sites::kRead), 0u);
+}
+
+TEST(FsFaultInjection, DeterministicErrorAtOpDeliversChosenErrno) {
+  ScopedFsFaults guard;
+  FsFaultInjector& injector = FsFaultInjector::global();
+  injector.set_seed(fault_seed());
+  FsFaultInjector::SiteConfig config;
+  config.error_at_op = 2;
+  config.error_errno = ENOSPC;
+  injector.arm(fs::sites::kClaim, config);
+
+  const std::string path = temp_path("eno.txt");
+  fs::File file;
+  ASSERT_TRUE(fs::create_truncate(path, fs::sites::kClaim, file).ok());  // op 1
+  const fs::Status failed =
+      fs::write_all(file, "doomed", 6, fs::sites::kClaim);  // op 2
+  EXPECT_EQ(failed.err, ENOSPC);
+  EXPECT_EQ(failed.bytes, 0u);
+  EXPECT_EQ(failed.code(), ErrorCode::kIoError);
+}
+
+TEST(FsFaultInjection, ShortWriteLandsTornPrefix) {
+  ScopedFsFaults guard;
+  FsFaultInjector& injector = FsFaultInjector::global();
+  injector.set_seed(fault_seed());
+  FsFaultInjector::SiteConfig config;
+  config.error_at_op = 2;
+  config.error_errno = ENOSPC;
+  config.short_write = true;
+  injector.arm(fs::sites::kClaim, config);
+
+  const std::string path = temp_path("torn.txt");
+  fs::File file;
+  ASSERT_TRUE(fs::create_truncate(path, fs::sites::kClaim, file).ok());
+  const std::string payload = "0123456789";
+  const fs::Status failed =
+      fs::write_all(file, payload.data(), payload.size(), fs::sites::kClaim);
+  EXPECT_EQ(failed.err, ENOSPC);
+  EXPECT_EQ(failed.bytes, payload.size() / 2)
+      << "a torn write lands half of the remaining bytes before failing";
+  file.close();
+
+  injector.disarm_all();
+  std::string on_disk;
+  ASSERT_TRUE(fs::read_file(path, on_disk, fs::sites::kRead).ok());
+  EXPECT_EQ(on_disk, payload.substr(0, payload.size() / 2))
+      << "the file must hold exactly the torn prefix";
+}
+
+TEST(FsFaultInjection, TransientEioIsRetriedInvisibly) {
+  ScopedFsFaults guard;
+  FsFaultInjector& injector = FsFaultInjector::global();
+  injector.set_seed(fault_seed());
+  FsFaultInjector::SiteConfig config;
+  config.error_at_op = 2;
+  config.error_errno = EIO;
+  injector.arm(fs::sites::kClaim, config);
+
+  const std::uint64_t retries_before =
+      metrics::registry().counter(metrics::names::kFsEioRetries).value();
+  const std::string path = temp_path("eio.txt");
+  fs::File file;
+  ASSERT_TRUE(fs::create_truncate(path, fs::sites::kClaim, file).ok());
+  const std::string payload = "survives one transient EIO";
+  const fs::Status written =
+      fs::write_all(file, payload.data(), payload.size(), fs::sites::kClaim);
+  EXPECT_TRUE(written.ok()) << written.message();
+  EXPECT_EQ(written.bytes, payload.size());
+  file.close();
+  EXPECT_GT(metrics::registry().counter(metrics::names::kFsEioRetries).value(),
+            retries_before)
+      << "the retry must be visible in fs.eio_retries";
+
+  injector.disarm_all();
+  std::string on_disk;
+  ASSERT_TRUE(fs::read_file(path, on_disk, fs::sites::kRead).ok());
+  EXPECT_EQ(on_disk, payload) << "a retried write must land complete bytes";
+}
+
+TEST(FsFaultInjection, EnospcIsNeverRetried) {
+  ScopedFsFaults guard;
+  FsFaultInjector& injector = FsFaultInjector::global();
+  injector.set_seed(fault_seed());
+  FsFaultInjector::SiteConfig config;
+  config.error_at_op = 2;
+  config.error_errno = ENOSPC;
+  injector.arm(fs::sites::kClaim, config);
+
+  const std::uint64_t retries_before =
+      metrics::registry().counter(metrics::names::kFsEioRetries).value();
+  const std::string path = temp_path("enospc.txt");
+  fs::File file;
+  ASSERT_TRUE(fs::create_truncate(path, fs::sites::kClaim, file).ok());
+  EXPECT_EQ(fs::write_all(file, "x", 1, fs::sites::kClaim).err, ENOSPC);
+  EXPECT_EQ(metrics::registry().counter(metrics::names::kFsEioRetries).value(),
+            retries_before)
+      << "a full disk does not get better by retrying";
+}
+
+TEST(FsFaultInjection, CommitFileUnlinksTemporaryOnFailure) {
+  ScopedFsFaults guard;
+  FsFaultInjector& injector = FsFaultInjector::global();
+  injector.set_seed(fault_seed());
+
+  const std::string path = temp_path("commit.txt");
+  ASSERT_TRUE(fs::commit_file(path, "old contents", "t0",
+                              fs::sites::kResultCommit)
+                  .ok());
+
+  FsFaultInjector::SiteConfig config;
+  config.error_at_op = 2;  // the payload write inside the commit
+  config.error_errno = ENOSPC;
+  injector.arm(fs::sites::kResultCommit, config);
+  const fs::Status failed =
+      fs::commit_file(path, "new contents", "t1", fs::sites::kResultCommit);
+  EXPECT_EQ(failed.err, ENOSPC);
+  injector.disarm_all();
+
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp.t1"))
+      << "a failed commit must not leave its temporary behind";
+  std::string on_disk;
+  ASSERT_TRUE(fs::read_file(path, on_disk, fs::sites::kRead).ok());
+  EXPECT_EQ(on_disk, "old contents")
+      << "a failed commit must leave the previous contents untouched";
+}
+
+// --- durable CsvWriter ----------------------------------------------------
+
+TEST(FsFaultInjection, DurableCsvWriterWritesAndCommits) {
+  ScopedFsFaults guard;
+  const std::string path = temp_path("durable.csv");
+  {
+    fs::File file;
+    ASSERT_TRUE(
+        fs::create_truncate(path, fs::sites::kManifestAppend, file).ok());
+    CsvWriter writer(file, fs::sites::kManifestAppend);
+    writer.header({"a", "b"});
+    writer.row({1LL, std::string("x,y")});
+    writer.commit();
+    EXPECT_EQ(writer.rows_written(), 1u);
+  }
+  std::string text;
+  ASSERT_TRUE(fs::read_file(path, text, fs::sites::kRead).ok());
+  EXPECT_EQ(text, "a,b\n1,\"x,y\"\n");
+}
+
+TEST(FsFaultInjection, DurableCsvWriterNamesPathOnFailure) {
+  ScopedFsFaults guard;
+  FsFaultInjector& injector = FsFaultInjector::global();
+  injector.set_seed(fault_seed());
+  const std::string path = temp_path("durable_fail.csv");
+  fs::File file;
+  ASSERT_TRUE(
+      fs::create_truncate(path, fs::sites::kManifestAppend, file).ok());
+  CsvWriter writer(file, fs::sites::kManifestAppend);
+
+  FsFaultInjector::SiteConfig config;
+  config.error_at_op = 1;
+  config.error_errno = ENOSPC;
+  injector.arm(fs::sites::kManifestAppend, config);
+  try {
+    writer.header({"a"});
+    FAIL() << "a failing row write must throw";
+  } catch (const IoError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("No space left"), std::string::npos) << what;
+  }
+}
+
+// --- store writer failure surfacing (the PR's headline bugfix) ------------
+
+TEST(FsFaultInjection, StoreWriterNamesPathShardAndErrnoOnEnospc) {
+  ScopedFsFaults guard;
+  FsFaultInjector& injector = FsFaultInjector::global();
+  injector.set_seed(fault_seed());
+  FsFaultInjector::SiteConfig config;
+  config.error_at_op = 1;  // the first shard payload write
+  config.error_errno = ENOSPC;
+  config.short_write = true;
+  injector.arm(fs::sites::kStoreShard, config);
+
+  const std::string path = temp_path("enospc.store");
+  try {
+    write_small_store(path);
+    FAIL() << "an ENOSPC mid-shard must surface, not be swallowed";
+  } catch (const IoError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("shard 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("No space left"), std::string::npos) << what;
+  }
+  injector.disarm_all();
+  // The torn file is rejected by the reader — crash-safe by construction.
+  EXPECT_THROW(ScenarioStore{path}, IoError);
+}
+
+// --- PidLockFile host portability -----------------------------------------
+
+TEST(FsFaultLock, RemoteHostLockRespectsLeaseNotPid) {
+  const std::string path = temp_path("remote.lock");
+  {
+    // A lock written "elsewhere": hostname that is not ours, pid 1 (alive
+    // on every Linux box — the pid probe would wrongly call this live
+    // forever if it were consulted for remote records).
+    std::ofstream out(path);
+    out << "1 not-this-host-" << ::getpid() << "\n";
+  }
+  // Fresh remote lock, unexpired lease: acquisition must refuse, and the
+  // message must name the remote holder.
+  try {
+    util::PidLockFile lock(path, "test resource", std::chrono::minutes(2));
+    FAIL() << "an unexpired remote lease must block acquisition";
+  } catch (const IoError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("on host"), std::string::npos) << what;
+    EXPECT_NE(what.find("not-this-host"), std::string::npos) << what;
+  }
+  // Same lock with an expired lease: taken over via the age rule.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  util::PidLockFile lock(path, "test resource",
+                         std::chrono::milliseconds(50));
+  std::string record;
+  ASSERT_TRUE(fs::read_file(path, record, fs::sites::kRead).ok());
+  EXPECT_NE(record.find(std::to_string(::getpid())), std::string::npos);
+  EXPECT_NE(record.find(util::local_hostname()), std::string::npos)
+      << "takeover must brand the lock with our pid and hostname";
+}
+
+TEST(FsFaultLock, LegacyPidOnlyRecordIsJudgedByLocalPidProbe) {
+  const std::string path = temp_path("legacy.lock");
+  const ::pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    ::_exit(0);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  {
+    std::ofstream out(path);
+    out << static_cast<long long>(child) << "\n";  // pid-only, no hostname
+  }
+  // Dead local pid: reclaimed immediately, no lease wait, even though the
+  // record predates the hostname column.
+  util::PidLockFile lock(path, "legacy resource", std::chrono::minutes(2));
+  std::string record;
+  ASSERT_TRUE(fs::read_file(path, record, fs::sites::kRead).ok());
+  EXPECT_NE(record.find(std::to_string(::getpid())), std::string::npos);
+}
+
+TEST(FsFaultLock, RefreshKeepsRemoteStalenessAtBay) {
+  const std::string path = temp_path("refresh.lock");
+  util::PidLockFile lock(path, "refreshed resource",
+                         std::chrono::milliseconds(80));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  lock.refresh();
+  struct ::stat st {};
+  ASSERT_EQ(::stat(path.c_str(), &st), 0);
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const std::int64_t age_s =
+      std::chrono::duration_cast<std::chrono::seconds>(now).count() -
+      static_cast<std::int64_t>(st.st_mtime);
+  EXPECT_LE(age_s, 2) << "refresh must bump the lock's mtime to now";
+}
+
+// --- lease-only claim staleness -------------------------------------------
+
+TEST(FsFaultClaims, ClaimRecordsCarryPidAndHostname) {
+  const std::string ledger_dir = temp_path("hostname.ledger");
+  const ClaimLedger ledger(ledger_dir, 0x1234, std::chrono::minutes(1));
+  ASSERT_TRUE(ledger.try_claim(0, "w0", ClaimLedger::make_token()));
+  const auto claim = ledger.read_claim(0);
+  ASSERT_TRUE(claim.has_value());
+  EXPECT_EQ(claim->worker, "w0");
+  EXPECT_EQ(claim->pid, static_cast<long long>(::getpid()));
+  EXPECT_EQ(claim->hostname, util::local_hostname())
+      << "claims must record their host for the portable staleness rule";
+  EXPECT_EQ(claim->store_checksum, 0x1234u);
+}
+
+TEST(FsFaultClaims, LeaseOnlyModeIgnoresDeadPidUntilLeaseExpires) {
+  const std::string ledger_dir = temp_path("leaseonly.ledger");
+
+  // A genuinely dead claimer: fork a child that claims shard 0 and exits.
+  const ::pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    const ClaimLedger mine(ledger_dir, 0x77, std::chrono::milliseconds(150));
+    mine.try_claim(0, "doomed", ClaimLedger::make_token());
+    ::_exit(0);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+
+  // Lease-only ledger (dead_pid_fast_path = false): the dead pid does NOT
+  // shortcut the unexpired lease.
+  const ClaimLedger lease_only(ledger_dir, 0x77,
+                               std::chrono::milliseconds(150), false);
+  bool reclaimed = false;
+  EXPECT_FALSE(lease_only.try_claim(0, "w1", ClaimLedger::make_token(),
+                                    &reclaimed))
+      << "lease-only mode must wait out the lease even for a dead local pid";
+
+  // Default mode on the same record reclaims immediately via the pid probe.
+  const ClaimLedger fast(ledger_dir, 0x77, std::chrono::minutes(1));
+  EXPECT_TRUE(fast.try_claim(0, "w2", ClaimLedger::make_token(), &reclaimed));
+  EXPECT_TRUE(reclaimed);
+
+  // And lease-only mode reclaims once the deadline passes: shard 1, claimed
+  // by the (now dead) child's sibling record — emulate with a short lease.
+  const ClaimLedger short_lease(ledger_dir, 0x77,
+                                std::chrono::milliseconds(40), false);
+  ASSERT_TRUE(short_lease.try_claim(1, "w3", ClaimLedger::make_token()));
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  reclaimed = false;
+  EXPECT_TRUE(short_lease.try_claim(1, "w4", ClaimLedger::make_token(),
+                                    &reclaimed))
+      << "an expired lease must be reclaimable without any pid check";
+  EXPECT_TRUE(reclaimed);
+}
+
+TEST(FsFaultClaims, LeaseOnlyTwoWorkerKillOneRecovers) {
+  const std::string store_path = temp_path("leaseonly.store");
+  write_small_store(store_path);
+  const ScenarioStore store(store_path);
+  const std::vector<std::uint64_t> reference = reference_checksums(store);
+  const std::string ledger = temp_path("leaseonly_drill.ledger");
+
+  // Worker 1 claims a shard and dies instantly — the kill-one half.
+  const ::pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    ShardedSweepOptions options =
+        worker_options(ledger, "victim", std::chrono::milliseconds(400));
+    options.lease_only = true;
+    options.on_claimed = [](std::size_t) { ::_exit(137); };
+    try {
+      const ScenarioStore child_store(store_path);
+      const ShardedSweepDriver doomed(std::move(options));
+      doomed.run_worker(child_store);
+    } catch (...) {
+    }
+    ::_exit(1);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 137);
+
+  // Worker 2, lease-only: must wait out the victim's lease (no dead-pid
+  // shortcut) and still finish the whole sweep.
+  ShardedSweepOptions options =
+      worker_options(ledger, "rescuer", std::chrono::milliseconds(400));
+  options.lease_only = true;
+  const ShardedSweepDriver rescuer(options);
+  const WorkerReport report = rescuer.run_worker(store);
+  EXPECT_EQ(report.shards_evaluated, kShards);
+  EXPECT_GE(report.leases_reclaimed, 1u);
+
+  const ShardedSweepDriver merger(options);
+  const MergedSweep merged = merger.merge(store);
+  EXPECT_EQ(merged.report.shard_checksums, reference)
+      << "lease-only recovery must merge bit-identical to streaming";
+}
+
+// --- crash-recovery property suite ----------------------------------------
+
+/// Crashes store writing at every op of every store-write site, and checks
+/// the two-sided property: the torn file is always rejected, and a clean
+/// rewrite always reproduces the reference checksum.
+TEST(CrashRecovery, StoreWriteCrashAtEveryOpRecoversBitIdentical) {
+  ScopedFsFaults guard;
+  FsFaultInjector& injector = FsFaultInjector::global();
+  injector.set_seed(fault_seed());
+
+  const std::string clean_path = temp_path("crash_store_ref.store");
+  const std::uint64_t reference = write_small_store(clean_path);
+
+  for (const std::string_view site :
+       {fs::sites::kStoreOpen, fs::sites::kStoreShard,
+        fs::sites::kStoreFinish}) {
+    const std::uint64_t ops = probe_ops(site, [&] {
+      write_small_store(temp_path("crash_store_probe.store"));
+    });
+    ASSERT_GT(ops, 0u) << site;
+    for (std::uint64_t op = 1; op <= ops; ++op) {
+      SCOPED_TRACE(std::string(site) + " crash at op " +
+                   std::to_string(op));
+      const std::string path = temp_path("crash_store.store");
+      FsFaultInjector::SiteConfig config;
+      config.crash_at_op = op;
+      config.crash_after = (op % 2) == 0;  // cover both syscall boundaries
+      injector.reset_ops();
+      injector.arm(site, config);
+      EXPECT_THROW(write_small_store(path), CrashInjectedError);
+      injector.disarm_all();
+
+      // The crash-consistency property is old-or-new: the file on disk
+      // either rejects as torn, or (crash landed past the commit point)
+      // reads back as the complete reference store. Nothing in between.
+      bool valid_after_crash = false;
+      try {
+        const ScenarioStore torn(path);
+        valid_after_crash = true;
+        EXPECT_EQ(torn.checksum(), reference)
+            << "a store that opens after a crash must be the complete one";
+      } catch (const IoError&) {
+      }
+      if (!valid_after_crash) {
+        // Recovery (a clean rewrite) must be bit-identical.
+        EXPECT_EQ(write_small_store(path), reference);
+        const ScenarioStore recovered(path);
+        EXPECT_EQ(recovered.checksum(), reference);
+      }
+    }
+  }
+}
+
+/// Crashes the checkpointed streaming sweep at every manifest op; a resumed
+/// run must complete with the reference digests — the torn manifest line
+/// (when the crash tore one) is dropped, committed shards are kept.
+TEST(CrashRecovery, CheckpointCrashAtEveryOpResumesBitIdentical) {
+  ScopedFsFaults guard;
+  FsFaultInjector& injector = FsFaultInjector::global();
+  injector.set_seed(fault_seed());
+
+  const std::string store_path = temp_path("crash_ckpt.store");
+  write_small_store(store_path);
+  const ScenarioStore store(store_path);
+  const std::vector<std::uint64_t> reference = reference_checksums(store);
+
+  for (const std::string_view site :
+       {fs::sites::kManifestOpen, fs::sites::kManifestAppend}) {
+    const std::uint64_t ops = probe_ops(site, [&] {
+      const StreamingSweep sweep(
+          streaming_options(temp_path("crash_ckpt_probe.manifest")));
+      sweep.run(store);
+    });
+    ASSERT_GT(ops, 0u) << site;
+    for (std::uint64_t op = 1; op <= ops; ++op) {
+      SCOPED_TRACE(std::string(site) + " crash at op " +
+                   std::to_string(op));
+      const std::string manifest = temp_path("crash_ckpt.manifest");
+      FsFaultInjector::SiteConfig config;
+      config.crash_at_op = op;
+      config.crash_after = (op % 2) == 0;
+      injector.reset_ops();
+      injector.arm(site, config);
+      const StreamingSweep sweep(streaming_options(manifest));
+      EXPECT_THROW(sweep.run(store), CrashInjectedError);
+      injector.disarm_all();
+
+      const StreamingSweep resumed(streaming_options(manifest));
+      const StreamingSweepReport report = resumed.run(store);
+      EXPECT_TRUE(report.complete());
+      EXPECT_EQ(report.shard_checksums, reference)
+          << "resume after a manifest crash must be bit-identical";
+    }
+  }
+}
+
+/// A crash that tears a manifest row mid-line (short write, then death):
+/// the resume must drop exactly the torn trailing line and re-evaluate
+/// that one shard.
+TEST(CrashRecovery, TornManifestLineIsDroppedOnResume) {
+  ScopedFsFaults guard;
+  FsFaultInjector& injector = FsFaultInjector::global();
+  injector.set_seed(fault_seed());
+
+  const std::string store_path = temp_path("torn_manifest.store");
+  write_small_store(store_path);
+  const ScenarioStore store(store_path);
+  const std::vector<std::uint64_t> reference = reference_checksums(store);
+
+  const std::uint64_t ops = probe_ops(fs::sites::kManifestAppend, [&] {
+    const StreamingSweep sweep(
+        streaming_options(temp_path("torn_manifest_probe.manifest")));
+    sweep.run(store);
+  });
+  ASSERT_GT(ops, 2u);
+
+  // Fail a mid-sweep manifest *row write* with a short write: half the row
+  // lands, no newline — the classic torn line. Appends alternate
+  // write (odd op) / fsync (even op), header first, so a mid-run odd op is
+  // a shard row's write.
+  std::uint64_t torn_op = ops / 2;
+  if ((torn_op % 2) == 0) {
+    ++torn_op;
+  }
+  const std::string manifest = temp_path("torn_manifest.manifest");
+  FsFaultInjector::SiteConfig config;
+  config.error_at_op = torn_op;
+  config.error_errno = ENOSPC;  // not EIO: must not be absorbed by retry
+  config.short_write = true;
+  injector.reset_ops();
+  injector.arm(fs::sites::kManifestAppend, config);
+  const StreamingSweep sweep(streaming_options(manifest));
+  EXPECT_THROW(sweep.run(store), IoError);
+  injector.disarm_all();
+
+  const StreamingSweep resumed(streaming_options(manifest));
+  const StreamingSweepReport report = resumed.run(store);
+  EXPECT_TRUE(report.complete());
+  EXPECT_GT(report.shards_resumed, 0u)
+      << "shards committed before the tear must not be re-evaluated";
+  EXPECT_EQ(report.shard_checksums, reference);
+}
+
+/// Crashes the sharded worker at every claim/commit op of the early shards;
+/// a rescuer (waiting out the lease where needed) must always finish the
+/// sweep and merge bit-identical. Covers the two satellite scenarios by
+/// construction: crash between result write and rename, and crash after
+/// rename before the directory fsync, are specific ops in this sweep.
+TEST(CrashRecovery, ClaimAndResultCommitCrashesRecoverBitIdentical) {
+  ScopedFsFaults guard;
+  FsFaultInjector& injector = FsFaultInjector::global();
+  injector.set_seed(fault_seed());
+
+  const std::string store_path = temp_path("crash_claim.store");
+  write_small_store(store_path);
+  const ScenarioStore store(store_path);
+  const std::vector<std::uint64_t> reference = reference_checksums(store);
+
+  // Ops per shard, from a clean probe of a 1-worker run.
+  std::uint64_t claim_ops = 0;
+  std::uint64_t commit_ops = 0;
+  {
+    const std::string ledger = temp_path("crash_claim_probe.ledger");
+    injector.reset_ops();
+    injector.arm(fs::sites::kClaim, {});
+    injector.arm(fs::sites::kResultCommit, {});
+    const ShardedSweepDriver probe(
+        worker_options(ledger, "probe", std::chrono::minutes(1)));
+    probe.run_worker(store);
+    claim_ops = injector.ops_at(fs::sites::kClaim);
+    commit_ops = injector.ops_at(fs::sites::kResultCommit);
+    injector.disarm_all();
+    injector.reset_ops();
+  }
+  ASSERT_GT(claim_ops, 0u);
+  ASSERT_GT(commit_ops, 0u);
+  // Per-shard op strides; crash through the first shard's full lifecycle
+  // plus one op into the second shard (the boundary case).
+  const std::uint64_t claim_stride = claim_ops / kShards;
+  const std::uint64_t commit_stride = commit_ops / kShards;
+
+  const auto crash_and_rescue = [&](std::string_view site, std::uint64_t op,
+                                    bool crash_after) {
+    SCOPED_TRACE(std::string(site) + " crash at op " + std::to_string(op) +
+                 (crash_after ? " (after syscall)" : " (before syscall)"));
+    const std::string ledger = temp_path("crash_claim.ledger");
+    FsFaultInjector::SiteConfig config;
+    config.crash_at_op = op;
+    config.crash_after = crash_after;
+    injector.reset_ops();
+    injector.arm(site, config);
+    const ShardedSweepDriver victim(
+        worker_options(ledger, "victim", std::chrono::milliseconds(250)));
+    EXPECT_THROW(victim.run_worker(store), CrashInjectedError);
+    injector.disarm_all();
+    injector.reset_ops();
+
+    // The rescuer waits out the victim's lease where the crash left a
+    // claim naming this (live) process — exactly what a kill -9 of a
+    // remote worker looks like under lease-only staleness.
+    ShardedSweepOptions options =
+        worker_options(ledger, "rescuer", std::chrono::milliseconds(250));
+    options.lease_only = true;
+    const ShardedSweepDriver rescuer(options);
+    const WorkerReport report = rescuer.run_worker(store);
+    // The victim died inside its first shard's lifecycle, so at most one
+    // shard (a crash after the commit rename) survives it.
+    EXPECT_GE(report.shards_evaluated, kShards - 1);
+
+    const ShardedSweepDriver merger(options);
+    const MergedSweep merged = merger.merge(store);
+    EXPECT_EQ(merged.report.shard_checksums, reference)
+        << "recovery after a " << site << " crash must merge bit-identical";
+  };
+
+  for (std::uint64_t op = 1; op <= claim_stride + 1; ++op) {
+    crash_and_rescue(fs::sites::kClaim, op, false);
+    crash_and_rescue(fs::sites::kClaim, op, true);
+  }
+  for (std::uint64_t stride_op = 1; stride_op <= commit_stride;
+       ++stride_op) {
+    // Commit ops start after the first claim; crash inside the first
+    // shard's result commit at every boundary.
+    crash_and_rescue(fs::sites::kResultCommit, stride_op, false);
+    crash_and_rescue(fs::sites::kResultCommit, stride_op, true);
+  }
+}
+
+/// Crashes the merger's result reads; a re-run merge after the crash must
+/// produce the reference digests (merging is read-only and idempotent).
+TEST(CrashRecovery, MergeCrashIsIdempotentlyRetryable) {
+  ScopedFsFaults guard;
+  FsFaultInjector& injector = FsFaultInjector::global();
+  injector.set_seed(fault_seed());
+
+  const std::string store_path = temp_path("crash_merge.store");
+  write_small_store(store_path);
+  const ScenarioStore store(store_path);
+  const std::vector<std::uint64_t> reference = reference_checksums(store);
+  const std::string ledger = temp_path("crash_merge.ledger");
+  const ShardedSweepDriver worker(
+      worker_options(ledger, "w0", std::chrono::minutes(1)));
+  worker.run_worker(store);
+
+  const std::uint64_t ops = probe_ops(fs::sites::kRead, [&] {
+    const ShardedSweepDriver merger(
+        worker_options(ledger, "m", std::chrono::minutes(1)));
+    merger.merge(store);
+  });
+  ASSERT_GT(ops, 0u);
+  for (std::uint64_t op = 1; op <= ops; op += 2) {
+    SCOPED_TRACE("merge crash at fs.read op " + std::to_string(op));
+    FsFaultInjector::SiteConfig config;
+    config.crash_at_op = op;
+    config.crash_after = (op % 4) == 1;
+    injector.reset_ops();
+    injector.arm(fs::sites::kRead, config);
+    const ShardedSweepDriver merger(
+        worker_options(ledger, "m", std::chrono::minutes(1)));
+    EXPECT_THROW(merger.merge(store), CrashInjectedError);
+    injector.disarm_all();
+    injector.reset_ops();
+
+    const MergedSweep merged = merger.merge(store);
+    EXPECT_EQ(merged.report.shard_checksums, reference);
+  }
+}
+
+/// The post-crash ledger may hold leftover commit temporaries; the merger's
+/// worker-metrics sum must ignore them (exact-suffix filename match).
+TEST(CrashRecovery, MergerIgnoresTornMetricsTemporaries) {
+  const std::string store_path = temp_path("torn_metrics.store");
+  write_small_store(store_path);
+  const ScenarioStore store(store_path);
+  const std::string ledger = temp_path("torn_metrics.ledger");
+  const ShardedSweepDriver worker(
+      worker_options(ledger, "w0", std::chrono::minutes(1)));
+  worker.run_worker(store);
+  worker.write_worker_metrics();
+  {
+    // A crashed commit's leftover temporary: prefix and infix match the
+    // metrics pattern, but the suffix is the .tmp tag.
+    std::ofstream torn(ledger + "/worker-w9.metrics.json.tmp.w9");
+    torn << "{ torn";
+  }
+  const MergedSweep merged = worker.merge(store);
+  EXPECT_EQ(merged.metrics_files, 1u)
+      << "the torn temporary must not be parsed as a metrics file";
+}
+
+}  // namespace
+}  // namespace vmcons::core

@@ -68,6 +68,7 @@ struct Args {
   long kill_on_shard = -1;  ///< worker: _exit(137) after claiming this shard
   int kill_worker = -1;     ///< run/selftest: which child gets kill_on_shard
   bool kill_one = false;    ///< selftest: kill worker 0 on its first claim
+  bool lease_only = false;  ///< host-portable staleness: no dead-pid probe
   bool json = false;
 };
 
@@ -84,6 +85,9 @@ int usage(const char* argv0) {
       << "                     or in child --kill-worker (run/selftest)\n"
       << "  --kill-worker I  which child of --mode run gets the kill\n"
       << "  --kill-one       selftest: kill one worker on its first claim\n"
+      << "  --lease-only     reclaim strictly by lease expiry (disable the\n"
+      << "                   same-host dead-pid fast path; the mode for\n"
+      << "                   ledgers on shared filesystems)\n"
       << "  --json           machine-readable metrics output\n";
   return 2;
 }
@@ -111,6 +115,8 @@ std::optional<Args> parse_args(int argc, char** argv) {
       args.json = true;
     } else if (flag == "--kill-one") {
       args.kill_one = true;
+    } else if (flag == "--lease-only") {
+      args.lease_only = true;
     } else if ((v = value(i)) == nullptr) {
       std::cerr << flag << " needs a value\n";
       return std::nullopt;
@@ -150,6 +156,7 @@ ShardedSweepOptions driver_options(const Args& args) {
   options.worker_id = args.worker_id;
   options.lease = std::chrono::milliseconds(args.lease_ms);
   options.poll = std::chrono::milliseconds(args.poll_ms);
+  options.lease_only = args.lease_only;
   if (args.kill_on_shard >= 0) {
     const auto target = static_cast<std::size_t>(args.kill_on_shard);
     options.on_claimed = [target](std::size_t shard) {
@@ -406,6 +413,7 @@ int run_selftest(const Args& args) {
   }
 
   std::cout << "selftest ok: " << fleet.workers << " workers"
+            << (args.lease_only ? " [lease-only staleness]" : "")
             << (args.kill_one ? " (one killed mid-shard and reclaimed)" : "")
             << ", " << merged.report.shards_completed
             << " shards merged bit-identical to 1-process streaming sweep\n";
